@@ -1,0 +1,163 @@
+// E8 — evidence-chain membership (Figures 6-7): join handshake throughput,
+// full-chain verification cost vs chain length, and double-invite
+// detection over pooled branches.
+//
+// Expected shape: joins are constant-cost (one blind signature + one RSA
+// signature + 3 messages); verification is linear in chain length with two
+// RSA verifications per piece; detection is linear in the pooled piece
+// count with no crypto at all (hash map over (issuer, predecessor)).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "audit/cluster.hpp"
+#include "audit/member_node.hpp"
+#include "logm/workload.hpp"
+
+using namespace dla;
+
+namespace {
+
+struct ChainRig {
+  explicit ChainRig(std::size_t members)
+      : ca("CA", crypto::RsaKeyPair::fixed512()) {
+    ca_id = sim.add_node(ca);
+    for (std::size_t i = 0; i < members; ++i) {
+      nodes.push_back(std::make_unique<audit::MemberNode>(
+          "P" + std::to_string(i), 500 + i));
+      sim.add_node(*nodes.back());
+      nodes.back()->acquire_token(sim, ca_id, ca.public_key(), nullptr);
+    }
+    sim.run();
+    nodes[0]->found_chain("genesis");
+    for (std::size_t i = 0; i + 1 < members; ++i) {
+      nodes[i]->invite(sim, nodes[i + 1]->id(), "t" + std::to_string(i));
+      sim.run();
+    }
+  }
+
+  net::Simulator sim;
+  audit::CaNode ca;
+  net::NodeId ca_id;
+  std::vector<std::unique_ptr<audit::MemberNode>> nodes;
+};
+
+void BM_JoinHandshake(benchmark::State& state) {
+  // Cost of one complete token + PP/SC/RE join, amortised over a growing
+  // chain rebuilt per iteration batch.
+  for (auto _ : state) {
+    state.PauseTiming();
+    net::Simulator sim;
+    audit::CaNode ca("CA", crypto::RsaKeyPair::fixed512());
+    net::NodeId ca_id = sim.add_node(ca);
+    audit::MemberNode founder("P0", 1);
+    audit::MemberNode joiner("P1", 2);
+    sim.add_node(founder);
+    sim.add_node(joiner);
+    founder.acquire_token(sim, ca_id, ca.public_key(), nullptr);
+    joiner.acquire_token(sim, ca_id, ca.public_key(), nullptr);
+    sim.run();
+    founder.found_chain("genesis");
+    state.ResumeTiming();
+
+    founder.invite(sim, joiner.id(), "terms");
+    sim.run();
+    if (joiner.chain().size() != 2) {
+      state.SkipWithError("join failed");
+      break;
+    }
+  }
+}
+
+void BM_ChainVerification(benchmark::State& state) {
+  const std::size_t members = static_cast<std::size_t>(state.range(0));
+  ChainRig rig(members);
+  const auto& chain = rig.nodes.back()->chain();
+  if (chain.size() != members) {
+    state.SkipWithError("chain construction failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto v = chain.verify(rig.ca.public_key());
+    if (!v.ok) {
+      state.SkipWithError(("verification failed: " + v.failure).c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(v.checked);
+  }
+  state.counters["pieces"] = static_cast<double>(members);
+}
+
+void BM_DoubleInviteDetection(benchmark::State& state) {
+  const std::size_t members = static_cast<std::size_t>(state.range(0));
+  ChainRig rig(members);
+  // Inject one fork in the middle and pool both branches.
+  std::size_t cheater = members / 2;
+  audit::MemberNode outsider("PX", 31337);
+  rig.sim.add_node(outsider);
+  outsider.acquire_token(rig.sim, rig.ca_id, rig.ca.public_key(), nullptr);
+  rig.sim.run();
+  rig.nodes[cheater]->set_allow_misconduct(true);
+  rig.nodes[cheater]->invite(rig.sim, outsider.id(), "fork");
+  rig.sim.run();
+
+  std::vector<audit::EvidencePiece> pool;
+  for (const auto& p : rig.nodes.back()->chain().pieces()) pool.push_back(p);
+  for (const auto& p : outsider.chain().pieces()) pool.push_back(p);
+
+  for (auto _ : state) {
+    auto exposed = audit::detect_double_invite(pool);
+    if (!exposed) {
+      state.SkipWithError("fork not detected");
+      break;
+    }
+    benchmark::DoNotOptimize(*exposed);
+  }
+  state.counters["pooled_pieces"] = static_cast<double>(pool.size());
+}
+
+}  // namespace
+
+void BM_DistributedKeyGeneration(benchmark::State& state) {
+  // Full Feldman-VSS DKG over the simulated cluster: n dealings, n^2 share
+  // transfers, n^2 verifications. Control-plane cost, paid once per epoch.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    audit::Cluster cluster(audit::Cluster::Options{
+        logm::paper_schema(), n, 0, std::nullopt, /*seed=*/8, false});
+    std::size_t completed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      cluster.dla(i).on_dkg_result =
+          [&](audit::SessionId, const audit::DlaNode::DkgResult& r) {
+            completed += r.ok;
+          };
+    }
+    state.ResumeTiming();
+    cluster.dla(0).start_dkg(cluster.sim(), 1,
+                             static_cast<std::uint32_t>(n / 2 + 1));
+    cluster.run();
+    if (completed != n) {
+      state.SkipWithError("DKG failed");
+      break;
+    }
+  }
+  state.counters["nodes"] = static_cast<double>(n);
+}
+
+BENCHMARK(BM_DistributedKeyGeneration)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(4)
+    ->Arg(8);
+BENCHMARK(BM_JoinHandshake)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ChainVerification)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64);
+BENCHMARK(BM_DoubleInviteDetection)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(8)
+    ->Arg(32);
+
+BENCHMARK_MAIN();

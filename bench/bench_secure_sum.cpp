@@ -1,0 +1,92 @@
+// E3 — secure sum (Section 3.5): Shamir-sharing cost across cluster sizes
+// and thresholds, the weighted variant, and the plaintext floor.
+//
+// Expected shape: the protocol exchanges n^2 share messages plus k
+// evaluations; field arithmetic is over a 128-bit prime, so absolute cost
+// stays small — the paper's point that the *relaxed* statistics primitives
+// are practical, unlike circuit-based MPC (see bench_relaxed_vs_mpc).
+#include <benchmark/benchmark.h>
+
+#include "audit/cluster.hpp"
+#include "logm/workload.hpp"
+
+using namespace dla;
+
+namespace {
+
+void BM_SecureSum(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = static_cast<std::size_t>(state.range(1));
+  const bool weighted = state.range(2) != 0;
+  audit::Cluster cluster(audit::Cluster::Options{
+      logm::paper_schema(), n, 0, std::nullopt, /*seed=*/1, false});
+  bn::BigUInt result;
+  cluster.dla(0).on_sum_result = [&](audit::SessionId, bn::BigUInt v) {
+    result = std::move(v);
+  };
+  audit::SessionId session = 1;
+  cluster.sim().reset_stats();
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected += (weighted ? (i % 3 + 1) : 1) * (1000 + i);
+  }
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      cluster.dla(i).stage_sum_input(session,
+                                     bn::BigUInt(1000 + static_cast<std::uint64_t>(i)));
+    }
+    audit::SumSpec spec;
+    spec.session = session++;
+    spec.participants = cluster.config()->dla_nodes;
+    spec.threshold_k = static_cast<std::uint32_t>(k);
+    spec.collector = cluster.config()->dla_nodes[0];
+    spec.observers = {cluster.config()->dla_nodes[0]};
+    if (weighted) {
+      for (std::size_t i = 0; i < n; ++i) {
+        spec.weights.emplace_back(static_cast<std::uint64_t>(i % 3 + 1));
+      }
+    }
+    cluster.dla(0).start_sum(cluster.sim(), spec);
+    cluster.run();
+    if (result != bn::BigUInt(expected)) {
+      state.SkipWithError("secure sum returned a wrong total");
+      break;
+    }
+  }
+  state.counters["parties"] = static_cast<double>(n);
+  state.counters["threshold"] = static_cast<double>(k);
+  state.counters["weighted"] = weighted ? 1 : 0;
+  state.counters["msgs/op"] = benchmark::Counter(
+      static_cast<double>(cluster.sim().stats().messages_sent),
+      benchmark::Counter::kAvgIterations);
+  state.counters["bytes/op"] = benchmark::Counter(
+      static_cast<double>(cluster.sim().stats().bytes_sent),
+      benchmark::Counter::kAvgIterations);
+}
+
+void BM_PlaintextSum(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = 1000 + i;
+  for (auto _ : state) {
+    std::uint64_t total = 0;
+    for (std::uint64_t v : values) total += v;
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["parties"] = static_cast<double>(n);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SecureSum)
+    ->Unit(benchmark::kMicrosecond)
+    ->Args({3, 2, 0})
+    ->Args({5, 3, 0})
+    ->Args({9, 5, 0})
+    ->Args({17, 9, 0})
+    ->Args({33, 17, 0})
+    ->Args({9, 5, 1});   // weighted variant
+
+BENCHMARK(BM_PlaintextSum)->Arg(9)->Arg(33);
+
+BENCHMARK_MAIN();

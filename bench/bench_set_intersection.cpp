@@ -1,0 +1,141 @@
+// E2 — secure set intersection (Figure 4) scaling: party count n, set size
+// |S|, and Pohlig-Hellman prime width, against the plaintext intersection
+// floor. Reported counters: simulated protocol messages and bytes.
+//
+// Expected shape (DESIGN.md): cost is dominated by n^2 * |S| modexps (each
+// of the n circulating sets is encrypted by all n parties and decrypted
+// once more), so runtime grows linearly in |S| for fixed n and roughly
+// quadratically in n; the plaintext baseline is orders of magnitude below.
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "audit/cluster.hpp"
+#include "crypto/pohlig_hellman.hpp"
+#include "logm/workload.hpp"
+
+using namespace dla;
+
+namespace {
+
+// Builds per-node sets with ~50% pairwise overlap.
+std::vector<std::vector<std::string>> make_sets(std::size_t n,
+                                                std::size_t size) {
+  std::vector<std::vector<std::string>> sets(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < size; ++j) {
+      bool shared = j < size / 2;
+      sets[i].push_back(shared ? "shared-" + std::to_string(j)
+                               : "own-" + std::to_string(i) + "-" +
+                                     std::to_string(j));
+    }
+  }
+  return sets;
+}
+
+void run_protocol(audit::Cluster& cluster, std::size_t n,
+                  const std::vector<std::vector<std::string>>& sets,
+                  audit::SessionId session) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<bn::BigUInt> elements;
+    for (const auto& s : sets[i]) {
+      elements.push_back(
+          crypto::encode_element(cluster.config()->ph_domain, s));
+    }
+    cluster.dla(i).stage_set_input(session, std::move(elements));
+  }
+  audit::SetSpec spec;
+  spec.session = session;
+  spec.op = audit::SetOp::Intersect;
+  for (std::size_t i = 0; i < n; ++i) {
+    spec.participants.push_back(cluster.config()->dla_nodes[i]);
+  }
+  spec.collector = spec.participants[0];
+  spec.observers = {spec.participants[0]};
+  cluster.dla(0).start_set_protocol(cluster.sim(), spec);
+  cluster.run();
+}
+
+void BM_SecureSetIntersection(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t size = static_cast<std::size_t>(state.range(1));
+  auto sets = make_sets(n, size);
+  audit::Cluster cluster(audit::Cluster::Options{
+      logm::paper_schema(), std::max<std::size_t>(n, 2), 0, std::nullopt,
+      /*seed=*/1, false});
+  std::size_t result_size = 0;
+  cluster.dla(0).on_set_result =
+      [&](audit::SessionId, std::vector<bn::BigUInt> r) {
+        result_size = r.size();
+      };
+  audit::SessionId session = 1;
+  cluster.sim().reset_stats();
+  for (auto _ : state) {
+    run_protocol(cluster, n, sets, session++);
+  }
+  state.counters["parties"] = static_cast<double>(n);
+  state.counters["set_size"] = static_cast<double>(size);
+  state.counters["result"] = static_cast<double>(result_size);
+  state.counters["msgs/op"] = benchmark::Counter(
+      static_cast<double>(cluster.sim().stats().messages_sent),
+      benchmark::Counter::kAvgIterations);
+  state.counters["bytes/op"] = benchmark::Counter(
+      static_cast<double>(cluster.sim().stats().bytes_sent),
+      benchmark::Counter::kAvgIterations);
+}
+
+void BM_PlaintextIntersection(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t size = static_cast<std::size_t>(state.range(1));
+  auto sets = make_sets(n, size);
+  for (auto _ : state) {
+    std::set<std::string> acc(sets[0].begin(), sets[0].end());
+    for (std::size_t i = 1; i < n; ++i) {
+      std::set<std::string> next(sets[i].begin(), sets[i].end());
+      std::set<std::string> merged;
+      for (const auto& s : acc) {
+        if (next.contains(s)) merged.insert(s);
+      }
+      acc = std::move(merged);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["parties"] = static_cast<double>(n);
+  state.counters["set_size"] = static_cast<double>(size);
+}
+
+// Raw commutative-encryption throughput across prime widths: the knob that
+// scales the whole protocol.
+void BM_PohligHellmanEncrypt(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  crypto::ChaCha20Rng rng(5);
+  crypto::PhDomain domain =
+      bits == 256 ? crypto::PhDomain::fixed256()
+                  : crypto::PhDomain::generate(rng, bits);
+  crypto::PhKey key = crypto::PhKey::generate(domain, rng);
+  bn::BigUInt m = crypto::encode_element(domain, "element");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.encrypt(m));
+  }
+  state.counters["prime_bits"] = static_cast<double>(bits);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SecureSetIntersection)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({3, 8})
+    ->Args({3, 32})
+    ->Args({3, 128})
+    ->Args({5, 32})
+    ->Args({9, 32})
+    ->Args({13, 32});
+
+BENCHMARK(BM_PlaintextIntersection)
+    ->Args({3, 32})
+    ->Args({9, 32})
+    ->Args({3, 128});
+
+BENCHMARK(BM_PohligHellmanEncrypt)->Arg(128)->Arg(256)->Arg(512);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,165 @@
+// Distributed event correlation for intrusion detection — the application
+// the paper's introduction motivates ("distributed event correlation for
+// intrusion detection", "multiple host intrusion/anomaly detection").
+//
+// Scenario: several independent organisations log connection events into a
+// shared DLA cluster. None will reveal its raw logs, but together they want
+// to find *sources probing many of them* (a distributed scan is harmless at
+// each site and only visible in aggregate — Section 4.2's "distributed
+// security bleaching").
+//
+// Two confidential mechanisms are shown:
+//   1. secure set intersection over per-organisation suspect sets: a source
+//      flagged by EVERY organisation surfaces, while each org's full
+//      suspect list stays private;
+//   2. confidential audit queries correlating events across DLA nodes
+//      without any node seeing whole records.
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "audit/cluster.hpp"
+#include "audit/correlation.hpp"
+#include "crypto/pohlig_hellman.hpp"
+
+using namespace dla;
+
+namespace {
+
+logm::Schema ids_schema() {
+  return logm::Schema({
+      {"Time", logm::ValueType::Int, false},
+      {"src", logm::ValueType::Text, false},
+      {"dst_port", logm::ValueType::Int, false},
+      {"site", logm::ValueType::Text, false},
+      {"verdict", logm::ValueType::Text, true},  // site-private label
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== confidential multi-site intrusion detection ==\n\n";
+
+  // Three organisations (user nodes) share a 3-node DLA cluster.
+  audit::Cluster cluster(audit::Cluster::Options{
+      ids_schema(), /*dla_count=*/3, /*user_count=*/3, std::nullopt,
+      /*seed=*/99, /*auditor_users=*/true});
+
+  // Synthetic traffic: "10.0.0.66" probes every site on low ports;
+  // other sources touch single sites only.
+  struct Event {
+    std::size_t site;
+    std::int64_t time;
+    const char* src;
+    std::int64_t port;
+    const char* verdict;
+  };
+  std::vector<Event> events = {
+      {0, 1000, "10.0.0.66", 22, "suspicious"},
+      {0, 1010, "192.168.1.5", 443, "normal"},
+      {0, 1020, "10.0.0.66", 23, "suspicious"},
+      {1, 1005, "10.0.0.66", 22, "suspicious"},
+      {1, 1015, "172.16.0.9", 80, "normal"},
+      {1, 1030, "10.0.0.66", 3389, "suspicious"},
+      {2, 1002, "10.0.0.66", 22, "suspicious"},
+      {2, 1040, "10.1.1.1", 8080, "suspicious"},
+  };
+  std::size_t logged = 0;
+  for (const auto& ev : events) {
+    std::map<std::string, logm::Value> attrs = {
+        {"Time", logm::Value(ev.time)},
+        {"src", logm::Value(ev.src)},
+        {"dst_port", logm::Value(ev.port)},
+        {"site", logm::Value("site" + std::to_string(ev.site))},
+        {"verdict", logm::Value(ev.verdict)},
+    };
+    cluster.user(ev.site).log_record(
+        cluster.sim(), attrs,
+        [&](std::optional<logm::Glsn> g) { logged += g.has_value(); });
+  }
+  cluster.run();
+  std::cout << "sites logged " << logged << " events into the DLA cluster\n\n";
+
+  // --- 1. Secure set intersection over per-site suspect lists ------------
+  // Each site privately flags sources it finds suspicious; only sources
+  // flagged by ALL sites emerge from the ring protocol (Figure 4).
+  std::map<std::size_t, std::set<std::string>> suspects = {
+      {0, {"10.0.0.66", "192.168.99.99"}},
+      {1, {"10.0.0.66", "172.16.0.9"}},
+      {2, {"10.0.0.66", "10.1.1.1"}},
+  };
+  const auto& domain = cluster.config()->ph_domain;
+  // Remember encodings so the plaintext survivors can be named.
+  std::map<std::string, std::string> by_encoding;
+  const audit::SessionId kSession = 1;
+  for (auto& [site, list] : suspects) {
+    std::vector<bn::BigUInt> elements;
+    for (const auto& src : list) {
+      auto enc = crypto::encode_element(domain, src);
+      by_encoding[enc.to_hex()] = src;
+      elements.push_back(enc);
+    }
+    cluster.dla(site).stage_set_input(kSession, std::move(elements));
+  }
+  cluster.dla(0).on_set_result = [&](audit::SessionId,
+                                     std::vector<bn::BigUInt> result) {
+    std::cout << "suspects flagged by EVERY site (via secure intersection):\n";
+    for (const auto& e : result) {
+      std::cout << "  -> " << by_encoding[e.to_hex()] << "\n";
+    }
+  };
+  audit::SetSpec spec;
+  spec.session = kSession;
+  spec.op = audit::SetOp::Intersect;
+  spec.participants = cluster.config()->dla_nodes;
+  spec.collector = cluster.config()->dla_nodes[0];
+  spec.observers = {cluster.config()->dla_nodes[0]};
+  cluster.dla(0).start_set_protocol(cluster.sim(), spec);
+  cluster.run();
+
+  // --- 2. Confidential cross-site audit queries --------------------------
+  auto ask = [&](const std::string& criterion) {
+    cluster.user(0).query(cluster.sim(), criterion,
+                          [criterion](audit::QueryOutcome outcome) {
+                            std::cout << "Q: " << criterion << " -> "
+                                      << (outcome.ok ? std::to_string(
+                                                           outcome.glsns.size()) +
+                                                           " event(s)"
+                                                     : outcome.error)
+                                      << "\n";
+                          });
+    cluster.run();
+  };
+  std::cout << "\ncorrelating events confidentially:\n";
+  ask("src = '10.0.0.66' AND dst_port <= 23");
+  ask("verdict = 'suspicious' AND NOT site = 'site0'");
+  ask("dst_port >= 3389 OR dst_port = 22");
+
+  // --- 3. Live correlation monitoring over tumbling windows --------------
+  // The monitor audits COUNT aggregates per event-time window; the scanner
+  // bursts past the threshold exactly once.
+  std::cout << "\nlive correlation monitor (threshold: 3 suspicious events "
+               "per 50-tick window):\n";
+  audit::CorrelationMonitor monitor(
+      cluster.user(0),
+      {audit::CorrelationRule{"scan-burst", "src = '10.0.0.66'", "Time", 50,
+                              3}},
+      /*poll_interval=*/5000);
+  cluster.sim().add_node(monitor);
+  monitor.max_sweeps = 2;  // windows [1000,1049] and [1050,1099]
+  monitor.on_window = [](const audit::CorrelationAlert& a) {
+    std::cout << "  window [" << a.window_start << ", " << a.window_end
+              << "]: " << a.count << " event(s)\n";
+  };
+  monitor.on_alert = [](const audit::CorrelationAlert& a) {
+    std::cout << "  >> ALERT (" << a.rule << "): " << a.count
+              << " correlated events across sites\n";
+  };
+  monitor.start(cluster.sim(), 1000);
+  cluster.run();
+
+  std::cout << "\nno DLA node ever held a full event record; sites only\n"
+               "revealed the one suspect every site already agreed on.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Anonymous-yet-authenticated DLA membership (Section 4.2, Figures 6-7).
+//
+// Walks the whole evidence-chain lifecycle:
+//   * members obtain blind-signed tokens from the credential authority
+//     (the CA never sees whose pseudonym it signs),
+//   * the founder bootstraps the chain, then each tail invites the next
+//     member through the PP -> SC -> RE handshake,
+//   * the finished chain verifies piece by piece,
+//   * a member that double-invites forks the chain — pooling the branches
+//     exposes its pseudonym (the paper's misconduct deterrent).
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "audit/member_node.hpp"
+
+using namespace dla;
+
+int main() {
+  std::cout << "== anonymous DLA membership via evidence chains ==\n\n";
+
+  net::Simulator sim;
+  audit::CaNode ca("CA", crypto::RsaKeyPair::fixed512());
+  net::NodeId ca_id = sim.add_node(ca);
+
+  // Five prospective DLA nodes acquire blind tokens.
+  std::vector<std::unique_ptr<audit::MemberNode>> members;
+  for (int i = 0; i < 5; ++i) {
+    members.push_back(
+        std::make_unique<audit::MemberNode>("P" + std::to_string(i), 100 + i));
+    sim.add_node(*members.back());
+    members.back()->acquire_token(sim, ca_id, ca.public_key(), [i](bool ok) {
+      std::cout << "P" << i << " token acquisition: "
+                << (ok ? "ok (CA signed blindly)" : "FAILED") << "\n";
+    });
+  }
+  sim.run();
+  std::cout << "CA issued " << ca.tokens_issued()
+            << " tokens without learning any pseudonym\n\n";
+
+  // Founder bootstraps, then the chain grows one invite at a time.
+  members[0]->found_chain("founding: store fragments, serve audits");
+  for (int i = 0; i < 4; ++i) {
+    members[i + 1]->on_joined = [i](const audit::EvidenceChain& chain) {
+      std::cout << "P" << i + 1 << " joined; chain length " << chain.size()
+                << "\n";
+    };
+    members[i]->invite(sim, members[i + 1]->id(),
+                       "serve app-" + std::to_string(i));
+    sim.run();
+  }
+
+  // Verify the final chain end to end.
+  const auto& chain = members[4]->chain();
+  auto verification = chain.verify(ca.public_key());
+  std::cout << "\nfinal chain: " << chain.size() << " pieces, verification "
+            << (verification.ok ? "PASSED" : "FAILED: " + verification.failure)
+            << "\n";
+  for (const auto& piece : chain.pieces()) {
+    std::cout << "  piece " << piece.index << ": issuer "
+              << piece.issuer_pseudonym.substr(0, 12) << "... invited "
+              << piece.invitee_pseudonym.substr(0, 12) << "... terms '"
+              << piece.terms.substr(0, 40) << "'\n";
+  }
+  std::cout << "invite authority now rests with the tail only: ";
+  for (int i = 0; i < 5; ++i) {
+    std::cout << "P" << i << "=" << members[i]->has_invite_authority() << " ";
+  }
+  std::cout << "\n\n";
+
+  // Misconduct: P2 (authority long gone) forks the chain with a second
+  // invite. The fork verifies in isolation, but pooling branches exposes it.
+  audit::MemberNode outsider("PX", 999);
+  sim.add_node(outsider);
+  outsider.acquire_token(sim, ca_id, ca.public_key(), nullptr);
+  sim.run();
+  members[2]->set_allow_misconduct(true);
+  members[2]->invite(sim, outsider.id(), "off-the-books deal");
+  sim.run();
+
+  std::vector<audit::EvidencePiece> pool;
+  for (const auto& p : members[4]->chain().pieces()) pool.push_back(p);
+  for (const auto& p : outsider.chain().pieces()) pool.push_back(p);
+  auto exposed = audit::detect_double_invite(pool);
+  std::cout << "double-invite audit over pooled branches: ";
+  if (exposed) {
+    std::cout << "EXPOSED pseudonym " << exposed->substr(0, 12) << "... ";
+    std::cout << (*exposed == members[2]->pseudonym() ? "(= P2, correct)\n"
+                                                      : "(unexpected!)\n");
+  } else {
+    std::cout << "nothing found (unexpected)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "audit/cluster.hpp"
+
+namespace dla::audit {
+
+Cluster::Cluster(Options options)
+    : ticket_service_(ClusterConfig{}.ticket_key) {
+  auto cfg = std::make_shared<ClusterConfig>();
+  cfg->schema = options.schema;
+  cfg->partition = options.partition.has_value()
+                       ? *options.partition
+                       : logm::AttributePartition::round_robin(
+                             options.schema, options.dla_count);
+  cfg->replication = std::max<std::size_t>(1, options.replication);
+  cfg->heartbeat_interval = options.heartbeat_interval;
+
+  // Actors are created, registered (assigning node ids), then configured.
+  for (std::size_t i = 0; i < options.dla_count; ++i) {
+    dla_nodes_.push_back(std::make_unique<DlaNode>(
+        "P" + std::to_string(i), options.seed * 1000 + i));
+    cfg->dla_nodes.push_back(sim_.add_node(*dla_nodes_.back()));
+  }
+  ttp_ = std::make_unique<TtpNode>("TTP");
+  cfg->ttp = sim_.add_node(*ttp_);
+
+  std::vector<crypto::SignerShare> shares;
+  if (options.certify_reports) {
+    crypto::ChaCha20Rng dealer_rng(options.seed ^ 0x5163);
+    auto dealing = crypto::deal_threshold_key(dealer_rng, cfg->majority(),
+                                              options.dla_count);
+    cfg->threshold_params = dealing.params;
+    cfg->sign_threshold_k = static_cast<std::uint32_t>(cfg->majority());
+    shares = std::move(dealing.shares);
+  }
+
+  ConfigPtr shared = cfg;
+  cfg_ = shared;
+  for (std::size_t i = 0; i < options.dla_count; ++i) {
+    dla_nodes_[i]->configure(shared, i);
+    if (!shares.empty()) dla_nodes_[i]->set_signing_share(shares[i]);
+    if (options.heartbeat_interval > 0) {
+      dla_nodes_[i]->start_heartbeats(sim_);
+    }
+  }
+  ttp_->configure(shared);
+
+  for (std::size_t i = 0; i < options.user_count; ++i) {
+    auto user = std::make_unique<UserNode>("u" + std::to_string(i));
+    sim_.add_node(*user);
+    Ticket ticket = ticket_service_.issue(
+        "T" + std::to_string(i + 1), user->name(),
+        {logm::Op::Read, logm::Op::Write}, options.auditor_users);
+    user->configure(shared, std::move(ticket));
+    user_nodes_.push_back(std::move(user));
+  }
+}
+
+Ticket Cluster::issue_ticket(const std::string& ticket_id,
+                             const std::string& principal,
+                             std::set<logm::Op> ops, bool auditor,
+                             std::uint64_t expires_at) const {
+  return ticket_service_.issue(ticket_id, principal, std::move(ops), auditor,
+                               expires_at);
+}
+
+}  // namespace dla::audit

@@ -1,0 +1,69 @@
+// Convenience wiring for a complete DLA deployment in one simulator:
+// n DLA nodes, one blind TTP, and m application (user) nodes, all sharing
+// one ClusterConfig. This is the entry point examples and benchmarks use;
+// tests may still wire actors by hand for fault-injection scenarios.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audit/config.hpp"
+#include "audit/dla_node.hpp"
+#include "audit/ttp_node.hpp"
+#include "audit/user_node.hpp"
+
+namespace dla::audit {
+
+class Cluster {
+ public:
+  struct Options {
+    logm::Schema schema;
+    std::size_t dla_count = 4;
+    std::size_t user_count = 1;
+    // Optional explicit partition; round-robin over dla_count when empty.
+    std::optional<logm::AttributePartition> partition;
+    std::uint64_t seed = 1;
+    // Users get auditor-scope tickets when true (results unfiltered).
+    bool auditor_users = false;
+    // When true, the cluster deals a (majority, n) threshold Schnorr key
+    // and every query result is co-signed by a majority of DLA nodes;
+    // QueryOutcome::certified reports verification at the user.
+    bool certify_reports = false;
+    // Fragment copies per attribute (1 = primary only). With >= 2 plus
+    // heartbeats, queries survive a single crashed node.
+    std::size_t replication = 1;
+    // Failure-detector heartbeat period in simulated us (0 = off).
+    net::SimTime heartbeat_interval = 0;
+  };
+
+  explicit Cluster(Options options);
+
+  net::Simulator& sim() { return sim_; }
+  const ConfigPtr& config() const { return cfg_; }
+  std::size_t dla_count() const { return dla_nodes_.size(); }
+
+  DlaNode& dla(std::size_t i) { return *dla_nodes_.at(i); }
+  TtpNode& ttp() { return *ttp_; }
+  UserNode& user(std::size_t i) { return *user_nodes_.at(i); }
+  const TicketService& tickets() const { return ticket_service_; }
+
+  // Issues an extra ticket signed with the cluster key (e.g. an expired or
+  // wrong-scope ticket for negative tests).
+  Ticket issue_ticket(const std::string& ticket_id,
+                      const std::string& principal, std::set<logm::Op> ops,
+                      bool auditor = false, std::uint64_t expires_at = 0) const;
+
+  // Drain the simulator; returns processed event count.
+  std::size_t run() { return sim_.run(); }
+
+ private:
+  net::Simulator sim_;
+  ConfigPtr cfg_;
+  TicketService ticket_service_;
+  std::vector<std::unique_ptr<DlaNode>> dla_nodes_;
+  std::unique_ptr<TtpNode> ttp_;
+  std::vector<std::unique_ptr<UserNode>> user_nodes_;
+};
+
+}  // namespace dla::audit

@@ -1,0 +1,14 @@
+#include "audit/config.hpp"
+
+#include <stdexcept>
+
+namespace dla::audit {
+
+std::size_t ClusterConfig::index_of(net::NodeId id) const {
+  for (std::size_t i = 0; i < dla_nodes.size(); ++i) {
+    if (dla_nodes[i] == id) return i;
+  }
+  throw std::out_of_range("ClusterConfig::index_of: not a DLA node");
+}
+
+}  // namespace dla::audit

@@ -1,0 +1,72 @@
+// Shared configuration of one DLA cluster instance.
+//
+// Every actor (DLA node, user node, TTP) holds a shared pointer to the same
+// immutable ClusterConfig: the application schema, the attribute partition
+// (which A_i lives on which P_i), the cryptographic domains, and the node
+// ids assigned by the simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <optional>
+
+#include "crypto/accumulator.hpp"
+#include "crypto/pohlig_hellman.hpp"
+#include "crypto/threshold_schnorr.hpp"
+#include "logm/record.hpp"
+#include "net/sim.hpp"
+
+namespace dla::audit {
+
+struct ClusterConfig {
+  logm::Schema schema;
+  logm::AttributePartition partition;
+
+  // Shared cryptographic domains. The Pohlig-Hellman prime backs the set
+  // protocols; the Shamir prime backs secure sum and the TTP transforms;
+  // the accumulator parameters back the integrity checks.
+  crypto::PhDomain ph_domain = crypto::PhDomain::fixed256();
+  bn::BigUInt shamir_prime =
+      bn::BigUInt::from_hex("b253d0f212cac9fb474dbafa53e183bf");
+  crypto::Accumulator::Params accum_params =
+      crypto::Accumulator::Params::fixed256();
+  std::vector<std::uint8_t> ticket_key = {0x42, 0x13, 0x37, 0x99};
+
+  // Threshold report certification (optional): public parameters of the
+  // cluster's (k, n) Schnorr key. When present, query results carry a
+  // signature valid only if sign_threshold_k nodes co-signed. The per-node
+  // secret shares are handed to each DlaNode separately.
+  std::optional<crypto::ThresholdParams> threshold_params;
+  std::uint32_t sign_threshold_k = 0;
+
+  // Availability: each fragment is stored on `replication` consecutive
+  // ring nodes (1 = primary only). With replication >= 2 and heartbeats
+  // enabled, gateways route around suspected-crashed primaries to the
+  // successor replica, so queries survive single-node failures — the
+  // paper's "the DLA cluster as a whole has the complete log".
+  std::size_t replication = 1;
+  // Heartbeat period for the failure detector (0 = disabled). A peer is
+  // suspected after 3 missed heartbeats.
+  net::SimTime heartbeat_interval = 0;
+
+  // Simulator node ids, filled in during wiring. dla_nodes[i] is P_i and
+  // must store exactly partition.attributes_of(i).
+  std::vector<net::NodeId> dla_nodes;
+  net::NodeId ttp = 0;
+
+  std::size_t cluster_size() const { return dla_nodes.size(); }
+  std::size_t majority() const { return dla_nodes.size() / 2 + 1; }
+
+  // Ring successor of P_index.
+  net::NodeId next_in_ring(std::size_t index) const {
+    return dla_nodes[(index + 1) % dla_nodes.size()];
+  }
+  // Index of a node id within the cluster; throws if not a DLA node.
+  std::size_t index_of(net::NodeId id) const;
+};
+
+using ConfigPtr = std::shared_ptr<const ClusterConfig>;
+
+}  // namespace dla::audit

@@ -1,0 +1,57 @@
+#include "audit/correlation.hpp"
+
+namespace dla::audit {
+
+CorrelationMonitor::CorrelationMonitor(UserNode& auditor,
+                                       std::vector<CorrelationRule> rules,
+                                       net::SimTime poll_interval)
+    : auditor_(auditor),
+      rules_(std::move(rules)),
+      poll_interval_(poll_interval) {}
+
+void CorrelationMonitor::start(net::Simulator& sim, std::int64_t start_time) {
+  cursors_.assign(rules_.size(), start_time);
+  running_ = true;
+  timer_ = sim.set_timer(id(), poll_interval_);
+}
+
+void CorrelationMonitor::on_message(net::Simulator&, const net::Message&) {
+  // The monitor receives no protocol traffic; results come back through
+  // the auditor UserNode's callbacks.
+}
+
+void CorrelationMonitor::sweep(net::Simulator& sim) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const CorrelationRule& rule = rules_[i];
+    std::int64_t start = cursors_[i];
+    std::int64_t end = start + rule.window_width - 1;
+    cursors_[i] = end + 1;
+    std::string criterion = "(" + rule.criterion + ") AND " + rule.time_attr +
+                            " BETWEEN " + std::to_string(start) + " AND " +
+                            std::to_string(end);
+    auditor_.aggregate_query(
+        sim, criterion, AggOp::Count, "",
+        [this, rule, start, end](AggregateOutcome outcome) {
+          if (!outcome.ok) return;
+          ++windows_audited_;
+          CorrelationAlert alert{rule.name, start, end,
+                                 static_cast<std::uint64_t>(outcome.value)};
+          if (on_window) on_window(alert);
+          if (alert.count >= rule.threshold && on_alert) on_alert(alert);
+        });
+  }
+}
+
+void CorrelationMonitor::on_timer(net::Simulator& sim,
+                                  std::uint64_t timer_id) {
+  if (!running_ || timer_id != timer_) return;
+  sweep(sim);
+  ++sweeps_;
+  if (max_sweeps != 0 && sweeps_ >= max_sweeps) {
+    running_ = false;
+    return;
+  }
+  timer_ = sim.set_timer(id(), poll_interval_);
+}
+
+}  // namespace dla::audit

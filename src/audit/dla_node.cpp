@@ -1,0 +1,1965 @@
+#include "audit/dla_node.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace dla::audit {
+
+namespace {
+
+// Gateway timeout before retrying a glsn request against the next leader.
+constexpr net::SimTime kGlsnTimeout = 50000;  // 50 ms
+// Watchdog for a whole query pipeline: generous against jitter, small
+// enough that a partition-stalled query fails back to the user promptly.
+constexpr net::SimTime kQueryTimeout = 5000000;  // 5 s
+
+void send_payload(net::Simulator& sim, net::NodeId src, net::NodeId dst,
+                  std::uint32_t type, net::Writer w) {
+  sim.send(src, dst, type, std::move(w).take());
+}
+
+// Order-preserving integer key for numeric attribute values: scaled by 1e6
+// and offset by 2^62 into the positive range. Used by the blind-TTP join
+// transform.
+bn::BigUInt order_key(const logm::Value& value) {
+  std::int64_t scaled = std::llround(value.as_real() * 1e6);
+  return bn::BigUInt(static_cast<std::uint64_t>(scaled) +
+                     (std::uint64_t{1} << 62));
+}
+
+bn::BigUInt hash_key(const logm::Value& value, const bn::BigUInt& p) {
+  crypto::Digest d = crypto::Sha256::hash(value.canonical());
+  return bn::BigUInt::from_bytes({d.begin(), d.end()}) % p;
+}
+
+std::vector<logm::Glsn> intersect_sorted(std::vector<logm::Glsn> a,
+                                         std::vector<logm::Glsn> b) {
+  std::vector<logm::Glsn> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<logm::Glsn> union_sorted(std::vector<logm::Glsn> a,
+                                     std::vector<logm::Glsn> b) {
+  std::vector<logm::Glsn> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+void sort_unique(std::vector<bn::BigUInt>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+void sort_unique(std::vector<logm::Glsn>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+DlaNode::DlaNode(std::string name, std::uint64_t seed)
+    : name_(std::move(name)), rng_(seed) {}
+
+void DlaNode::configure(ConfigPtr cfg, std::size_t index) {
+  cfg_ = std::move(cfg);
+  index_ = index;
+  tickets_.emplace(cfg_->ticket_key);
+  accum_mont_.emplace(cfg_->accum_params.n);
+}
+
+SessionId DlaNode::fresh_session() {
+  return (static_cast<SessionId>(id()) << 40) | next_session_++;
+}
+
+// ======================================================== dispatch =========
+
+void DlaNode::on_message(net::Simulator& sim, const net::Message& msg) {
+  try {
+    dispatch(sim, msg);
+  } catch (const net::CodecError&) {
+    // Malformed or truncated payloads are dropped rather than crashing the
+    // node — a remote peer must not be able to take a DLA node down with a
+    // bad message.
+  } catch (const ParseError&) {
+    // Likewise for an unparseable criterion smuggled into an internal task
+    // message (the gateway validates user queries before planning).
+  }
+}
+
+void DlaNode::dispatch(net::Simulator& sim, const net::Message& msg) {
+  switch (msg.type) {
+    case kHeartbeat: {
+      net::Reader r(msg.payload);
+      last_heartbeat_[r.u32()] = sim.now();
+      return;
+    }
+    case kGlsnRequest: return handle_glsn_request(sim, msg);
+    case kGlsnForward: return handle_glsn_forward(sim, msg);
+    case kGlsnPropose: return handle_glsn_propose(sim, msg);
+    case kGlsnVote: return handle_glsn_vote(sim, msg);
+    case kGlsnCommit: return handle_glsn_commit(sim, msg);
+    case kGlsnReply: return handle_glsn_reply(sim, msg);
+    case kLogFragment: return handle_log_fragment(sim, msg);
+    case kAccumDeposit: return handle_accum_deposit(sim, msg);
+    case kFragmentRequest: return handle_fragment_request(sim, msg);
+    case kFragmentDelete: return handle_fragment_delete(sim, msg);
+    case kSetStart: return handle_set_start(sim, msg);
+    case kSetRing: return handle_set_ring(sim, msg);
+    case kSetFull: return handle_set_full(sim, msg);
+    case kSetDecrypt: return handle_set_decrypt(sim, msg);
+    case kSetResult: return handle_set_result(sim, msg);
+    case kSumStart: return handle_sum_start(sim, msg);
+    case kSumShare: return handle_sum_share(sim, msg);
+    case kSumEval: return handle_sum_eval(sim, msg);
+    case kSumResult: return handle_sum_result(sim, msg);
+    case kCmpParams: return handle_cmp_params(sim, msg);
+    case kScalarRandomness: return handle_scalar_randomness(sim, msg);
+    case kScalarMaskedA: return handle_scalar_masked_a(sim, msg);
+    case kScalarReply: return handle_scalar_reply(sim, msg);
+    case kScalarResult: return handle_scalar_result(sim, msg);
+    case kCmpResult: return handle_cmp_result(sim, msg);
+    case kRankResult: return handle_rank_result(sim, msg);
+    case kIntegrityPass: return handle_integrity_pass(sim, msg);
+    case kAuditQuery: return handle_audit_query(sim, msg);
+    case kAggregateQuery: return handle_aggregate_query(sim, msg);
+    case kAggregateExec: return handle_aggregate_exec(sim, msg);
+    case kAggregateValue: return handle_aggregate_value(sim, msg);
+    case kDkgStart: return handle_dkg_start(sim, msg);
+    case kDkgCommit: return handle_dkg_commit(sim, msg);
+    case kDkgShare: return handle_dkg_share(sim, msg);
+    case kSignRequest: return handle_sign_request(sim, msg);
+    case kSignNonce: return handle_sign_nonce(sim, msg);
+    case kSignChallenge: return handle_sign_challenge(sim, msg);
+    case kSignShare: return handle_sign_share(sim, msg);
+    case kSubqueryExec: return handle_subquery_exec(sim, msg);
+    case kJoinExec: return handle_join_exec(sim, msg);
+    case kCombineExec: return handle_combine_exec(sim, msg);
+    case kCombineReady: return handle_combine_ready(sim, msg);
+    case kSubqueryDone: return handle_subquery_done(sim, msg);
+    case kCmpBatchResult: return handle_cmp_batch_result(sim, msg);
+    case kSubqueryFetch: return handle_subquery_fetch(sim, msg);
+    case kSubqueryData: return handle_subquery_data(sim, msg);
+    default:
+      break;  // unknown types are dropped (forward compatibility)
+  }
+}
+
+void DlaNode::enable_periodic_audit(net::Simulator& sim,
+                                    net::SimTime interval) {
+  periodic_interval_ = interval;
+  periodic_timer_ = sim.set_timer(id(), interval);
+}
+
+void DlaNode::start_heartbeats(net::Simulator& sim) {
+  if (cfg_->heartbeat_interval == 0) return;
+  heartbeats_on_ = true;
+  // Mark every peer fresh so nobody starts out suspected.
+  for (std::size_t i = 0; i < cfg_->cluster_size(); ++i) {
+    last_heartbeat_[i] = sim.now();
+  }
+  heartbeat_timer_ = sim.set_timer(id(), cfg_->heartbeat_interval);
+}
+
+bool DlaNode::suspects(std::size_t peer_index, net::SimTime now) const {
+  if (!heartbeats_on_ || peer_index == index_) return false;
+  auto it = last_heartbeat_.find(peer_index);
+  if (it == last_heartbeat_.end()) return false;
+  return now - it->second > 3 * cfg_->heartbeat_interval;
+}
+
+void DlaNode::on_timer(net::Simulator& sim, std::uint64_t timer_id) {
+  if (timer_id == heartbeat_timer_ && heartbeats_on_) {
+    for (std::size_t i = 0; i < cfg_->cluster_size(); ++i) {
+      if (i == index_) continue;
+      net::Writer w;
+      w.u32(static_cast<std::uint32_t>(index_));
+      send_payload(sim, id(), cfg_->dla_nodes[i], kHeartbeat, std::move(w));
+    }
+    heartbeat_timer_ = sim.set_timer(id(), cfg_->heartbeat_interval);
+    return;
+  }
+  if (timer_id == periodic_timer_ && periodic_interval_ != 0) {
+    // Audit the next stored glsn in rotation, then re-arm.
+    auto glsns = store_.glsns();
+    if (!glsns.empty()) {
+      auto it = std::upper_bound(glsns.begin(), glsns.end(), periodic_cursor_);
+      logm::Glsn target = it == glsns.end() ? glsns.front() : *it;
+      periodic_cursor_ = target;
+      start_integrity_check(sim, fresh_session(), target);
+    }
+    periodic_timer_ = sim.set_timer(id(), periodic_interval_);
+    return;
+  }
+  if (auto qt = timer_to_qid_.find(timer_id); qt != timer_to_qid_.end()) {
+    std::uint64_t qid = qt->second;
+    timer_to_qid_.erase(qt);
+    auto query = queries_.find(qid);
+    if (query != queries_.end()) {
+      fail_query(sim, query->second, "query timed out");
+    }
+    return;
+  }
+  auto it = timer_to_gid_.find(timer_id);
+  if (it == timer_to_gid_.end()) return;
+  std::uint64_t gid = it->second;
+  timer_to_gid_.erase(it);
+  auto pending = pending_glsn_.find(gid);
+  if (pending == pending_glsn_.end() || pending->second.done) return;
+  // Leader unresponsive: retry against the next cluster member.
+  pending->second.leader_attempt =
+      (pending->second.leader_attempt + 1) % cfg_->cluster_size();
+  net::NodeId leader = cfg_->dla_nodes[pending->second.leader_attempt];
+  net::Writer w;
+  w.u64(gid);
+  w.u32(pending->second.user);
+  w.u32(id());
+  send_payload(sim, id(), leader, kGlsnForward, std::move(w));
+  pending->second.timer = sim.set_timer(id(), kGlsnTimeout);
+  timer_to_gid_[pending->second.timer] = gid;
+}
+
+// ==================================================== glsn sequencing ======
+
+void DlaNode::handle_glsn_request(net::Simulator& sim,
+                                  const net::Message& msg) {
+  net::Reader r(msg.payload);
+  std::uint64_t reqid = r.u64();
+  Ticket ticket = Ticket::decode(r);
+  if (!tickets_->authorizes(ticket, logm::Op::Write, sim.now())) {
+    net::Writer w;
+    w.u64(reqid);
+    w.u64(0);  // glsn 0 = refused
+    w.u32(msg.src);
+    send_payload(sim, id(), msg.src, kGlsnReply, std::move(w));
+    return;
+  }
+  std::uint64_t gid = (static_cast<std::uint64_t>(id()) << 40) | next_gid_++;
+  PendingGlsn pending;
+  pending.user = msg.src;
+  pending.user_reqid = reqid;
+  pending.leader_attempt = 0;
+  pending_glsn_[gid] = pending;
+  net::Writer w;
+  w.u64(gid);
+  w.u32(msg.src);
+  w.u32(id());
+  send_payload(sim, id(), cfg_->dla_nodes[0], kGlsnForward, std::move(w));
+  auto timer = sim.set_timer(id(), kGlsnTimeout);
+  pending_glsn_[gid].timer = timer;
+  timer_to_gid_[timer] = gid;
+}
+
+void DlaNode::handle_glsn_forward(net::Simulator& sim,
+                                  const net::Message& msg) {
+  net::Reader r(msg.payload);
+  std::uint64_t reqid = r.u64();
+  r.u32();  // user id (carried for diagnostics; reply goes via gateway)
+  net::NodeId gateway = r.u32();
+
+  // Act as leader: propose counter+1 to every replica.
+  logm::Glsn proposal = std::max(glsn_counter_, last_promised_) + 1;
+  std::uint64_t proposal_id =
+      (static_cast<std::uint64_t>(id()) << 40) | next_proposal_id_++;
+  GlsnRound round;
+  round.proposal = proposal;
+  round.reply_to = gateway;
+  round.reqid = reqid;
+  glsn_rounds_[proposal_id] = round;
+  for (net::NodeId replica : cfg_->dla_nodes) {
+    net::Writer w;
+    w.u64(proposal_id);
+    w.u64(proposal);
+    send_payload(sim, id(), replica, kGlsnPropose, std::move(w));
+  }
+}
+
+void DlaNode::handle_glsn_propose(net::Simulator& sim,
+                                  const net::Message& msg) {
+  net::Reader r(msg.payload);
+  std::uint64_t proposal_id = r.u64();
+  logm::Glsn glsn = r.u64();
+  bool accept = glsn > last_promised_;
+  if (accept) last_promised_ = glsn;
+  net::Writer w;
+  w.u64(proposal_id);
+  w.boolean(accept);
+  w.u64(last_promised_);
+  send_payload(sim, id(), msg.src, kGlsnVote, std::move(w));
+}
+
+void DlaNode::handle_glsn_vote(net::Simulator& sim, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  std::uint64_t proposal_id = r.u64();
+  bool accept = r.boolean();
+  logm::Glsn hint = r.u64();
+  auto it = glsn_rounds_.find(proposal_id);
+  if (it == glsn_rounds_.end() || it->second.done) return;
+  GlsnRound& round = it->second;
+  if (accept) {
+    ++round.accepts;
+  } else {
+    ++round.rejects;
+    round.highest_hint = std::max(round.highest_hint, hint);
+  }
+  if (round.accepts >= cfg_->majority()) {
+    round.done = true;
+    glsn_counter_ = std::max(glsn_counter_, round.proposal);
+    for (net::NodeId replica : cfg_->dla_nodes) {
+      net::Writer w;
+      w.u64(round.proposal);
+      send_payload(sim, id(), replica, kGlsnCommit, std::move(w));
+    }
+    net::Writer w;
+    w.u64(round.reqid);
+    w.u64(round.proposal);
+    w.u32(0);
+    send_payload(sim, id(), round.reply_to, kGlsnReply, std::move(w));
+  } else if (round.rejects >= cfg_->majority()) {
+    // Contention: retry with a proposal above every hint we saw.
+    logm::Glsn retry = std::max(round.highest_hint, round.proposal) + 1;
+    net::NodeId reply_to = round.reply_to;
+    std::uint64_t reqid = round.reqid;
+    glsn_rounds_.erase(it);
+    std::uint64_t new_id =
+        (static_cast<std::uint64_t>(id()) << 40) | next_proposal_id_++;
+    GlsnRound fresh;
+    fresh.proposal = retry;
+    fresh.reply_to = reply_to;
+    fresh.reqid = reqid;
+    glsn_rounds_[new_id] = fresh;
+    for (net::NodeId replica : cfg_->dla_nodes) {
+      net::Writer w;
+      w.u64(new_id);
+      w.u64(retry);
+      send_payload(sim, id(), replica, kGlsnPropose, std::move(w));
+    }
+  }
+}
+
+void DlaNode::handle_glsn_commit(net::Simulator&, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  logm::Glsn glsn = r.u64();
+  glsn_counter_ = std::max(glsn_counter_, glsn);
+}
+
+void DlaNode::handle_glsn_reply(net::Simulator& sim, const net::Message& msg) {
+  // Gateway leg: relay the assigned glsn to the waiting user, translating
+  // the gateway-local id back into the user's own request id.
+  net::Reader r(msg.payload);
+  std::uint64_t gid = r.u64();
+  logm::Glsn glsn = r.u64();
+  auto it = pending_glsn_.find(gid);
+  if (it == pending_glsn_.end() || it->second.done) return;
+  it->second.done = true;
+  sim.cancel_timer(it->second.timer);
+  timer_to_gid_.erase(it->second.timer);
+  net::Writer w;
+  w.u64(it->second.user_reqid);
+  w.u64(glsn);
+  w.u32(0);
+  send_payload(sim, id(), it->second.user, kGlsnReply, std::move(w));
+  pending_glsn_.erase(it);
+}
+
+// ===================================================== logging path ========
+
+void DlaNode::handle_log_fragment(net::Simulator& sim,
+                                  const net::Message& msg) {
+  net::Reader r(msg.payload);
+  Ticket ticket = Ticket::decode(r);
+  bool is_replica = r.boolean();
+  logm::Fragment fragment = logm::Fragment::decode(r);
+  bool ok = tickets_->authorizes(ticket, logm::Op::Write, sim.now());
+  logm::Glsn glsn = fragment.glsn;
+  if (ok) {
+    (is_replica ? replica_store_ : store_).put(std::move(fragment));
+    acl_.grant(ticket.id, ticket.ops);
+    acl_.authorize(ticket.id, glsn);
+  }
+  net::Writer w;
+  w.u64(glsn);
+  w.boolean(ok);
+  send_payload(sim, id(), msg.src, kLogAck, std::move(w));
+}
+
+void DlaNode::handle_accum_deposit(net::Simulator&, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  logm::Glsn glsn = r.u64();
+  deposits_[glsn] = r.big();
+}
+
+void DlaNode::handle_fragment_request(net::Simulator& sim,
+                                      const net::Message& msg) {
+  net::Reader r(msg.payload);
+  std::uint64_t reqid = r.u64();
+  Ticket ticket = Ticket::decode(r);
+  logm::Glsn glsn = r.u64();
+  bool ok = tickets_->authorizes(ticket, logm::Op::Read, sim.now()) &&
+            (ticket.auditor || acl_.allowed(ticket.id, logm::Op::Read, glsn));
+  const logm::Fragment* frag = ok ? store_.get(glsn) : nullptr;
+  net::Writer w;
+  w.u64(reqid);
+  w.u64(glsn);
+  w.boolean(frag != nullptr);
+  if (frag != nullptr) frag->encode(w);
+  send_payload(sim, id(), msg.src, kFragmentReply, std::move(w));
+}
+
+void DlaNode::handle_fragment_delete(net::Simulator& sim,
+                                     const net::Message& msg) {
+  net::Reader r(msg.payload);
+  std::uint64_t reqid = r.u64();
+  Ticket ticket = Ticket::decode(r);
+  logm::Glsn glsn = r.u64();
+  bool ok = tickets_->authorizes(ticket, logm::Op::Delete, sim.now()) &&
+            acl_.allowed(ticket.id, logm::Op::Delete, glsn);
+  if (ok) {
+    ok = store_.erase(glsn);
+    replica_store_.erase(glsn);
+    acl_.revoke(ticket.id, glsn);
+    deposits_.erase(glsn);
+  }
+  net::Writer w;
+  w.u64(reqid);
+  w.u64(glsn);
+  w.boolean(ok);
+  send_payload(sim, id(), msg.src, kDeleteReply, std::move(w));
+}
+
+// ================================================== secure set ring ========
+
+crypto::PhKey& DlaNode::session_key(SessionId session) {
+  auto it = session_keys_.find(session);
+  if (it == session_keys_.end()) {
+    it = session_keys_
+             .emplace(session, crypto::PhKey::generate(cfg_->ph_domain, rng_))
+             .first;
+  }
+  return it->second;
+}
+
+void DlaNode::stage_set_input(SessionId session,
+                              std::vector<bn::BigUInt> elements) {
+  sort_unique(elements);
+  set_inputs_[session] = std::move(elements);
+}
+
+void DlaNode::start_set_protocol(net::Simulator& sim, const SetSpec& spec) {
+  net::Writer w;
+  spec.encode(w);
+  for (net::NodeId p : spec.participants) {
+    net::Writer copy;
+    spec.encode(copy);
+    send_payload(sim, id(), p, kSetStart, std::move(copy));
+  }
+}
+
+void DlaNode::handle_set_start(net::Simulator& sim, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SetSpec spec = SetSpec::decode(r);
+  // Source this node's input per the session purpose.
+  std::vector<bn::BigUInt> elements;
+  if (spec.purpose == SetPurpose::AclEntries) {
+    for (const auto& entry : acl_.canonical_entries()) {
+      elements.push_back(crypto::encode_element(cfg_->ph_domain, entry));
+    }
+    sort_unique(elements);
+  } else {
+    auto it = set_inputs_.find(spec.session);
+    if (it != set_inputs_.end()) {
+      elements = it->second;
+    }
+    // Missing staged input contributes the empty set (drains intersections,
+    // neutral for unions) rather than stalling the ring.
+  }
+  std::size_t my_pos = 0;
+  for (std::size_t i = 0; i < spec.participants.size(); ++i) {
+    if (spec.participants[i] == id()) my_pos = i;
+  }
+  ring_encrypt_and_forward(sim, spec, static_cast<std::uint32_t>(my_pos), 0,
+                           std::move(elements));
+}
+
+void DlaNode::ring_encrypt_and_forward(net::Simulator& sim,
+                                       const SetSpec& spec,
+                                       std::uint32_t origin,
+                                       std::uint32_t hops,
+                                       std::vector<bn::BigUInt> elements) {
+  crypto::PhKey& key = session_key(spec.session);
+  for (auto& e : elements) e = key.encrypt(e);
+  ++hops;
+  std::size_t my_pos = 0;
+  for (std::size_t i = 0; i < spec.participants.size(); ++i) {
+    if (spec.participants[i] == id()) my_pos = i;
+  }
+  if (hops == spec.participants.size()) {
+    net::Writer w;
+    spec.encode(w);
+    w.u32(origin);
+    encode_elements(w, elements);
+    send_payload(sim, id(), spec.collector, kSetFull, std::move(w));
+    return;
+  }
+  net::NodeId next = spec.participants[(my_pos + 1) % spec.participants.size()];
+  net::Writer w;
+  spec.encode(w);
+  w.u32(origin);
+  w.u32(hops);
+  encode_elements(w, elements);
+  send_payload(sim, id(), next, kSetRing, std::move(w));
+}
+
+void DlaNode::handle_set_ring(net::Simulator& sim, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SetSpec spec = SetSpec::decode(r);
+  std::uint32_t origin = r.u32();
+  std::uint32_t hops = r.u32();
+  std::vector<bn::BigUInt> elements = decode_elements(r);
+  ring_encrypt_and_forward(sim, spec, origin, hops, std::move(elements));
+}
+
+void DlaNode::handle_set_full(net::Simulator& sim, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SetSpec spec = SetSpec::decode(r);
+  std::uint32_t origin = r.u32();
+  std::vector<bn::BigUInt> elements = decode_elements(r);
+  SetCollect& collect = set_collect_[spec.session];
+  collect.full_sets[origin] = std::move(elements);
+  if (collect.full_sets.size() < spec.participants.size()) return;
+
+  // All fully-encrypted sets present: combine under the chosen operation.
+  std::vector<bn::BigUInt> combined;
+  bool first = true;
+  for (auto& [idx, set] : collect.full_sets) {
+    sort_unique(set);
+    if (first) {
+      combined = set;
+      first = false;
+      continue;
+    }
+    std::vector<bn::BigUInt> merged;
+    if (spec.op == SetOp::Intersect) {
+      std::set_intersection(combined.begin(), combined.end(), set.begin(),
+                            set.end(), std::back_inserter(merged));
+    } else {
+      std::set_union(combined.begin(), combined.end(), set.begin(), set.end(),
+                     std::back_inserter(merged));
+    }
+    combined = std::move(merged);
+  }
+  set_collect_.erase(spec.session);
+
+  if (combined.empty()) {
+    // Nothing to decrypt; deliver the empty result directly.
+    for (net::NodeId obs : spec.observers) {
+      net::Writer w;
+      w.u64(spec.session);
+      encode_elements(w, combined);
+      send_payload(sim, id(), obs, kSetResult, std::move(w));
+    }
+    return;
+  }
+  // Route the combined ciphertexts through every participant to strip the
+  // commutative encryptions (order irrelevant).
+  net::Writer w;
+  spec.encode(w);
+  w.u32(0);  // hops
+  encode_elements(w, combined);
+  send_payload(sim, id(), spec.participants[0], kSetDecrypt, std::move(w));
+}
+
+void DlaNode::handle_set_decrypt(net::Simulator& sim,
+                                 const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SetSpec spec = SetSpec::decode(r);
+  std::uint32_t hops = r.u32();
+  std::vector<bn::BigUInt> elements = decode_elements(r);
+  crypto::PhKey& key = session_key(spec.session);
+  for (auto& e : elements) e = key.decrypt(e);
+  session_keys_.erase(spec.session);  // this session's key is spent
+  set_inputs_.erase(spec.session);
+  ++hops;
+  if (hops == spec.participants.size()) {
+    for (net::NodeId obs : spec.observers) {
+      net::Writer w;
+      w.u64(spec.session);
+      encode_elements(w, elements);
+      send_payload(sim, id(), obs, kSetResult, std::move(w));
+    }
+    return;
+  }
+  net::Writer w;
+  spec.encode(w);
+  w.u32(hops);
+  encode_elements(w, elements);
+  send_payload(sim, id(), spec.participants[hops], kSetDecrypt, std::move(w));
+}
+
+void DlaNode::handle_set_result(net::Simulator& sim, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId session = r.u64();
+  std::vector<bn::BigUInt> elements = decode_elements(r);
+
+  // Internal consumers first: ACL audit and query combines.
+  if (auto acl_it = acl_sessions_.find(session); acl_it != acl_sessions_.end()) {
+    acl_sessions_.erase(acl_it);
+    std::vector<bn::BigUInt> own;
+    for (const auto& entry : acl_.canonical_entries()) {
+      own.push_back(crypto::encode_element(cfg_->ph_domain, entry));
+    }
+    sort_unique(own);
+    sort_unique(elements);
+    bool consistent = own == elements;
+    if (on_acl_check) on_acl_check(session, consistent);
+    return;
+  }
+  if (auto pc = pending_combines_.find(session); pc != pending_combines_.end()) {
+    // This node is the gateway of a query whose combine step just finished.
+    PendingCombine combine = pc->second;
+    pending_combines_.erase(pc);
+    std::vector<logm::Glsn> glsns;
+    glsns.reserve(elements.size());
+    for (const auto& e : elements) glsns.push_back(decode_glsn_element(e));
+    sort_unique(glsns);
+    if (combine.is_final) {
+      auto qit = queries_.find(combine.qid);
+      if (qit != queries_.end()) finish_query(sim, qit->second, std::move(glsns));
+      return;
+    }
+    result_sets_[session] = std::move(glsns);
+    task_completed(sim, combine.qid);
+    return;
+  }
+  if (on_set_result) on_set_result(session, std::move(elements));
+}
+
+void DlaNode::start_acl_consistency_check(net::Simulator& sim,
+                                          SessionId session) {
+  acl_sessions_[session] = true;
+  SetSpec spec;
+  spec.session = session;
+  spec.op = SetOp::Intersect;
+  spec.purpose = SetPurpose::AclEntries;
+  spec.participants = cfg_->dla_nodes;
+  spec.collector = id();
+  spec.observers = {id()};
+  start_set_protocol(sim, spec);
+}
+
+// ====================================================== secure sum =========
+
+void DlaNode::stage_sum_input(SessionId session, bn::BigUInt value) {
+  sum_inputs_[session] = std::move(value);
+}
+
+void DlaNode::start_sum(net::Simulator& sim, const SumSpec& spec) {
+  if (spec.threshold_k == 0 || spec.threshold_k > spec.participants.size())
+    throw std::invalid_argument("start_sum: bad threshold");
+  if (!spec.weights.empty() &&
+      spec.weights.size() != spec.participants.size())
+    throw std::invalid_argument("start_sum: weight count mismatch");
+  for (net::NodeId p : spec.participants) {
+    net::Writer w;
+    spec.encode(w);
+    send_payload(sim, id(), p, kSumStart, std::move(w));
+  }
+}
+
+void DlaNode::handle_sum_start(net::Simulator& sim, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SumSpec spec = SumSpec::decode(r);
+  SumState& state = sum_state_[spec.session];
+  state.spec = spec;
+
+  bn::BigUInt secret;
+  if (auto it = sum_inputs_.find(spec.session); it != sum_inputs_.end()) {
+    secret = it->second;  // absent input contributes zero
+  }
+  crypto::ShamirField field(cfg_->shamir_prime);
+  std::vector<bn::BigUInt> xs;
+  xs.reserve(spec.participants.size());
+  for (std::size_t j = 0; j < spec.participants.size(); ++j) {
+    xs.emplace_back(static_cast<std::uint64_t>(j + 1));
+  }
+  std::size_t my_index = 0;
+  for (std::size_t i = 0; i < spec.participants.size(); ++i) {
+    if (spec.participants[i] == id()) my_index = i;
+  }
+  auto shares = field.split(secret % cfg_->shamir_prime, spec.threshold_k, xs,
+                            rng_);
+  for (std::size_t j = 0; j < spec.participants.size(); ++j) {
+    net::Writer w;
+    w.u64(spec.session);
+    w.u32(static_cast<std::uint32_t>(my_index));
+    w.big(shares[j].y);
+    send_payload(sim, id(), spec.participants[j], kSumShare, std::move(w));
+  }
+  maybe_emit_sum_eval(sim, spec.session);
+}
+
+void DlaNode::handle_sum_share(net::Simulator& sim, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId session = r.u64();
+  std::uint32_t from = r.u32();
+  bn::BigUInt y = r.big();
+  SumState& state = sum_state_[session];
+  state.shares_received[from] = std::move(y);
+  maybe_emit_sum_eval(sim, session);
+}
+
+void DlaNode::maybe_emit_sum_eval(net::Simulator& sim, SessionId session) {
+  SumState& state = sum_state_[session];
+  // Shares can outrun the kSumStart carrying the spec under asymmetric
+  // latencies; both arrival paths funnel through this check.
+  if (state.spec.participants.empty() ||
+      state.shares_received.size() < state.spec.participants.size() ||
+      state.evaluated) {
+    return;
+  }
+  state.evaluated = true;
+  // F(x_me) = sum_i alpha_i * s_i,me  (alpha_i = 1 when unweighted).
+  crypto::ShamirField field(cfg_->shamir_prime);
+  bn::BigUInt f;
+  for (const auto& [from_index, share] : state.shares_received) {
+    bn::BigUInt term = share;
+    if (!state.spec.weights.empty()) {
+      term = field.mul(state.spec.weights[from_index], term);
+    }
+    f = field.add(f, term);
+  }
+  std::size_t my_index = 0;
+  for (std::size_t i = 0; i < state.spec.participants.size(); ++i) {
+    if (state.spec.participants[i] == id()) my_index = i;
+  }
+  net::Writer w;
+  state.spec.encode(w);
+  w.big(bn::BigUInt(static_cast<std::uint64_t>(my_index + 1)));
+  w.big(f);
+  send_payload(sim, id(), state.spec.collector, kSumEval, std::move(w));
+}
+
+void DlaNode::handle_sum_eval(net::Simulator& sim, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SumSpec spec = SumSpec::decode(r);
+  bn::BigUInt x = r.big();
+  bn::BigUInt y = r.big();
+  SumState& state = sum_state_[spec.session];
+  if (state.reconstructed) return;
+  if (state.spec.participants.empty()) state.spec = spec;
+  state.evals.push_back(crypto::Share{std::move(x), std::move(y)});
+  if (state.evals.size() < spec.threshold_k) return;
+  state.reconstructed = true;
+  crypto::ShamirField field(cfg_->shamir_prime);
+  bn::BigUInt total = field.reconstruct(state.evals);
+  for (net::NodeId obs : spec.observers) {
+    net::Writer w;
+    w.u64(spec.session);
+    w.big(total);
+    send_payload(sim, id(), obs, kSumResult, std::move(w));
+  }
+}
+
+void DlaNode::handle_sum_result(net::Simulator&, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId session = r.u64();
+  bn::BigUInt value = r.big();
+  sum_state_.erase(session);
+  sum_inputs_.erase(session);
+  if (on_sum_result) on_sum_result(session, std::move(value));
+}
+
+// ============================================ blind-TTP comparisons ========
+
+void DlaNode::stage_cmp_input(SessionId session, bn::BigUInt value) {
+  cmp_inputs_[session] = std::move(value);
+}
+
+void DlaNode::start_cmp(net::Simulator& sim, CmpSpec spec) {
+  const bn::BigUInt& p = cfg_->shamir_prime;
+  if (spec.op == CmpOpKind::Equality) {
+    // Full hiding: random affine map taken mod p destroys order.
+    spec.a = bn::BigUInt::random_below(rng_, p - bn::BigUInt(1)) + bn::BigUInt(1);
+    spec.b = bn::BigUInt::random_below(rng_, p);
+  } else {
+    // Order-preserving: small coefficients so a*Y + b never wraps. Order is
+    // the secondary information the relaxed model concedes to the TTP.
+    spec.a = bn::BigUInt(rng_.next_below((1u << 20) - 1) + 1);
+    spec.b = bn::BigUInt(rng_.next_below(1ull << 32));
+  }
+  for (net::NodeId participant : spec.participants) {
+    net::Writer w;
+    spec.encode(w, /*include_transform=*/true);
+    send_payload(sim, id(), participant, kCmpParams, std::move(w));
+  }
+  net::Writer w;
+  spec.encode(w, /*include_transform=*/false);
+  send_payload(sim, id(), spec.ttp, kCmpSpec, std::move(w));
+}
+
+void DlaNode::handle_cmp_params(net::Simulator& sim, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  CmpSpec spec = CmpSpec::decode(r, /*include_transform=*/true);
+  send_transformed_value(sim, spec);
+}
+
+void DlaNode::send_transformed_value(net::Simulator& sim,
+                                     const CmpSpec& spec) {
+  bn::BigUInt y;
+  if (auto it = cmp_inputs_.find(spec.session); it != cmp_inputs_.end()) {
+    y = it->second;
+  }
+  bn::BigUInt w_value;
+  if (spec.op == CmpOpKind::Equality) {
+    const bn::BigUInt& p = cfg_->shamir_prime;
+    w_value = (bn::BigUInt::mulmod(spec.a, y % p, p) + spec.b) % p;
+  } else {
+    w_value = spec.a * y + spec.b;  // no wrap: order preserved
+  }
+  std::size_t my_index = 0;
+  for (std::size_t i = 0; i < spec.participants.size(); ++i) {
+    if (spec.participants[i] == id()) my_index = i;
+  }
+  net::Writer w;
+  w.u64(spec.session);
+  w.u32(static_cast<std::uint32_t>(my_index));
+  w.big(w_value);
+  send_payload(sim, id(), spec.ttp, kCmpValue, std::move(w));
+  cmp_inputs_.erase(spec.session);
+}
+
+void DlaNode::handle_cmp_result(net::Simulator&, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId session = r.u64();
+  auto op = static_cast<CmpOpKind>(r.u8());
+  std::uint32_t outcome = r.u32();
+  if (on_cmp_result) on_cmp_result(session, op, outcome);
+}
+
+void DlaNode::handle_rank_result(net::Simulator&, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId session = r.u64();
+  std::uint32_t rank = r.u32();
+  if (on_rank) on_rank(session, rank);
+}
+
+// ============================================= secure scalar product =======
+// Du-Atallah with the blind TTP as commodity server. The server hands
+// Alice (Ra, ra) and Bob (Rb, rb) with ra + rb = Ra.Rb; then
+//   Alice -> Bob:  A^ = A + Ra
+//   Bob   -> Alice: t = A^.B + rb   and   B^ = B + Rb
+//   Alice:         A.B = t - Ra.B^ + ra
+// Every value the parties or the server see is masked by fresh randomness.
+
+void DlaNode::stage_vector_input(SessionId session,
+                                 std::vector<bn::BigUInt> v) {
+  vector_inputs_[session] = std::move(v);
+}
+
+void DlaNode::start_scalar_product(net::Simulator& sim, SessionId session,
+                                   net::NodeId alice, net::NodeId bob,
+                                   std::uint32_t length,
+                                   std::vector<net::NodeId> observers) {
+  net::Writer w;
+  w.u64(session);
+  w.u32(alice);
+  w.u32(bob);
+  w.u32(length);
+  encode_node_ids(w, observers);
+  send_payload(sim, id(), cfg_->ttp, kScalarInit, std::move(w));
+}
+
+void DlaNode::handle_scalar_randomness(net::Simulator& sim,
+                                       const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId session = r.u64();
+  bool is_alice = r.boolean();
+  net::NodeId peer = r.u32();
+  std::vector<net::NodeId> observers = decode_node_ids(r);
+  std::vector<bn::BigUInt> r_vec = decode_elements(r);
+  bn::BigUInt r_scalar = r.big();
+
+  ScalarState& st = scalar_state_[session];
+  st.is_alice = is_alice;
+  st.peer = peer;
+  st.observers = std::move(observers);
+  st.r_vec = std::move(r_vec);
+  st.r_scalar = std::move(r_scalar);
+  st.have_randomness = true;
+  if (is_alice) {
+    scalar_send_masked_a(sim, session);
+  } else if (!st.pending_masked_a.empty()) {
+    scalar_bob_reply(sim, session);
+  }
+}
+
+void DlaNode::scalar_send_masked_a(net::Simulator& sim, SessionId session) {
+  ScalarState& st = scalar_state_[session];
+  crypto::ShamirField field(cfg_->shamir_prime);
+  auto input = vector_inputs_.find(session);
+  std::vector<bn::BigUInt> masked(st.r_vec.size());
+  for (std::size_t i = 0; i < st.r_vec.size(); ++i) {
+    bn::BigUInt a = input != vector_inputs_.end() && i < input->second.size()
+                        ? input->second[i]
+                        : bn::BigUInt{};
+    masked[i] = field.add(a, st.r_vec[i]);
+  }
+  net::Writer w;
+  w.u64(session);
+  encode_elements(w, masked);
+  send_payload(sim, id(), st.peer, kScalarMaskedA, std::move(w));
+}
+
+void DlaNode::handle_scalar_masked_a(net::Simulator& sim,
+                                     const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId session = r.u64();
+  ScalarState& st = scalar_state_[session];
+  st.pending_masked_a = decode_elements(r);
+  if (st.have_randomness) scalar_bob_reply(sim, session);
+}
+
+void DlaNode::scalar_bob_reply(net::Simulator& sim, SessionId session) {
+  ScalarState& st = scalar_state_[session];
+  crypto::ShamirField field(cfg_->shamir_prime);
+  auto input = vector_inputs_.find(session);
+  // t = (A + Ra) . B + rb
+  bn::BigUInt t = st.r_scalar;
+  std::vector<bn::BigUInt> masked_b(st.r_vec.size());
+  for (std::size_t i = 0; i < st.r_vec.size(); ++i) {
+    bn::BigUInt b = input != vector_inputs_.end() && i < input->second.size()
+                        ? input->second[i]
+                        : bn::BigUInt{};
+    if (i < st.pending_masked_a.size()) {
+      t = field.add(t, field.mul(st.pending_masked_a[i], b));
+    }
+    masked_b[i] = field.add(b, st.r_vec[i]);
+  }
+  net::Writer w;
+  w.u64(session);
+  w.big(t);
+  encode_elements(w, masked_b);
+  send_payload(sim, id(), st.peer, kScalarReply, std::move(w));
+  scalar_state_.erase(session);
+  vector_inputs_.erase(session);
+}
+
+void DlaNode::handle_scalar_reply(net::Simulator& sim,
+                                  const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId session = r.u64();
+  bn::BigUInt t = r.big();
+  std::vector<bn::BigUInt> masked_b = decode_elements(r);
+  auto sit = scalar_state_.find(session);
+  if (sit == scalar_state_.end()) return;
+  ScalarState& st = sit->second;
+  crypto::ShamirField field(cfg_->shamir_prime);
+  // A.B = t - Ra.B^ + ra
+  bn::BigUInt ra_dot_bhat;
+  for (std::size_t i = 0; i < st.r_vec.size() && i < masked_b.size(); ++i) {
+    ra_dot_bhat = field.add(ra_dot_bhat, field.mul(st.r_vec[i], masked_b[i]));
+  }
+  bn::BigUInt result =
+      field.add(field.sub(t, ra_dot_bhat), st.r_scalar);
+  for (net::NodeId obs : st.observers) {
+    net::Writer w;
+    w.u64(session);
+    w.big(result);
+    send_payload(sim, id(), obs, kScalarResult, std::move(w));
+  }
+  scalar_state_.erase(sit);
+  vector_inputs_.erase(session);
+}
+
+void DlaNode::handle_scalar_result(net::Simulator&, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId session = r.u64();
+  bn::BigUInt value = r.big();
+  if (on_scalar_result) on_scalar_result(session, std::move(value));
+}
+
+// ================================================ integrity checking =======
+
+std::string DlaNode::fragment_canonical_or_missing(logm::Glsn glsn) const {
+  const logm::Fragment* frag = store_.get(glsn);
+  if (frag == nullptr) {
+    return "MISSING:" + std::to_string(glsn);
+  }
+  return frag->canonical();
+}
+
+void DlaNode::start_integrity_check(net::Simulator& sim, SessionId session,
+                                    logm::Glsn glsn) {
+  integrity_initiated_[session] = IntegritySession{glsn};
+  bn::BigUInt value = crypto::Accumulator::step_with(
+      *accum_mont_, cfg_->accum_params.x0,
+      fragment_canonical_or_missing(glsn));
+  net::Writer w;
+  w.u64(session);
+  w.u64(glsn);
+  w.u32(1);  // hops: own fragment folded
+  w.u32(static_cast<std::uint32_t>(index_));
+  w.big(value);
+  send_payload(sim, id(), cfg_->next_in_ring(index_), kIntegrityPass,
+               std::move(w));
+}
+
+void DlaNode::handle_integrity_pass(net::Simulator& sim,
+                                    const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId session = r.u64();
+  logm::Glsn glsn = r.u64();
+  std::uint32_t hops = r.u32();
+  std::uint32_t initiator = r.u32();
+  bn::BigUInt value = r.big();
+
+  if (hops == cfg_->cluster_size()) {
+    // Back at the initiator: compare against the user's deposit.
+    integrity_initiated_.erase(session);
+    auto dep = deposits_.find(glsn);
+    bool ok = dep != deposits_.end() && dep->second == value;
+    if (on_integrity_result) on_integrity_result(session, glsn, ok);
+    return;
+  }
+  value = crypto::Accumulator::step_with(*accum_mont_, value,
+                                         fragment_canonical_or_missing(glsn));
+  net::Writer w;
+  w.u64(session);
+  w.u64(glsn);
+  w.u32(hops + 1);
+  w.u32(initiator);
+  w.big(value);
+  send_payload(sim, id(), cfg_->next_in_ring(index_), kIntegrityPass,
+               std::move(w));
+}
+
+// ================================================= query pipeline ==========
+
+std::vector<logm::Glsn> DlaNode::eval_local(const Expr& expr) const {
+  return store_for(attributes_of(expr)).select([&](const logm::Fragment& frag) {
+    try {
+      return evaluate(expr, frag.attrs);
+    } catch (const std::out_of_range&) {
+      return false;  // sparse record: referenced attribute absent
+    }
+  });
+}
+
+const logm::FragmentStore& DlaNode::store_for(
+    const std::set<std::string>& attrs) const {
+  for (const auto& attr : attrs) {
+    if (cfg_->partition.node_for(attr) != index_) return replica_store_;
+  }
+  return store_;
+}
+
+std::size_t DlaNode::owner_for(const std::string& attr,
+                               net::SimTime now) const {
+  std::size_t primary = cfg_->partition.node_for(attr);
+  if (cfg_->replication >= 2 && suspects(primary, now)) {
+    // Route to the successor replica while the primary is suspected.
+    return (primary + 1) % cfg_->cluster_size();
+  }
+  return primary;
+}
+
+std::uint64_t DlaNode::plan_expr(const Expr& expr, std::vector<Task>& tasks,
+                                 std::uint64_t qid, net::SimTime now) {
+  auto owners_of = [&](const Expr& e) {
+    std::set<std::size_t> nodes;
+    for (const auto& attr : attributes_of(e)) {
+      nodes.insert(owner_for(attr, now));
+    }
+    return nodes;
+  };
+  std::uint64_t rid = (qid << 16) | (tasks.size() + 1);
+
+  std::set<std::size_t> nodes = owners_of(expr);
+  if (nodes.size() <= 1) {
+    Task t;
+    t.kind = Task::Kind::Local;
+    t.rid = rid;
+    t.expr_text = to_text(expr);
+    t.owners = {nodes.empty() ? index_ : *nodes.begin()};
+    tasks.push_back(std::move(t));
+    return rid;
+  }
+  if (expr.kind == Expr::Kind::Pred) {
+    // Cross-node attribute-vs-attribute predicate -> blind-TTP join.
+    Task t;
+    t.kind = Task::Kind::Join;
+    t.rid = rid;
+    t.join_pred = expr.pred;
+    t.owners = {owner_for(expr.pred.lhs, now),
+                owner_for(expr.pred.rhs_attr, now)};
+    tasks.push_back(std::move(t));
+    return rid;
+  }
+  // AND / OR spanning nodes: plan children, then a combine task.
+  std::vector<std::uint64_t> child_rids;
+  for (const auto& child : expr.children) {
+    child_rids.push_back(plan_expr(child, tasks, qid, now));
+  }
+  Task t;
+  t.kind = Task::Kind::Combine;
+  t.rid = (qid << 16) | (tasks.size() + 1);
+  t.combine_and = expr.kind == Expr::Kind::And;
+  t.child_rids = std::move(child_rids);
+  tasks.push_back(std::move(t));
+  return tasks.back().rid;
+}
+
+void DlaNode::handle_audit_query(net::Simulator& sim,
+                                 const net::Message& msg) {
+  net::Reader r(msg.payload);
+  const std::uint64_t user_reqid = r.u64();
+  Ticket ticket = Ticket::decode(r);
+  std::string criterion = r.str();
+
+  auto reply_error = [&](const std::string& error) {
+    net::Writer w;
+    w.u64(user_reqid);
+    w.boolean(false);
+    w.str(error);
+    w.vec(std::vector<logm::Glsn>{},
+          [](net::Writer& out, logm::Glsn g) { out.u64(g); });
+    w.boolean(false);  // no certificate
+    send_payload(sim, id(), msg.src, kAuditResult, std::move(w));
+  };
+
+  if (!tickets_->authorizes(ticket, logm::Op::Read, sim.now())) {
+    reply_error("ticket rejected");
+    return;
+  }
+  QueryState qs;
+  qs.user_reqid = user_reqid;
+  qs.user = msg.src;
+  qs.ticket = ticket;
+  try {
+    start_query(sim, std::move(qs), criterion);
+  } catch (const ParseError& e) {
+    reply_error(std::string("parse error: ") + e.what());
+  }
+}
+
+void DlaNode::start_query(net::Simulator& sim, QueryState qs,
+                          const std::string& criterion) {
+  std::uint64_t qid = (static_cast<std::uint64_t>(id()) << 24) | next_qid_++;
+  qs.qid = qid;
+  Expr ast = parse(criterion, cfg_->schema);
+  Expr nf = push_negations(ast);
+  std::vector<Expr> conjuncts = to_conjunctive(nf);
+  // Planner optimisation: conjuncts whose attributes all live on the same
+  // node are merged into one local subquery — fewer protocol rounds, and
+  // it enables the secret-counting shortcut for compound local criteria.
+  {
+    std::map<std::size_t, std::vector<Expr>> by_owner;
+    std::vector<Expr> multi_node;
+    for (auto& conjunct : conjuncts) {
+      std::set<std::size_t> nodes;
+      for (const auto& attr : attributes_of(conjunct)) {
+        nodes.insert(owner_for(attr, sim.now()));
+      }
+      if (nodes.size() == 1) {
+        by_owner[*nodes.begin()].push_back(std::move(conjunct));
+      } else {
+        multi_node.push_back(std::move(conjunct));
+      }
+    }
+    conjuncts.clear();
+    for (auto& [owner, exprs] : by_owner) {
+      conjuncts.push_back(exprs.size() == 1
+                              ? std::move(exprs[0])
+                              : Expr::make_and(std::move(exprs)));
+    }
+    for (auto& e : multi_node) conjuncts.push_back(std::move(e));
+  }
+  std::vector<std::uint64_t> roots;
+  for (const auto& sq : conjuncts) {
+    roots.push_back(plan_expr(sq, qs.tasks, qid, sim.now()));
+  }
+  Task final;
+  final.kind = Task::Kind::FinalCombine;
+  final.rid = (qid << 16) | (qs.tasks.size() + 1);
+  final.combine_and = true;
+  final.child_rids = std::move(roots);
+  qs.tasks.push_back(std::move(final));
+  // Secret-counting shortcut ([7]): an auditor-scope COUNT over a single
+  // local subquery needs no glsn set at all — the owner reports only the
+  // count. (User-scope tickets still need the set for ACL filtering.)
+  if (qs.is_aggregate && qs.agg_op == AggOp::Count && qs.ticket.auditor &&
+      qs.tasks.size() == 2 && qs.tasks[0].kind == Task::Kind::Local) {
+    qs.tasks.pop_back();  // drop the FinalCombine
+    qs.tasks[0].count_only = true;
+  }
+  qs.timeout_timer = sim.set_timer(id(), kQueryTimeout);
+  timer_to_qid_[qs.timeout_timer] = qid;
+  // Record the static owner of every task result.
+  for (const auto& task : qs.tasks) {
+    switch (task.kind) {
+      case Task::Kind::Local:
+      case Task::Kind::Join:
+        // Join results land at the lhs owner.
+        qs.rid_owner[task.rid] = task.owners[0];
+        break;
+      case Task::Kind::Combine:
+      case Task::Kind::FinalCombine:
+        break;  // decided when the task runs
+    }
+  }
+  queries_[qid] = std::move(qs);
+  run_next_task(sim, queries_[qid]);
+}
+
+void DlaNode::handle_aggregate_query(net::Simulator& sim,
+                                     const net::Message& msg) {
+  net::Reader r(msg.payload);
+  const std::uint64_t user_reqid = r.u64();
+  Ticket ticket = Ticket::decode(r);
+  std::string criterion = r.str();
+  auto op = static_cast<AggOp>(r.u8());
+  std::string attr = r.str();
+
+  auto reply_error = [&](const std::string& error) {
+    net::Writer w;
+    w.u64(user_reqid);
+    w.boolean(false);
+    w.str(error);
+    w.f64(0.0);
+    w.u64(0);
+    send_payload(sim, id(), msg.src, kAggregateResult, std::move(w));
+  };
+  if (!tickets_->authorizes(ticket, logm::Op::Read, sim.now())) {
+    reply_error("ticket rejected");
+    return;
+  }
+  if (op != AggOp::Count) {
+    if (!cfg_->schema.contains(attr)) {
+      reply_error("unknown aggregate attribute '" + attr + "'");
+      return;
+    }
+    if (cfg_->schema.at(attr).type == logm::ValueType::Text) {
+      reply_error("aggregate attribute '" + attr + "' is not numeric");
+      return;
+    }
+  }
+  QueryState qs;
+  qs.user_reqid = user_reqid;
+  qs.user = msg.src;
+  qs.ticket = ticket;
+  qs.is_aggregate = true;
+  qs.agg_op = op;
+  qs.agg_attr = attr;
+  try {
+    start_query(sim, std::move(qs), criterion);
+  } catch (const ParseError& e) {
+    reply_error(std::string("parse error: ") + e.what());
+  }
+}
+
+void DlaNode::handle_aggregate_exec(net::Simulator& sim,
+                                    const net::Message& msg) {
+  // This node owns the aggregate attribute: fold it over the glsn set and
+  // return only the aggregate — raw values never leave this node.
+  net::Reader r(msg.payload);
+  std::uint64_t qid = r.u64();
+  auto op = static_cast<AggOp>(r.u8());
+  std::string attr = r.str();
+  auto glsns = r.vec<logm::Glsn>([](net::Reader& in) { return in.u64(); });
+
+  double acc = 0.0;
+  std::uint64_t present = 0;
+  bool first = true;
+  const logm::FragmentStore& source = store_for({attr});
+  for (logm::Glsn g : glsns) {
+    const logm::Fragment* frag = source.get(g);
+    if (frag == nullptr) continue;
+    auto it = frag->attrs.find(attr);
+    if (it == frag->attrs.end()) continue;
+    double v = it->second.as_real();
+    ++present;
+    switch (op) {
+      case AggOp::Sum:
+      case AggOp::Avg:
+        acc += v;
+        break;
+      case AggOp::Max:
+        acc = first ? v : std::max(acc, v);
+        break;
+      case AggOp::Min:
+        acc = first ? v : std::min(acc, v);
+        break;
+      case AggOp::Count:
+        break;
+    }
+    first = false;
+  }
+  if (op == AggOp::Avg && present > 0) acc /= static_cast<double>(present);
+  net::Writer w;
+  w.u64(qid);
+  w.boolean(present > 0 || op == AggOp::Sum);
+  w.f64(acc);
+  w.u64(present);
+  send_payload(sim, id(), msg.src, kAggregateValue, std::move(w));
+}
+
+void DlaNode::handle_aggregate_value(net::Simulator& sim,
+                                     const net::Message& msg) {
+  net::Reader r(msg.payload);
+  std::uint64_t qid = r.u64();
+  bool ok = r.boolean();
+  double value = r.f64();
+  std::uint64_t count = r.u64();
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) return;
+  QueryState& qs = it->second;
+  sim.cancel_timer(qs.timeout_timer);
+  timer_to_qid_.erase(qs.timeout_timer);
+  net::Writer w;
+  w.u64(qs.user_reqid);
+  w.boolean(ok);
+  w.str(ok ? "" : "no matching values for aggregate");
+  w.f64(value);
+  w.u64(count);
+  send_payload(sim, id(), qs.user, kAggregateResult, std::move(w));
+  queries_.erase(it);
+}
+
+void DlaNode::run_next_task(net::Simulator& sim, QueryState& qs) {
+  if (qs.next_task >= qs.tasks.size()) return;
+  Task& task = qs.tasks[qs.next_task];
+  switch (task.kind) {
+    case Task::Kind::Local: {
+      net::Writer w;
+      w.u64(qs.qid);
+      w.u64(task.rid);
+      w.str(task.expr_text);
+      w.boolean(task.count_only);
+      send_payload(sim, id(), cfg_->dla_nodes[task.owners[0]], kSubqueryExec,
+                   std::move(w));
+      return;
+    }
+    case Task::Kind::Join: {
+      // Shared transform for the batch (order-preserving for numerics,
+      // hash-equality for text); the TTP never sees a, b.
+      bool hash_mode =
+          cfg_->schema.at(task.join_pred.lhs).type == logm::ValueType::Text;
+      bn::BigUInt a(rng_.next_below((1u << 20) - 1) + 1);
+      bn::BigUInt b(rng_.next_below(1ull << 32));
+      if (hash_mode) {
+        const bn::BigUInt& p = cfg_->shamir_prime;
+        a = bn::BigUInt::random_below(rng_, p - bn::BigUInt(1)) + bn::BigUInt(1);
+        b = bn::BigUInt::random_below(rng_, p);
+      }
+      for (int side = 0; side < 2; ++side) {
+        net::Writer w;
+        w.u64(qs.qid);
+        w.u64(task.rid);
+        w.u8(static_cast<std::uint8_t>(side));
+        w.str(task.join_pred.lhs);
+        w.u8(static_cast<std::uint8_t>(task.join_pred.op));
+        w.str(task.join_pred.rhs_attr);
+        w.u8(hash_mode ? 1 : 0);
+        w.big(a);
+        w.big(b);
+        w.u32(cfg_->dla_nodes[task.owners[0]]);
+        send_payload(sim, id(), cfg_->dla_nodes[task.owners[side]], kJoinExec,
+                     std::move(w));
+      }
+      return;
+    }
+    case Task::Kind::Combine:
+    case Task::Kind::FinalCombine: {
+      // Group inputs by their owner node.
+      std::map<std::size_t, std::vector<std::uint64_t>> by_owner;
+      for (std::uint64_t child : task.child_rids) {
+        by_owner[qs.rid_owner.at(child)].push_back(child);
+      }
+      task.owners.clear();
+      for (const auto& [owner, rids] : by_owner) task.owners.push_back(owner);
+      bool is_final = task.kind == Task::Kind::FinalCombine;
+      if (is_final && task.child_rids.size() == 1 && by_owner.size() == 1) {
+        // Single-subquery query: fetch the result set directly.
+        std::size_t owner = task.owners[0];
+        if (owner == index_) {
+          auto it = result_sets_.find(task.child_rids[0]);
+          std::vector<logm::Glsn> glsns =
+              it == result_sets_.end() ? std::vector<logm::Glsn>{} : it->second;
+          finish_query(sim, qs, std::move(glsns));
+          return;
+        }
+        net::Writer w;
+        w.u64(qs.qid);
+        w.u64(task.child_rids[0]);
+        send_payload(sim, id(), cfg_->dla_nodes[owner], kSubqueryFetch,
+                     std::move(w));
+        return;
+      }
+      if (by_owner.size() == 1 && !is_final) {
+        // All inputs already live on one node: it merges locally.
+        qs.rid_owner[task.rid] = task.owners[0];
+        net::Writer w;
+        w.u64(qs.qid);
+        w.u64(task.rid);
+        w.boolean(task.combine_and);
+        w.vec(by_owner.begin()->second,
+              [](net::Writer& out, std::uint64_t rid) { out.u64(rid); });
+        w.boolean(false);  // multi_owner
+        w.boolean(false);  // is_final
+        send_payload(sim, id(), cfg_->dla_nodes[task.owners[0]], kCombineExec,
+                     std::move(w));
+        return;
+      }
+      // Cross-owner combine: each owner pre-merges its inputs, stages them
+      // for the secure set protocol, and the gateway (this node) observes
+      // the result.
+      qs.rid_owner[task.rid] = index_;
+      qs.ready_pending.clear();
+      for (const auto& [owner, rids] : by_owner) {
+        qs.ready_pending.insert(owner);
+        net::Writer w;
+        w.u64(qs.qid);
+        w.u64(task.rid);
+        w.boolean(task.combine_and);
+        w.vec(rids, [](net::Writer& out, std::uint64_t rid) { out.u64(rid); });
+        w.boolean(true);  // multi_owner -> stage for set protocol
+        w.boolean(is_final);
+        send_payload(sim, id(), cfg_->dla_nodes[owner], kCombineExec,
+                     std::move(w));
+      }
+      return;
+    }
+  }
+}
+
+void DlaNode::handle_subquery_exec(net::Simulator& sim,
+                                   const net::Message& msg) {
+  net::Reader r(msg.payload);
+  std::uint64_t qid = r.u64();
+  std::uint64_t rid = r.u64();
+  std::string expr_text = r.str();
+  bool count_only = !r.at_end() && r.boolean();
+  Expr expr = parse(expr_text, cfg_->schema);
+  std::vector<logm::Glsn> hits = eval_local(expr);
+  std::uint32_t size = static_cast<std::uint32_t>(hits.size());
+  if (!count_only) {
+    // Secret counting keeps the glsn set out of every store, including
+    // this node's result buffer.
+    result_sets_[rid] = std::move(hits);
+  }
+  net::Writer w;
+  w.u64(qid);
+  w.u64(rid);
+  w.u32(size);
+  send_payload(sim, id(), msg.src, kSubqueryDone, std::move(w));
+}
+
+void DlaNode::handle_join_exec(net::Simulator& sim, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  std::uint64_t qid = r.u64();
+  std::uint64_t rid = r.u64();
+  std::uint8_t side = r.u8();
+  std::string lhs_attr = r.str();
+  auto op = static_cast<CmpOp>(r.u8());
+  std::string rhs_attr = r.str();
+  bool hash_mode = r.u8() != 0;
+  bn::BigUInt a = r.big();
+  bn::BigUInt b = r.big();
+  net::NodeId result_owner = r.u32();
+
+  const std::string& attr = side == 0 ? lhs_attr : rhs_attr;
+  const bn::BigUInt& p = cfg_->shamir_prime;
+  net::Writer w;
+  w.u64(rid);
+  w.u64(qid);
+  w.u8(side);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u32(result_owner);
+  w.u32(msg.src);  // gateway to notify on completion
+  std::vector<CmpBatchEntry> entries;
+  store_for({attr}).for_each([&](const logm::Fragment& frag) {
+    auto it = frag.attrs.find(attr);
+    if (it == frag.attrs.end()) return;
+    bn::BigUInt w_value;
+    if (hash_mode) {
+      bn::BigUInt y = hash_key(it->second, p);
+      w_value = (bn::BigUInt::mulmod(a, y, p) + b) % p;
+    } else {
+      w_value = a * order_key(it->second) + b;
+    }
+    entries.push_back(CmpBatchEntry{frag.glsn, std::move(w_value)});
+  });
+  w.vec(entries, [](net::Writer& out, const CmpBatchEntry& e) {
+    out.u64(e.glsn);
+    out.big(e.w);
+  });
+  send_payload(sim, id(), cfg_->ttp, kCmpBatch, std::move(w));
+}
+
+void DlaNode::handle_cmp_batch_result(net::Simulator& sim,
+                                      const net::Message& msg) {
+  net::Reader r(msg.payload);
+  std::uint64_t rid = r.u64();
+  std::uint64_t qid = r.u64();
+  net::NodeId gateway = r.u32();
+  auto glsns =
+      r.vec<logm::Glsn>([](net::Reader& in) { return in.u64(); });
+  sort_unique(glsns);
+  result_sets_[rid] = std::move(glsns);
+  net::Writer w;
+  w.u64(qid);
+  w.u64(rid);
+  w.u32(static_cast<std::uint32_t>(result_sets_[rid].size()));
+  send_payload(sim, id(), gateway, kSubqueryDone, std::move(w));
+}
+
+void DlaNode::handle_combine_exec(net::Simulator& sim,
+                                  const net::Message& msg) {
+  net::Reader r(msg.payload);
+  std::uint64_t qid = r.u64();
+  std::uint64_t rid = r.u64();
+  bool and_op = r.boolean();
+  auto input_rids =
+      r.vec<std::uint64_t>([](net::Reader& in) { return in.u64(); });
+  bool multi_owner = r.boolean();
+  r.boolean();  // is_final: only meaningful at the gateway
+
+  // Merge this node's input sets under the combine operation.
+  std::vector<logm::Glsn> merged;
+  bool first = true;
+  for (std::uint64_t input : input_rids) {
+    auto it = result_sets_.find(input);
+    std::vector<logm::Glsn> set =
+        it == result_sets_.end() ? std::vector<logm::Glsn>{} : it->second;
+    if (first) {
+      merged = std::move(set);
+      first = false;
+    } else {
+      merged = and_op ? intersect_sorted(std::move(merged), std::move(set))
+                      : union_sorted(std::move(merged), std::move(set));
+    }
+    result_sets_.erase(input);
+  }
+
+  if (!multi_owner) {
+    result_sets_[rid] = std::move(merged);
+    net::Writer w;
+    w.u64(qid);
+    w.u64(rid);
+    w.u32(static_cast<std::uint32_t>(result_sets_[rid].size()));
+    send_payload(sim, id(), msg.src, kSubqueryDone, std::move(w));
+    return;
+  }
+  // Stage the merged set as this node's private input for the secure set
+  // protocol keyed by rid, then tell the gateway we are ready.
+  std::vector<bn::BigUInt> elements;
+  elements.reserve(merged.size());
+  for (logm::Glsn g : merged) {
+    elements.push_back(encode_glsn_element(g, ""));
+  }
+  stage_set_input(rid, std::move(elements));
+  net::Writer w;
+  w.u64(qid);
+  w.u64(rid);
+  send_payload(sim, id(), msg.src, kCombineReady, std::move(w));
+}
+
+void DlaNode::handle_combine_ready(net::Simulator& sim,
+                                   const net::Message& msg) {
+  net::Reader r(msg.payload);
+  std::uint64_t qid = r.u64();
+  std::uint64_t rid = r.u64();
+  auto qit = queries_.find(qid);
+  if (qit == queries_.end()) return;
+  QueryState& qs = qit->second;
+  Task& task = qs.tasks[qs.next_task];
+  if (task.rid != rid) return;
+  qs.ready_pending.erase(cfg_->index_of(msg.src));
+  if (!qs.ready_pending.empty()) return;
+
+  bool is_final = task.kind == Task::Kind::FinalCombine;
+  SetSpec spec;
+  spec.session = rid;
+  spec.op = task.combine_and ? SetOp::Intersect : SetOp::Union;
+  spec.purpose = SetPurpose::Combine;
+  for (std::size_t owner : task.owners) {
+    spec.participants.push_back(cfg_->dla_nodes[owner]);
+  }
+  spec.collector = spec.participants[0];
+  // The gateway (this node) always observes combine results; intermediate
+  // sets stay inside the cluster, and only the final, ACL-filtered glsn set
+  // leaves it.
+  spec.observers = {id()};
+  pending_combines_[rid] = PendingCombine{qid, id(), is_final};
+  start_set_protocol(sim, spec);
+}
+
+void DlaNode::handle_subquery_done(net::Simulator& sim,
+                                   const net::Message& msg) {
+  net::Reader r(msg.payload);
+  std::uint64_t qid = r.u64();
+  std::uint64_t rid = r.u64();
+  std::uint32_t size = r.u32();
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) return;
+  QueryState& qs = it->second;
+  // Stale or duplicate notification for a task that is not current.
+  if (qs.next_task >= qs.tasks.size() || qs.tasks[qs.next_task].rid != rid) {
+    return;
+  }
+  if (qs.tasks[qs.next_task].count_only) {
+    // Secret counting: the size IS the answer; no glsn set exists anywhere.
+    sim.cancel_timer(qs.timeout_timer);
+    timer_to_qid_.erase(qs.timeout_timer);
+    net::Writer w;
+    w.u64(qs.user_reqid);
+    w.boolean(true);
+    w.str("");
+    w.f64(static_cast<double>(size));
+    w.u64(size);
+    send_payload(sim, id(), qs.user, kAggregateResult, std::move(w));
+    queries_.erase(it);
+    return;
+  }
+  task_completed(sim, qid);
+}
+
+void DlaNode::task_completed(net::Simulator& sim, std::uint64_t qid) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) return;
+  QueryState& qs = it->second;
+  ++qs.next_task;
+  if (qs.next_task < qs.tasks.size()) {
+    run_next_task(sim, qs);
+  }
+  // The FinalCombine task completes through finish_query instead.
+}
+
+void DlaNode::handle_subquery_fetch(net::Simulator& sim,
+                                    const net::Message& msg) {
+  net::Reader r(msg.payload);
+  std::uint64_t qid = r.u64();
+  std::uint64_t rid = r.u64();
+  auto it = result_sets_.find(rid);
+  std::vector<logm::Glsn> glsns =
+      it == result_sets_.end() ? std::vector<logm::Glsn>{} : it->second;
+  result_sets_.erase(rid);
+  net::Writer w;
+  w.u64(qid);
+  w.u64(rid);
+  w.vec(glsns, [](net::Writer& out, logm::Glsn g) { out.u64(g); });
+  send_payload(sim, id(), msg.src, kSubqueryData, std::move(w));
+}
+
+void DlaNode::handle_subquery_data(net::Simulator& sim,
+                                   const net::Message& msg) {
+  net::Reader r(msg.payload);
+  std::uint64_t qid = r.u64();
+  r.u64();  // rid
+  auto glsns = r.vec<logm::Glsn>([](net::Reader& in) { return in.u64(); });
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) return;
+  finish_query(sim, it->second, std::move(glsns));
+}
+
+void DlaNode::finish_query(net::Simulator& sim, QueryState& qs,
+                           std::vector<logm::Glsn> glsns) {
+  sort_unique(glsns);
+  if (!qs.ticket.auditor) {
+    // User-scope tickets only see their own audit trail (Table 6 ACL).
+    std::set<logm::Glsn> allowed = acl_.glsns_of(qs.ticket.id);
+    std::erase_if(glsns, [&](logm::Glsn g) { return !allowed.contains(g); });
+  }
+  if (qs.is_aggregate) {
+    if (qs.agg_op == AggOp::Count) {
+      sim.cancel_timer(qs.timeout_timer);
+      timer_to_qid_.erase(qs.timeout_timer);
+      net::Writer w;
+      w.u64(qs.user_reqid);
+      w.boolean(true);
+      w.str("");
+      w.f64(static_cast<double>(glsns.size()));
+      w.u64(glsns.size());
+      send_payload(sim, id(), qs.user, kAggregateResult, std::move(w));
+      queries_.erase(qs.qid);
+      return;
+    }
+    // Value aggregate: delegate to the attribute's owner, which replies
+    // with the aggregate only (handle_aggregate_value relays to the user).
+    std::size_t owner = owner_for(qs.agg_attr, sim.now());
+    net::Writer w;
+    w.u64(qs.qid);
+    w.u8(static_cast<std::uint8_t>(qs.agg_op));
+    w.str(qs.agg_attr);
+    w.vec(glsns, [](net::Writer& out, logm::Glsn g) { out.u64(g); });
+    send_payload(sim, id(), cfg_->dla_nodes[owner], kAggregateExec,
+                 std::move(w));
+    return;  // query state retained until the aggregate value returns
+  }
+  // Threshold certification: when the cluster has a shared signing key,
+  // collect a (k, n) Schnorr signature over the report before replying —
+  // the user can then prove k nodes vouched for this exact result.
+  if (cfg_->threshold_params.has_value() && signing_share_.has_value() &&
+      cfg_->sign_threshold_k >= 1 &&
+      cfg_->sign_threshold_k <= cfg_->cluster_size()) {
+    SignState st;
+    st.qid = qs.qid;
+    st.glsns = glsns;
+    st.message = report_message(qs.user_reqid, glsns);
+    for (std::uint32_t i = 1; i <= cfg_->sign_threshold_k; ++i) {
+      st.signer_set.push_back(i);
+    }
+    SessionId sid = qs.qid;
+    sign_state_[sid] = std::move(st);
+    for (std::uint32_t i : sign_state_[sid].signer_set) {
+      net::Writer w;
+      w.u64(sid);
+      w.str(sign_state_[sid].message);
+      send_payload(sim, id(), cfg_->dla_nodes[i - 1], kSignRequest,
+                   std::move(w));
+    }
+    return;  // reply deferred until the co-signature completes
+  }
+  reply_with_result(sim, qs, glsns, std::nullopt);
+  queries_.erase(qs.qid);
+}
+
+void DlaNode::reply_with_result(
+    net::Simulator& sim, const QueryState& qs,
+    const std::vector<logm::Glsn>& glsns,
+    const std::optional<crypto::ThresholdSignature>& cert) {
+  sim.cancel_timer(qs.timeout_timer);
+  timer_to_qid_.erase(qs.timeout_timer);
+  net::Writer w;
+  w.u64(qs.user_reqid);
+  w.boolean(true);
+  w.str("");
+  w.vec(glsns, [](net::Writer& out, logm::Glsn g) { out.u64(g); });
+  w.boolean(cert.has_value());
+  if (cert.has_value()) {
+    w.big(cert->r);
+    w.big(cert->s);
+  }
+  send_payload(sim, id(), qs.user, kAuditResult, std::move(w));
+}
+
+// --------------------------------------- distributed key generation -------
+
+void DlaNode::start_dkg(net::Simulator& sim, SessionId session,
+                        std::uint32_t k) {
+  if (k == 0 || k > cfg_->cluster_size())
+    throw std::invalid_argument("start_dkg: bad threshold");
+  for (net::NodeId node : cfg_->dla_nodes) {
+    net::Writer w;
+    w.u64(session);
+    w.u32(k);
+    send_payload(sim, id(), node, kDkgStart, std::move(w));
+  }
+}
+
+void DlaNode::handle_dkg_start(net::Simulator& sim, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId session = r.u64();
+  std::uint32_t k = r.u32();
+  DkgState& st = dkg_state_[session];
+  st.k = k;
+  if (st.dealt) return;  // duplicate start
+  st.dealt = true;
+
+  // Deal a random secret with Feldman VSS to every cluster member.
+  crypto::DkgGroup group = crypto::DkgGroup::fixed256();
+  bn::BigUInt z = bn::BigUInt::random_below(rng_, group.q);
+  auto dealing =
+      crypto::feldman_deal(group, z, k, cfg_->cluster_size(), rng_);
+  std::uint32_t my_index = static_cast<std::uint32_t>(index_ + 1);
+  for (net::NodeId node : cfg_->dla_nodes) {
+    net::Writer w;
+    w.u64(session);
+    w.u32(my_index);
+    encode_elements(w, dealing.commitments);
+    send_payload(sim, id(), node, kDkgCommit, std::move(w));
+  }
+  for (std::size_t j = 0; j < cfg_->cluster_size(); ++j) {
+    bn::BigUInt share = dealing.shares[j];
+    if (dkg_corrupt_ && j == cfg_->cluster_size() - 1) {
+      share = (share + bn::BigUInt(1)) % group.q;
+    }
+    net::Writer w;
+    w.u64(session);
+    w.u32(my_index);
+    w.big(share);
+    send_payload(sim, id(), cfg_->dla_nodes[j], kDkgShare, std::move(w));
+  }
+  maybe_finish_dkg(sim, session);
+}
+
+void DlaNode::handle_dkg_commit(net::Simulator& sim,
+                                const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId session = r.u64();
+  std::uint32_t dealer = r.u32();
+  dkg_state_[session].commitments[dealer] = decode_elements(r);
+  maybe_finish_dkg(sim, session);
+}
+
+void DlaNode::handle_dkg_share(net::Simulator& sim, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId session = r.u64();
+  std::uint32_t dealer = r.u32();
+  dkg_state_[session].shares[dealer] = r.big();
+  maybe_finish_dkg(sim, session);
+}
+
+void DlaNode::maybe_finish_dkg(net::Simulator& sim, SessionId session) {
+  (void)sim;
+  DkgState& st = dkg_state_[session];
+  const std::size_t n = cfg_->cluster_size();
+  if (st.done || st.k == 0 || st.commitments.size() < n ||
+      st.shares.size() < n) {
+    return;
+  }
+  st.done = true;
+
+  crypto::DkgGroup group = crypto::DkgGroup::fixed256();
+  std::uint32_t my_index = static_cast<std::uint32_t>(index_ + 1);
+  DkgResult result;
+  std::vector<bn::BigUInt> verified_shares;
+  std::vector<bn::BigUInt> constant_terms;
+  for (std::uint32_t dealer = 1; dealer <= n; ++dealer) {
+    const auto& commitments = st.commitments.at(dealer);
+    const auto& share = st.shares.at(dealer);
+    if (commitments.size() != st.k ||
+        !crypto::feldman_verify(group, commitments, my_index, share)) {
+      result.bad_dealers.push_back(dealer);
+      continue;
+    }
+    verified_shares.push_back(share);
+    constant_terms.push_back(commitments[0]);
+  }
+  if (result.bad_dealers.empty()) {
+    result.ok = true;
+    result.params = crypto::dkg_params(
+        group, crypto::dkg_public_key(group, constant_terms));
+    result.share = crypto::SignerShare{
+        my_index, crypto::dkg_combine_shares(group, verified_shares)};
+  }
+  dkg_state_.erase(session);
+  if (on_dkg_result) on_dkg_result(session, result);
+}
+
+// ------------------------------------------- threshold certification ------
+
+void DlaNode::handle_sign_request(net::Simulator& sim,
+                                  const net::Message& msg) {
+  if (!cfg_->threshold_params || !signing_share_) return;
+  net::Reader r(msg.payload);
+  SessionId sid = r.u64();
+  r.str();  // message text (the response binds only via the challenge)
+  crypto::NoncePair nonce = crypto::make_nonce(*cfg_->threshold_params, rng_);
+  sign_nonces_[sid] = nonce.k;
+  net::Writer w;
+  w.u64(sid);
+  w.u32(static_cast<std::uint32_t>(index_ + 1));
+  w.big(nonce.r);
+  send_payload(sim, id(), msg.src, kSignNonce, std::move(w));
+}
+
+void DlaNode::handle_sign_nonce(net::Simulator& sim, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId sid = r.u64();
+  std::uint32_t index = r.u32();
+  bn::BigUInt nonce_r = r.big();
+  auto it = sign_state_.find(sid);
+  if (it == sign_state_.end() || it->second.challenged) return;
+  SignState& st = it->second;
+  st.nonces[index] = std::move(nonce_r);
+  if (st.nonces.size() < st.signer_set.size()) return;
+  st.challenged = true;
+  std::vector<bn::BigUInt> rs;
+  rs.reserve(st.nonces.size());
+  for (const auto& [idx, ri] : st.nonces) rs.push_back(ri);
+  st.r = crypto::combine_commitments(*cfg_->threshold_params, rs);
+  st.c = crypto::challenge(*cfg_->threshold_params, st.r, st.message);
+  for (std::uint32_t idx : st.signer_set) {
+    bn::BigUInt lambda =
+        crypto::lagrange_at_zero(*cfg_->threshold_params, st.signer_set, idx);
+    net::Writer w;
+    w.u64(sid);
+    w.big(st.c);
+    w.big(lambda);
+    send_payload(sim, id(), cfg_->dla_nodes[idx - 1], kSignChallenge,
+                 std::move(w));
+  }
+}
+
+void DlaNode::handle_sign_challenge(net::Simulator& sim,
+                                    const net::Message& msg) {
+  if (!cfg_->threshold_params || !signing_share_) return;
+  net::Reader r(msg.payload);
+  SessionId sid = r.u64();
+  bn::BigUInt c = r.big();
+  bn::BigUInt lambda = r.big();
+  auto it = sign_nonces_.find(sid);
+  if (it == sign_nonces_.end()) return;
+  bn::BigUInt s = crypto::response_share(*cfg_->threshold_params,
+                                         *signing_share_, it->second, c,
+                                         lambda);
+  sign_nonces_.erase(it);
+  net::Writer w;
+  w.u64(sid);
+  w.big(s);
+  send_payload(sim, id(), msg.src, kSignShare, std::move(w));
+}
+
+void DlaNode::handle_sign_share(net::Simulator& sim, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId sid = r.u64();
+  bn::BigUInt s = r.big();
+  auto it = sign_state_.find(sid);
+  if (it == sign_state_.end()) return;
+  SignState& st = it->second;
+  st.s_shares.push_back(std::move(s));
+  if (st.s_shares.size() < st.signer_set.size()) return;
+  crypto::ThresholdSignature sig =
+      crypto::combine_signature(*cfg_->threshold_params, st.r, st.s_shares);
+  auto qit = queries_.find(st.qid);
+  if (qit != queries_.end()) {
+    // Self-check before publishing: a Byzantine signer's bad share must
+    // not reach the user as a "certified" report.
+    bool valid =
+        crypto::verify_threshold(*cfg_->threshold_params, st.message, sig);
+    reply_with_result(sim, qit->second, st.glsns,
+                      valid ? std::optional<crypto::ThresholdSignature>(sig)
+                            : std::nullopt);
+    queries_.erase(qit);
+  }
+  sign_state_.erase(it);
+}
+
+void DlaNode::fail_query(net::Simulator& sim, QueryState& qs,
+                         const std::string& error) {
+  sim.cancel_timer(qs.timeout_timer);
+  timer_to_qid_.erase(qs.timeout_timer);
+  net::Writer w;
+  w.u64(qs.user_reqid);
+  w.boolean(false);
+  w.str(error);
+  if (qs.is_aggregate) {
+    w.f64(0.0);
+    w.u64(0);
+    send_payload(sim, id(), qs.user, kAggregateResult, std::move(w));
+  } else {
+    w.vec(std::vector<logm::Glsn>{},
+          [](net::Writer& out, logm::Glsn g) { out.u64(g); });
+    w.boolean(false);  // no certificate
+    send_payload(sim, id(), qs.user, kAuditResult, std::move(w));
+  }
+  queries_.erase(qs.qid);
+}
+
+}  // namespace dla::audit

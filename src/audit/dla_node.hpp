@@ -1,0 +1,410 @@
+// DLA node actor P_i — the paper's trusted-third-party cluster member.
+//
+// One DlaNode plays every data-plane role of Sections 2-4:
+//   * fragment storage for its attribute set A_i, with the per-ticket
+//     access-control table of Table 6;
+//   * replica/leader of the majority-agreement glsn sequencer;
+//   * party in the secure set intersection/union rings (Figure 4), secure
+//     sum (Section 3.5), and blind-TTP comparisons (Sections 3.2-3.3);
+//   * circulation hop of the one-way-accumulator integrity check (4.1);
+//   * gateway/coordinator for confidential audit queries (Figure 3):
+//     parse -> normalize -> classify -> plan -> execute subqueries ->
+//     conjoin by secure set intersection -> ACL-filter -> reply.
+//
+// Relaxed-model disclosures (Definition 1), documented here once: set sizes
+// and per-link message counts are visible; intermediate subquery glsn sets
+// are revealed to the DLA node that owns the subquery (never to a node
+// outside the cluster); the blind TTP sees transformed values only; the
+// query gateway sees the final glsn set it returns to the querier.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "audit/config.hpp"
+#include "audit/query.hpp"
+#include "audit/ticket.hpp"
+#include "audit/wire.hpp"
+#include "crypto/dkg.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/shamir.hpp"
+#include "logm/store.hpp"
+
+namespace dla::audit {
+
+class DlaNode : public net::Node {
+ public:
+  // `seed` drives all of this node's randomness (session keys, shares).
+  DlaNode(std::string name, std::uint64_t seed);
+
+  // Must be called after Simulator::add_node and before any traffic.
+  // `index` is this node's position i in cfg->dla_nodes.
+  void configure(ConfigPtr cfg, std::size_t index);
+
+  // Installs this node's secret share of the cluster's threshold signing
+  // key (required on every node when cfg->threshold_params is set).
+  void set_signing_share(crypto::SignerShare share) {
+    signing_share_ = std::move(share);
+  }
+
+  const std::string& name() const { return name_; }
+  std::size_t index() const { return index_; }
+
+  // --- local state (driver/test access) ---------------------------------
+  logm::FragmentStore& store() { return store_; }
+  const logm::FragmentStore& store() const { return store_; }
+  // Replica copies of predecessors' fragments (cfg->replication >= 2).
+  logm::FragmentStore& replica_store() { return replica_store_; }
+  const logm::FragmentStore& replica_store() const { return replica_store_; }
+  logm::AccessControlTable& acl() { return acl_; }
+  const logm::AccessControlTable& acl() const { return acl_; }
+  const std::map<logm::Glsn, bn::BigUInt>& deposits() const {
+    return deposits_;
+  }
+
+  // --- protocol driver API ----------------------------------------------
+  // Stage this node's private input for a protocol session, then have the
+  // initiator call the matching start_* before the simulator runs.
+  void stage_set_input(SessionId session, std::vector<bn::BigUInt> elements);
+  void stage_sum_input(SessionId session, bn::BigUInt value);
+  void stage_cmp_input(SessionId session, bn::BigUInt value);
+
+  // Ring-based secure set intersection / union over staged inputs.
+  void start_set_protocol(net::Simulator& sim, const SetSpec& spec);
+  // Shamir secure (weighted) sum over staged inputs.
+  void start_sum(net::Simulator& sim, const SumSpec& spec);
+  // Blind-TTP equality / max / min / rank over staged inputs. This node
+  // generates the shared transform and distributes it to participants
+  // (but not to the TTP).
+  void start_cmp(net::Simulator& sim, CmpSpec spec);
+  // Du-Atallah secure scalar product between two parties with the blind
+  // TTP as commodity server: both stage equal-length vectors via
+  // stage_vector_input; Alice (and the observers) learn only A.B mod p.
+  void stage_vector_input(SessionId session, std::vector<bn::BigUInt> v);
+  void start_scalar_product(net::Simulator& sim, SessionId session,
+                            net::NodeId alice, net::NodeId bob,
+                            std::uint32_t length,
+                            std::vector<net::NodeId> observers);
+  std::function<void(SessionId, bn::BigUInt)> on_scalar_result;
+  // One-way accumulator circulation for one glsn (Section 4.1).
+  void start_integrity_check(net::Simulator& sim, SessionId session,
+                             logm::Glsn glsn);
+  // ACL consistency audit: secure set intersection over canonical ACL
+  // entries of all cluster nodes; reports consistent iff the intersection
+  // matches this node's own table.
+  void start_acl_consistency_check(net::Simulator& sim, SessionId session);
+
+  // Periodic self-audit (Section 4.1: "DLA node can periodically check the
+  // integrity of log records it stores"): every `interval` microseconds
+  // this node circulates an integrity check for the next stored glsn in
+  // rotation; outcomes arrive through on_integrity_result.
+  void enable_periodic_audit(net::Simulator& sim, net::SimTime interval);
+  void disable_periodic_audit() { periodic_interval_ = 0; }
+
+  // Distributed key generation: every cluster node deals a random secret
+  // with Feldman VSS; the verified share sums become (k, n) shares of a
+  // joint key no party ever sees. Results arrive via on_dkg_result on
+  // every participant.
+  void start_dkg(net::Simulator& sim, SessionId session, std::uint32_t k);
+  struct DkgResult {
+    bool ok = false;
+    crypto::ThresholdParams params;       // valid when ok
+    crypto::SignerShare share;            // this node's share, when ok
+    std::vector<std::uint32_t> bad_dealers;  // 1-based indices, when !ok
+  };
+  std::function<void(SessionId, const DkgResult&)> on_dkg_result;
+  // Test hook: deal one corrupted share (to the highest-index participant)
+  // to exercise the Feldman verification path.
+  void set_dkg_corrupt(bool corrupt) { dkg_corrupt_ = corrupt; }
+
+  // Failure detection: periodic heartbeats to every peer; a peer missing
+  // 3 consecutive beats is suspected, and gateways route its subqueries to
+  // the successor replica (requires cfg->replication >= 2 for coverage).
+  void start_heartbeats(net::Simulator& sim);
+  void stop_heartbeats() { heartbeats_on_ = false; }
+  bool suspects(std::size_t peer_index, net::SimTime now) const;
+
+  // --- protocol outcome callbacks (observer side) ------------------------
+  std::function<void(SessionId, std::vector<bn::BigUInt>)> on_set_result;
+  std::function<void(SessionId, bn::BigUInt)> on_sum_result;
+  // Equality: outcome 0/1. Max/Min: winning participant index.
+  std::function<void(SessionId, CmpOpKind, std::uint32_t)> on_cmp_result;
+  // Rank of this node's own value (0 = smallest), delivered privately.
+  std::function<void(SessionId, std::uint32_t)> on_rank;
+  std::function<void(SessionId, logm::Glsn, bool ok)> on_integrity_result;
+  std::function<void(SessionId, bool consistent)> on_acl_check;
+
+  // --- actor entry points -------------------------------------------------
+  void on_message(net::Simulator& sim, const net::Message& msg) override;
+  void on_timer(net::Simulator& sim, std::uint64_t timer_id) override;
+
+ private:
+  // ---- logging path ----
+  void handle_glsn_request(net::Simulator& sim, const net::Message& msg);
+  void handle_glsn_forward(net::Simulator& sim, const net::Message& msg);
+  void handle_glsn_propose(net::Simulator& sim, const net::Message& msg);
+  void handle_glsn_vote(net::Simulator& sim, const net::Message& msg);
+  void handle_glsn_commit(net::Simulator& sim, const net::Message& msg);
+  void handle_glsn_reply(net::Simulator& sim, const net::Message& msg);
+  void handle_log_fragment(net::Simulator& sim, const net::Message& msg);
+  void handle_accum_deposit(net::Simulator& sim, const net::Message& msg);
+  void handle_fragment_request(net::Simulator& sim, const net::Message& msg);
+  void handle_fragment_delete(net::Simulator& sim, const net::Message& msg);
+  void dispatch(net::Simulator& sim, const net::Message& msg);
+
+  // ---- set ring ----
+  void handle_set_start(net::Simulator& sim, const net::Message& msg);
+  void handle_set_ring(net::Simulator& sim, const net::Message& msg);
+  void handle_set_full(net::Simulator& sim, const net::Message& msg);
+  void handle_set_decrypt(net::Simulator& sim, const net::Message& msg);
+  void handle_set_result(net::Simulator& sim, const net::Message& msg);
+  crypto::PhKey& session_key(SessionId session);
+  void ring_encrypt_and_forward(net::Simulator& sim, const SetSpec& spec,
+                                std::uint32_t origin, std::uint32_t hops,
+                                std::vector<bn::BigUInt> elements);
+
+  // ---- secure sum ----
+  void handle_sum_start(net::Simulator& sim, const net::Message& msg);
+  void handle_sum_share(net::Simulator& sim, const net::Message& msg);
+  void maybe_emit_sum_eval(net::Simulator& sim, SessionId session);
+  void handle_sum_eval(net::Simulator& sim, const net::Message& msg);
+  void handle_sum_result(net::Simulator& sim, const net::Message& msg);
+
+  // ---- blind-TTP comparisons ----
+  void handle_cmp_params(net::Simulator& sim, const net::Message& msg);
+  void handle_cmp_result(net::Simulator& sim, const net::Message& msg);
+  void handle_rank_result(net::Simulator& sim, const net::Message& msg);
+  void send_transformed_value(net::Simulator& sim, const CmpSpec& spec);
+
+  // ---- secure scalar product ----
+  void handle_scalar_randomness(net::Simulator& sim, const net::Message& msg);
+  void handle_scalar_masked_a(net::Simulator& sim, const net::Message& msg);
+  void handle_scalar_reply(net::Simulator& sim, const net::Message& msg);
+  void handle_scalar_result(net::Simulator& sim, const net::Message& msg);
+
+  // ---- integrity ----
+  void handle_integrity_pass(net::Simulator& sim, const net::Message& msg);
+  std::string fragment_canonical_or_missing(logm::Glsn glsn) const;
+
+  // ---- query pipeline (gateway + owner roles) ----
+  void handle_audit_query(net::Simulator& sim, const net::Message& msg);
+  void handle_aggregate_query(net::Simulator& sim, const net::Message& msg);
+  void handle_aggregate_exec(net::Simulator& sim, const net::Message& msg);
+  void handle_aggregate_value(net::Simulator& sim, const net::Message& msg);
+  void handle_dkg_start(net::Simulator& sim, const net::Message& msg);
+  void handle_dkg_commit(net::Simulator& sim, const net::Message& msg);
+  void handle_dkg_share(net::Simulator& sim, const net::Message& msg);
+  void maybe_finish_dkg(net::Simulator& sim, SessionId session);
+  void handle_sign_request(net::Simulator& sim, const net::Message& msg);
+  void handle_sign_nonce(net::Simulator& sim, const net::Message& msg);
+  void handle_sign_challenge(net::Simulator& sim, const net::Message& msg);
+  void handle_sign_share(net::Simulator& sim, const net::Message& msg);
+  void handle_subquery_exec(net::Simulator& sim, const net::Message& msg);
+  void handle_join_exec(net::Simulator& sim, const net::Message& msg);
+  void handle_combine_exec(net::Simulator& sim, const net::Message& msg);
+  void handle_combine_ready(net::Simulator& sim, const net::Message& msg);
+  void handle_subquery_done(net::Simulator& sim, const net::Message& msg);
+  void handle_cmp_batch_result(net::Simulator& sim, const net::Message& msg);
+  void handle_subquery_fetch(net::Simulator& sim, const net::Message& msg);
+  void handle_subquery_data(net::Simulator& sim, const net::Message& msg);
+
+  // Gateway-side task plan.
+  struct Task {
+    enum class Kind { Local, Join, Combine, FinalCombine } kind = Kind::Local;
+    std::uint64_t rid = 0;
+    // Local: whole expression evaluable at `owners[0]`.
+    // Join: cross-node attr-vs-attr predicate; owners = {lhs, rhs} indices.
+    // Combine: children combined with `combine_and`; owners = input owners.
+    std::string expr_text;
+    Predicate join_pred;
+    bool combine_and = true;
+    // Secret counting ([7]): the owner evaluates and reports only the
+    // match count; the glsn set is never materialised anywhere else.
+    bool count_only = false;
+    std::vector<std::uint64_t> child_rids;
+    std::vector<std::size_t> owners;  // cluster indices
+  };
+  struct QueryState {
+    std::uint64_t qid = 0;
+    std::uint64_t user_reqid = 0;
+    net::NodeId user = 0;
+    Ticket ticket;
+    std::vector<Task> tasks;
+    std::size_t next_task = 0;
+    std::map<std::uint64_t, std::size_t> rid_owner;  // rid -> cluster index
+    std::set<std::size_t> ready_pending;             // combine staging acks
+    // Aggregate-query extension: when set, the final glsn set is not
+    // returned; it is aggregated instead (count at the gateway, value
+    // aggregates at the attribute's owner node).
+    bool is_aggregate = false;
+    AggOp agg_op = AggOp::Count;
+    std::string agg_attr;
+    // Watchdog: fail the query to the user if the pipeline stalls (e.g. a
+    // partition swallowed a subquery task).
+    std::uint64_t timeout_timer = 0;
+  };
+  // Compiles the expression tree of one subquery into tasks appended to
+  // `tasks`; returns the rid holding the subquery result.
+  std::uint64_t plan_expr(const Expr& expr, std::vector<Task>& tasks,
+                          std::uint64_t qid, net::SimTime now);
+  // Parses + normalizes + plans the criterion into qs.tasks and launches
+  // the first task. Throws ParseError on a bad criterion.
+  void start_query(net::Simulator& sim, QueryState qs,
+                   const std::string& criterion);
+  void run_next_task(net::Simulator& sim, QueryState& qs);
+  void finish_query(net::Simulator& sim, QueryState& qs,
+                    std::vector<logm::Glsn> glsns);
+  void fail_query(net::Simulator& sim, QueryState& qs,
+                  const std::string& error);
+  void task_completed(net::Simulator& sim, std::uint64_t qid);
+  std::vector<logm::Glsn> eval_local(const Expr& expr) const;
+  // The store to evaluate `attrs` against: the primary store when they are
+  // this node's own attributes, else the replica store.
+  const logm::FragmentStore& store_for(const std::set<std::string>& attrs) const;
+  // The cluster index answering for `attr` right now: the primary owner,
+  // or its successor replica when the primary is suspected.
+  std::size_t owner_for(const std::string& attr, net::SimTime now) const;
+
+  // Pending combine staging at owner nodes: session -> gateway to notify.
+  struct PendingCombine {
+    std::uint64_t qid = 0;
+    net::NodeId gateway = 0;
+    bool is_final = false;
+  };
+
+  std::string name_;
+  crypto::ChaCha20Rng rng_;
+  ConfigPtr cfg_;
+  std::size_t index_ = 0;
+  std::optional<TicketService> tickets_;
+
+  logm::FragmentStore store_;
+  logm::FragmentStore replica_store_;
+  logm::AccessControlTable acl_;
+  std::map<logm::Glsn, bn::BigUInt> deposits_;
+  std::optional<bn::MontgomeryContext> accum_mont_;  // for params.n
+
+  // failure detector state.
+  bool heartbeats_on_ = false;
+  std::uint64_t heartbeat_timer_ = 0;
+  std::map<std::size_t, net::SimTime> last_heartbeat_;  // peer index -> time
+
+  // glsn sequencing state.
+  logm::Glsn glsn_counter_ = 0x139aef77;  // next assigned is counter+1
+  logm::Glsn last_promised_ = 0;
+  struct GlsnRound {
+    logm::Glsn proposal = 0;
+    std::size_t accepts = 0;
+    std::size_t rejects = 0;
+    logm::Glsn highest_hint = 0;
+    net::NodeId reply_to = 0;   // gateway that forwarded
+    std::uint64_t reqid = 0;
+    bool done = false;
+  };
+  std::map<std::uint64_t, GlsnRound> glsn_rounds_;  // key: proposal id
+  std::uint64_t next_proposal_id_ = 1;
+  // Gateway-side pending user requests, keyed by a gateway-local id (user
+  // reqids are only unique per user and would collide across users).
+  struct PendingGlsn {
+    net::NodeId user = 0;
+    std::uint64_t user_reqid = 0;
+    std::size_t leader_attempt = 0;
+    std::uint64_t timer = 0;
+    bool done = false;
+  };
+  std::map<std::uint64_t, PendingGlsn> pending_glsn_;  // by gateway id
+  std::map<std::uint64_t, std::uint64_t> timer_to_gid_;
+  std::uint64_t next_gid_ = 1;
+  std::map<std::uint64_t, std::uint64_t> timer_to_qid_;
+
+  // periodic self-audit state.
+  net::SimTime periodic_interval_ = 0;
+  std::uint64_t periodic_timer_ = 0;
+  logm::Glsn periodic_cursor_ = 0;
+
+  // protocol state.
+  std::map<SessionId, crypto::PhKey> session_keys_;
+  std::map<SessionId, std::vector<bn::BigUInt>> set_inputs_;
+  struct SetCollect {
+    std::map<std::uint32_t, std::vector<bn::BigUInt>> full_sets;
+  };
+  std::map<SessionId, SetCollect> set_collect_;
+
+  std::map<SessionId, bn::BigUInt> sum_inputs_;
+  struct SumState {
+    SumSpec spec;
+    std::map<std::uint32_t, bn::BigUInt> shares_received;  // from index -> y
+    bool evaluated = false;
+    std::vector<crypto::Share> evals;  // collector side
+    bool reconstructed = false;
+  };
+  std::map<SessionId, SumState> sum_state_;
+
+  std::map<SessionId, bn::BigUInt> cmp_inputs_;
+
+  // scalar product state.
+  std::map<SessionId, std::vector<bn::BigUInt>> vector_inputs_;
+  struct ScalarState {
+    std::vector<bn::BigUInt> r_vec;  // Ra or Rb from the commodity server
+    bn::BigUInt r_scalar;            // ra or rb
+    net::NodeId peer = 0;
+    std::vector<net::NodeId> observers;
+    bool is_alice = false;
+    bool have_randomness = false;
+    std::vector<bn::BigUInt> pending_masked_a;  // Bob: A+Ra that beat the TTP
+  };
+  std::map<SessionId, ScalarState> scalar_state_;
+  void scalar_send_masked_a(net::Simulator& sim, SessionId session);
+  void scalar_bob_reply(net::Simulator& sim, SessionId session);
+
+  struct IntegritySession {
+    logm::Glsn glsn = 0;
+  };
+  std::map<SessionId, IntegritySession> integrity_initiated_;
+  std::map<SessionId, bool> acl_sessions_;  // session -> waiting
+
+  // query state.
+  std::map<std::uint64_t, QueryState> queries_;     // gateway side
+  std::map<std::uint64_t, std::vector<logm::Glsn>> result_sets_;  // owner side
+  std::map<SessionId, PendingCombine> pending_combines_;
+  std::uint64_t next_qid_ = 1;
+  std::uint64_t next_session_ = 1;
+
+  // distributed key generation.
+  struct DkgState {
+    std::uint32_t k = 0;
+    bool dealt = false;
+    std::map<std::uint32_t, std::vector<bn::BigUInt>> commitments;
+    std::map<std::uint32_t, bn::BigUInt> shares;  // dealer -> share for me
+    bool done = false;
+  };
+  std::map<SessionId, DkgState> dkg_state_;
+  bool dkg_corrupt_ = false;
+
+  // threshold report certification.
+  std::optional<crypto::SignerShare> signing_share_;
+  std::map<SessionId, bn::BigUInt> sign_nonces_;  // signer side: sid -> k
+  struct SignState {                               // gateway/coordinator side
+    std::uint64_t qid = 0;
+    std::string message;
+    std::vector<logm::Glsn> glsns;
+    std::vector<std::uint32_t> signer_set;           // 1-based indices
+    std::map<std::uint32_t, bn::BigUInt> nonces;     // index -> R_i
+    std::vector<bn::BigUInt> s_shares;
+    bn::BigUInt c;
+    bn::BigUInt r;
+    bool challenged = false;
+  };
+  std::map<SessionId, SignState> sign_state_;
+  void reply_with_result(net::Simulator& sim, const QueryState& qs,
+                         const std::vector<logm::Glsn>& glsns,
+                         const std::optional<crypto::ThresholdSignature>& cert);
+
+  SessionId fresh_session();
+};
+
+}  // namespace dla::audit

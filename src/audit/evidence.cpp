@@ -1,0 +1,141 @@
+#include "audit/evidence.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "crypto/sha256.hpp"
+
+namespace dla::audit {
+
+std::string pseudonym_hash(const crypto::RsaPublicKey& pub) {
+  return crypto::to_hex(
+      crypto::Sha256::hash("pseudonym:" + pub.n.to_hex() + ":" + pub.e.to_hex()));
+}
+
+std::string token_message(const std::string& pseudonym_hash) {
+  return "dla-membership-token:" + pseudonym_hash;
+}
+
+std::string EvidencePiece::canonical() const {
+  std::ostringstream os;
+  os << "piece:" << index << '\n'
+     << "prev:" << prev_hash << '\n'
+     << "issuer:" << issuer_pseudonym << '\n'
+     << "issuer_pub:" << issuer_pub.n.to_hex() << ':' << issuer_pub.e.to_hex()
+     << '\n'
+     << "invitee:" << invitee_pseudonym << '\n'
+     << "token:" << invitee_token.to_hex() << '\n'
+     << "terms:" << terms;
+  return os.str();
+}
+
+std::string EvidencePiece::hash() const {
+  return crypto::to_hex(
+      crypto::Sha256::hash(canonical() + "\nsig:" + issuer_sig.to_hex()));
+}
+
+ChainVerification EvidenceChain::verify(
+    const crypto::RsaPublicKey& ca_pub) const {
+  ChainVerification out;
+  std::string prev_hash;
+  std::string prev_invitee;
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    const EvidencePiece& piece = pieces_[i];
+    if (piece.index != i) {
+      out.failure = "piece " + std::to_string(i) + ": wrong index";
+      return out;
+    }
+    if (piece.prev_hash != prev_hash) {
+      out.failure = "piece " + std::to_string(i) + ": broken hash link";
+      return out;
+    }
+    // The issuer's pseudonym commitment must match its key.
+    if (pseudonym_hash(piece.issuer_pub) != piece.issuer_pseudonym) {
+      out.failure = "piece " + std::to_string(i) + ": issuer key mismatch";
+      return out;
+    }
+    // Invite authority: only the latest member may extend the chain.
+    if (i > 0 && piece.issuer_pseudonym != prev_invitee) {
+      out.failure =
+          "piece " + std::to_string(i) + ": issuer lacks invite authority";
+      return out;
+    }
+    // CA token over the invitee's pseudonym.
+    if (!ca_pub.verify(token_message(piece.invitee_pseudonym),
+                       piece.invitee_token)) {
+      out.failure = "piece " + std::to_string(i) + ": bad CA token";
+      return out;
+    }
+    // Issuer's undeniable signature over the piece body.
+    if (!piece.issuer_pub.verify(piece.canonical(), piece.issuer_sig)) {
+      out.failure = "piece " + std::to_string(i) + ": bad issuer signature";
+      return out;
+    }
+    prev_hash = piece.hash();
+    prev_invitee = piece.invitee_pseudonym;
+    ++out.checked;
+  }
+  out.ok = true;
+  return out;
+}
+
+std::optional<std::string> detect_double_invite(
+    const std::vector<EvidencePiece>& pieces) {
+  // Identical copies of one piece (members share chain prefixes) are not
+  // misconduct; only *distinct* pieces with the same (issuer, predecessor)
+  // prove a double invite.
+  std::map<std::pair<std::string, std::string>, std::string> seen;
+  for (const auto& piece : pieces) {
+    auto key = std::make_pair(piece.issuer_pseudonym, piece.prev_hash);
+    std::string h = piece.hash();
+    auto [it, inserted] = seen.emplace(key, h);
+    if (!inserted && it->second != h) return piece.issuer_pseudonym;
+  }
+  return std::nullopt;
+}
+
+void EvidencePiece::encode(net::Writer& w) const {
+  w.u32(index);
+  w.str(prev_hash);
+  w.str(issuer_pseudonym);
+  w.big(issuer_pub.n);
+  w.big(issuer_pub.e);
+  w.str(invitee_pseudonym);
+  w.big(invitee_token);
+  w.str(terms);
+  w.big(issuer_sig);
+}
+
+EvidencePiece EvidencePiece::decode(net::Reader& r) {
+  EvidencePiece p;
+  p.index = r.u32();
+  p.prev_hash = r.str();
+  p.issuer_pseudonym = r.str();
+  p.issuer_pub.n = r.big();
+  p.issuer_pub.e = r.big();
+  p.invitee_pseudonym = r.str();
+  p.invitee_token = r.big();
+  p.terms = r.str();
+  p.issuer_sig = r.big();
+  return p;
+}
+
+EvidencePiece make_evidence_piece(std::uint32_t index,
+                                  const std::string& prev_hash,
+                                  const crypto::RsaKeyPair& issuer,
+                                  const std::string& invitee_pseudonym,
+                                  const bn::BigUInt& invitee_token,
+                                  const std::string& terms) {
+  EvidencePiece piece;
+  piece.index = index;
+  piece.prev_hash = prev_hash;
+  piece.issuer_pub = issuer.public_key();
+  piece.issuer_pseudonym = pseudonym_hash(issuer.public_key());
+  piece.invitee_pseudonym = invitee_pseudonym;
+  piece.invitee_token = invitee_token;
+  piece.terms = terms;
+  piece.issuer_sig = issuer.sign(piece.canonical());
+  return piece;
+}
+
+}  // namespace dla::audit

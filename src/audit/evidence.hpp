@@ -1,0 +1,94 @@
+// Undeniable evidence chain for anonymous-yet-authenticated DLA membership
+// (Section 4.2 of the paper, Figures 6-7).
+//
+// Roles and properties reproduced from the paper:
+//  * a credential authority (CA) grants logging/auditing tokens; tokens are
+//    Chaum *blind* RSA signatures over the member's pseudonym commitment,
+//    so the CA cannot link a token to the node spending it (anonymity);
+//  * joining is a three-way handshake between the chain tail P_y and the
+//    candidate P_x: policy proposal (PP) -> service commitment (SC) ->
+//    evidence grant (RE), after which P_y's invite authority passes to P_x;
+//  * each join mints an unforgeable evidence piece binding the negotiated
+//    service terms (the paper's r-binding / x-binding of [30], realised
+//    here as hash commitments signed by the issuer's pseudonym key);
+//  * a tail that invites twice creates two pieces with the same predecessor
+//    hash — detect_double_invite() exposes the issuer's pseudonym, which is
+//    exactly the paper's deterrent ("doing so will subject P_y to exposure
+//    of its true identity and its misconduct").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/rng.hpp"
+#include "crypto/rsa.hpp"
+#include "net/bytes.hpp"
+
+namespace dla::audit {
+
+// A member's pseudonym is an RSA public key; its hash commits to it inside
+// tokens and evidence pieces.
+std::string pseudonym_hash(const crypto::RsaPublicKey& pub);
+
+// The message a membership token signs (blindly): binds the pseudonym.
+std::string token_message(const std::string& pseudonym_hash);
+
+struct EvidencePiece {
+  std::uint32_t index = 0;          // position in the chain (genesis = 0)
+  std::string prev_hash;            // hash of the predecessor piece ("" first)
+  std::string issuer_pseudonym;     // pseudonym hash of the inviter
+  crypto::RsaPublicKey issuer_pub;  // inviter pseudonym key (verifies sig)
+  std::string invitee_pseudonym;    // pseudonym hash of the new member
+  bn::BigUInt invitee_token;        // CA blind signature over invitee pseudonym
+  std::string terms;                // negotiated PP/SC service terms
+  bn::BigUInt issuer_sig;           // issuer signature over canonical()
+
+  // Stable rendering covered by issuer_sig (excludes issuer_sig itself).
+  std::string canonical() const;
+  // Hash chained into the successor piece.
+  std::string hash() const;
+
+  void encode(net::Writer& w) const;
+  static EvidencePiece decode(net::Reader& r);
+};
+
+// Outcome of verifying a whole chain.
+struct ChainVerification {
+  bool ok = false;
+  std::string failure;       // empty when ok
+  std::size_t checked = 0;   // pieces verified before failure
+};
+
+class EvidenceChain {
+ public:
+  const std::vector<EvidencePiece>& pieces() const { return pieces_; }
+  std::size_t size() const { return pieces_.size(); }
+  bool empty() const { return pieces_.empty(); }
+  void append(EvidencePiece piece) { pieces_.push_back(std::move(piece)); }
+
+  // Full verification against the CA public key: hash linkage, CA tokens,
+  // issuer signatures, and the single-tail invite-authority rule (piece k's
+  // issuer must be piece k-1's invitee).
+  ChainVerification verify(const crypto::RsaPublicKey& ca_pub) const;
+
+ private:
+  std::vector<EvidencePiece> pieces_;
+};
+
+// Misconduct detection: two pieces issued by the same pseudonym with the
+// same predecessor prove a double invite; returns the exposed pseudonym.
+std::optional<std::string> detect_double_invite(
+    const std::vector<EvidencePiece>& pieces);
+
+// ------------------------------------------------------- helper factory --
+// Builds one evidence piece the way the handshake's third phase does:
+// issuer signs the canonical form with its pseudonym keypair.
+EvidencePiece make_evidence_piece(std::uint32_t index,
+                                  const std::string& prev_hash,
+                                  const crypto::RsaKeyPair& issuer,
+                                  const std::string& invitee_pseudonym,
+                                  const bn::BigUInt& invitee_token,
+                                  const std::string& terms);
+
+}  // namespace dla::audit

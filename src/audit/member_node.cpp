@@ -1,0 +1,183 @@
+#include "audit/member_node.hpp"
+
+namespace dla::audit {
+
+// ------------------------------------------------------------- CaNode -----
+
+CaNode::CaNode(std::string name, crypto::RsaKeyPair key)
+    : name_(std::move(name)), key_(std::move(key)) {}
+
+void CaNode::on_message(net::Simulator& sim, const net::Message& msg) {
+  if (msg.type != kTokenRequest) return;
+  net::Reader r(msg.payload);
+  std::uint64_t reqid = r.u64();
+  bn::BigUInt blinded = r.big();
+  // Blind signing: the CA sees only m * r^e mod n, never the pseudonym.
+  bn::BigUInt blind_sig = key_.apply_private(blinded % key_.public_key().n);
+  ++tokens_issued_;
+  net::Writer w;
+  w.u64(reqid);
+  w.big(blind_sig);
+  sim.send(id(), msg.src, kTokenReply, std::move(w).take());
+}
+
+// ----------------------------------------------------------- MemberNode ---
+
+MemberNode::MemberNode(std::string name, std::uint64_t seed,
+                       std::size_t pseudonym_bits)
+    : name_(std::move(name)),
+      rng_(seed),
+      key_(crypto::RsaKeyPair::generate(rng_, pseudonym_bits)) {}
+
+void MemberNode::acquire_token(net::Simulator& sim, net::NodeId ca,
+                               const crypto::RsaPublicKey& ca_pub,
+                               TokenCallback done) {
+  ca_pub_ = ca_pub;
+  token_done_ = std::move(done);
+  auto blinding =
+      crypto::blind(ca_pub, token_message(pseudonym()), rng_);
+  blind_factor_ = blinding.r;
+  net::Writer w;
+  w.u64(1);
+  w.big(blinding.blinded);
+  sim.send(id(), ca, kTokenRequest, std::move(w).take());
+}
+
+void MemberNode::handle_token_reply(net::Simulator&, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  r.u64();  // reqid
+  bn::BigUInt blind_sig = r.big();
+  bn::BigUInt sig = crypto::unblind(*ca_pub_, blind_sig, blind_factor_);
+  bool ok = ca_pub_->verify(token_message(pseudonym()), sig);
+  if (ok) token_ = std::move(sig);
+  if (token_done_) {
+    TokenCallback done = std::move(token_done_);
+    token_done_ = nullptr;
+    done(ok);
+  }
+}
+
+void MemberNode::found_chain(const std::string& terms) {
+  if (!token_) throw std::logic_error("found_chain: no membership token");
+  EvidencePiece genesis = make_evidence_piece(0, "", key_, pseudonym(),
+                                              *token_, terms);
+  chain_.append(std::move(genesis));
+  chain_at_authority_ = chain_;
+  has_authority_ = true;
+}
+
+void MemberNode::invite(net::Simulator& sim, net::NodeId candidate,
+                        const std::string& terms, JoinCallback done) {
+  if (!has_authority_ && !allow_misconduct_) {
+    if (done) done(false);
+    return;
+  }
+  SessionId session = (static_cast<SessionId>(id()) << 32) | next_session_++;
+  pending_invites_[session] = PendingInvite{terms, std::move(done)};
+  net::Writer w;
+  w.u64(session);
+  w.str(terms);
+  sim.send(id(), candidate, kPolicyProposal, std::move(w).take());
+}
+
+void MemberNode::handle_policy_proposal(net::Simulator& sim,
+                                        const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId session = r.u64();
+  std::string terms = r.str();
+  if (!token_) return;  // cannot commit without a CA token
+  // Phase 2: service commitment with token and pseudonym key.
+  net::Writer w;
+  w.u64(session);
+  w.str("commit:" + terms);
+  w.big(*token_);
+  w.big(key_.public_key().n);
+  w.big(key_.public_key().e);
+  sim.send(id(), msg.src, kServiceCommitment, std::move(w).take());
+}
+
+void MemberNode::handle_service_commitment(net::Simulator& sim,
+                                           const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId session = r.u64();
+  std::string services = r.str();
+  bn::BigUInt token = r.big();
+  crypto::RsaPublicKey invitee_pub{r.big(), r.big()};
+
+  auto it = pending_invites_.find(session);
+  if (it == pending_invites_.end()) return;
+  PendingInvite invite = std::move(it->second);
+  pending_invites_.erase(it);
+
+  std::string invitee = pseudonym_hash(invitee_pub);
+  bool token_ok =
+      ca_pub_.has_value() && ca_pub_->verify(token_message(invitee), token);
+  if (!token_ok) {
+    if (invite.done) invite.done(false);
+    return;
+  }
+  // Phase 3: mint the evidence piece on top of the chain as it stood when
+  // this node gained the invite authority, and hand over chain + authority.
+  // An honest node does this once; a misbehaving node reuses the snapshot
+  // and produces a fork (same issuer, same predecessor) — the undeniable
+  // double-invite evidence.
+  std::string prev_hash = chain_at_authority_.empty()
+                              ? ""
+                              : chain_at_authority_.pieces().back().hash();
+  EvidencePiece piece = make_evidence_piece(
+      static_cast<std::uint32_t>(chain_at_authority_.size()), prev_hash, key_,
+      invitee, token, invite.terms + "|" + services);
+  EvidenceChain granted = chain_at_authority_;
+  granted.append(piece);
+  chain_ = granted;
+  has_authority_ = false;  // authority passes to the invitee
+
+  net::Writer w;
+  w.u64(session);
+  w.vec(granted.pieces(), [](net::Writer& out, const EvidencePiece& p) {
+    p.encode(out);
+  });
+  sim.send(id(), msg.src, kEvidenceGrant, std::move(w).take());
+  if (invite.done) invite.done(true);
+}
+
+void MemberNode::handle_evidence_grant(net::Simulator&,
+                                       const net::Message& msg) {
+  net::Reader r(msg.payload);
+  r.u64();  // session
+  auto pieces = r.vec<EvidencePiece>(
+      [](net::Reader& in) { return EvidencePiece::decode(in); });
+  EvidenceChain chain;
+  for (auto& piece : pieces) chain.append(std::move(piece));
+  // Accept the chain only if it verifies and its tail names us.
+  if (ca_pub_.has_value()) {
+    auto verification = chain.verify(*ca_pub_);
+    if (!verification.ok) {
+      // Keep the offending pieces: they are undeniable proof of the
+      // issuer's misconduct (e.g. a double invite).
+      for (const auto& piece : chain.pieces()) {
+        suspicious_pieces_.push_back(piece);
+      }
+      return;
+    }
+  }
+  if (chain.empty() || chain.pieces().back().invitee_pseudonym != pseudonym())
+    return;
+  chain_ = std::move(chain);
+  chain_at_authority_ = chain_;
+  has_authority_ = true;
+  if (on_joined) on_joined(chain_);
+}
+
+void MemberNode::on_message(net::Simulator& sim, const net::Message& msg) {
+  switch (msg.type) {
+    case kTokenReply: return handle_token_reply(sim, msg);
+    case kPolicyProposal: return handle_policy_proposal(sim, msg);
+    case kServiceCommitment: return handle_service_commitment(sim, msg);
+    case kEvidenceGrant: return handle_evidence_grant(sim, msg);
+    default:
+      break;
+  }
+}
+
+}  // namespace dla::audit

@@ -1,0 +1,63 @@
+#include "audit/metrics.hpp"
+
+namespace dla::audit {
+
+double store_confidentiality(const logm::LogRecord& record,
+                             const logm::Schema& schema,
+                             const logm::AttributePartition& partition) {
+  const std::size_t w = record.attrs.size();
+  if (w == 0) return 0.0;
+  std::size_t v = 0;
+  for (const auto& [name, value] : record.attrs) {
+    if (schema.contains(name) && schema.at(name).undefined) ++v;
+  }
+  const std::size_t u = partition.covering_nodes(record);
+  return static_cast<double>(v) * static_cast<double>(u) /
+         static_cast<double>(w);
+}
+
+double auditing_confidentiality(const std::vector<Subquery>& subqueries) {
+  std::size_t s = 0, t = 0;
+  const std::size_t q = subqueries.size();
+  for (const auto& sq : subqueries) {
+    PredicateStats stats = predicate_stats(sq.expr);
+    s += stats.atomic;
+    if (!sq.local()) t += stats.atomic;
+  }
+  if (s + q == 0) return 0.0;
+  return static_cast<double>(t + q) / static_cast<double>(s + q);
+}
+
+double query_confidentiality(const std::vector<Subquery>& subqueries,
+                             const logm::LogRecord& record,
+                             const logm::Schema& schema,
+                             const logm::AttributePartition& partition) {
+  return auditing_confidentiality(subqueries) *
+         store_confidentiality(record, schema, partition);
+}
+
+double dla_confidentiality(
+    const std::vector<std::vector<Subquery>>& normalized_queries,
+    const std::vector<logm::LogRecord>& records, const logm::Schema& schema,
+    const logm::AttributePartition& partition) {
+  if (normalized_queries.empty() || records.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& query : normalized_queries) {
+    for (const auto& record : records) {
+      total += query_confidentiality(query, record, schema, partition);
+    }
+  }
+  return total /
+         (static_cast<double>(normalized_queries.size()) *
+          static_cast<double>(records.size()));
+}
+
+std::vector<Subquery> normalize(std::string_view criterion,
+                                const logm::Schema& schema,
+                                const logm::AttributePartition& partition) {
+  Expr ast = parse(criterion, schema);
+  Expr nf = push_negations(ast);
+  return classify(to_conjunctive(nf), partition);
+}
+
+}  // namespace dla::audit

@@ -1,0 +1,49 @@
+// Auditing-confidentiality metrics (Section 5 of the paper, Eqs. 10-13).
+//
+//   C_store(Log)    = v*u / w        (Eq. 10)
+//   C_auditing(Q)   = (t+q) / (s+q)  (Eq. 11)
+//   C_query(Q, Log) = C_auditing * C_store   (Eq. 12)
+//   C_DLA           = average C_query over a query/log workload (Eq. 13)
+//
+// where w = attributes in the log record, v = undefined (C*) attributes,
+// u = minimum DLA nodes covering the record's attributes, s = atomic
+// predicates in the normalized criterion, t = cross (multi-node) atomic
+// predicates, q = conjuncts.
+#pragma once
+
+#include <vector>
+
+#include "audit/query.hpp"
+#include "logm/record.hpp"
+
+namespace dla::audit {
+
+// Eq. 10. w is taken from the record's attribute count; v counts attributes
+// the schema marks undefined; u from the partition coverage.
+double store_confidentiality(const logm::LogRecord& record,
+                             const logm::Schema& schema,
+                             const logm::AttributePartition& partition);
+
+// Eq. 11, computed on the normalized (negation-free, conjunctive) form.
+// A subquery's predicates count as cross (towards t) when the subquery
+// spans more than one DLA node.
+double auditing_confidentiality(const std::vector<Subquery>& subqueries);
+
+// Eq. 12.
+double query_confidentiality(const std::vector<Subquery>& subqueries,
+                             const logm::LogRecord& record,
+                             const logm::Schema& schema,
+                             const logm::AttributePartition& partition);
+
+// Eq. 13: mean of query_confidentiality over every (query, record) pair.
+double dla_confidentiality(
+    const std::vector<std::vector<Subquery>>& normalized_queries,
+    const std::vector<logm::LogRecord>& records, const logm::Schema& schema,
+    const logm::AttributePartition& partition);
+
+// Convenience: parse + normalize + classify a criterion in one step.
+std::vector<Subquery> normalize(std::string_view criterion,
+                                const logm::Schema& schema,
+                                const logm::AttributePartition& partition);
+
+}  // namespace dla::audit

@@ -1,0 +1,109 @@
+// Auditing-criteria language (Section 2 of the paper).
+//
+// An auditing criterion Q is a Boolean combination (AND / OR / NOT) of
+// auditing predicates of the form  A op (B | c)  where A, B are audit-trail
+// attributes, c is a constant, and op is one of < > = != <= >=. Quantifiers
+// are not allowed (paper restriction).
+//
+// Processing pipeline (Figure 3):
+//   parse()            text -> AST, validated against the schema
+//   push_negations()   NOT is eliminated by negating comparison operators
+//                      and applying De Morgan's laws
+//   to_conjunctive()   the negation-free AST is flattened into a conjunction
+//                      of subqueries SQ_1 AND ... AND SQ_q
+//   classify()         each subquery is *local* (all attributes stored on a
+//                      single DLA node) or *cross* (attributes span nodes and
+//                      need relaxed secure multiparty computation)
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "logm/record.hpp"
+
+namespace dla::audit {
+
+enum class CmpOp : std::uint8_t { Lt, Le, Gt, Ge, Eq, Ne };
+
+std::string_view to_string(CmpOp op);
+CmpOp negate(CmpOp op);
+
+// One auditing predicate: lhs op rhs where rhs is an attribute or constant.
+struct Predicate {
+  std::string lhs;
+  CmpOp op = CmpOp::Eq;
+  bool rhs_is_attr = false;
+  std::string rhs_attr;    // valid when rhs_is_attr
+  logm::Value rhs_const;   // valid when !rhs_is_attr
+
+  bool operator==(const Predicate&) const = default;
+};
+
+// Value-semantic expression tree.
+struct Expr {
+  enum class Kind : std::uint8_t { Pred, And, Or, Not };
+
+  Kind kind = Kind::Pred;
+  Predicate pred;              // when kind == Pred
+  std::vector<Expr> children;  // when kind is And / Or / Not
+
+  static Expr make_pred(Predicate p);
+  static Expr make_and(std::vector<Expr> children);
+  static Expr make_or(std::vector<Expr> children);
+  static Expr make_not(Expr child);
+
+  bool operator==(const Expr&) const = default;
+};
+
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Parses the textual criterion; validates every attribute against `schema`
+// and that comparisons are type-sane (text attributes only with = and !=
+// against text operands). Throws ParseError.
+Expr parse(std::string_view text, const logm::Schema& schema);
+
+// Eliminates every NOT node: De Morgan on AND/OR, operator negation on
+// predicates. The result contains only Pred/And/Or nodes.
+Expr push_negations(const Expr& expr);
+
+// Flattens a negation-free expression into the paper's conjunctive form:
+// the returned subqueries SQ_i satisfy  Q == SQ_1 AND ... AND SQ_q.
+std::vector<Expr> to_conjunctive(const Expr& expr);
+
+// All attribute names referenced by the expression (both sides).
+std::set<std::string> attributes_of(const Expr& expr);
+
+// Counts of atomic predicates and attribute-vs-attribute predicates, used
+// by the confidentiality metrics (Eq. 11) and by the planner.
+struct PredicateStats {
+  std::size_t atomic = 0;       // s: total atomic auditing predicates
+  std::size_t cross_attr = 0;   // predicates comparing two attributes
+};
+PredicateStats predicate_stats(const Expr& expr);
+
+// Subquery classification against an attribute partition (Figure 3).
+struct Subquery {
+  Expr expr;
+  std::set<std::size_t> nodes;  // DLA nodes storing the referenced attributes
+  bool local() const { return nodes.size() <= 1; }
+};
+
+std::vector<Subquery> classify(const std::vector<Expr>& conjuncts,
+                               const logm::AttributePartition& partition);
+
+// Direct evaluation of an expression against a full attribute map. Throws
+// std::out_of_range if a referenced attribute is missing. NOT nodes are
+// supported (used by the centralized baseline on raw records).
+bool evaluate(const Expr& expr,
+              const std::map<std::string, logm::Value>& attrs);
+
+// Renders the expression back to criterion text (for diagnostics and the
+// EXPERIMENTS tables).
+std::string to_text(const Expr& expr);
+
+}  // namespace dla::audit

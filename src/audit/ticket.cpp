@@ -1,0 +1,70 @@
+#include "audit/ticket.hpp"
+
+#include <sstream>
+
+namespace dla::audit {
+
+std::string Ticket::authenticated_payload() const {
+  std::ostringstream os;
+  os << id << '\n' << principal << '\n';
+  for (logm::Op op : ops) os << logm::to_string(op);
+  os << '\n' << (auditor ? "A" : "u") << '\n' << expires_at;
+  return os.str();
+}
+
+void Ticket::encode(net::Writer& w) const {
+  w.str(id);
+  w.str(principal);
+  w.u8(static_cast<std::uint8_t>(ops.size()));
+  for (logm::Op op : ops) w.u8(static_cast<std::uint8_t>(op));
+  w.boolean(auditor);
+  w.u64(expires_at);
+  net::Bytes mac_bytes(mac.begin(), mac.end());
+  w.blob(mac_bytes);
+}
+
+Ticket Ticket::decode(net::Reader& r) {
+  Ticket t;
+  t.id = r.str();
+  t.principal = r.str();
+  std::uint8_t op_count = r.u8();
+  for (std::uint8_t i = 0; i < op_count; ++i) {
+    t.ops.insert(static_cast<logm::Op>(r.u8()));
+  }
+  t.auditor = r.boolean();
+  t.expires_at = r.u64();
+  net::Bytes mac_bytes = r.blob();
+  if (mac_bytes.size() != t.mac.size())
+    throw net::CodecError("Ticket::decode: bad MAC length");
+  std::copy(mac_bytes.begin(), mac_bytes.end(), t.mac.begin());
+  return t;
+}
+
+TicketService::TicketService(std::vector<std::uint8_t> mac_key)
+    : key_(std::move(mac_key)) {}
+
+Ticket TicketService::issue(std::string id, std::string principal,
+                            std::set<logm::Op> ops, bool auditor,
+                            std::uint64_t expires_at) const {
+  Ticket t;
+  t.id = std::move(id);
+  t.principal = std::move(principal);
+  t.ops = std::move(ops);
+  t.auditor = auditor;
+  t.expires_at = expires_at;
+  t.mac = crypto::hmac_sha256(key_, t.authenticated_payload());
+  return t;
+}
+
+bool TicketService::verify(const Ticket& ticket, std::uint64_t now) const {
+  if (ticket.expires_at != 0 && now > ticket.expires_at) return false;
+  return crypto::hmac_sha256(key_, ticket.authenticated_payload()) ==
+         ticket.mac;
+}
+
+bool TicketService::authorizes(const Ticket& ticket, logm::Op op,
+                               std::uint64_t now) const {
+  return verify(ticket, now) && ticket.ops.contains(op);
+}
+
+}  // namespace dla::audit

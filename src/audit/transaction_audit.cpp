@@ -1,0 +1,119 @@
+#include "audit/transaction_audit.hpp"
+
+#include <set>
+
+namespace dla::audit {
+
+TransactionAuditor::TransactionAuditor(logm::Schema schema,
+                                       std::vector<Rule> rules)
+    : schema_(std::move(schema)), rules_(std::move(rules)) {}
+
+RuleVerdict TransactionAuditor::check(std::size_t index, const Rule& rule,
+                                      const logm::Transaction& txn) const {
+  RuleVerdict verdict;
+  verdict.rule_index = index;
+  verdict.satisfied = true;
+
+  if (const auto* per_event = std::get_if<PerEventCriterion>(&rule)) {
+    Expr expr = parse(per_event->criterion, schema_);
+    for (const auto& event : txn.events) {
+      bool ok;
+      try {
+        ok = evaluate(expr, event.record.attrs);
+      } catch (const std::out_of_range&) {
+        ok = false;  // record missing a referenced attribute
+      }
+      if (!ok) {
+        verdict.satisfied = false;
+        verdict.detail = "event glsn " +
+                         std::to_string(event.record.glsn) +
+                         " violates '" + per_event->criterion + "'";
+        break;
+      }
+    }
+    return verdict;
+  }
+
+  if (const auto* order = std::get_if<EventOrder>(&rule)) {
+    for (std::size_t i = 1; i < txn.events.size(); ++i) {
+      auto prev = txn.events[i - 1].record.attrs.find(order->time_attr);
+      auto cur = txn.events[i].record.attrs.find(order->time_attr);
+      if (prev == txn.events[i - 1].record.attrs.end() ||
+          cur == txn.events[i].record.attrs.end()) {
+        verdict.satisfied = false;
+        verdict.detail = "missing '" + order->time_attr + "' attribute";
+        break;
+      }
+      auto c = cur->second.compare(prev->second);
+      bool out_of_order = order->strict
+                              ? c != std::partial_ordering::greater
+                              : c == std::partial_ordering::less;
+      if (out_of_order) {
+        verdict.satisfied = false;
+        verdict.detail = "event " + std::to_string(i) + " out of order on '" +
+                         order->time_attr + "'";
+        break;
+      }
+    }
+    return verdict;
+  }
+
+  if (const auto* completeness = std::get_if<Completeness>(&rule)) {
+    if (txn.events.size() != completeness->expected_events) {
+      verdict.satisfied = false;
+      verdict.detail = "expected " +
+                       std::to_string(completeness->expected_events) +
+                       " events, found " + std::to_string(txn.events.size());
+    }
+    return verdict;
+  }
+
+  if (const auto* parties = std::get_if<DistinctParties>(&rule)) {
+    std::set<std::string> executors;
+    for (const auto& event : txn.events) executors.insert(event.executed_by);
+    if (executors.size() < parties->min_parties) {
+      verdict.satisfied = false;
+      verdict.detail = "only " + std::to_string(executors.size()) +
+                       " distinct parties, need " +
+                       std::to_string(parties->min_parties);
+    }
+    return verdict;
+  }
+
+  // NoDuplicateEvents.
+  std::set<logm::Glsn> seen;
+  for (const auto& event : txn.events) {
+    if (!seen.insert(event.record.glsn).second) {
+      verdict.satisfied = false;
+      verdict.detail =
+          "duplicate glsn " + std::to_string(event.record.glsn);
+      break;
+    }
+  }
+  return verdict;
+}
+
+TransactionAuditReport TransactionAuditor::audit(
+    const logm::Transaction& txn) const {
+  TransactionAuditReport report;
+  report.tsn = txn.tsn;
+  report.conforms = true;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    RuleVerdict verdict = check(i, rules_[i], txn);
+    report.conforms = report.conforms && verdict.satisfied;
+    report.verdicts.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+std::vector<TransactionAuditReport> TransactionAuditor::find_violations(
+    const std::vector<logm::Transaction>& txns) const {
+  std::vector<TransactionAuditReport> out;
+  for (const auto& txn : txns) {
+    TransactionAuditReport report = audit(txn);
+    if (!report.conforms) out.push_back(std::move(report));
+  }
+  return out;
+}
+
+}  // namespace dla::audit

@@ -1,0 +1,89 @@
+// Transaction-specification auditing (Section 2, Eqs. 1-2; Section 4.2).
+//
+// A transaction T = {R_T, E_T, L_T, tsn, ttn} carries a rule set
+// R_T = {r_j(T)} of Boolean specifications; "the objectives of typical
+// auditing activities are to verify the conformance of system states with
+// transaction specifications R_T". This module provides the rule model and
+// an evaluator over audited transactions:
+//
+//   * PerEventCriterion  — every event's log record satisfies a criterion
+//                          (correlation / consistency checking);
+//   * EventOrder         — events are ordered by a timestamp attribute
+//                          (order of events);
+//   * Completeness       — the transaction carries an expected event count
+//                          for its type (atomicity: all steps logged);
+//   * DistinctParties    — at least k distinct executors appear
+//                          (non-repudiation needs both sides on record);
+//   * NoDuplicateEvents  — no two events share a glsn (irregular pattern
+//                          detection).
+//
+// The evaluator runs over full transactions (auditor-side, after the glsn
+// sets were retrieved confidentially) and reports per-rule verdicts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "audit/query.hpp"
+#include "logm/record.hpp"
+
+namespace dla::audit {
+
+struct PerEventCriterion {
+  std::string criterion;  // audit-language text, e.g. "C2 >= 0.0"
+};
+
+struct EventOrder {
+  std::string time_attr = "Time";
+  bool strict = false;  // strictly increasing vs non-decreasing
+};
+
+struct Completeness {
+  std::size_t expected_events = 0;
+};
+
+struct DistinctParties {
+  std::size_t min_parties = 2;
+};
+
+struct NoDuplicateEvents {};
+
+using Rule = std::variant<PerEventCriterion, EventOrder, Completeness,
+                          DistinctParties, NoDuplicateEvents>;
+
+struct RuleVerdict {
+  std::size_t rule_index = 0;
+  bool satisfied = false;
+  std::string detail;  // human-readable reason on failure
+};
+
+struct TransactionAuditReport {
+  std::uint64_t tsn = 0;
+  bool conforms = false;  // all rules satisfied
+  std::vector<RuleVerdict> verdicts;
+};
+
+class TransactionAuditor {
+ public:
+  TransactionAuditor(logm::Schema schema, std::vector<Rule> rules);
+
+  // Evaluate R_T against one transaction's event records.
+  TransactionAuditReport audit(const logm::Transaction& txn) const;
+
+  // Batch: audit every transaction, returning only the non-conforming
+  // reports (the auditor's exception list).
+  std::vector<TransactionAuditReport> find_violations(
+      const std::vector<logm::Transaction>& txns) const;
+
+ private:
+  RuleVerdict check(std::size_t index, const Rule& rule,
+                    const logm::Transaction& txn) const;
+
+  logm::Schema schema_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace dla::audit

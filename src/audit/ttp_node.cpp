@@ -1,0 +1,210 @@
+#include "audit/ttp_node.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dla::audit {
+
+namespace {
+
+bool compare_w(const bn::BigUInt& lhs, CmpOp op, const bn::BigUInt& rhs) {
+  switch (op) {
+    case CmpOp::Lt: return lhs < rhs;
+    case CmpOp::Le: return lhs <= rhs;
+    case CmpOp::Gt: return lhs > rhs;
+    case CmpOp::Ge: return lhs >= rhs;
+    case CmpOp::Eq: return lhs == rhs;
+    case CmpOp::Ne: return lhs != rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+TtpNode::TtpNode(std::string name)
+    : name_(std::move(name)), rng_("ttp/" + name_) {}
+
+void TtpNode::configure(ConfigPtr cfg) { cfg_ = std::move(cfg); }
+
+void TtpNode::on_message(net::Simulator& sim, const net::Message& msg) {
+  switch (msg.type) {
+    case kCmpSpec: return handle_cmp_spec(sim, msg);
+    case kCmpValue: return handle_cmp_value(sim, msg);
+    case kCmpBatch: return handle_cmp_batch(sim, msg);
+    case kScalarInit: return handle_scalar_init(sim, msg);
+    default:
+      break;
+  }
+}
+
+void TtpNode::handle_cmp_spec(net::Simulator& sim, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  CmpSpec spec = CmpSpec::decode(r, /*include_transform=*/false);
+  CmpState& state = cmp_[spec.session];
+  state.spec = std::move(spec);
+  state.have_spec = true;
+  maybe_finish(sim, state.spec.session);
+}
+
+void TtpNode::handle_cmp_value(net::Simulator& sim, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId session = r.u64();
+  std::uint32_t index = r.u32();
+  bn::BigUInt w = r.big();
+  cmp_[session].values[index] = std::move(w);
+  maybe_finish(sim, session);
+}
+
+void TtpNode::maybe_finish(net::Simulator& sim, SessionId session) {
+  auto it = cmp_.find(session);
+  if (it == cmp_.end()) return;
+  CmpState& state = it->second;
+  if (!state.have_spec ||
+      state.values.size() < state.spec.participants.size()) {
+    return;
+  }
+  const CmpSpec& spec = state.spec;
+  ++sessions_served_;
+
+  if (spec.op == CmpOpKind::Rank) {
+    // Private ranks: each participant learns only its own position.
+    for (const auto& [index, w] : state.values) {
+      std::uint32_t rank = 0;
+      for (const auto& [other, ow] : state.values) {
+        if (other != index && ow < w) ++rank;
+      }
+      net::Writer out;
+      out.u64(session);
+      out.u32(rank);
+      sim.send(id(), spec.participants[index], kRankResult,
+               std::move(out).take());
+    }
+    cmp_.erase(it);
+    return;
+  }
+
+  std::uint32_t outcome = 0;
+  switch (spec.op) {
+    case CmpOpKind::Equality: {
+      bool all_equal = true;
+      const bn::BigUInt& first = state.values.begin()->second;
+      for (const auto& [index, w] : state.values) {
+        if (w != first) all_equal = false;
+      }
+      outcome = all_equal ? 1 : 0;
+      break;
+    }
+    case CmpOpKind::Max:
+    case CmpOpKind::Min: {
+      std::uint32_t best = state.values.begin()->first;
+      for (const auto& [index, w] : state.values) {
+        const bn::BigUInt& current = state.values.at(best);
+        bool better = spec.op == CmpOpKind::Max ? w > current : w < current;
+        if (better) best = index;
+      }
+      outcome = best;
+      break;
+    }
+    case CmpOpKind::Rank:
+      break;  // handled above
+  }
+  for (net::NodeId obs : spec.observers) {
+    net::Writer out;
+    out.u64(session);
+    out.u8(static_cast<std::uint8_t>(spec.op));
+    out.u32(outcome);
+    sim.send(id(), obs, kCmpResult, std::move(out).take());
+  }
+  cmp_.erase(it);
+}
+
+void TtpNode::handle_scalar_init(net::Simulator& sim,
+                                 const net::Message& msg) {
+  net::Reader r(msg.payload);
+  SessionId session = r.u64();
+  net::NodeId alice = r.u32();
+  net::NodeId bob = r.u32();
+  std::uint32_t length = r.u32();
+  std::vector<net::NodeId> observers = decode_node_ids(r);
+
+  const bn::BigUInt& p = cfg_->shamir_prime;
+  std::vector<bn::BigUInt> ra_vec(length), rb_vec(length);
+  bn::BigUInt dot;
+  for (std::uint32_t i = 0; i < length; ++i) {
+    ra_vec[i] = bn::BigUInt::random_below(rng_, p);
+    rb_vec[i] = bn::BigUInt::random_below(rng_, p);
+    dot = (dot + bn::BigUInt::mulmod(ra_vec[i], rb_vec[i], p)) % p;
+  }
+  bn::BigUInt ra = bn::BigUInt::random_below(rng_, p);
+  bn::BigUInt rb = (dot + p - ra) % p;  // ra + rb = Ra.Rb (mod p)
+  ++sessions_served_;
+
+  net::Writer to_alice;
+  to_alice.u64(session);
+  to_alice.boolean(true);  // is_alice
+  to_alice.u32(bob);
+  encode_node_ids(to_alice, observers);
+  encode_elements(to_alice, ra_vec);
+  to_alice.big(ra);
+  sim.send(id(), alice, kScalarRandomness, std::move(to_alice).take());
+
+  net::Writer to_bob;
+  to_bob.u64(session);
+  to_bob.boolean(false);
+  to_bob.u32(alice);
+  encode_node_ids(to_bob, observers);
+  encode_elements(to_bob, rb_vec);
+  to_bob.big(rb);
+  sim.send(id(), bob, kScalarRandomness, std::move(to_bob).take());
+}
+
+void TtpNode::handle_cmp_batch(net::Simulator& sim, const net::Message& msg) {
+  net::Reader r(msg.payload);
+  std::uint64_t rid = r.u64();
+  std::uint64_t qid = r.u64();
+  std::uint8_t side = r.u8();
+  auto op = static_cast<CmpOp>(r.u8());
+  net::NodeId result_owner = r.u32();
+  net::NodeId gateway = r.u32();
+  auto entries = r.vec<CmpBatchEntry>([](net::Reader& in) {
+    CmpBatchEntry e;
+    e.glsn = in.u64();
+    e.w = in.big();
+    return e;
+  });
+
+  BatchState& batch = batches_[rid];
+  batch.qid = qid;
+  batch.op = op;
+  batch.result_owner = result_owner;
+  batch.gateway = gateway;
+  if (side > 1) return;  // malformed
+  batch.sides[side].entries = std::move(entries);
+  batch.sides[side].present = true;
+  if (!batch.sides[0].present || !batch.sides[1].present) return;
+  ++sessions_served_;
+
+  // Join the two sides on glsn and evaluate lhs op rhs on the transformed
+  // values; glsns present on only one side cannot satisfy the predicate.
+  std::map<logm::Glsn, const bn::BigUInt*> rhs_by_glsn;
+  for (const auto& e : batch.sides[1].entries) {
+    rhs_by_glsn[e.glsn] = &e.w;
+  }
+  std::vector<logm::Glsn> satisfying;
+  for (const auto& e : batch.sides[0].entries) {
+    auto it = rhs_by_glsn.find(e.glsn);
+    if (it == rhs_by_glsn.end()) continue;
+    if (compare_w(e.w, batch.op, *it->second)) satisfying.push_back(e.glsn);
+  }
+  std::sort(satisfying.begin(), satisfying.end());
+
+  net::Writer out;
+  out.u64(rid);
+  out.u64(batch.qid);
+  out.u32(batch.gateway);
+  out.vec(satisfying, [](net::Writer& w, logm::Glsn g) { w.u64(g); });
+  sim.send(id(), batch.result_owner, kCmpBatchResult, std::move(out).take());
+  batches_.erase(rid);
+}
+
+}  // namespace dla::audit

@@ -1,0 +1,70 @@
+// Blind TTP coordinator actor (Sections 3.2-3.3, Definition 1).
+//
+// The TTP receives only *transformed* values W = a*Y + b (mod p for
+// equality sessions): it can compare them — equality, order, ranking — but
+// never learns the plaintexts, because it is never told (a, b). For batched
+// cross-node attribute joins (query pipeline) it pairs two nodes' batches by
+// glsn and returns the satisfying glsn set to the designated result owner.
+//
+// The paper notes "provision must be made to prevent the TTP from leaking
+// the results, or to collude" — in this implementation the TTP only ever
+// addresses the observers named in the session spec, and the tests assert
+// no other node receives result traffic.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "audit/config.hpp"
+#include "audit/query.hpp"
+#include "audit/wire.hpp"
+#include "crypto/rng.hpp"
+
+namespace dla::audit {
+
+class TtpNode : public net::Node {
+ public:
+  explicit TtpNode(std::string name);
+  void configure(ConfigPtr cfg);
+
+  const std::string& name() const { return name_; }
+  // Number of comparison sessions served (for the benches).
+  std::uint64_t sessions_served() const { return sessions_served_; }
+
+  void on_message(net::Simulator& sim, const net::Message& msg) override;
+
+ private:
+  void handle_cmp_spec(net::Simulator& sim, const net::Message& msg);
+  void handle_cmp_value(net::Simulator& sim, const net::Message& msg);
+  void handle_cmp_batch(net::Simulator& sim, const net::Message& msg);
+  // Commodity-server role of the Du-Atallah scalar product: hand the two
+  // parties correlated randomness (ra + rb = Ra.Rb) and step aside.
+  void handle_scalar_init(net::Simulator& sim, const net::Message& msg);
+  void maybe_finish(net::Simulator& sim, SessionId session);
+
+  struct CmpState {
+    CmpSpec spec;          // transform-free
+    bool have_spec = false;
+    std::map<std::uint32_t, bn::BigUInt> values;  // participant index -> W
+  };
+  struct BatchSide {
+    std::vector<CmpBatchEntry> entries;
+    bool present = false;
+  };
+  struct BatchState {
+    std::uint64_t qid = 0;
+    CmpOp op = CmpOp::Eq;
+    net::NodeId result_owner = 0;
+    net::NodeId gateway = 0;
+    BatchSide sides[2];
+  };
+
+  std::string name_;
+  ConfigPtr cfg_;
+  crypto::ChaCha20Rng rng_;
+  std::map<SessionId, CmpState> cmp_;
+  std::map<std::uint64_t, BatchState> batches_;
+  std::uint64_t sessions_served_ = 0;
+};
+
+}  // namespace dla::audit

@@ -1,0 +1,133 @@
+#include "audit/wire.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace dla::audit {
+
+void encode_elements(net::Writer& w, const std::vector<bn::BigUInt>& elements) {
+  w.vec(elements, [](net::Writer& out, const bn::BigUInt& e) { out.big(e); });
+}
+
+std::vector<bn::BigUInt> decode_elements(net::Reader& r) {
+  return r.vec<bn::BigUInt>([](net::Reader& in) { return in.big(); });
+}
+
+void encode_node_ids(net::Writer& w, const std::vector<net::NodeId>& ids) {
+  w.vec(ids, [](net::Writer& out, net::NodeId id) { out.u32(id); });
+}
+
+std::vector<net::NodeId> decode_node_ids(net::Reader& r) {
+  return r.vec<net::NodeId>([](net::Reader& in) { return in.u32(); });
+}
+
+void SetSpec::encode(net::Writer& w) const {
+  w.u64(session);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u8(static_cast<std::uint8_t>(purpose));
+  encode_node_ids(w, participants);
+  w.u32(collector);
+  encode_node_ids(w, observers);
+}
+
+SetSpec SetSpec::decode(net::Reader& r) {
+  SetSpec s;
+  s.session = r.u64();
+  s.op = static_cast<SetOp>(r.u8());
+  s.purpose = static_cast<SetPurpose>(r.u8());
+  s.participants = decode_node_ids(r);
+  s.collector = r.u32();
+  s.observers = decode_node_ids(r);
+  return s;
+}
+
+void SumSpec::encode(net::Writer& w) const {
+  w.u64(session);
+  encode_node_ids(w, participants);
+  w.u32(threshold_k);
+  w.u32(collector);
+  encode_node_ids(w, observers);
+  encode_elements(w, weights);
+}
+
+SumSpec SumSpec::decode(net::Reader& r) {
+  SumSpec s;
+  s.session = r.u64();
+  s.participants = decode_node_ids(r);
+  s.threshold_k = r.u32();
+  s.collector = r.u32();
+  s.observers = decode_node_ids(r);
+  s.weights = decode_elements(r);
+  return s;
+}
+
+void CmpSpec::encode(net::Writer& w, bool include_transform) const {
+  w.u64(session);
+  w.u8(static_cast<std::uint8_t>(op));
+  encode_node_ids(w, participants);
+  w.u32(ttp);
+  encode_node_ids(w, observers);
+  w.boolean(include_transform);
+  if (include_transform) {
+    w.big(a);
+    w.big(b);
+  }
+}
+
+CmpSpec CmpSpec::decode(net::Reader& r, bool include_transform) {
+  CmpSpec s;
+  s.session = r.u64();
+  s.op = static_cast<CmpOpKind>(r.u8());
+  s.participants = decode_node_ids(r);
+  s.ttp = r.u32();
+  s.observers = decode_node_ids(r);
+  bool has_transform = r.boolean();
+  if (has_transform != include_transform)
+    throw net::CodecError("CmpSpec: transform presence mismatch");
+  if (has_transform) {
+    s.a = r.big();
+    s.b = r.big();
+  }
+  return s;
+}
+
+std::string report_message(std::uint64_t user_reqid,
+                           const std::vector<logm::Glsn>& glsns) {
+  crypto::Sha256 ctx;
+  ctx.update("audit-report:");
+  ctx.update(std::to_string(user_reqid));
+  for (logm::Glsn g : glsns) {
+    ctx.update("|");
+    ctx.update(std::to_string(g));
+  }
+  return crypto::to_hex(ctx.finalize());
+}
+
+std::string_view to_string(AggOp op) {
+  switch (op) {
+    case AggOp::Count: return "COUNT";
+    case AggOp::Sum: return "SUM";
+    case AggOp::Max: return "MAX";
+    case AggOp::Min: return "MIN";
+    case AggOp::Avg: return "AVG";
+  }
+  return "?";
+}
+
+bn::BigUInt encode_glsn_element(logm::Glsn glsn,
+                                const std::string& value_salt) {
+  bn::BigUInt element(glsn + 1);
+  element <<= 160;
+  crypto::Digest d = crypto::Sha256::hash(value_salt);
+  bn::BigUInt hash_part = bn::BigUInt::from_bytes({d.begin(), d.end()});
+  // Keep only the low 160 bits of the digest.
+  bn::BigUInt mask = (bn::BigUInt(1) << 160) - bn::BigUInt(1);
+  hash_part = hash_part % (mask + bn::BigUInt(1));
+  return element + hash_part;
+}
+
+logm::Glsn decode_glsn_element(const bn::BigUInt& element) {
+  bn::BigUInt shifted = element >> 160;
+  return shifted.low_u64() - 1;
+}
+
+}  // namespace dla::audit

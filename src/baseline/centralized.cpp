@@ -1,0 +1,34 @@
+#include "baseline/centralized.hpp"
+
+#include "net/bytes.hpp"
+
+namespace dla::baseline {
+
+CentralizedAuditor::CentralizedAuditor(logm::Schema schema)
+    : schema_(std::move(schema)) {}
+
+void CentralizedAuditor::log(logm::LogRecord record) {
+  net::Writer w;
+  record.encode(w);
+  ++cost_.messages;
+  cost_.bytes += w.bytes().size();
+  records_[record.glsn] = std::move(record);
+}
+
+std::vector<logm::Glsn> CentralizedAuditor::query(
+    const std::string& criterion) const {
+  audit::Expr expr = audit::parse(criterion, schema_);
+  std::vector<logm::Glsn> hits;
+  for (const auto& [glsn, record] : records_) {
+    try {
+      if (audit::evaluate(expr, record.attrs)) hits.push_back(glsn);
+    } catch (const std::out_of_range&) {
+      // sparse record: treat as non-match
+    }
+  }
+  cost_.messages += 2;  // query + reply
+  cost_.bytes += criterion.size() + hits.size() * sizeof(logm::Glsn);
+  return hits;
+}
+
+}  // namespace dla::baseline

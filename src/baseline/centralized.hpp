@@ -1,0 +1,46 @@
+// Centralized auditing baseline — the Figure 1 model the paper argues
+// against: one absolutely trusted auditor holds the complete log repository
+// and answers queries directly.
+//
+// It is fast (no protocols, no crypto) and scores zero on every Section 5
+// confidentiality metric: the auditor sees every attribute of every record
+// (u = 1 effective trust domain), and nothing restrains misuse of the log.
+// Benchmarks E6 and E9 measure it against the DLA cluster.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "audit/query.hpp"
+#include "logm/record.hpp"
+
+namespace dla::baseline {
+
+class CentralizedAuditor {
+ public:
+  explicit CentralizedAuditor(logm::Schema schema);
+
+  // Ingest one full record (the user ships everything to the auditor).
+  void log(logm::LogRecord record);
+  std::size_t size() const { return records_.size(); }
+
+  // Evaluate an auditing criterion directly over the full records.
+  std::vector<logm::Glsn> query(const std::string& criterion) const;
+
+  // Cost accounting comparable to the simulator's: one logical message per
+  // log call and two per query (request + response), with payload bytes.
+  struct Cost {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+  const Cost& cost() const { return cost_; }
+
+ private:
+  logm::Schema schema_;
+  std::map<logm::Glsn, logm::LogRecord> records_;
+  mutable Cost cost_;
+};
+
+}  // namespace dla::baseline

@@ -1,0 +1,90 @@
+#include "baseline/gmw.hpp"
+
+namespace dla::baseline {
+
+GmwComparator::GmwComparator(const crypto::RsaKeyPair& key, std::size_t bits,
+                             std::uint64_t seed)
+    : key_(key), bits_(bits), rng_(seed) {}
+
+GmwComparator::SharedBit GmwComparator::share(bool bit) {
+  bool mask = (rng_.next_u64() & 1) != 0;
+  return SharedBit{mask, static_cast<bool>(bit != mask)};
+}
+
+bool GmwComparator::cross_term(bool choice, bool data, bool& sender_share) {
+  // Sender offers (r, r XOR data); receiver picks slot `choice` and thus
+  // learns r XOR (choice AND data) without revealing choice; sender keeps r.
+  bool r = (rng_.next_u64() & 1) != 0;
+  sender_share = r;
+  bn::BigUInt m0(static_cast<std::uint64_t>(r));
+  bn::BigUInt m1(static_cast<std::uint64_t>(r != data));
+
+  crypto::ObliviousTransferSender sender(key_, rng_);
+  crypto::ObliviousTransferReceiver receiver(key_.public_key(), rng_);
+  auto offer = sender.make_offer();
+  auto v = receiver.choose(offer, choice);
+  auto reply = sender.respond(offer, v, m0, m1);
+  bn::BigUInt got = receiver.recover(reply);
+
+  ++cost_.ot_invocations;
+  cost_.modexps += sender.cost().modexps + receiver.cost().modexps;
+  cost_.messages += sender.cost().messages + receiver.cost().messages;
+  return !got.is_zero();
+}
+
+GmwComparator::SharedBit GmwComparator::and_gate(SharedBit lhs,
+                                                 SharedBit rhs) {
+  ++cost_.and_gates;
+  // (a1^a2)(b1^b2) = a1b1 ^ a1b2 ^ a2b1 ^ a2b2.
+  // Local terms: a1b1 at party A, a2b2 at party B.
+  bool local_a = lhs.a && rhs.a;
+  bool local_b = lhs.b && rhs.b;
+  // Cross terms via OT. a1b2: A is receiver (choice a1), B sender (data b2).
+  bool sender_share_1 = false;
+  bool recv_share_1 = cross_term(lhs.a, rhs.b, sender_share_1);
+  // a2b1: B is receiver (choice a2), A sender (data b1).
+  bool sender_share_2 = false;
+  bool recv_share_2 = cross_term(lhs.b, rhs.a, sender_share_2);
+
+  // Party A accumulates: a1b1 ^ recv(a1b2) ^ sender_share(a2b1).
+  bool share_a =
+      static_cast<bool>(static_cast<bool>(local_a != recv_share_1) !=
+                        sender_share_2);
+  // Party B accumulates: a2b2 ^ sender_share(a1b2) ^ recv(a2b1).
+  bool share_b =
+      static_cast<bool>(static_cast<bool>(local_b != sender_share_1) !=
+                        recv_share_2);
+  return SharedBit{share_a, share_b};
+}
+
+bool GmwComparator::greater_than(std::uint64_t x, std::uint64_t y) {
+  // MSB-first scan: gt = x_i AND NOT y_i, carried while bits stay equal.
+  SharedBit gt = share(false);
+  SharedBit all_eq = share(true);
+  for (std::size_t i = bits_; i-- > 0;) {
+    SharedBit xi = share((x >> i) & 1);
+    SharedBit yi = share((y >> i) & 1);
+    SharedBit xi_gt_yi = and_gate(xi, not_gate(yi));       // x_i AND NOT y_i
+    SharedBit new_win = and_gate(all_eq, xi_gt_yi);        // first difference
+    gt = xor_gate(gt, new_win);
+    SharedBit eq_i = not_gate(xor_gate(xi, yi));
+    all_eq = and_gate(all_eq, eq_i);
+  }
+  // Opening the output costs one message exchange.
+  ++cost_.messages;
+  return gt.value();
+}
+
+bool GmwComparator::equals(std::uint64_t x, std::uint64_t y) {
+  SharedBit all_eq = share(true);
+  for (std::size_t i = bits_; i-- > 0;) {
+    SharedBit xi = share((x >> i) & 1);
+    SharedBit yi = share((y >> i) & 1);
+    SharedBit eq_i = not_gate(xor_gate(xi, yi));
+    all_eq = and_gate(all_eq, eq_i);
+  }
+  ++cost_.messages;
+  return all_eq.value();
+}
+
+}  // namespace dla::baseline

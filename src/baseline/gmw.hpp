@@ -1,0 +1,77 @@
+// Classical secure two-party computation baseline: GMW-style boolean
+// evaluation of a greater-than circuit, with every AND gate paid for by
+// real 1-out-of-2 oblivious transfers.
+//
+// This is the "multiparty private computation" cost model the paper cites
+// as impractical ([9]-[18]; "their communication and computation costs are
+// very high") and is what benchmark E4 measures against the relaxed
+// blind-TTP comparison. The construction:
+//   * each input bit is XOR-shared between the two parties;
+//   * XOR / NOT gates are free (local);
+//   * an AND gate on shared bits costs two 1-of-2 OTs (one per cross term
+//     a1&b2 and a2&b1), each OT costing 3 modexps over the RSA modulus;
+//   * x > y on L-bit inputs uses the standard MSB-first scan
+//       gt_i = (x_i AND NOT y_i) XOR (eq_i AND gt_{i-1}),
+//       eq_i = NOT (x_i XOR y_i)
+//     i.e. 2 AND gates (4 OTs) per bit.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/oblivious_transfer.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/rsa.hpp"
+
+namespace dla::baseline {
+
+struct GmwCost {
+  std::uint64_t ot_invocations = 0;
+  std::uint64_t modexps = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t and_gates = 0;
+};
+
+// Two-party secure comparator. The object plays both parties internally
+// (suitable for cost benchmarking; the data flow between the parties goes
+// exclusively through share vectors and OT messages, never plaintext).
+class GmwComparator {
+ public:
+  // `key` is the OT sender's RSA key; `bits` the comparison width.
+  GmwComparator(const crypto::RsaKeyPair& key, std::size_t bits,
+                std::uint64_t seed);
+
+  // Returns x > y, computed over XOR-shared bits with OT-backed AND gates.
+  bool greater_than(std::uint64_t x, std::uint64_t y);
+  // Returns x == y (eq-fold needs 1 AND per bit instead of 2).
+  bool equals(std::uint64_t x, std::uint64_t y);
+
+  const GmwCost& cost() const { return cost_; }
+  void reset_cost() { cost_ = GmwCost{}; }
+
+ private:
+  struct SharedBit {
+    bool a;  // party A's share
+    bool b;  // party B's share
+    bool value() const { return a != b; }
+  };
+
+  SharedBit share(bool bit);
+  SharedBit and_gate(SharedBit lhs, SharedBit rhs);
+  static SharedBit xor_gate(SharedBit lhs, SharedBit rhs) {
+    return SharedBit{static_cast<bool>(lhs.a != rhs.a),
+                     static_cast<bool>(lhs.b != rhs.b)};
+  }
+  static SharedBit not_gate(SharedBit v) {
+    return SharedBit{!v.a, v.b};
+  }
+  // One OT-backed cross term: receiver holds choice bit, sender holds data
+  // bit; the receiver learns r XOR (choice AND data), the sender keeps r.
+  bool cross_term(bool choice, bool data, bool& sender_share);
+
+  const crypto::RsaKeyPair& key_;
+  std::size_t bits_;
+  crypto::ChaCha20Rng rng_;
+  GmwCost cost_;
+};
+
+}  // namespace dla::baseline

@@ -1,0 +1,30 @@
+#include "baseline/signature_integrity.hpp"
+
+namespace dla::baseline {
+
+SignatureIntegrity::SignatureIntegrity(const crypto::RsaKeyPair& signer)
+    : signer_(signer) {}
+
+void SignatureIntegrity::sign_fragment(std::size_t node,
+                                       const logm::Fragment& fragment) {
+  signatures_[{fragment.glsn, node}] = signer_.sign(fragment.canonical());
+  ++cost_.signatures;
+}
+
+bool SignatureIntegrity::verify_fragment(
+    std::size_t node, const logm::Fragment& fragment) const {
+  ++cost_.verifications;
+  auto it = signatures_.find({fragment.glsn, node});
+  if (it == signatures_.end()) return false;
+  return signer_.public_key().verify(fragment.canonical(), it->second);
+}
+
+bool SignatureIntegrity::verify_all(
+    const std::vector<logm::Fragment>& fragments) const {
+  for (std::size_t node = 0; node < fragments.size(); ++node) {
+    if (!verify_fragment(node, fragments[node])) return false;
+  }
+  return true;
+}
+
+}  // namespace dla::baseline

@@ -1,0 +1,160 @@
+#include "bignum/montgomery.hpp"
+
+#include <stdexcept>
+
+namespace dla::bn {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// -m^-1 mod 2^64 by Newton iteration (m odd).
+u64 neg_inverse_64(u64 m) {
+  u64 inv = m;  // 3 correct bits
+  for (int i = 0; i < 5; ++i) {
+    inv *= 2 - m * inv;  // doubles correct bits each round
+  }
+  return ~inv + 1;  // -(m^-1)
+}
+
+// a >= b over fixed-width limb vectors.
+bool geq(const std::vector<u64>& a, const std::vector<u64>& b) {
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] > b[i];
+  }
+  return true;
+}
+
+// a -= b (no underflow allowed).
+void sub_in_place(std::vector<u64>& a, const std::vector<u64>& b) {
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    u128 rhs = static_cast<u128>(b[i]) + borrow;
+    if (static_cast<u128>(a[i]) >= rhs) {
+      a[i] = static_cast<u64>(static_cast<u128>(a[i]) - rhs);
+      borrow = 0;
+    } else {
+      a[i] = static_cast<u64>((static_cast<u128>(1) << 64) + a[i] - rhs);
+      borrow = 1;
+    }
+  }
+}
+
+}  // namespace
+
+MontgomeryContext::MontgomeryContext(BigUInt modulus)
+    : modulus_(std::move(modulus)) {
+  if (modulus_.is_even() || modulus_ < BigUInt(3))
+    throw std::invalid_argument("MontgomeryContext: modulus must be odd >= 3");
+  mod_limbs_ = modulus_.limbs();
+  n_limbs_ = mod_limbs_.size();
+  n_prime_ = neg_inverse_64(mod_limbs_[0]);
+
+  // R = 2^(64 * n); R^2 mod m and R mod m via generic arithmetic (setup
+  // cost only).
+  BigUInt r = BigUInt(1) << (64 * n_limbs_);
+  BigUInt r2 = BigUInt::mulmod(r, r, modulus_);
+  BigUInt r_mod = r % modulus_;
+  r2_ = r2.limbs();
+  r2_.resize(n_limbs_, 0);
+  one_mont_ = r_mod.limbs();
+  one_mont_.resize(n_limbs_, 0);
+}
+
+MontgomeryContext::Limbs MontgomeryContext::redc(
+    std::vector<u64> t) const {
+  t.resize(2 * n_limbs_ + 1, 0);
+  for (std::size_t i = 0; i < n_limbs_; ++i) {
+    u64 m = t[i] * n_prime_;
+    // t += m * mod << (64 * i)
+    u64 carry = 0;
+    for (std::size_t j = 0; j < n_limbs_; ++j) {
+      u128 cur = static_cast<u128>(t[i + j]) +
+                 static_cast<u128>(m) * mod_limbs_[j] + carry;
+      t[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    // Propagate the carry.
+    for (std::size_t j = i + n_limbs_; carry != 0 && j < t.size(); ++j) {
+      u128 cur = static_cast<u128>(t[j]) + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+  }
+  Limbs out(t.begin() + static_cast<std::ptrdiff_t>(n_limbs_),
+            t.begin() + static_cast<std::ptrdiff_t>(2 * n_limbs_));
+  bool overflow = t[2 * n_limbs_] != 0;
+  if (overflow || geq(out, mod_limbs_)) sub_in_place(out, mod_limbs_);
+  return out;
+}
+
+MontgomeryContext::Limbs MontgomeryContext::mont_mul(const Limbs& a,
+                                                     const Limbs& b) const {
+  // Schoolbook product into 2n limbs, then REDC.
+  std::vector<u64> t(2 * n_limbs_, 0);
+  for (std::size_t i = 0; i < n_limbs_; ++i) {
+    u64 carry = 0;
+    u128 ai = a[i];
+    for (std::size_t j = 0; j < n_limbs_; ++j) {
+      u128 cur = static_cast<u128>(t[i + j]) + ai * b[j] + carry;
+      t[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    t[i + n_limbs_] = carry;
+  }
+  return redc(std::move(t));
+}
+
+MontgomeryContext::Limbs MontgomeryContext::to_mont(const BigUInt& v) const {
+  BigUInt reduced = v % modulus_;
+  Limbs limbs = reduced.limbs();
+  limbs.resize(n_limbs_, 0);
+  return mont_mul(limbs, r2_);
+}
+
+BigUInt MontgomeryContext::from_mont(const Limbs& v) const {
+  std::vector<u64> t(v.begin(), v.end());
+  Limbs reduced = redc(std::move(t));
+  // Build a BigUInt from the limb vector via bytes of each limb.
+  BigUInt out;
+  for (std::size_t i = reduced.size(); i-- > 0;) {
+    out <<= 64;
+    out += BigUInt(reduced[i]);
+  }
+  return out;
+}
+
+BigUInt MontgomeryContext::mulmod(const BigUInt& a, const BigUInt& b) const {
+  return from_mont(mont_mul(to_mont(a), to_mont(b)));
+}
+
+BigUInt MontgomeryContext::pow(const BigUInt& base,
+                               const BigUInt& exponent) const {
+  if (modulus_ == BigUInt(1)) return BigUInt{};
+  if (exponent.is_zero()) return BigUInt(1) % modulus_;
+
+  // Precompute base^0..base^15 in Montgomery form (4-bit fixed window).
+  std::vector<Limbs> table(16);
+  table[0] = one_mont_;
+  table[1] = to_mont(base);
+  for (std::size_t i = 2; i < 16; ++i) {
+    table[i] = mont_mul(table[i - 1], table[1]);
+  }
+
+  std::size_t bits = exponent.bit_length();
+  std::size_t windows = (bits + 3) / 4;
+  Limbs acc = one_mont_;
+  for (std::size_t w = windows; w-- > 0;) {
+    for (int s = 0; s < 4; ++s) acc = mont_mul(acc, acc);
+    std::size_t nibble = 0;
+    for (int b = 3; b >= 0; --b) {
+      std::size_t bit_index = w * 4 + static_cast<std::size_t>(b);
+      nibble = (nibble << 1) | (exponent.bit(bit_index) ? 1u : 0u);
+    }
+    if (nibble != 0) acc = mont_mul(acc, table[nibble]);
+  }
+  return from_mont(acc);
+}
+
+}  // namespace dla::bn

@@ -1,0 +1,55 @@
+// Montgomery-form modular arithmetic and windowed exponentiation.
+//
+// Every protocol in this repository bottoms out in modexp over a fixed odd
+// modulus (Pohlig-Hellman prime, RSA modulus, accumulator modulus,
+// threshold-Schnorr prime). MontgomeryContext precomputes the Montgomery
+// parameters for such a modulus once and provides:
+//   * REDC-based modular multiplication without division,
+//   * a fixed 4-bit-window exponentiation.
+// BigUInt::modexp remains the generic (odd or even modulus) path;
+// MontgomeryContext::pow is the fast path used by the crypto layer when the
+// modulus is odd — 2-4x faster at the 256-512 bit sizes used here (see
+// bench_set_intersection's BM_PohligHellmanEncrypt counters).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/biguint.hpp"
+
+namespace dla::bn {
+
+class MontgomeryContext {
+ public:
+  // modulus must be odd and >= 3; throws std::invalid_argument otherwise.
+  explicit MontgomeryContext(BigUInt modulus);
+
+  const BigUInt& modulus() const { return modulus_; }
+
+  // (a * b) mod m via Montgomery REDC. Inputs must be < m.
+  BigUInt mulmod(const BigUInt& a, const BigUInt& b) const;
+
+  // (base ^ exponent) mod m via 4-bit windowed Montgomery exponentiation.
+  // base may be >= m (reduced first).
+  BigUInt pow(const BigUInt& base, const BigUInt& exponent) const;
+
+ private:
+  // Limb-level helpers operating on fixed-width little-endian vectors of
+  // n_limbs_ limbs (values < m).
+  using Limbs = std::vector<std::uint64_t>;
+
+  Limbs to_mont(const BigUInt& v) const;      // v * R mod m
+  BigUInt from_mont(const Limbs& v) const;    // v * R^-1 mod m
+  // t (2n limbs, t < m*R) -> t * R^-1 mod m (n limbs).
+  Limbs redc(std::vector<std::uint64_t> t) const;
+  Limbs mont_mul(const Limbs& a, const Limbs& b) const;
+
+  BigUInt modulus_;
+  std::size_t n_limbs_ = 0;
+  std::uint64_t n_prime_ = 0;  // -m^-1 mod 2^64
+  Limbs r2_;                   // R^2 mod m (for to_mont)
+  Limbs one_mont_;             // R mod m (Montgomery one)
+  Limbs mod_limbs_;
+};
+
+}  // namespace dla::bn

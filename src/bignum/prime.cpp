@@ -1,0 +1,86 @@
+#include "bignum/prime.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace dla::bn {
+
+namespace {
+
+// Trial-division sieve over the first primes rejects most composites before
+// the expensive Miller-Rabin rounds run.
+constexpr std::array<std::uint64_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+bool divisible_by_small_prime(const BigUInt& n) {
+  for (std::uint64_t p : kSmallPrimes) {
+    BigUInt bp(p);
+    if (n == bp) return false;  // n *is* the small prime
+    if ((n % bp).is_zero()) return true;
+  }
+  return false;
+}
+
+bool miller_rabin_round(const BigUInt& n, const BigUInt& n_minus_1,
+                        const BigUInt& d, std::size_t r, const BigUInt& base) {
+  BigUInt x = BigUInt::modexp(base, d, n);
+  if (x == BigUInt(1) || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < r; ++i) {
+    x = BigUInt::mulmod(x, x, n);
+    if (x == n_minus_1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigUInt& n, RandomSource& rng,
+                       std::size_t rounds) {
+  if (n < BigUInt(2)) return false;
+  for (std::uint64_t p : kSmallPrimes) {
+    if (n == BigUInt(p)) return true;
+  }
+  if (n.is_even() || divisible_by_small_prime(n)) return false;
+
+  // Write n-1 = d * 2^r with d odd.
+  BigUInt n_minus_1 = n - BigUInt(1);
+  BigUInt d = n_minus_1;
+  std::size_t r = 0;
+  while (d.is_even()) {
+    d >>= 1;
+    ++r;
+  }
+  BigUInt span = n - BigUInt(4);  // bases drawn from [2, n-2]
+  for (std::size_t i = 0; i < rounds; ++i) {
+    BigUInt base = BigUInt::random_below(rng, span) + BigUInt(2);
+    if (!miller_rabin_round(n, n_minus_1, d, r, base)) return false;
+  }
+  return true;
+}
+
+BigUInt generate_prime(RandomSource& rng, std::size_t bits,
+                       std::size_t rounds) {
+  if (bits < 2) throw std::invalid_argument("generate_prime: bits < 2");
+  for (;;) {
+    BigUInt candidate = BigUInt::random_bits(rng, bits);
+    if (candidate.is_even()) candidate += BigUInt(1);
+    if (candidate.bit_length() != bits) continue;  // +1 overflowed the width
+    if (is_probable_prime(candidate, rng, rounds)) return candidate;
+  }
+}
+
+BigUInt generate_safe_prime(RandomSource& rng, std::size_t bits,
+                            std::size_t rounds) {
+  if (bits < 3) throw std::invalid_argument("generate_safe_prime: bits < 3");
+  for (;;) {
+    BigUInt q = generate_prime(rng, bits - 1, rounds);
+    BigUInt p = (q << 1) + BigUInt(1);
+    if (p.bit_length() != bits) continue;
+    if (is_probable_prime(p, rng, rounds)) return p;
+  }
+}
+
+}  // namespace dla::bn

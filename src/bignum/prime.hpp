@@ -1,0 +1,30 @@
+// Probabilistic primality testing and prime generation.
+//
+// Used by the crypto layer to generate Pohlig-Hellman / RSA / accumulator
+// moduli and Shamir fields. Miller-Rabin with random bases gives an error
+// probability below 4^-rounds; generate_safe_prime additionally requires
+// (p-1)/2 prime, which the Pohlig-Hellman scheme in the paper asks for
+// ("p-1 has a large prime factor").
+#pragma once
+
+#include <cstddef>
+
+#include "bignum/biguint.hpp"
+
+namespace dla::bn {
+
+// Miller-Rabin probabilistic primality test with `rounds` random bases.
+bool is_probable_prime(const BigUInt& n, RandomSource& rng,
+                       std::size_t rounds = 24);
+
+// Random prime with exactly `bits` significant bits.
+BigUInt generate_prime(RandomSource& rng, std::size_t bits,
+                       std::size_t rounds = 24);
+
+// Random safe prime p = 2q + 1 (q also prime) with exactly `bits` bits.
+// Noticeably slower than generate_prime; intended for key setup, not the
+// hot path.
+BigUInt generate_safe_prime(RandomSource& rng, std::size_t bits,
+                            std::size_t rounds = 24);
+
+}  // namespace dla::bn

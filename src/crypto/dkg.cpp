@@ -1,0 +1,92 @@
+#include "crypto/dkg.hpp"
+
+#include <stdexcept>
+
+#include "bignum/montgomery.hpp"
+#include "crypto/pohlig_hellman.hpp"
+#include "crypto/shamir.hpp"
+
+namespace dla::crypto {
+
+DkgGroup DkgGroup::fixed256() {
+  DkgGroup group;
+  group.p = PhDomain::fixed256().p;
+  group.q = (group.p - bn::BigUInt(1)) >> 1;
+  group.g = bn::BigUInt(4);  // 2^2: quadratic residue, order q
+  return group;
+}
+
+FeldmanDealing feldman_deal(const DkgGroup& group, const bn::BigUInt& secret,
+                            std::size_t k, std::size_t n, ChaCha20Rng& rng) {
+  if (k == 0 || k > n) throw std::invalid_argument("feldman_deal: bad k");
+  bn::MontgomeryContext mont(group.p);
+  ShamirField field(group.q);
+
+  // Polynomial coefficients: a_0 = secret, a_1..a_{k-1} random.
+  std::vector<bn::BigUInt> coeffs;
+  coeffs.push_back(secret % group.q);
+  for (std::size_t t = 1; t < k; ++t) {
+    coeffs.push_back(bn::BigUInt::random_below(rng, group.q));
+  }
+
+  FeldmanDealing out;
+  out.commitments.reserve(k);
+  for (const auto& a : coeffs) {
+    out.commitments.push_back(mont.pow(group.g, a));
+  }
+  out.shares.reserve(n);
+  for (std::size_t j = 1; j <= n; ++j) {
+    // Horner evaluation of f(j) mod q.
+    bn::BigUInt x(static_cast<std::uint64_t>(j));
+    bn::BigUInt y;
+    for (std::size_t t = k; t-- > 0;) {
+      y = field.add(field.mul(y, x), coeffs[t]);
+    }
+    out.shares.push_back(std::move(y));
+  }
+  return out;
+}
+
+bool feldman_verify(const DkgGroup& group,
+                    const std::vector<bn::BigUInt>& commitments,
+                    std::uint32_t index, const bn::BigUInt& share) {
+  if (commitments.empty() || index == 0) return false;
+  bn::MontgomeryContext mont(group.p);
+  ShamirField field(group.q);
+  // rhs = prod_t A_t^(index^t); exponents reduced mod q (group order).
+  bn::BigUInt rhs(1);
+  bn::BigUInt power(1);  // index^t mod q
+  bn::BigUInt x(index);
+  for (const auto& commitment : commitments) {
+    rhs = mont.mulmod(rhs, mont.pow(commitment, power));
+    power = field.mul(power, x);
+  }
+  return mont.pow(group.g, share % group.q) == rhs;
+}
+
+bn::BigUInt dkg_combine_shares(const DkgGroup& group,
+                               const std::vector<bn::BigUInt>& received) {
+  ShamirField field(group.q);
+  bn::BigUInt x;
+  for (const auto& s : received) x = field.add(x, s);
+  return x;
+}
+
+bn::BigUInt dkg_public_key(const DkgGroup& group,
+                           const std::vector<bn::BigUInt>& constant_terms) {
+  bn::MontgomeryContext mont(group.p);
+  bn::BigUInt y(1);
+  for (const auto& a0 : constant_terms) y = mont.mulmod(y, a0);
+  return y;
+}
+
+ThresholdParams dkg_params(const DkgGroup& group, const bn::BigUInt& y) {
+  ThresholdParams params;
+  params.p = group.p;
+  params.q = group.q;
+  params.g = group.g;
+  params.y = y;
+  return params;
+}
+
+}  // namespace dla::crypto

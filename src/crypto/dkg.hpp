@@ -1,0 +1,70 @@
+// Feldman verifiable secret sharing and Pedersen-style distributed key
+// generation (DKG) for the cluster's threshold Schnorr key.
+//
+// deal_threshold_key() in threshold_schnorr.hpp needs a trusted dealer who
+// momentarily knows the whole secret — exactly the single point of trust
+// the paper's cluster-TTP architecture exists to avoid. DKG removes it:
+//
+//   * each party i deals a random secret z_i with Feldman VSS: Shamir
+//     shares s_i(j) plus public commitments A_it = g^{a_it} that let every
+//     receiver verify its share against the dealer's polynomial
+//     (g^{s_i(j)} == prod_t A_it^{j^t});
+//   * party j's final share is x_j = sum_i s_i(j) mod q — a Shamir share
+//     of x = sum_i z_i, which no party ever sees;
+//   * the joint public key is y = prod_i A_i0 = g^x.
+//
+// The resulting (params, shares) plug directly into the threshold-Schnorr
+// signing flow. A dealer distributing inconsistent shares is caught by the
+// per-share Feldman check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/biguint.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/threshold_schnorr.hpp"
+
+namespace dla::crypto {
+
+// The discrete-log group the DKG runs in (p safe prime, q = (p-1)/2,
+// g a generator of the order-q subgroup).
+struct DkgGroup {
+  bn::BigUInt p;
+  bn::BigUInt q;
+  bn::BigUInt g;
+
+  // The fixed 256-bit safe prime with g = 4 (a quadratic residue, hence of
+  // order q).
+  static DkgGroup fixed256();
+};
+
+struct FeldmanDealing {
+  // A_0 .. A_{k-1}: commitments to the dealer's polynomial coefficients.
+  std::vector<bn::BigUInt> commitments;
+  // shares[j] = f(j+1) for receiver index j+1 (1-based points).
+  std::vector<bn::BigUInt> shares;
+};
+
+// Deals `secret` (or a random secret when secret == nullopt semantics via
+// the overload below) with threshold k to n receivers.
+FeldmanDealing feldman_deal(const DkgGroup& group, const bn::BigUInt& secret,
+                            std::size_t k, std::size_t n, ChaCha20Rng& rng);
+
+// Verifies that `share` is f(index) for the committed polynomial:
+// g^share == prod_t commitments[t]^(index^t) mod p.
+bool feldman_verify(const DkgGroup& group,
+                    const std::vector<bn::BigUInt>& commitments,
+                    std::uint32_t index, const bn::BigUInt& share);
+
+// Aggregation helpers for the DKG endgame.
+// x_j = sum of the verified shares received by party j (mod q).
+bn::BigUInt dkg_combine_shares(const DkgGroup& group,
+                               const std::vector<bn::BigUInt>& received);
+// y = prod of every dealer's constant-term commitment (mod p).
+bn::BigUInt dkg_public_key(const DkgGroup& group,
+                           const std::vector<bn::BigUInt>& constant_terms);
+// Packages the DKG outcome as threshold-Schnorr parameters.
+ThresholdParams dkg_params(const DkgGroup& group, const bn::BigUInt& y);
+
+}  // namespace dla::crypto

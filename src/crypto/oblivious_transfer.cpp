@@ -1,0 +1,51 @@
+#include "crypto/oblivious_transfer.hpp"
+
+namespace dla::crypto {
+
+ObliviousTransferSender::ObliviousTransferSender(const RsaKeyPair& key,
+                                                 ChaCha20Rng& rng)
+    : key_(key), rng_(rng) {}
+
+ObliviousTransferSender::Offer ObliviousTransferSender::make_offer() {
+  const bn::BigUInt& n = key_.public_key().n;
+  ++cost_.messages;
+  return Offer{bn::BigUInt::random_below(rng_, n),
+               bn::BigUInt::random_below(rng_, n)};
+}
+
+ObliviousTransferSender::Reply ObliviousTransferSender::respond(
+    const Offer& offer, const bn::BigUInt& v, const bn::BigUInt& m0,
+    const bn::BigUInt& m1) {
+  const bn::BigUInt& n = key_.public_key().n;
+  // k_i = (v - x_i)^d mod n; one of them equals the receiver's blind r.
+  bn::BigUInt d0 = (v + n - offer.x0 % n) % n;
+  bn::BigUInt d1 = (v + n - offer.x1 % n) % n;
+  bn::BigUInt k0 = key_.apply_private(d0);
+  bn::BigUInt k1 = key_.apply_private(d1);
+  cost_.modexps += 2;
+  ++cost_.messages;
+  return Reply{(m0 + k0) % n, (m1 + k1) % n};
+}
+
+ObliviousTransferReceiver::ObliviousTransferReceiver(const RsaPublicKey& pub,
+                                                     ChaCha20Rng& rng)
+    : pub_(pub), rng_(rng) {}
+
+bn::BigUInt ObliviousTransferReceiver::choose(
+    const ObliviousTransferSender::Offer& offer, bool b) {
+  b_ = b;
+  r_ = bn::BigUInt::random_below(rng_, pub_.n);
+  bn::BigUInt re = pub_.apply(r_);
+  ++cost_.modexps;
+  ++cost_.messages;
+  const bn::BigUInt& x = b ? offer.x1 : offer.x0;
+  return (x % pub_.n + re) % pub_.n;
+}
+
+bn::BigUInt ObliviousTransferReceiver::recover(
+    const ObliviousTransferSender::Reply& reply) const {
+  const bn::BigUInt& masked = b_ ? reply.m1_masked : reply.m0_masked;
+  return (masked + pub_.n - r_ % pub_.n) % pub_.n;
+}
+
+}  // namespace dla::crypto

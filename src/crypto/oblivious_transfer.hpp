@@ -1,0 +1,81 @@
+// 1-out-of-2 oblivious transfer (Even-Goldreich-Lempel construction over
+// RSA).
+//
+// This primitive exists solely to power the *classical* secure-computation
+// baseline (GMW-style bitwise comparison) that the paper argues is too
+// expensive for practical auditing (Section 1 and Section 3: "these
+// approaches are still too costly to be useful for practical systems").
+// Benchmark E4 measures it against the paper's relaxed blind-TTP primitives.
+//
+// Protocol (sender holds messages m0, m1; receiver learns m_b only):
+//   sender   -> receiver: RSA public key, random x0, x1
+//   receiver -> sender:   v = (x_b + r^e) mod n        (r secret)
+//   sender   -> receiver: m0' = m0 + (v - x0)^d, m1' = m1 + (v - x1)^d
+//   receiver:             m_b = m_b' - r
+// The sender cannot tell which x was used; the receiver can strip the blind
+// from only one of the two replies.
+#pragma once
+
+#include <cstdint>
+
+#include "bignum/biguint.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/rsa.hpp"
+
+namespace dla::crypto {
+
+// Message-count/byte accounting so the MPC baseline benchmark can report
+// communication cost alongside wall-clock time.
+struct OtCost {
+  std::size_t messages = 0;
+  std::size_t modexps = 0;
+};
+
+class ObliviousTransferSender {
+ public:
+  ObliviousTransferSender(const RsaKeyPair& key, ChaCha20Rng& rng);
+
+  struct Offer {
+    bn::BigUInt x0;
+    bn::BigUInt x1;
+  };
+  // Step 1: publish two random group elements.
+  Offer make_offer();
+
+  struct Reply {
+    bn::BigUInt m0_masked;
+    bn::BigUInt m1_masked;
+  };
+  // Step 3: blindly mask both messages (m0, m1 are group elements < n).
+  Reply respond(const Offer& offer, const bn::BigUInt& v, const bn::BigUInt& m0,
+                const bn::BigUInt& m1);
+
+  OtCost cost() const { return cost_; }
+
+ private:
+  const RsaKeyPair& key_;
+  ChaCha20Rng& rng_;
+  OtCost cost_;
+};
+
+class ObliviousTransferReceiver {
+ public:
+  ObliviousTransferReceiver(const RsaPublicKey& pub, ChaCha20Rng& rng);
+
+  // Step 2: choose bit b, return v.
+  bn::BigUInt choose(const ObliviousTransferSender::Offer& offer, bool b);
+
+  // Step 4: recover m_b.
+  bn::BigUInt recover(const ObliviousTransferSender::Reply& reply) const;
+
+  OtCost cost() const { return cost_; }
+
+ private:
+  const RsaPublicKey& pub_;
+  ChaCha20Rng& rng_;
+  bn::BigUInt r_;
+  bool b_ = false;
+  OtCost cost_;
+};
+
+}  // namespace dla::crypto

@@ -1,0 +1,63 @@
+#include "crypto/pohlig_hellman.hpp"
+
+#include <stdexcept>
+
+#include "bignum/prime.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dla::crypto {
+
+PhDomain PhDomain::generate(ChaCha20Rng& rng, std::size_t bits) {
+  return PhDomain{bn::generate_safe_prime(rng, bits)};
+}
+
+PhDomain PhDomain::fixed256() {
+  // Precomputed 256-bit safe prime (p = 2q+1, q prime); verified by the
+  // dla_bignum prime tests.
+  static const bn::BigUInt p = bn::BigUInt::from_hex(
+      "dc9db496edbc0c1c97972e233e1a191fdb56a14df65a307ca1cea9ebe0fb9b93");
+  return PhDomain{p};
+}
+
+PhKey::PhKey(bn::BigUInt p, bn::BigUInt e, bn::BigUInt d)
+    : p_(std::move(p)),
+      e_(std::move(e)),
+      d_(std::move(d)),
+      mont_(std::make_shared<bn::MontgomeryContext>(p_)) {}
+
+PhKey PhKey::generate(const PhDomain& domain, ChaCha20Rng& rng) {
+  const bn::BigUInt p_minus_1 = domain.p - bn::BigUInt(1);
+  for (;;) {
+    bn::BigUInt e = bn::BigUInt::random_below(rng, p_minus_1 - bn::BigUInt(3)) +
+                    bn::BigUInt(3);
+    auto d = bn::BigUInt::modinv(e, p_minus_1);
+    if (d.has_value()) return PhKey(domain.p, std::move(e), std::move(*d));
+  }
+}
+
+bn::BigUInt PhKey::encrypt(const bn::BigUInt& m) const {
+  if (m.is_zero() || m >= p_)
+    throw std::invalid_argument("PhKey::encrypt: plaintext outside [1, p-1]");
+  return mont_->pow(m, e_);
+}
+
+bn::BigUInt PhKey::decrypt(const bn::BigUInt& c) const {
+  if (c.is_zero() || c >= p_)
+    throw std::invalid_argument("PhKey::decrypt: ciphertext outside [1, p-1]");
+  return mont_->pow(c, d_);
+}
+
+bn::BigUInt encode_element(const PhDomain& domain, std::string_view data) {
+  // Iterated hashing until the digest falls in [1, p-1]. For a 256-bit p the
+  // first round almost always succeeds; the loop guarantees termination for
+  // smaller domains by folding the digest down to the required width.
+  Digest d = Sha256::hash(data);
+  for (;;) {
+    bn::BigUInt candidate =
+        bn::BigUInt::from_bytes({d.begin(), d.end()}) % domain.p;
+    if (!candidate.is_zero()) return candidate;
+    d = Sha256::hash(std::span<const std::uint8_t>(d.data(), d.size()));
+  }
+}
+
+}  // namespace dla::crypto

@@ -1,0 +1,119 @@
+#include "crypto/rng.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace dla::crypto {
+
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b;
+  d = rotl(d ^ a, 16);
+  c += d;
+  b = rotl(b ^ c, 12);
+  a += b;
+  d = rotl(d ^ a, 8);
+  c += d;
+  b = rotl(b ^ c, 7);
+}
+
+void chacha20_block(const std::array<std::uint32_t, 8>& key,
+                    std::uint64_t counter, std::array<std::uint8_t, 64>& out) {
+  // "expand 32-byte k" constants per RFC 8439.
+  std::uint32_t state[16] = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+                             key[0],     key[1],     key[2],     key[3],
+                             key[4],     key[5],     key[6],     key[7],
+                             static_cast<std::uint32_t>(counter),
+                             static_cast<std::uint32_t>(counter >> 32),
+                             0,          0};
+  std::uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    std::uint32_t word = x[i] + state[i];
+    out[i * 4] = static_cast<std::uint8_t>(word);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(word >> 8);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(word >> 16);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(word >> 24);
+  }
+}
+
+std::array<std::uint32_t, 8> key_from_digest(const Digest& d) {
+  std::array<std::uint32_t, 8> key;
+  for (int i = 0; i < 8; ++i) {
+    key[i] = static_cast<std::uint32_t>(d[i * 4]) |
+             (static_cast<std::uint32_t>(d[i * 4 + 1]) << 8) |
+             (static_cast<std::uint32_t>(d[i * 4 + 2]) << 16) |
+             (static_cast<std::uint32_t>(d[i * 4 + 3]) << 24);
+  }
+  return key;
+}
+
+}  // namespace
+
+ChaCha20Rng::ChaCha20Rng(std::uint64_t seed) {
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+  key_ = key_from_digest(Sha256::hash(std::span<const std::uint8_t>(bytes, 8)));
+}
+
+ChaCha20Rng::ChaCha20Rng(std::string_view seed) {
+  key_ = key_from_digest(Sha256::hash(seed));
+}
+
+void ChaCha20Rng::refill() {
+  chacha20_block(key_, counter_++, block_);
+  pos_ = 0;
+}
+
+std::uint64_t ChaCha20Rng::next_u64() {
+  if (pos_ + 8 > block_.size()) refill();
+  std::uint64_t v;
+  std::memcpy(&v, block_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+std::uint32_t ChaCha20Rng::next_u32() {
+  return static_cast<std::uint32_t>(next_u64());
+}
+
+std::uint64_t ChaCha20Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::domain_error("ChaCha20Rng::next_below: zero bound");
+  // Rejection sampling over the largest multiple of bound.
+  std::uint64_t limit = bound * (UINT64_MAX / bound);
+  for (;;) {
+    std::uint64_t v = next_u64();
+    if (v < limit || limit == 0) return v % bound;
+  }
+}
+
+double ChaCha20Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+void ChaCha20Rng::fill(std::span<std::uint8_t> out) {
+  for (auto& b : out) {
+    if (pos_ >= block_.size()) refill();
+    b = block_[pos_++];
+  }
+}
+
+}  // namespace dla::crypto

@@ -1,0 +1,86 @@
+#include "crypto/rsa.hpp"
+
+#include <stdexcept>
+
+#include "bignum/prime.hpp"
+
+namespace dla::crypto {
+
+bn::BigUInt message_representative(const RsaPublicKey& pub,
+                                   std::string_view message) {
+  Digest d = Sha256::hash(message);
+  bn::BigUInt m = bn::BigUInt::from_bytes({d.begin(), d.end()}) % pub.n;
+  if (m.is_zero()) m = bn::BigUInt(1);
+  return m;
+}
+
+bn::BigUInt RsaPublicKey::apply(const bn::BigUInt& m) const {
+  return bn::BigUInt::modexp(m, e, n);
+}
+
+bool RsaPublicKey::verify(std::string_view message,
+                          const bn::BigUInt& signature) const {
+  if (signature >= n) return false;
+  return apply(signature) == message_representative(*this, message);
+}
+
+RsaKeyPair::RsaKeyPair(RsaPublicKey pub, bn::BigUInt d)
+    : pub_(std::move(pub)),
+      d_(std::move(d)),
+      mont_(std::make_shared<bn::MontgomeryContext>(pub_.n)) {}
+
+RsaKeyPair RsaKeyPair::generate(ChaCha20Rng& rng, std::size_t bits) {
+  const bn::BigUInt e(65537);
+  for (;;) {
+    bn::BigUInt p = bn::generate_prime(rng, bits / 2);
+    bn::BigUInt q = bn::generate_prime(rng, bits - bits / 2);
+    if (p == q) continue;
+    bn::BigUInt n = p * q;
+    bn::BigUInt phi = (p - bn::BigUInt(1)) * (q - bn::BigUInt(1));
+    auto d = bn::BigUInt::modinv(e, phi);
+    if (!d) continue;  // e not coprime to phi; redraw primes
+    return RsaKeyPair(RsaPublicKey{std::move(n), e}, std::move(*d));
+  }
+}
+
+RsaKeyPair RsaKeyPair::fixed512() {
+  // Precomputed 511-bit modulus, e = 65537; correctness covered by tests.
+  static const bn::BigUInt n = bn::BigUInt::from_hex(
+      "68fb28e15b0a187e214b326b74066e964613a8b8e1901f61c0b0f3526a8d4e6d"
+      "1016851ed459a809872e231ecca7a60496969908fc388aa77e3999583a428b89");
+  static const bn::BigUInt d = bn::BigUInt::from_hex(
+      "2ce74115235bae1e451f64f1912f2f1e17db50cfc3ab61c0ee2ac1e8feaa7260"
+      "a6f06ad13677df4e0e6c8e17b7be5988498aabfbbb907a78c5701e4643f0161");
+  return RsaKeyPair(RsaPublicKey{n, bn::BigUInt(65537)}, d);
+}
+
+bn::BigUInt RsaKeyPair::sign(std::string_view message) const {
+  return apply_private(message_representative(pub_, message));
+}
+
+bn::BigUInt RsaKeyPair::apply_private(const bn::BigUInt& c) const {
+  if (c >= pub_.n)
+    throw std::invalid_argument("RsaKeyPair::apply_private: input >= n");
+  return mont_->pow(c, d_);
+}
+
+BlindingResult blind(const RsaPublicKey& pub, std::string_view message,
+                     ChaCha20Rng& rng) {
+  bn::BigUInt m = message_representative(pub, message);
+  for (;;) {
+    bn::BigUInt r =
+        bn::BigUInt::random_below(rng, pub.n - bn::BigUInt(2)) + bn::BigUInt(2);
+    if (!bn::BigUInt::modinv(r, pub.n)) continue;  // gcd(r, n) != 1
+    bn::BigUInt blinded = bn::BigUInt::mulmod(m, pub.apply(r), pub.n);
+    return BlindingResult{std::move(blinded), std::move(r)};
+  }
+}
+
+bn::BigUInt unblind(const RsaPublicKey& pub, const bn::BigUInt& blind_sig,
+                    const bn::BigUInt& r) {
+  auto r_inv = bn::BigUInt::modinv(r, pub.n);
+  if (!r_inv) throw std::invalid_argument("unblind: blinding factor not invertible");
+  return bn::BigUInt::mulmod(blind_sig, *r_inv, pub.n);
+}
+
+}  // namespace dla::crypto

@@ -1,0 +1,79 @@
+// Textbook-RSA keypairs, hash-then-sign signatures, and Chaum blind
+// signatures.
+//
+// Three consumers in this repository:
+//  * per-record signature integrity — the classical baseline the paper's
+//    accumulator scheme (Section 4.1) is measured against;
+//  * the credential authority of the evidence chain (Section 4.2): DLA
+//    membership tokens are blind signatures, giving "anonymous yet
+//    verifiable" joins — the CA cannot link a token it signed to the node
+//    spending it;
+//  * the EGL oblivious transfer underlying the classical-MPC comparison
+//    baseline.
+//
+// This is hash-then-sign over SHA-256 digests (sufficient for a protocol
+// study; no OAEP/PSS padding, which the 2003 paper predates anyway).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "bignum/biguint.hpp"
+#include "bignum/montgomery.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dla::crypto {
+
+struct RsaPublicKey {
+  bn::BigUInt n;
+  bn::BigUInt e;
+
+  bool verify(std::string_view message, const bn::BigUInt& signature) const;
+  // Raw modexp with the public exponent (used by OT and blinding).
+  bn::BigUInt apply(const bn::BigUInt& m) const;
+};
+
+class RsaKeyPair {
+ public:
+  // Generate a keypair with a `bits`-bit modulus, e = 65537.
+  static RsaKeyPair generate(ChaCha20Rng& rng, std::size_t bits);
+  // Fixed 512-bit keypair for tests/examples (precomputed, verified in tests).
+  static RsaKeyPair fixed512();
+
+  const RsaPublicKey& public_key() const { return pub_; }
+
+  // Hash-then-sign.
+  bn::BigUInt sign(std::string_view message) const;
+  // Raw modexp with the private exponent (used by blind signing and OT).
+  bn::BigUInt apply_private(const bn::BigUInt& c) const;
+
+ private:
+  RsaKeyPair(RsaPublicKey pub, bn::BigUInt d);
+
+  RsaPublicKey pub_;
+  bn::BigUInt d_;
+  // Montgomery fast path for the long private exponent (n is odd).
+  std::shared_ptr<const bn::MontgomeryContext> mont_;
+};
+
+// Maps a message to its RSA signing representative: SHA-256 digest reduced
+// into [1, n-1].
+bn::BigUInt message_representative(const RsaPublicKey& pub,
+                                   std::string_view message);
+
+// Chaum blind signature flow:
+//   requester: (blinded, r) = blind(pub, msg, rng)      -- r kept secret
+//   signer:    s_blind = keypair.apply_private(blinded)
+//   requester: sig = unblind(pub, s_blind, r)
+//   anyone:    pub.verify(msg, sig)
+struct BlindingResult {
+  bn::BigUInt blinded;
+  bn::BigUInt r;  // blinding factor, needed to unblind
+};
+BlindingResult blind(const RsaPublicKey& pub, std::string_view message,
+                     ChaCha20Rng& rng);
+bn::BigUInt unblind(const RsaPublicKey& pub, const bn::BigUInt& blind_sig,
+                    const bn::BigUInt& r);
+
+}  // namespace dla::crypto

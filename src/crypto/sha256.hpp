@@ -1,0 +1,50 @@
+// SHA-256 implemented from scratch (FIPS 180-4).
+//
+// Used for message digests in signatures, HMAC tickets, commitment hashes in
+// the evidence chain, and for mapping log attributes into Z_p set elements
+// for the commutative-encryption protocols.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dla::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(std::span<const std::uint8_t> data);
+  Sha256& update(std::string_view data);
+
+  // Finalises and returns the digest. The context must not be reused after
+  // finalise() without reassignment.
+  Digest finalize();
+
+  // One-shot helpers.
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+// HMAC-SHA256 (FIPS 198-1); the MAC behind DLA access tickets.
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::string_view msg);
+
+// Hex rendering of a digest for logs and table output.
+std::string to_hex(const Digest& d);
+
+}  // namespace dla::crypto

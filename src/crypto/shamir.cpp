@@ -1,0 +1,84 @@
+#include "crypto/shamir.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dla::crypto {
+
+ShamirField::ShamirField(bn::BigUInt p) : p_(std::move(p)) {
+  if (p_ < bn::BigUInt(3))
+    throw std::invalid_argument("ShamirField: modulus too small");
+}
+
+bn::BigUInt ShamirField::add(const bn::BigUInt& a, const bn::BigUInt& b) const {
+  return (a + b) % p_;
+}
+
+bn::BigUInt ShamirField::sub(const bn::BigUInt& a, const bn::BigUInt& b) const {
+  return (a % p_ + p_ - b % p_) % p_;
+}
+
+bn::BigUInt ShamirField::mul(const bn::BigUInt& a, const bn::BigUInt& b) const {
+  return bn::BigUInt::mulmod(a, b, p_);
+}
+
+std::vector<Share> ShamirField::split(const bn::BigUInt& secret, std::size_t k,
+                                      const std::vector<bn::BigUInt>& xs,
+                                      ChaCha20Rng& rng) const {
+  if (k == 0 || k > xs.size())
+    throw std::invalid_argument("ShamirField::split: bad threshold");
+  if (secret >= p_)
+    throw std::invalid_argument("ShamirField::split: secret >= p");
+  std::unordered_set<std::string> seen;
+  for (const auto& x : xs) {
+    bn::BigUInt xr = x % p_;
+    if (xr.is_zero())
+      throw std::invalid_argument("ShamirField::split: zero evaluation point");
+    if (!seen.insert(xr.to_hex()).second)
+      throw std::invalid_argument("ShamirField::split: duplicate point");
+  }
+
+  // f(z) = secret + c1 z + ... + c_{k-1} z^{k-1}, coefficients uniform in Z_p.
+  std::vector<bn::BigUInt> coeffs;
+  coeffs.reserve(k);
+  coeffs.push_back(secret % p_);
+  for (std::size_t i = 1; i < k; ++i) {
+    coeffs.push_back(bn::BigUInt::random_below(rng, p_));
+  }
+
+  std::vector<Share> shares;
+  shares.reserve(xs.size());
+  for (const auto& x : xs) {
+    bn::BigUInt xr = x % p_;
+    // Horner evaluation.
+    bn::BigUInt y;
+    for (std::size_t i = k; i-- > 0;) {
+      y = add(mul(y, xr), coeffs[i]);
+    }
+    shares.push_back(Share{xr, std::move(y)});
+  }
+  return shares;
+}
+
+bn::BigUInt ShamirField::reconstruct(const std::vector<Share>& shares) const {
+  if (shares.empty())
+    throw std::invalid_argument("ShamirField::reconstruct: no shares");
+  // F(0) = sum_j y_j * prod_{m != j} x_m / (x_m - x_j)  (all mod p).
+  bn::BigUInt result;
+  for (std::size_t j = 0; j < shares.size(); ++j) {
+    bn::BigUInt num(1), den(1);
+    for (std::size_t m = 0; m < shares.size(); ++m) {
+      if (m == j) continue;
+      num = mul(num, shares[m].x);
+      den = mul(den, sub(shares[m].x, shares[j].x));
+    }
+    auto den_inv = bn::BigUInt::modinv(den, p_);
+    if (!den_inv)
+      throw std::invalid_argument(
+          "ShamirField::reconstruct: duplicate evaluation points");
+    result = add(result, mul(shares[j].y, mul(num, *den_inv)));
+  }
+  return result;
+}
+
+}  // namespace dla::crypto

@@ -1,0 +1,50 @@
+// Shamir (k, n) secret sharing over Z_p and the secure-sum construction of
+// Section 3.5 of the paper.
+//
+// Each party P_i holding a_i picks a random degree-(k-1) polynomial f_i with
+// f_i(0) = a_i and hands s_ij = f_i(x_j) to P_j. The pointwise sums
+// F(x_j) = sum_i s_ij are shares of F = sum_i f_i, whose constant term is
+// sum_i a_i — so any k shares reconstruct the total while every individual
+// a_i stays hidden behind a random polynomial. The weighted variant
+// sum_i alpha_i * a_i scales shares by public constants before summation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/biguint.hpp"
+#include "crypto/rng.hpp"
+
+namespace dla::crypto {
+
+struct Share {
+  bn::BigUInt x;  // evaluation point (nonzero, distinct per party)
+  bn::BigUInt y;  // f(x)
+};
+
+class ShamirField {
+ public:
+  // p must be prime and larger than any secret/sum handled in it.
+  explicit ShamirField(bn::BigUInt p);
+
+  const bn::BigUInt& p() const { return p_; }
+
+  // Split `secret` into n shares with threshold k at points xs (all distinct,
+  // nonzero, reduced mod p). Throws std::invalid_argument on bad parameters.
+  std::vector<Share> split(const bn::BigUInt& secret, std::size_t k,
+                           const std::vector<bn::BigUInt>& xs,
+                           ChaCha20Rng& rng) const;
+
+  // Lagrange interpolation at zero from >= k shares with distinct x.
+  bn::BigUInt reconstruct(const std::vector<Share>& shares) const;
+
+  // Field helpers used by the secure-sum protocol actors.
+  bn::BigUInt add(const bn::BigUInt& a, const bn::BigUInt& b) const;
+  bn::BigUInt sub(const bn::BigUInt& a, const bn::BigUInt& b) const;
+  bn::BigUInt mul(const bn::BigUInt& a, const bn::BigUInt& b) const;
+
+ private:
+  bn::BigUInt p_;
+};
+
+}  // namespace dla::crypto

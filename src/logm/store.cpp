@@ -1,0 +1,108 @@
+#include "logm/store.hpp"
+
+#include <sstream>
+
+namespace dla::logm {
+
+void FragmentStore::put(Fragment fragment) {
+  fragments_[fragment.glsn] = std::move(fragment);
+}
+
+const Fragment* FragmentStore::get(Glsn glsn) const {
+  auto it = fragments_.find(glsn);
+  return it == fragments_.end() ? nullptr : &it->second;
+}
+
+bool FragmentStore::erase(Glsn glsn) { return fragments_.erase(glsn) > 0; }
+
+std::vector<Glsn> FragmentStore::select(
+    const std::function<bool(const Fragment&)>& predicate) const {
+  std::vector<Glsn> out;
+  for (const auto& [glsn, frag] : fragments_) {
+    if (predicate(frag)) out.push_back(glsn);
+  }
+  return out;
+}
+
+std::vector<Glsn> FragmentStore::glsns() const {
+  std::vector<Glsn> out;
+  out.reserve(fragments_.size());
+  for (const auto& [glsn, frag] : fragments_) out.push_back(glsn);
+  return out;
+}
+
+void FragmentStore::for_each(
+    const std::function<void(const Fragment&)>& visit) const {
+  for (const auto& [glsn, frag] : fragments_) visit(frag);
+}
+
+std::string_view to_string(Op op) {
+  switch (op) {
+    case Op::Read:
+      return "R";
+    case Op::Write:
+      return "W";
+    case Op::Delete:
+      return "D";
+  }
+  return "?";
+}
+
+void AccessControlTable::grant(const std::string& ticket_id,
+                               std::set<Op> ops) {
+  entries_[ticket_id].ops = std::move(ops);
+}
+
+void AccessControlTable::authorize(const std::string& ticket_id, Glsn glsn) {
+  entries_[ticket_id].glsns.insert(glsn);
+}
+
+void AccessControlTable::revoke(const std::string& ticket_id, Glsn glsn) {
+  auto it = entries_.find(ticket_id);
+  if (it != entries_.end()) it->second.glsns.erase(glsn);
+}
+
+bool AccessControlTable::allowed(const std::string& ticket_id, Op op,
+                                 Glsn glsn) const {
+  auto it = entries_.find(ticket_id);
+  if (it == entries_.end()) return false;
+  return it->second.ops.contains(op) && it->second.glsns.contains(glsn);
+}
+
+std::set<Glsn> AccessControlTable::glsns_of(const std::string& ticket_id) const {
+  auto it = entries_.find(ticket_id);
+  if (it == entries_.end()) return {};
+  return it->second.glsns;
+}
+
+std::vector<std::string> AccessControlTable::ticket_ids() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(id);
+  return out;
+}
+
+std::vector<std::string> AccessControlTable::canonical_entries() const {
+  std::vector<std::string> out;
+  for (const auto& [id, entry] : entries_) {
+    std::ostringstream os;
+    os << id << ':';
+    bool first = true;
+    for (Op op : entry.ops) {
+      if (!first) os << ',';
+      os << to_string(op);
+      first = false;
+    }
+    os << ':' << std::hex;
+    first = true;
+    for (Glsn g : entry.glsns) {
+      if (!first) os << ',';
+      os << g;
+      first = false;
+    }
+    out.push_back(os.str());
+  }
+  return out;
+}
+
+}  // namespace dla::logm

@@ -1,0 +1,78 @@
+// Per-DLA-node fragment storage with the per-ticket access control table of
+// Table 6.
+//
+// Every DLA node runs one FragmentStore for the fragments routed to it and
+// one AccessControlTable mapping ticket ids to the glsn sets that ticket may
+// read/write/delete. The paper requires every DLA node to maintain *the
+// same* ACL for every glsn; the audit layer cross-checks consistency with
+// the secure-set-intersection primitive (Section 4.1, last paragraph).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "logm/record.hpp"
+
+namespace dla::logm {
+
+class FragmentStore {
+ public:
+  // Inserts or overwrites the fragment for its glsn.
+  void put(Fragment fragment);
+  // nullptr when the glsn is unknown.
+  const Fragment* get(Glsn glsn) const;
+  bool erase(Glsn glsn);
+  std::size_t size() const { return fragments_.size(); }
+
+  // Scan in glsn order; the predicate sees each fragment.
+  std::vector<Glsn> select(
+      const std::function<bool(const Fragment&)>& predicate) const;
+  // All glsns held, in order.
+  std::vector<Glsn> glsns() const;
+
+  // Fold every fragment's canonical form into a caller-supplied visitor —
+  // used by the distributed integrity checker.
+  void for_each(const std::function<void(const Fragment&)>& visit) const;
+
+ private:
+  std::map<Glsn, Fragment> fragments_;
+};
+
+enum class Op : std::uint8_t { Read = 0, Write = 1, Delete = 2 };
+
+std::string_view to_string(Op op);
+
+// Table 6: Ticket ID -> (operation types, authorized glsn set).
+class AccessControlTable {
+ public:
+  void grant(const std::string& ticket_id, std::set<Op> ops);
+  // Adds glsn to the ticket's entry (the DLA assigns each new glsn to the
+  // requesting ticket).
+  void authorize(const std::string& ticket_id, Glsn glsn);
+  void revoke(const std::string& ticket_id, Glsn glsn);
+
+  bool allowed(const std::string& ticket_id, Op op, Glsn glsn) const;
+  std::set<Glsn> glsns_of(const std::string& ticket_id) const;
+  std::vector<std::string> ticket_ids() const;
+
+  // Canonical per-ticket rendering ("T1:R,W:139aef78,139aef80") used as set
+  // elements in the ACL consistency audit.
+  std::vector<std::string> canonical_entries() const;
+
+  bool operator==(const AccessControlTable&) const = default;
+
+ private:
+  struct Entry {
+    std::set<Op> ops;
+    std::set<Glsn> glsns;
+    bool operator==(const Entry&) const = default;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace dla::logm

@@ -1,0 +1,112 @@
+#include "logm/value.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dla::logm {
+
+std::string_view to_string(ValueType t) {
+  switch (t) {
+    case ValueType::Int:
+      return "int";
+    case ValueType::Real:
+      return "real";
+    case ValueType::Text:
+      return "text";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(data_.index());
+}
+
+std::int64_t Value::as_int() const {
+  if (auto* i = std::get_if<std::int64_t>(&data_)) return *i;
+  if (auto* d = std::get_if<double>(&data_)) return static_cast<std::int64_t>(*d);
+  throw std::bad_variant_access{};
+}
+
+double Value::as_real() const {
+  if (auto* d = std::get_if<double>(&data_)) return *d;
+  if (auto* i = std::get_if<std::int64_t>(&data_)) return static_cast<double>(*i);
+  throw std::bad_variant_access{};
+}
+
+const std::string& Value::as_text() const {
+  return std::get<std::string>(data_);
+}
+
+std::string Value::canonical() const {
+  switch (type()) {
+    case ValueType::Int:
+      return "i:" + std::to_string(std::get<std::int64_t>(data_));
+    case ValueType::Real: {
+      // Fixed format so canonical() is bit-stable for equal doubles.
+      std::ostringstream os;
+      os.precision(17);
+      os << "r:" << std::get<double>(data_);
+      return os.str();
+    }
+    case ValueType::Text:
+      return "t:" + std::get<std::string>(data_);
+  }
+  return "?";
+}
+
+std::partial_ordering Value::compare(const Value& rhs) const {
+  bool lhs_text = type() == ValueType::Text;
+  bool rhs_text = rhs.type() == ValueType::Text;
+  if (lhs_text != rhs_text)
+    throw std::invalid_argument("Value::compare: text vs numeric");
+  if (lhs_text) {
+    int c = as_text().compare(rhs.as_text());
+    if (c < 0) return std::partial_ordering::less;
+    if (c > 0) return std::partial_ordering::greater;
+    return std::partial_ordering::equivalent;
+  }
+  if (type() == ValueType::Int && rhs.type() == ValueType::Int) {
+    auto c = as_int() <=> rhs.as_int();
+    if (c < 0) return std::partial_ordering::less;
+    if (c > 0) return std::partial_ordering::greater;
+    return std::partial_ordering::equivalent;
+  }
+  return as_real() <=> rhs.as_real();
+}
+
+bool Value::operator==(const Value& rhs) const {
+  bool lhs_text = type() == ValueType::Text;
+  bool rhs_text = rhs.type() == ValueType::Text;
+  if (lhs_text != rhs_text) return false;
+  return compare(rhs) == std::partial_ordering::equivalent;
+}
+
+void Value::encode(net::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(type()));
+  switch (type()) {
+    case ValueType::Int:
+      w.i64(std::get<std::int64_t>(data_));
+      break;
+    case ValueType::Real:
+      w.f64(std::get<double>(data_));
+      break;
+    case ValueType::Text:
+      w.str(std::get<std::string>(data_));
+      break;
+  }
+}
+
+Value Value::decode(net::Reader& r) {
+  auto type = static_cast<ValueType>(r.u8());
+  switch (type) {
+    case ValueType::Int:
+      return Value(r.i64());
+    case ValueType::Real:
+      return Value(r.f64());
+    case ValueType::Text:
+      return Value(r.str());
+  }
+  throw net::CodecError("Value::decode: bad type tag");
+}
+
+}  // namespace dla::logm

@@ -1,0 +1,59 @@
+// Typed attribute values for audit log records.
+//
+// The paper's log model (Eq. 5, Table 1) carries heterogeneous attributes:
+// timestamps, ids, protocol names, counters, monetary amounts, opaque
+// application-defined fields C1..Cn. Value is a closed sum of the three
+// concrete shapes those take: Int (counters, timestamps-as-epoch), Real
+// (amounts), Text (ids, protocol names, opaque blobs).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "net/bytes.hpp"
+
+namespace dla::logm {
+
+enum class ValueType : std::uint8_t { Int = 0, Real = 1, Text = 2 };
+
+std::string_view to_string(ValueType t);
+
+class Value {
+ public:
+  Value() : data_(std::int64_t{0}) {}
+  Value(std::int64_t v) : data_(v) {}             // NOLINT
+  Value(double v) : data_(v) {}                   // NOLINT
+  Value(std::string v) : data_(std::move(v)) {}   // NOLINT
+  Value(const char* v) : data_(std::string(v)) {} // NOLINT
+
+  ValueType type() const;
+  bool is_numeric() const { return type() != ValueType::Text; }
+
+  // Accessors throw std::bad_variant_access on shape mismatch, except the
+  // numeric accessors which coerce between Int and Real.
+  std::int64_t as_int() const;
+  double as_real() const;
+  const std::string& as_text() const;
+
+  // Canonical textual rendering, stable across runs; used for accumulator
+  // hashing and for mapping values into Z_p set elements.
+  std::string canonical() const;
+
+  // Three-way comparison. Numeric values compare numerically across
+  // Int/Real; Text compares lexicographically. Comparing Text against a
+  // numeric value throws std::invalid_argument (schema violation upstream).
+  std::partial_ordering compare(const Value& rhs) const;
+
+  bool operator==(const Value& rhs) const;
+
+  void encode(net::Writer& w) const;
+  static Value decode(net::Reader& r);
+
+ private:
+  std::variant<std::int64_t, double, std::string> data_;
+};
+
+}  // namespace dla::logm

@@ -1,0 +1,151 @@
+#include "logm/wal.hpp"
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace dla::logm {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::uint8_t kOpPut = 0;
+constexpr std::uint8_t kOpErase = 1;
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
+  static const auto table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+WalFragmentStore::WalFragmentStore(std::string path)
+    : path_(std::move(path)) {
+  replay();
+}
+
+void WalFragmentStore::replay() {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return;  // fresh store
+  for (;;) {
+    std::uint8_t header[9];
+    in.read(reinterpret_cast<char*>(header), sizeof(header));
+    if (in.gcount() < static_cast<std::streamsize>(sizeof(header))) {
+      if (in.gcount() > 0) ++corrupt_skipped_;  // torn header
+      break;
+    }
+    std::uint32_t len = 0, crc = 0;
+    for (int i = 0; i < 4; ++i) len |= std::uint32_t(header[i]) << (8 * i);
+    for (int i = 0; i < 4; ++i) crc |= std::uint32_t(header[4 + i]) << (8 * i);
+    std::uint8_t op = header[8];
+    if (len > (64u << 20)) {  // implausible frame: corrupt length
+      ++corrupt_skipped_;
+      break;
+    }
+    net::Bytes payload(len);
+    in.read(reinterpret_cast<char*>(payload.data()), len);
+    if (in.gcount() < static_cast<std::streamsize>(len)) {
+      ++corrupt_skipped_;  // torn payload
+      break;
+    }
+    net::Bytes crc_input;
+    crc_input.push_back(op);
+    crc_input.insert(crc_input.end(), payload.begin(), payload.end());
+    if (crc32(crc_input.data(), crc_input.size()) != crc) {
+      ++corrupt_skipped_;
+      // A corrupt frame invalidates everything after it — the write was
+      // not acknowledged, so recovery stops here.
+      break;
+    }
+    net::Reader r(payload);
+    try {
+      if (op == kOpPut) {
+        store_.put(Fragment::decode(r));
+      } else if (op == kOpErase) {
+        store_.erase(r.u64());
+      } else {
+        ++corrupt_skipped_;
+        break;
+      }
+    } catch (const net::CodecError&) {
+      ++corrupt_skipped_;
+      break;
+    }
+    ++replayed_;
+  }
+}
+
+void WalFragmentStore::append_frame(std::uint8_t op,
+                                    const net::Bytes& payload) {
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  if (!out) throw std::runtime_error("WalFragmentStore: cannot open " + path_);
+  net::Bytes crc_input;
+  crc_input.push_back(op);
+  crc_input.insert(crc_input.end(), payload.begin(), payload.end());
+  std::uint32_t crc = crc32(crc_input.data(), crc_input.size());
+  std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::uint8_t header[9];
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  for (int i = 0; i < 4; ++i) header[4 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  header[8] = op;
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  out.flush();
+  if (!out) throw std::runtime_error("WalFragmentStore: write failed");
+}
+
+void WalFragmentStore::put(Fragment fragment) {
+  net::Writer w;
+  fragment.encode(w);
+  append_frame(kOpPut, w.bytes());
+  store_.put(std::move(fragment));
+}
+
+bool WalFragmentStore::erase(Glsn glsn) {
+  if (store_.get(glsn) == nullptr) return false;
+  net::Writer w;
+  w.u64(glsn);
+  append_frame(kOpErase, w.bytes());
+  return store_.erase(glsn);
+}
+
+std::size_t WalFragmentStore::compact() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  auto before = fs::exists(path_, ec) ? fs::file_size(path_, ec) : 0;
+  std::string tmp = path_ + ".compact";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("WalFragmentStore: cannot open " + tmp);
+  }
+  // Write live fragments into the temporary log via a scratch store.
+  {
+    WalFragmentStore scratch(tmp);
+    store_.for_each([&](const Fragment& frag) { scratch.put(frag); });
+  }
+  fs::rename(tmp, path_, ec);
+  if (ec) throw std::runtime_error("WalFragmentStore: compact rename failed");
+  auto after = fs::file_size(path_, ec);
+  return before > after ? static_cast<std::size_t>(before - after) : 0;
+}
+
+}  // namespace dla::logm

@@ -1,0 +1,56 @@
+// Durable fragment storage: a write-ahead log backing FragmentStore.
+//
+// The paper assumes each DLA node has persistent "log storage space"; this
+// substrate provides it. Fragments are appended as length-prefixed,
+// CRC32-protected frames (put and erase operations); opening a store
+// replays the log, stopping at the first torn or corrupt frame — so a node
+// recovers exactly its acknowledged state after a crash. compact() rewrites
+// the live set into a fresh log and atomically swaps it in.
+//
+// Frame layout: [u32 len][u32 crc32][u8 op][payload]
+//   op 0 = put  (payload: Fragment encoding)
+//   op 1 = erase(payload: u64 glsn)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "logm/store.hpp"
+
+namespace dla::logm {
+
+// CRC32 (IEEE, reflected) — also used by the tests to corrupt frames.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len);
+
+class WalFragmentStore {
+ public:
+  // Opens (creating if absent) the log at `path` and replays it.
+  explicit WalFragmentStore(std::string path);
+
+  // In-memory view (replayed + subsequent writes).
+  const FragmentStore& store() const { return store_; }
+
+  // Durable operations: appended to the log, then applied in memory.
+  void put(Fragment fragment);
+  bool erase(Glsn glsn);
+
+  // Rewrites the log so it contains only live fragments; returns bytes
+  // reclaimed.
+  std::size_t compact();
+
+  // Number of frames dropped during replay due to corruption/tearing.
+  std::size_t corrupt_frames_skipped() const { return corrupt_skipped_; }
+  std::size_t replayed_frames() const { return replayed_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void append_frame(std::uint8_t op, const net::Bytes& payload);
+  void replay();
+
+  std::string path_;
+  FragmentStore store_;
+  std::size_t corrupt_skipped_ = 0;
+  std::size_t replayed_ = 0;
+};
+
+}  // namespace dla::logm

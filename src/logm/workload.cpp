@@ -1,0 +1,97 @@
+#include "logm/workload.hpp"
+
+#include <map>
+
+namespace dla::logm {
+
+Schema paper_schema() {
+  return Schema({
+      {"Time", ValueType::Int, false},
+      {"id", ValueType::Text, false},
+      {"protocl", ValueType::Text, false},
+      {"Tid", ValueType::Text, false},
+      {"C1", ValueType::Int, true},
+      {"C2", ValueType::Real, true},
+      {"C3", ValueType::Text, true},
+  });
+}
+
+std::vector<LogRecord> paper_table1_records() {
+  // Times "20:18:35/05/12/20" etc. rendered as HHMMSS integers on the same
+  // day, preserving the ordering the paper's example relies on.
+  auto rec = [](Glsn glsn, std::int64_t time, const char* id,
+                const char* proto, const char* tid, std::int64_t c1, double c2,
+                const char* c3) {
+    LogRecord r;
+    r.glsn = glsn;
+    r.attrs = {{"Time", Value(time)}, {"id", Value(id)},
+               {"protocl", Value(proto)}, {"Tid", Value(tid)},
+               {"C1", Value(c1)}, {"C2", Value(c2)}, {"C3", Value(c3)}};
+    return r;
+  };
+  return {
+      rec(0x139aef78, 201835, "U1", "UDP", "T1100265", 20, 23.45, "signature"),
+      rec(0x139aef79, 202035, "U2", "UDP", "T1100265", 34, 345.11, "evidence."),
+      rec(0x139aef80, 202335, "U1", "UDP", "T1100267", 45, 235.00, "bank"),
+      rec(0x139aef81, 202338, "U2", "TCP", "T1100265", 18, 45.02, "salary"),
+      rec(0x139aef82, 202535, "U3", "TCP", "T1100267", 53, 678.75, "account"),
+  };
+}
+
+AttributePartition paper_partition() {
+  return AttributePartition::explicit_sets(
+      paper_schema(), {{"Time"},
+                       {"id", "C2"},
+                       {"Tid", "C3"},
+                       {"protocl", "C1"}});
+}
+
+std::vector<LogRecord> generate_workload(const WorkloadSpec& spec,
+                                         crypto::ChaCha20Rng& rng,
+                                         Glsn first_glsn) {
+  static const char* kProtocols[] = {"TCP", "UDP"};
+  static const char* kC3[] = {"signature", "evidence", "bank",
+                              "salary",    "account",  "invoice"};
+  std::vector<LogRecord> out;
+  out.reserve(spec.records);
+  std::int64_t time = spec.base_time;
+  for (std::size_t i = 0; i < spec.records; ++i) {
+    time += static_cast<std::int64_t>(rng.next_below(30)) + 1;
+    LogRecord r;
+    r.glsn = first_glsn + i;
+    r.attrs = {
+        {"Time", Value(time)},
+        {"id", Value("U" + std::to_string(rng.next_below(spec.users)))},
+        {"protocl", Value(kProtocols[rng.next_below(2)])},
+        {"Tid",
+         Value("T" + std::to_string(rng.next_below(spec.transactions)))},
+        {"C1", Value(static_cast<std::int64_t>(rng.next_below(100)))},
+        {"C2", Value(rng.next_double() * spec.max_amount)},
+        {"C3", Value(kC3[rng.next_below(6)])},
+    };
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<Transaction> group_into_transactions(
+    const std::vector<LogRecord>& records) {
+  std::map<std::string, Transaction> by_tid;
+  std::uint64_t next_tsn = 1;
+  for (const auto& rec : records) {
+    const std::string& tid = rec.attrs.at("Tid").as_text();
+    auto [it, inserted] = by_tid.try_emplace(tid);
+    if (inserted) {
+      it->second.tsn = next_tsn++;
+      it->second.ttn = 1;  // single transaction type in the synthetic workload
+    }
+    it->second.events.push_back(
+        TransactionEvent{rec.attrs.at("id").as_text(), rec});
+  }
+  std::vector<Transaction> out;
+  out.reserve(by_tid.size());
+  for (auto& [tid, txn] : by_tid) out.push_back(std::move(txn));
+  return out;
+}
+
+}  // namespace dla::logm

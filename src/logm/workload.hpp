@@ -1,0 +1,49 @@
+// Workload generation: the paper's worked example (Table 1) and synthetic
+// e-commerce transaction logs for the benchmarks.
+//
+// The paper evaluates nothing quantitatively, so benchmarks run on synthetic
+// logs shaped like its running example: per-event records with a timestamp,
+// user id, protocol, transaction id, a count, an amount, and an opaque
+// application attribute (C-attribute).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/rng.hpp"
+#include "logm/record.hpp"
+
+namespace dla::logm {
+
+// The exact schema of Table 1: glsn | Time | id | protocl | Tid | C1 C2 C3.
+// (Attribute spelling "protocl" kept as printed in the paper's table.)
+Schema paper_schema();
+
+// The five records of Table 1, verbatim (timestamps as epoch-style ints,
+// ids/protocols/Tids as text, C1 int, C2 real, C3 text).
+std::vector<LogRecord> paper_table1_records();
+
+// The four-node attribute partition of Tables 2-5:
+//   P0: Time       P1: id, C2       P2: Tid, C3       P3: protocl, C1
+AttributePartition paper_partition();
+
+// Synthetic generator parameters.
+struct WorkloadSpec {
+  std::size_t records = 1000;
+  std::size_t users = 10;          // id drawn from U0..U{users-1}
+  std::size_t transactions = 100;  // Tid drawn from T0..T{transactions-1}
+  std::int64_t base_time = 1021234000;
+  double max_amount = 1000.0;
+};
+
+// Deterministic synthetic log over paper_schema(); glsns are sequential
+// starting at `first_glsn`.
+std::vector<LogRecord> generate_workload(const WorkloadSpec& spec,
+                                         crypto::ChaCha20Rng& rng,
+                                         Glsn first_glsn = 0x139aef78);
+
+// Groups generated records into per-Tid transactions (Eq. 1 wrapper).
+std::vector<Transaction> group_into_transactions(
+    const std::vector<LogRecord>& records);
+
+}  // namespace dla::logm

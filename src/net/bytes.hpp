@@ -1,0 +1,84 @@
+// Byte-oriented serialisation codec for simulator messages.
+//
+// All protocol messages exchanged between DLA nodes are encoded with Writer
+// and decoded with Reader. Fixed-width little-endian integers, length-
+// prefixed strings/blobs, and length-prefixed BigUInt magnitudes. Reader
+// throws CodecError on any truncated or malformed input, so protocol actors
+// never read past a buffer.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bignum/biguint.hpp"
+
+namespace dla::net {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view s);
+  void blob(const Bytes& b);
+  void big(const bn::BigUInt& v);
+
+  template <typename T, typename Fn>
+  void vec(const std::vector<T>& items, Fn&& write_item) {
+    u32(static_cast<std::uint32_t>(items.size()));
+    for (const auto& item : items) write_item(*this, item);
+  }
+
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  bool boolean() { return u8() != 0; }
+  std::string str();
+  Bytes blob();
+  bn::BigUInt big();
+
+  template <typename T, typename Fn>
+  std::vector<T> vec(Fn&& read_item) {
+    std::uint32_t count = u32();
+    std::vector<T> out;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) out.push_back(read_item(*this));
+    return out;
+  }
+
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dla::net

@@ -1,0 +1,129 @@
+#include "net/sim.hpp"
+
+#include <stdexcept>
+
+namespace dla::net {
+
+void Node::on_timer(Simulator&, std::uint64_t) {}
+
+Simulator::Simulator() {
+  latency_ = [](NodeId, NodeId, std::size_t bytes) -> SimTime {
+    return 100 + static_cast<SimTime>(bytes) * 8 / 1000;  // 100us + ~1 Gbps
+  };
+}
+
+NodeId Simulator::add_node(Node& node) {
+  node.id_ = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(&node);
+  return node.id_;
+}
+
+void Simulator::crash(NodeId node) { crashed_.insert(node); }
+
+void Simulator::recover(NodeId node) { crashed_.erase(node); }
+
+bool Simulator::is_crashed(NodeId node) const {
+  return crashed_.contains(node);
+}
+
+void Simulator::partition(const std::set<NodeId>& side_a) {
+  partitioned_ = true;
+  partition_side_a_ = side_a;
+}
+
+void Simulator::heal_partition() {
+  partitioned_ = false;
+  partition_side_a_.clear();
+}
+
+bool Simulator::delivery_blocked(NodeId src, NodeId dst) const {
+  if (crashed_.contains(dst)) return true;
+  if (partitioned_ &&
+      partition_side_a_.contains(src) != partition_side_a_.contains(dst)) {
+    return true;
+  }
+  return false;
+}
+
+void Simulator::send(NodeId src, NodeId dst, std::uint32_t type,
+                     Bytes payload) {
+  if (dst >= nodes_.size())
+    throw std::out_of_range("Simulator::send: unknown destination");
+  Message msg{src, dst, type, std::move(payload)};
+  ++stats_.messages_sent;
+  stats_.bytes_sent += msg.payload.size();
+  auto& link = stats_.per_link[{src, dst}];
+  ++link.messages;
+  link.bytes += msg.payload.size();
+
+  if ((drop_ && drop_(msg)) || delivery_blocked(src, dst)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  SimTime at;
+  if (link_bandwidth_ > 0) {
+    // FIFO serialisation on the directed link: wait for the link, transmit
+    // at the configured rate, then add the propagation delay.
+    SimTime transmit = static_cast<SimTime>(
+        static_cast<double>(msg.payload.size()) / link_bandwidth_);
+    SimTime& busy = link_busy_until_[{src, dst}];
+    SimTime departure = std::max(now_, busy);
+    busy = departure + transmit;
+    at = busy + latency_(src, dst, 0);
+  } else {
+    at = now_ + latency_(src, dst, msg.payload.size());
+  }
+  events_.push(Event{at, next_seq_++, false, 0, std::move(msg)});
+}
+
+void Simulator::set_link_bandwidth(double bytes_per_us) {
+  link_bandwidth_ = bytes_per_us;
+  link_busy_until_.clear();
+}
+
+std::uint64_t Simulator::set_timer(NodeId node, SimTime delay) {
+  if (node >= nodes_.size())
+    throw std::out_of_range("Simulator::set_timer: unknown node");
+  std::uint64_t id = next_timer_++;
+  Message placeholder;
+  placeholder.dst = node;
+  events_.push(Event{now_ + delay, next_seq_++, true, id, std::move(placeholder)});
+  return id;
+}
+
+void Simulator::cancel_timer(std::uint64_t timer_id) {
+  cancelled_timers_.insert(timer_id);
+}
+
+bool Simulator::step() {
+  if (events_.empty()) return false;
+  Event ev = events_.top();
+  events_.pop();
+  if (ev.is_timer && cancelled_timers_.erase(ev.timer_id) > 0) {
+    return true;  // cancelled: consume without advancing the clock
+  }
+  now_ = ev.at;
+  NodeId dst = ev.msg.dst;
+  if (crashed_.contains(dst)) {
+    if (!ev.is_timer) ++stats_.messages_dropped;
+    return true;  // event consumed, receiver dead
+  }
+  if (ev.is_timer) {
+    nodes_[dst]->on_timer(*this, ev.timer_id);
+  } else {
+    ++stats_.messages_delivered;
+    nodes_[dst]->on_message(*this, ev.msg);
+  }
+  return true;
+}
+
+std::size_t Simulator::run(SimTime until) {
+  std::size_t processed = 0;
+  while (!events_.empty() && events_.top().at <= until) {
+    step();
+    ++processed;
+  }
+  return processed;
+}
+
+}  // namespace dla::net

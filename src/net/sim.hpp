@@ -1,0 +1,156 @@
+// Deterministic discrete-event network simulator.
+//
+// The paper's DLA protocols are evaluated here instead of on a physical
+// cluster (see DESIGN.md substitution table): the simulator delivers typed
+// messages between Node actors under a configurable latency model, accounts
+// every message and byte per link, and supports fault injection (message
+// drop, node crash, network partition). Event ordering is a strict weak
+// order on (delivery time, sequence number), so a given seed always produces
+// the same trace.
+//
+// Usage: derive from Node, register with Simulator::add_node, exchange
+// messages with Simulator::send from inside handlers, then Simulator::run().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "net/bytes.hpp"
+
+namespace dla::net {
+
+using NodeId = std::uint32_t;
+using SimTime = std::uint64_t;  // microseconds
+
+struct Message {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t type = 0;
+  Bytes payload;
+};
+
+class Simulator;
+
+// A protocol actor. Handlers run to completion (run-to-completion actor
+// model); they may send messages and set timers but must not block.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  NodeId id() const { return id_; }
+
+  // Called when a message addressed to this node is delivered.
+  virtual void on_message(Simulator& sim, const Message& msg) = 0;
+  // Called when a timer set via Simulator::set_timer fires.
+  virtual void on_timer(Simulator& sim, std::uint64_t timer_id);
+
+ private:
+  friend class Simulator;
+  NodeId id_ = 0;
+};
+
+// Latency model: microseconds from src to dst for a payload of `bytes`.
+using LatencyModel =
+    std::function<SimTime(NodeId src, NodeId dst, std::size_t bytes)>;
+
+// Fault hook: return true to drop this message (called once per send).
+using DropPolicy = std::function<bool(const Message&)>;
+
+struct LinkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+  std::map<std::pair<NodeId, NodeId>, LinkStats> per_link;
+};
+
+class Simulator {
+ public:
+  Simulator();
+
+  // Registers an actor; the simulator does not own it. Returns its id.
+  NodeId add_node(Node& node);
+
+  // Default model: 100us propagation + 8ns/byte (~1 Gbps).
+  void set_latency_model(LatencyModel model) { latency_ = std::move(model); }
+  void set_drop_policy(DropPolicy policy) { drop_ = std::move(policy); }
+
+  // Optional link-capacity model: each directed (src, dst) link serialises
+  // its messages FIFO at `bytes_per_us`; a message departs when the link
+  // frees up and arrives transmit-time + propagation later. Overrides the
+  // latency model's byte component (the latency model still supplies the
+  // propagation delay via its bytes == 0 evaluation). Pass 0 to disable.
+  void set_link_bandwidth(double bytes_per_us);
+
+  // Fault injection.
+  void crash(NodeId node);            // node stops receiving permanently
+  void recover(NodeId node);          // undo crash
+  bool is_crashed(NodeId node) const;
+  // Partition the network into two sides; cross-side messages are dropped
+  // until heal_partition().
+  void partition(const std::set<NodeId>& side_a);
+  void heal_partition();
+
+  // Queue a message for delivery (latency model decides when).
+  void send(NodeId src, NodeId dst, std::uint32_t type, Bytes payload);
+
+  // One-shot timer for `node` after `delay` microseconds; returns timer id.
+  std::uint64_t set_timer(NodeId node, SimTime delay);
+  // Cancels a pending timer: it neither fires nor advances the clock when
+  // its slot drains. Unknown/already-fired ids are ignored.
+  void cancel_timer(std::uint64_t timer_id);
+
+  SimTime now() const { return now_; }
+  const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetworkStats{}; }
+
+  // Process events until the queue empties or `until` is reached.
+  // Returns the number of events processed.
+  std::size_t run(SimTime until = UINT64_MAX);
+  // Process a single event; false if the queue is empty.
+  bool step();
+  bool idle() const { return events_.empty(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // tie-break for determinism
+    bool is_timer;
+    std::uint64_t timer_id;
+    Message msg;  // dst used for timers too
+
+    bool operator>(const Event& rhs) const {
+      return std::tie(at, seq) > std::tie(rhs.at, rhs.seq);
+    }
+  };
+
+  bool delivery_blocked(NodeId src, NodeId dst) const;
+
+  std::vector<Node*> nodes_;
+  std::set<NodeId> crashed_;
+  double link_bandwidth_ = 0;  // bytes/us; 0 = pure latency model
+  std::map<std::pair<NodeId, NodeId>, SimTime> link_busy_until_;
+  bool partitioned_ = false;
+  std::set<NodeId> partition_side_a_;
+  LatencyModel latency_;
+  DropPolicy drop_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_timer_ = 1;
+  std::set<std::uint64_t> cancelled_timers_;
+  NetworkStats stats_;
+};
+
+}  // namespace dla::net

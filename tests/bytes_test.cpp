@@ -1,0 +1,125 @@
+// Tests for the wire codec.
+#include "net/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dla::net {
+namespace {
+
+TEST(Bytes, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, StringRoundTrip) {
+  Writer w;
+  w.str("");
+  w.str("hello world");
+  w.str(std::string("\0binary\xff", 8));
+  Reader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "hello world");
+  EXPECT_EQ(r.str(), std::string("\0binary\xff", 8));
+}
+
+TEST(Bytes, BlobRoundTrip) {
+  Writer w;
+  Bytes payload = {1, 2, 3, 255, 0};
+  w.blob(payload);
+  w.blob({});
+  Reader r(w.bytes());
+  EXPECT_EQ(r.blob(), payload);
+  EXPECT_TRUE(r.blob().empty());
+}
+
+TEST(Bytes, BigUIntRoundTrip) {
+  Writer w;
+  bn::BigUInt v = bn::BigUInt::from_hex("deadbeefcafebabe0123456789");
+  w.big(v);
+  w.big(bn::BigUInt{});
+  Reader r(w.bytes());
+  EXPECT_EQ(r.big(), v);
+  EXPECT_TRUE(r.big().is_zero());
+}
+
+TEST(Bytes, VectorRoundTrip) {
+  Writer w;
+  std::vector<std::uint64_t> values = {1, 2, 3, 1ull << 40};
+  w.vec(values, [](Writer& out, std::uint64_t v) { out.u64(v); });
+  Reader r(w.bytes());
+  auto decoded =
+      r.vec<std::uint64_t>([](Reader& in) { return in.u64(); });
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(Bytes, TruncatedReadThrows) {
+  Writer w;
+  w.u64(7);
+  Bytes truncated(w.bytes().begin(), w.bytes().begin() + 4);
+  Reader r(truncated);
+  EXPECT_THROW(r.u64(), CodecError);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  Writer w;
+  w.str("this string will be cut");
+  Bytes truncated(w.bytes().begin(), w.bytes().begin() + 8);
+  Reader r(truncated);
+  EXPECT_THROW(r.str(), CodecError);
+}
+
+TEST(Bytes, GarbageLengthPrefixThrows) {
+  Bytes malformed = {0xFF, 0xFF, 0xFF, 0xFF};  // length 2^32-1, no body
+  Reader r(malformed);
+  EXPECT_THROW(r.blob(), CodecError);
+}
+
+TEST(Bytes, ReadPastEndThrows) {
+  Bytes empty;
+  Reader r(empty);
+  EXPECT_THROW(r.u8(), CodecError);
+}
+
+TEST(Bytes, NestedStructures) {
+  // vector of (string, BigUInt) pairs, as used by protocol payloads.
+  struct Entry {
+    std::string name;
+    bn::BigUInt value;
+  };
+  std::vector<Entry> entries = {{"glsn", bn::BigUInt(0x139aef78)},
+                                {"price", bn::BigUInt(2345)}};
+  Writer w;
+  w.vec(entries, [](Writer& out, const Entry& e) {
+    out.str(e.name);
+    out.big(e.value);
+  });
+  Reader r(w.bytes());
+  auto decoded = r.vec<Entry>([](Reader& in) {
+    Entry e;
+    e.name = in.str();
+    e.value = in.big();
+    return e;
+  });
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].name, "glsn");
+  EXPECT_EQ(decoded[1].value, bn::BigUInt(2345));
+}
+
+}  // namespace
+}  // namespace dla::net

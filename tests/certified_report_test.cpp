@@ -1,0 +1,110 @@
+// End-to-end tests for threshold-certified audit reports: a query result is
+// accompanied by a (k, n) Schnorr co-signature from a majority of DLA
+// nodes, so no single node can forge a certified report.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "audit/cluster.hpp"
+#include "logm/workload.hpp"
+
+namespace dla::audit {
+namespace {
+
+struct CertifiedFixture : ::testing::Test {
+  CertifiedFixture()
+      : cluster(Cluster::Options{logm::paper_schema(), 4, 1,
+                                 logm::paper_partition(), /*seed=*/17,
+                                 /*auditor_users=*/true,
+                                 /*certify_reports=*/true}) {
+    for (const auto& rec : logm::paper_table1_records()) {
+      cluster.user(0).log_record(cluster.sim(), rec.attrs,
+                                 [](std::optional<logm::Glsn>) {});
+    }
+    cluster.run();
+  }
+
+  QueryOutcome run_query(const std::string& criterion) {
+    std::optional<QueryOutcome> outcome;
+    cluster.user(0).query(cluster.sim(), criterion,
+                          [&](QueryOutcome o) { outcome = std::move(o); });
+    cluster.run();
+    EXPECT_TRUE(outcome.has_value());
+    return outcome.value_or(QueryOutcome{});
+  }
+
+  Cluster cluster;
+};
+
+TEST_F(CertifiedFixture, ResultsCarryValidCertificates) {
+  for (const char* q : {"id = 'U1' AND C2 > 100.0",       // local
+                        "id = 'U1' AND protocl = 'UDP'",  // cross
+                        "id = 'U9'"}) {                   // empty result
+    auto outcome = run_query(q);
+    ASSERT_TRUE(outcome.ok) << q << ": " << outcome.error;
+    EXPECT_TRUE(outcome.certified) << q;
+  }
+}
+
+TEST_F(CertifiedFixture, CertificationUsesMajorityOfNodes) {
+  ASSERT_TRUE(cluster.config()->threshold_params.has_value());
+  EXPECT_EQ(cluster.config()->sign_threshold_k, 3u);  // majority of 4
+}
+
+TEST_F(CertifiedFixture, ByzantineSignerCannotPoisonCertification) {
+  // Corrupt one signer's share: the gateway detects the invalid combined
+  // signature and ships the (correct) result uncertified instead.
+  cluster.dla(1).set_signing_share(
+      crypto::SignerShare{2, bn::BigUInt(12345)});
+  auto outcome = run_query("id = 'U1' AND C2 > 100.0");
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.glsns.size(), 1u);   // result still correct
+  EXPECT_FALSE(outcome.certified);       // but not falsely certified
+}
+
+TEST_F(CertifiedFixture, ErrorsAreNeverCertified) {
+  auto outcome = run_query("id = ");
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_FALSE(outcome.certified);
+}
+
+TEST(CertifiedReports, DisabledByDefault) {
+  Cluster cluster(Cluster::Options{logm::paper_schema(), 4, 1,
+                                   logm::paper_partition(), 1,
+                                   /*auditor_users=*/true});
+  for (const auto& rec : logm::paper_table1_records()) {
+    cluster.user(0).log_record(cluster.sim(), rec.attrs,
+                               [](std::optional<logm::Glsn>) {});
+  }
+  cluster.run();
+  std::optional<QueryOutcome> outcome;
+  cluster.user(0).query(cluster.sim(), "id = 'U1'",
+                        [&](QueryOutcome o) { outcome = std::move(o); });
+  cluster.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->ok);
+  EXPECT_FALSE(outcome->certified);
+}
+
+TEST(CertifiedReports, AggregatesStillWorkWithCertificationOn) {
+  Cluster cluster(Cluster::Options{logm::paper_schema(), 4, 1,
+                                   logm::paper_partition(), 3,
+                                   /*auditor_users=*/true,
+                                   /*certify_reports=*/true});
+  for (const auto& rec : logm::paper_table1_records()) {
+    cluster.user(0).log_record(cluster.sim(), rec.attrs,
+                               [](std::optional<logm::Glsn>) {});
+  }
+  cluster.run();
+  std::optional<AggregateOutcome> outcome;
+  cluster.user(0).aggregate_query(
+      cluster.sim(), "protocl = 'UDP'", AggOp::Sum, "C2",
+      [&](AggregateOutcome o) { outcome = std::move(o); });
+  cluster.run();
+  ASSERT_TRUE(outcome.has_value());
+  ASSERT_TRUE(outcome->ok) << outcome->error;
+  EXPECT_NEAR(outcome->value, 603.56, 1e-9);
+}
+
+}  // namespace
+}  // namespace dla::audit

@@ -1,0 +1,71 @@
+// Differential testing: BigUInt arithmetic checked against vectors computed
+// by an independent implementation (CPython's arbitrary-precision ints).
+// Each case packs {a, b, a*b, a/b, a%b, e, m, pow(a, e, m)} in hex.
+#include <gtest/gtest.h>
+
+#include "bignum/biguint.hpp"
+#include "bignum/montgomery.hpp"
+
+namespace dla::bn {
+namespace {
+
+struct Vector {
+  const char* a;
+  const char* b;
+  const char* product;
+  const char* quotient;
+  const char* remainder;
+  const char* e;
+  const char* m;
+  const char* pow_result;
+};
+
+// Generated offline with CPython (random widths 40..1030 bits; m odd).
+constexpr Vector kVectors[] = {
+    {"370f1c1f666d6c3d78","c396333d18","2a10d04b8bc8bd1664a99bb35b40","4810d714","97179c4f98","625258ff2c8fc92","b557b83d3550a392a79b2b57fcd5946f","58996284903474bc41dfb5c08e70493a"},
+    {"394ea9ef571a7011133237082c19a9510","97908d21563dc98f3332dd7a91f37171c120c7f9453aadaa52599d7467ea00274","21edc2138d0c93c09d2dce4efaa0ebc58623947c024e5899550f2640e167a3a0f3e57242796b1b5a5049f8491df935ab40","0","394ea9ef571a7011133237082c19a9510","c3a4bc439ed8f969","ef8ba6478cc56316194503cf7e9c9a3b","1a3611d3f914db114de520e3b9073dbb"},
+    {"97ebd1e202088a2cb8e6940ed06cb72066a0dc713686ea29b6","e8873e304082f4fe61fe72010d0459c01ba","89fdf8783f5b9234a7ab62280904517a0e35ad2769b0cb88c175cd8186ac1f1cf80b91dd00ff46934043c","a7419c4e86f85bf","38ac88d96c014f8bc5de9eba50b3af93df0","1e98a4f41cf53d74","ccbbe2eb390dbba71224175445f4bce5","4c716c30d5ccdf91dc26923630966205"},
+    {"9c76e983578e596a449609ea29968b0a52ad2253f7f31f18be","3e4041b96a14a650e9f3d1e","260c1273b4195204b1d540c3afc608816a60e0f26a9ea0d0e6aa9d20cfa3d4e9da88c2c44","2837129682bbf19c46cc83a764ae","1bb0f6e5e275b829671d65a","b8b26d9df1d670e1","f16227506b93692a3f9bcb780387e30f","e93ff116a6453f65e246318cc24789a5"},
+    {"36a91b684da8df6c84","a48ca4184384bcfdae5f132a798a4cab11d50046e4b36869d406c7c95d86ccb15","23225d13529ea4bbf375d0df6db0db11331c5b8b4307da7bdd17ba62e346808e57c6c7efded2d1092d4","0","36a91b684da8df6c84","e3b8146624b673dd","8d14ad61a4e426c98b4c434ae91e54cb","12a1261e6d378e6b356ab7c0d90c67ac"},
+    {"213a89597c587fe0633070c4a6e5965e55f79c9cae78b0579cd6a54728e326f029903cda1a7bb6e3895b62f2e07ae254fec3924d73a1c60babbeacf32788024e1cdaa31ffd77adc2504eb0e3f89eabb9184e6037899f53737d9b7d2c907f10db877ecbe83d751516287a0c9d3944cd85184baa5fe79d28bc9c46450ab39a6ded41","9780ba11209fbf31b2cf347d4dbded637f1","13aa3c6f3600904e777fa233e56b5eb60120a011d8f46d76664426a3d50783cf3cc35bc7b3d4cbb6c8b79e03d36c6c10a460f28573a88bbc2ae74ab251df878c6416254fb822c447471e85e2ea89c33c7a3586168a9bafd315b89a9784465761cc246ef92fa3c8bb7679eeba9685164bbd8e392259081dcf51211eadce18f1d5a429a764c9903b362719b52e4df7fb1cb5131","3825cfe8c6c04d104603107d6f55ec124dc938d919619f57b335b5617b15a0571941316df39bff690e9c3925924820fa700947ea19f53364269f5495f06870a2c2c24212b38c151fc14139c211e4ed22e8e47739131944c601e517ae061b4c66e7121beab6a01823ee512e9062933ff","486d30b8ee989e74e891a63a4545a4e3132","9cb910941ccc2db8","c9381b310740043ceb6084d6a49c213b","489bd42c582d2e63c147b86151e07117"},
+};
+
+class DifferentialVectors : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DifferentialVectors, MultiplicationMatchesCPython) {
+  const Vector& v = kVectors[GetParam()];
+  EXPECT_EQ(BigUInt::from_hex(v.a) * BigUInt::from_hex(v.b),
+            BigUInt::from_hex(v.product));
+}
+
+TEST_P(DifferentialVectors, DivModMatchesCPython) {
+  const Vector& v = kVectors[GetParam()];
+  auto [q, r] = BigUInt::divmod(BigUInt::from_hex(v.a), BigUInt::from_hex(v.b));
+  EXPECT_EQ(q, BigUInt::from_hex(v.quotient));
+  EXPECT_EQ(r, BigUInt::from_hex(v.remainder));
+}
+
+TEST_P(DifferentialVectors, ModExpMatchesCPython) {
+  const Vector& v = kVectors[GetParam()];
+  BigUInt expected = BigUInt::from_hex(v.pow_result);
+  EXPECT_EQ(BigUInt::modexp(BigUInt::from_hex(v.a), BigUInt::from_hex(v.e),
+                            BigUInt::from_hex(v.m)),
+            expected);
+  // The Montgomery fast path must agree (m is odd by construction).
+  MontgomeryContext ctx(BigUInt::from_hex(v.m));
+  EXPECT_EQ(ctx.pow(BigUInt::from_hex(v.a), BigUInt::from_hex(v.e)), expected);
+}
+
+TEST_P(DifferentialVectors, RoundTripIdentity) {
+  const Vector& v = kVectors[GetParam()];
+  BigUInt a = BigUInt::from_hex(v.a);
+  BigUInt b = BigUInt::from_hex(v.b);
+  EXPECT_EQ(BigUInt::from_hex(v.quotient) * b + BigUInt::from_hex(v.remainder),
+            a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, DifferentialVectors,
+                         ::testing::Range<std::size_t>(0, 6));
+
+}  // namespace
+}  // namespace dla::bn

@@ -1,0 +1,181 @@
+// Tests for Feldman VSS and the distributed key generation protocol.
+#include "crypto/dkg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "audit/cluster.hpp"
+#include "logm/workload.hpp"
+
+namespace dla::crypto {
+namespace {
+
+TEST(Feldman, SharesVerifyAgainstCommitments) {
+  ChaCha20Rng rng(1);
+  DkgGroup group = DkgGroup::fixed256();
+  bn::BigUInt secret(123456789);
+  auto dealing = feldman_deal(group, secret, 3, 5, rng);
+  ASSERT_EQ(dealing.commitments.size(), 3u);
+  ASSERT_EQ(dealing.shares.size(), 5u);
+  for (std::uint32_t j = 1; j <= 5; ++j) {
+    EXPECT_TRUE(
+        feldman_verify(group, dealing.commitments, j, dealing.shares[j - 1]))
+        << "receiver " << j;
+  }
+}
+
+TEST(Feldman, CorruptShareRejected) {
+  ChaCha20Rng rng(2);
+  DkgGroup group = DkgGroup::fixed256();
+  auto dealing = feldman_deal(group, bn::BigUInt(42), 2, 3, rng);
+  bn::BigUInt bad = (dealing.shares[1] + bn::BigUInt(1)) % group.q;
+  EXPECT_FALSE(feldman_verify(group, dealing.commitments, 2, bad));
+  // Right share at the wrong index also fails.
+  EXPECT_FALSE(
+      feldman_verify(group, dealing.commitments, 3, dealing.shares[1]));
+}
+
+TEST(Feldman, CorruptCommitmentRejected) {
+  ChaCha20Rng rng(3);
+  DkgGroup group = DkgGroup::fixed256();
+  auto dealing = feldman_deal(group, bn::BigUInt(42), 2, 3, rng);
+  auto tampered = dealing.commitments;
+  tampered[1] = bn::BigUInt::mulmod(tampered[1], group.g, group.p);
+  EXPECT_FALSE(feldman_verify(group, tampered, 1, dealing.shares[0]));
+}
+
+TEST(Feldman, DealValidation) {
+  ChaCha20Rng rng(4);
+  DkgGroup group = DkgGroup::fixed256();
+  EXPECT_THROW(feldman_deal(group, bn::BigUInt(1), 0, 3, rng),
+               std::invalid_argument);
+  EXPECT_THROW(feldman_deal(group, bn::BigUInt(1), 4, 3, rng),
+               std::invalid_argument);
+  EXPECT_FALSE(feldman_verify(group, {}, 1, bn::BigUInt(1)));
+  EXPECT_FALSE(feldman_verify(group, {bn::BigUInt(4)}, 0, bn::BigUInt(1)));
+}
+
+TEST(Feldman, GroupGeneratorHasOrderQ) {
+  DkgGroup group = DkgGroup::fixed256();
+  EXPECT_EQ(bn::BigUInt::modexp(group.g, group.q, group.p), bn::BigUInt(1));
+  EXPECT_NE(bn::BigUInt::modexp(group.g, bn::BigUInt(2), group.p),
+            bn::BigUInt(1));
+}
+
+// Offline DKG: aggregation of verified dealings yields shares of the sum
+// secret whose threshold signatures verify under the joint public key.
+TEST(Dkg, OfflineAggregationProducesWorkingKey) {
+  ChaCha20Rng rng(5);
+  DkgGroup group = DkgGroup::fixed256();
+  const std::size_t n = 4, k = 3;
+  std::vector<FeldmanDealing> dealings;
+  std::vector<bn::BigUInt> constant_terms;
+  for (std::size_t i = 0; i < n; ++i) {
+    bn::BigUInt z = bn::BigUInt::random_below(rng, group.q);
+    dealings.push_back(feldman_deal(group, z, k, n, rng));
+    constant_terms.push_back(dealings.back().commitments[0]);
+  }
+  ThresholdParams params =
+      dkg_params(group, dkg_public_key(group, constant_terms));
+  std::vector<SignerShare> shares;
+  for (std::uint32_t j = 1; j <= n; ++j) {
+    std::vector<bn::BigUInt> received;
+    for (const auto& dealing : dealings) received.push_back(dealing.shares[j - 1]);
+    shares.push_back(SignerShare{j, dkg_combine_shares(group, received)});
+  }
+  // Sign with signers {1, 3, 4}.
+  std::vector<std::uint32_t> set = {1, 3, 4};
+  std::vector<NoncePair> nonces;
+  std::vector<bn::BigUInt> commitments;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    nonces.push_back(make_nonce(params, rng));
+    commitments.push_back(nonces.back().r);
+  }
+  bn::BigUInt r = combine_commitments(params, commitments);
+  bn::BigUInt c = challenge(params, r, "dkg-signed report");
+  std::vector<bn::BigUInt> s_shares;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    bn::BigUInt lambda = lagrange_at_zero(params, set, set[i]);
+    s_shares.push_back(
+        response_share(params, shares[set[i] - 1], nonces[i].k, c, lambda));
+  }
+  auto sig = combine_signature(params, r, s_shares);
+  EXPECT_TRUE(verify_threshold(params, "dkg-signed report", sig));
+  EXPECT_FALSE(verify_threshold(params, "forged", sig));
+}
+
+// Networked DKG over the simulated cluster.
+struct DkgClusterFixture : ::testing::Test {
+  DkgClusterFixture()
+      : cluster(audit::Cluster::Options{logm::paper_schema(), 4, 0,
+                                        logm::paper_partition(), /*seed=*/9,
+                                        false}) {}
+  audit::Cluster cluster;
+};
+
+TEST_F(DkgClusterFixture, AllNodesAgreeOnKeyAndCanSign) {
+  std::map<std::size_t, audit::DlaNode::DkgResult> results;
+  for (std::size_t i = 0; i < 4; ++i) {
+    cluster.dla(i).on_dkg_result =
+        [&, i](audit::SessionId, const audit::DlaNode::DkgResult& r) {
+          results[i] = r;
+        };
+  }
+  cluster.dla(2).start_dkg(cluster.sim(), 1, 3);
+  cluster.run();
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& [i, r] : results) {
+    ASSERT_TRUE(r.ok) << "node " << i;
+    EXPECT_EQ(r.params, results[0].params);  // everyone derives the same key
+    EXPECT_EQ(r.share.index, i + 1);
+  }
+  // The DKG shares support threshold signing end to end.
+  ChaCha20Rng rng(11);
+  const auto& params = results[0].params;
+  std::vector<std::uint32_t> set = {2, 3, 4};
+  std::vector<NoncePair> nonces;
+  std::vector<bn::BigUInt> commitments;
+  for (std::size_t i = 0; i < 3; ++i) {
+    nonces.push_back(make_nonce(params, rng));
+    commitments.push_back(nonces.back().r);
+  }
+  bn::BigUInt r = combine_commitments(params, commitments);
+  bn::BigUInt c = challenge(params, r, "msg");
+  std::vector<bn::BigUInt> s_shares;
+  for (std::size_t i = 0; i < 3; ++i) {
+    bn::BigUInt lambda = lagrange_at_zero(params, set, set[i]);
+    s_shares.push_back(response_share(params, results[set[i] - 1].share,
+                                      nonces[i].k, c, lambda));
+  }
+  EXPECT_TRUE(verify_threshold(params, "msg",
+                               combine_signature(params, r, s_shares)));
+}
+
+TEST_F(DkgClusterFixture, CorruptDealerIsIdentified) {
+  cluster.dla(1).set_dkg_corrupt(true);  // deals a bad share to node 4
+  std::map<std::size_t, audit::DlaNode::DkgResult> results;
+  for (std::size_t i = 0; i < 4; ++i) {
+    cluster.dla(i).on_dkg_result =
+        [&, i](audit::SessionId, const audit::DlaNode::DkgResult& r) {
+          results[i] = r;
+        };
+  }
+  cluster.dla(0).start_dkg(cluster.sim(), 2, 3);
+  cluster.run();
+  ASSERT_EQ(results.size(), 4u);
+  // The victim (highest index) flags dealer 2; others are unaffected.
+  EXPECT_FALSE(results[3].ok);
+  EXPECT_EQ(results[3].bad_dealers, (std::vector<std::uint32_t>{2}));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(results[i].ok) << "node " << i;
+  }
+}
+
+TEST_F(DkgClusterFixture, BadThresholdRejected) {
+  EXPECT_THROW(cluster.dla(0).start_dkg(cluster.sim(), 9, 0),
+               std::invalid_argument);
+  EXPECT_THROW(cluster.dla(0).start_dkg(cluster.sim(), 9, 5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dla::crypto

@@ -1,0 +1,309 @@
+// Tests for the evidence-chain membership system (Section 4.2, Figures 6-7):
+// chain structures, verification, misconduct detection, and the three-phase
+// join handshake over the simulated network.
+#include "audit/evidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "audit/member_node.hpp"
+
+namespace dla::audit {
+namespace {
+
+crypto::RsaKeyPair ca_key() { return crypto::RsaKeyPair::fixed512(); }
+
+crypto::RsaKeyPair pseudonym_key(std::uint64_t seed) {
+  crypto::ChaCha20Rng rng(seed);
+  return crypto::RsaKeyPair::generate(rng, 256);
+}
+
+bn::BigUInt issue_token(const crypto::RsaKeyPair& ca,
+                        const crypto::RsaPublicKey& member_pub,
+                        std::uint64_t seed) {
+  crypto::ChaCha20Rng rng(seed);
+  auto blinded =
+      crypto::blind(ca.public_key(), token_message(pseudonym_hash(member_pub)),
+                    rng);
+  return crypto::unblind(ca.public_key(), ca.apply_private(blinded.blinded),
+                         blinded.r);
+}
+
+// Builds an N-member chain offline (no network) for structure tests.
+EvidenceChain build_chain(const crypto::RsaKeyPair& ca, std::size_t members,
+                          std::vector<crypto::RsaKeyPair>* keys_out = nullptr) {
+  EvidenceChain chain;
+  std::vector<crypto::RsaKeyPair> keys;
+  for (std::size_t i = 0; i < members; ++i) {
+    keys.push_back(pseudonym_key(100 + i));
+  }
+  // Genesis: member 0 self-issues.
+  bn::BigUInt token0 = issue_token(ca, keys[0].public_key(), 1000);
+  chain.append(make_evidence_piece(0, "", keys[0],
+                                   pseudonym_hash(keys[0].public_key()),
+                                   token0, "genesis"));
+  for (std::size_t i = 1; i < members; ++i) {
+    bn::BigUInt token = issue_token(ca, keys[i].public_key(), 1000 + i);
+    chain.append(make_evidence_piece(
+        static_cast<std::uint32_t>(i), chain.pieces().back().hash(),
+        keys[i - 1], pseudonym_hash(keys[i].public_key()), token,
+        "terms-" + std::to_string(i)));
+  }
+  if (keys_out) *keys_out = std::move(keys);
+  return chain;
+}
+
+TEST(EvidenceChain, ValidChainVerifies) {
+  auto ca = ca_key();
+  auto chain = build_chain(ca, 4);
+  auto v = chain.verify(ca.public_key());
+  EXPECT_TRUE(v.ok) << v.failure;
+  EXPECT_EQ(v.checked, 4u);
+}
+
+TEST(EvidenceChain, EmptyChainVerifies) {
+  auto ca = ca_key();
+  EvidenceChain chain;
+  EXPECT_TRUE(chain.verify(ca.public_key()).ok);
+}
+
+TEST(EvidenceChain, BrokenHashLinkDetected) {
+  auto ca = ca_key();
+  auto chain = build_chain(ca, 3);
+  EvidenceChain tampered;
+  for (auto piece : chain.pieces()) {
+    if (piece.index == 2) piece.prev_hash = "0000";
+    tampered.append(std::move(piece));
+  }
+  auto v = tampered.verify(ca.public_key());
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.failure.find("hash link"), std::string::npos);
+  EXPECT_EQ(v.checked, 2u);
+}
+
+TEST(EvidenceChain, ForgedTokenDetected) {
+  auto ca = ca_key();
+  auto chain = build_chain(ca, 2);
+  EvidenceChain tampered;
+  for (auto piece : chain.pieces()) {
+    if (piece.index == 1) piece.invitee_token += bn::BigUInt(1);
+    tampered.append(std::move(piece));
+  }
+  auto v = tampered.verify(ca.public_key());
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.failure.find("CA token"), std::string::npos);
+}
+
+TEST(EvidenceChain, TamperedTermsDetected) {
+  // Changing terms breaks the issuer signature (r-binding property: the
+  // negotiated terms are bound into the evidence).
+  auto ca = ca_key();
+  auto chain = build_chain(ca, 2);
+  EvidenceChain tampered;
+  for (auto piece : chain.pieces()) {
+    if (piece.index == 1) piece.terms = "better terms";
+    tampered.append(std::move(piece));
+  }
+  auto v = tampered.verify(ca.public_key());
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(EvidenceChain, UnauthorizedIssuerDetected) {
+  // Member 0 (not the tail) tries to extend a 3-member chain.
+  auto ca = ca_key();
+  std::vector<crypto::RsaKeyPair> keys;
+  auto chain = build_chain(ca, 3, &keys);
+  auto intruder = pseudonym_key(999);
+  bn::BigUInt token = issue_token(ca, intruder.public_key(), 5000);
+  chain.append(make_evidence_piece(3, chain.pieces().back().hash(), keys[0],
+                                   pseudonym_hash(intruder.public_key()),
+                                   token, "sneaky"));
+  auto v = chain.verify(ca.public_key());
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.failure.find("invite authority"), std::string::npos);
+}
+
+TEST(EvidenceChain, WrongIndexDetected) {
+  auto ca = ca_key();
+  auto chain = build_chain(ca, 2);
+  EvidenceChain renumbered;
+  for (auto piece : chain.pieces()) {
+    if (piece.index == 1) piece.index = 5;
+    renumbered.append(std::move(piece));
+  }
+  EXPECT_FALSE(renumbered.verify(ca.public_key()).ok);
+}
+
+TEST(EvidenceChain, DoubleInviteExposed) {
+  auto ca = ca_key();
+  std::vector<crypto::RsaKeyPair> keys;
+  auto chain = build_chain(ca, 3, &keys);
+  // keys[1] already invited keys[2] (piece 2); it invites again from the
+  // same chain position -> same (issuer, prev_hash) pair.
+  auto extra_member = pseudonym_key(77);
+  bn::BigUInt token = issue_token(ca, extra_member.public_key(), 6000);
+  auto pieces = chain.pieces();
+  pieces.push_back(make_evidence_piece(
+      2, pieces[1].hash(), keys[1],
+      pseudonym_hash(extra_member.public_key()), token, "second invite"));
+  auto exposed = detect_double_invite(pieces);
+  ASSERT_TRUE(exposed.has_value());
+  EXPECT_EQ(*exposed, pseudonym_hash(keys[1].public_key()));
+}
+
+TEST(EvidenceChain, NoFalseDoubleInviteOnHonestChain) {
+  auto ca = ca_key();
+  auto chain = build_chain(ca, 5);
+  EXPECT_FALSE(detect_double_invite(chain.pieces()).has_value());
+}
+
+TEST(EvidencePiece, CodecRoundTrip) {
+  auto ca = ca_key();
+  auto chain = build_chain(ca, 2);
+  const EvidencePiece& piece = chain.pieces()[1];
+  net::Writer w;
+  piece.encode(w);
+  net::Reader r(w.bytes());
+  EvidencePiece decoded = EvidencePiece::decode(r);
+  EXPECT_EQ(decoded.canonical(), piece.canonical());
+  EXPECT_EQ(decoded.hash(), piece.hash());
+  EXPECT_EQ(decoded.issuer_sig, piece.issuer_sig);
+}
+
+// ----------------------------------------------- networked handshake --
+
+struct MembershipFixture : ::testing::Test {
+  MembershipFixture() : ca("CA", ca_key()) {
+    ca_id = sim.add_node(ca);
+  }
+
+  // Creates a member, acquires its token, returns it ready to join.
+  std::unique_ptr<MemberNode> make_member(const std::string& name,
+                                          std::uint64_t seed) {
+    auto member = std::make_unique<MemberNode>(name, seed);
+    sim.add_node(*member);
+    bool ok = false;
+    member->acquire_token(sim, ca_id, ca.public_key(),
+                          [&](bool result) { ok = result; });
+    sim.run();
+    EXPECT_TRUE(ok) << name;
+    return member;
+  }
+
+  net::Simulator sim;
+  CaNode ca{"CA", ca_key()};
+  net::NodeId ca_id = 0;
+};
+
+TEST_F(MembershipFixture, TokenAcquisitionBlindSigns) {
+  auto member = make_member("P0", 1);
+  EXPECT_TRUE(member->has_token());
+  EXPECT_EQ(ca.tokens_issued(), 1u);
+}
+
+TEST_F(MembershipFixture, ThreePhaseJoinGrowsChain) {
+  auto p0 = make_member("P0", 1);
+  auto p1 = make_member("P1", 2);
+  p0->found_chain("founding terms");
+  ASSERT_TRUE(p0->has_invite_authority());
+
+  bool invite_ok = false;
+  bool joined = false;
+  p1->on_joined = [&](const EvidenceChain& chain) {
+    joined = true;
+    EXPECT_EQ(chain.size(), 2u);
+  };
+  p0->invite(sim, p1->id(), "serve logs for app A",
+             [&](bool ok) { invite_ok = ok; });
+  sim.run();
+
+  EXPECT_TRUE(invite_ok);
+  EXPECT_TRUE(joined);
+  // Authority moved from P0 to P1 (single-tail rule).
+  EXPECT_FALSE(p0->has_invite_authority());
+  EXPECT_TRUE(p1->has_invite_authority());
+  auto v = p1->chain().verify(ca.public_key());
+  EXPECT_TRUE(v.ok) << v.failure;
+}
+
+TEST_F(MembershipFixture, ChainOfFourMembersVerifies) {
+  std::vector<std::unique_ptr<MemberNode>> members;
+  for (int i = 0; i < 4; ++i) {
+    members.push_back(make_member("P" + std::to_string(i), 10 + i));
+  }
+  members[0]->found_chain("genesis");
+  for (int i = 0; i < 3; ++i) {
+    bool joined = false;
+    members[i + 1]->on_joined = [&](const EvidenceChain&) { joined = true; };
+    members[i]->invite(sim, members[i + 1]->id(),
+                       "terms-" + std::to_string(i));
+    sim.run();
+    ASSERT_TRUE(joined) << "join " << i;
+  }
+  EXPECT_EQ(members[3]->chain().size(), 4u);
+  EXPECT_TRUE(members[3]->chain().verify(ca.public_key()).ok);
+  // Only the newest member holds invite authority.
+  EXPECT_FALSE(members[0]->has_invite_authority());
+  EXPECT_FALSE(members[1]->has_invite_authority());
+  EXPECT_FALSE(members[2]->has_invite_authority());
+  EXPECT_TRUE(members[3]->has_invite_authority());
+}
+
+TEST_F(MembershipFixture, HonestNodeRefusesSecondInvite) {
+  auto p0 = make_member("P0", 1);
+  auto p1 = make_member("P1", 2);
+  auto p2 = make_member("P2", 3);
+  p0->found_chain("genesis");
+  p0->invite(sim, p1->id(), "first");
+  sim.run();
+  bool second_ok = true;
+  p0->invite(sim, p2->id(), "second", [&](bool ok) { second_ok = ok; });
+  sim.run();
+  EXPECT_FALSE(second_ok);  // authority already transferred
+}
+
+TEST_F(MembershipFixture, MisbehavingDoubleInviterIsExposed) {
+  auto p0 = make_member("P0", 1);
+  auto p1 = make_member("P1", 2);
+  auto p2 = make_member("P2", 3);
+  p0->found_chain("genesis");
+  p0->invite(sim, p1->id(), "first");
+  sim.run();
+
+  p0->set_allow_misconduct(true);
+  p0->invite(sim, p2->id(), "second");
+  sim.run();
+
+  // p0 forked the chain: p2's copy verifies in isolation (it cannot know
+  // about p1's branch), so p2 joins — exactly the paper's threat. Exposure
+  // happens when the two branches are pooled: two distinct pieces by p0
+  // with the same predecessor.
+  EXPECT_EQ(p2->chain().size(), 2u);
+  std::vector<EvidencePiece> pool;
+  for (const auto& piece : p1->chain().pieces()) pool.push_back(piece);
+  for (const auto& piece : p2->chain().pieces()) pool.push_back(piece);
+  auto exposed = detect_double_invite(pool);
+  ASSERT_TRUE(exposed.has_value());
+  EXPECT_EQ(*exposed, p0->pseudonym());
+}
+
+TEST_F(MembershipFixture, CandidateWithoutTokenCannotJoin) {
+  auto p0 = make_member("P0", 1);
+  p0->found_chain("genesis");
+  MemberNode tokenless("PX", 99);
+  sim.add_node(tokenless);
+  bool invite_result = true;
+  bool callback_ran = false;
+  p0->invite(sim, tokenless.id(), "terms", [&](bool ok) {
+    callback_ran = true;
+    invite_result = ok;
+  });
+  sim.run();
+  // The candidate never answers the policy proposal (no token), so the
+  // handshake stalls without minting evidence.
+  EXPECT_FALSE(callback_ran && invite_result);
+  EXPECT_EQ(p0->chain().size(), 1u);
+  EXPECT_TRUE(p0->has_invite_authority());
+}
+
+}  // namespace
+}  // namespace dla::audit

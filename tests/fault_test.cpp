@@ -1,0 +1,219 @@
+// Fault-injection tests: crash, partition, message loss, delete path, and
+// the periodic self-audit, exercising the system's behaviour under the
+// failures the simulator can inject.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "audit/cluster.hpp"
+#include "logm/workload.hpp"
+
+namespace dla::audit {
+namespace {
+
+struct FaultFixture : ::testing::Test {
+  FaultFixture()
+      : cluster(Cluster::Options{logm::paper_schema(), 4, 1,
+                                 logm::paper_partition(), /*seed=*/13,
+                                 /*auditor_users=*/true}) {}
+
+  void log_rows(std::size_t count) {
+    auto records = logm::paper_table1_records();
+    for (std::size_t i = 0; i < count; ++i) {
+      cluster.user(0).log_record(cluster.sim(),
+                                 records[i % records.size()].attrs,
+                                 [&](std::optional<logm::Glsn> g) {
+                                   if (g) glsns.push_back(*g);
+                                 });
+      cluster.run();
+    }
+  }
+
+  Cluster cluster;
+  std::vector<logm::Glsn> glsns;
+};
+
+TEST_F(FaultFixture, LeaderCrashFailsOverForGlsnAssignment) {
+  log_rows(1);
+  // Crash the leader P0; use a gateway that is NOT P0 so the request can
+  // take the timeout-retry path (user 0's round-robin is at index 1 now).
+  cluster.sim().crash(cluster.config()->dla_nodes[0]);
+  std::optional<std::optional<logm::Glsn>> result;
+  cluster.user(0).log_record(cluster.sim(),
+                             logm::paper_table1_records()[1].attrs,
+                             [&](std::optional<logm::Glsn> g) { result = g; });
+  cluster.run();
+  // The glsn is assigned by the failover leader; the log itself cannot
+  // complete (P0 can't ack its fragment), so the callback must NOT report
+  // success with a dead member — it simply never fires.
+  EXPECT_FALSE(result.has_value());
+  // But the sequencer kept working: a query against the remaining state
+  // still answers (gateway P2, all-local subquery on P1).
+  std::optional<QueryOutcome> outcome;
+  cluster.user(0).query(cluster.sim(), "id = 'U1' AND C2 < 100.0",
+                        [&](QueryOutcome o) { outcome = std::move(o); });
+  cluster.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->ok);
+}
+
+TEST_F(FaultFixture, RecoveredLeaderResumesService) {
+  log_rows(1);
+  cluster.sim().crash(cluster.config()->dla_nodes[0]);
+  cluster.run();
+  cluster.sim().recover(cluster.config()->dla_nodes[0]);
+  std::optional<std::optional<logm::Glsn>> result;
+  cluster.user(0).log_record(cluster.sim(),
+                             logm::paper_table1_records()[1].attrs,
+                             [&](std::optional<logm::Glsn> g) { result = g; });
+  cluster.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->has_value());
+}
+
+TEST_F(FaultFixture, PartitionFailsQueryWithTimeoutNotWrongAnswer) {
+  log_rows(3);
+  // Split {P0, P1} from {P2, P3, TTP, user}: cross subqueries cannot
+  // complete; the gateway's watchdog fails the query back to the user
+  // instead of answering wrong or hanging forever.
+  cluster.sim().partition({cluster.config()->dla_nodes[0],
+                           cluster.config()->dla_nodes[1]});
+  std::optional<QueryOutcome> outcome;
+  cluster.user(0).query(cluster.sim(), "id = 'U1' AND protocl = 'UDP'",
+                        [&](QueryOutcome o) { outcome = std::move(o); });
+  cluster.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok);
+  EXPECT_EQ(outcome->error, "query timed out");
+  outcome.reset();
+
+  // Heal and retry: the system answers again.
+  cluster.sim().heal_partition();
+  cluster.user(0).query(cluster.sim(), "id = 'U1' AND protocl = 'UDP'",
+                        [&](QueryOutcome o) { outcome = std::move(o); });
+  cluster.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->ok);
+  EXPECT_EQ(outcome->glsns.size(), 2u);
+}
+
+TEST_F(FaultFixture, CrashedRingMemberStallsIntegrityCheckSafely) {
+  log_rows(2);
+  cluster.sim().crash(cluster.config()->dla_nodes[2]);
+  bool fired = false;
+  cluster.dla(0).on_integrity_result = [&](SessionId, logm::Glsn, bool) {
+    fired = true;
+  };
+  cluster.dla(0).start_integrity_check(cluster.sim(), 1, glsns[0]);
+  cluster.run();
+  EXPECT_FALSE(fired);  // circulation cannot complete -> no verdict, no lie
+}
+
+TEST_F(FaultFixture, DroppedMessagesAreAccounted) {
+  // Drop all accumulator deposits: logging completes (acks still flow) but
+  // later integrity checks fail closed because the deposit is missing.
+  cluster.sim().set_drop_policy(
+      [](const net::Message& m) { return m.type == kAccumDeposit; });
+  log_rows(1);
+  ASSERT_EQ(glsns.size(), 1u);
+  cluster.sim().set_drop_policy(nullptr);
+  std::optional<bool> ok;
+  cluster.dla(0).on_integrity_result = [&](SessionId, logm::Glsn, bool r) {
+    ok = r;
+  };
+  cluster.dla(0).start_integrity_check(cluster.sim(), 1, glsns[0]);
+  cluster.run();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_FALSE(*ok);  // no deposit -> cannot attest integrity
+  EXPECT_GT(cluster.sim().stats().messages_dropped, 0u);
+}
+
+TEST_F(FaultFixture, DeleteRemovesRecordEverywhere) {
+  log_rows(2);
+  // The default cluster ticket lacks Delete; issue one that has it and is
+  // recorded in the ACL via a fresh log.
+  Ticket del_ticket = cluster.issue_ticket(
+      "TD", "u0", {logm::Op::Read, logm::Op::Write, logm::Op::Delete});
+  cluster.user(0).configure(cluster.config(), del_ticket);
+  std::optional<logm::Glsn> mine;
+  cluster.user(0).log_record(cluster.sim(),
+                             logm::paper_table1_records()[2].attrs,
+                             [&](std::optional<logm::Glsn> g) { mine = g; });
+  cluster.run();
+  ASSERT_TRUE(mine.has_value());
+
+  std::optional<bool> deleted;
+  cluster.user(0).delete_record(cluster.sim(), *mine,
+                                [&](bool ok) { deleted = ok; });
+  cluster.run();
+  ASSERT_TRUE(deleted.has_value());
+  EXPECT_TRUE(*deleted);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(cluster.dla(i).store().get(*mine), nullptr) << "node " << i;
+  }
+}
+
+TEST_F(FaultFixture, DeleteRefusedWithoutDeleteOpOrOwnership) {
+  log_rows(1);
+  // Default ticket has Read/Write only.
+  std::optional<bool> deleted;
+  cluster.user(0).delete_record(cluster.sim(), glsns[0],
+                                [&](bool ok) { deleted = ok; });
+  cluster.run();
+  ASSERT_TRUE(deleted.has_value());
+  EXPECT_FALSE(*deleted);
+  EXPECT_NE(cluster.dla(0).store().get(glsns[0]), nullptr);
+
+  // A Delete-capable ticket that does NOT own the glsn is refused too.
+  Ticket foreign = cluster.issue_ticket(
+      "TF", "mallory", {logm::Op::Read, logm::Op::Write, logm::Op::Delete});
+  cluster.user(0).configure(cluster.config(), foreign);
+  deleted.reset();
+  cluster.user(0).delete_record(cluster.sim(), glsns[0],
+                                [&](bool ok) { deleted = ok; });
+  cluster.run();
+  ASSERT_TRUE(deleted.has_value());
+  EXPECT_FALSE(*deleted);
+}
+
+TEST_F(FaultFixture, PeriodicAuditDetectsLaterTampering) {
+  log_rows(3);
+  std::map<logm::Glsn, bool> verdicts;
+  cluster.dla(1).on_integrity_result = [&](SessionId, logm::Glsn g, bool ok) {
+    verdicts[g] = ok;
+  };
+  cluster.dla(1).enable_periodic_audit(cluster.sim(), 10000);
+  // Let several audit rounds pass over intact logs.
+  cluster.sim().run(cluster.sim().now() + 50000);
+  EXPECT_FALSE(verdicts.empty());
+  for (const auto& [g, ok] : verdicts) EXPECT_TRUE(ok) << std::hex << g;
+
+  // Tamper, then let the rotation come around again.
+  logm::Fragment bad = *cluster.dla(3).store().get(glsns[1]);
+  bad.attrs["C1"] = logm::Value(std::int64_t{31337});
+  cluster.dla(3).store().put(bad);
+  verdicts.clear();
+  cluster.sim().run(cluster.sim().now() + 60000);
+  cluster.dla(1).disable_periodic_audit();
+  cluster.run();
+  ASSERT_TRUE(verdicts.contains(glsns[1]));
+  EXPECT_FALSE(verdicts[glsns[1]]);
+  // Untouched records keep passing.
+  if (verdicts.contains(glsns[0])) {
+    EXPECT_TRUE(verdicts[glsns[0]]);
+  }
+}
+
+TEST_F(FaultFixture, ByzantineAclEditCaughtByConsistencyAudit) {
+  log_rows(2);
+  cluster.dla(3).acl().authorize("T1", 0xbad);
+  std::optional<bool> consistent;
+  cluster.dla(1).on_acl_check = [&](SessionId, bool c) { consistent = c; };
+  cluster.dla(1).start_acl_consistency_check(cluster.sim(), 99);
+  cluster.run();
+  ASSERT_TRUE(consistent.has_value());
+  EXPECT_FALSE(*consistent);
+}
+
+}  // namespace
+}  // namespace dla::audit

@@ -1,0 +1,106 @@
+// Stress test: every protocol must tolerate message reordering induced by
+// randomized (seeded) per-message latency. Run-to-completion actors plus
+// per-session state make the protocols order-insensitive; this suite
+// verifies that under 16 different jitter seeds.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "audit/cluster.hpp"
+#include "baseline/centralized.hpp"
+#include "logm/workload.hpp"
+
+namespace dla::audit {
+namespace {
+
+class JitterStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JitterStress, FullStackUnderRandomLatency) {
+  const std::uint64_t seed = GetParam();
+  Cluster cluster(Cluster::Options{logm::paper_schema(), 4, 2,
+                                   logm::paper_partition(), seed,
+                                   /*auditor_users=*/true,
+                                   /*certify_reports=*/seed % 2 == 0});
+  // Jittered latency: 20..2000 us per message, seeded and stateful.
+  auto jitter = std::make_shared<crypto::ChaCha20Rng>(seed * 7919);
+  cluster.sim().set_latency_model(
+      [jitter](net::NodeId, net::NodeId, std::size_t) -> net::SimTime {
+        return 20 + jitter->next_below(1980);
+      });
+
+  // Concurrent logging from both users.
+  auto records = logm::paper_table1_records();
+  std::map<logm::Glsn, logm::Glsn> assigned;
+  Ticket second = cluster.issue_ticket("T2", "u1",
+                                       {logm::Op::Read, logm::Op::Write},
+                                       /*auditor=*/true);
+  cluster.user(1).configure(cluster.config(), second);
+  std::size_t logged = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    logm::Glsn original = records[i].glsn;
+    cluster.user(i % 2).log_record(cluster.sim(), records[i].attrs,
+                                   [&, original](std::optional<logm::Glsn> g) {
+                                     ASSERT_TRUE(g.has_value());
+                                     assigned[original] = *g;
+                                     ++logged;
+                                   });
+  }
+  cluster.run();
+  ASSERT_EQ(logged, records.size());
+
+  // Distributed queries must still match central evaluation.
+  baseline::CentralizedAuditor central(logm::paper_schema());
+  for (const auto& rec : records) {
+    logm::LogRecord copy = rec;
+    copy.glsn = assigned.at(rec.glsn);
+    central.log(std::move(copy));
+  }
+  for (const char* q :
+       {"id = 'U1' AND protocl = 'UDP'", "id = 'U3' OR protocl = 'TCP'",
+        "C1 < C2 AND Tid = 'T1100267'", "NOT (protocl = 'UDP' OR C1 >= 50)"}) {
+    std::optional<QueryOutcome> outcome;
+    cluster.user(0).query(cluster.sim(), q,
+                          [&](QueryOutcome o) { outcome = std::move(o); });
+    cluster.run();
+    ASSERT_TRUE(outcome.has_value()) << q;
+    ASSERT_TRUE(outcome->ok) << q << ": " << outcome->error;
+    EXPECT_EQ(outcome->glsns, central.query(q)) << q;
+  }
+
+  // Secure sum under jitter (shares may outrun their kSumStart).
+  const SessionId sum_session = 900;
+  for (std::size_t i = 0; i < 4; ++i) {
+    cluster.dla(i).stage_sum_input(sum_session, bn::BigUInt(100 + i));
+  }
+  std::optional<bn::BigUInt> total;
+  cluster.dla(2).on_sum_result = [&](SessionId, bn::BigUInt v) {
+    total = std::move(v);
+  };
+  SumSpec spec;
+  spec.session = sum_session;
+  spec.participants = cluster.config()->dla_nodes;
+  spec.threshold_k = 3;
+  spec.collector = cluster.config()->dla_nodes[1];
+  spec.observers = {cluster.config()->dla_nodes[2]};
+  cluster.dla(0).start_sum(cluster.sim(), spec);
+  cluster.run();
+  ASSERT_TRUE(total.has_value());
+  EXPECT_EQ(*total, bn::BigUInt(100 + 101 + 102 + 103));
+
+  // Integrity circulation under jitter.
+  std::optional<bool> ok;
+  cluster.dla(3).on_integrity_result = [&](SessionId, logm::Glsn, bool r) {
+    ok = r;
+  };
+  cluster.dla(3).start_integrity_check(cluster.sim(), 901,
+                                       assigned.begin()->second);
+  cluster.run();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(*ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JitterStress,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace dla::audit

@@ -1,0 +1,147 @@
+// Tests for the Section 5 confidentiality metrics (Eqs. 10-13).
+#include "audit/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logm/workload.hpp"
+
+namespace dla::audit {
+namespace {
+
+logm::Schema schema() { return logm::paper_schema(); }
+logm::AttributePartition partition() { return logm::paper_partition(); }
+
+TEST(Metrics, StoreConfidentialityPaperExample) {
+  // Table 1 record: w = 7 attributes, v = 3 undefined (C1..C3), u = 4 nodes.
+  auto records = logm::paper_table1_records();
+  double c = store_confidentiality(records[0], schema(), partition());
+  EXPECT_DOUBLE_EQ(c, 3.0 * 4.0 / 7.0);
+}
+
+TEST(Metrics, StoreConfidentialityGrowsWithSpread) {
+  // The same attributes concentrated on fewer nodes score lower.
+  auto concentrated = logm::AttributePartition::explicit_sets(
+      schema(), {{"Time", "id", "protocl", "Tid", "C1", "C2", "C3"}});
+  auto records = logm::paper_table1_records();
+  double spread = store_confidentiality(records[0], schema(), partition());
+  double tight = store_confidentiality(records[0], schema(), concentrated);
+  EXPECT_GT(spread, tight);
+  EXPECT_DOUBLE_EQ(tight, 3.0 * 1.0 / 7.0);
+}
+
+TEST(Metrics, StoreConfidentialityZeroWithoutUndefinedAttrs) {
+  logm::Schema plain({{"a", logm::ValueType::Int, false},
+                      {"b", logm::ValueType::Int, false}});
+  auto part = logm::AttributePartition::round_robin(plain, 2);
+  logm::LogRecord rec;
+  rec.glsn = 1;
+  rec.attrs = {{"a", logm::Value(std::int64_t{1})},
+               {"b", logm::Value(std::int64_t{2})}};
+  EXPECT_DOUBLE_EQ(store_confidentiality(rec, plain, part), 0.0);
+}
+
+TEST(Metrics, StoreConfidentialityEmptyRecord) {
+  logm::LogRecord rec;
+  EXPECT_DOUBLE_EQ(store_confidentiality(rec, schema(), partition()), 0.0);
+}
+
+TEST(Metrics, AuditingConfidentialityAllLocal) {
+  // q = 2 subqueries, s = 2 atomic predicates, t = 0 cross:
+  // C = (0+2)/(2+2) = 0.5.
+  auto sqs = normalize("id = 'U1' AND C2 > 10.0", schema(), partition());
+  ASSERT_EQ(sqs.size(), 2u);
+  EXPECT_DOUBLE_EQ(auditing_confidentiality(sqs), 0.5);
+}
+
+TEST(Metrics, AuditingConfidentialityAllCross) {
+  // One subquery spanning two nodes: s = 2, t = 2, q = 1 -> 3/3 = 1.
+  auto sqs = normalize("Time > 1 OR id = 'U1'", schema(), partition());
+  ASSERT_EQ(sqs.size(), 1u);
+  EXPECT_FALSE(sqs[0].local());
+  EXPECT_DOUBLE_EQ(auditing_confidentiality(sqs), 1.0);
+}
+
+TEST(Metrics, AuditingConfidentialityMixed) {
+  // SQ1 local single pred; SQ2 cross with two preds:
+  // s = 3, t = 2, q = 2 -> (2+2)/(3+2) = 0.8.
+  auto sqs = normalize("C1 = 5 AND (Time > 1 OR id = 'U1')", schema(),
+                       partition());
+  ASSERT_EQ(sqs.size(), 2u);
+  EXPECT_DOUBLE_EQ(auditing_confidentiality(sqs), 0.8);
+}
+
+TEST(Metrics, AuditingConfidentialityEmpty) {
+  EXPECT_DOUBLE_EQ(auditing_confidentiality({}), 0.0);
+}
+
+TEST(Metrics, QueryConfidentialityIsProduct) {
+  auto sqs = normalize("Time > 1 OR id = 'U1'", schema(), partition());
+  auto records = logm::paper_table1_records();
+  double cq = query_confidentiality(sqs, records[0], schema(), partition());
+  EXPECT_DOUBLE_EQ(cq, auditing_confidentiality(sqs) *
+                           store_confidentiality(records[0], schema(),
+                                                 partition()));
+}
+
+TEST(Metrics, DlaConfidentialityIsMean) {
+  auto records = logm::paper_table1_records();
+  std::vector<std::vector<Subquery>> queries = {
+      normalize("Time > 1 OR id = 'U1'", schema(), partition()),
+      normalize("C1 = 5 AND C2 > 1.0", schema(), partition()),
+  };
+  double total = 0;
+  for (const auto& q : queries) {
+    for (const auto& rec : records) {
+      total += query_confidentiality(q, rec, schema(), partition());
+    }
+  }
+  double expected = total / (queries.size() * records.size());
+  EXPECT_DOUBLE_EQ(dla_confidentiality(queries, records, schema(), partition()),
+                   expected);
+  EXPECT_DOUBLE_EQ(dla_confidentiality({}, records, schema(), partition()),
+                   0.0);
+}
+
+TEST(Metrics, NormalizeHelperClassifies) {
+  auto sqs = normalize("NOT (Time <= 1 OR id != 'U1')", schema(), partition());
+  // De Morgan -> Time > 1 AND id = 'U1' -> two local subqueries.
+  ASSERT_EQ(sqs.size(), 2u);
+  EXPECT_TRUE(sqs[0].local());
+  EXPECT_TRUE(sqs[1].local());
+}
+
+// Parameterised sweep of Eq. 10 over v (undefined attrs) and node count —
+// the substance of experiment E7.
+class StoreConfSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(StoreConfSweep, MatchesFormula) {
+  auto [v, n] = GetParam();
+  const std::size_t w = 8;
+  std::vector<logm::AttributeDef> defs;
+  for (std::size_t i = 0; i < w; ++i) {
+    defs.push_back({"a" + std::to_string(i), logm::ValueType::Int, i < v});
+  }
+  logm::Schema s(defs);
+  auto part = logm::AttributePartition::round_robin(s, n);
+  logm::LogRecord rec;
+  rec.glsn = 1;
+  for (std::size_t i = 0; i < w; ++i) {
+    rec.attrs.emplace("a" + std::to_string(i),
+                      logm::Value(static_cast<std::int64_t>(i)));
+  }
+  std::size_t u = std::min(n, w);  // round-robin touches min(n, w) nodes
+  EXPECT_DOUBLE_EQ(store_confidentiality(rec, s, part),
+                   static_cast<double>(v) * static_cast<double>(u) / w);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StoreConfSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{0, 4},
+                      std::pair<std::size_t, std::size_t>{2, 1},
+                      std::pair<std::size_t, std::size_t>{4, 4},
+                      std::pair<std::size_t, std::size_t>{8, 8},
+                      std::pair<std::size_t, std::size_t>{3, 16}));
+
+}  // namespace
+}  // namespace dla::audit

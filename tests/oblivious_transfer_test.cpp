@@ -1,0 +1,75 @@
+// Tests for the EGL 1-out-of-2 oblivious transfer (classical-MPC substrate).
+#include "crypto/oblivious_transfer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dla::crypto {
+namespace {
+
+struct OtFixture : ::testing::Test {
+  RsaKeyPair key = RsaKeyPair::fixed512();
+  ChaCha20Rng sender_rng{1};
+  ChaCha20Rng receiver_rng{2};
+};
+
+TEST_F(OtFixture, ReceiverGetsChosenMessageBit0) {
+  ObliviousTransferSender sender(key, sender_rng);
+  ObliviousTransferReceiver receiver(key.public_key(), receiver_rng);
+  bn::BigUInt m0(11111), m1(22222);
+  auto offer = sender.make_offer();
+  auto v = receiver.choose(offer, false);
+  auto reply = sender.respond(offer, v, m0, m1);
+  EXPECT_EQ(receiver.recover(reply), m0);
+}
+
+TEST_F(OtFixture, ReceiverGetsChosenMessageBit1) {
+  ObliviousTransferSender sender(key, sender_rng);
+  ObliviousTransferReceiver receiver(key.public_key(), receiver_rng);
+  bn::BigUInt m0(11111), m1(22222);
+  auto offer = sender.make_offer();
+  auto v = receiver.choose(offer, true);
+  auto reply = sender.respond(offer, v, m0, m1);
+  EXPECT_EQ(receiver.recover(reply), m1);
+}
+
+TEST_F(OtFixture, UnchosenMessageStaysMasked) {
+  ObliviousTransferSender sender(key, sender_rng);
+  ObliviousTransferReceiver receiver(key.public_key(), receiver_rng);
+  bn::BigUInt m0(11111), m1(22222);
+  auto offer = sender.make_offer();
+  auto v = receiver.choose(offer, false);
+  auto reply = sender.respond(offer, v, m0, m1);
+  // Attempting to strip the blind from the other slot yields garbage: the
+  // mask (v - x1)^d is unrelated to the receiver's r.
+  bn::BigUInt n = key.public_key().n;
+  bn::BigUInt naive = (reply.m1_masked + n - receiver.recover(reply) % n) % n;
+  EXPECT_NE(naive, m1);
+}
+
+TEST_F(OtFixture, ManyRoundTripsRandomBits) {
+  for (int i = 0; i < 10; ++i) {
+    ObliviousTransferSender sender(key, sender_rng);
+    ObliviousTransferReceiver receiver(key.public_key(), receiver_rng);
+    bool b = (receiver_rng.next_u64() & 1) != 0;
+    bn::BigUInt m0 = bn::BigUInt::random_below(sender_rng, key.public_key().n);
+    bn::BigUInt m1 = bn::BigUInt::random_below(sender_rng, key.public_key().n);
+    auto offer = sender.make_offer();
+    auto v = receiver.choose(offer, b);
+    auto reply = sender.respond(offer, v, m0, m1);
+    EXPECT_EQ(receiver.recover(reply), b ? m1 : m0);
+  }
+}
+
+TEST_F(OtFixture, CostAccountingTracksModexps) {
+  ObliviousTransferSender sender(key, sender_rng);
+  ObliviousTransferReceiver receiver(key.public_key(), receiver_rng);
+  auto offer = sender.make_offer();
+  auto v = receiver.choose(offer, true);
+  (void)sender.respond(offer, v, bn::BigUInt(1), bn::BigUInt(2));
+  EXPECT_EQ(sender.cost().modexps, 2u);   // two private-key ops
+  EXPECT_EQ(receiver.cost().modexps, 1u); // one public-key op
+  EXPECT_EQ(sender.cost().messages + receiver.cost().messages, 3u);
+}
+
+}  // namespace
+}  // namespace dla::crypto

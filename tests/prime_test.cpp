@@ -1,0 +1,91 @@
+// Tests for Miller-Rabin and prime generation.
+#include "bignum/prime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rng.hpp"
+
+namespace dla::bn {
+namespace {
+
+using crypto::ChaCha20Rng;
+
+TEST(Prime, SmallPrimesAccepted) {
+  ChaCha20Rng rng(1);
+  for (std::uint64_t p : {2, 3, 5, 7, 11, 13, 97, 101, 251}) {
+    EXPECT_TRUE(is_probable_prime(BigUInt(p), rng)) << p;
+  }
+}
+
+TEST(Prime, SmallCompositesRejected) {
+  ChaCha20Rng rng(2);
+  for (std::uint64_t c : {0, 1, 4, 6, 9, 15, 21, 25, 100, 255, 1001}) {
+    EXPECT_FALSE(is_probable_prime(BigUInt(c), rng)) << c;
+  }
+}
+
+TEST(Prime, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool Fermat tests but not Miller-Rabin.
+  ChaCha20Rng rng(3);
+  for (std::uint64_t c : {561, 1105, 1729, 2465, 2821, 6601, 8911, 41041}) {
+    EXPECT_FALSE(is_probable_prime(BigUInt(c), rng)) << c;
+  }
+}
+
+TEST(Prime, KnownLargePrimeAccepted) {
+  ChaCha20Rng rng(4);
+  // 2^127 - 1 (Mersenne prime).
+  BigUInt m127 = (BigUInt(1) << 127) - BigUInt(1);
+  EXPECT_TRUE(is_probable_prime(m127, rng));
+}
+
+TEST(Prime, KnownLargeCompositeRejected) {
+  ChaCha20Rng rng(5);
+  // 2^128 + 1 = 59649589127497217 * 5704689200685129054721 (F7 factor known).
+  BigUInt f7 = (BigUInt(1) << 128) + BigUInt(1);
+  EXPECT_FALSE(is_probable_prime(f7, rng));
+}
+
+TEST(Prime, FixedSafePrimesVerify) {
+  // The constants embedded in the crypto layer must actually be safe primes.
+  ChaCha20Rng rng(6);
+  for (const char* hex :
+       {"dc202a2e41eb3f8b", "b253d0f212cac9fb474dbafa53e183bf",
+        "dc9db496edbc0c1c97972e233e1a191fdb56a14df65a307ca1cea9ebe0fb9b93"}) {
+    BigUInt p = BigUInt::from_hex(hex);
+    EXPECT_TRUE(is_probable_prime(p, rng)) << hex;
+    BigUInt q = (p - BigUInt(1)) >> 1;
+    EXPECT_TRUE(is_probable_prime(q, rng)) << hex << " (q)";
+  }
+}
+
+TEST(Prime, GeneratePrimeHasRequestedWidth) {
+  ChaCha20Rng rng(7);
+  for (std::size_t bits : {16u, 32u, 64u, 128u}) {
+    BigUInt p = generate_prime(rng, bits, 16);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(is_probable_prime(p, rng, 16));
+  }
+}
+
+TEST(Prime, GenerateSafePrimeIsSafe) {
+  ChaCha20Rng rng(8);
+  BigUInt p = generate_safe_prime(rng, 64, 16);
+  EXPECT_EQ(p.bit_length(), 64u);
+  EXPECT_TRUE(is_probable_prime(p, rng, 16));
+  EXPECT_TRUE(is_probable_prime((p - BigUInt(1)) >> 1, rng, 16));
+}
+
+TEST(Prime, GenerateRejectsTinyWidths) {
+  ChaCha20Rng rng(9);
+  EXPECT_THROW(generate_prime(rng, 1), std::invalid_argument);
+  EXPECT_THROW(generate_safe_prime(rng, 2), std::invalid_argument);
+}
+
+TEST(Prime, DeterministicForFixedSeed) {
+  ChaCha20Rng a(42), b(42);
+  EXPECT_EQ(generate_prime(a, 48, 12), generate_prime(b, 48, 12));
+}
+
+}  // namespace
+}  // namespace dla::bn

@@ -1,0 +1,480 @@
+// Distributed-protocol tests: the relaxed secure computing primitives of
+// Section 3 running as actor state machines over the simulated network.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "audit/cluster.hpp"
+#include "crypto/pohlig_hellman.hpp"
+#include "logm/workload.hpp"
+
+namespace dla::audit {
+namespace {
+
+// A small cluster over the paper's schema/partition for protocol tests.
+struct ProtocolFixture : ::testing::Test {
+  ProtocolFixture()
+      : cluster(Cluster::Options{logm::paper_schema(), 4, 1,
+                                 logm::paper_partition(), /*seed=*/42,
+                                 /*auditor_users=*/true}) {}
+
+  std::vector<bn::BigUInt> encode_set(const std::vector<std::string>& items) {
+    std::vector<bn::BigUInt> out;
+    for (const auto& s : items) {
+      out.push_back(crypto::encode_element(cluster.config()->ph_domain, s));
+    }
+    return out;
+  }
+
+  Cluster cluster;
+};
+
+TEST_F(ProtocolFixture, ClusterConfigHelpers) {
+  const auto& cfg = *cluster.config();
+  EXPECT_EQ(cfg.cluster_size(), 4u);
+  EXPECT_EQ(cfg.majority(), 3u);
+  EXPECT_EQ(cfg.index_of(cfg.dla_nodes[2]), 2u);
+  EXPECT_THROW(cfg.index_of(cfg.ttp), std::out_of_range);
+  EXPECT_EQ(cfg.next_in_ring(3), cfg.dla_nodes[0]);  // wraps
+}
+
+TEST_F(ProtocolFixture, TtpCountsSessionsServed) {
+  EXPECT_EQ(cluster.ttp().sessions_served(), 0u);
+  const SessionId session = 77;
+  cluster.dla(0).stage_cmp_input(session, bn::BigUInt(1));
+  cluster.dla(1).stage_cmp_input(session, bn::BigUInt(1));
+  CmpSpec spec;
+  spec.session = session;
+  spec.op = CmpOpKind::Equality;
+  spec.participants = {cluster.config()->dla_nodes[0],
+                       cluster.config()->dla_nodes[1]};
+  spec.ttp = cluster.config()->ttp;
+  spec.observers = {cluster.config()->dla_nodes[0]};
+  cluster.dla(0).start_cmp(cluster.sim(), spec);
+  cluster.run();
+  EXPECT_EQ(cluster.ttp().sessions_served(), 1u);
+}
+
+// ------------------------------------------------- secure set protocols --
+
+TEST_F(ProtocolFixture, SetIntersectionFigure4Example) {
+  // The exact example of Figure 4: S1={c,d,e}, S2={d,e,f}, S3={e,f,g} on
+  // three nodes; the intersection is {e}.
+  const SessionId session = 1;
+  cluster.dla(0).stage_set_input(session, encode_set({"c", "d", "e"}));
+  cluster.dla(1).stage_set_input(session, encode_set({"d", "e", "f"}));
+  cluster.dla(2).stage_set_input(session, encode_set({"e", "f", "g"}));
+
+  std::optional<std::vector<bn::BigUInt>> result;
+  cluster.dla(0).on_set_result = [&](SessionId s,
+                                     std::vector<bn::BigUInt> elements) {
+    ASSERT_EQ(s, session);
+    result = std::move(elements);
+  };
+  SetSpec spec;
+  spec.session = session;
+  spec.op = SetOp::Intersect;
+  spec.participants = {cluster.config()->dla_nodes[0],
+                       cluster.config()->dla_nodes[1],
+                       cluster.config()->dla_nodes[2]};
+  spec.collector = cluster.config()->dla_nodes[0];
+  spec.observers = {cluster.config()->dla_nodes[0]};
+  cluster.dla(0).start_set_protocol(cluster.sim(), spec);
+  cluster.run();
+
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0],
+            crypto::encode_element(cluster.config()->ph_domain, "e"));
+}
+
+TEST_F(ProtocolFixture, SetIntersectionEmpty) {
+  const SessionId session = 2;
+  cluster.dla(0).stage_set_input(session, encode_set({"a"}));
+  cluster.dla(1).stage_set_input(session, encode_set({"b"}));
+  std::optional<std::vector<bn::BigUInt>> result;
+  cluster.dla(1).on_set_result = [&](SessionId, std::vector<bn::BigUInt> e) {
+    result = std::move(e);
+  };
+  SetSpec spec;
+  spec.session = session;
+  spec.participants = {cluster.config()->dla_nodes[0],
+                       cluster.config()->dla_nodes[1]};
+  spec.collector = cluster.config()->dla_nodes[1];
+  spec.observers = {cluster.config()->dla_nodes[1]};
+  cluster.dla(0).start_set_protocol(cluster.sim(), spec);
+  cluster.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_F(ProtocolFixture, SetUnionDeduplicates) {
+  const SessionId session = 3;
+  cluster.dla(0).stage_set_input(session, encode_set({"a", "b"}));
+  cluster.dla(1).stage_set_input(session, encode_set({"b", "c"}));
+  cluster.dla(2).stage_set_input(session, encode_set({"c", "d"}));
+  std::optional<std::vector<bn::BigUInt>> result;
+  cluster.dla(2).on_set_result = [&](SessionId, std::vector<bn::BigUInt> e) {
+    result = std::move(e);
+  };
+  SetSpec spec;
+  spec.session = session;
+  spec.op = SetOp::Union;
+  spec.participants = {cluster.config()->dla_nodes[0],
+                       cluster.config()->dla_nodes[1],
+                       cluster.config()->dla_nodes[2]};
+  spec.collector = cluster.config()->dla_nodes[0];
+  spec.observers = {cluster.config()->dla_nodes[2]};
+  cluster.dla(0).start_set_protocol(cluster.sim(), spec);
+  cluster.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->size(), 4u);  // {a, b, c, d}
+  std::vector<bn::BigUInt> expected = encode_set({"a", "b", "c", "d"});
+  std::sort(expected.begin(), expected.end());
+  std::sort(result->begin(), result->end());
+  EXPECT_EQ(*result, expected);
+}
+
+TEST_F(ProtocolFixture, SetIntersectionAllFourNodes) {
+  const SessionId session = 4;
+  for (std::size_t i = 0; i < 4; ++i) {
+    cluster.dla(i).stage_set_input(
+        session, encode_set({"common", "own-" + std::to_string(i)}));
+  }
+  std::optional<std::vector<bn::BigUInt>> result;
+  cluster.dla(3).on_set_result = [&](SessionId, std::vector<bn::BigUInt> e) {
+    result = std::move(e);
+  };
+  SetSpec spec;
+  spec.session = session;
+  spec.participants = cluster.config()->dla_nodes;
+  spec.collector = cluster.config()->dla_nodes[2];
+  spec.observers = {cluster.config()->dla_nodes[3]};
+  cluster.dla(1).start_set_protocol(cluster.sim(), spec);
+  cluster.run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0],
+            crypto::encode_element(cluster.config()->ph_domain, "common"));
+}
+
+TEST_F(ProtocolFixture, MissingStagedInputActsAsEmptySet) {
+  const SessionId session = 5;
+  cluster.dla(0).stage_set_input(session, encode_set({"x"}));
+  // dla(1) stages nothing.
+  std::optional<std::vector<bn::BigUInt>> result;
+  cluster.dla(0).on_set_result = [&](SessionId, std::vector<bn::BigUInt> e) {
+    result = std::move(e);
+  };
+  SetSpec spec;
+  spec.session = session;
+  spec.participants = {cluster.config()->dla_nodes[0],
+                       cluster.config()->dla_nodes[1]};
+  spec.collector = cluster.config()->dla_nodes[0];
+  spec.observers = {cluster.config()->dla_nodes[0]};
+  cluster.dla(0).start_set_protocol(cluster.sim(), spec);
+  cluster.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->empty());
+}
+
+// --------------------------------------------------------- secure sum --
+
+TEST_F(ProtocolFixture, SecureSumBasic) {
+  const SessionId session = 10;
+  std::uint64_t values[] = {100, 250, 3, 9999};
+  for (std::size_t i = 0; i < 4; ++i) {
+    cluster.dla(i).stage_sum_input(session, bn::BigUInt(values[i]));
+  }
+  std::optional<bn::BigUInt> result;
+  cluster.dla(0).on_sum_result = [&](SessionId, bn::BigUInt v) {
+    result = std::move(v);
+  };
+  SumSpec spec;
+  spec.session = session;
+  spec.participants = cluster.config()->dla_nodes;
+  spec.threshold_k = 3;
+  spec.collector = cluster.config()->dla_nodes[0];
+  spec.observers = {cluster.config()->dla_nodes[0]};
+  cluster.dla(0).start_sum(cluster.sim(), spec);
+  cluster.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, bn::BigUInt(100 + 250 + 3 + 9999));
+}
+
+TEST_F(ProtocolFixture, SecureSumWeighted) {
+  const SessionId session = 11;
+  std::uint64_t values[] = {10, 20, 30, 40};
+  for (std::size_t i = 0; i < 4; ++i) {
+    cluster.dla(i).stage_sum_input(session, bn::BigUInt(values[i]));
+  }
+  std::optional<bn::BigUInt> result;
+  cluster.dla(2).on_sum_result = [&](SessionId, bn::BigUInt v) {
+    result = std::move(v);
+  };
+  SumSpec spec;
+  spec.session = session;
+  spec.participants = cluster.config()->dla_nodes;
+  spec.threshold_k = 2;
+  spec.collector = cluster.config()->dla_nodes[1];
+  spec.observers = {cluster.config()->dla_nodes[2]};
+  spec.weights = {bn::BigUInt(1), bn::BigUInt(2), bn::BigUInt(3),
+                  bn::BigUInt(4)};
+  cluster.dla(3).start_sum(cluster.sim(), spec);
+  cluster.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, bn::BigUInt(1 * 10 + 2 * 20 + 3 * 30 + 4 * 40));
+}
+
+TEST_F(ProtocolFixture, SecureSumMissingInputIsZero) {
+  const SessionId session = 12;
+  cluster.dla(0).stage_sum_input(session, bn::BigUInt(5));
+  // Others stage nothing -> contribute 0.
+  std::optional<bn::BigUInt> result;
+  cluster.dla(0).on_sum_result = [&](SessionId, bn::BigUInt v) {
+    result = std::move(v);
+  };
+  SumSpec spec;
+  spec.session = session;
+  spec.participants = cluster.config()->dla_nodes;
+  spec.threshold_k = 4;
+  spec.collector = cluster.config()->dla_nodes[0];
+  spec.observers = {cluster.config()->dla_nodes[0]};
+  cluster.dla(0).start_sum(cluster.sim(), spec);
+  cluster.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, bn::BigUInt(5));
+}
+
+TEST_F(ProtocolFixture, SecureSumRejectsBadSpecs) {
+  SumSpec spec;
+  spec.session = 13;
+  spec.participants = cluster.config()->dla_nodes;
+  spec.threshold_k = 0;
+  spec.collector = cluster.config()->dla_nodes[0];
+  EXPECT_THROW(cluster.dla(0).start_sum(cluster.sim(), spec),
+               std::invalid_argument);
+  spec.threshold_k = 5;
+  EXPECT_THROW(cluster.dla(0).start_sum(cluster.sim(), spec),
+               std::invalid_argument);
+  spec.threshold_k = 2;
+  spec.weights = {bn::BigUInt(1)};
+  EXPECT_THROW(cluster.dla(0).start_sum(cluster.sim(), spec),
+               std::invalid_argument);
+}
+
+// --------------------------------------------- blind-TTP comparisons --
+
+TEST_F(ProtocolFixture, SecureEqualityEqual) {
+  const SessionId session = 20;
+  cluster.dla(0).stage_cmp_input(session, bn::BigUInt(777));
+  cluster.dla(1).stage_cmp_input(session, bn::BigUInt(777));
+  std::optional<std::uint32_t> outcome;
+  cluster.dla(0).on_cmp_result = [&](SessionId, CmpOpKind op,
+                                     std::uint32_t result) {
+    EXPECT_EQ(op, CmpOpKind::Equality);
+    outcome = result;
+  };
+  CmpSpec spec;
+  spec.session = session;
+  spec.op = CmpOpKind::Equality;
+  spec.participants = {cluster.config()->dla_nodes[0],
+                       cluster.config()->dla_nodes[1]};
+  spec.ttp = cluster.config()->ttp;
+  spec.observers = {cluster.config()->dla_nodes[0]};
+  cluster.dla(0).start_cmp(cluster.sim(), spec);
+  cluster.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(*outcome, 1u);
+}
+
+TEST_F(ProtocolFixture, SecureEqualityUnequal) {
+  const SessionId session = 21;
+  cluster.dla(0).stage_cmp_input(session, bn::BigUInt(777));
+  cluster.dla(1).stage_cmp_input(session, bn::BigUInt(778));
+  std::optional<std::uint32_t> outcome;
+  cluster.dla(1).on_cmp_result = [&](SessionId, CmpOpKind,
+                                     std::uint32_t result) {
+    outcome = result;
+  };
+  CmpSpec spec;
+  spec.session = session;
+  spec.op = CmpOpKind::Equality;
+  spec.participants = {cluster.config()->dla_nodes[0],
+                       cluster.config()->dla_nodes[1]};
+  spec.ttp = cluster.config()->ttp;
+  spec.observers = {cluster.config()->dla_nodes[1]};
+  cluster.dla(1).start_cmp(cluster.sim(), spec);
+  cluster.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(*outcome, 0u);
+}
+
+TEST_F(ProtocolFixture, SecureMaxAndMin) {
+  std::uint64_t values[] = {40, 170, 3, 99};
+  for (SessionId session : {SessionId{22}, SessionId{23}}) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      cluster.dla(i).stage_cmp_input(session, bn::BigUInt(values[i]));
+    }
+  }
+  std::optional<std::uint32_t> max_winner, min_winner;
+  cluster.dla(0).on_cmp_result = [&](SessionId s, CmpOpKind op,
+                                     std::uint32_t result) {
+    if (op == CmpOpKind::Max) max_winner = result;
+    if (op == CmpOpKind::Min) min_winner = result;
+    (void)s;
+  };
+  CmpSpec spec;
+  spec.op = CmpOpKind::Max;
+  spec.session = 22;
+  spec.participants = cluster.config()->dla_nodes;
+  spec.ttp = cluster.config()->ttp;
+  spec.observers = {cluster.config()->dla_nodes[0]};
+  cluster.dla(0).start_cmp(cluster.sim(), spec);
+  spec.op = CmpOpKind::Min;
+  spec.session = 23;
+  cluster.dla(0).start_cmp(cluster.sim(), spec);
+  cluster.run();
+  ASSERT_TRUE(max_winner.has_value());
+  ASSERT_TRUE(min_winner.has_value());
+  EXPECT_EQ(*max_winner, 1u);  // 170
+  EXPECT_EQ(*min_winner, 2u);  // 3
+}
+
+TEST_F(ProtocolFixture, SecureRankIsPrivatePerParticipant) {
+  const SessionId session = 24;
+  std::uint64_t values[] = {40, 170, 3, 99};
+  std::map<std::size_t, std::uint32_t> ranks;
+  for (std::size_t i = 0; i < 4; ++i) {
+    cluster.dla(i).stage_cmp_input(session, bn::BigUInt(values[i]));
+    cluster.dla(i).on_rank = [&, i](SessionId, std::uint32_t rank) {
+      ranks[i] = rank;
+    };
+  }
+  CmpSpec spec;
+  spec.session = session;
+  spec.op = CmpOpKind::Rank;
+  spec.participants = cluster.config()->dla_nodes;
+  spec.ttp = cluster.config()->ttp;
+  spec.observers = {};
+  cluster.dla(0).start_cmp(cluster.sim(), spec);
+  cluster.run();
+  ASSERT_EQ(ranks.size(), 4u);
+  EXPECT_EQ(ranks[2], 0u);  // 3 is smallest
+  EXPECT_EQ(ranks[0], 1u);  // 40
+  EXPECT_EQ(ranks[3], 2u);  // 99
+  EXPECT_EQ(ranks[1], 3u);  // 170 is largest
+}
+
+// ------------------------------------------------- integrity checking --
+
+struct IntegrityFixture : ProtocolFixture {
+  // Log the paper's Table 1 records through a user node so fragments and
+  // accumulator deposits are in place.
+  void log_paper_records() {
+    for (const auto& rec : logm::paper_table1_records()) {
+      cluster.user(0).log_record(
+          cluster.sim(), rec.attrs,
+          [&](std::optional<logm::Glsn> glsn) { glsns.push_back(*glsn); });
+    }
+    cluster.run();
+    ASSERT_EQ(glsns.size(), 5u);
+  }
+  std::vector<logm::Glsn> glsns;
+};
+
+TEST_F(IntegrityFixture, IntactRecordPasses) {
+  log_paper_records();
+  std::optional<bool> ok;
+  cluster.dla(0).on_integrity_result = [&](SessionId, logm::Glsn, bool result) {
+    ok = result;
+  };
+  cluster.dla(0).start_integrity_check(cluster.sim(), 100, glsns[0]);
+  cluster.run();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(IntegrityFixture, TamperedFragmentDetected) {
+  log_paper_records();
+  // A compromised DLA node rewrites a stored attribute (Section 4.1 threat).
+  logm::Fragment tampered = *cluster.dla(1).store().get(glsns[1]);
+  tampered.attrs["C2"] = logm::Value(999999.0);
+  cluster.dla(1).store().put(tampered);
+
+  std::optional<bool> ok;
+  cluster.dla(2).on_integrity_result = [&](SessionId, logm::Glsn, bool result) {
+    ok = result;
+  };
+  cluster.dla(2).start_integrity_check(cluster.sim(), 101, glsns[1]);
+  cluster.run();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_FALSE(*ok);
+}
+
+TEST_F(IntegrityFixture, DeletedFragmentDetected) {
+  log_paper_records();
+  cluster.dla(3).store().erase(glsns[2]);
+  std::optional<bool> ok;
+  cluster.dla(0).on_integrity_result = [&](SessionId, logm::Glsn, bool result) {
+    ok = result;
+  };
+  cluster.dla(0).start_integrity_check(cluster.sim(), 102, glsns[2]);
+  cluster.run();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_FALSE(*ok);
+}
+
+TEST_F(IntegrityFixture, UnknownGlsnFails) {
+  log_paper_records();
+  std::optional<bool> ok;
+  cluster.dla(0).on_integrity_result = [&](SessionId, logm::Glsn, bool result) {
+    ok = result;
+  };
+  cluster.dla(0).start_integrity_check(cluster.sim(), 103, 0xdeadbeef);
+  cluster.run();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_FALSE(*ok);
+}
+
+TEST_F(IntegrityFixture, EveryNodeCanInitiate) {
+  log_paper_records();
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::optional<bool> ok;
+    cluster.dla(i).on_integrity_result =
+        [&](SessionId, logm::Glsn, bool result) { ok = result; };
+    cluster.dla(i).start_integrity_check(cluster.sim(), 200 + i, glsns[4]);
+    cluster.run();
+    ASSERT_TRUE(ok.has_value()) << "initiator " << i;
+    EXPECT_TRUE(*ok) << "initiator " << i;
+  }
+}
+
+TEST_F(IntegrityFixture, AclConsistencyHoldsAfterLogging) {
+  log_paper_records();
+  std::optional<bool> consistent;
+  cluster.dla(0).on_acl_check = [&](SessionId, bool result) {
+    consistent = result;
+  };
+  cluster.dla(0).start_acl_consistency_check(cluster.sim(), 300);
+  cluster.run();
+  ASSERT_TRUE(consistent.has_value());
+  EXPECT_TRUE(*consistent);
+}
+
+TEST_F(IntegrityFixture, AclInconsistencyDetected) {
+  log_paper_records();
+  // A compromised node silently authorizes an extra glsn for a ticket.
+  cluster.dla(2).acl().authorize("T1", 0x666);
+  std::optional<bool> consistent;
+  cluster.dla(0).on_acl_check = [&](SessionId, bool result) {
+    consistent = result;
+  };
+  cluster.dla(0).start_acl_consistency_check(cluster.sim(), 301);
+  cluster.run();
+  ASSERT_TRUE(consistent.has_value());
+  EXPECT_FALSE(*consistent);
+}
+
+}  // namespace
+}  // namespace dla::audit

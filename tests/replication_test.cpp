@@ -1,0 +1,178 @@
+// Tests for fragment replication + heartbeat failure detection: queries and
+// aggregates survive a crashed primary by routing to the successor replica.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "audit/cluster.hpp"
+#include "logm/workload.hpp"
+
+namespace dla::audit {
+namespace {
+
+constexpr net::SimTime kBeat = 10000;  // 10 ms heartbeat
+
+struct ReplicationFixture : ::testing::Test {
+  ReplicationFixture()
+      : cluster(Cluster::Options{logm::paper_schema(), 4, 1,
+                                 logm::paper_partition(), /*seed=*/51,
+                                 /*auditor_users=*/true,
+                                 /*certify_reports=*/false,
+                                 /*replication=*/2,
+                                 /*heartbeat_interval=*/kBeat}) {
+    for (const auto& rec : logm::paper_table1_records()) {
+      cluster.user(0).log_record(cluster.sim(), rec.attrs,
+                                 [&](std::optional<logm::Glsn> g) {
+                                   ASSERT_TRUE(g.has_value());
+                                   glsns.push_back(*g);
+                                 });
+      drain();
+    }
+  }
+
+  // Run the simulation forward without letting heartbeats spin forever.
+  void drain(net::SimTime window = 2000000) {
+    cluster.sim().run(cluster.sim().now() + window);
+  }
+
+  void let_suspicion_develop() { drain(5 * kBeat); }
+
+  QueryOutcome run_query(const std::string& criterion, std::size_t gateway) {
+    cluster.user(0).set_gateway(gateway);
+    std::optional<QueryOutcome> outcome;
+    cluster.user(0).query(cluster.sim(), criterion,
+                          [&](QueryOutcome o) { outcome = std::move(o); });
+    drain(10000000);  // past the 5 s query watchdog
+    EXPECT_TRUE(outcome.has_value()) << criterion;
+    return outcome.value_or(QueryOutcome{});
+  }
+
+  Cluster cluster;
+  std::vector<logm::Glsn> glsns;
+};
+
+TEST_F(ReplicationFixture, ReplicasHoldPredecessorFragments) {
+  // P2 replicates P1's fragments (id, C2) for every logged glsn.
+  for (logm::Glsn g : glsns) {
+    const logm::Fragment* replica = cluster.dla(2).replica_store().get(g);
+    ASSERT_NE(replica, nullptr);
+    EXPECT_TRUE(replica->attrs.contains("id"));
+    EXPECT_TRUE(replica->attrs.contains("C2"));
+    // Primary copies stay in the primary store.
+    EXPECT_NE(cluster.dla(1).store().get(g), nullptr);
+  }
+}
+
+TEST_F(ReplicationFixture, QueriesSurvivePrimaryCrash) {
+  // Crash P1 (owner of id/C2); after suspicion develops, a gateway routes
+  // the id-subquery to P2's replica and the answer is unchanged.
+  QueryOutcome before = run_query("id = 'U1' AND protocl = 'UDP'", 0);
+  ASSERT_TRUE(before.ok) << before.error;
+  ASSERT_EQ(before.glsns.size(), 2u);
+
+  cluster.sim().crash(cluster.config()->dla_nodes[1]);
+  let_suspicion_develop();
+  QueryOutcome after = run_query("id = 'U1' AND protocl = 'UDP'", 0);
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_EQ(after.glsns, before.glsns);
+}
+
+TEST_F(ReplicationFixture, AggregatesSurvivePrimaryCrash) {
+  cluster.sim().crash(cluster.config()->dla_nodes[1]);
+  let_suspicion_develop();
+  cluster.user(0).set_gateway(3);
+  std::optional<AggregateOutcome> outcome;
+  cluster.user(0).aggregate_query(
+      cluster.sim(), "protocl = 'UDP'", AggOp::Sum, "C2",
+      [&](AggregateOutcome o) { outcome = std::move(o); });
+  drain(10000000);
+  ASSERT_TRUE(outcome.has_value());
+  ASSERT_TRUE(outcome->ok) << outcome->error;
+  EXPECT_NEAR(outcome->value, 603.56, 1e-9);  // served from P2's replica
+}
+
+TEST_F(ReplicationFixture, JoinSurvivesPrimaryCrash) {
+  cluster.sim().crash(cluster.config()->dla_nodes[1]);
+  let_suspicion_develop();
+  // C1 (P3) < C2 (P1, crashed -> replica at P2): all five rows satisfy it.
+  QueryOutcome outcome = run_query("C1 < C2", 0);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.glsns.size(), 5u);
+}
+
+TEST_F(ReplicationFixture, SuspicionClearsAfterRecovery) {
+  cluster.sim().crash(cluster.config()->dla_nodes[1]);
+  let_suspicion_develop();
+  EXPECT_TRUE(cluster.dla(0).suspects(1, cluster.sim().now()));
+  cluster.sim().recover(cluster.config()->dla_nodes[1]);
+  // A rebooting node restarts its heartbeat loop (the old timer fired and
+  // was swallowed while it was down).
+  cluster.dla(1).start_heartbeats(cluster.sim());
+  drain(5 * kBeat);
+  EXPECT_FALSE(cluster.dla(0).suspects(1, cluster.sim().now()));
+  // Back on the primary: queries still correct.
+  QueryOutcome outcome = run_query("id = 'U2'", 0);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.glsns.size(), 2u);
+}
+
+TEST_F(ReplicationFixture, DeleteRemovesReplicaCopiesToo) {
+  Ticket del = cluster.issue_ticket(
+      "TD", "u0", {logm::Op::Read, logm::Op::Write, logm::Op::Delete});
+  cluster.user(0).configure(cluster.config(), del);
+  std::optional<logm::Glsn> mine;
+  cluster.user(0).log_record(cluster.sim(),
+                             logm::paper_table1_records()[0].attrs,
+                             [&](std::optional<logm::Glsn> g) { mine = g; });
+  drain();
+  ASSERT_TRUE(mine.has_value());
+  ASSERT_NE(cluster.dla(2).replica_store().get(*mine), nullptr);
+  std::optional<bool> deleted;
+  cluster.user(0).delete_record(cluster.sim(), *mine,
+                                [&](bool ok) { deleted = ok; });
+  drain();
+  ASSERT_TRUE(deleted.has_value());
+  EXPECT_TRUE(*deleted);
+  EXPECT_EQ(cluster.dla(1).store().get(*mine), nullptr);
+  EXPECT_EQ(cluster.dla(2).replica_store().get(*mine), nullptr);
+}
+
+TEST_F(ReplicationFixture, ClearGatewayRestoresRoundRobin) {
+  cluster.user(0).set_gateway(2);
+  cluster.user(0).clear_gateway();
+  // Round-robin again: the query still answers (routing sanity only).
+  std::optional<QueryOutcome> outcome;
+  cluster.user(0).query(cluster.sim(), "protocl = 'TCP'",
+                        [&](QueryOutcome o) { outcome = std::move(o); });
+  drain(10000000);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->ok);
+  EXPECT_EQ(outcome->glsns.size(), 2u);
+}
+
+TEST(ReplicationOff, CrashWithoutReplicationTimesOut) {
+  Cluster cluster(Cluster::Options{logm::paper_schema(), 4, 1,
+                                   logm::paper_partition(), /*seed=*/52,
+                                   /*auditor_users=*/true,
+                                   /*certify_reports=*/false,
+                                   /*replication=*/1,
+                                   /*heartbeat_interval=*/kBeat});
+  for (const auto& rec : logm::paper_table1_records()) {
+    cluster.user(0).log_record(cluster.sim(), rec.attrs,
+                               [](std::optional<logm::Glsn>) {});
+    cluster.sim().run(cluster.sim().now() + 2000000);
+  }
+  cluster.sim().crash(cluster.config()->dla_nodes[1]);
+  cluster.sim().run(cluster.sim().now() + 5 * kBeat);
+  cluster.user(0).set_gateway(0);
+  std::optional<QueryOutcome> outcome;
+  cluster.user(0).query(cluster.sim(), "id = 'U1' AND protocl = 'UDP'",
+                        [&](QueryOutcome o) { outcome = std::move(o); });
+  cluster.sim().run(cluster.sim().now() + 10000000);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok);
+  EXPECT_EQ(outcome->error, "query timed out");
+}
+
+}  // namespace
+}  // namespace dla::audit

@@ -1,0 +1,86 @@
+// Tests for the deterministic ChaCha20 generator.
+#include "crypto/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace dla::crypto {
+namespace {
+
+TEST(ChaCha20Rng, DeterministicForSeed) {
+  ChaCha20Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(ChaCha20Rng, DifferentSeedsDiverge) {
+  ChaCha20Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(ChaCha20Rng, StringSeedsIndependent) {
+  ChaCha20Rng a("stream/one"), b("stream/two"), c("stream/one");
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  ChaCha20Rng a2("stream/one");
+  EXPECT_EQ(a2.next_u64(), c.next_u64());
+}
+
+TEST(ChaCha20Rng, NextBelowRespectsBound) {
+  ChaCha20Rng rng(9);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 50; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+  EXPECT_THROW(rng.next_below(0), std::domain_error);
+}
+
+TEST(ChaCha20Rng, NextBelowCoversRange) {
+  ChaCha20Rng rng(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);  // all residues hit
+}
+
+TEST(ChaCha20Rng, DoubleInUnitInterval) {
+  ChaCha20Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ChaCha20Rng, FillProducesSameStreamAsU64) {
+  ChaCha20Rng a(12), b(12);
+  std::vector<std::uint8_t> buf(16);
+  a.fill(buf);
+  std::uint64_t w0 = 0, w1 = 0;
+  for (int i = 0; i < 8; ++i) w0 |= std::uint64_t(buf[i]) << (8 * i);
+  for (int i = 0; i < 8; ++i) w1 |= std::uint64_t(buf[8 + i]) << (8 * i);
+  EXPECT_EQ(w0, b.next_u64());
+  EXPECT_EQ(w1, b.next_u64());
+}
+
+TEST(ChaCha20Rng, RoughUniformityChiSquared) {
+  // 16 buckets, 16k draws: chi^2 with 15 dof; 99.9th percentile ~ 37.7.
+  ChaCha20Rng rng(13);
+  std::map<int, int> buckets;
+  const int draws = 16384;
+  for (int i = 0; i < draws; ++i) {
+    buckets[static_cast<int>(rng.next_below(16))]++;
+  }
+  double expected = draws / 16.0;
+  double chi2 = 0;
+  for (int b = 0; b < 16; ++b) {
+    double diff = buckets[b] - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, 37.7);
+}
+
+}  // namespace
+}  // namespace dla::crypto

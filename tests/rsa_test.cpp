@@ -1,0 +1,100 @@
+// Tests for RSA signatures and Chaum blind signatures (evidence-chain
+// substrate, Section 4.2).
+#include "crypto/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dla::crypto {
+namespace {
+
+TEST(Rsa, Fixed512SignVerify) {
+  RsaKeyPair kp = RsaKeyPair::fixed512();
+  auto sig = kp.sign("audit report for T1100265");
+  EXPECT_TRUE(kp.public_key().verify("audit report for T1100265", sig));
+}
+
+TEST(Rsa, VerifyRejectsWrongMessage) {
+  RsaKeyPair kp = RsaKeyPair::fixed512();
+  auto sig = kp.sign("original");
+  EXPECT_FALSE(kp.public_key().verify("forged", sig));
+}
+
+TEST(Rsa, VerifyRejectsTamperedSignature) {
+  RsaKeyPair kp = RsaKeyPair::fixed512();
+  auto sig = kp.sign("message");
+  EXPECT_FALSE(kp.public_key().verify("message", sig + bn::BigUInt(1)));
+  EXPECT_FALSE(kp.public_key().verify("message", kp.public_key().n));
+}
+
+TEST(Rsa, GeneratedKeypairRoundTrips) {
+  ChaCha20Rng rng(1);
+  RsaKeyPair kp = RsaKeyPair::generate(rng, 256);  // small for test speed
+  auto sig = kp.sign("hello");
+  EXPECT_TRUE(kp.public_key().verify("hello", sig));
+  EXPECT_FALSE(kp.public_key().verify("hellO", sig));
+}
+
+TEST(Rsa, ApplyPrivateInvertsApply) {
+  RsaKeyPair kp = RsaKeyPair::fixed512();
+  ChaCha20Rng rng(2);
+  bn::BigUInt m = bn::BigUInt::random_below(rng, kp.public_key().n);
+  EXPECT_EQ(kp.public_key().apply(kp.apply_private(m)), m);
+  EXPECT_EQ(kp.apply_private(kp.public_key().apply(m)), m);
+}
+
+TEST(Rsa, ApplyPrivateRejectsOversizedInput) {
+  RsaKeyPair kp = RsaKeyPair::fixed512();
+  EXPECT_THROW(kp.apply_private(kp.public_key().n), std::invalid_argument);
+}
+
+TEST(Rsa, MessageRepresentativeDeterministicAndBounded) {
+  RsaKeyPair kp = RsaKeyPair::fixed512();
+  auto m1 = message_representative(kp.public_key(), "x");
+  auto m2 = message_representative(kp.public_key(), "x");
+  EXPECT_EQ(m1, m2);
+  EXPECT_FALSE(m1.is_zero());
+  EXPECT_LT(m1, kp.public_key().n);
+}
+
+TEST(BlindSignature, UnblindedSignatureVerifies) {
+  RsaKeyPair ca = RsaKeyPair::fixed512();
+  ChaCha20Rng rng(3);
+  // Requester blinds; CA signs without seeing the message representative.
+  auto blinded = blind(ca.public_key(), "membership token for P_x", rng);
+  bn::BigUInt blind_sig = ca.apply_private(blinded.blinded);
+  bn::BigUInt sig = unblind(ca.public_key(), blind_sig, blinded.r);
+  EXPECT_TRUE(ca.public_key().verify("membership token for P_x", sig));
+}
+
+TEST(BlindSignature, BlindedFormHidesMessage) {
+  // The CA sees only m * r^e; for two different messages and fresh blinds,
+  // the blinded values are unrelated — equality would break unlinkability.
+  RsaKeyPair ca = RsaKeyPair::fixed512();
+  ChaCha20Rng rng(4);
+  auto b1 = blind(ca.public_key(), "same message", rng);
+  auto b2 = blind(ca.public_key(), "same message", rng);
+  EXPECT_NE(b1.blinded, b2.blinded);
+}
+
+TEST(BlindSignature, WrongBlindFactorFailsVerification) {
+  RsaKeyPair ca = RsaKeyPair::fixed512();
+  ChaCha20Rng rng(5);
+  auto blinded = blind(ca.public_key(), "token", rng);
+  bn::BigUInt blind_sig = ca.apply_private(blinded.blinded);
+  bn::BigUInt bad = unblind(ca.public_key(), blind_sig,
+                            blinded.r + bn::BigUInt(1));
+  EXPECT_FALSE(ca.public_key().verify("token", bad));
+}
+
+TEST(BlindSignature, SignatureDoesNotVerifyUnderOtherKey) {
+  RsaKeyPair ca = RsaKeyPair::fixed512();
+  ChaCha20Rng rng(6);
+  RsaKeyPair other = RsaKeyPair::generate(rng, 256);
+  auto blinded = blind(ca.public_key(), "token", rng);
+  bn::BigUInt sig =
+      unblind(ca.public_key(), ca.apply_private(blinded.blinded), blinded.r);
+  EXPECT_FALSE(other.public_key().verify("token", sig));
+}
+
+}  // namespace
+}  // namespace dla::crypto

@@ -1,0 +1,117 @@
+// Session isolation: many protocol instances of different kinds running
+// interleaved on one cluster must not cross-contaminate state (session keys,
+// shares, collectors are all keyed by session id).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "audit/cluster.hpp"
+#include "crypto/pohlig_hellman.hpp"
+#include "logm/workload.hpp"
+
+namespace dla::audit {
+namespace {
+
+TEST(SessionIsolation, MixedProtocolsInterleaveCorrectly) {
+  Cluster cluster(Cluster::Options{logm::paper_schema(), 4, 0, std::nullopt,
+                                   /*seed=*/61, false});
+  const auto& domain = cluster.config()->ph_domain;
+  auto ids = cluster.config()->dla_nodes;
+
+  // --- three set sessions with different ops and participant sets --------
+  std::map<SessionId, std::vector<bn::BigUInt>> set_results;
+  cluster.dla(0).on_set_result = [&](SessionId s, std::vector<bn::BigUInt> r) {
+    set_results[s] = std::move(r);
+  };
+  // Session 1: intersection {x, common} ^ {common, y} = {common}.
+  cluster.dla(0).stage_set_input(1, {crypto::encode_element(domain, "x"),
+                                     crypto::encode_element(domain, "common")});
+  cluster.dla(1).stage_set_input(1, {crypto::encode_element(domain, "common"),
+                                     crypto::encode_element(domain, "y")});
+  SetSpec s1;
+  s1.session = 1;
+  s1.op = SetOp::Intersect;
+  s1.participants = {ids[0], ids[1]};
+  s1.collector = ids[0];
+  s1.observers = {ids[0]};
+  // Session 2: union over three nodes.
+  cluster.dla(1).stage_set_input(2, {crypto::encode_element(domain, "a")});
+  cluster.dla(2).stage_set_input(2, {crypto::encode_element(domain, "b")});
+  cluster.dla(3).stage_set_input(2, {crypto::encode_element(domain, "a")});
+  SetSpec s2;
+  s2.session = 2;
+  s2.op = SetOp::Union;
+  s2.participants = {ids[1], ids[2], ids[3]};
+  s2.collector = ids[2];
+  s2.observers = {ids[0]};
+  // Session 3: intersection that is empty.
+  cluster.dla(2).stage_set_input(3, {crypto::encode_element(domain, "p")});
+  cluster.dla(3).stage_set_input(3, {crypto::encode_element(domain, "q")});
+  SetSpec s3;
+  s3.session = 3;
+  s3.op = SetOp::Intersect;
+  s3.participants = {ids[2], ids[3]};
+  s3.collector = ids[3];
+  s3.observers = {ids[0]};
+
+  // --- two sum sessions on overlapping participants -----------------------
+  std::map<SessionId, bn::BigUInt> sum_results;
+  cluster.dla(0).on_sum_result = [&](SessionId s, bn::BigUInt v) {
+    sum_results[s] = std::move(v);
+  };
+  for (std::size_t i = 0; i < 4; ++i) {
+    cluster.dla(i).stage_sum_input(10, bn::BigUInt(i + 1));        // 1+2+3+4
+    cluster.dla(i).stage_sum_input(11, bn::BigUInt(10 * (i + 1))); // 10+...+40
+  }
+  SumSpec sum10;
+  sum10.session = 10;
+  sum10.participants = ids;
+  sum10.threshold_k = 2;
+  sum10.collector = ids[1];
+  sum10.observers = {ids[0]};
+  SumSpec sum11 = sum10;
+  sum11.session = 11;
+  sum11.threshold_k = 4;
+  sum11.collector = ids[3];
+
+  // --- one comparison session ---------------------------------------------
+  std::optional<std::uint32_t> max_winner;
+  cluster.dla(0).on_cmp_result = [&](SessionId, CmpOpKind op,
+                                     std::uint32_t outcome) {
+    if (op == CmpOpKind::Max) max_winner = outcome;
+  };
+  for (std::size_t i = 0; i < 4; ++i) {
+    cluster.dla(i).stage_cmp_input(20, bn::BigUInt((i == 2) ? 999 : i));
+  }
+  CmpSpec cmp;
+  cmp.session = 20;
+  cmp.op = CmpOpKind::Max;
+  cmp.participants = ids;
+  cmp.ttp = cluster.config()->ttp;
+  cmp.observers = {ids[0]};
+
+  // Launch everything before a single simulator step runs.
+  cluster.dla(0).start_set_protocol(cluster.sim(), s1);
+  cluster.dla(1).start_set_protocol(cluster.sim(), s2);
+  cluster.dla(2).start_set_protocol(cluster.sim(), s3);
+  cluster.dla(0).start_sum(cluster.sim(), sum10);
+  cluster.dla(0).start_sum(cluster.sim(), sum11);
+  cluster.dla(0).start_cmp(cluster.sim(), cmp);
+  cluster.run();
+
+  ASSERT_EQ(set_results.size(), 3u);
+  ASSERT_EQ(set_results[1].size(), 1u);
+  EXPECT_EQ(set_results[1][0], crypto::encode_element(domain, "common"));
+  ASSERT_EQ(set_results[2].size(), 2u);  // {a, b} deduped
+  EXPECT_TRUE(set_results[3].empty());
+
+  ASSERT_EQ(sum_results.size(), 2u);
+  EXPECT_EQ(sum_results[10], bn::BigUInt(10));
+  EXPECT_EQ(sum_results[11], bn::BigUInt(100));
+
+  ASSERT_TRUE(max_winner.has_value());
+  EXPECT_EQ(*max_winner, 2u);
+}
+
+}  // namespace
+}  // namespace dla::audit

@@ -1,0 +1,84 @@
+// SHA-256 / HMAC-SHA256 against FIPS 180-4 and RFC 4231 vectors.
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dla::crypto {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  std::string a_million(1000000, 'a');
+  EXPECT_EQ(to_hex(Sha256::hash(a_million)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 55, 56, 63, 64 and 65 bytes cross the padding edge cases.
+  std::string base(65, 'x');
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u}) {
+    Digest once = Sha256::hash(std::string_view(base).substr(0, len));
+    // Same input split into two updates must give the same digest.
+    Sha256 ctx;
+    ctx.update(std::string_view(base).substr(0, len / 2));
+    ctx.update(std::string_view(base).substr(len / 2, len - len / 2));
+    EXPECT_EQ(to_hex(ctx.finalize()), to_hex(once)) << len;
+  }
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 ctx;
+  for (char c : msg) ctx.update(std::string_view(&c, 1));
+  EXPECT_EQ(to_hex(ctx.finalize()), to_hex(Sha256::hash(msg)));
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(to_hex(Sha256::hash("a")), to_hex(Sha256::hash("b")));
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  std::vector<std::uint8_t> key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  std::string key_str = "Jefe";
+  std::vector<std::uint8_t> key(key_str.begin(), key_str.end());
+  EXPECT_EQ(to_hex(hmac_sha256(key, "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  std::vector<std::uint8_t> key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(
+                key, "Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, KeySensitivity) {
+  std::vector<std::uint8_t> k1(16, 1), k2(16, 2);
+  EXPECT_NE(to_hex(hmac_sha256(k1, "msg")), to_hex(hmac_sha256(k2, "msg")));
+}
+
+}  // namespace
+}  // namespace dla::crypto

@@ -1,0 +1,172 @@
+// Tests for Shamir sharing and the Section 3.5 secure-sum algebra.
+#include "crypto/shamir.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dla::crypto {
+namespace {
+
+bn::BigUInt test_prime() {
+  return bn::BigUInt::from_hex("b253d0f212cac9fb474dbafa53e183bf");  // 128-bit
+}
+
+std::vector<bn::BigUInt> points(std::size_t n) {
+  std::vector<bn::BigUInt> xs;
+  for (std::size_t i = 1; i <= n; ++i) xs.emplace_back(i);
+  return xs;
+}
+
+TEST(Shamir, SplitReconstructRoundTrip) {
+  ShamirField field(test_prime());
+  ChaCha20Rng rng(1);
+  bn::BigUInt secret(123456789);
+  auto shares = field.split(secret, 3, points(5), rng);
+  ASSERT_EQ(shares.size(), 5u);
+  EXPECT_EQ(field.reconstruct({shares[0], shares[2], shares[4]}), secret);
+}
+
+TEST(Shamir, AnyKSubsetReconstructs) {
+  ShamirField field(test_prime());
+  ChaCha20Rng rng(2);
+  bn::BigUInt secret(987654321);
+  auto shares = field.split(secret, 3, points(5), rng);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      for (std::size_t k = j + 1; k < 5; ++k) {
+        EXPECT_EQ(field.reconstruct({shares[i], shares[j], shares[k]}), secret);
+      }
+    }
+  }
+}
+
+TEST(Shamir, FewerThanKSharesGiveWrongValueAlmostSurely) {
+  // With k-1 shares the interpolation at 0 is information-theoretically
+  // uniform; it matching the secret would be a 2^-128 coincidence.
+  ShamirField field(test_prime());
+  ChaCha20Rng rng(3);
+  bn::BigUInt secret(42);
+  auto shares = field.split(secret, 3, points(5), rng);
+  EXPECT_NE(field.reconstruct({shares[0], shares[1]}), secret);
+}
+
+TEST(Shamir, ThresholdOneIsConstantPolynomial) {
+  ShamirField field(test_prime());
+  ChaCha20Rng rng(4);
+  auto shares = field.split(bn::BigUInt(7), 1, points(3), rng);
+  for (const auto& s : shares) EXPECT_EQ(s.y, bn::BigUInt(7));
+}
+
+TEST(Shamir, FullThresholdNeedsAllShares) {
+  ShamirField field(test_prime());
+  ChaCha20Rng rng(5);
+  bn::BigUInt secret(31337);
+  auto shares = field.split(secret, 5, points(5), rng);
+  EXPECT_EQ(field.reconstruct(shares), secret);
+}
+
+TEST(Shamir, RejectsBadParameters) {
+  ShamirField field(test_prime());
+  ChaCha20Rng rng(6);
+  EXPECT_THROW(field.split(bn::BigUInt(1), 0, points(3), rng),
+               std::invalid_argument);
+  EXPECT_THROW(field.split(bn::BigUInt(1), 4, points(3), rng),
+               std::invalid_argument);
+  EXPECT_THROW(field.split(test_prime(), 2, points(3), rng),
+               std::invalid_argument);  // secret >= p
+  // Zero point.
+  std::vector<bn::BigUInt> zs = {bn::BigUInt(0), bn::BigUInt(1)};
+  EXPECT_THROW(field.split(bn::BigUInt(1), 2, zs, rng), std::invalid_argument);
+  // Duplicate point.
+  std::vector<bn::BigUInt> ds = {bn::BigUInt(1), bn::BigUInt(1)};
+  EXPECT_THROW(field.split(bn::BigUInt(1), 2, ds, rng), std::invalid_argument);
+  EXPECT_THROW(field.reconstruct({}), std::invalid_argument);
+}
+
+TEST(Shamir, ReconstructRejectsDuplicatePoints) {
+  ShamirField field(test_prime());
+  Share s1{bn::BigUInt(1), bn::BigUInt(5)};
+  EXPECT_THROW(field.reconstruct({s1, s1}), std::invalid_argument);
+}
+
+// The Section 3.5 construction: summing per-party shares pointwise yields
+// shares of the sum of the secrets.
+TEST(Shamir, SecureSumAdditivity) {
+  ShamirField field(test_prime());
+  ChaCha20Rng rng(7);
+  const std::size_t n = 4, k = 3;
+  std::vector<bn::BigUInt> secrets = {bn::BigUInt(100), bn::BigUInt(250),
+                                      bn::BigUInt(3), bn::BigUInt(9999)};
+  auto xs = points(n);
+  // shares_by_holder[j] accumulates F(x_j) = sum_i f_i(x_j).
+  std::vector<Share> sum_shares(n);
+  for (std::size_t j = 0; j < n; ++j) sum_shares[j] = Share{xs[j], bn::BigUInt{}};
+  for (const auto& secret : secrets) {
+    auto shares = field.split(secret, k, xs, rng);
+    for (std::size_t j = 0; j < n; ++j) {
+      sum_shares[j].y = field.add(sum_shares[j].y, shares[j].y);
+    }
+  }
+  bn::BigUInt expected(100 + 250 + 3 + 9999);
+  EXPECT_EQ(field.reconstruct({sum_shares[0], sum_shares[1], sum_shares[2]}),
+            expected);
+}
+
+// Weighted variant: shares scaled by public alpha_i reconstruct sum alpha*a.
+TEST(Shamir, SecureWeightedSum) {
+  ShamirField field(test_prime());
+  ChaCha20Rng rng(8);
+  const std::size_t n = 3, k = 2;
+  std::vector<bn::BigUInt> secrets = {bn::BigUInt(10), bn::BigUInt(20),
+                                      bn::BigUInt(30)};
+  std::vector<bn::BigUInt> alphas = {bn::BigUInt(2), bn::BigUInt(5),
+                                     bn::BigUInt(1)};
+  auto xs = points(n);
+  std::vector<Share> sum_shares(n);
+  for (std::size_t j = 0; j < n; ++j) sum_shares[j] = Share{xs[j], bn::BigUInt{}};
+  for (std::size_t i = 0; i < n; ++i) {
+    auto shares = field.split(secrets[i], k, xs, rng);
+    for (std::size_t j = 0; j < n; ++j) {
+      sum_shares[j].y =
+          field.add(sum_shares[j].y, field.mul(alphas[i], shares[j].y));
+    }
+  }
+  bn::BigUInt expected(2 * 10 + 5 * 20 + 1 * 30);
+  EXPECT_EQ(field.reconstruct({sum_shares[0], sum_shares[2]}), expected);
+}
+
+TEST(Shamir, FieldHelpersModularlyCorrect) {
+  ShamirField field(bn::BigUInt(13));
+  EXPECT_EQ(field.add(bn::BigUInt(7), bn::BigUInt(9)), bn::BigUInt(3));
+  EXPECT_EQ(field.sub(bn::BigUInt(3), bn::BigUInt(9)), bn::BigUInt(7));
+  EXPECT_EQ(field.mul(bn::BigUInt(7), bn::BigUInt(9)), bn::BigUInt(11));
+}
+
+TEST(Shamir, RejectsTinyModulus) {
+  EXPECT_THROW(ShamirField(bn::BigUInt(2)), std::invalid_argument);
+}
+
+// Parameterised (k, n) sweep.
+class ShamirSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ShamirSweep, RoundTripAtThreshold) {
+  auto [k, n] = GetParam();
+  ShamirField field(test_prime());
+  ChaCha20Rng rng(static_cast<std::uint64_t>(k * 100 + n));
+  bn::BigUInt secret = bn::BigUInt::random_below(rng, test_prime());
+  auto shares = field.split(secret, k, points(n), rng);
+  shares.resize(k);  // exactly k shares suffice
+  EXPECT_EQ(field.reconstruct(shares), secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, ShamirSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{2, 3},
+                      std::pair<std::size_t, std::size_t>{3, 5},
+                      std::pair<std::size_t, std::size_t>{5, 9},
+                      std::pair<std::size_t, std::size_t>{8, 8},
+                      std::pair<std::size_t, std::size_t>{7, 15}));
+
+}  // namespace
+}  // namespace dla::crypto

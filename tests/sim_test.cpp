@@ -1,0 +1,282 @@
+// Tests for the discrete-event network simulator.
+#include "net/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dla::net {
+namespace {
+
+// Records every delivery for inspection.
+class Recorder : public Node {
+ public:
+  void on_message(Simulator&, const Message& msg) override {
+    received.push_back(msg);
+  }
+  void on_timer(Simulator&, std::uint64_t timer_id) override {
+    timers.push_back(timer_id);
+  }
+  std::vector<Message> received;
+  std::vector<std::uint64_t> timers;
+};
+
+// Forwards each message to a fixed next hop, for ring tests.
+class Forwarder : public Node {
+ public:
+  explicit Forwarder(NodeId next) : next_(next) {}
+  void on_message(Simulator& sim, const Message& msg) override {
+    ++hops;
+    if (msg.payload[0] > 0) {
+      Bytes payload = msg.payload;
+      --payload[0];
+      sim.send(id(), next_, msg.type, std::move(payload));
+    }
+  }
+  int hops = 0;
+
+ private:
+  NodeId next_;
+};
+
+TEST(Simulator, DeliversMessageWithLatency) {
+  Simulator sim;
+  Recorder a, b;
+  NodeId ida = sim.add_node(a);
+  NodeId idb = sim.add_node(b);
+  sim.send(ida, idb, 7, {1, 2, 3});
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].src, ida);
+  EXPECT_EQ(b.received[0].type, 7u);
+  EXPECT_EQ(b.received[0].payload, Bytes({1, 2, 3}));
+  EXPECT_GT(sim.now(), 0u);  // latency advanced the clock
+}
+
+TEST(Simulator, SendToUnknownNodeThrows) {
+  Simulator sim;
+  Recorder a;
+  NodeId ida = sim.add_node(a);
+  EXPECT_THROW(sim.send(ida, 99, 0, {}), std::out_of_range);
+  EXPECT_THROW(sim.set_timer(99, 10), std::out_of_range);
+}
+
+TEST(Simulator, DeterministicOrderingForSimultaneousEvents) {
+  // Two messages sent at the same instant with identical latency must be
+  // delivered in send order (sequence-number tie-break).
+  Simulator sim;
+  Recorder a, b;
+  NodeId ida = sim.add_node(a);
+  NodeId idb = sim.add_node(b);
+  sim.set_latency_model([](NodeId, NodeId, std::size_t) { return 50; });
+  sim.send(ida, idb, 1, {});
+  sim.send(ida, idb, 2, {});
+  sim.run();
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(b.received[0].type, 1u);
+  EXPECT_EQ(b.received[1].type, 2u);
+}
+
+TEST(Simulator, RingForwardingTerminates) {
+  Simulator sim;
+  Forwarder f1(2), f2(0);
+  Recorder sink;
+  sim.add_node(sink);                  // id 0
+  NodeId id1 = sim.add_node(f1);       // id 1 -> forwards to 2
+  NodeId id2 = sim.add_node(f2);       // id 2 -> forwards to 0
+  (void)id2;
+  sim.send(0, id1, 0, {4});            // TTL 4: bounces 1->2->0
+  sim.run();
+  EXPECT_GT(f1.hops + f2.hops, 0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, TimerFires) {
+  Simulator sim;
+  Recorder a;
+  NodeId ida = sim.add_node(a);
+  std::uint64_t t1 = sim.set_timer(ida, 500);
+  std::uint64_t t2 = sim.set_timer(ida, 100);
+  sim.run();
+  ASSERT_EQ(a.timers.size(), 2u);
+  EXPECT_EQ(a.timers[0], t2);  // earlier deadline first
+  EXPECT_EQ(a.timers[1], t1);
+  EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+  Simulator sim;
+  Recorder a;
+  NodeId ida = sim.add_node(a);
+  sim.set_timer(ida, 100);
+  sim.set_timer(ida, 10000);
+  sim.run(5000);
+  EXPECT_EQ(a.timers.size(), 1u);
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_EQ(a.timers.size(), 2u);
+}
+
+TEST(Simulator, CrashedNodeReceivesNothing) {
+  Simulator sim;
+  Recorder a, b;
+  NodeId ida = sim.add_node(a);
+  NodeId idb = sim.add_node(b);
+  sim.crash(idb);
+  sim.send(ida, idb, 1, {});
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(sim.stats().messages_dropped, 1u);
+  EXPECT_TRUE(sim.is_crashed(idb));
+}
+
+TEST(Simulator, CrashDropsInFlightMessages) {
+  Simulator sim;
+  Recorder a, b;
+  NodeId ida = sim.add_node(a);
+  NodeId idb = sim.add_node(b);
+  sim.send(ida, idb, 1, {});
+  sim.crash(idb);  // message already queued but not yet delivered
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+}
+
+TEST(Simulator, RecoveredNodeReceivesAgain) {
+  Simulator sim;
+  Recorder a, b;
+  NodeId ida = sim.add_node(a);
+  NodeId idb = sim.add_node(b);
+  sim.crash(idb);
+  sim.recover(idb);
+  sim.send(ida, idb, 1, {});
+  sim.run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(Simulator, PartitionBlocksCrossTraffic) {
+  Simulator sim;
+  Recorder a, b, c;
+  NodeId ida = sim.add_node(a);
+  NodeId idb = sim.add_node(b);
+  NodeId idc = sim.add_node(c);
+  sim.partition({ida});  // a alone vs {b, c}
+  sim.send(ida, idb, 1, {});
+  sim.send(idb, idc, 2, {});
+  sim.run();
+  EXPECT_TRUE(b.received.empty());       // crossed the cut
+  EXPECT_EQ(c.received.size(), 1u);      // same side
+  sim.heal_partition();
+  sim.send(ida, idb, 3, {});
+  sim.run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(Simulator, DropPolicyApplies) {
+  Simulator sim;
+  Recorder a, b;
+  NodeId ida = sim.add_node(a);
+  NodeId idb = sim.add_node(b);
+  sim.set_drop_policy([](const Message& m) { return m.type == 13; });
+  sim.send(ida, idb, 13, {});
+  sim.send(ida, idb, 14, {});
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].type, 14u);
+  EXPECT_EQ(sim.stats().messages_dropped, 1u);
+}
+
+TEST(Simulator, StatsAccounting) {
+  Simulator sim;
+  Recorder a, b;
+  NodeId ida = sim.add_node(a);
+  NodeId idb = sim.add_node(b);
+  sim.send(ida, idb, 1, Bytes(100));
+  sim.send(idb, ida, 2, Bytes(50));
+  sim.run();
+  const auto& stats = sim.stats();
+  EXPECT_EQ(stats.messages_sent, 2u);
+  EXPECT_EQ(stats.messages_delivered, 2u);
+  EXPECT_EQ(stats.bytes_sent, 150u);
+  EXPECT_EQ(stats.per_link.at({ida, idb}).bytes, 100u);
+  EXPECT_EQ(stats.per_link.at({idb, ida}).messages, 1u);
+  sim.reset_stats();
+  EXPECT_EQ(sim.stats().messages_sent, 0u);
+}
+
+TEST(Simulator, CancelledTimerNeitherFiresNorAdvancesClock) {
+  Simulator sim;
+  Recorder a;
+  NodeId ida = sim.add_node(a);
+  std::uint64_t t1 = sim.set_timer(ida, 100);
+  std::uint64_t t2 = sim.set_timer(ida, 50000);
+  sim.cancel_timer(t2);
+  sim.run();
+  ASSERT_EQ(a.timers.size(), 1u);
+  EXPECT_EQ(a.timers[0], t1);
+  EXPECT_EQ(sim.now(), 100u);  // the cancelled slot did not move the clock
+  sim.cancel_timer(999);       // unknown id: no-op
+}
+
+TEST(Simulator, BandwidthModelSerialisesOneLink) {
+  Simulator sim;
+  Recorder a, b;
+  NodeId ida = sim.add_node(a);
+  NodeId idb = sim.add_node(b);
+  sim.set_latency_model([](NodeId, NodeId, std::size_t) { return 10; });
+  sim.set_link_bandwidth(1.0);  // 1 byte/us
+  // Two 100-byte messages at t=0 on the same link: the second queues.
+  sim.send(ida, idb, 1, Bytes(100));
+  sim.send(ida, idb, 2, Bytes(100));
+  sim.run();
+  ASSERT_EQ(b.received.size(), 2u);
+  // First: departs 0, transmit 100, +10 propagation = 110.
+  // Second: waits until 100, transmit 100, +10 = 210.
+  EXPECT_EQ(sim.now(), 210u);
+}
+
+TEST(Simulator, BandwidthModelLinksAreIndependent) {
+  Simulator sim;
+  Recorder a, b, c;
+  NodeId ida = sim.add_node(a);
+  NodeId idb = sim.add_node(b);
+  NodeId idc = sim.add_node(c);
+  sim.set_latency_model([](NodeId, NodeId, std::size_t) { return 10; });
+  sim.set_link_bandwidth(1.0);
+  sim.send(ida, idb, 1, Bytes(100));
+  sim.send(ida, idc, 2, Bytes(100));  // different link: no queueing
+  sim.run();
+  EXPECT_EQ(sim.now(), 110u);
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(c.received.size(), 1u);
+}
+
+TEST(Simulator, BandwidthZeroRestoresLatencyModel) {
+  Simulator sim;
+  Recorder a, b;
+  NodeId ida = sim.add_node(a);
+  NodeId idb = sim.add_node(b);
+  sim.set_latency_model([](NodeId, NodeId, std::size_t bytes) {
+    return 10 + bytes;
+  });
+  sim.set_link_bandwidth(2.0);
+  sim.set_link_bandwidth(0);  // back to the pure latency model
+  sim.send(ida, idb, 1, Bytes(90));
+  sim.run();
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, LatencyModelScalesWithBytes) {
+  Simulator sim;
+  Recorder a, b;
+  NodeId ida = sim.add_node(a);
+  NodeId idb = sim.add_node(b);
+  sim.set_latency_model([](NodeId, NodeId, std::size_t bytes) {
+    return 10 + bytes;
+  });
+  sim.send(ida, idb, 1, Bytes(90));
+  sim.run();
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+}  // namespace
+}  // namespace dla::net

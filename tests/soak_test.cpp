@@ -1,0 +1,116 @@
+// Soak test: one cluster, hundreds of interleaved operations — logging,
+// glsn-set queries, aggregates, integrity checks, ACL audits — verifying
+// that per-session protocol state never leaks across operations and that
+// the system's view stays consistent with a shadow model throughout.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "audit/cluster.hpp"
+#include "baseline/centralized.hpp"
+#include "logm/workload.hpp"
+
+namespace dla::audit {
+namespace {
+
+TEST(Soak, HundredsOfMixedOperationsStayConsistent) {
+  Cluster cluster(Cluster::Options{logm::paper_schema(), 4, 2,
+                                   logm::paper_partition(), /*seed=*/71,
+                                   /*auditor_users=*/true,
+                                   /*certify_reports=*/true});
+  Ticket second = cluster.issue_ticket("T2", "u1",
+                                       {logm::Op::Read, logm::Op::Write},
+                                       /*auditor=*/true);
+  cluster.user(1).configure(cluster.config(), second);
+
+  baseline::CentralizedAuditor shadow(logm::paper_schema());
+  crypto::ChaCha20Rng rng(72);
+  logm::WorkloadSpec spec;
+  spec.records = 120;
+  auto records = logm::generate_workload(spec, rng);
+
+  std::vector<logm::Glsn> assigned;
+  std::size_t queries_checked = 0, integrity_checked = 0;
+  std::size_t record_cursor = 0;
+
+  cluster.dla(0).on_integrity_result = [&](SessionId, logm::Glsn, bool ok) {
+    EXPECT_TRUE(ok);
+    ++integrity_checked;
+  };
+
+  for (int round = 0; round < 40; ++round) {
+    // 1. Log three records, alternating users.
+    for (int j = 0; j < 3 && record_cursor < records.size(); ++j) {
+      const auto& rec = records[record_cursor++];
+      cluster.user(record_cursor % 2)
+          .log_record(cluster.sim(), rec.attrs,
+                      [&, rec](std::optional<logm::Glsn> g) {
+                        ASSERT_TRUE(g.has_value());
+                        assigned.push_back(*g);
+                        logm::LogRecord copy = rec;
+                        copy.glsn = *g;
+                        shadow.log(std::move(copy));
+                      });
+      cluster.run();
+    }
+    // 2. A rotating query, checked against the shadow.
+    static const char* kQueries[] = {
+        "protocl = 'TCP'",
+        "id IN ('U0', 'U1') AND C1 < 60",
+        "C2 BETWEEN 200.0 AND 700.0",
+        "C1 < C2 AND protocl = 'UDP'",
+        "NOT (id = 'U2' OR C1 >= 80)",
+    };
+    const char* q = kQueries[round % 5];
+    std::optional<QueryOutcome> outcome;
+    cluster.user(round % 2).query(cluster.sim(), q,
+                                  [&](QueryOutcome o) { outcome = std::move(o); });
+    cluster.run();
+    ASSERT_TRUE(outcome.has_value()) << "round " << round << ": " << q;
+    ASSERT_TRUE(outcome->ok) << outcome->error;
+    EXPECT_TRUE(outcome->certified) << "round " << round;
+    EXPECT_EQ(outcome->glsns, shadow.query(q)) << "round " << round << ": " << q;
+    ++queries_checked;
+
+    // 3. An aggregate every other round.
+    if (round % 2 == 0) {
+      std::optional<AggregateOutcome> agg;
+      cluster.user(0).aggregate_query(
+          cluster.sim(), "protocl = 'UDP'", AggOp::Count, "",
+          [&](AggregateOutcome o) { agg = std::move(o); });
+      cluster.run();
+      ASSERT_TRUE(agg.has_value());
+      ASSERT_TRUE(agg->ok) << agg->error;
+      EXPECT_DOUBLE_EQ(agg->value,
+                       static_cast<double>(shadow.query("protocl = 'UDP'").size()));
+    }
+    // 4. An integrity circulation every third round.
+    if (round % 3 == 0 && !assigned.empty()) {
+      cluster.dla(0).start_integrity_check(
+          cluster.sim(), 5000 + static_cast<SessionId>(round),
+          assigned[static_cast<std::size_t>(rng.next_below(assigned.size()))]);
+      cluster.run();
+    }
+  }
+
+  EXPECT_EQ(queries_checked, 40u);
+  EXPECT_GE(integrity_checked, 13u);
+  EXPECT_EQ(assigned.size(), 120u);
+  // Every node holds exactly one fragment per record; no session residue
+  // remains queued in the simulator.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(cluster.dla(i).store().size(), 120u) << "node " << i;
+  }
+  EXPECT_TRUE(cluster.sim().idle());
+
+  // Final ACL consistency audit across the whole history.
+  std::optional<bool> consistent;
+  cluster.dla(2).on_acl_check = [&](SessionId, bool c) { consistent = c; };
+  cluster.dla(2).start_acl_consistency_check(cluster.sim(), 99999);
+  cluster.run();
+  ASSERT_TRUE(consistent.has_value());
+  EXPECT_TRUE(*consistent);
+}
+
+}  // namespace
+}  // namespace dla::audit

@@ -1,0 +1,120 @@
+// Tests for fragment storage and the Table 6 access-control table.
+#include "logm/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logm/workload.hpp"
+
+namespace dla::logm {
+namespace {
+
+Fragment frag(Glsn glsn, std::int64_t time) {
+  Fragment f;
+  f.glsn = glsn;
+  f.attrs = {{"Time", Value(time)}};
+  return f;
+}
+
+TEST(FragmentStore, PutGetErase) {
+  FragmentStore store;
+  store.put(frag(1, 100));
+  store.put(frag(2, 200));
+  EXPECT_EQ(store.size(), 2u);
+  ASSERT_NE(store.get(1), nullptr);
+  EXPECT_EQ(store.get(1)->attrs.at("Time").as_int(), 100);
+  EXPECT_EQ(store.get(3), nullptr);
+  EXPECT_TRUE(store.erase(1));
+  EXPECT_FALSE(store.erase(1));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(FragmentStore, PutOverwritesSameGlsn) {
+  FragmentStore store;
+  store.put(frag(1, 100));
+  store.put(frag(1, 999));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.get(1)->attrs.at("Time").as_int(), 999);
+}
+
+TEST(FragmentStore, SelectFiltersInGlsnOrder) {
+  FragmentStore store;
+  store.put(frag(3, 300));
+  store.put(frag(1, 100));
+  store.put(frag(2, 200));
+  auto hits = store.select([](const Fragment& f) {
+    return f.attrs.at("Time").as_int() >= 200;
+  });
+  EXPECT_EQ(hits, (std::vector<Glsn>{2, 3}));
+  EXPECT_EQ(store.glsns(), (std::vector<Glsn>{1, 2, 3}));
+}
+
+TEST(FragmentStore, ForEachVisitsAll) {
+  FragmentStore store;
+  for (Glsn g = 0; g < 10; ++g) store.put(frag(g, static_cast<std::int64_t>(g)));
+  std::size_t count = 0;
+  store.for_each([&](const Fragment&) { ++count; });
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(Acl, GrantAuthorizeAllow) {
+  AccessControlTable acl;
+  acl.grant("T1", {Op::Read, Op::Write});
+  acl.authorize("T1", 0x139aef78);
+  EXPECT_TRUE(acl.allowed("T1", Op::Read, 0x139aef78));
+  EXPECT_TRUE(acl.allowed("T1", Op::Write, 0x139aef78));
+  EXPECT_FALSE(acl.allowed("T1", Op::Delete, 0x139aef78));
+  EXPECT_FALSE(acl.allowed("T1", Op::Read, 0x139aef79));
+  EXPECT_FALSE(acl.allowed("T2", Op::Read, 0x139aef78));
+}
+
+TEST(Acl, RevokeRemovesGlsn) {
+  AccessControlTable acl;
+  acl.grant("T1", {Op::Read});
+  acl.authorize("T1", 7);
+  acl.revoke("T1", 7);
+  EXPECT_FALSE(acl.allowed("T1", Op::Read, 7));
+  acl.revoke("T9", 7);  // unknown ticket: no-op
+}
+
+TEST(Acl, Table6Example) {
+  // Ticket T1 -> {139aef78, 139aef80}, T2 -> {139aef79, 139aef81},
+  // T3 -> {139aef82}, all W/R — exactly the paper's Table 6.
+  AccessControlTable acl;
+  acl.grant("T1", {Op::Read, Op::Write});
+  acl.authorize("T1", 0x139aef78);
+  acl.authorize("T1", 0x139aef80);
+  acl.grant("T2", {Op::Read, Op::Write});
+  acl.authorize("T2", 0x139aef79);
+  acl.authorize("T2", 0x139aef81);
+  acl.grant("T3", {Op::Read, Op::Write});
+  acl.authorize("T3", 0x139aef82);
+
+  EXPECT_EQ(acl.glsns_of("T1"), (std::set<Glsn>{0x139aef78, 0x139aef80}));
+  EXPECT_EQ(acl.glsns_of("T2"), (std::set<Glsn>{0x139aef79, 0x139aef81}));
+  EXPECT_EQ(acl.glsns_of("T3"), (std::set<Glsn>{0x139aef82}));
+  EXPECT_EQ(acl.ticket_ids(), (std::vector<std::string>{"T1", "T2", "T3"}));
+}
+
+TEST(Acl, CanonicalEntriesStableAndComparable) {
+  AccessControlTable a, b;
+  a.grant("T1", {Op::Read, Op::Write});
+  a.authorize("T1", 0x10);
+  a.authorize("T1", 0x20);
+  // Same content, different construction order.
+  b.grant("T1", {Op::Write, Op::Read});
+  b.authorize("T1", 0x20);
+  b.authorize("T1", 0x10);
+  EXPECT_EQ(a.canonical_entries(), b.canonical_entries());
+  EXPECT_EQ(a, b);
+
+  b.authorize("T1", 0x30);
+  EXPECT_NE(a.canonical_entries(), b.canonical_entries());
+}
+
+TEST(Acl, GlsnsOfUnknownTicketEmpty) {
+  AccessControlTable acl;
+  EXPECT_TRUE(acl.glsns_of("nope").empty());
+}
+
+}  // namespace
+}  // namespace dla::logm

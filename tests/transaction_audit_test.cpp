@@ -1,0 +1,132 @@
+// Tests for transaction-specification auditing (R_T of Eqs. 1-2).
+#include "audit/transaction_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logm/workload.hpp"
+
+namespace dla::audit {
+namespace {
+
+logm::Transaction make_txn(std::uint64_t tsn,
+                           std::vector<std::tuple<const char*, std::int64_t,
+                                                  double>> events) {
+  logm::Transaction txn;
+  txn.tsn = tsn;
+  txn.ttn = 1;
+  logm::Glsn glsn = 100;
+  for (auto [who, time, amount] : events) {
+    logm::LogRecord rec;
+    rec.glsn = glsn++;
+    rec.attrs = {{"Time", logm::Value(time)},
+                 {"id", logm::Value(who)},
+                 {"protocl", logm::Value("TCP")},
+                 {"Tid", logm::Value("T1")},
+                 {"C1", logm::Value(std::int64_t{1})},
+                 {"C2", logm::Value(amount)},
+                 {"C3", logm::Value("x")}};
+    txn.events.push_back(logm::TransactionEvent{who, std::move(rec)});
+  }
+  return txn;
+}
+
+TEST(TransactionAudit, ConformingTransactionPassesAllRules) {
+  TransactionAuditor auditor(
+      logm::paper_schema(),
+      {PerEventCriterion{"C2 >= 0.0"}, EventOrder{"Time", false},
+       Completeness{3}, DistinctParties{2}, NoDuplicateEvents{}});
+  auto txn = make_txn(1, {{"U1", 100, 10.0}, {"U2", 100, 20.0},
+                          {"U1", 150, 5.0}});
+  auto report = auditor.audit(txn);
+  EXPECT_TRUE(report.conforms);
+  ASSERT_EQ(report.verdicts.size(), 5u);
+  for (const auto& v : report.verdicts) EXPECT_TRUE(v.satisfied) << v.detail;
+}
+
+TEST(TransactionAudit, PerEventCriterionViolation) {
+  TransactionAuditor auditor(logm::paper_schema(),
+                             {PerEventCriterion{"C2 >= 0.0"}});
+  auto txn = make_txn(2, {{"U1", 100, 10.0}, {"U2", 110, -5.0}});
+  auto report = auditor.audit(txn);
+  EXPECT_FALSE(report.conforms);
+  EXPECT_FALSE(report.verdicts[0].satisfied);
+  EXPECT_NE(report.verdicts[0].detail.find("violates"), std::string::npos);
+}
+
+TEST(TransactionAudit, EventOrderViolation) {
+  TransactionAuditor auditor(logm::paper_schema(), {EventOrder{"Time", false}});
+  auto txn = make_txn(3, {{"U1", 200, 1.0}, {"U2", 100, 1.0}});
+  EXPECT_FALSE(auditor.audit(txn).conforms);
+}
+
+TEST(TransactionAudit, StrictOrderRejectsTies) {
+  TransactionAuditor lax(logm::paper_schema(), {EventOrder{"Time", false}});
+  TransactionAuditor strict(logm::paper_schema(), {EventOrder{"Time", true}});
+  auto txn = make_txn(4, {{"U1", 100, 1.0}, {"U2", 100, 1.0}});
+  EXPECT_TRUE(lax.audit(txn).conforms);
+  EXPECT_FALSE(strict.audit(txn).conforms);
+}
+
+TEST(TransactionAudit, CompletenessViolation) {
+  TransactionAuditor auditor(logm::paper_schema(), {Completeness{3}});
+  auto txn = make_txn(5, {{"U1", 100, 1.0}, {"U2", 110, 1.0}});
+  auto report = auditor.audit(txn);
+  EXPECT_FALSE(report.conforms);
+  EXPECT_NE(report.verdicts[0].detail.find("expected 3"), std::string::npos);
+}
+
+TEST(TransactionAudit, DistinctPartiesViolation) {
+  // Non-repudiation style rule: both sides of the transaction must appear.
+  TransactionAuditor auditor(logm::paper_schema(), {DistinctParties{2}});
+  auto solo = make_txn(6, {{"U1", 100, 1.0}, {"U1", 110, 1.0}});
+  EXPECT_FALSE(auditor.audit(solo).conforms);
+  auto dual = make_txn(7, {{"U1", 100, 1.0}, {"U2", 110, 1.0}});
+  EXPECT_TRUE(auditor.audit(dual).conforms);
+}
+
+TEST(TransactionAudit, DuplicateGlsnDetected) {
+  TransactionAuditor auditor(logm::paper_schema(), {NoDuplicateEvents{}});
+  auto txn = make_txn(8, {{"U1", 100, 1.0}, {"U2", 110, 1.0}});
+  txn.events[1].record.glsn = txn.events[0].record.glsn;  // replayed event
+  EXPECT_FALSE(auditor.audit(txn).conforms);
+}
+
+TEST(TransactionAudit, MissingAttributeFailsClosed) {
+  TransactionAuditor auditor(logm::paper_schema(),
+                             {PerEventCriterion{"C2 > 0.0"}});
+  auto txn = make_txn(9, {{"U1", 100, 1.0}});
+  txn.events[0].record.attrs.erase("C2");
+  EXPECT_FALSE(auditor.audit(txn).conforms);
+}
+
+TEST(TransactionAudit, FindViolationsFiltersConforming) {
+  TransactionAuditor auditor(logm::paper_schema(),
+                             {EventOrder{"Time", false}, DistinctParties{2}});
+  std::vector<logm::Transaction> txns = {
+      make_txn(1, {{"U1", 100, 1.0}, {"U2", 110, 1.0}}),   // ok
+      make_txn(2, {{"U1", 200, 1.0}, {"U2", 100, 1.0}}),   // order violation
+      make_txn(3, {{"U1", 100, 1.0}, {"U1", 120, 1.0}}),   // parties violation
+  };
+  auto violations = auditor.find_violations(txns);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].tsn, 2u);
+  EXPECT_EQ(violations[1].tsn, 3u);
+}
+
+TEST(TransactionAudit, WorksOverGeneratedWorkload) {
+  crypto::ChaCha20Rng rng(5);
+  logm::WorkloadSpec spec;
+  spec.records = 120;
+  auto records = logm::generate_workload(spec, rng);
+  auto txns = logm::group_into_transactions(records);
+  // The generator emits time-ordered events and non-negative amounts, so
+  // these rules must hold for every transaction.
+  TransactionAuditor auditor(
+      logm::paper_schema(),
+      {PerEventCriterion{"C2 >= 0.0"}, EventOrder{"Time", false},
+       NoDuplicateEvents{}});
+  EXPECT_TRUE(auditor.find_violations(txns).empty());
+}
+
+}  // namespace
+}  // namespace dla::audit

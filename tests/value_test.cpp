@@ -1,0 +1,91 @@
+// Tests for typed attribute values.
+#include "logm/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dla::logm {
+namespace {
+
+TEST(Value, TypesAndAccessors) {
+  Value i(std::int64_t{42});
+  Value r(3.5);
+  Value t("hello");
+  EXPECT_EQ(i.type(), ValueType::Int);
+  EXPECT_EQ(r.type(), ValueType::Real);
+  EXPECT_EQ(t.type(), ValueType::Text);
+  EXPECT_EQ(i.as_int(), 42);
+  EXPECT_DOUBLE_EQ(r.as_real(), 3.5);
+  EXPECT_EQ(t.as_text(), "hello");
+}
+
+TEST(Value, NumericCoercion) {
+  Value i(std::int64_t{7});
+  Value r(7.9);
+  EXPECT_DOUBLE_EQ(i.as_real(), 7.0);
+  EXPECT_EQ(r.as_int(), 7);
+  EXPECT_TRUE(i.is_numeric());
+  EXPECT_FALSE(Value("x").is_numeric());
+}
+
+TEST(Value, TextAccessorThrowsOnNumeric) {
+  EXPECT_THROW(Value(std::int64_t{1}).as_text(), std::bad_variant_access);
+  EXPECT_THROW(Value("x").as_int(), std::bad_variant_access);
+}
+
+TEST(Value, DefaultIsIntZero) {
+  Value v;
+  EXPECT_EQ(v.type(), ValueType::Int);
+  EXPECT_EQ(v.as_int(), 0);
+}
+
+TEST(Value, CompareNumericAcrossShapes) {
+  EXPECT_EQ(Value(std::int64_t{2}).compare(Value(2.0)),
+            std::partial_ordering::equivalent);
+  EXPECT_EQ(Value(std::int64_t{1}).compare(Value(1.5)),
+            std::partial_ordering::less);
+  EXPECT_EQ(Value(2.5).compare(Value(std::int64_t{2})),
+            std::partial_ordering::greater);
+}
+
+TEST(Value, CompareText) {
+  EXPECT_EQ(Value("abc").compare(Value("abd")), std::partial_ordering::less);
+  EXPECT_EQ(Value("b").compare(Value("a")), std::partial_ordering::greater);
+  EXPECT_EQ(Value("x").compare(Value("x")), std::partial_ordering::equivalent);
+}
+
+TEST(Value, CompareTextVsNumericThrows) {
+  EXPECT_THROW((void)Value("x").compare(Value(std::int64_t{1})),
+               std::invalid_argument);
+}
+
+TEST(Value, EqualityMixedShapes) {
+  EXPECT_EQ(Value(std::int64_t{3}), Value(3.0));
+  EXPECT_FALSE(Value("3") == Value(std::int64_t{3}));  // no cross-kind equality
+  EXPECT_EQ(Value("a"), Value("a"));
+}
+
+TEST(Value, CanonicalStableAndDistinct) {
+  EXPECT_EQ(Value(std::int64_t{5}).canonical(), "i:5");
+  EXPECT_EQ(Value("x").canonical(), "t:x");
+  EXPECT_NE(Value(std::int64_t{5}).canonical(), Value(5.0).canonical());
+  EXPECT_EQ(Value(1.25).canonical(), Value(1.25).canonical());
+}
+
+TEST(Value, CodecRoundTrip) {
+  for (const Value& v :
+       {Value(std::int64_t{-17}), Value(2.75), Value("text body")}) {
+    net::Writer w;
+    v.encode(w);
+    net::Reader r(w.bytes());
+    EXPECT_EQ(Value::decode(r), v);
+  }
+}
+
+TEST(Value, DecodeRejectsBadTag) {
+  net::Bytes bad = {0x07};
+  net::Reader r(bad);
+  EXPECT_THROW(Value::decode(r), net::CodecError);
+}
+
+}  // namespace
+}  // namespace dla::logm
