@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_confidentiality.dir/bench_confidentiality.cpp.o"
+  "CMakeFiles/bench_confidentiality.dir/bench_confidentiality.cpp.o.d"
+  "bench_confidentiality"
+  "bench_confidentiality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_confidentiality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

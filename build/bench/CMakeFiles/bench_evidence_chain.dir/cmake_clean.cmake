@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_evidence_chain.dir/bench_evidence_chain.cpp.o"
+  "CMakeFiles/bench_evidence_chain.dir/bench_evidence_chain.cpp.o.d"
+  "bench_evidence_chain"
+  "bench_evidence_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_evidence_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

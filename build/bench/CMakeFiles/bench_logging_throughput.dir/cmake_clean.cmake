@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_logging_throughput.dir/bench_logging_throughput.cpp.o"
+  "CMakeFiles/bench_logging_throughput.dir/bench_logging_throughput.cpp.o.d"
+  "bench_logging_throughput"
+  "bench_logging_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logging_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_processing.dir/bench_query_processing.cpp.o"
+  "CMakeFiles/bench_query_processing.dir/bench_query_processing.cpp.o.d"
+  "bench_query_processing"
+  "bench_query_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_relaxed_vs_mpc.dir/bench_relaxed_vs_mpc.cpp.o"
+  "CMakeFiles/bench_relaxed_vs_mpc.dir/bench_relaxed_vs_mpc.cpp.o.d"
+  "bench_relaxed_vs_mpc"
+  "bench_relaxed_vs_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_relaxed_vs_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

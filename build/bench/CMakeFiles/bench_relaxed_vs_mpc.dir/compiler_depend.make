@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_relaxed_vs_mpc.
+# This may be replaced when dependencies are built.

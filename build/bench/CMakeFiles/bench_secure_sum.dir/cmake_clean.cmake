@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secure_sum.dir/bench_secure_sum.cpp.o"
+  "CMakeFiles/bench_secure_sum.dir/bench_secure_sum.cpp.o.d"
+  "bench_secure_sum"
+  "bench_secure_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secure_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

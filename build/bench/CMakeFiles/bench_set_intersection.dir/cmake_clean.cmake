@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_set_intersection.dir/bench_set_intersection.cpp.o"
+  "CMakeFiles/bench_set_intersection.dir/bench_set_intersection.cpp.o.d"
+  "bench_set_intersection"
+  "bench_set_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_set_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_set_union.dir/bench_set_union.cpp.o"
+  "CMakeFiles/bench_set_union.dir/bench_set_union.cpp.o.d"
+  "bench_set_union"
+  "bench_set_union.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_set_union.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compliance_audit.dir/compliance_audit.cpp.o"
+  "CMakeFiles/compliance_audit.dir/compliance_audit.cpp.o.d"
+  "compliance_audit"
+  "compliance_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compliance_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_chain.dir/membership_chain.cpp.o"
+  "CMakeFiles/membership_chain.dir/membership_chain.cpp.o.d"
+  "membership_chain"
+  "membership_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

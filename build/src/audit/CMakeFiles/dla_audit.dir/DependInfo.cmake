@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audit/cluster.cpp" "src/audit/CMakeFiles/dla_audit.dir/cluster.cpp.o" "gcc" "src/audit/CMakeFiles/dla_audit.dir/cluster.cpp.o.d"
+  "/root/repo/src/audit/config.cpp" "src/audit/CMakeFiles/dla_audit.dir/config.cpp.o" "gcc" "src/audit/CMakeFiles/dla_audit.dir/config.cpp.o.d"
+  "/root/repo/src/audit/correlation.cpp" "src/audit/CMakeFiles/dla_audit.dir/correlation.cpp.o" "gcc" "src/audit/CMakeFiles/dla_audit.dir/correlation.cpp.o.d"
+  "/root/repo/src/audit/dla_node.cpp" "src/audit/CMakeFiles/dla_audit.dir/dla_node.cpp.o" "gcc" "src/audit/CMakeFiles/dla_audit.dir/dla_node.cpp.o.d"
+  "/root/repo/src/audit/evidence.cpp" "src/audit/CMakeFiles/dla_audit.dir/evidence.cpp.o" "gcc" "src/audit/CMakeFiles/dla_audit.dir/evidence.cpp.o.d"
+  "/root/repo/src/audit/member_node.cpp" "src/audit/CMakeFiles/dla_audit.dir/member_node.cpp.o" "gcc" "src/audit/CMakeFiles/dla_audit.dir/member_node.cpp.o.d"
+  "/root/repo/src/audit/metrics.cpp" "src/audit/CMakeFiles/dla_audit.dir/metrics.cpp.o" "gcc" "src/audit/CMakeFiles/dla_audit.dir/metrics.cpp.o.d"
+  "/root/repo/src/audit/query.cpp" "src/audit/CMakeFiles/dla_audit.dir/query.cpp.o" "gcc" "src/audit/CMakeFiles/dla_audit.dir/query.cpp.o.d"
+  "/root/repo/src/audit/ticket.cpp" "src/audit/CMakeFiles/dla_audit.dir/ticket.cpp.o" "gcc" "src/audit/CMakeFiles/dla_audit.dir/ticket.cpp.o.d"
+  "/root/repo/src/audit/transaction_audit.cpp" "src/audit/CMakeFiles/dla_audit.dir/transaction_audit.cpp.o" "gcc" "src/audit/CMakeFiles/dla_audit.dir/transaction_audit.cpp.o.d"
+  "/root/repo/src/audit/ttp_node.cpp" "src/audit/CMakeFiles/dla_audit.dir/ttp_node.cpp.o" "gcc" "src/audit/CMakeFiles/dla_audit.dir/ttp_node.cpp.o.d"
+  "/root/repo/src/audit/user_node.cpp" "src/audit/CMakeFiles/dla_audit.dir/user_node.cpp.o" "gcc" "src/audit/CMakeFiles/dla_audit.dir/user_node.cpp.o.d"
+  "/root/repo/src/audit/wire.cpp" "src/audit/CMakeFiles/dla_audit.dir/wire.cpp.o" "gcc" "src/audit/CMakeFiles/dla_audit.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logm/CMakeFiles/dla_logm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dla_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dla_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/dla_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

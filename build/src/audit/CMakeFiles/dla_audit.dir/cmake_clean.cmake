@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dla_audit.dir/cluster.cpp.o"
+  "CMakeFiles/dla_audit.dir/cluster.cpp.o.d"
+  "CMakeFiles/dla_audit.dir/config.cpp.o"
+  "CMakeFiles/dla_audit.dir/config.cpp.o.d"
+  "CMakeFiles/dla_audit.dir/correlation.cpp.o"
+  "CMakeFiles/dla_audit.dir/correlation.cpp.o.d"
+  "CMakeFiles/dla_audit.dir/dla_node.cpp.o"
+  "CMakeFiles/dla_audit.dir/dla_node.cpp.o.d"
+  "CMakeFiles/dla_audit.dir/evidence.cpp.o"
+  "CMakeFiles/dla_audit.dir/evidence.cpp.o.d"
+  "CMakeFiles/dla_audit.dir/member_node.cpp.o"
+  "CMakeFiles/dla_audit.dir/member_node.cpp.o.d"
+  "CMakeFiles/dla_audit.dir/metrics.cpp.o"
+  "CMakeFiles/dla_audit.dir/metrics.cpp.o.d"
+  "CMakeFiles/dla_audit.dir/query.cpp.o"
+  "CMakeFiles/dla_audit.dir/query.cpp.o.d"
+  "CMakeFiles/dla_audit.dir/ticket.cpp.o"
+  "CMakeFiles/dla_audit.dir/ticket.cpp.o.d"
+  "CMakeFiles/dla_audit.dir/transaction_audit.cpp.o"
+  "CMakeFiles/dla_audit.dir/transaction_audit.cpp.o.d"
+  "CMakeFiles/dla_audit.dir/ttp_node.cpp.o"
+  "CMakeFiles/dla_audit.dir/ttp_node.cpp.o.d"
+  "CMakeFiles/dla_audit.dir/user_node.cpp.o"
+  "CMakeFiles/dla_audit.dir/user_node.cpp.o.d"
+  "CMakeFiles/dla_audit.dir/wire.cpp.o"
+  "CMakeFiles/dla_audit.dir/wire.cpp.o.d"
+  "libdla_audit.a"
+  "libdla_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dla_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dla_baseline.dir/centralized.cpp.o"
+  "CMakeFiles/dla_baseline.dir/centralized.cpp.o.d"
+  "CMakeFiles/dla_baseline.dir/gmw.cpp.o"
+  "CMakeFiles/dla_baseline.dir/gmw.cpp.o.d"
+  "CMakeFiles/dla_baseline.dir/signature_integrity.cpp.o"
+  "CMakeFiles/dla_baseline.dir/signature_integrity.cpp.o.d"
+  "libdla_baseline.a"
+  "libdla_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dla_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

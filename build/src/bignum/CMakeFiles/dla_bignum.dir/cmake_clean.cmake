@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dla_bignum.dir/biguint.cpp.o"
+  "CMakeFiles/dla_bignum.dir/biguint.cpp.o.d"
+  "CMakeFiles/dla_bignum.dir/montgomery.cpp.o"
+  "CMakeFiles/dla_bignum.dir/montgomery.cpp.o.d"
+  "CMakeFiles/dla_bignum.dir/prime.cpp.o"
+  "CMakeFiles/dla_bignum.dir/prime.cpp.o.d"
+  "libdla_bignum.a"
+  "libdla_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dla_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dla_bignum.
+# This may be replaced when dependencies are built.

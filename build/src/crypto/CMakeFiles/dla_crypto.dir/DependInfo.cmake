@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/accumulator.cpp" "src/crypto/CMakeFiles/dla_crypto.dir/accumulator.cpp.o" "gcc" "src/crypto/CMakeFiles/dla_crypto.dir/accumulator.cpp.o.d"
+  "/root/repo/src/crypto/dkg.cpp" "src/crypto/CMakeFiles/dla_crypto.dir/dkg.cpp.o" "gcc" "src/crypto/CMakeFiles/dla_crypto.dir/dkg.cpp.o.d"
+  "/root/repo/src/crypto/oblivious_transfer.cpp" "src/crypto/CMakeFiles/dla_crypto.dir/oblivious_transfer.cpp.o" "gcc" "src/crypto/CMakeFiles/dla_crypto.dir/oblivious_transfer.cpp.o.d"
+  "/root/repo/src/crypto/pohlig_hellman.cpp" "src/crypto/CMakeFiles/dla_crypto.dir/pohlig_hellman.cpp.o" "gcc" "src/crypto/CMakeFiles/dla_crypto.dir/pohlig_hellman.cpp.o.d"
+  "/root/repo/src/crypto/rng.cpp" "src/crypto/CMakeFiles/dla_crypto.dir/rng.cpp.o" "gcc" "src/crypto/CMakeFiles/dla_crypto.dir/rng.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/dla_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/dla_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/dla_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/dla_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/shamir.cpp" "src/crypto/CMakeFiles/dla_crypto.dir/shamir.cpp.o" "gcc" "src/crypto/CMakeFiles/dla_crypto.dir/shamir.cpp.o.d"
+  "/root/repo/src/crypto/threshold_schnorr.cpp" "src/crypto/CMakeFiles/dla_crypto.dir/threshold_schnorr.cpp.o" "gcc" "src/crypto/CMakeFiles/dla_crypto.dir/threshold_schnorr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bignum/CMakeFiles/dla_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dla_crypto.dir/accumulator.cpp.o"
+  "CMakeFiles/dla_crypto.dir/accumulator.cpp.o.d"
+  "CMakeFiles/dla_crypto.dir/dkg.cpp.o"
+  "CMakeFiles/dla_crypto.dir/dkg.cpp.o.d"
+  "CMakeFiles/dla_crypto.dir/oblivious_transfer.cpp.o"
+  "CMakeFiles/dla_crypto.dir/oblivious_transfer.cpp.o.d"
+  "CMakeFiles/dla_crypto.dir/pohlig_hellman.cpp.o"
+  "CMakeFiles/dla_crypto.dir/pohlig_hellman.cpp.o.d"
+  "CMakeFiles/dla_crypto.dir/rng.cpp.o"
+  "CMakeFiles/dla_crypto.dir/rng.cpp.o.d"
+  "CMakeFiles/dla_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/dla_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/dla_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/dla_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/dla_crypto.dir/shamir.cpp.o"
+  "CMakeFiles/dla_crypto.dir/shamir.cpp.o.d"
+  "CMakeFiles/dla_crypto.dir/threshold_schnorr.cpp.o"
+  "CMakeFiles/dla_crypto.dir/threshold_schnorr.cpp.o.d"
+  "libdla_crypto.a"
+  "libdla_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dla_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

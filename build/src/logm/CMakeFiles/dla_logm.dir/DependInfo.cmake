@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logm/record.cpp" "src/logm/CMakeFiles/dla_logm.dir/record.cpp.o" "gcc" "src/logm/CMakeFiles/dla_logm.dir/record.cpp.o.d"
+  "/root/repo/src/logm/store.cpp" "src/logm/CMakeFiles/dla_logm.dir/store.cpp.o" "gcc" "src/logm/CMakeFiles/dla_logm.dir/store.cpp.o.d"
+  "/root/repo/src/logm/value.cpp" "src/logm/CMakeFiles/dla_logm.dir/value.cpp.o" "gcc" "src/logm/CMakeFiles/dla_logm.dir/value.cpp.o.d"
+  "/root/repo/src/logm/wal.cpp" "src/logm/CMakeFiles/dla_logm.dir/wal.cpp.o" "gcc" "src/logm/CMakeFiles/dla_logm.dir/wal.cpp.o.d"
+  "/root/repo/src/logm/workload.cpp" "src/logm/CMakeFiles/dla_logm.dir/workload.cpp.o" "gcc" "src/logm/CMakeFiles/dla_logm.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dla_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dla_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/dla_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

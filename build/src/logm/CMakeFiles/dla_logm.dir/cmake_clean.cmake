@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dla_logm.dir/record.cpp.o"
+  "CMakeFiles/dla_logm.dir/record.cpp.o.d"
+  "CMakeFiles/dla_logm.dir/store.cpp.o"
+  "CMakeFiles/dla_logm.dir/store.cpp.o.d"
+  "CMakeFiles/dla_logm.dir/value.cpp.o"
+  "CMakeFiles/dla_logm.dir/value.cpp.o.d"
+  "CMakeFiles/dla_logm.dir/wal.cpp.o"
+  "CMakeFiles/dla_logm.dir/wal.cpp.o.d"
+  "CMakeFiles/dla_logm.dir/workload.cpp.o"
+  "CMakeFiles/dla_logm.dir/workload.cpp.o.d"
+  "libdla_logm.a"
+  "libdla_logm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dla_logm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

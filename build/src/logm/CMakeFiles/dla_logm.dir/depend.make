@@ -1,0 +1,2 @@
+# Empty dependencies file for dla_logm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dla_net.dir/bytes.cpp.o"
+  "CMakeFiles/dla_net.dir/bytes.cpp.o.d"
+  "CMakeFiles/dla_net.dir/sim.cpp.o"
+  "CMakeFiles/dla_net.dir/sim.cpp.o.d"
+  "libdla_net.a"
+  "libdla_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dla_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

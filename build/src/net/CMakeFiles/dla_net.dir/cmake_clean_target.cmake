@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdla_net.a"
+)

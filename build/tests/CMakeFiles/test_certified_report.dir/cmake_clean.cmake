@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_certified_report.dir/certified_report_test.cpp.o"
+  "CMakeFiles/test_certified_report.dir/certified_report_test.cpp.o.d"
+  "test_certified_report"
+  "test_certified_report.pdb"
+  "test_certified_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_certified_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

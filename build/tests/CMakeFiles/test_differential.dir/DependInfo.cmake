@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/differential_test.cpp" "tests/CMakeFiles/test_differential.dir/differential_test.cpp.o" "gcc" "tests/CMakeFiles/test_differential.dir/differential_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bignum/CMakeFiles/dla_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dla_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dla_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/logm/CMakeFiles/dla_logm.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/dla_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dla_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evidence.dir/evidence_test.cpp.o"
+  "CMakeFiles/test_evidence.dir/evidence_test.cpp.o.d"
+  "test_evidence"
+  "test_evidence.pdb"
+  "test_evidence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

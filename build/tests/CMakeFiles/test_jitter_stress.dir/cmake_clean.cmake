@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jitter_stress.dir/jitter_stress_test.cpp.o"
+  "CMakeFiles/test_jitter_stress.dir/jitter_stress_test.cpp.o.d"
+  "test_jitter_stress"
+  "test_jitter_stress.pdb"
+  "test_jitter_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jitter_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

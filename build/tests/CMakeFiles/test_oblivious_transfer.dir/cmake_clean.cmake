@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oblivious_transfer.dir/oblivious_transfer_test.cpp.o"
+  "CMakeFiles/test_oblivious_transfer.dir/oblivious_transfer_test.cpp.o.d"
+  "test_oblivious_transfer"
+  "test_oblivious_transfer.pdb"
+  "test_oblivious_transfer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oblivious_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pohlig_hellman.dir/pohlig_hellman_test.cpp.o"
+  "CMakeFiles/test_pohlig_hellman.dir/pohlig_hellman_test.cpp.o.d"
+  "test_pohlig_hellman"
+  "test_pohlig_hellman.pdb"
+  "test_pohlig_hellman[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pohlig_hellman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

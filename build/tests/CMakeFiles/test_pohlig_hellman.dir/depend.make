@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pohlig_hellman.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prime.dir/prime_test.cpp.o"
+  "CMakeFiles/test_prime.dir/prime_test.cpp.o.d"
+  "test_prime"
+  "test_prime.pdb"
+  "test_prime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_record.dir/record_test.cpp.o"
+  "CMakeFiles/test_record.dir/record_test.cpp.o.d"
+  "test_record"
+  "test_record.pdb"
+  "test_record[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scalar_product.dir/scalar_product_test.cpp.o"
+  "CMakeFiles/test_scalar_product.dir/scalar_product_test.cpp.o.d"
+  "test_scalar_product"
+  "test_scalar_product.pdb"
+  "test_scalar_product[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scalar_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

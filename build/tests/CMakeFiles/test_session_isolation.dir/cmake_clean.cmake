@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_session_isolation.dir/session_isolation_test.cpp.o"
+  "CMakeFiles/test_session_isolation.dir/session_isolation_test.cpp.o.d"
+  "test_session_isolation"
+  "test_session_isolation.pdb"
+  "test_session_isolation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_session_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

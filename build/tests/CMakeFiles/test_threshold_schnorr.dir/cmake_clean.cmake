@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threshold_schnorr.dir/threshold_schnorr_test.cpp.o"
+  "CMakeFiles/test_threshold_schnorr.dir/threshold_schnorr_test.cpp.o.d"
+  "test_threshold_schnorr"
+  "test_threshold_schnorr.pdb"
+  "test_threshold_schnorr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threshold_schnorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

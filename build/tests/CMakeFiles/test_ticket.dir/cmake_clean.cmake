@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ticket.dir/ticket_test.cpp.o"
+  "CMakeFiles/test_ticket.dir/ticket_test.cpp.o.d"
+  "test_ticket"
+  "test_ticket.pdb"
+  "test_ticket[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ticket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transaction_audit.dir/transaction_audit_test.cpp.o"
+  "CMakeFiles/test_transaction_audit.dir/transaction_audit_test.cpp.o.d"
+  "test_transaction_audit"
+  "test_transaction_audit.pdb"
+  "test_transaction_audit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transaction_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

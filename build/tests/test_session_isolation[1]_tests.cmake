@@ -1,0 +1,3 @@
+add_test([=[SessionIsolation.MixedProtocolsInterleaveCorrectly]=]  /root/repo/build/tests/test_session_isolation [==[--gtest_filter=SessionIsolation.MixedProtocolsInterleaveCorrectly]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[SessionIsolation.MixedProtocolsInterleaveCorrectly]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_session_isolation_TESTS SessionIsolation.MixedProtocolsInterleaveCorrectly)
