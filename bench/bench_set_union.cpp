@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "audit/cluster.hpp"
+#include "audit/metrics.hpp"
 #include "crypto/pohlig_hellman.hpp"
 #include "logm/workload.hpp"
 
@@ -45,6 +46,7 @@ void BM_SecureSetUnion(benchmark::State& state) {
       };
   audit::SessionId session = 1;
   cluster.sim().reset_stats();
+  audit::reset_crypto_op_counters();
   for (auto _ : state) {
     for (std::size_t i = 0; i < n; ++i) {
       std::vector<bn::BigUInt> elements;
@@ -72,6 +74,15 @@ void BM_SecureSetUnion(benchmark::State& state) {
   state.counters["msgs/op"] = benchmark::Counter(
       static_cast<double>(cluster.sim().stats().messages_sent),
       benchmark::Counter::kAvgIterations);
+  audit::CryptoOpCounters ops = audit::crypto_op_counters();
+  state.counters["modexp/op"] = benchmark::Counter(
+      static_cast<double>(ops.modexp_count), benchmark::Counter::kAvgIterations);
+  state.counters["batches/op"] = benchmark::Counter(
+      static_cast<double>(ops.modexp_batch_count),
+      benchmark::Counter::kAvgIterations);
+  state.counters["elem/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * n * size),
+      benchmark::Counter::kIsRate);
 }
 
 }  // namespace
@@ -82,6 +93,7 @@ BENCHMARK(BM_SecureSetUnion)
     ->Args({3, 16, 50})
     ->Args({3, 16, 100})
     ->Args({3, 64, 50})
+    ->Args({3, 1024, 50})
     ->Args({5, 32, 50})
     ->Args({9, 32, 50});
 

@@ -478,9 +478,16 @@ void DlaNode::handle_set_start(net::Simulator& sim, const net::Message& msg) {
     // Missing staged input contributes the empty set (drains intersections,
     // neutral for unions) rather than stalling the ring.
   }
-  std::size_t my_pos = 0;
+  std::size_t my_pos = spec.participants.size();
   for (std::size_t i = 0; i < spec.participants.size(); ++i) {
     if (spec.participants[i] == id()) my_pos = i;
+  }
+  if (my_pos == spec.participants.size()) {
+    // A kSetStart naming this node as ring member without listing it in
+    // participants is malformed: drop it rather than joining at a fabricated
+    // position 0 (which would double-encrypt someone else's slot).
+    ++set_ring_rejects_;
+    return;
   }
   ring_encrypt_and_forward(sim, spec, static_cast<std::uint32_t>(my_pos), 0,
                            std::move(elements));
@@ -491,13 +498,19 @@ void DlaNode::ring_encrypt_and_forward(net::Simulator& sim,
                                        std::uint32_t origin,
                                        std::uint32_t hops,
                                        std::vector<bn::BigUInt> elements) {
-  crypto::PhKey& key = session_key(spec.session);
-  for (auto& e : elements) e = key.encrypt(e);
-  ++hops;
-  std::size_t my_pos = 0;
+  // Position check BEFORE any crypto: a node absent from participants must
+  // not encrypt (and thus alter) a circulating set it has no slot in.
+  std::size_t my_pos = spec.participants.size();
   for (std::size_t i = 0; i < spec.participants.size(); ++i) {
     if (spec.participants[i] == id()) my_pos = i;
   }
+  if (my_pos == spec.participants.size()) {
+    ++set_ring_rejects_;
+    return;
+  }
+  crypto::PhKey& key = session_key(spec.session);
+  key.encrypt_batch(elements);
+  ++hops;
   if (hops == spec.participants.size()) {
     net::Writer w;
     spec.encode(w);
@@ -581,7 +594,7 @@ void DlaNode::handle_set_decrypt(net::Simulator& sim,
   std::uint32_t hops = r.u32();
   std::vector<bn::BigUInt> elements = decode_elements(r);
   crypto::PhKey& key = session_key(spec.session);
-  for (auto& e : elements) e = key.decrypt(e);
+  key.decrypt_batch(elements);
   session_keys_.erase(spec.session);  // this session's key is spent
   set_inputs_.erase(spec.session);
   ++hops;

@@ -65,6 +65,11 @@ class DlaNode : public net::Node {
   const std::map<logm::Glsn, bn::BigUInt>& deposits() const {
     return deposits_;
   }
+  // Ring-pass messages dropped because this node was not listed in the
+  // spec's participants (a malformed or misrouted kSetStart/kSetRing).
+  // Joining the ring at a fabricated position would corrupt the protocol —
+  // such messages are rejected, and this counter is the audit trail.
+  std::uint64_t set_ring_rejects() const { return set_ring_rejects_; }
 
   // --- protocol driver API ----------------------------------------------
   // Stage this node's private input for a protocol session, then have the
@@ -333,6 +338,7 @@ class DlaNode : public net::Node {
     std::map<std::uint32_t, std::vector<bn::BigUInt>> full_sets;
   };
   std::map<SessionId, SetCollect> set_collect_;
+  std::uint64_t set_ring_rejects_ = 0;
 
   std::map<SessionId, bn::BigUInt> sum_inputs_;
   struct SumState {

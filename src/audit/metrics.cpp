@@ -1,5 +1,7 @@
 #include "audit/metrics.hpp"
 
+#include "crypto/modexp_engine.hpp"
+
 namespace dla::audit {
 
 double store_confidentiality(const logm::LogRecord& record,
@@ -24,6 +26,8 @@ double auditing_confidentiality(const std::vector<Subquery>& subqueries) {
     s += stats.atomic;
     if (!sq.local()) t += stats.atomic;
   }
+  // s + q == 0 only for an empty subquery list; Eq. 11 is undefined there
+  // and a no-op criterion audits nothing (see header).
   if (s + q == 0) return 0.0;
   return static_cast<double>(t + q) / static_cast<double>(s + q);
 }
@@ -59,5 +63,12 @@ std::vector<Subquery> normalize(std::string_view criterion,
   Expr nf = push_negations(ast);
   return classify(to_conjunctive(nf), partition);
 }
+
+CryptoOpCounters crypto_op_counters() {
+  crypto::ModExpStats stats = crypto::modexp_stats();
+  return CryptoOpCounters{stats.modexp_count, stats.modexp_batch_count};
+}
+
+void reset_crypto_op_counters() { crypto::reset_modexp_stats(); }
 
 }  // namespace dla::audit

@@ -11,6 +11,7 @@
 // predicates, q = conjuncts.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "audit/query.hpp"
@@ -27,6 +28,10 @@ double store_confidentiality(const logm::LogRecord& record,
 // Eq. 11, computed on the normalized (negation-free, conjunctive) form.
 // A subquery's predicates count as cross (towards t) when the subquery
 // spans more than one DLA node.
+// An empty subquery list (a degenerate/unparseable criterion) yields 0.0:
+// Eq. 11 is undefined at s + q = 0, and a no-op query reveals nothing, so
+// it must not score as confidential auditing work. Guarded against the
+// division by zero a naive (t+q)/(s+q) would hit.
 double auditing_confidentiality(const std::vector<Subquery>& subqueries);
 
 // Eq. 12.
@@ -45,5 +50,19 @@ double dla_confidentiality(
 std::vector<Subquery> normalize(std::string_view criterion,
                                 const logm::Schema& schema,
                                 const logm::AttributePartition& partition);
+
+// ---- crypto cost counters ------------------------------------------------
+// Process-wide modular-exponentiation counters (the dominant cost of the
+// confidential protocols), re-exported from the crypto layer so audit-level
+// drivers and benchmarks can report protocol cost without reaching into
+// crypto internals. modexp_count counts individual exponentiations across
+// all engines; modexp_batch_count counts pow_batch dispatches (ring-pass
+// hops, bulk decrypts).
+struct CryptoOpCounters {
+  std::uint64_t modexp_count = 0;
+  std::uint64_t modexp_batch_count = 0;
+};
+CryptoOpCounters crypto_op_counters();
+void reset_crypto_op_counters();
 
 }  // namespace dla::audit

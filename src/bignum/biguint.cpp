@@ -90,6 +90,13 @@ BigUInt BigUInt::from_bytes(const std::vector<std::uint8_t>& bytes) {
   return out;
 }
 
+BigUInt BigUInt::from_limbs(std::vector<std::uint64_t> limbs) {
+  BigUInt out;
+  out.limbs_ = std::move(limbs);
+  out.trim();
+  return out;
+}
+
 std::string BigUInt::to_hex() const {
   if (is_zero()) return "0";
   static const char* digits = "0123456789abcdef";

@@ -46,6 +46,9 @@ class BigUInt {
   static BigUInt from_decimal(std::string_view dec);
   // Deserialises a big-endian byte string (inverse of to_bytes).
   static BigUInt from_bytes(const std::vector<std::uint8_t>& bytes);
+  // Adopts a little-endian limb vector (trailing zero limbs allowed; they
+  // are trimmed). The fast path out of Montgomery form — no re-parsing.
+  static BigUInt from_limbs(std::vector<std::uint64_t> limbs);
 
   // Lower-case hex, no leading zeros ("0" for zero).
   std::string to_hex() const;

@@ -1,5 +1,6 @@
 #include "bignum/montgomery.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dla::bn {
@@ -18,18 +19,18 @@ u64 neg_inverse_64(u64 m) {
   return ~inv + 1;  // -(m^-1)
 }
 
-// a >= b over fixed-width limb vectors.
-bool geq(const std::vector<u64>& a, const std::vector<u64>& b) {
-  for (std::size_t i = a.size(); i-- > 0;) {
+// a >= b over fixed-width limb buffers.
+bool geq_raw(const u64* a, const u64* b, std::size_t n) {
+  for (std::size_t i = n; i-- > 0;) {
     if (a[i] != b[i]) return a[i] > b[i];
   }
   return true;
 }
 
 // a -= b (no underflow allowed).
-void sub_in_place(std::vector<u64>& a, const std::vector<u64>& b) {
+void sub_raw(u64* a, const u64* b, std::size_t n) {
   u64 borrow = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     u128 rhs = static_cast<u128>(b[i]) + borrow;
     if (static_cast<u128>(a[i]) >= rhs) {
       a[i] = static_cast<u64>(static_cast<u128>(a[i]) - rhs);
@@ -62,67 +63,125 @@ MontgomeryContext::MontgomeryContext(BigUInt modulus)
   one_mont_.resize(n_limbs_, 0);
 }
 
-MontgomeryContext::Limbs MontgomeryContext::redc(
-    std::vector<u64> t) const {
-  t.resize(2 * n_limbs_ + 1, 0);
-  for (std::size_t i = 0; i < n_limbs_; ++i) {
-    u64 m = t[i] * n_prime_;
-    // t += m * mod << (64 * i)
+void MontgomeryContext::mont_mul_raw(const u64* a, const u64* b, u64* out,
+                                     u64* t) const {
+  const std::size_t n = n_limbs_;
+  const u64* mod = mod_limbs_.data();
+  // Schoolbook product into t (2n limbs + carry guard limb) ...
+  std::fill_n(t, 2 * n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
     u64 carry = 0;
-    for (std::size_t j = 0; j < n_limbs_; ++j) {
-      u128 cur = static_cast<u128>(t[i + j]) +
-                 static_cast<u128>(m) * mod_limbs_[j] + carry;
+    u128 ai = a[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      u128 cur = static_cast<u128>(t[i + j]) + ai * b[j] + carry;
       t[i + j] = static_cast<u64>(cur);
       carry = static_cast<u64>(cur >> 64);
     }
-    // Propagate the carry.
-    for (std::size_t j = i + n_limbs_; carry != 0 && j < t.size(); ++j) {
+    t[i + n] = carry;
+  }
+  redc_finish(t, out);
+}
+
+void MontgomeryContext::mont_sqr_raw(const u64* a, u64* out, u64* t) const {
+  const std::size_t n = n_limbs_;
+  // Cross terms a[i]*a[j] for i < j, computed once ...
+  std::fill_n(t, 2 * n + 1, 0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    u64 carry = 0;
+    u128 ai = a[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      u128 cur = static_cast<u128>(t[i + j]) + ai * a[j] + carry;
+      t[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    t[i + n] = carry;
+  }
+  // ... doubled (a^2 < R^2, so the top bit never shifts out of limb 2n-1) ...
+  u64 bit = 0;
+  for (std::size_t k = 0; k < 2 * n; ++k) {
+    u64 next = t[k] >> 63;
+    t[k] = (t[k] << 1) | bit;
+    bit = next;
+  }
+  // ... plus the diagonal a[i]^2 terms.
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    u128 sq = static_cast<u128>(a[i]) * a[i];
+    u128 lo = static_cast<u128>(t[2 * i]) + static_cast<u64>(sq) + carry;
+    t[2 * i] = static_cast<u64>(lo);
+    u128 hi = static_cast<u128>(t[2 * i + 1]) + static_cast<u64>(sq >> 64) +
+              static_cast<u64>(lo >> 64);
+    t[2 * i + 1] = static_cast<u64>(hi);
+    carry = static_cast<u64>(hi >> 64);
+  }
+  redc_finish(t, out);
+}
+
+void MontgomeryContext::redc_finish(u64* t, u64* out) const {
+  const std::size_t n = n_limbs_;
+  const u64* mod = mod_limbs_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    u64 m = t[i] * n_prime_;
+    u64 carry = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      u128 cur = static_cast<u128>(t[i + j]) +
+                 static_cast<u128>(m) * mod[j] + carry;
+      t[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    for (std::size_t j = i + n; carry != 0 && j < 2 * n + 1; ++j) {
       u128 cur = static_cast<u128>(t[j]) + carry;
       t[j] = static_cast<u64>(cur);
       carry = static_cast<u64>(cur >> 64);
     }
   }
-  Limbs out(t.begin() + static_cast<std::ptrdiff_t>(n_limbs_),
-            t.begin() + static_cast<std::ptrdiff_t>(2 * n_limbs_));
-  bool overflow = t[2 * n_limbs_] != 0;
-  if (overflow || geq(out, mod_limbs_)) sub_in_place(out, mod_limbs_);
-  return out;
+  const bool overflow = t[2 * n] != 0;
+  std::copy(t + n, t + 2 * n, out);
+  if (overflow || geq_raw(out, mod, n)) sub_raw(out, mod, n);
+}
+
+void MontgomeryContext::to_mont_raw(const BigUInt& v, u64* out,
+                                    u64* scratch) const {
+  if (v < modulus_) {
+    const Limbs& limbs = v.limbs();
+    std::size_t have = std::min(limbs.size(), n_limbs_);
+    std::copy_n(limbs.data(), have, out);
+    std::fill(out + have, out + n_limbs_, 0);
+  } else {
+    BigUInt reduced = v % modulus_;
+    const Limbs& limbs = reduced.limbs();
+    std::copy_n(limbs.data(), limbs.size(), out);
+    std::fill(out + limbs.size(), out + n_limbs_, 0);
+  }
+  mont_mul_raw(out, r2_.data(), out, scratch);
+}
+
+void MontgomeryContext::redc_raw(const u64* v, u64* out, u64* t) const {
+  std::copy_n(v, n_limbs_, t);
+  std::fill(t + n_limbs_, t + 2 * n_limbs_ + 1, 0);
+  redc_finish(t, out);
 }
 
 MontgomeryContext::Limbs MontgomeryContext::mont_mul(const Limbs& a,
                                                      const Limbs& b) const {
-  // Schoolbook product into 2n limbs, then REDC.
-  std::vector<u64> t(2 * n_limbs_, 0);
-  for (std::size_t i = 0; i < n_limbs_; ++i) {
-    u64 carry = 0;
-    u128 ai = a[i];
-    for (std::size_t j = 0; j < n_limbs_; ++j) {
-      u128 cur = static_cast<u128>(t[i + j]) + ai * b[j] + carry;
-      t[i + j] = static_cast<u64>(cur);
-      carry = static_cast<u64>(cur >> 64);
-    }
-    t[i + n_limbs_] = carry;
-  }
-  return redc(std::move(t));
+  Limbs out(n_limbs_);
+  std::vector<u64> scratch(scratch_limbs());
+  mont_mul_raw(a.data(), b.data(), out.data(), scratch.data());
+  return out;
 }
 
 MontgomeryContext::Limbs MontgomeryContext::to_mont(const BigUInt& v) const {
-  BigUInt reduced = v % modulus_;
-  Limbs limbs = reduced.limbs();
-  limbs.resize(n_limbs_, 0);
-  return mont_mul(limbs, r2_);
+  Limbs out(n_limbs_);
+  std::vector<u64> scratch(scratch_limbs());
+  to_mont_raw(v, out.data(), scratch.data());
+  return out;
 }
 
 BigUInt MontgomeryContext::from_mont(const Limbs& v) const {
-  std::vector<u64> t(v.begin(), v.end());
-  Limbs reduced = redc(std::move(t));
-  // Build a BigUInt from the limb vector via bytes of each limb.
-  BigUInt out;
-  for (std::size_t i = reduced.size(); i-- > 0;) {
-    out <<= 64;
-    out += BigUInt(reduced[i]);
-  }
-  return out;
+  Limbs out(n_limbs_);
+  std::vector<u64> scratch(scratch_limbs());
+  redc_raw(v.data(), out.data(), scratch.data());
+  return BigUInt::from_limbs(std::move(out));
 }
 
 BigUInt MontgomeryContext::mulmod(const BigUInt& a, const BigUInt& b) const {
@@ -131,30 +190,35 @@ BigUInt MontgomeryContext::mulmod(const BigUInt& a, const BigUInt& b) const {
 
 BigUInt MontgomeryContext::pow(const BigUInt& base,
                                const BigUInt& exponent) const {
-  if (modulus_ == BigUInt(1)) return BigUInt{};
   if (exponent.is_zero()) return BigUInt(1) % modulus_;
 
-  // Precompute base^0..base^15 in Montgomery form (4-bit fixed window).
-  std::vector<Limbs> table(16);
-  table[0] = one_mont_;
-  table[1] = to_mont(base);
+  const std::size_t n = n_limbs_;
+  // One flat workspace: 16-entry window table + accumulator + REDC scratch.
+  std::vector<u64> ws(16 * n + n + scratch_limbs());
+  u64* table = ws.data();           // base^0 .. base^15, Montgomery form
+  u64* acc = table + 16 * n;
+  u64* scratch = acc + n;
+
+  std::copy_n(one_mont_.data(), n, table);
+  Limbs base_m = to_mont(base);
+  std::copy_n(base_m.data(), n, table + n);
   for (std::size_t i = 2; i < 16; ++i) {
-    table[i] = mont_mul(table[i - 1], table[1]);
+    mont_mul_raw(table + (i - 1) * n, table + n, table + i * n, scratch);
   }
 
-  std::size_t bits = exponent.bit_length();
-  std::size_t windows = (bits + 3) / 4;
-  Limbs acc = one_mont_;
+  const std::size_t bits = exponent.bit_length();
+  const std::size_t windows = (bits + 3) / 4;
+  std::copy_n(one_mont_.data(), n, acc);
   for (std::size_t w = windows; w-- > 0;) {
-    for (int s = 0; s < 4; ++s) acc = mont_mul(acc, acc);
+    for (int s = 0; s < 4; ++s) mont_sqr_raw(acc, acc, scratch);
     std::size_t nibble = 0;
     for (int b = 3; b >= 0; --b) {
       std::size_t bit_index = w * 4 + static_cast<std::size_t>(b);
       nibble = (nibble << 1) | (exponent.bit(bit_index) ? 1u : 0u);
     }
-    if (nibble != 0) acc = mont_mul(acc, table[nibble]);
+    if (nibble != 0) mont_mul_raw(acc, table + nibble * n, acc, scratch);
   }
-  return from_mont(acc);
+  return from_mont(Limbs(acc, acc + n));
 }
 
 }  // namespace dla::bn

@@ -5,7 +5,10 @@
 // threshold-Schnorr prime). MontgomeryContext precomputes the Montgomery
 // parameters for such a modulus once and provides:
 //   * REDC-based modular multiplication without division,
-//   * a fixed 4-bit-window exponentiation.
+//   * a fixed 4-bit-window exponentiation,
+//   * a raw limb-form API (mont_mul_raw + to_mont/from_mont) that lets
+//     callers run long multiply chains with zero heap allocation — the
+//     substrate of crypto::ModExpEngine's batched fixed-exponent kernel.
 // BigUInt::modexp remains the generic (odd or even modulus) path;
 // MontgomeryContext::pow is the fast path used by the crypto layer when the
 // modulus is odd — 2-4x faster at the 256-512 bit sizes used here (see
@@ -21,10 +24,15 @@ namespace dla::bn {
 
 class MontgomeryContext {
  public:
+  // Fixed-width little-endian limb vector of limb_count() limbs, value < m,
+  // in Montgomery form (v * R mod m).
+  using Limbs = std::vector<std::uint64_t>;
+
   // modulus must be odd and >= 3; throws std::invalid_argument otherwise.
   explicit MontgomeryContext(BigUInt modulus);
 
   const BigUInt& modulus() const { return modulus_; }
+  std::size_t limb_count() const { return n_limbs_; }
 
   // (a * b) mod m via Montgomery REDC. Inputs must be < m.
   BigUInt mulmod(const BigUInt& a, const BigUInt& b) const;
@@ -33,16 +41,38 @@ class MontgomeryContext {
   // base may be >= m (reduced first).
   BigUInt pow(const BigUInt& base, const BigUInt& exponent) const;
 
- private:
-  // Limb-level helpers operating on fixed-width little-endian vectors of
-  // n_limbs_ limbs (values < m).
-  using Limbs = std::vector<std::uint64_t>;
+  // --- raw limb-form API (crypto::ModExpEngine fast path) -----------------
+  // All raw entry points operate on limb_count()-limb buffers holding
+  // Montgomery-form values < m. None of them allocates.
 
-  Limbs to_mont(const BigUInt& v) const;      // v * R mod m
-  BigUInt from_mont(const Limbs& v) const;    // v * R^-1 mod m
-  // t (2n limbs, t < m*R) -> t * R^-1 mod m (n limbs).
-  Limbs redc(std::vector<std::uint64_t> t) const;
+  Limbs to_mont(const BigUInt& v) const;    // v * R mod m (reduces v first)
+  BigUInt from_mont(const Limbs& v) const;  // v * R^-1 mod m
+  // The Montgomery representation of 1 (R mod m).
+  const Limbs& mont_one() const { return one_mont_; }
+  // Limbs a scratch buffer passed to mont_mul_raw must hold.
+  std::size_t scratch_limbs() const { return 2 * n_limbs_ + 1; }
+  // out = a * b * R^-1 mod m. `out` may alias `a` or `b`; `scratch` must
+  // hold scratch_limbs() limbs and must not alias the operands.
+  void mont_mul_raw(const std::uint64_t* a, const std::uint64_t* b,
+                    std::uint64_t* out, std::uint64_t* scratch) const;
+  // out = a^2 * R^-1 mod m: the cross terms are computed once and doubled,
+  // ~35% fewer limb multiplies than mont_mul_raw(a, a, ...). Exponentiation
+  // is squaring-dominated, so this is the kernel's hottest path.
+  void mont_sqr_raw(const std::uint64_t* a, std::uint64_t* out,
+                    std::uint64_t* scratch) const;
+  // Writes v * R mod m into `out` (to_mont without the vector return).
+  // `out` must not alias `scratch`.
+  void to_mont_raw(const BigUInt& v, std::uint64_t* out,
+                   std::uint64_t* scratch) const;
+  // out = v * R^-1 mod m by straight REDC — from_mont without the dummy
+  // multiply by 1. `out` may alias `v`.
+  void redc_raw(const std::uint64_t* v, std::uint64_t* out,
+                std::uint64_t* scratch) const;
+
+ private:
   Limbs mont_mul(const Limbs& a, const Limbs& b) const;
+  // REDC + final conditional subtract over the 2n+1-limb product in t.
+  void redc_finish(std::uint64_t* t, std::uint64_t* out) const;
 
   BigUInt modulus_;
   std::size_t n_limbs_ = 0;

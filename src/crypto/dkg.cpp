@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "bignum/montgomery.hpp"
+#include "crypto/modexp_engine.hpp"
 #include "crypto/pohlig_hellman.hpp"
 #include "crypto/shamir.hpp"
 
@@ -19,7 +20,7 @@ DkgGroup DkgGroup::fixed256() {
 FeldmanDealing feldman_deal(const DkgGroup& group, const bn::BigUInt& secret,
                             std::size_t k, std::size_t n, ChaCha20Rng& rng) {
   if (k == 0 || k > n) throw std::invalid_argument("feldman_deal: bad k");
-  bn::MontgomeryContext mont(group.p);
+  auto g_engine = FixedBaseEngine::shared(group.g, group.p);
   ShamirField field(group.q);
 
   // Polynomial coefficients: a_0 = secret, a_1..a_{k-1} random.
@@ -32,7 +33,7 @@ FeldmanDealing feldman_deal(const DkgGroup& group, const bn::BigUInt& secret,
   FeldmanDealing out;
   out.commitments.reserve(k);
   for (const auto& a : coeffs) {
-    out.commitments.push_back(mont.pow(group.g, a));
+    out.commitments.push_back(g_engine->pow(a));
   }
   out.shares.reserve(n);
   for (std::size_t j = 1; j <= n; ++j) {
@@ -58,10 +59,12 @@ bool feldman_verify(const DkgGroup& group,
   bn::BigUInt power(1);  // index^t mod q
   bn::BigUInt x(index);
   for (const auto& commitment : commitments) {
+    // Commitments vary per dealing — the generic windowed path; only the
+    // fixed generator g gets a comb table.
     rhs = mont.mulmod(rhs, mont.pow(commitment, power));
     power = field.mul(power, x);
   }
-  return mont.pow(group.g, share % group.q) == rhs;
+  return FixedBaseEngine::shared(group.g, group.p)->pow(share % group.q) == rhs;
 }
 
 bn::BigUInt dkg_combine_shares(const DkgGroup& group,

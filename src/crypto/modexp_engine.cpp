@@ -1,0 +1,333 @@
+#include "crypto/modexp_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace dla::crypto {
+
+namespace {
+
+using u64 = std::uint64_t;
+
+std::atomic<std::uint64_t> g_modexp_count{0};
+std::atomic<std::uint64_t> g_modexp_batch_count{0};
+std::atomic<std::size_t> g_thread_override{0};  // 0 = auto
+std::atomic<bool> g_batching_enabled{true};
+
+// Elements below which a batch is not worth fanning out: a chunk must
+// amortize the enqueue/wake handshake over enough ~10-60us exponentiations.
+constexpr std::size_t kMinChunkElements = 16;
+
+std::size_t auto_thread_count() {
+  if (const char* env = std::getenv("DLA_MODEXP_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  std::size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, 8);
+}
+
+// A lazily-started pool of detached-on-shutdown workers shared by every
+// engine in the process. parallel_for blocks the calling thread until all
+// chunks finish, so actor handlers that batch stay run-to-completion.
+class WorkerPool {
+ public:
+  static WorkerPool& instance() {
+    static WorkerPool pool;
+    return pool;
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  void parallel_for(std::size_t count, std::size_t max_chunks,
+                    const std::function<void(std::size_t, std::size_t)>& body) {
+    std::size_t chunks =
+        std::min(max_chunks, std::max<std::size_t>(count / kMinChunkElements, 1));
+    if (chunks <= 1) {
+      body(0, count);
+      return;
+    }
+    ensure_workers(chunks - 1);
+
+    struct Join {
+      std::mutex mu;
+      std::condition_variable done;
+      std::size_t remaining;
+      std::exception_ptr error;
+    } join{.mu = {}, .done = {}, .remaining = chunks - 1, .error = nullptr};
+
+    const std::size_t per = count / chunks;
+    const std::size_t extra = count % chunks;
+    auto bounds = [&](std::size_t c) {
+      std::size_t begin = c * per + std::min(c, extra);
+      std::size_t len = per + (c < extra ? 1 : 0);
+      return std::pair<std::size_t, std::size_t>(begin, len);
+    };
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t c = 1; c < chunks; ++c) {
+        auto [begin, len] = bounds(c);
+        tasks_.push_back([&join, &body, begin, len] {
+          try {
+            body(begin, len);
+          } catch (...) {
+            std::lock_guard<std::mutex> jl(join.mu);
+            if (!join.error) join.error = std::current_exception();
+          }
+          {
+            std::lock_guard<std::mutex> jl(join.mu);
+            --join.remaining;
+          }
+          join.done.notify_one();
+        });
+      }
+    }
+    cv_.notify_all();
+    auto [begin0, len0] = bounds(0);
+    body(begin0, len0);  // the caller works too
+    std::unique_lock<std::mutex> jl(join.mu);
+    join.done.wait(jl, [&] { return join.remaining == 0; });
+    if (join.error) std::rethrow_exception(join.error);
+  }
+
+ private:
+  void ensure_workers(std::size_t wanted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (workers_.size() < wanted) {
+      workers_.emplace_back([this] { worker_main(); });
+    }
+  }
+
+  void worker_main() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+        if (stop_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+ModExpStats modexp_stats() {
+  return ModExpStats{g_modexp_count.load(std::memory_order_relaxed),
+                     g_modexp_batch_count.load(std::memory_order_relaxed)};
+}
+
+void reset_modexp_stats() {
+  g_modexp_count.store(0, std::memory_order_relaxed);
+  g_modexp_batch_count.store(0, std::memory_order_relaxed);
+}
+
+void ModExpEngine::set_batch_threads(std::size_t n) {
+  g_thread_override.store(n, std::memory_order_relaxed);
+}
+
+std::size_t ModExpEngine::batch_threads() {
+  std::size_t override = g_thread_override.load(std::memory_order_relaxed);
+  if (override != 0) return override;
+  static const std::size_t auto_count = auto_thread_count();
+  return auto_count;
+}
+
+void ModExpEngine::set_batching_enabled(bool enabled) {
+  g_batching_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool ModExpEngine::batching_enabled() {
+  return g_batching_enabled.load(std::memory_order_relaxed);
+}
+
+ModExpEngine::ModExpEngine(std::shared_ptr<const bn::MontgomeryContext> ctx,
+                           bn::BigUInt exponent)
+    : ctx_(std::move(ctx)), exponent_(std::move(exponent)) {
+  if (!ctx_) throw std::invalid_argument("ModExpEngine: null context");
+  const std::size_t bits = exponent_.bit_length();
+  window_bits_ = bits >= 384 ? 5 : bits >= 32 ? 4 : bits >= 8 ? 3 : 2;
+  table_entries_ = std::size_t{1} << (window_bits_ - 1);
+
+  // Compile the sliding-window schedule once: scan MSB->LSB, emitting one
+  // (squarings, odd-window) op per window and folding zero runs into the
+  // next op's squaring count.
+  std::size_t i = bits;  // 1-based cursor over bit indices
+  std::uint32_t pending = 0;
+  while (i > 0) {
+    if (!exponent_.bit(i - 1)) {
+      ++pending;
+      --i;
+      continue;
+    }
+    std::size_t low = i >= window_bits_ ? i - window_bits_ : 0;  // window floor
+    while (!exponent_.bit(low)) ++low;                           // keep it odd
+    std::uint32_t value = 0;
+    for (std::size_t b = i; b-- > low;) {
+      value = static_cast<std::uint32_t>((value << 1) |
+                                         (exponent_.bit(b) ? 1u : 0u));
+    }
+    ops_.push_back(WindowOp{pending + static_cast<std::uint32_t>(i - low),
+                            (value - 1) / 2});
+    pending = 0;
+    i = low;
+  }
+  tail_squarings_ = pending;
+}
+
+void ModExpEngine::pow_run(bn::BigUInt* first, std::size_t count) const {
+  const bn::MontgomeryContext& ctx = *ctx_;
+  const std::size_t n = ctx.limb_count();
+  if (ops_.empty()) {
+    // exponent == 0
+    for (std::size_t k = 0; k < count; ++k) {
+      first[k] = bn::BigUInt(1) % ctx.modulus();
+    }
+    return;
+  }
+  // One flat workspace per run, reused across all `count` elements:
+  // odd-power table | base^2 | accumulator | REDC scratch.
+  std::vector<u64> ws(table_entries_ * n + 2 * n + ctx.scratch_limbs());
+  u64* table = ws.data();
+  u64* base2 = table + table_entries_ * n;
+  u64* acc = base2 + n;
+  u64* scratch = acc + n;
+
+  for (std::size_t k = 0; k < count; ++k) {
+    ctx.to_mont_raw(first[k], table, scratch);  // base^1
+    if (table_entries_ > 1) {
+      ctx.mont_sqr_raw(table, base2, scratch);  // base^2
+      for (std::size_t t = 1; t < table_entries_; ++t) {
+        ctx.mont_mul_raw(table + (t - 1) * n, base2, table + t * n, scratch);
+      }
+    }
+    // First window lands on an accumulator of 1: skip its squarings.
+    std::copy_n(table + ops_[0].table_index * n, n, acc);
+    for (std::size_t op = 1; op < ops_.size(); ++op) {
+      for (std::uint32_t s = 0; s < ops_[op].squarings; ++s) {
+        ctx.mont_sqr_raw(acc, acc, scratch);
+      }
+      ctx.mont_mul_raw(acc, table + ops_[op].table_index * n, acc, scratch);
+    }
+    for (std::uint32_t s = 0; s < tail_squarings_; ++s) {
+      ctx.mont_sqr_raw(acc, acc, scratch);
+    }
+    ctx.redc_raw(acc, acc, scratch);
+    first[k] = bn::BigUInt::from_limbs(
+        bn::MontgomeryContext::Limbs(acc, acc + n));
+  }
+}
+
+bn::BigUInt ModExpEngine::pow(const bn::BigUInt& base) const {
+  g_modexp_count.fetch_add(1, std::memory_order_relaxed);
+  bn::BigUInt out = base;
+  pow_run(&out, 1);
+  return out;
+}
+
+void ModExpEngine::pow_batch(std::span<bn::BigUInt> bases) const {
+  if (bases.empty()) return;
+  g_modexp_count.fetch_add(bases.size(), std::memory_order_relaxed);
+  if (!batching_enabled()) {
+    pow_run(bases.data(), bases.size());
+    return;
+  }
+  g_modexp_batch_count.fetch_add(1, std::memory_order_relaxed);
+  WorkerPool::instance().parallel_for(
+      bases.size(), batch_threads(),
+      [this, &bases](std::size_t begin, std::size_t len) {
+        pow_run(bases.data() + begin, len);
+      });
+}
+
+// ======================================================== fixed base =======
+
+FixedBaseEngine::FixedBaseEngine(
+    std::shared_ptr<const bn::MontgomeryContext> ctx, const bn::BigUInt& base,
+    std::size_t max_exponent_bits)
+    : ctx_(std::move(ctx)), base_(base), max_bits_(max_exponent_bits) {
+  if (!ctx_) throw std::invalid_argument("FixedBaseEngine: null context");
+  const std::size_t n = ctx_->limb_count();
+  windows_ = (max_bits_ + 1) / 2;
+  table_.resize(3 * windows_ * n);
+  std::vector<u64> scratch(ctx_->scratch_limbs());
+  bn::MontgomeryContext::Limbs cur = ctx_->to_mont(base_);
+  for (std::size_t w = 0; w < windows_; ++w) {
+    u64* slot = table_.data() + 3 * w * n;
+    std::copy_n(cur.data(), n, slot);                        // base^(1<<2w)
+    ctx_->mont_sqr_raw(slot, slot + n, scratch.data());                // ^2
+    ctx_->mont_mul_raw(slot + n, slot, slot + 2 * n, scratch.data());  // ^3
+    ctx_->mont_sqr_raw(slot + n, cur.data(), scratch.data());          // ^4
+  }
+}
+
+bn::BigUInt FixedBaseEngine::pow(const bn::BigUInt& exponent) const {
+  if (exponent.bit_length() > max_bits_) {
+    // Outside the comb's range (callers normally reduce exponents mod the
+    // group order first): correctness over speed.
+    g_modexp_count.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->pow(base_, exponent);
+  }
+  g_modexp_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t n = ctx_->limb_count();
+  std::vector<u64> ws(n + ctx_->scratch_limbs());
+  u64* acc = ws.data();
+  u64* scratch = acc + n;
+  std::copy_n(ctx_->mont_one().data(), n, acc);
+  const std::size_t bits = exponent.bit_length();
+  for (std::size_t w = 0; 2 * w < bits; ++w) {
+    std::uint32_t v = (exponent.bit(2 * w) ? 1u : 0u) |
+                      (exponent.bit(2 * w + 1) ? 2u : 0u);
+    if (v != 0) {
+      ctx_->mont_mul_raw(acc, table_.data() + (3 * w + v - 1) * n, acc,
+                         scratch);
+    }
+  }
+  return ctx_->from_mont(bn::MontgomeryContext::Limbs(acc, acc + n));
+}
+
+std::shared_ptr<const FixedBaseEngine> FixedBaseEngine::shared(
+    const bn::BigUInt& base, const bn::BigUInt& modulus) {
+  static std::mutex mu;
+  static std::map<std::pair<std::string, std::string>,
+                  std::shared_ptr<const FixedBaseEngine>>
+      cache;
+  std::pair<std::string, std::string> key{base.to_hex(), modulus.to_hex()};
+  std::lock_guard<std::mutex> lock(mu);
+  if (auto it = cache.find(key); it != cache.end()) return it->second;
+  auto engine = std::make_shared<const FixedBaseEngine>(
+      std::make_shared<bn::MontgomeryContext>(modulus), base,
+      modulus.bit_length());
+  if (cache.size() >= 16) cache.clear();  // tiny workloads; coarse eviction
+  cache.emplace(std::move(key), engine);
+  return engine;
+}
+
+}  // namespace dla::crypto

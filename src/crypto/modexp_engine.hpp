@@ -1,0 +1,128 @@
+// Batched fixed-exponent / fixed-base modular exponentiation engines.
+//
+// Every hot protocol loop in this repository raises many values to the SAME
+// exponent over the SAME modulus — one Pohlig-Hellman ring hop encrypts the
+// whole circulating set with one session key (Figure 4), an RSA signer
+// always uses its private exponent d, threshold-Schnorr signers exponentiate
+// the fixed generator g. A naive modexp re-derives the exponent's window
+// structure and re-allocates its Montgomery temporaries for every element.
+//
+// ModExpEngine amortizes the exponent-invariant work once per key/session:
+//   * the exponent's sliding-window multiplication schedule is compiled at
+//     construction and replayed for every base (odd-power windows skip zero
+//     runs — fewer multiplies than a fixed window);
+//   * per-base odd-power tables and all REDC temporaries live in one flat,
+//     reused workspace — the hot loop performs zero heap allocations;
+//   * pow_batch() fans independent elements across a small internal thread
+//     pool (sized by set_batch_threads / DLA_MODEXP_THREADS, default = the
+//     hardware concurrency capped at 8). Callers block until the batch is
+//     done, so actor handlers stay run-to-completion; parallelism is only
+//     across elements and results are bit-identical to the serial path.
+//
+// FixedBaseEngine is the transpose: a 2-bit comb table of base powers built
+// once per (base, modulus), after which each exponentiation is multiplies
+// only (no squarings) — the g^k / g^s / y^c shapes of Schnorr and Feldman.
+//
+// Global modexp_count / modexp_batch_count counters (surfaced through
+// audit/metrics) make the per-protocol exponentiation budget observable in
+// benchmarks and tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bignum/biguint.hpp"
+#include "bignum/montgomery.hpp"
+
+namespace dla::crypto {
+
+// Snapshot of the process-wide exponentiation counters.
+struct ModExpStats {
+  std::uint64_t modexp_count = 0;        // individual exponentiations
+  std::uint64_t modexp_batch_count = 0;  // pow_batch invocations
+};
+ModExpStats modexp_stats();
+void reset_modexp_stats();
+
+// Fixed exponent, varying base: C_i = base_i ^ e mod m.
+class ModExpEngine {
+ public:
+  // ctx must outlive the engine (shared ownership); compiling the window
+  // schedule is cheap (a bit scan — no multiplications).
+  ModExpEngine(std::shared_ptr<const bn::MontgomeryContext> ctx,
+               bn::BigUInt exponent);
+
+  const bn::BigUInt& exponent() const { return exponent_; }
+  const bn::MontgomeryContext& context() const { return *ctx_; }
+
+  // base ^ exponent mod m (base may be >= m; reduced first).
+  bn::BigUInt pow(const bn::BigUInt& base) const;
+
+  // In-place batch: bases[i] <- bases[i] ^ exponent mod m. Splits across
+  // the internal pool when the batch is large enough and batching is
+  // enabled; otherwise runs element-wise on the calling thread. Either way
+  // the results are identical.
+  void pow_batch(std::span<bn::BigUInt> bases) const;
+
+  // --- batching knobs (process-wide) -------------------------------------
+  // Worker threads for pow_batch. 0 = auto (hardware concurrency, capped
+  // at 8; overridable via the DLA_MODEXP_THREADS environment variable).
+  static void set_batch_threads(std::size_t n);
+  static std::size_t batch_threads();
+  // Differential-testing switch: with batching disabled pow_batch degrades
+  // to a serial element-wise loop (and does not count towards
+  // modexp_batch_count).
+  static void set_batching_enabled(bool enabled);
+  static bool batching_enabled();
+
+ private:
+  // One sliding-window step: square `squarings` times, then multiply by
+  // odd-power table entry `table_index` (base^(2*table_index+1)).
+  struct WindowOp {
+    std::uint32_t squarings = 0;
+    std::uint32_t table_index = 0;
+  };
+
+  // Exponentiates `count` bases starting at `first` using one reused
+  // workspace (the per-thread unit of pow_batch).
+  void pow_run(bn::BigUInt* first, std::size_t count) const;
+
+  std::shared_ptr<const bn::MontgomeryContext> ctx_;
+  bn::BigUInt exponent_;
+  std::vector<WindowOp> ops_;       // MSB-first schedule
+  std::uint32_t tail_squarings_ = 0;  // trailing zero bits of the exponent
+  std::size_t window_bits_ = 0;
+  std::size_t table_entries_ = 0;   // odd powers: 2^(window_bits-1)
+};
+
+// Fixed base, varying exponent: C_i = base ^ e_i mod m, via a 2-bit comb
+// table over exponents of up to max_exponent_bits bits (larger exponents
+// fall back to the generic windowed path).
+class FixedBaseEngine {
+ public:
+  FixedBaseEngine(std::shared_ptr<const bn::MontgomeryContext> ctx,
+                  const bn::BigUInt& base, std::size_t max_exponent_bits);
+
+  const bn::MontgomeryContext& context() const { return *ctx_; }
+
+  bn::BigUInt pow(const bn::BigUInt& exponent) const;
+
+  // Process-wide cache keyed by (base, modulus): threshold-Schnorr and DKG
+  // call sites share one comb table per generator/public key instead of
+  // rebuilding per message. Bounded (small LRU); thread-safe.
+  static std::shared_ptr<const FixedBaseEngine> shared(
+      const bn::BigUInt& base, const bn::BigUInt& modulus);
+
+ private:
+  std::shared_ptr<const bn::MontgomeryContext> ctx_;
+  bn::BigUInt base_;
+  std::size_t max_bits_ = 0;
+  std::size_t windows_ = 0;
+  // table_[3 * w + (v - 1)] = base^(v << (2w)) in Montgomery form, v in 1..3,
+  // stored as consecutive limb_count()-limb slices of one flat vector.
+  std::vector<std::uint64_t> table_;
+};
+
+}  // namespace dla::crypto

@@ -23,7 +23,9 @@ PhKey::PhKey(bn::BigUInt p, bn::BigUInt e, bn::BigUInt d)
     : p_(std::move(p)),
       e_(std::move(e)),
       d_(std::move(d)),
-      mont_(std::make_shared<bn::MontgomeryContext>(p_)) {}
+      mont_(std::make_shared<bn::MontgomeryContext>(p_)),
+      enc_engine_(std::make_shared<const ModExpEngine>(mont_, e_)),
+      dec_engine_(std::make_shared<const ModExpEngine>(mont_, d_)) {}
 
 PhKey PhKey::generate(const PhDomain& domain, ChaCha20Rng& rng) {
   const bn::BigUInt p_minus_1 = domain.p - bn::BigUInt(1);
@@ -38,13 +40,31 @@ PhKey PhKey::generate(const PhDomain& domain, ChaCha20Rng& rng) {
 bn::BigUInt PhKey::encrypt(const bn::BigUInt& m) const {
   if (m.is_zero() || m >= p_)
     throw std::invalid_argument("PhKey::encrypt: plaintext outside [1, p-1]");
-  return mont_->pow(m, e_);
+  return enc_engine_->pow(m);
 }
 
 bn::BigUInt PhKey::decrypt(const bn::BigUInt& c) const {
   if (c.is_zero() || c >= p_)
     throw std::invalid_argument("PhKey::decrypt: ciphertext outside [1, p-1]");
-  return mont_->pow(c, d_);
+  return dec_engine_->pow(c);
+}
+
+void PhKey::encrypt_batch(std::span<bn::BigUInt> elements) const {
+  for (const auto& m : elements) {
+    if (m.is_zero() || m >= p_)
+      throw std::invalid_argument(
+          "PhKey::encrypt_batch: plaintext outside [1, p-1]");
+  }
+  enc_engine_->pow_batch(elements);
+}
+
+void PhKey::decrypt_batch(std::span<bn::BigUInt> elements) const {
+  for (const auto& c : elements) {
+    if (c.is_zero() || c >= p_)
+      throw std::invalid_argument(
+          "PhKey::decrypt_batch: ciphertext outside [1, p-1]");
+  }
+  dec_engine_->pow_batch(elements);
 }
 
 bn::BigUInt encode_element(const PhDomain& domain, std::string_view data) {

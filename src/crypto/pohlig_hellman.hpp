@@ -15,9 +15,11 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "bignum/biguint.hpp"
 #include "bignum/montgomery.hpp"
+#include "crypto/modexp_engine.hpp"
 #include "crypto/rng.hpp"
 
 namespace dla::crypto {
@@ -46,6 +48,14 @@ class PhKey {
   // M = C^d mod p.
   bn::BigUInt decrypt(const bn::BigUInt& c) const;
 
+  // In-place batch forms: elements[i] <- elements[i]^e (resp. ^d) mod p.
+  // Every element is range-checked up front — on a bad element the call
+  // throws before anything is modified. Large batches fan out across the
+  // ModExpEngine worker pool; results are identical to the element-wise
+  // loop either way (the set ring-pass relies on this).
+  void encrypt_batch(std::span<bn::BigUInt> elements) const;
+  void decrypt_batch(std::span<bn::BigUInt> elements) const;
+
  private:
   PhKey(bn::BigUInt p, bn::BigUInt e, bn::BigUInt d);
 
@@ -53,8 +63,11 @@ class PhKey {
   bn::BigUInt e_;
   bn::BigUInt d_;
   // Montgomery fast path for the (odd, prime) modulus; shared so copies of
-  // a key reuse the precomputation.
+  // a key reuse the precomputation. The engines carry the compiled window
+  // schedules for the fixed exponents e and d.
   std::shared_ptr<const bn::MontgomeryContext> mont_;
+  std::shared_ptr<const ModExpEngine> enc_engine_;
+  std::shared_ptr<const ModExpEngine> dec_engine_;
 };
 
 // Deterministically maps arbitrary bytes into [1, p-1] by iterated SHA-256,

@@ -27,7 +27,8 @@ bool RsaPublicKey::verify(std::string_view message,
 RsaKeyPair::RsaKeyPair(RsaPublicKey pub, bn::BigUInt d)
     : pub_(std::move(pub)),
       d_(std::move(d)),
-      mont_(std::make_shared<bn::MontgomeryContext>(pub_.n)) {}
+      mont_(std::make_shared<bn::MontgomeryContext>(pub_.n)),
+      d_engine_(std::make_shared<const ModExpEngine>(mont_, d_)) {}
 
 RsaKeyPair RsaKeyPair::generate(ChaCha20Rng& rng, std::size_t bits) {
   const bn::BigUInt e(65537);
@@ -61,7 +62,7 @@ bn::BigUInt RsaKeyPair::sign(std::string_view message) const {
 bn::BigUInt RsaKeyPair::apply_private(const bn::BigUInt& c) const {
   if (c >= pub_.n)
     throw std::invalid_argument("RsaKeyPair::apply_private: input >= n");
-  return mont_->pow(c, d_);
+  return d_engine_->pow(c);
 }
 
 BlindingResult blind(const RsaPublicKey& pub, std::string_view message,

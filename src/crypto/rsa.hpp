@@ -20,6 +20,7 @@
 
 #include "bignum/biguint.hpp"
 #include "bignum/montgomery.hpp"
+#include "crypto/modexp_engine.hpp"
 #include "crypto/rng.hpp"
 #include "crypto/sha256.hpp"
 
@@ -53,8 +54,11 @@ class RsaKeyPair {
 
   RsaPublicKey pub_;
   bn::BigUInt d_;
-  // Montgomery fast path for the long private exponent (n is odd).
+  // Montgomery fast path for the long private exponent (n is odd). The
+  // engine carries d's compiled window schedule — the private exponent is
+  // fixed for the keypair's lifetime, so blind-signing many tokens reuses it.
   std::shared_ptr<const bn::MontgomeryContext> mont_;
+  std::shared_ptr<const ModExpEngine> d_engine_;
 };
 
 // Maps a message to its RSA signing representative: SHA-256 digest reduced

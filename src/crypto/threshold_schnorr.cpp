@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "bignum/prime.hpp"
+#include "crypto/modexp_engine.hpp"
 #include "crypto/pohlig_hellman.hpp"
 #include "crypto/shamir.hpp"
 #include "crypto/sha256.hpp"
@@ -36,7 +37,7 @@ Dealing deal_threshold_key(ChaCha20Rng& rng, std::size_t k, std::size_t n,
   out.params.g = find_generator(out.params.p, rng);
 
   bn::BigUInt x = bn::BigUInt::random_below(rng, out.params.q);
-  out.params.y = bn::BigUInt::modexp(out.params.g, x, out.params.p);
+  out.params.y = FixedBaseEngine::shared(out.params.g, out.params.p)->pow(x);
 
   ShamirField field(out.params.q);
   std::vector<bn::BigUInt> xs;
@@ -55,7 +56,9 @@ Dealing deal_threshold_key(ChaCha20Rng& rng, std::size_t k, std::size_t n,
 NoncePair make_nonce(const ThresholdParams& params, ChaCha20Rng& rng) {
   NoncePair pair;
   pair.k = bn::BigUInt::random_below(rng, params.q);
-  pair.r = bn::BigUInt::modexp(params.g, pair.k, params.p);
+  // g is fixed per key: the shared comb table turns every nonce commitment
+  // into multiplies only.
+  pair.r = FixedBaseEngine::shared(params.g, params.p)->pow(pair.k);
   return pair;
 }
 
@@ -121,9 +124,9 @@ bool verify_threshold(const ThresholdParams& params, std::string_view message,
                       const ThresholdSignature& sig) {
   if (sig.r.is_zero() || sig.r >= params.p || sig.s >= params.q) return false;
   bn::BigUInt c = challenge(params, sig.r, message);
-  bn::BigUInt lhs = bn::BigUInt::modexp(params.g, sig.s, params.p);
+  bn::BigUInt lhs = FixedBaseEngine::shared(params.g, params.p)->pow(sig.s);
   bn::BigUInt rhs = bn::BigUInt::mulmod(
-      sig.r, bn::BigUInt::modexp(params.y, c, params.p), params.p);
+      sig.r, FixedBaseEngine::shared(params.y, params.p)->pow(c), params.p);
   return lhs == rhs;
 }
 

@@ -71,7 +71,26 @@ TEST(Metrics, AuditingConfidentialityMixed) {
 }
 
 TEST(Metrics, AuditingConfidentialityEmpty) {
+  // Eq. 11 is undefined at s + q = 0; an empty subquery list must score 0.0
+  // (a no-op criterion audits nothing) and, regression: must not divide by
+  // zero. Exercised via both the literal empty list and an empty vector
+  // lvalue (distinct call paths before the guard existed).
   EXPECT_DOUBLE_EQ(auditing_confidentiality({}), 0.0);
+  std::vector<Subquery> none;
+  EXPECT_DOUBLE_EQ(auditing_confidentiality(none), 0.0);
+  // And the composite metrics built on top stay finite/zero as well.
+  auto records = logm::paper_table1_records();
+  EXPECT_DOUBLE_EQ(
+      query_confidentiality(none, records[0], schema(), partition()), 0.0);
+  EXPECT_DOUBLE_EQ(
+      dla_confidentiality({none}, records, schema(), partition()), 0.0);
+}
+
+TEST(Metrics, CryptoOpCountersRoundTrip) {
+  reset_crypto_op_counters();
+  CryptoOpCounters before = crypto_op_counters();
+  EXPECT_EQ(before.modexp_count, 0u);
+  EXPECT_EQ(before.modexp_batch_count, 0u);
 }
 
 TEST(Metrics, QueryConfidentialityIsProduct) {

@@ -5,8 +5,10 @@
 #include <optional>
 
 #include "audit/cluster.hpp"
+#include "crypto/modexp_engine.hpp"
 #include "crypto/pohlig_hellman.hpp"
 #include "logm/workload.hpp"
+#include "net/bytes.hpp"
 
 namespace dla::audit {
 namespace {
@@ -156,6 +158,90 @@ TEST_F(ProtocolFixture, SetIntersectionAllFourNodes) {
   ASSERT_EQ(result->size(), 1u);
   EXPECT_EQ((*result)[0],
             crypto::encode_element(cluster.config()->ph_domain, "common"));
+}
+
+TEST_F(ProtocolFixture, SetRingResultIdenticalWithBatchingOnAndOff) {
+  // Differential: the same protocol run (same seed, same inputs) must
+  // produce bit-identical results whether batch fan-out is enabled or not.
+  auto run_once = [](bool batching) {
+    crypto::ModExpEngine::set_batching_enabled(batching);
+    crypto::ModExpEngine::set_batch_threads(batching ? 4 : 0);
+    Cluster c(Cluster::Options{logm::paper_schema(), 4, 1,
+                               logm::paper_partition(), /*seed=*/42,
+                               /*auditor_users=*/true});
+    auto encode = [&](const std::vector<std::string>& items) {
+      std::vector<bn::BigUInt> out;
+      for (const auto& s : items) {
+        out.push_back(crypto::encode_element(c.config()->ph_domain, s));
+      }
+      return out;
+    };
+    const SessionId session = 9;
+    c.dla(0).stage_set_input(session, encode({"c", "d", "e", "k"}));
+    c.dla(1).stage_set_input(session, encode({"d", "e", "f", "k"}));
+    c.dla(2).stage_set_input(session, encode({"e", "f", "g", "k"}));
+    std::vector<bn::BigUInt> result;
+    c.dla(0).on_set_result = [&](SessionId, std::vector<bn::BigUInt> e) {
+      result = std::move(e);
+    };
+    SetSpec spec;
+    spec.session = session;
+    spec.op = SetOp::Intersect;
+    spec.participants = {c.config()->dla_nodes[0], c.config()->dla_nodes[1],
+                         c.config()->dla_nodes[2]};
+    spec.collector = c.config()->dla_nodes[0];
+    spec.observers = {c.config()->dla_nodes[0]};
+    c.dla(0).start_set_protocol(c.sim(), spec);
+    c.run();
+    std::sort(result.begin(), result.end());
+    return result;
+  };
+  std::vector<bn::BigUInt> batched = run_once(true);
+  std::vector<bn::BigUInt> serial = run_once(false);
+  crypto::ModExpEngine::set_batching_enabled(true);
+  crypto::ModExpEngine::set_batch_threads(0);
+  ASSERT_EQ(batched.size(), 2u);  // {e, k}
+  EXPECT_EQ(batched, serial);
+}
+
+TEST_F(ProtocolFixture, RingMessageToNonParticipantIsDropped) {
+  // dla(3) is NOT in participants but receives a kSetRing naming it as the
+  // recipient: it must drop the message (counted in set_ring_rejects())
+  // instead of joining the ring at a fabricated position.
+  const SessionId session = 8;
+  SetSpec spec;
+  spec.session = session;
+  spec.op = SetOp::Intersect;
+  spec.participants = {cluster.config()->dla_nodes[0],
+                       cluster.config()->dla_nodes[1]};
+  spec.collector = cluster.config()->dla_nodes[0];
+  spec.observers = {cluster.config()->dla_nodes[0]};
+
+  bool got_result = false;
+  cluster.dla(0).on_set_result = [&](SessionId, std::vector<bn::BigUInt>) {
+    got_result = true;
+  };
+  net::Writer w;
+  spec.encode(w);
+  w.u32(0);  // origin
+  w.u32(1);  // hops
+  encode_elements(w, {crypto::encode_element(cluster.config()->ph_domain, "x")});
+  EXPECT_EQ(cluster.dla(3).set_ring_rejects(), 0u);
+  cluster.sim().send(cluster.config()->dla_nodes[0],
+                     cluster.config()->dla_nodes[3], kSetRing,
+                     std::move(w).take());
+  cluster.run();
+  EXPECT_EQ(cluster.dla(3).set_ring_rejects(), 1u);
+  EXPECT_FALSE(got_result);  // ring died at the invalid hop; nothing forwarded
+
+  // Same guard on kSetStart: a start sent to a non-participant is rejected.
+  net::Writer w2;
+  spec.encode(w2);
+  cluster.sim().send(cluster.config()->dla_nodes[0],
+                     cluster.config()->dla_nodes[3], kSetStart,
+                     std::move(w2).take());
+  cluster.run();
+  EXPECT_EQ(cluster.dla(3).set_ring_rejects(), 2u);
 }
 
 TEST_F(ProtocolFixture, MissingStagedInputActsAsEmptySet) {
