@@ -42,6 +42,7 @@ class Cluster {
   net::Simulator& sim() { return sim_; }
   const ConfigPtr& config() const { return cfg_; }
   std::size_t dla_count() const { return dla_nodes_.size(); }
+  std::size_t user_count() const { return user_nodes_.size(); }
 
   DlaNode& dla(std::size_t i) { return *dla_nodes_.at(i); }
   TtpNode& ttp() { return *ttp_; }

@@ -239,7 +239,29 @@ void DlaNode::handle_glsn_request(net::Simulator& sim,
     send_payload(sim, id(), msg.src, kGlsnReply, std::move(w));
     return;
   }
+  // At-least-once dedup: a duplicated request must not consume a second
+  // sequence number. In flight -> drop (the original reply is coming);
+  // already served -> replay the remembered reply.
+  const std::pair<net::NodeId, std::uint64_t> journal_key{msg.src, reqid};
+  if (auto jit = glsn_request_journal_.find(journal_key);
+      jit != glsn_request_journal_.end()) {
+    ++replay_drops_;
+    if (jit->second.done) {
+      net::Writer w;
+      w.u64(reqid);
+      w.u64(jit->second.glsn);
+      w.u32(0);
+      send_payload(sim, id(), msg.src, kGlsnReply, std::move(w));
+    }
+    return;
+  }
   std::uint64_t gid = (static_cast<std::uint64_t>(id()) << 40) | next_gid_++;
+  glsn_request_journal_[journal_key] = GlsnServed{gid, 0, false};
+  glsn_request_order_.push_back(journal_key);
+  if (glsn_request_order_.size() > 4096) {
+    glsn_request_journal_.erase(glsn_request_order_.front());
+    glsn_request_order_.pop_front();
+  }
   PendingGlsn pending;
   pending.user = msg.src;
   pending.user_reqid = reqid;
@@ -261,6 +283,23 @@ void DlaNode::handle_glsn_forward(net::Simulator& sim,
   std::uint64_t reqid = r.u64();
   r.u32();  // user id (carried for diagnostics; reply goes via gateway)
   net::NodeId gateway = r.u32();
+
+  // At-least-once dedup: a round is already open (drop the duplicate) or
+  // was already committed (replay the remembered reply to the gateway).
+  if (forwards_in_flight_.contains(reqid)) {
+    ++replay_drops_;
+    return;
+  }
+  if (auto jit = forward_journal_.find(reqid); jit != forward_journal_.end()) {
+    ++replay_drops_;
+    net::Writer w;
+    w.u64(reqid);
+    w.u64(jit->second);
+    w.u32(0);
+    send_payload(sim, id(), gateway, kGlsnReply, std::move(w));
+    return;
+  }
+  forwards_in_flight_.insert(reqid);
 
   // Act as leader: propose counter+1 to every replica.
   logm::Glsn proposal = std::max(glsn_counter_, last_promised_) + 1;
@@ -284,8 +323,22 @@ void DlaNode::handle_glsn_propose(net::Simulator& sim,
   net::Reader r(msg.payload);
   std::uint64_t proposal_id = r.u64();
   logm::Glsn glsn = r.u64();
-  bool accept = glsn > last_promised_;
-  if (accept) last_promised_ = glsn;
+  bool accept;
+  if (auto jit = propose_journal_.find(proposal_id);
+      jit != propose_journal_.end()) {
+    // Duplicate delivery: replay the vote already cast for this proposal.
+    accept = jit->second;
+    ++replay_drops_;
+  } else {
+    accept = glsn > last_promised_;
+    if (accept) last_promised_ = glsn;
+    propose_journal_[proposal_id] = accept;
+    propose_order_.push_back(proposal_id);
+    if (propose_order_.size() > 4096) {
+      propose_journal_.erase(propose_order_.front());
+      propose_order_.pop_front();
+    }
+  }
   net::Writer w;
   w.u64(proposal_id);
   w.boolean(accept);
@@ -301,6 +354,10 @@ void DlaNode::handle_glsn_vote(net::Simulator& sim, const net::Message& msg) {
   auto it = glsn_rounds_.find(proposal_id);
   if (it == glsn_rounds_.end() || it->second.done) return;
   GlsnRound& round = it->second;
+  if (!round.voters.insert(msg.src).second) {
+    ++replay_drops_;  // duplicate vote from the same replica
+    return;
+  }
   if (accept) {
     ++round.accepts;
   } else {
@@ -308,8 +365,14 @@ void DlaNode::handle_glsn_vote(net::Simulator& sim, const net::Message& msg) {
     round.highest_hint = std::max(round.highest_hint, hint);
   }
   if (round.accepts >= cfg_->majority()) {
-    round.done = true;
     glsn_counter_ = std::max(glsn_counter_, round.proposal);
+    forwards_in_flight_.erase(round.reqid);
+    forward_journal_[round.reqid] = round.proposal;
+    forward_order_.push_back(round.reqid);
+    if (forward_order_.size() > 4096) {
+      forward_journal_.erase(forward_order_.front());
+      forward_order_.pop_front();
+    }
     for (net::NodeId replica : cfg_->dla_nodes) {
       net::Writer w;
       w.u64(round.proposal);
@@ -320,8 +383,14 @@ void DlaNode::handle_glsn_vote(net::Simulator& sim, const net::Message& msg) {
     w.u64(round.proposal);
     w.u32(0);
     send_payload(sim, id(), round.reply_to, kGlsnReply, std::move(w));
-  } else if (round.rejects >= cfg_->majority()) {
-    // Contention: retry with a proposal above every hint we saw.
+    // Round closed: erase instead of flagging done, so a quiesced node
+    // holds no sequencing residue (late votes simply find no round).
+    glsn_rounds_.erase(it);
+  } else if (round.rejects >= cfg_->majority() ||
+             round.voters.size() >= cfg_->cluster_size()) {
+    // Contention (reject majority), or every replica answered without a
+    // majority either way (split vote under concurrent leaders): retry
+    // with a proposal above every hint we saw instead of wedging the round.
     logm::Glsn retry = std::max(round.highest_hint, round.proposal) + 1;
     net::NodeId reply_to = round.reply_to;
     std::uint64_t reqid = round.reqid;
@@ -359,6 +428,11 @@ void DlaNode::handle_glsn_reply(net::Simulator& sim, const net::Message& msg) {
   it->second.done = true;
   sim.cancel_timer(it->second.timer);
   timer_to_gid_.erase(it->second.timer);
+  if (auto jit = glsn_request_journal_.find(
+          {it->second.user, it->second.user_reqid});
+      jit != glsn_request_journal_.end()) {
+    jit->second = GlsnServed{0, glsn, true};
+  }
   net::Writer w;
   w.u64(it->second.user_reqid);
   w.u64(glsn);
@@ -375,6 +449,9 @@ void DlaNode::handle_log_fragment(net::Simulator& sim,
   Ticket ticket = Ticket::decode(r);
   bool is_replica = r.boolean();
   logm::Fragment fragment = logm::Fragment::decode(r);
+  // Trailing copy sequence number, echoed in the ack so the user can tell
+  // a duplicated ack from a distinct copy's ack (absent in old encodings).
+  std::uint32_t copy_seq = r.at_end() ? 0 : r.u32();
   bool ok = tickets_->authorizes(ticket, logm::Op::Write, sim.now());
   logm::Glsn glsn = fragment.glsn;
   if (ok) {
@@ -385,6 +462,7 @@ void DlaNode::handle_log_fragment(net::Simulator& sim,
   net::Writer w;
   w.u64(glsn);
   w.boolean(ok);
+  w.u32(copy_seq);
   send_payload(sim, id(), msg.src, kLogAck, std::move(w));
 }
 
@@ -463,6 +541,14 @@ void DlaNode::start_set_protocol(net::Simulator& sim, const SetSpec& spec) {
 void DlaNode::handle_set_start(net::Simulator& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SetSpec spec = SetSpec::decode(r);
+  // At-least-once delivery: a duplicate kSetStart would contribute this
+  // node's set twice (doubling ring traffic), and one arriving after the
+  // session's decrypt pass would resurrect an already-spent session key.
+  if (set_started_guard_.check_and_mark(spec.session) ||
+      set_spent_guard_.contains(spec.session)) {
+    ++replay_drops_;
+    return;
+  }
   // Source this node's input per the session purpose.
   std::vector<bn::BigUInt> elements;
   if (spec.purpose == SetPurpose::AclEntries) {
@@ -508,6 +594,13 @@ void DlaNode::ring_encrypt_and_forward(net::Simulator& sim,
     ++set_ring_rejects_;
     return;
   }
+  // A replayed ring hop after the decrypt pass must not regenerate the
+  // (erased) session key — that would leave key/input residue behind and
+  // emit ciphertexts nobody can strip.
+  if (set_spent_guard_.contains(spec.session)) {
+    ++replay_drops_;
+    return;
+  }
   crypto::PhKey& key = session_key(spec.session);
   key.encrypt_batch(elements);
   ++hops;
@@ -542,6 +635,13 @@ void DlaNode::handle_set_full(net::Simulator& sim, const net::Message& msg) {
   SetSpec spec = SetSpec::decode(r);
   std::uint32_t origin = r.u32();
   std::vector<bn::BigUInt> elements = decode_elements(r);
+  // A duplicate kSetFull arriving after the combine would recreate the
+  // collect entry (session residue) and, worse, kick off a second decrypt
+  // ring against already-spent keys.
+  if (set_combined_guard_.contains(spec.session)) {
+    ++replay_drops_;
+    return;
+  }
   SetCollect& collect = set_collect_[spec.session];
   collect.full_sets[origin] = std::move(elements);
   if (collect.full_sets.size() < spec.participants.size()) return;
@@ -567,19 +667,12 @@ void DlaNode::handle_set_full(net::Simulator& sim, const net::Message& msg) {
     combined = std::move(merged);
   }
   set_collect_.erase(spec.session);
+  set_combined_guard_.insert(spec.session);
 
-  if (combined.empty()) {
-    // Nothing to decrypt; deliver the empty result directly.
-    for (net::NodeId obs : spec.observers) {
-      net::Writer w;
-      w.u64(spec.session);
-      encode_elements(w, combined);
-      send_payload(sim, id(), obs, kSetResult, std::move(w));
-    }
-    return;
-  }
   // Route the combined ciphertexts through every participant to strip the
-  // commutative encryptions (order irrelevant).
+  // commutative encryptions (order irrelevant). An empty combined set still
+  // takes the decrypt ring — decrypting nothing is free, and the pass is
+  // what lets every participant retire its session key and staged input.
   net::Writer w;
   spec.encode(w);
   w.u32(0);  // hops
@@ -593,10 +686,18 @@ void DlaNode::handle_set_decrypt(net::Simulator& sim,
   SetSpec spec = SetSpec::decode(r);
   std::uint32_t hops = r.u32();
   std::vector<bn::BigUInt> elements = decode_elements(r);
-  crypto::PhKey& key = session_key(spec.session);
-  key.decrypt_batch(elements);
-  session_keys_.erase(spec.session);  // this session's key is spent
+  // Look the key up instead of lazily creating it: on a duplicate decrypt
+  // hop the key was already spent, and session_key() would mint a fresh
+  // random key that corrupts the ciphertexts (and lingers forever).
+  auto kit = session_keys_.find(spec.session);
+  if (kit == session_keys_.end()) {
+    ++replay_drops_;
+    return;
+  }
+  kit->second.decrypt_batch(elements);
+  session_keys_.erase(kit);  // this session's key is spent
   set_inputs_.erase(spec.session);
+  set_spent_guard_.insert(spec.session);
   ++hops;
   if (hops == spec.participants.size()) {
     for (net::NodeId obs : spec.observers) {
@@ -618,6 +719,10 @@ void DlaNode::handle_set_result(net::Simulator& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   std::vector<bn::BigUInt> elements = decode_elements(r);
+  if (set_result_guard_.check_and_mark(session)) {
+    ++replay_drops_;
+    return;
+  }
 
   // Internal consumers first: ACL audit and query combines.
   if (auto acl_it = acl_sessions_.find(session); acl_it != acl_sessions_.end()) {
@@ -687,6 +792,10 @@ void DlaNode::start_sum(net::Simulator& sim, const SumSpec& spec) {
 void DlaNode::handle_sum_start(net::Simulator& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SumSpec spec = SumSpec::decode(r);
+  if (sum_done_guard_.contains(spec.session)) {
+    ++replay_drops_;
+    return;
+  }
   SumState& state = sum_state_[spec.session];
   state.spec = spec;
 
@@ -721,6 +830,12 @@ void DlaNode::handle_sum_share(net::Simulator& sim, const net::Message& msg) {
   SessionId session = r.u64();
   std::uint32_t from = r.u32();
   bn::BigUInt y = r.big();
+  // A share replayed after the session finished would recreate the state
+  // entry; one replayed before is an idempotent map overwrite.
+  if (sum_done_guard_.contains(session)) {
+    ++replay_drops_;
+    return;
+  }
   SumState& state = sum_state_[session];
   state.shares_received[from] = std::move(y);
   maybe_emit_sum_eval(sim, session);
@@ -762,9 +877,21 @@ void DlaNode::handle_sum_eval(net::Simulator& sim, const net::Message& msg) {
   SumSpec spec = SumSpec::decode(r);
   bn::BigUInt x = r.big();
   bn::BigUInt y = r.big();
+  if (sum_done_guard_.contains(spec.session)) {
+    ++replay_drops_;
+    return;
+  }
   SumState& state = sum_state_[spec.session];
   if (state.reconstructed) return;
   if (state.spec.participants.empty()) state.spec = spec;
+  // Duplicate evals share the evaluation point: folding one in twice would
+  // hand Lagrange reconstruction a repeated x (division by zero).
+  for (const auto& have : state.evals) {
+    if (have.x == x) {
+      ++replay_drops_;
+      return;
+    }
+  }
   state.evals.push_back(crypto::Share{std::move(x), std::move(y)});
   if (state.evals.size() < spec.threshold_k) return;
   state.reconstructed = true;
@@ -782,6 +909,10 @@ void DlaNode::handle_sum_result(net::Simulator&, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   bn::BigUInt value = r.big();
+  if (sum_done_guard_.check_and_mark(session)) {
+    ++replay_drops_;
+    return;
+  }
   sum_state_.erase(session);
   sum_inputs_.erase(session);
   if (on_sum_result) on_sum_result(session, std::move(value));
@@ -818,6 +949,12 @@ void DlaNode::start_cmp(net::Simulator& sim, CmpSpec spec) {
 void DlaNode::handle_cmp_params(net::Simulator& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   CmpSpec spec = CmpSpec::decode(r, /*include_transform=*/true);
+  // send_transformed_value consumes the staged input, so a duplicate
+  // kCmpParams would ship w(0) to the TTP and corrupt the comparison.
+  if (cmp_sent_guard_.check_and_mark(spec.session)) {
+    ++replay_drops_;
+    return;
+  }
   send_transformed_value(sim, spec);
 }
 
@@ -851,6 +988,10 @@ void DlaNode::handle_cmp_result(net::Simulator&, const net::Message& msg) {
   SessionId session = r.u64();
   auto op = static_cast<CmpOpKind>(r.u8());
   std::uint32_t outcome = r.u32();
+  if (cmp_result_guard_.check_and_mark(session)) {
+    ++replay_drops_;
+    return;
+  }
   if (on_cmp_result) on_cmp_result(session, op, outcome);
 }
 
@@ -858,6 +999,10 @@ void DlaNode::handle_rank_result(net::Simulator&, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   std::uint32_t rank = r.u32();
+  if (cmp_result_guard_.check_and_mark(session)) {
+    ++replay_drops_;
+    return;
+  }
   if (on_rank) on_rank(session, rank);
 }
 
@@ -897,6 +1042,10 @@ void DlaNode::handle_scalar_randomness(net::Simulator& sim,
   std::vector<bn::BigUInt> r_vec = decode_elements(r);
   bn::BigUInt r_scalar = r.big();
 
+  if (scalar_done_guard_.contains(session)) {
+    ++replay_drops_;
+    return;
+  }
   ScalarState& st = scalar_state_[session];
   st.is_alice = is_alice;
   st.peer = peer;
@@ -932,6 +1081,10 @@ void DlaNode::handle_scalar_masked_a(net::Simulator& sim,
                                      const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
+  if (scalar_done_guard_.contains(session)) {
+    ++replay_drops_;
+    return;
+  }
   ScalarState& st = scalar_state_[session];
   st.pending_masked_a = decode_elements(r);
   if (st.have_randomness) scalar_bob_reply(sim, session);
@@ -960,6 +1113,7 @@ void DlaNode::scalar_bob_reply(net::Simulator& sim, SessionId session) {
   send_payload(sim, id(), st.peer, kScalarReply, std::move(w));
   scalar_state_.erase(session);
   vector_inputs_.erase(session);
+  scalar_done_guard_.insert(session);
 }
 
 void DlaNode::handle_scalar_reply(net::Simulator& sim,
@@ -987,12 +1141,17 @@ void DlaNode::handle_scalar_reply(net::Simulator& sim,
   }
   scalar_state_.erase(sit);
   vector_inputs_.erase(session);
+  scalar_done_guard_.insert(session);
 }
 
 void DlaNode::handle_scalar_result(net::Simulator&, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   bn::BigUInt value = r.big();
+  if (scalar_result_guard_.check_and_mark(session)) {
+    ++replay_drops_;
+    return;
+  }
   if (on_scalar_result) on_scalar_result(session, std::move(value));
 }
 
@@ -1032,8 +1191,13 @@ void DlaNode::handle_integrity_pass(net::Simulator& sim,
   bn::BigUInt value = r.big();
 
   if (hops == cfg_->cluster_size()) {
-    // Back at the initiator: compare against the user's deposit.
-    integrity_initiated_.erase(session);
+    // Back at the initiator: compare against the user's deposit. Only the
+    // first completed circuit counts — a duplicated pass message arriving
+    // after the erase must not re-fire the result callback.
+    if (integrity_initiated_.erase(session) == 0) {
+      ++replay_drops_;
+      return;
+    }
     auto dep = deposits_.find(glsn);
     bool ok = dep != deposits_.end() && dep->second == value;
     if (on_integrity_result) on_integrity_result(session, glsn, ok);
@@ -1400,9 +1564,14 @@ void DlaNode::run_next_task(net::Simulator& sim, QueryState& qs) {
         // Single-subquery query: fetch the result set directly.
         std::size_t owner = task.owners[0];
         if (owner == index_) {
+          // Consume the staged set like the remote kSubqueryFetch path
+          // does, or the entry outlives the query.
           auto it = result_sets_.find(task.child_rids[0]);
-          std::vector<logm::Glsn> glsns =
-              it == result_sets_.end() ? std::vector<logm::Glsn>{} : it->second;
+          std::vector<logm::Glsn> glsns;
+          if (it != result_sets_.end()) {
+            glsns = std::move(it->second);
+            result_sets_.erase(it);
+          }
           finish_query(sim, qs, std::move(glsns));
           return;
         }
@@ -1455,6 +1624,12 @@ void DlaNode::handle_subquery_exec(net::Simulator& sim,
   net::Reader r(msg.payload);
   std::uint64_t qid = r.u64();
   std::uint64_t rid = r.u64();
+  // Each task rid executes exactly once: a duplicate kSubqueryExec arriving
+  // after the result was fetched would repopulate result_sets_ forever.
+  if (task_rid_guard_.check_and_mark(rid)) {
+    ++replay_drops_;
+    return;
+  }
   std::string expr_text = r.str();
   bool count_only = !r.at_end() && r.boolean();
   Expr expr = parse(expr_text, cfg_->schema);
@@ -1476,6 +1651,12 @@ void DlaNode::handle_join_exec(net::Simulator& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t qid = r.u64();
   std::uint64_t rid = r.u64();
+  // One batch per side per rid: a replayed kJoinExec would feed the TTP a
+  // second batch for a comparison it may already have served.
+  if (task_rid_guard_.check_and_mark(rid)) {
+    ++replay_drops_;
+    return;
+  }
   std::uint8_t side = r.u8();
   std::string lhs_attr = r.str();
   auto op = static_cast<CmpOp>(r.u8());
@@ -1519,6 +1700,10 @@ void DlaNode::handle_cmp_batch_result(net::Simulator& sim,
   net::Reader r(msg.payload);
   std::uint64_t rid = r.u64();
   std::uint64_t qid = r.u64();
+  if (batch_result_guard_.check_and_mark(rid)) {
+    ++replay_drops_;
+    return;
+  }
   net::NodeId gateway = r.u32();
   auto glsns =
       r.vec<logm::Glsn>([](net::Reader& in) { return in.u64(); });
@@ -1536,6 +1721,12 @@ void DlaNode::handle_combine_exec(net::Simulator& sim,
   net::Reader r(msg.payload);
   std::uint64_t qid = r.u64();
   std::uint64_t rid = r.u64();
+  // A replayed kCombineExec finds its inputs already consumed and would
+  // overwrite the staged result with an empty merge.
+  if (task_rid_guard_.check_and_mark(rid)) {
+    ++replay_drops_;
+    return;
+  }
   bool and_op = r.boolean();
   auto input_rids =
       r.vec<std::uint64_t>([](net::Reader& in) { return in.u64(); });
@@ -1592,6 +1783,12 @@ void DlaNode::handle_combine_ready(net::Simulator& sim,
   QueryState& qs = qit->second;
   Task& task = qs.tasks[qs.next_task];
   if (task.rid != rid) return;
+  // The combine's set protocol is launched exactly once, when the LAST
+  // ready arrives; a duplicate of that last ready must not relaunch it.
+  if (pending_combines_.contains(rid)) {
+    ++replay_drops_;
+    return;
+  }
   qs.ready_pending.erase(cfg_->index_of(msg.src));
   if (!qs.ready_pending.empty()) return;
 
@@ -1658,6 +1855,12 @@ void DlaNode::handle_subquery_fetch(net::Simulator& sim,
   net::Reader r(msg.payload);
   std::uint64_t qid = r.u64();
   std::uint64_t rid = r.u64();
+  // Serve each fetch once: the first reply consumes the staged set, so a
+  // duplicate would ship an empty set that clobbers the real result.
+  if (fetch_served_guard_.check_and_mark(rid)) {
+    ++replay_drops_;
+    return;
+  }
   auto it = result_sets_.find(rid);
   std::vector<logm::Glsn> glsns =
       it == result_sets_.end() ? std::vector<logm::Glsn>{} : it->second;
@@ -1682,6 +1885,14 @@ void DlaNode::handle_subquery_data(net::Simulator& sim,
 
 void DlaNode::finish_query(net::Simulator& sim, QueryState& qs,
                            std::vector<logm::Glsn> glsns) {
+  // The deferred paths (value aggregates, threshold certification) retain
+  // the query state, so a duplicated final message could re-enter here and
+  // launch a second aggregate or signing round for the same query.
+  if (qs.finishing) {
+    ++replay_drops_;
+    return;
+  }
+  qs.finishing = true;
   sort_unique(glsns);
   if (!qs.ticket.auditor) {
     // User-scope tickets only see their own audit trail (Table 6 ACL).
@@ -1779,6 +1990,10 @@ void DlaNode::handle_dkg_start(net::Simulator& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   std::uint32_t k = r.u32();
+  if (dkg_done_guard_.contains(session)) {
+    ++replay_drops_;
+    return;
+  }
   DkgState& st = dkg_state_[session];
   st.k = k;
   if (st.dealt) return;  // duplicate start
@@ -1816,6 +2031,10 @@ void DlaNode::handle_dkg_commit(net::Simulator& sim,
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   std::uint32_t dealer = r.u32();
+  if (dkg_done_guard_.contains(session)) {
+    ++replay_drops_;
+    return;
+  }
   dkg_state_[session].commitments[dealer] = decode_elements(r);
   maybe_finish_dkg(sim, session);
 }
@@ -1824,6 +2043,10 @@ void DlaNode::handle_dkg_share(net::Simulator& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   std::uint32_t dealer = r.u32();
+  if (dkg_done_guard_.contains(session)) {
+    ++replay_drops_;
+    return;
+  }
   dkg_state_[session].shares[dealer] = r.big();
   maybe_finish_dkg(sim, session);
 }
@@ -1862,6 +2085,7 @@ void DlaNode::maybe_finish_dkg(net::Simulator& sim, SessionId session) {
         my_index, crypto::dkg_combine_shares(group, verified_shares)};
   }
   dkg_state_.erase(session);
+  dkg_done_guard_.insert(session);
   if (on_dkg_result) on_dkg_result(session, result);
 }
 
@@ -1872,6 +2096,13 @@ void DlaNode::handle_sign_request(net::Simulator& sim,
   if (!cfg_->threshold_params || !signing_share_) return;
   net::Reader r(msg.payload);
   SessionId sid = r.u64();
+  // A duplicate request must not mint a second nonce: the coordinator
+  // combined the first commitment, and signing with a different k under
+  // that R would produce an invalid signature.
+  if (sign_nonces_.contains(sid) || sign_served_guard_.contains(sid)) {
+    ++replay_drops_;
+    return;
+  }
   r.str();  // message text (the response binds only via the challenge)
   crypto::NoncePair nonce = crypto::make_nonce(*cfg_->threshold_params, rng_);
   sign_nonces_[sid] = nonce.k;
@@ -1923,8 +2154,10 @@ void DlaNode::handle_sign_challenge(net::Simulator& sim,
                                          *signing_share_, it->second, c,
                                          lambda);
   sign_nonces_.erase(it);
+  sign_served_guard_.insert(sid);
   net::Writer w;
   w.u64(sid);
+  w.u32(static_cast<std::uint32_t>(index_ + 1));
   w.big(s);
   send_payload(sim, id(), msg.src, kSignShare, std::move(w));
 }
@@ -1932,10 +2165,17 @@ void DlaNode::handle_sign_challenge(net::Simulator& sim,
 void DlaNode::handle_sign_share(net::Simulator& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId sid = r.u64();
+  std::uint32_t signer = r.u32();
   bn::BigUInt s = r.big();
   auto it = sign_state_.find(sid);
   if (it == sign_state_.end()) return;
   SignState& st = it->second;
+  // Count each signer once: a duplicated share would fill the threshold
+  // with k-1 distinct responses and combine into garbage.
+  if (!st.share_from.insert(signer).second) {
+    ++replay_drops_;
+    return;
+  }
   st.s_shares.push_back(std::move(s));
   if (st.s_shares.size() < st.signer_set.size()) return;
   crypto::ThresholdSignature sig =

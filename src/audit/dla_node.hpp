@@ -27,6 +27,7 @@
 
 #include "audit/config.hpp"
 #include "audit/query.hpp"
+#include "audit/replay_guard.hpp"
 #include "audit/ticket.hpp"
 #include "audit/wire.hpp"
 #include "crypto/dkg.hpp"
@@ -70,6 +71,54 @@ class DlaNode : public net::Node {
   // Joining the ring at a fabricated position would corrupt the protocol —
   // such messages are rejected, and this counter is the audit trail.
   std::uint64_t set_ring_rejects() const { return set_ring_rejects_; }
+  // Messages dropped because their session was already served (at-least-once
+  // duplicates recognised by the replay guards).
+  std::uint64_t replay_drops() const { return replay_drops_; }
+
+  // Transient protocol-session entries currently held by this node. A
+  // quiesced cluster (drained simulator, every protocol terminal) must
+  // report zero — the invariant explorer asserts exactly that. Durable
+  // state (fragment stores, ACL, deposits, dedup journals) is excluded.
+  std::size_t session_residue() const {
+    std::size_t total = 0;
+    for (const auto& [name, size] : session_residue_breakdown()) total += size;
+    return total;
+  }
+
+  // Same accounting, itemised by map, so a quiescence violation names the
+  // protocol that leaked instead of just a count.
+  std::vector<std::pair<const char*, std::size_t>> session_residue_breakdown()
+      const {
+    return {{"glsn_rounds", glsn_rounds_.size()},
+            {"forwards_in_flight", forwards_in_flight_.size()},
+            {"pending_glsn", pending_glsn_.size()},
+            {"timer_to_gid", timer_to_gid_.size()},
+            {"timer_to_qid", timer_to_qid_.size()},
+            {"session_keys", session_keys_.size()},
+            {"set_inputs", set_inputs_.size()},
+            {"set_collect", set_collect_.size()},
+            {"sum_state", sum_state_.size()},
+            {"sum_inputs", sum_inputs_.size()},
+            {"cmp_inputs", cmp_inputs_.size()},
+            {"vector_inputs", vector_inputs_.size()},
+            {"scalar_state", scalar_state_.size()},
+            {"integrity_initiated", integrity_initiated_.size()},
+            {"acl_sessions", acl_sessions_.size()},
+            {"queries", queries_.size()},
+            {"result_sets", result_sets_.size()},
+            {"pending_combines", pending_combines_.size()},
+            {"dkg_state", dkg_state_.size()},
+            {"sign_nonces", sign_nonces_.size()},
+            {"sign_state", sign_state_.size()}};
+  }
+
+  // Test-only fault hook: rewind the sequencer so the next assignment
+  // collides with an already-issued glsn. Used by the invariant explorer to
+  // prove the glsn-uniqueness check actually fires.
+  void debug_rewind_glsn(logm::Glsn to) {
+    glsn_counter_ = to;
+    last_promised_ = to;
+  }
 
   // --- protocol driver API ----------------------------------------------
   // Stage this node's private input for a protocol session, then have the
@@ -251,6 +300,9 @@ class DlaNode : public net::Node {
     // Watchdog: fail the query to the user if the pipeline stalls (e.g. a
     // partition swallowed a subquery task).
     std::uint64_t timeout_timer = 0;
+    // Set once the final result is being certified/aggregated; duplicate
+    // completion messages must not re-enter finish_query.
+    bool finishing = false;
   };
   // Compiles the expression tree of one subquery into tasks appended to
   // `tasks`; returns the rid holding the subquery result.
@@ -308,6 +360,7 @@ class DlaNode : public net::Node {
     logm::Glsn highest_hint = 0;
     net::NodeId reply_to = 0;   // gateway that forwarded
     std::uint64_t reqid = 0;
+    std::set<net::NodeId> voters;  // replicas counted (duplicate votes drop)
     bool done = false;
   };
   std::map<std::uint64_t, GlsnRound> glsn_rounds_;  // key: proposal id
@@ -325,6 +378,26 @@ class DlaNode : public net::Node {
   std::map<std::uint64_t, std::uint64_t> timer_to_gid_;
   std::uint64_t next_gid_ = 1;
   std::map<std::uint64_t, std::uint64_t> timer_to_qid_;
+  // At-least-once journals: a duplicated kGlsnRequest / kGlsnForward must
+  // not burn a fresh sequence number (that would shift every later glsn
+  // against a fault-free run); instead the remembered reply is replayed.
+  struct GlsnServed {
+    std::uint64_t gid = 0;     // in-flight gateway id; 0 once done
+    logm::Glsn glsn = 0;       // assigned glsn once done
+    bool done = false;
+  };
+  std::map<std::pair<net::NodeId, std::uint64_t>, GlsnServed>
+      glsn_request_journal_;                          // gateway: (user, reqid)
+  std::deque<std::pair<net::NodeId, std::uint64_t>> glsn_request_order_;
+  std::set<std::uint64_t> forwards_in_flight_;        // leader: gid -> round open
+  std::map<std::uint64_t, logm::Glsn> forward_journal_;  // leader: gid -> glsn
+  std::deque<std::uint64_t> forward_order_;
+  // Replica: proposal_id -> the vote already cast. A duplicated
+  // kGlsnPropose must re-send the original vote; re-evaluating it against
+  // last_promised_ (which the first copy raised) would emit a spurious
+  // reject and could wedge the round without a majority either way.
+  std::map<std::uint64_t, bool> propose_journal_;
+  std::deque<std::uint64_t> propose_order_;
 
   // periodic self-audit state.
   net::SimTime periodic_interval_ = 0;
@@ -339,6 +412,26 @@ class DlaNode : public net::Node {
   };
   std::map<SessionId, SetCollect> set_collect_;
   std::uint64_t set_ring_rejects_ = 0;
+  std::uint64_t replay_drops_ = 0;
+  // Duplicate-delivery guards (see replay_guard.hpp): ring sessions this
+  // node already joined / finished decrypting, collector sessions already
+  // combined, result sessions already delivered, task rids already executed,
+  // fetches already served, sign sessions already responded to, DKG sessions
+  // already finished.
+  ReplayGuard set_started_guard_;
+  ReplayGuard set_spent_guard_;
+  ReplayGuard set_combined_guard_;
+  ReplayGuard set_result_guard_;
+  ReplayGuard task_rid_guard_;
+  ReplayGuard batch_result_guard_;
+  ReplayGuard fetch_served_guard_;
+  ReplayGuard sign_served_guard_;
+  ReplayGuard dkg_done_guard_;
+  ReplayGuard sum_done_guard_;
+  ReplayGuard scalar_done_guard_;
+  ReplayGuard scalar_result_guard_;
+  ReplayGuard cmp_sent_guard_;
+  ReplayGuard cmp_result_guard_;
 
   std::map<SessionId, bn::BigUInt> sum_inputs_;
   struct SumState {
@@ -401,6 +494,7 @@ class DlaNode : public net::Node {
     std::vector<std::uint32_t> signer_set;           // 1-based indices
     std::map<std::uint32_t, bn::BigUInt> nonces;     // index -> R_i
     std::vector<bn::BigUInt> s_shares;
+    std::set<std::uint32_t> share_from;  // signer indices already counted
     bn::BigUInt c;
     bn::BigUInt r;
     bool challenged = false;

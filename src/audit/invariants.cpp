@@ -1,0 +1,139 @@
+#include "audit/invariants.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace dla::audit {
+
+std::string InvariantReport::summary() const {
+  if (violations.empty()) return "all invariants hold";
+  std::ostringstream out;
+  out << violations.size() << " violation(s):";
+  for (const auto& v : violations) out << "\n  - " << v;
+  return out.str();
+}
+
+void check_glsn_uniqueness(const std::vector<logm::Glsn>& assigned,
+                           InvariantReport& report) {
+  std::map<logm::Glsn, std::size_t> counts;
+  for (logm::Glsn g : assigned) ++counts[g];
+  for (const auto& [glsn, count] : counts) {
+    if (count > 1) {
+      report.add("glsn " + std::to_string(glsn) + " assigned " +
+                 std::to_string(count) + " times");
+    }
+  }
+}
+
+void check_glsn_monotonic(const std::vector<logm::Glsn>& assigned_in_order,
+                          InvariantReport& report) {
+  for (std::size_t i = 1; i < assigned_in_order.size(); ++i) {
+    if (assigned_in_order[i] <= assigned_in_order[i - 1]) {
+      report.add("glsn sequence not strictly increasing at request " +
+                 std::to_string(i) + ": " +
+                 std::to_string(assigned_in_order[i - 1]) + " then " +
+                 std::to_string(assigned_in_order[i]));
+    }
+  }
+}
+
+void check_session_quiescence(Cluster& cluster, InvariantReport& report) {
+  for (std::size_t i = 0; i < cluster.dla_count(); ++i) {
+    for (const auto& [map, size] : cluster.dla(i).session_residue_breakdown()) {
+      if (size != 0) {
+        report.add("DLA node " + std::to_string(i) + " holds " +
+                   std::to_string(size) + " transient " + map + " entries");
+      }
+    }
+  }
+  std::size_t ttp_residue = cluster.ttp().session_residue();
+  if (ttp_residue != 0) {
+    report.add("TTP holds " + std::to_string(ttp_residue) +
+               " transient session entries");
+  }
+  for (std::size_t i = 0; i < cluster.user_count(); ++i) {
+    std::size_t residue = cluster.user(i).pending_residue();
+    if (residue != 0) {
+      report.add("user node " + std::to_string(i) + " holds " +
+                 std::to_string(residue) + " pending request entries");
+    }
+  }
+}
+
+namespace {
+
+void check_store(const logm::FragmentStore& store, bool is_replica,
+                 std::size_t node, const ClusterConfig& cfg,
+                 InvariantReport& report) {
+  const std::size_t n = cfg.cluster_size();
+  store.for_each([&](const logm::Fragment& frag) {
+    for (const auto& [attr, value] : frag.attrs) {
+      std::size_t owner = cfg.partition.node_for(attr);
+      bool allowed;
+      if (!is_replica) {
+        allowed = owner == node;
+      } else {
+        // Replica copies travel to the next replication-1 ring successors
+        // of the owner, and never back to the owner itself.
+        std::size_t distance = (node + n - owner) % n;
+        allowed = distance > 0 && distance < cfg.replication;
+      }
+      if (!allowed) {
+        report.add("node " + std::to_string(node) + " " +
+                   (is_replica ? "replica" : "primary") +
+                   " store holds foreign column '" + attr + "' (owner " +
+                   std::to_string(owner) + ", glsn " +
+                   std::to_string(frag.glsn) + ")");
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void check_column_confidentiality(Cluster& cluster, InvariantReport& report) {
+  const ClusterConfig& cfg = *cluster.config();
+  for (std::size_t i = 0; i < cluster.dla_count(); ++i) {
+    check_store(cluster.dla(i).store(), /*is_replica=*/false, i, cfg, report);
+    check_store(cluster.dla(i).replica_store(), /*is_replica=*/true, i, cfg,
+                report);
+  }
+}
+
+void check_glsn_sets_equal(const std::string& label,
+                           std::vector<logm::Glsn> expected,
+                           std::vector<logm::Glsn> actual,
+                           InvariantReport& report) {
+  auto canon = [](std::vector<logm::Glsn>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  canon(expected);
+  canon(actual);
+  if (expected == actual) return;
+  std::vector<logm::Glsn> missing, extra;
+  std::set_difference(expected.begin(), expected.end(), actual.begin(),
+                      actual.end(), std::back_inserter(missing));
+  std::set_difference(actual.begin(), actual.end(), expected.begin(),
+                      expected.end(), std::back_inserter(extra));
+  std::ostringstream out;
+  out << label << ": glsn set diverges from oracle";
+  if (!missing.empty()) {
+    out << "; missing {";
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      out << (i ? ", " : "") << missing[i];
+    }
+    out << "}";
+  }
+  if (!extra.empty()) {
+    out << "; extra {";
+    for (std::size_t i = 0; i < extra.size(); ++i) {
+      out << (i ? ", " : "") << extra[i];
+    }
+    out << "}";
+  }
+  report.add(out.str());
+}
+
+}  // namespace dla::audit

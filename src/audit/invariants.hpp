@@ -1,0 +1,67 @@
+// Cluster-wide safety invariants for the chaos explorer (tests/chaos_*).
+//
+// Each checker appends human-readable violation strings to an
+// InvariantReport instead of asserting, so a seed sweep can collect every
+// violation a given (workload seed, chaos seed) pair produces and print them
+// next to the reproducing seed. The invariants are the properties the paper
+// claims survive message loss, duplication and reordering:
+//
+//   I1  glsn uniqueness      — the cluster never assigns a glsn twice.
+//   I2  glsn monotonicity    — sequentially-issued requests observe
+//                              strictly increasing glsns.
+//   I3  session quiescence   — once the simulator drains, no actor holds
+//                              transient protocol-session state (nothing
+//                              half-open, nothing leaked).
+//   I4  column confidentiality — each DLA node's stores only ever contain
+//                              the attribute columns the partition (plus the
+//                              replication ring) assigns to it; no node can
+//                              assemble a full record locally.
+//   I5  result equivalence   — a completed query's glsn set equals the
+//                              fault-free oracle's.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "audit/cluster.hpp"
+#include "logm/record.hpp"
+
+namespace dla::audit {
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  void add(std::string violation) {
+    violations.push_back(std::move(violation));
+  }
+  // All violations, one per line ("all invariants hold" when empty).
+  std::string summary() const;
+};
+
+// I1: every glsn in `assigned` occurs exactly once.
+void check_glsn_uniqueness(const std::vector<logm::Glsn>& assigned,
+                           InvariantReport& report);
+
+// I2: `assigned_in_order` (request-issue order) is strictly increasing.
+// Only meaningful when the workload issues requests sequentially.
+void check_glsn_monotonic(const std::vector<logm::Glsn>& assigned_in_order,
+                          InvariantReport& report);
+
+// I3: zero transient session state on every DLA node, the TTP and every
+// user node. Call after the simulator has fully drained.
+void check_session_quiescence(Cluster& cluster, InvariantReport& report);
+
+// I4: each node's primary store holds only its own partition columns, and
+// its replica store only columns owned by ring predecessors within the
+// replication window.
+void check_column_confidentiality(Cluster& cluster, InvariantReport& report);
+
+// I5: `actual` equals `expected` (both sorted+deduped internally); the
+// difference is reported element-by-element under `label`.
+void check_glsn_sets_equal(const std::string& label,
+                           std::vector<logm::Glsn> expected,
+                           std::vector<logm::Glsn> actual,
+                           InvariantReport& report);
+
+}  // namespace dla::audit

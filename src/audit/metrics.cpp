@@ -71,4 +71,10 @@ CryptoOpCounters crypto_op_counters() {
 
 void reset_crypto_op_counters() { crypto::reset_modexp_stats(); }
 
+ChaosCounters chaos_counters(const net::Simulator& sim) {
+  const net::NetworkStats& stats = sim.stats();
+  return ChaosCounters{stats.chaos_drops, stats.duplicates_injected,
+                       stats.jitter_events};
+}
+
 }  // namespace dla::audit

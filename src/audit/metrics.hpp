@@ -16,6 +16,7 @@
 
 #include "audit/query.hpp"
 #include "logm/record.hpp"
+#include "net/sim.hpp"
 
 namespace dla::audit {
 
@@ -64,5 +65,16 @@ struct CryptoOpCounters {
 };
 CryptoOpCounters crypto_op_counters();
 void reset_crypto_op_counters();
+
+// ---- chaos counters ------------------------------------------------------
+// Fault-injection counters surfaced from the network layer (net::ChaosEngine
+// via net::NetworkStats) so audit-level drivers can report how much chaos a
+// run actually absorbed alongside the protocol metrics.
+struct ChaosCounters {
+  std::uint64_t chaos_drops = 0;          // messages dropped by fault sampling
+  std::uint64_t duplicates_injected = 0;  // extra deliveries injected
+  std::uint64_t jitter_events = 0;        // deliveries given extra delay
+};
+ChaosCounters chaos_counters(const net::Simulator& sim);
 
 }  // namespace dla::audit

@@ -1,0 +1,48 @@
+// Bounded membership set for at-least-once delivery guards.
+//
+// The chaos layer (net/chaos.hpp) can duplicate any message, so every
+// handler that tears down session state on first receipt needs a way to
+// recognise a replay without remembering every id forever. ReplayGuard is a
+// FIFO-bounded set: insert() marks an id as seen, contains() answers "did we
+// already serve this?", and once the capacity is exceeded the oldest ids age
+// out. The capacity only needs to exceed the number of sessions that can be
+// in flight concurrently plus the chaos reorder horizon — 4096 is orders of
+// magnitude above both for every workload in this repository.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+
+namespace dla::audit {
+
+class ReplayGuard {
+ public:
+  explicit ReplayGuard(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  bool contains(std::uint64_t id) const { return seen_.contains(id); }
+
+  // Returns true when the id was newly inserted (first sight).
+  bool insert(std::uint64_t id) {
+    if (!seen_.insert(id).second) return false;
+    order_.push_back(id);
+    if (order_.size() > capacity_) {
+      seen_.erase(order_.front());
+      order_.pop_front();
+    }
+    return true;
+  }
+
+  // Convenience: insert-or-reject in one call. Returns true when the id was
+  // seen before (i.e. the caller should drop the message).
+  bool check_and_mark(std::uint64_t id) { return !insert(id); }
+
+  std::size_t size() const { return seen_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::set<std::uint64_t> seen_;
+  std::deque<std::uint64_t> order_;
+};
+
+}  // namespace dla::audit

@@ -40,6 +40,10 @@ void TtpNode::on_message(net::Simulator& sim, const net::Message& msg) {
 void TtpNode::handle_cmp_spec(net::Simulator& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   CmpSpec spec = CmpSpec::decode(r, /*include_transform=*/false);
+  if (cmp_served_guard_.contains(spec.session)) {
+    ++replay_drops_;
+    return;
+  }
   CmpState& state = cmp_[spec.session];
   state.spec = std::move(spec);
   state.have_spec = true;
@@ -51,6 +55,10 @@ void TtpNode::handle_cmp_value(net::Simulator& sim, const net::Message& msg) {
   SessionId session = r.u64();
   std::uint32_t index = r.u32();
   bn::BigUInt w = r.big();
+  if (cmp_served_guard_.contains(session)) {
+    ++replay_drops_;
+    return;
+  }
   cmp_[session].values[index] = std::move(w);
   maybe_finish(sim, session);
 }
@@ -80,6 +88,7 @@ void TtpNode::maybe_finish(net::Simulator& sim, SessionId session) {
                std::move(out).take());
     }
     cmp_.erase(it);
+    cmp_served_guard_.insert(session);
     return;
   }
 
@@ -116,12 +125,20 @@ void TtpNode::maybe_finish(net::Simulator& sim, SessionId session) {
     sim.send(id(), obs, kCmpResult, std::move(out).take());
   }
   cmp_.erase(it);
+  cmp_served_guard_.insert(session);
 }
 
 void TtpNode::handle_scalar_init(net::Simulator& sim,
                                  const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
+  // A duplicated init must not deal fresh randomness: if the parties mixed
+  // the two dealings (reordering can interleave them), ra + rb would no
+  // longer equal Ra.Rb and the product would be silently wrong.
+  if (scalar_init_guard_.check_and_mark(session)) {
+    ++replay_drops_;
+    return;
+  }
   net::NodeId alice = r.u32();
   net::NodeId bob = r.u32();
   std::uint32_t length = r.u32();
@@ -162,6 +179,10 @@ void TtpNode::handle_cmp_batch(net::Simulator& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t rid = r.u64();
   std::uint64_t qid = r.u64();
+  if (batch_served_guard_.contains(rid)) {
+    ++replay_drops_;
+    return;
+  }
   std::uint8_t side = r.u8();
   auto op = static_cast<CmpOp>(r.u8());
   net::NodeId result_owner = r.u32();
@@ -205,6 +226,7 @@ void TtpNode::handle_cmp_batch(net::Simulator& sim, const net::Message& msg) {
   out.vec(satisfying, [](net::Writer& w, logm::Glsn g) { w.u64(g); });
   sim.send(id(), batch.result_owner, kCmpBatchResult, std::move(out).take());
   batches_.erase(rid);
+  batch_served_guard_.insert(rid);
 }
 
 }  // namespace dla::audit

@@ -17,6 +17,7 @@
 
 #include "audit/config.hpp"
 #include "audit/query.hpp"
+#include "audit/replay_guard.hpp"
 #include "audit/wire.hpp"
 #include "crypto/rng.hpp"
 
@@ -30,6 +31,10 @@ class TtpNode : public net::Node {
   const std::string& name() const { return name_; }
   // Number of comparison sessions served (for the benches).
   std::uint64_t sessions_served() const { return sessions_served_; }
+  // Messages dropped as at-least-once duplicates of served sessions.
+  std::uint64_t replay_drops() const { return replay_drops_; }
+  // In-flight comparison/batch entries; zero once the cluster quiesces.
+  std::size_t session_residue() const { return cmp_.size() + batches_.size(); }
 
   void on_message(net::Simulator& sim, const net::Message& msg) override;
 
@@ -65,6 +70,13 @@ class TtpNode : public net::Node {
   std::map<SessionId, CmpState> cmp_;
   std::map<std::uint64_t, BatchState> batches_;
   std::uint64_t sessions_served_ = 0;
+  std::uint64_t replay_drops_ = 0;
+  // Duplicate-delivery guards: sessions/batches already served must not be
+  // resurrected by late copies, and a duplicated kScalarInit must not deal
+  // a second (conflicting) randomness pair to the parties.
+  ReplayGuard cmp_served_guard_;
+  ReplayGuard batch_served_guard_;
+  ReplayGuard scalar_init_guard_;
 };
 
 }  // namespace dla::audit

@@ -47,6 +47,9 @@ void UserNode::handle_glsn_reply(net::Simulator& sim,
     pending_logs_.erase(it);
     return;
   }
+  // Duplicate reply for a request whose fragments are already in flight:
+  // re-sending them would double every ack and deposit.
+  if (pending.glsn != 0) return;
   pending.glsn = glsn;
   glsn_to_reqid_[glsn] = reqid;
 
@@ -69,6 +72,8 @@ void UserNode::handle_glsn_reply(net::Simulator& sim,
       ticket_.encode(w);
       w.boolean(r > 0);  // is_replica
       fragments[i].encode(w);
+      // Copy sequence number, echoed in the ack for duplicate detection.
+      w.u32(static_cast<std::uint32_t>(i * copies + r));
       sim.send(id(), cfg_->dla_nodes[(i + r) % cfg_->cluster_size()],
                kLogFragment, std::move(w).take());
     }
@@ -85,16 +90,19 @@ void UserNode::handle_log_ack(net::Simulator&, const net::Message& msg) {
   net::Reader r(msg.payload);
   logm::Glsn glsn = r.u64();
   bool ok = r.boolean();
+  std::uint32_t copy_seq = r.at_end() ? 0 : r.u32();
   auto rit = glsn_to_reqid_.find(glsn);
   if (rit == glsn_to_reqid_.end()) return;
   auto it = pending_logs_.find(rit->second);
   if (it == pending_logs_.end()) return;
   PendingLog& pending = it->second;
+  if (!pending.ack_from.insert({msg.src, copy_seq}).second) {
+    return;  // duplicated ack for a copy already counted
+  }
   if (!ok) pending.failed = true;
-  ++pending.acks;
   const std::size_t expected =
       cfg_->cluster_size() * std::max<std::size_t>(1, cfg_->replication);
-  if (pending.acks < expected) return;
+  if (pending.ack_from.size() < expected) return;
   if (pending.done) {
     pending.done(pending.failed ? std::nullopt
                                 : std::optional<logm::Glsn>(glsn));
@@ -225,7 +233,7 @@ void UserNode::fetch_record(net::Simulator& sim, logm::Glsn glsn,
 void UserNode::delete_record(net::Simulator& sim, logm::Glsn glsn,
                              DeleteCallback done) {
   std::uint64_t reqid = next_reqid_++;
-  pending_deletes_[reqid] = PendingDelete{std::move(done), 0, true};
+  pending_deletes_[reqid] = PendingDelete{std::move(done), {}, true};
   for (net::NodeId node : cfg_->dla_nodes) {
     net::Writer w;
     w.u64(reqid);
@@ -243,8 +251,9 @@ void UserNode::handle_delete_reply(net::Simulator&, const net::Message& msg) {
   auto it = pending_deletes_.find(reqid);
   if (it == pending_deletes_.end()) return;
   PendingDelete& pending = it->second;
+  if (!pending.responders.insert(msg.src).second) return;  // duplicate reply
   pending.all_ok = pending.all_ok && ok;
-  if (++pending.replies < cfg_->cluster_size()) return;
+  if (pending.responders.size() < cfg_->cluster_size()) return;
   DeleteCallback done = std::move(pending.done);
   bool all_ok = pending.all_ok;
   pending_deletes_.erase(it);

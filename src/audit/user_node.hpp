@@ -11,7 +11,9 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 
 #include "audit/config.hpp"
 #include "audit/ticket.hpp"
@@ -89,6 +91,14 @@ class UserNode : public net::Node {
 
   void on_message(net::Simulator& sim, const net::Message& msg) override;
 
+  // Outstanding request-tracking entries. A drained fault-free run must
+  // leave zero behind; the invariant explorer asserts that.
+  std::size_t pending_residue() const {
+    return pending_logs_.size() + glsn_to_reqid_.size() +
+           pending_queries_.size() + pending_aggregates_.size() +
+           pending_fetches_.size() + pending_deletes_.size();
+  }
+
  private:
   void handle_glsn_reply(net::Simulator& sim, const net::Message& msg);
   void handle_log_ack(net::Simulator& sim, const net::Message& msg);
@@ -102,7 +112,9 @@ class UserNode : public net::Node {
     std::map<std::string, logm::Value> attrs;
     LogCallback done;
     logm::Glsn glsn = 0;
-    std::size_t acks = 0;
+    // Acks are counted per (node, copy_seq) so a duplicated kLogAck cannot
+    // masquerade as the ack of a copy that was actually dropped.
+    std::set<std::pair<net::NodeId, std::uint32_t>> ack_from;
     bool failed = false;
   };
 
@@ -120,7 +132,7 @@ class UserNode : public net::Node {
   std::map<std::uint64_t, FetchCallback> pending_fetches_;
   struct PendingDelete {
     DeleteCallback done;
-    std::size_t replies = 0;
+    std::set<net::NodeId> responders;  // deduped: one reply per node counts
     bool all_ok = true;
   };
   std::map<std::uint64_t, PendingDelete> pending_deletes_;

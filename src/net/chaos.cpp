@@ -1,0 +1,108 @@
+#include "net/chaos.hpp"
+
+#include <algorithm>
+
+namespace dla::net {
+
+namespace {
+
+// Uniform in [1, max] with max clamped to at least 1.
+SimTime uniform_window(dla::crypto::ChaCha20Rng& rng, SimTime max) {
+  if (max == 0) max = 1;
+  return 1 + rng.next_below(max);
+}
+
+}  // namespace
+
+ChaosEngine::ChaosEngine(std::uint64_t seed, ChaosConfig config)
+    : seed_(seed), cfg_(config), rng_(seed) {}
+
+MessageFate ChaosEngine::sample(const Message&) {
+  MessageFate fate;
+  if (cfg_.drop_prob > 0 && rng_.next_double() < cfg_.drop_prob) {
+    fate.drop = true;
+    return fate;
+  }
+  if (cfg_.jitter_prob > 0 && rng_.next_double() < cfg_.jitter_prob) {
+    fate.extra_delay += uniform_window(rng_, cfg_.jitter_max);
+  }
+  if (cfg_.reorder_prob > 0 && rng_.next_double() < cfg_.reorder_prob) {
+    fate.extra_delay += uniform_window(rng_, cfg_.reorder_window);
+  }
+  if (cfg_.dup_prob > 0 && rng_.next_double() < cfg_.dup_prob) {
+    fate.duplicate = true;
+    fate.duplicate_delay = uniform_window(rng_, cfg_.jitter_max);
+  }
+  return fate;
+}
+
+void ChaosEngine::add_outage(NodeId node, SimTime crash_at,
+                             SimTime recover_at) {
+  schedule_.push_back({crash_at, OpKind::Crash, node, {}});
+  if (recover_at > crash_at) {
+    schedule_.push_back({recover_at, OpKind::Recover, node, {}});
+  }
+  schedule_sorted_ = false;
+}
+
+void ChaosEngine::add_partition(std::set<NodeId> side_a, SimTime start_at,
+                                SimTime heal_at) {
+  schedule_.push_back({start_at, OpKind::Partition, 0, std::move(side_a)});
+  if (heal_at > start_at) {
+    schedule_.push_back({heal_at, OpKind::Heal, 0, {}});
+  }
+  schedule_sorted_ = false;
+}
+
+void ChaosEngine::randomize_schedule(const std::vector<NodeId>& candidates,
+                                     std::size_t outages,
+                                     std::size_t partitions, SimTime horizon,
+                                     SimTime max_window) {
+  if (candidates.empty() || horizon == 0) return;
+  for (std::size_t i = 0; i < outages; ++i) {
+    NodeId node = candidates[rng_.next_below(candidates.size())];
+    SimTime start = rng_.next_below(horizon);
+    add_outage(node, start, start + uniform_window(rng_, max_window));
+  }
+  if (candidates.size() < 2) return;
+  for (std::size_t i = 0; i < partitions; ++i) {
+    // Choose a proper nonempty subset as side A via a bounded Fisher-Yates
+    // prefix, so both sides always contain at least one candidate.
+    std::vector<NodeId> pool = candidates;
+    std::size_t take = 1 + rng_.next_below(pool.size() - 1);
+    std::set<NodeId> side_a;
+    for (std::size_t j = 0; j < take; ++j) {
+      std::size_t pick = j + rng_.next_below(pool.size() - j);
+      std::swap(pool[j], pool[pick]);
+      side_a.insert(pool[j]);
+    }
+    SimTime start = rng_.next_below(horizon);
+    add_partition(std::move(side_a), start,
+                  start + uniform_window(rng_, max_window));
+  }
+}
+
+void ChaosEngine::sort_schedule() {
+  // Stable so that ops registered earlier win ties; the pair (at, insertion
+  // order) is a strict weak order, keeping replays exact.
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const ScheduledOp& a, const ScheduledOp& b) {
+                     return a.at < b.at;
+                   });
+  schedule_sorted_ = true;
+}
+
+void ChaosEngine::advance_to(Simulator& sim, SimTime now) {
+  if (!schedule_sorted_) sort_schedule();
+  while (next_op_ < schedule_.size() && schedule_[next_op_].at <= now) {
+    const ScheduledOp& op = schedule_[next_op_++];
+    switch (op.kind) {
+      case OpKind::Crash: sim.crash(op.node); break;
+      case OpKind::Recover: sim.recover(op.node); break;
+      case OpKind::Partition: sim.partition(op.side_a); break;
+      case OpKind::Heal: sim.heal_partition(); break;
+    }
+  }
+}
+
+}  // namespace dla::net

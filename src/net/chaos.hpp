@@ -1,0 +1,104 @@
+// Deterministic chaos-injection layer for the discrete-event simulator.
+//
+// A seeded ChaCha20 stream samples per-message faults -- drop, duplication,
+// delay jitter, bounded reordering -- and drives a pre-computed schedule of
+// node crash/recover and partition/heal windows. Every random draw happens
+// at a deterministic point of the simulation (exactly one sample() per
+// Simulator::send that survives the structural drop checks; the fault
+// schedule is generated up front), so a given (workload seed, chaos seed)
+// pair replays bit-identically: a failing explorer seed is a complete repro.
+//
+// Wire an engine into a simulator with Simulator::set_chaos(&engine) before
+// the first send. The engine is passive: the simulator asks it for a
+// MessageFate per send and tells it to apply scheduled crash/partition
+// transitions as virtual time advances.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "crypto/rng.hpp"
+#include "net/sim.hpp"
+
+namespace dla::net {
+
+struct ChaosConfig {
+  // Per-message probability of silently dropping the message (counted in
+  // NetworkStats::chaos_drops on top of messages_dropped).
+  double drop_prob = 0.0;
+  // Per-message probability of injecting a second copy (at-least-once
+  // delivery). The duplicate arrives dup_delay in [1, jitter_max] us after
+  // the original's scheduled delivery.
+  double dup_prob = 0.0;
+  // Per-message probability of extra delay, uniform in [1, jitter_max] us.
+  double jitter_prob = 0.0;
+  SimTime jitter_max = 50;
+  // Per-message probability of a bounded reorder: the message is displaced
+  // by up to reorder_window us, letting messages sent after it (on any link)
+  // overtake. Composes with jitter when both fire.
+  double reorder_prob = 0.0;
+  SimTime reorder_window = 200;
+};
+
+// What the chaos layer decided for one message.
+struct MessageFate {
+  bool drop = false;
+  SimTime extra_delay = 0;      // jitter + reorder displacement
+  bool duplicate = false;
+  SimTime duplicate_delay = 0;  // offset of the copy from the original
+};
+
+class ChaosEngine {
+ public:
+  ChaosEngine(std::uint64_t seed, ChaosConfig config);
+
+  std::uint64_t seed() const { return seed_; }
+  const ChaosConfig& config() const { return cfg_; }
+
+  // Samples the fate of one message. Called by Simulator::send; consumes the
+  // RNG stream in send order, which is what makes replays exact.
+  MessageFate sample(const Message& msg);
+
+  // ---- scheduled faults --------------------------------------------------
+  // Windows must be registered before Simulator::run starts draining events
+  // (the schedule is sorted on first use). recover_at/heal_at <= start means
+  // the window never ends.
+  void add_outage(NodeId node, SimTime crash_at, SimTime recover_at);
+  void add_partition(std::set<NodeId> side_a, SimTime start_at,
+                     SimTime heal_at);
+
+  // Samples `outages` crash/recover windows (over `candidates`) and
+  // `partitions` partition/heal windows (splitting `candidates` in two)
+  // across [0, horizon), each lasting [1, max_window] us. Deterministic in
+  // the engine seed.
+  void randomize_schedule(const std::vector<NodeId>& candidates,
+                          std::size_t outages, std::size_t partitions,
+                          SimTime horizon, SimTime max_window);
+
+  // Applies every scheduled transition with time <= now to `sim`. Called by
+  // Simulator::step before delivering each event; safe to call repeatedly.
+  void advance_to(Simulator& sim, SimTime now);
+
+  std::size_t scheduled_ops() const { return schedule_.size(); }
+
+ private:
+  enum class OpKind : std::uint8_t { Crash, Recover, Partition, Heal };
+  struct ScheduledOp {
+    SimTime at = 0;
+    OpKind kind = OpKind::Crash;
+    NodeId node = 0;            // Crash / Recover
+    std::set<NodeId> side_a;    // Partition
+  };
+
+  void sort_schedule();
+
+  std::uint64_t seed_;
+  ChaosConfig cfg_;
+  crypto::ChaCha20Rng rng_;
+  std::vector<ScheduledOp> schedule_;
+  std::size_t next_op_ = 0;
+  bool schedule_sorted_ = true;
+};
+
+}  // namespace dla::net

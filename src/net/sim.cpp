@@ -1,6 +1,10 @@
 #include "net/sim.hpp"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "net/chaos.hpp"
+#include "net/trace.hpp"
 
 namespace dla::net {
 
@@ -60,18 +64,35 @@ void Simulator::send(NodeId src, NodeId dst, std::uint32_t type,
     ++stats_.messages_dropped;
     return;
   }
+  MessageFate fate;
+  if (chaos_) fate = chaos_->sample(msg);
+  if (fate.drop) {
+    ++stats_.messages_dropped;
+    ++stats_.chaos_drops;
+    return;
+  }
   SimTime at;
   if (link_bandwidth_ > 0) {
     // FIFO serialisation on the directed link: wait for the link, transmit
-    // at the configured rate, then add the propagation delay.
-    SimTime transmit = static_cast<SimTime>(
-        static_cast<double>(msg.payload.size()) / link_bandwidth_);
+    // at the configured rate, then add the propagation delay. Round the
+    // transmit time up so sub-microsecond payloads still occupy the link
+    // for a tick instead of serialising infinitely fast.
+    SimTime transmit = static_cast<SimTime>(std::ceil(
+        static_cast<double>(msg.payload.size()) / link_bandwidth_));
     SimTime& busy = link_busy_until_[{src, dst}];
     SimTime departure = std::max(now_, busy);
     busy = departure + transmit;
     at = busy + latency_(src, dst, 0);
   } else {
     at = now_ + latency_(src, dst, msg.payload.size());
+  }
+  if (fate.extra_delay > 0) {
+    at += fate.extra_delay;
+    ++stats_.jitter_events;
+  }
+  if (fate.duplicate) {
+    ++stats_.duplicates_injected;
+    events_.push(Event{at + fate.duplicate_delay, next_seq_++, false, 0, msg});
   }
   events_.push(Event{at, next_seq_++, false, 0, std::move(msg)});
 }
@@ -85,6 +106,7 @@ std::uint64_t Simulator::set_timer(NodeId node, SimTime delay) {
   if (node >= nodes_.size())
     throw std::out_of_range("Simulator::set_timer: unknown node");
   std::uint64_t id = next_timer_++;
+  pending_timers_.insert(id);
   Message placeholder;
   placeholder.dst = node;
   events_.push(Event{now_ + delay, next_seq_++, true, id, std::move(placeholder)});
@@ -92,15 +114,21 @@ std::uint64_t Simulator::set_timer(NodeId node, SimTime delay) {
 }
 
 void Simulator::cancel_timer(std::uint64_t timer_id) {
-  cancelled_timers_.insert(timer_id);
+  // Only remember cancellations for timers that are actually in flight;
+  // unknown or already-fired ids would otherwise pin a set entry forever.
+  if (pending_timers_.contains(timer_id)) cancelled_timers_.insert(timer_id);
 }
 
 bool Simulator::step() {
   if (events_.empty()) return false;
   Event ev = events_.top();
   events_.pop();
-  if (ev.is_timer && cancelled_timers_.erase(ev.timer_id) > 0) {
-    return true;  // cancelled: consume without advancing the clock
+  if (chaos_) chaos_->advance_to(*this, ev.at);
+  if (ev.is_timer) {
+    pending_timers_.erase(ev.timer_id);
+    if (cancelled_timers_.erase(ev.timer_id) > 0) {
+      return true;  // cancelled: consume without advancing the clock
+    }
   }
   now_ = ev.at;
   NodeId dst = ev.msg.dst;
@@ -112,6 +140,7 @@ bool Simulator::step() {
     nodes_[dst]->on_timer(*this, ev.timer_id);
   } else {
     ++stats_.messages_delivered;
+    if (trace_) trace_->on_deliver(ev.at, ev.seq, ev.msg);
     nodes_[dst]->on_message(*this, ev.msg);
   }
   return true;

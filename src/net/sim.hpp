@@ -36,6 +36,8 @@ struct Message {
 };
 
 class Simulator;
+class ChaosEngine;
+class TraceRecorder;
 
 // A protocol actor. Handlers run to completion (run-to-completion actor
 // model); they may send messages and set timers but must not block.
@@ -72,6 +74,12 @@ struct NetworkStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
+  // Chaos-layer injections (see net/chaos.hpp). chaos_drops is included in
+  // messages_dropped; duplicates_injected copies are NOT counted as sent but
+  // do count as delivered when they arrive.
+  std::uint64_t chaos_drops = 0;
+  std::uint64_t duplicates_injected = 0;
+  std::uint64_t jitter_events = 0;  // messages displaced by jitter/reorder
   std::map<std::pair<NodeId, NodeId>, LinkStats> per_link;
 };
 
@@ -93,6 +101,13 @@ class Simulator {
   // propagation delay via its bytes == 0 evaluation). Pass 0 to disable.
   void set_link_bandwidth(double bytes_per_us);
 
+  // Optional chaos engine: samples per-message drop/duplicate/jitter faults
+  // and applies scheduled crash/partition windows as time advances. Non-
+  // owning; attach before the first send so RNG draws line up on replay.
+  void set_chaos(ChaosEngine* chaos) { chaos_ = chaos; }
+  // Optional trace recorder: observes every delivered message. Non-owning.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
   // Fault injection.
   void crash(NodeId node);            // node stops receiving permanently
   void recover(NodeId node);          // undo crash
@@ -108,8 +123,13 @@ class Simulator {
   // One-shot timer for `node` after `delay` microseconds; returns timer id.
   std::uint64_t set_timer(NodeId node, SimTime delay);
   // Cancels a pending timer: it neither fires nor advances the clock when
-  // its slot drains. Unknown/already-fired ids are ignored.
+  // its slot drains. Unknown/already-fired ids are ignored (and leave no
+  // bookkeeping behind).
   void cancel_timer(std::uint64_t timer_id);
+  // Cancelled-but-not-yet-drained timer entries; bounded by pending timers.
+  std::size_t cancelled_timer_backlog() const {
+    return cancelled_timers_.size();
+  }
 
   SimTime now() const { return now_; }
   const NetworkStats& stats() const { return stats_; }
@@ -149,7 +169,10 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_timer_ = 1;
+  std::set<std::uint64_t> pending_timers_;
   std::set<std::uint64_t> cancelled_timers_;
+  ChaosEngine* chaos_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
   NetworkStats stats_;
 };
 

@@ -1,0 +1,83 @@
+#include "net/trace.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace dla::net {
+
+namespace {
+
+void put_u64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+}  // namespace
+
+void TraceRecorder::on_deliver(SimTime at, std::uint64_t seq,
+                               const Message& msg) {
+  TraceEvent ev;
+  ev.at = at;
+  ev.seq = seq;
+  ev.src = msg.src;
+  ev.dst = msg.dst;
+  ev.type = msg.type;
+  ev.payload_hash = crypto::Sha256::hash(
+      std::span<const std::uint8_t>(msg.payload.data(), msg.payload.size()));
+
+  // chain' = SHA-256(chain || at || seq || src || dst || type || H(payload)).
+  std::array<std::uint8_t, 28> fields{};
+  put_u64(fields.data(), ev.at);
+  put_u64(fields.data() + 8, ev.seq);
+  put_u32(fields.data() + 16, ev.src);
+  put_u32(fields.data() + 20, ev.dst);
+  put_u32(fields.data() + 24, ev.type);
+  crypto::Sha256 ctx;
+  ctx.update(std::span<const std::uint8_t>(chain_.data(), chain_.size()));
+  ctx.update(std::span<const std::uint8_t>(fields.data(), fields.size()));
+  ctx.update(std::span<const std::uint8_t>(ev.payload_hash.data(),
+                                           ev.payload_hash.size()));
+  chain_ = ctx.finalize();
+
+  ++event_count_;
+  if (keep_events_) events_.push_back(std::move(ev));
+}
+
+std::string TraceRecorder::format(const TraceEvent& ev) {
+  std::ostringstream out;
+  out << "t=" << ev.at << "us seq=" << ev.seq << " " << ev.src << "->"
+      << ev.dst << " type=0x" << std::hex << ev.type << std::dec
+      << " payload=" << crypto::to_hex(ev.payload_hash).substr(0, 16);
+  return out.str();
+}
+
+std::optional<TraceRecorder::Divergence> TraceRecorder::divergence(
+    const TraceRecorder& a, const TraceRecorder& b) {
+  const std::size_t common = std::min(a.events_.size(), b.events_.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a.events_[i] == b.events_[i]) continue;
+    Divergence d;
+    d.index = i;
+    d.description = "first divergence at event " + std::to_string(i) +
+                    ": run A {" + format(a.events_[i]) + "} vs run B {" +
+                    format(b.events_[i]) + "}";
+    return d;
+  }
+  if (a.events_.size() != b.events_.size()) {
+    const bool a_longer = a.events_.size() > b.events_.size();
+    const TraceRecorder& longer = a_longer ? a : b;
+    Divergence d;
+    d.index = common;
+    d.description = "first divergence at event " + std::to_string(common) +
+                    ": run " + (a_longer ? "B" : "A") + " ended, run " +
+                    (a_longer ? "A" : "B") + " delivered {" +
+                    format(longer.events_[common]) + "}";
+    return d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dla::net

@@ -1,0 +1,68 @@
+// Trace digests for simulator runs.
+//
+// A TraceRecorder observes every delivered message (time, sequence number,
+// src, dst, type, payload hash) and folds it into a rolling SHA-256 digest:
+// two runs produced the same trace iff their digests match, which turns
+// "does this replay bit-identically?" into a 32-byte comparison. When two
+// digests of the same seed disagree, divergence() pinpoints the first
+// differing event so the nondeterminism can be localised.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "net/sim.hpp"
+
+namespace dla::net {
+
+class TraceRecorder {
+ public:
+  struct TraceEvent {
+    SimTime at = 0;
+    std::uint64_t seq = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::uint32_t type = 0;
+    crypto::Digest payload_hash{};
+
+    bool operator==(const TraceEvent&) const = default;
+  };
+
+  struct Divergence {
+    std::size_t index = 0;      // first differing event position
+    std::string description;    // human-readable side-by-side report
+  };
+
+  // keep_events retains the full event list (needed for divergence()); pass
+  // false to keep only the rolling digest on long soak runs.
+  explicit TraceRecorder(bool keep_events = true)
+      : keep_events_(keep_events) {}
+
+  // Called by Simulator::step for every delivered message.
+  void on_deliver(SimTime at, std::uint64_t seq, const Message& msg);
+
+  // Rolling digest over everything delivered so far (chained SHA-256).
+  const crypto::Digest& digest() const { return chain_; }
+  std::string digest_hex() const { return crypto::to_hex(chain_); }
+
+  std::size_t event_count() const { return event_count_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  static std::string format(const TraceEvent& ev);
+
+  // First event where the two recorded traces differ; nullopt when they are
+  // identical. Both recorders must have been built with keep_events = true.
+  static std::optional<Divergence> divergence(const TraceRecorder& a,
+                                              const TraceRecorder& b);
+
+ private:
+  bool keep_events_;
+  std::size_t event_count_ = 0;
+  crypto::Digest chain_{};  // zero digest until the first event
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dla::net

@@ -1,0 +1,374 @@
+// Seed-sweep invariant explorer: drive the full log -> query -> audit
+// workload through the deterministic chaos engine across many seeds and
+// assert the paper's safety invariants (src/audit/invariants.hpp) after
+// every run. A failing seed prints the chaos seed and the invariant
+// violations (and, for the injected-fault test, the first trace divergence),
+// which together form a complete repro: re-running the same (workload seed,
+// chaos seed) pair replays the failure bit-identically.
+//
+// Two sweep tiers:
+//   Tier A (benign chaos): duplication + jitter + reordering, no loss. The
+//     workload must complete exactly as the fault-free oracle run -- same
+//     glsns, same query results, zero leaked session state.
+//   Tier B (lossy chaos): adds message drops plus randomized crash and
+//     partition windows. Requests may fail, but whatever completes must
+//     still be safe: unique monotone glsns, confidential stores, and
+//     completed queries consistent with the oracle on every record whose
+//     fate we know.
+//
+// Seed count comes from DLA_CHAOS_SEEDS (default 32; the `san` preset sets
+// 8 to keep sanitizer runs fast).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "audit/cluster.hpp"
+#include "audit/invariants.hpp"
+#include "audit/metrics.hpp"
+#include "logm/workload.hpp"
+#include "net/chaos.hpp"
+#include "net/trace.hpp"
+
+namespace dla::audit {
+namespace {
+
+constexpr std::uint64_t kWorkloadSeed = 13;
+
+std::size_t sweep_seeds() {
+  if (const char* env = std::getenv("DLA_CHAOS_SEEDS")) {
+    long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 32;
+}
+
+// Criteria chosen to exercise every query machine: a single-node local
+// plan, the ring set intersection, a set union, and the TTP-mediated
+// secure comparison joined with an intersection.
+const std::vector<std::string>& criteria() {
+  static const std::vector<std::string> kCriteria = {
+      "id = 'U1' AND C2 < 100.0",
+      "id = 'U1' AND protocl = 'UDP'",
+      "id = 'U3' OR protocl = 'TCP'",
+      "C1 < C2 AND Tid = 'T1100267'",
+  };
+  return kCriteria;
+}
+
+Cluster make_cluster() {
+  return Cluster(Cluster::Options{logm::paper_schema(), 4, 1,
+                                  logm::paper_partition(), kWorkloadSeed,
+                                  /*auditor_users=*/true});
+}
+
+struct WorkloadRun {
+  // Per paper-table record: assigned glsn, or nullopt when the log never
+  // completed (only possible under lossy chaos).
+  std::vector<std::optional<logm::Glsn>> glsns;
+  // Per criteria() entry: outcome, or nullopt when the callback never fired.
+  std::vector<std::optional<QueryOutcome>> queries;
+  std::optional<bool> integrity_ok;
+};
+
+// Sequentially logs Table 1, runs every criterion, then audits the first
+// logged glsn. Each step drains the simulator before the next is issued, so
+// glsn assignment order is the issue order regardless of chaos timing.
+WorkloadRun run_workload(Cluster& cluster) {
+  WorkloadRun out;
+  auto records = logm::paper_table1_records();
+  out.glsns.resize(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    cluster.user(0).log_record(
+        cluster.sim(), records[i].attrs,
+        [&out, i](std::optional<logm::Glsn> g) { out.glsns[i] = g; });
+    cluster.run();
+  }
+  out.queries.resize(criteria().size());
+  for (std::size_t i = 0; i < criteria().size(); ++i) {
+    cluster.user(0).query(
+        cluster.sim(), criteria()[i],
+        [&out, i](QueryOutcome o) { out.queries[i] = std::move(o); });
+    cluster.run();
+  }
+  for (const auto& g : out.glsns) {
+    if (!g) continue;
+    cluster.dla(0).on_integrity_result =
+        [&out](SessionId, logm::Glsn, bool ok) { out.integrity_ok = ok; };
+    cluster.dla(0).start_integrity_check(cluster.sim(), 0xC8A05u, *g);
+    cluster.run();
+    cluster.dla(0).on_integrity_result = nullptr;
+    break;
+  }
+  return out;
+}
+
+// The fault-free oracle: one run without a chaos engine. Computed once and
+// shared by every sweep.
+const WorkloadRun& oracle() {
+  static const WorkloadRun kOracle = [] {
+    Cluster cluster = make_cluster();
+    WorkloadRun run = run_workload(cluster);
+    return run;
+  }();
+  return kOracle;
+}
+
+std::uint64_t total_replay_drops(Cluster& cluster) {
+  std::uint64_t total = cluster.ttp().replay_drops();
+  for (std::size_t i = 0; i < cluster.dla_count(); ++i) {
+    total += cluster.dla(i).replay_drops();
+  }
+  return total;
+}
+
+}  // namespace
+
+TEST(ChaosOracle, FaultFreeWorkloadSatisfiesEveryInvariant) {
+  const WorkloadRun& base = oracle();
+  std::vector<logm::Glsn> assigned;
+  for (const auto& g : base.glsns) {
+    ASSERT_TRUE(g.has_value()) << "oracle log did not complete";
+    assigned.push_back(*g);
+  }
+  for (std::size_t i = 0; i < base.queries.size(); ++i) {
+    ASSERT_TRUE(base.queries[i].has_value()) << criteria()[i];
+    EXPECT_TRUE(base.queries[i]->ok) << criteria()[i] << ": "
+                                     << base.queries[i]->error;
+  }
+  ASSERT_TRUE(base.integrity_ok.has_value());
+  EXPECT_TRUE(*base.integrity_ok);
+
+  // The invariants must hold on the fault-free run before a chaos sweep is
+  // meaningful -- in particular quiescence, which proves the protocols
+  // retire their session state even when nothing goes wrong.
+  Cluster cluster = make_cluster();
+  WorkloadRun rerun = run_workload(cluster);
+  InvariantReport report;
+  std::vector<logm::Glsn> rerun_glsns;
+  for (const auto& g : rerun.glsns) {
+    if (g) rerun_glsns.push_back(*g);
+  }
+  check_glsn_uniqueness(rerun_glsns, report);
+  check_glsn_monotonic(rerun_glsns, report);
+  check_session_quiescence(cluster, report);
+  check_column_confidentiality(cluster, report);
+  check_glsn_sets_equal("fault-free rerun", assigned, rerun_glsns, report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(ChaosExplorer, TierA_BenignChaosMatchesOracleExactly) {
+  const WorkloadRun& base = oracle();
+  net::ChaosConfig cfg;
+  cfg.dup_prob = 0.15;
+  cfg.jitter_prob = 0.30;
+  cfg.jitter_max = 50;
+  cfg.reorder_prob = 0.10;
+  cfg.reorder_window = 200;
+
+  std::uint64_t total_dups = 0, total_jitter = 0, total_replays = 0;
+  const std::size_t seeds = sweep_seeds();
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    Cluster cluster = make_cluster();
+    net::ChaosEngine chaos(seed, cfg);
+    cluster.sim().set_chaos(&chaos);
+    WorkloadRun run = run_workload(cluster);
+
+    InvariantReport report;
+    std::vector<logm::Glsn> assigned;
+    for (std::size_t i = 0; i < run.glsns.size(); ++i) {
+      if (!run.glsns[i]) {
+        report.add("log " + std::to_string(i) +
+                   " never completed under benign chaos");
+        continue;
+      }
+      assigned.push_back(*run.glsns[i]);
+    }
+    check_glsn_uniqueness(assigned, report);
+    check_glsn_monotonic(assigned, report);
+    check_session_quiescence(cluster, report);
+    check_column_confidentiality(cluster, report);
+
+    std::vector<logm::Glsn> expected;
+    for (const auto& g : base.glsns) expected.push_back(*g);
+    check_glsn_sets_equal("assigned glsns", expected, assigned, report);
+
+    for (std::size_t i = 0; i < run.queries.size(); ++i) {
+      if (!run.queries[i] || !run.queries[i]->ok) {
+        report.add("query '" + criteria()[i] +
+                   "' failed under benign chaos: " +
+                   (run.queries[i] ? run.queries[i]->error : "no callback"));
+        continue;
+      }
+      check_glsn_sets_equal("query '" + criteria()[i] + "'",
+                            (*base.queries[i]).glsns, run.queries[i]->glsns,
+                            report);
+    }
+    if (!run.integrity_ok.has_value() || !*run.integrity_ok) {
+      report.add("integrity audit did not attest under benign chaos");
+    }
+
+    if (!report.ok()) {
+      std::cout << "[chaos-explorer] tier A reproducing chaos seed: " << seed
+                << " (workload seed " << kWorkloadSeed << ")\n"
+                << report.summary() << "\n";
+    }
+    ASSERT_TRUE(report.ok())
+        << "tier A chaos seed " << seed << ": " << report.summary();
+
+    ChaosCounters counters = chaos_counters(cluster.sim());
+    EXPECT_EQ(counters.chaos_drops, 0u);
+    total_dups += counters.duplicates_injected;
+    total_jitter += counters.jitter_events;
+    total_replays += total_replay_drops(cluster);
+  }
+  // The sweep must actually have exercised the chaos paths: duplicates were
+  // injected and the replay guards absorbed at least some of them.
+  EXPECT_GT(total_dups, 0u);
+  EXPECT_GT(total_jitter, 0u);
+  EXPECT_GT(total_replays, 0u);
+}
+
+TEST(ChaosExplorer, TierB_LossyChaosNeverViolatesSafety) {
+  const WorkloadRun& base = oracle();
+  // Per-criterion oracle match set, by record index.
+  std::vector<std::set<std::size_t>> matched(criteria().size());
+  for (std::size_t q = 0; q < criteria().size(); ++q) {
+    const auto& glsns = (*base.queries[q]).glsns;
+    std::set<logm::Glsn> result(glsns.begin(), glsns.end());
+    for (std::size_t j = 0; j < base.glsns.size(); ++j) {
+      if (result.contains(*base.glsns[j])) matched[q].insert(j);
+    }
+  }
+
+  net::ChaosConfig cfg;
+  cfg.drop_prob = 0.02;
+  cfg.dup_prob = 0.10;
+  cfg.jitter_prob = 0.20;
+  cfg.jitter_max = 50;
+  cfg.reorder_prob = 0.05;
+  cfg.reorder_window = 200;
+
+  std::size_t completed_logs = 0, completed_queries = 0;
+  const std::size_t seeds = sweep_seeds();
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    Cluster cluster = make_cluster();
+    net::ChaosEngine chaos(seed, cfg);
+    chaos.randomize_schedule(cluster.config()->dla_nodes, /*outages=*/2,
+                             /*partitions=*/1, /*horizon=*/40000,
+                             /*max_window=*/8000);
+    EXPECT_EQ(chaos.scheduled_ops(), 6u);  // 2x(crash+recover) + split+heal
+    cluster.sim().set_chaos(&chaos);
+    WorkloadRun run = run_workload(cluster);
+
+    InvariantReport report;
+    std::vector<logm::Glsn> assigned;  // completed logs, issue order
+    std::set<logm::Glsn> known;        // glsns whose record we can name
+    for (const auto& g : run.glsns) {
+      if (!g) continue;
+      assigned.push_back(*g);
+      known.insert(*g);
+      ++completed_logs;
+    }
+    check_glsn_uniqueness(assigned, report);
+    check_glsn_monotonic(assigned, report);
+    check_column_confidentiality(cluster, report);
+    // No quiescence check here: lossy chaos legitimately strands pending
+    // client requests whose replies were eaten by a drop or a crash.
+
+    for (std::size_t q = 0; q < run.queries.size(); ++q) {
+      if (!run.queries[q] || !run.queries[q]->ok) continue;  // timed out
+      ++completed_queries;
+      // A completed query must agree with the oracle on every record whose
+      // fate we know; records that vanished mid-log may surface or not.
+      std::vector<logm::Glsn> expected, actual_known;
+      for (std::size_t j = 0; j < run.glsns.size(); ++j) {
+        if (run.glsns[j] && matched[q].contains(j)) {
+          expected.push_back(*run.glsns[j]);
+        }
+      }
+      for (logm::Glsn g : run.queries[q]->glsns) {
+        if (known.contains(g)) actual_known.push_back(g);
+      }
+      check_glsn_sets_equal("query '" + criteria()[q] + "' (known records)",
+                            expected, actual_known, report);
+    }
+
+    if (!report.ok()) {
+      std::cout << "[chaos-explorer] tier B reproducing chaos seed: " << seed
+                << " (workload seed " << kWorkloadSeed << ")\n"
+                << report.summary() << "\n";
+    }
+    ASSERT_TRUE(report.ok())
+        << "tier B chaos seed " << seed << ": " << report.summary();
+  }
+  // The sweep is vacuous if nothing ever completes; with a 2% drop rate and
+  // bounded fault windows most requests must still finish.
+  EXPECT_GT(completed_logs, seeds);
+  EXPECT_GT(completed_queries, seeds / 2);
+}
+
+// Proves the explorer can actually catch a sequencer bug: rewinding every
+// node's glsn counter mid-workload forces the cluster to re-issue an
+// already-assigned glsn, and the uniqueness invariant must report it. The
+// tampered run is traced against an untampered twin of the same chaos seed
+// so the report pinpoints the first diverging event.
+TEST(ChaosExplorer, InjectedDuplicateGlsnIsCaughtWithRepro) {
+  constexpr std::uint64_t kChaosSeed = 7;
+  net::ChaosConfig cfg;
+  cfg.dup_prob = 0.15;
+  cfg.jitter_prob = 0.30;
+
+  auto run_half = [&](bool tamper, net::TraceRecorder& trace,
+                      std::vector<logm::Glsn>& assigned) {
+    Cluster cluster = make_cluster();
+    net::ChaosEngine chaos(kChaosSeed, cfg);
+    cluster.sim().set_chaos(&chaos);
+    cluster.sim().set_trace(&trace);
+    auto records = logm::paper_table1_records();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (tamper && i == 3) {
+        // Rewind every replica so the majority happily re-promises a glsn
+        // the cluster already handed out.
+        for (std::size_t n = 0; n < cluster.dla_count(); ++n) {
+          cluster.dla(n).debug_rewind_glsn(assigned.front() - 1);
+        }
+      }
+      cluster.user(0).log_record(
+          cluster.sim(), records[i].attrs,
+          [&assigned](std::optional<logm::Glsn> g) {
+            if (g) assigned.push_back(*g);
+          });
+      cluster.run();
+    }
+  };
+
+  net::TraceRecorder clean_trace, tampered_trace;
+  std::vector<logm::Glsn> clean_glsns, tampered_glsns;
+  run_half(/*tamper=*/false, clean_trace, clean_glsns);
+  run_half(/*tamper=*/true, tampered_trace, tampered_glsns);
+
+  InvariantReport clean_report, tampered_report;
+  check_glsn_uniqueness(clean_glsns, clean_report);
+  EXPECT_TRUE(clean_report.ok()) << clean_report.summary();
+
+  check_glsn_uniqueness(tampered_glsns, tampered_report);
+  check_glsn_monotonic(tampered_glsns, tampered_report);
+  ASSERT_FALSE(tampered_report.ok())
+      << "rewinding the sequencer must violate glsn uniqueness";
+
+  auto div = net::TraceRecorder::divergence(clean_trace, tampered_trace);
+  ASSERT_TRUE(div.has_value());
+  std::cout << "[chaos-explorer] injected fault caught; reproducing chaos "
+               "seed: "
+            << kChaosSeed << " (workload seed " << kWorkloadSeed << ")\n"
+            << tampered_report.summary() << "\nfirst divergence at event "
+            << div->index << ":\n"
+            << div->description << "\n";
+}
+
+}  // namespace dla::audit

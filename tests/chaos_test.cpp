@@ -1,0 +1,263 @@
+// Unit tests for the chaos engine and trace recorder, plus the determinism
+// property the whole explorer rests on: a (workload, chaos seed) pair
+// replays bit-identically, across latency models, bandwidth serialisation
+// and scheduled fault windows.
+#include "net/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "audit/cluster.hpp"
+#include "logm/workload.hpp"
+#include "net/trace.hpp"
+
+namespace dla::net {
+namespace {
+
+class Sink : public Node {
+ public:
+  void on_message(Simulator&, const Message& msg) override {
+    received.push_back(msg);
+  }
+  std::vector<Message> received;
+};
+
+// Bounces a TTL-carrying payload around a fixed ring; chaos-injected
+// duplicates fork extra bounded chains, drops end a chain early.
+class RingHop : public Node {
+ public:
+  explicit RingHop(NodeId next) : next_(next) {}
+  void on_message(Simulator& sim, const Message& msg) override {
+    if (msg.payload[0] == 0) return;
+    Bytes payload = msg.payload;
+    --payload[0];
+    sim.send(id(), next_, msg.type, std::move(payload));
+  }
+
+ private:
+  NodeId next_;
+};
+
+TEST(ChaosEngine, DropProbabilityOneDropsEverything) {
+  Simulator sim;
+  Sink a, b;
+  NodeId ida = sim.add_node(a);
+  NodeId idb = sim.add_node(b);
+  ChaosConfig cfg;
+  cfg.drop_prob = 1.0;
+  ChaosEngine chaos(1, cfg);
+  sim.set_chaos(&chaos);
+  for (int i = 0; i < 20; ++i) sim.send(ida, idb, 1, {0});
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(sim.stats().chaos_drops, 20u);
+  EXPECT_EQ(sim.stats().messages_dropped, 20u);
+}
+
+TEST(ChaosEngine, DupProbabilityOneDeliversEveryMessageTwice) {
+  Simulator sim;
+  Sink a, b;
+  NodeId ida = sim.add_node(a);
+  NodeId idb = sim.add_node(b);
+  ChaosConfig cfg;
+  cfg.dup_prob = 1.0;
+  ChaosEngine chaos(1, cfg);
+  sim.set_chaos(&chaos);
+  for (int i = 0; i < 10; ++i) sim.send(ida, idb, 1, {0});
+  sim.run();
+  EXPECT_EQ(b.received.size(), 20u);
+  EXPECT_EQ(sim.stats().duplicates_injected, 10u);
+  EXPECT_EQ(sim.stats().messages_delivered, 20u);
+}
+
+TEST(ChaosEngine, JitterDelaysButNeverDropsOrReorders) {
+  Simulator sim;
+  Sink a, b;
+  NodeId ida = sim.add_node(a);
+  NodeId idb = sim.add_node(b);
+  ChaosConfig cfg;
+  cfg.jitter_prob = 1.0;
+  cfg.jitter_max = 5;
+  ChaosEngine chaos(1, cfg);
+  sim.set_chaos(&chaos);
+  sim.set_latency_model([](NodeId, NodeId, std::size_t) { return 100; });
+  for (std::uint8_t i = 0; i < 10; ++i) sim.send(ida, idb, i, {0});
+  sim.run();
+  ASSERT_EQ(b.received.size(), 10u);
+  EXPECT_EQ(sim.stats().jitter_events, 10u);
+  EXPECT_GT(sim.now(), 100u);  // some jitter actually applied
+  EXPECT_LE(sim.now(), 105u);  // bounded by jitter_max
+}
+
+TEST(ChaosEngine, ScheduledOutageCrashesAndRecovers) {
+  Simulator sim;
+  Sink a, b;
+  NodeId ida = sim.add_node(a);
+  NodeId idb = sim.add_node(b);
+  ChaosEngine chaos(1, ChaosConfig{});
+  chaos.add_outage(idb, /*crash_at=*/50, /*recover_at=*/150);
+  EXPECT_EQ(chaos.scheduled_ops(), 2u);
+  sim.set_chaos(&chaos);
+  sim.set_latency_model([](NodeId, NodeId, std::size_t) { return 10; });
+  // Timers tick the clock through the window; sends probe the node state.
+  sim.set_timer(ida, 60);
+  sim.set_timer(ida, 200);
+  sim.run();  // drains both timers, applying the schedule on the way
+  EXPECT_FALSE(sim.is_crashed(idb));  // recovered by 150
+  sim.send(ida, idb, 1, {0});
+  sim.run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(ChaosEngine, RandomScheduleIsDeterministicInSeed) {
+  ChaosEngine a(42, ChaosConfig{});
+  ChaosEngine b(42, ChaosConfig{});
+  ChaosEngine c(43, ChaosConfig{});
+  std::vector<NodeId> nodes = {0, 1, 2, 3};
+  a.randomize_schedule(nodes, 3, 2, 10000, 500);
+  b.randomize_schedule(nodes, 3, 2, 10000, 500);
+  c.randomize_schedule(nodes, 3, 2, 10000, 500);
+  EXPECT_EQ(a.scheduled_ops(), 10u);  // 3x(crash+recover) + 2x(split+heal)
+  EXPECT_EQ(b.scheduled_ops(), 10u);
+  EXPECT_EQ(c.scheduled_ops(), 10u);
+  // Same seed must also sample identical message fates afterwards.
+  Message probe{0, 1, 7, {1, 2, 3}};
+  ChaosConfig lossy;
+  lossy.drop_prob = 0.5;
+  lossy.jitter_prob = 0.5;
+  ChaosEngine d(99, lossy), e(99, lossy);
+  for (int i = 0; i < 100; ++i) {
+    MessageFate fd = d.sample(probe);
+    MessageFate fe = e.sample(probe);
+    EXPECT_EQ(fd.drop, fe.drop);
+    EXPECT_EQ(fd.extra_delay, fe.extra_delay);
+    EXPECT_EQ(fd.duplicate, fe.duplicate);
+  }
+}
+
+TEST(TraceRecorder, DigestIsOrderAndContentSensitive) {
+  TraceRecorder t1, t2, t3;
+  Message m1{0, 1, 7, {1}};
+  Message m2{1, 0, 8, {2}};
+  t1.on_deliver(10, 0, m1);
+  t1.on_deliver(20, 1, m2);
+  t2.on_deliver(10, 0, m1);
+  t2.on_deliver(20, 1, m2);
+  t3.on_deliver(20, 1, m2);
+  t3.on_deliver(10, 0, m1);
+  EXPECT_EQ(t1.digest_hex(), t2.digest_hex());
+  EXPECT_NE(t1.digest_hex(), t3.digest_hex());
+  EXPECT_EQ(t1.event_count(), 2u);
+  EXPECT_FALSE(TraceRecorder::divergence(t1, t2).has_value());
+  auto div = TraceRecorder::divergence(t1, t3);
+  ASSERT_TRUE(div.has_value());
+  EXPECT_EQ(div->index, 0u);
+  EXPECT_FALSE(div->description.empty());
+  EXPECT_FALSE(TraceRecorder::format(t1.events()[0]).empty());
+}
+
+TEST(TraceRecorder, DivergenceReportsLengthMismatch) {
+  TraceRecorder t1, t2;
+  Message m{0, 1, 7, {1}};
+  t1.on_deliver(10, 0, m);
+  t1.on_deliver(20, 1, m);
+  t2.on_deliver(10, 0, m);
+  auto div = TraceRecorder::divergence(t1, t2);
+  ASSERT_TRUE(div.has_value());
+  EXPECT_EQ(div->index, 1u);
+}
+
+// The determinism property: for each of ~64 chaos seeds, and for each of
+// three network shapes (pure latency model, bandwidth serialisation,
+// scheduled outage + partition windows), two runs of the same seed produce
+// identical trace digests, and different seeds almost always differ.
+TEST(ChaosDeterminism, SameSeedReplaysIdenticallyAcrossNetworkShapes) {
+  enum class Shape { Latency, Bandwidth, Faults };
+  auto run_once = [](Shape shape, std::uint64_t seed) {
+    Simulator sim;
+    Sink sink;
+    RingHop h1(2), h2(3), h3(0);
+    sim.add_node(sink);           // 0
+    NodeId n1 = sim.add_node(h1); // 1 -> 2 -> 3 -> 0
+    sim.add_node(h2);
+    sim.add_node(h3);
+    switch (shape) {
+      case Shape::Latency:
+        sim.set_latency_model(
+            [](NodeId s, NodeId d, std::size_t) { return 10 + 3 * s + d; });
+        break;
+      case Shape::Bandwidth:
+        sim.set_latency_model([](NodeId, NodeId, std::size_t) { return 10; });
+        sim.set_link_bandwidth(2.0);
+        break;
+      case Shape::Faults:
+        break;
+    }
+    ChaosConfig cfg;
+    cfg.drop_prob = 0.05;
+    cfg.dup_prob = 0.20;
+    cfg.jitter_prob = 0.30;
+    cfg.jitter_max = 40;
+    cfg.reorder_prob = 0.10;
+    ChaosEngine chaos(seed, cfg);
+    if (shape == Shape::Faults) {
+      chaos.randomize_schedule({1, 2, 3}, 2, 1, /*horizon=*/5000,
+                               /*max_window=*/400);
+    }
+    TraceRecorder trace(/*keep_events=*/false);
+    sim.set_chaos(&chaos);
+    sim.set_trace(&trace);
+    for (int i = 0; i < 8; ++i) sim.send(0, n1, 0, {12});  // TTL 12 rings
+    sim.run();
+    return trace.digest_hex();
+  };
+
+  for (Shape shape :
+       {Shape::Latency, Shape::Bandwidth, Shape::Faults}) {
+    std::set<std::string> digests;
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+      std::string first = run_once(shape, seed);
+      std::string second = run_once(shape, seed);
+      EXPECT_EQ(first, second) << "seed " << seed << " did not replay";
+      digests.insert(first);
+    }
+    // Different seeds must actually explore different schedules: demand a
+    // healthy spread (collisions are possible but must be rare).
+    EXPECT_GT(digests.size(), 48u);
+  }
+}
+
+// End-to-end: the full DLA cluster workload replays bit-identically under
+// chaos -- the property the seed-sweep explorer's repro story depends on.
+TEST(ChaosDeterminism, ClusterWorkloadReplaysIdentically) {
+  auto run_once = [](std::uint64_t seed) {
+    audit::Cluster cluster(audit::Cluster::Options{
+        logm::paper_schema(), 4, 1, logm::paper_partition(), /*seed=*/13,
+        /*auditor_users=*/true});
+    ChaosConfig cfg;
+    cfg.dup_prob = 0.15;
+    cfg.jitter_prob = 0.30;
+    ChaosEngine chaos(seed, cfg);
+    TraceRecorder trace(/*keep_events=*/false);
+    cluster.sim().set_chaos(&chaos);
+    cluster.sim().set_trace(&trace);
+    auto records = logm::paper_table1_records();
+    for (const auto& rec : records) {
+      cluster.user(0).log_record(cluster.sim(), rec.attrs,
+                                 [](std::optional<logm::Glsn>) {});
+      cluster.run();
+    }
+    std::optional<audit::QueryOutcome> outcome;
+    cluster.user(0).query(cluster.sim(), "id = 'U1' AND protocl = 'UDP'",
+                          [&](audit::QueryOutcome o) { outcome = std::move(o); });
+    cluster.run();
+    EXPECT_TRUE(outcome.has_value() && outcome->ok);
+    return trace.digest_hex();
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+}  // namespace
+}  // namespace dla::net

@@ -1,10 +1,20 @@
-// Differential testing: BigUInt arithmetic checked against vectors computed
-// by an independent implementation (CPython's arbitrary-precision ints).
-// Each case packs {a, b, a*b, a/b, a%b, e, m, pow(a, e, m)} in hex.
+// Differential testing, two flavours:
+//  1. BigUInt arithmetic checked against vectors computed by an independent
+//     implementation (CPython's arbitrary-precision ints). Each case packs
+//     {a, b, a*b, a/b, a%b, e, m, pow(a, e, m)} in hex.
+//  2. Chaos-off vs chaos-on cluster runs: the same workload under benign
+//     chaos (duplication + jitter, no loss) must produce the same glsn
+//     assignments and query results as the undisturbed run.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
+
+#include "audit/cluster.hpp"
 #include "bignum/biguint.hpp"
 #include "bignum/montgomery.hpp"
+#include "logm/workload.hpp"
+#include "net/chaos.hpp"
 
 namespace dla::bn {
 namespace {
@@ -69,3 +79,72 @@ INSTANTIATE_TEST_SUITE_P(Cases, DifferentialVectors,
 
 }  // namespace
 }  // namespace dla::bn
+
+namespace dla::audit {
+namespace {
+
+struct ClusterRunResult {
+  std::vector<logm::Glsn> glsns;  // assignment order
+  std::vector<std::vector<logm::Glsn>> query_glsns;
+  std::uint64_t duplicates_injected = 0;
+};
+
+// Logs Table 1 sequentially and runs two representative queries, optionally
+// under a chaos engine owned by the caller (void so ASSERT_* can bail).
+void run_cluster_workload(net::ChaosEngine* chaos, ClusterRunResult& out) {
+  Cluster cluster(Cluster::Options{logm::paper_schema(), 4, 1,
+                                   logm::paper_partition(), /*seed=*/13,
+                                   /*auditor_users=*/true});
+  if (chaos) cluster.sim().set_chaos(chaos);
+  for (const auto& rec : logm::paper_table1_records()) {
+    std::optional<logm::Glsn> assigned;
+    cluster.user(0).log_record(
+        cluster.sim(), rec.attrs,
+        [&assigned](std::optional<logm::Glsn> g) { assigned = g; });
+    cluster.run();
+    ASSERT_TRUE(assigned.has_value()) << "log did not complete";
+    out.glsns.push_back(*assigned);
+  }
+  for (const char* criterion :
+       {"id = 'U1' AND protocl = 'UDP'", "id = 'U3' OR protocl = 'TCP'"}) {
+    std::optional<QueryOutcome> outcome;
+    cluster.user(0).query(cluster.sim(), criterion,
+                          [&](QueryOutcome o) { outcome = std::move(o); });
+    cluster.run();
+    ASSERT_TRUE(outcome.has_value()) << criterion;
+    ASSERT_TRUE(outcome->ok) << criterion << ": " << outcome->error;
+    std::sort(outcome->glsns.begin(), outcome->glsns.end());
+    out.query_glsns.push_back(outcome->glsns);
+  }
+  out.duplicates_injected = cluster.sim().stats().duplicates_injected;
+}
+
+// Benign chaos (at-least-once delivery + jitter, no loss) must be
+// indistinguishable from the undisturbed run at the API surface: identical
+// glsn assignments and identical query results, for every chaos seed tried.
+TEST(ChaosDifferential, BenignChaosMatchesUndisturbedRun) {
+  ClusterRunResult baseline;
+  run_cluster_workload(nullptr, baseline);
+  if (HasFatalFailure()) return;
+
+  net::ChaosConfig cfg;
+  cfg.dup_prob = 0.25;
+  cfg.jitter_prob = 0.40;
+  cfg.jitter_max = 50;
+  std::uint64_t total_dups = 0;
+  for (std::uint64_t seed : {3u, 17u, 98u}) {
+    net::ChaosEngine chaos(seed, cfg);
+    ClusterRunResult chaotic;
+    run_cluster_workload(&chaos, chaotic);
+    if (HasFatalFailure()) return;
+    EXPECT_EQ(chaotic.glsns, baseline.glsns) << "chaos seed " << seed;
+    EXPECT_EQ(chaotic.query_glsns, baseline.query_glsns)
+        << "chaos seed " << seed;
+    total_dups += chaotic.duplicates_injected;
+  }
+  EXPECT_EQ(baseline.duplicates_injected, 0u);
+  EXPECT_GT(total_dups, 0u);  // the differential actually exercised dup paths
+}
+
+}  // namespace
+}  // namespace dla::audit

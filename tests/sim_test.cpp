@@ -217,6 +217,52 @@ TEST(Simulator, CancelledTimerNeitherFiresNorAdvancesClock) {
   sim.cancel_timer(999);       // unknown id: no-op
 }
 
+TEST(Simulator, CancelTimerBookkeepingStaysBounded) {
+  // Regression: cancel_timer used to record every id it was handed, so
+  // cancelling unknown or already-fired timers grew the tombstone set
+  // forever. Only genuinely pending timers may leave a tombstone, and the
+  // tombstone must be reclaimed when the dead slot pops.
+  Simulator sim;
+  Recorder a;
+  NodeId ida = sim.add_node(a);
+  sim.cancel_timer(424242);  // never existed
+  EXPECT_EQ(sim.cancelled_timer_backlog(), 0u);
+
+  std::uint64_t fired = sim.set_timer(ida, 10);
+  sim.run();
+  sim.cancel_timer(fired);  // already fired
+  EXPECT_EQ(sim.cancelled_timer_backlog(), 0u);
+
+  std::uint64_t pending = sim.set_timer(ida, 100);
+  sim.cancel_timer(pending);
+  EXPECT_EQ(sim.cancelled_timer_backlog(), 1u);
+  sim.cancel_timer(pending);  // idempotent: one tombstone per timer
+  EXPECT_EQ(sim.cancelled_timer_backlog(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.cancelled_timer_backlog(), 0u);
+  ASSERT_EQ(a.timers.size(), 1u);
+  EXPECT_EQ(a.timers[0], fired);
+}
+
+TEST(Simulator, BandwidthTransmitTimeRoundsUp) {
+  // Regression: integer division truncated sub-microsecond transmit times
+  // to zero, so tiny payloads serialised infinitely fast on a busy link.
+  // Every payload must occupy the link for at least one tick.
+  Simulator sim;
+  Recorder a, b;
+  NodeId ida = sim.add_node(a);
+  NodeId idb = sim.add_node(b);
+  sim.set_latency_model([](NodeId, NodeId, std::size_t) { return 10; });
+  sim.set_link_bandwidth(1000.0);  // 1-byte payload: 0.001 us, rounds to 1
+  sim.send(ida, idb, 1, Bytes(1));
+  sim.send(ida, idb, 2, Bytes(1));
+  sim.run();
+  ASSERT_EQ(b.received.size(), 2u);
+  // First: departs 0, transmit ceil(0.001) = 1, +10 propagation = 11.
+  // Second: waits until 1, transmit 1, +10 = 12 -- distinct arrival times.
+  EXPECT_EQ(sim.now(), 12u);
+}
+
 TEST(Simulator, BandwidthModelSerialisesOneLink) {
   Simulator sim;
   Recorder a, b;
