@@ -11,19 +11,170 @@
 // (no protocols, no crypto); the DLA model's cost scales with the number of
 // cross subqueries, buying nonzero C_auditing/C_query. Results also carry a
 // correctness cross-check: both engines must return identical glsn sets.
+#include <algorithm>
 #include <chrono>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "audit/cluster.hpp"
+#include "audit/local_query.hpp"
 #include "audit/metrics.hpp"
 #include "baseline/centralized.hpp"
+#include "logm/store.hpp"
 #include "logm/workload.hpp"
 
 using namespace dla;
 
-int main() {
+namespace {
+
+// Adaptive wall-clock measurement: grows the iteration count until the
+// timed block runs at least `min_ms`, then reports ns per call.
+template <class Fn>
+double measure_ns(Fn&& fn, double min_ms) {
+  fn();  // warmup
+  std::size_t iters = 1;
+  for (;;) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+    if (ns >= min_ms * 1e6 || iters >= (std::size_t{1} << 22)) {
+      return ns / static_cast<double>(iters);
+    }
+    iters *= 4;
+  }
+}
+
+// Record-count scaling of the local query engine: indexed (columnar store +
+// postings indexes + selectivity-ordered plan) vs the naive scan baseline
+// (same store with indexing disabled). Emits BENCH_query.json with one entry
+// per (criterion, records, engine) for the perf trajectory; both engines
+// must return identical glsn sets on every criterion.
+int run_store_scaling(bool smoke, const std::string& json_path) {
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{300}
+            : std::vector<std::size_t>{300, 3000, 30000};
+  const double min_ms = smoke ? 2.0 : 50.0;
+  const logm::Schema schema = logm::paper_schema();
+
+  std::ostringstream json;
+  json << "[\n";
+  bool first_entry = true;
+  int mismatches = 0;
+
+  std::cout << "local query engine scaling — indexed vs scan baseline\n\n";
+  std::cout << std::left << std::setw(44) << "criterion" << std::right
+            << std::setw(8) << "records" << std::setw(7) << "hits"
+            << std::setw(12) << "scan_ns" << std::setw(12) << "idx_ns"
+            << std::setw(9) << "speedup" << std::setw(10) << "idx_rows"
+            << std::setw(7) << "match" << "\n";
+
+  std::size_t sink = 0;
+  for (std::size_t records : sizes) {
+    crypto::ChaCha20Rng rng(2026 + records);
+    logm::WorkloadSpec spec;
+    spec.records = records;
+    const auto recs = logm::generate_workload(spec, rng);
+
+    logm::FragmentStore indexed;
+    logm::FragmentStore scan;
+    scan.set_indexing(false);
+    std::vector<std::int64_t> times;
+    times.reserve(recs.size());
+    for (const auto& rec : recs) {
+      indexed.put(logm::Fragment{rec.glsn, rec.attrs});
+      scan.put(logm::Fragment{rec.glsn, rec.attrs});
+      times.push_back(rec.attrs.at("Time").as_int());
+    }
+    std::sort(times.begin(), times.end());
+    const std::int64_t t_lo = times[records * 2 / 5];
+    const std::int64_t t_hi = times[records * 3 / 5];
+
+    struct Criterion {
+      std::string text;
+      const char* kind;
+    };
+    const std::vector<Criterion> suite = {
+        {"id = 'U3'", "equality"},
+        {"protocl = 'TCP'", "equality"},
+        {"C2 > 900.0", "range"},
+        {"Time >= " + std::to_string(t_lo) +
+             " AND Time <= " + std::to_string(t_hi),
+         "range"},
+        {"id = 'U3' AND C2 > 500.0", "conjunction"},
+        {"id IN ('U1', 'U3', 'U5')", "in-fan"},
+        {"C1 < C2", "fallback"},
+    };
+
+    for (const Criterion& c : suite) {
+      const audit::Expr expr = audit::parse(c.text, schema);
+
+      const auto idx_hits = audit::eval_local_indexed(expr, indexed);
+      const auto scan_hits = audit::eval_local_scan(expr, scan);
+      const bool match = idx_hits == scan_hits;
+      if (!match) ++mismatches;
+
+      audit::reset_query_engine_counters();
+      audit::eval_local_indexed(expr, indexed);
+      const std::uint64_t idx_rows =
+          audit::query_engine_counters().rows_scanned;
+      audit::reset_query_engine_counters();
+      audit::eval_local_scan(expr, scan);
+      const std::uint64_t scan_rows =
+          audit::query_engine_counters().rows_scanned;
+
+      const double idx_ns = measure_ns(
+          [&] { sink += audit::eval_local_indexed(expr, indexed).size(); },
+          min_ms);
+      const double scan_ns = measure_ns(
+          [&] { sink += audit::eval_local_scan(expr, scan).size(); }, min_ms);
+      const double speedup = idx_ns > 0.0 ? scan_ns / idx_ns : 0.0;
+
+      std::cout << std::left << std::setw(44) << c.text << std::right
+                << std::setw(8) << records << std::setw(7) << idx_hits.size()
+                << std::setw(12) << std::fixed << std::setprecision(0)
+                << scan_ns << std::setw(12) << idx_ns << std::setw(8)
+                << std::setprecision(1) << speedup << "x" << std::setw(10)
+                << idx_rows << std::setw(7) << (match ? "yes" : "NO")
+                << "\n";
+
+      for (int engine = 0; engine < 2; ++engine) {
+        if (!first_entry) json << ",\n";
+        first_entry = false;
+        json << "  {\"criterion\": \"" << c.text << "\", \"kind\": \""
+             << c.kind << "\", \"records\": " << records
+             << ", \"engine\": \"" << (engine == 0 ? "indexed" : "scan")
+             << "\", \"ns\": " << std::fixed << std::setprecision(1)
+             << (engine == 0 ? idx_ns : scan_ns)
+             << ", \"rows_scanned\": " << (engine == 0 ? idx_rows : scan_rows)
+             << ", \"hits\": " << idx_hits.size() << ", \"match\": "
+             << (match ? "true" : "false");
+        if (engine == 0) {
+          json << ", \"speedup\": " << std::setprecision(2) << speedup;
+        }
+        json << "}";
+      }
+    }
+    std::cout << "\n";
+  }
+  json << "\n]\n";
+
+  std::ofstream out(json_path);
+  out << json.str();
+  std::cout << "wrote " << json_path << " (sink=" << sink << ")\n\n";
+  return mismatches;
+}
+
+}  // namespace
+
+int run_cluster_sections() {
   constexpr std::size_t kRecords = 300;
   crypto::ChaCha20Rng rng(2026);
   logm::WorkloadSpec wspec;
@@ -175,4 +326,26 @@ int main() {
     }
   }
   return 0;
+}
+
+// `--smoke` runs only the store-scaling section at its tier1-safe size (the
+// `bench`-labelled ctest entry); the full run adds the cluster-vs-centralized
+// comparison, certification ablation and aggregate suite.
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_query.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  const int mismatches = run_store_scaling(smoke, json_path);
+  if (mismatches != 0) {
+    std::cerr << "FATAL: " << mismatches
+              << " criteria diverged between indexed and scan engines\n";
+    return 1;
+  }
+  if (smoke) return 0;
+  return run_cluster_sections();
 }

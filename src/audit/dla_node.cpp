@@ -4,7 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "audit/local_query.hpp"
 #include "crypto/sha256.hpp"
+#include "logm/set_algebra.hpp"
 
 namespace dla::audit {
 
@@ -33,22 +35,6 @@ bn::BigUInt order_key(const logm::Value& value) {
 bn::BigUInt hash_key(const logm::Value& value, const bn::BigUInt& p) {
   crypto::Digest d = crypto::Sha256::hash(value.canonical());
   return bn::BigUInt::from_bytes({d.begin(), d.end()}) % p;
-}
-
-std::vector<logm::Glsn> intersect_sorted(std::vector<logm::Glsn> a,
-                                         std::vector<logm::Glsn> b) {
-  std::vector<logm::Glsn> out;
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
-}
-
-std::vector<logm::Glsn> union_sorted(std::vector<logm::Glsn> a,
-                                     std::vector<logm::Glsn> b) {
-  std::vector<logm::Glsn> out;
-  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
-                 std::back_inserter(out));
-  return out;
 }
 
 void sort_unique(std::vector<bn::BigUInt>& v) {
@@ -656,15 +642,9 @@ void DlaNode::handle_set_full(net::Simulator& sim, const net::Message& msg) {
       first = false;
       continue;
     }
-    std::vector<bn::BigUInt> merged;
-    if (spec.op == SetOp::Intersect) {
-      std::set_intersection(combined.begin(), combined.end(), set.begin(),
-                            set.end(), std::back_inserter(merged));
-    } else {
-      std::set_union(combined.begin(), combined.end(), set.begin(), set.end(),
-                     std::back_inserter(merged));
-    }
-    combined = std::move(merged);
+    combined = spec.op == SetOp::Intersect
+                   ? logm::intersect_sorted(combined, set)
+                   : logm::union_sorted(combined, set);
   }
   set_collect_.erase(spec.session);
   set_combined_guard_.insert(spec.session);
@@ -1218,13 +1198,9 @@ void DlaNode::handle_integrity_pass(net::Simulator& sim,
 // ================================================= query pipeline ==========
 
 std::vector<logm::Glsn> DlaNode::eval_local(const Expr& expr) const {
-  return store_for(attributes_of(expr)).select([&](const logm::Fragment& frag) {
-    try {
-      return evaluate(expr, frag.attrs);
-    } catch (const std::out_of_range&) {
-      return false;  // sparse record: referenced attribute absent
-    }
-  });
+  // Compiled, selectivity-ordered engine (docs/QUERY_ENGINE.md); falls back
+  // to the naive scan when the store runs with indexing disabled.
+  return eval_local_indexed(expr, store_for(attributes_of(expr)));
 }
 
 const logm::FragmentStore& DlaNode::store_for(
@@ -1744,8 +1720,8 @@ void DlaNode::handle_combine_exec(net::Simulator& sim,
       merged = std::move(set);
       first = false;
     } else {
-      merged = and_op ? intersect_sorted(std::move(merged), std::move(set))
-                      : union_sorted(std::move(merged), std::move(set));
+      merged = and_op ? logm::intersect_sorted(merged, set)
+                      : logm::union_sorted(merged, set);
     }
     result_sets_.erase(input);
   }

@@ -1,0 +1,426 @@
+#include "audit/local_query.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "audit/metrics.hpp"
+#include "logm/set_algebra.hpp"
+
+namespace dla::audit {
+namespace {
+
+// Tri-state row verdict replicating the naive evaluator's exception
+// semantics: `evaluate` throws std::out_of_range at the first missing
+// attribute it touches and eval_local maps that to "row does not match".
+// Missing therefore propagates upward exactly like the exception would —
+// And stops at the first non-True child, Or stops at the first True or
+// Missing child *in child order* — so compiled results match the scan
+// bit-for-bit even on fragments carrying a subset of the attributes.
+enum class Tri : std::uint8_t { False, True, Missing };
+
+// Flat compiled predicate program. Pred leaves carry pre-resolved column
+// pointers, so per-row evaluation does no string hashing, no map lookups
+// and no std::function indirection.
+struct ProgNode {
+  Expr::Kind kind = Expr::Kind::Pred;
+  CmpOp op = CmpOp::Eq;
+  bool rhs_is_attr = false;
+  const logm::FragmentStore::Column* lhs_col = nullptr;
+  const logm::FragmentStore::Column* rhs_col = nullptr;
+  const logm::Value* rhs_const = nullptr;  // points into the source Expr
+  std::uint32_t children_begin = 0;        // into Program::child_idx
+  std::uint32_t children_count = 0;
+};
+
+struct Program {
+  std::vector<ProgNode> nodes;
+  std::vector<std::uint32_t> child_idx;
+  std::uint32_t root = 0;
+
+  Tri eval(std::uint32_t node, std::size_t row) const {
+    const ProgNode& nd = nodes[node];
+    switch (nd.kind) {
+      case Expr::Kind::Pred: {
+        const logm::Value* lhs = nd.lhs_col ? nd.lhs_col->cells[row] : nullptr;
+        if (lhs == nullptr) return Tri::Missing;
+        const logm::Value* rhs =
+            nd.rhs_is_attr ? (nd.rhs_col ? nd.rhs_col->cells[row] : nullptr)
+                           : nd.rhs_const;
+        if (rhs == nullptr) return Tri::Missing;
+        return compare_values(*lhs, nd.op, *rhs) ? Tri::True : Tri::False;
+      }
+      case Expr::Kind::And:
+        for (std::uint32_t i = 0; i < nd.children_count; ++i) {
+          Tri v = eval(child_idx[nd.children_begin + i], row);
+          if (v != Tri::True) return v;
+        }
+        return Tri::True;
+      case Expr::Kind::Or:
+        for (std::uint32_t i = 0; i < nd.children_count; ++i) {
+          Tri v = eval(child_idx[nd.children_begin + i], row);
+          if (v != Tri::False) return v;
+        }
+        return Tri::False;
+      case Expr::Kind::Not: {
+        Tri v = eval(child_idx[nd.children_begin], row);
+        if (v == Tri::Missing) return v;
+        return v == Tri::True ? Tri::False : Tri::True;
+      }
+    }
+    throw std::logic_error("local_query: corrupt program");
+  }
+};
+
+std::uint32_t compile_node(const Expr& expr, const logm::FragmentStore& store,
+                           Program& prog) {
+  ProgNode nd{};
+  nd.kind = expr.kind;
+  if (expr.kind == Expr::Kind::Pred) {
+    nd.op = expr.pred.op;
+    nd.rhs_is_attr = expr.pred.rhs_is_attr;
+    nd.lhs_col = store.column(expr.pred.lhs);
+    if (expr.pred.rhs_is_attr) {
+      nd.rhs_col = store.column(expr.pred.rhs_attr);
+    } else {
+      nd.rhs_const = &expr.pred.rhs_const;
+    }
+  } else {
+    std::vector<std::uint32_t> kids;
+    kids.reserve(expr.children.size());
+    for (const Expr& child : expr.children) {
+      kids.push_back(compile_node(child, store, prog));
+    }
+    nd.children_begin = static_cast<std::uint32_t>(prog.child_idx.size());
+    nd.children_count = static_cast<std::uint32_t>(kids.size());
+    prog.child_idx.insert(prog.child_idx.end(), kids.begin(), kids.end());
+  }
+  prog.nodes.push_back(nd);
+  return static_cast<std::uint32_t>(prog.nodes.size() - 1);
+}
+
+// The Expr must outlive the program: Pred leaves alias its rhs constants.
+Program compile(const Expr& expr, const logm::FragmentStore& store) {
+  Program prog;
+  prog.root = compile_node(expr, store, prog);
+  return prog;
+}
+
+// ---- index access paths ----------------------------------------------------
+
+struct Probe {
+  CmpOp op = CmpOp::Eq;
+  const logm::Value* value = nullptr;  // points into the source Expr
+};
+
+// One index access path. Either a disjunction of probes over one attribute
+// (equality / OR-fan), or — when `probes` is empty — a bounded range scan:
+// same-attribute range conjuncts (`Time >= a AND Time <= b`, the BETWEEN
+// shape) fuse into a single [lo, hi] slice instead of materializing and
+// intersecting two broad half-open runs.
+struct AccessPath {
+  const logm::AttributeIndex* index = nullptr;
+  std::vector<Probe> probes;  // disjunction over one attribute
+  const logm::Value* lo = nullptr;
+  bool lo_incl = false;
+  const logm::Value* hi = nullptr;
+  bool hi_incl = false;
+  double estimate = 0.0;
+  std::vector<const Expr*> sources;  // conjuncts folded into this path
+};
+
+// A probe may use the index only when the index answer provably matches
+// the naive evaluator: constant Eq always; ordered ops only on all-numeric
+// columns with numeric probes, because the naive path *throws*
+// std::invalid_argument on ordered text-vs-numeric comparisons and that
+// throw must propagate identically (so such shapes stay residual). Ne and
+// attribute-vs-attribute predicates are never index probes.
+bool indexable_probe(const logm::AttributeIndex& idx, const Predicate& pred) {
+  if (pred.rhs_is_attr || pred.op == CmpOp::Ne) return false;
+  if (pred.op == CmpOp::Eq) return true;
+  const logm::Value* mx = idx.max_value();
+  return pred.rhs_const.is_numeric() && (mx == nullptr || mx->is_numeric());
+}
+
+// Estimated matching rows for an equality/OR-fan probe: exact postings
+// sizes (the cheap, precise half of the column stats).
+double estimate_probe(const logm::AttributeIndex& idx, CmpOp op,
+                      const logm::Value& value) {
+  if (op == CmpOp::Eq) {
+    const std::vector<logm::Glsn>* run = idx.equal(value);
+    return run == nullptr ? 0.0 : static_cast<double>(run->size());
+  }
+  return static_cast<double>(idx.rows());  // not used for range paths
+}
+
+// Estimated matching rows for a bounded range: interpolate both bounds
+// between the column's min/max (equi-width assumption).
+double estimate_range(const logm::AttributeIndex& idx, const logm::Value* lo,
+                      const logm::Value* hi, bool lo_incl, bool hi_incl) {
+  if (idx.rows() == 0) return 0.0;
+  const logm::Value* mn = idx.min_value();
+  const logm::Value* mx = idx.max_value();
+  if (!mn->is_numeric() || !mx->is_numeric()) {
+    return static_cast<double>(idx.rows()) / 2.0;
+  }
+  const double col_lo = mn->as_real();
+  const double col_hi = mx->as_real();
+  if (col_hi <= col_lo) {  // single distinct value: all in or all out
+    bool in = true;
+    if (lo) in = in && compare_values(*mn, lo_incl ? CmpOp::Ge : CmpOp::Gt,
+                                      *lo);
+    if (hi) in = in && compare_values(*mn, hi_incl ? CmpOp::Le : CmpOp::Lt,
+                                      *hi);
+    return in ? static_cast<double>(idx.rows()) : 0.0;
+  }
+  const double width = col_hi - col_lo;
+  const double f_lo =
+      lo ? std::clamp((lo->as_real() - col_lo) / width, 0.0, 1.0) : 0.0;
+  const double f_hi =
+      hi ? std::clamp((hi->as_real() - col_lo) / width, 0.0, 1.0) : 1.0;
+  return std::max(0.0, f_hi - f_lo) * static_cast<double>(idx.rows());
+}
+
+// Tightens a path's bounds with another one-sided range predicate; on an
+// equivalent bound value, the strict comparison wins.
+void tighten_bounds(AccessPath& path, CmpOp op, const logm::Value* value) {
+  const logm::ValueLess less;
+  if (op == CmpOp::Gt || op == CmpOp::Ge) {
+    const bool incl = op == CmpOp::Ge;
+    if (path.lo == nullptr || less(*path.lo, *value)) {
+      path.lo = value;
+      path.lo_incl = incl;
+    } else if (!less(*value, *path.lo) && !incl) {
+      path.lo_incl = false;
+    }
+  } else {
+    const bool incl = op == CmpOp::Le;
+    if (path.hi == nullptr || less(*value, *path.hi)) {
+      path.hi = value;
+      path.hi_incl = incl;
+    } else if (!less(*path.hi, *value) && !incl) {
+      path.hi_incl = false;
+    }
+  }
+}
+
+// An indexable conjunct is a constant predicate on one indexed attribute,
+// or an OR-fan of such predicates over the *same* attribute (the shape
+// IN-lists desugar to). Same-attribute matters for equivalence: the naive
+// OR aborts the whole row when an earlier child hits a missing attribute,
+// so a union across different attributes could admit rows the scan rejects.
+std::optional<AccessPath> make_access_path(const Expr& conjunct,
+                                           const logm::FragmentStore& store) {
+  if (conjunct.kind == Expr::Kind::Pred) {
+    const logm::AttributeIndex* idx = store.attr_index(conjunct.pred.lhs);
+    if (idx == nullptr || !indexable_probe(*idx, conjunct.pred)) {
+      return std::nullopt;
+    }
+    AccessPath path;
+    path.index = idx;
+    path.sources.push_back(&conjunct);
+    if (conjunct.pred.op == CmpOp::Eq) {
+      path.probes.push_back(Probe{CmpOp::Eq, &conjunct.pred.rhs_const});
+      path.estimate = estimate_probe(*idx, CmpOp::Eq, conjunct.pred.rhs_const);
+    } else {
+      // Ordered predicates become range paths so same-attribute conjuncts
+      // can fuse into one bounded slice before execution.
+      tighten_bounds(path, conjunct.pred.op, &conjunct.pred.rhs_const);
+      path.estimate = estimate_range(*idx, path.lo, path.hi, path.lo_incl,
+                                     path.hi_incl);
+    }
+    return path;
+  }
+  if (conjunct.kind != Expr::Kind::Or || conjunct.children.empty()) {
+    return std::nullopt;
+  }
+  const Expr& first = conjunct.children.front();
+  if (first.kind != Expr::Kind::Pred) return std::nullopt;
+  const logm::AttributeIndex* idx = store.attr_index(first.pred.lhs);
+  if (idx == nullptr) return std::nullopt;
+  AccessPath path;
+  path.index = idx;
+  path.sources.push_back(&conjunct);
+  for (const Expr& child : conjunct.children) {
+    if (child.kind != Expr::Kind::Pred || child.pred.lhs != first.pred.lhs ||
+        !indexable_probe(*idx, child.pred)) {
+      return std::nullopt;
+    }
+    path.probes.push_back(Probe{child.pred.op, &child.pred.rhs_const});
+    path.estimate += estimate_probe(*idx, child.pred.op, child.pred.rhs_const);
+  }
+  path.estimate =
+      std::min(path.estimate, static_cast<double>(idx->rows()));
+  return path;
+}
+
+std::vector<logm::Glsn> run_for_probe(const logm::AttributeIndex& idx,
+                                      const Probe& probe) {
+  switch (probe.op) {
+    case CmpOp::Eq: {
+      const std::vector<logm::Glsn>* run = idx.equal(*probe.value);
+      return run == nullptr ? std::vector<logm::Glsn>{} : *run;
+    }
+    case CmpOp::Lt:
+      return idx.range(nullptr, false, probe.value, false);
+    case CmpOp::Le:
+      return idx.range(nullptr, false, probe.value, true);
+    case CmpOp::Gt:
+      return idx.range(probe.value, false, nullptr, false);
+    case CmpOp::Ge:
+      return idx.range(probe.value, true, nullptr, false);
+    default:
+      return {};
+  }
+}
+
+std::vector<logm::Glsn> execute_path(const AccessPath& path) {
+  if (path.probes.empty()) {
+    return path.index->range(path.lo, path.lo_incl, path.hi, path.hi_incl);
+  }
+  std::vector<logm::Glsn> out = run_for_probe(*path.index, path.probes[0]);
+  for (std::size_t i = 1; i < path.probes.size(); ++i) {
+    out = logm::union_sorted(out, run_for_probe(*path.index, path.probes[i]));
+  }
+  return out;
+}
+
+// Merges range paths over the same index into one bounded [lo, hi] slice —
+// `Time >= a AND Time <= b` executes as a single postings-map walk instead
+// of two broad half-open runs intersected afterwards.
+void fuse_range_paths(std::vector<AccessPath>& paths) {
+  std::vector<AccessPath> fused;
+  fused.reserve(paths.size());
+  for (AccessPath& path : paths) {
+    AccessPath* host = nullptr;
+    if (path.probes.empty()) {
+      for (AccessPath& f : fused) {
+        if (f.probes.empty() && f.index == path.index) {
+          host = &f;
+          break;
+        }
+      }
+    }
+    if (host == nullptr) {
+      fused.push_back(std::move(path));
+      continue;
+    }
+    if (path.lo != nullptr) {
+      tighten_bounds(*host, path.lo_incl ? CmpOp::Ge : CmpOp::Gt, path.lo);
+    }
+    if (path.hi != nullptr) {
+      tighten_bounds(*host, path.hi_incl ? CmpOp::Le : CmpOp::Lt, path.hi);
+    }
+    host->sources.insert(host->sources.end(), path.sources.begin(),
+                         path.sources.end());
+    host->estimate = estimate_range(*host->index, host->lo, host->hi,
+                                    host->lo_incl, host->hi_incl);
+  }
+  paths = std::move(fused);
+}
+
+}  // namespace
+
+std::vector<logm::Glsn> eval_local_scan(const Expr& expr,
+                                        const logm::FragmentStore& store) {
+  QueryEngineCounters& ctr = detail::query_engine_counters_mut();
+  ctr.rows_scanned += store.size();
+  return store.select([&](const logm::Fragment& frag) {
+    try {
+      return evaluate(expr, frag.attrs);
+    } catch (const std::out_of_range&) {
+      // A fragment missing a referenced attribute simply does not match.
+      return false;
+    }
+  });
+}
+
+std::vector<logm::Glsn> eval_local_indexed(const Expr& expr,
+                                           const logm::FragmentStore& store) {
+  QueryEngineCounters& ctr = detail::query_engine_counters_mut();
+  if (!store.indexing()) {
+    ++ctr.planner_fallbacks;
+    return eval_local_scan(expr, store);
+  }
+
+  const Expr normalized = push_negations(expr);
+  const std::vector<Expr> conjuncts = to_conjunctive(normalized);
+
+  std::vector<AccessPath> paths;
+  std::vector<const Expr*> residual;
+  for (const Expr& conjunct : conjuncts) {
+    if (std::optional<AccessPath> path = make_access_path(conjunct, store)) {
+      paths.push_back(std::move(*path));
+    } else {
+      residual.push_back(&conjunct);
+    }
+  }
+
+  if (paths.empty()) {
+    // No index applies: tight full scan over the columnar mirror.
+    ++ctr.planner_fallbacks;
+    const Program prog = compile(normalized, store);
+    const std::vector<logm::Glsn>& rows = store.row_glsns();
+    ctr.rows_scanned += rows.size();
+    std::vector<logm::Glsn> out;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (prog.eval(prog.root, r) == Tri::True) out.push_back(rows[r]);
+    }
+    return out;
+  }
+
+  fuse_range_paths(paths);
+
+  // Most selective first; ties keep conjunct order.
+  std::stable_sort(paths.begin(), paths.end(),
+                   [](const AccessPath& a, const AccessPath& b) {
+                     return a.estimate < b.estimate;
+                   });
+
+  std::vector<logm::Glsn> current;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (i > 0 && static_cast<double>(current.size()) * 4.0 <
+                     paths[i].estimate) {
+      // The running intersection is already far smaller than this path's
+      // run would be: probing the survivors row-by-row beats materializing
+      // and intersecting the big run. Demote the path to a residual.
+      residual.insert(residual.end(), paths[i].sources.begin(),
+                      paths[i].sources.end());
+      continue;
+    }
+    std::vector<logm::Glsn> run = execute_path(paths[i]);
+    ++ctr.index_hits;
+    current = i == 0 ? std::move(run) : logm::intersect_sorted(current, run);
+    if (current.empty()) {
+      std::size_t skipped = residual.size();
+      for (std::size_t j = i + 1; j < paths.size(); ++j) {
+        skipped += paths[j].sources.size();
+      }
+      ctr.conjuncts_short_circuited += skipped;
+      return current;
+    }
+  }
+  if (residual.empty()) return current;
+
+  // Compile the residual conjuncts once (original conjunct order) and probe
+  // only the rows that survived the index intersection.
+  std::vector<Expr> residual_children;
+  residual_children.reserve(residual.size());
+  for (const Expr* conjunct : residual) residual_children.push_back(*conjunct);
+  const Expr residual_and = residual.size() == 1
+                                ? residual_children.front()
+                                : Expr::make_and(std::move(residual_children));
+  const Program prog = compile(residual_and, store);
+  ctr.rows_scanned += current.size();
+  std::vector<logm::Glsn> out;
+  out.reserve(current.size());
+  for (logm::Glsn glsn : current) {
+    const std::optional<std::size_t> row = store.row_of(glsn);
+    if (row && prog.eval(prog.root, *row) == Tri::True) out.push_back(glsn);
+  }
+  return out;
+}
+
+}  // namespace dla::audit

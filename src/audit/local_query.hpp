@@ -1,0 +1,50 @@
+// Compiled, selectivity-ordered execution of local subqueries.
+//
+// `DlaNode::eval_local` used to answer every local subquery (the common case
+// after Figure 3's classification) with a full fragment scan, calling the
+// interpreted `evaluate()` through a std::function with per-fragment
+// std::map attribute lookups. This module lowers the subquery Expr into a
+// plan over the FragmentStore's columnar mirror instead:
+//
+//   1. Normalize (push_negations) and flatten the top-level conjunction.
+//   2. Conjuncts whose predicates are constant equality/range comparisons on
+//      an indexed attribute (including OR-fans over a single attribute, the
+//      shape IN-lists desugar to) become index access paths: sorted glsn
+//      runs pulled straight from the value->postings index.
+//   3. The planner orders access paths by estimated selectivity (exact
+//      postings sizes for equality, min/max interpolation over the column
+//      stats for ranges), intersects the runs with the shared sorted-set
+//      algebra, and short-circuits the moment the running intersection
+//      empties.
+//   4. Everything else is a residual conjunct, compiled once into a flat
+//      node program with pre-resolved column-cell pointers and evaluated
+//      per surviving row — no std::function, no per-row map lookups.
+//
+// Equivalence contract: the result is bit-identical to the naive scan
+// (`select` + `evaluate` with missing-attribute => non-match) on every
+// workload, including fragments that carry only a subset of the referenced
+// attributes. See docs/QUERY_ENGINE.md for the tri-state semantics that
+// makes OR-over-missing-attributes safe. Counters land in
+// audit::metrics::query_engine_counters().
+#pragma once
+
+#include <vector>
+
+#include "audit/query.hpp"
+#include "logm/store.hpp"
+
+namespace dla::audit {
+
+// Indexed evaluation. Falls back to the scan path (and counts a planner
+// fallback) when the store has indexing disabled or no conjunct is
+// indexable. Returns glsns sorted ascending.
+std::vector<logm::Glsn> eval_local_indexed(const Expr& expr,
+                                           const logm::FragmentStore& store);
+
+// The naive scan baseline: full fragment scan through `evaluate`, missing
+// attributes treated as non-matching. Exported for differential tests and
+// the scan-vs-indexed benchmark; adds the scanned rows to the counters.
+std::vector<logm::Glsn> eval_local_scan(const Expr& expr,
+                                        const logm::FragmentStore& store);
+
+}  // namespace dla::audit

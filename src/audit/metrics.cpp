@@ -71,6 +71,21 @@ CryptoOpCounters crypto_op_counters() {
 
 void reset_crypto_op_counters() { crypto::reset_modexp_stats(); }
 
+namespace detail {
+QueryEngineCounters& query_engine_counters_mut() {
+  static QueryEngineCounters counters;
+  return counters;
+}
+}  // namespace detail
+
+QueryEngineCounters query_engine_counters() {
+  return detail::query_engine_counters_mut();
+}
+
+void reset_query_engine_counters() {
+  detail::query_engine_counters_mut() = QueryEngineCounters{};
+}
+
 ChaosCounters chaos_counters(const net::Simulator& sim) {
   const net::NetworkStats& stats = sim.stats();
   return ChaosCounters{stats.chaos_drops, stats.duplicates_injected,

@@ -66,6 +66,27 @@ struct CryptoOpCounters {
 CryptoOpCounters crypto_op_counters();
 void reset_crypto_op_counters();
 
+// ---- query-engine counters -----------------------------------------------
+// Process-wide counters for the compiled local query engine (see
+// docs/QUERY_ENGINE.md): how often an index access path answered a conjunct,
+// how many rows the residual/fallback scans touched, how many conjuncts were
+// skipped because the running glsn intersection emptied, and how often the
+// planner fell back to a full scan (no usable index, or indexing disabled on
+// the store).
+struct QueryEngineCounters {
+  std::uint64_t index_hits = 0;
+  std::uint64_t rows_scanned = 0;
+  std::uint64_t conjuncts_short_circuited = 0;
+  std::uint64_t planner_fallbacks = 0;
+};
+QueryEngineCounters query_engine_counters();
+void reset_query_engine_counters();
+
+namespace detail {
+// Mutable handle for the engine itself; drivers read through the accessors.
+QueryEngineCounters& query_engine_counters_mut();
+}  // namespace detail
+
 // ---- chaos counters ------------------------------------------------------
 // Fault-injection counters surfaced from the network layer (net::ChaosEngine
 // via net::NetworkStats) so audit-level drivers can report how much chaos a

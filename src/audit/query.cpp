@@ -378,19 +378,6 @@ class Parser {
   const logm::Schema& schema_;
 };
 
-bool compare(const logm::Value& lhs, CmpOp op, const logm::Value& rhs) {
-  if (op == CmpOp::Eq) return lhs == rhs;
-  if (op == CmpOp::Ne) return !(lhs == rhs);
-  auto c = lhs.compare(rhs);
-  switch (op) {
-    case CmpOp::Lt: return c == std::partial_ordering::less;
-    case CmpOp::Le: return c != std::partial_ordering::greater;
-    case CmpOp::Gt: return c == std::partial_ordering::greater;
-    case CmpOp::Ge: return c != std::partial_ordering::less;
-    default: return false;
-  }
-}
-
 void collect_attributes(const Expr& expr, std::set<std::string>& out) {
   if (expr.kind == Expr::Kind::Pred) {
     out.insert(expr.pred.lhs);
@@ -413,6 +400,19 @@ void collect_stats(const Expr& expr, PredicateStats& stats) {
 
 Expr parse(std::string_view text, const logm::Schema& schema) {
   return Parser(text, schema).parse_query();
+}
+
+bool compare_values(const logm::Value& lhs, CmpOp op, const logm::Value& rhs) {
+  if (op == CmpOp::Eq) return lhs == rhs;
+  if (op == CmpOp::Ne) return !(lhs == rhs);
+  auto c = lhs.compare(rhs);
+  switch (op) {
+    case CmpOp::Lt: return c == std::partial_ordering::less;
+    case CmpOp::Le: return c != std::partial_ordering::greater;
+    case CmpOp::Gt: return c == std::partial_ordering::greater;
+    case CmpOp::Ge: return c != std::partial_ordering::less;
+    default: return false;
+  }
 }
 
 Expr push_negations(const Expr& expr) {
@@ -509,7 +509,7 @@ bool evaluate(const Expr& expr,
       const logm::Value& lhs = attrs.at(p.lhs);
       const logm::Value& rhs =
           p.rhs_is_attr ? attrs.at(p.rhs_attr) : p.rhs_const;
-      return compare(lhs, p.op, rhs);
+      return compare_values(lhs, p.op, rhs);
     }
     case Expr::Kind::And:
       for (const auto& c : expr.children) {

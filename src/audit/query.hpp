@@ -96,6 +96,13 @@ struct Subquery {
 std::vector<Subquery> classify(const std::vector<Expr>& conjuncts,
                                const logm::AttributePartition& partition);
 
+// Applies one comparison operator with the evaluator's exact semantics:
+// Eq/Ne via Value::operator== (text-vs-numeric compares unequal), the
+// ordered operators via Value::compare (text-vs-numeric throws
+// std::invalid_argument). Shared with the compiled local query engine so
+// both paths agree bit-for-bit.
+bool compare_values(const logm::Value& lhs, CmpOp op, const logm::Value& rhs);
+
 // Direct evaluation of an expression against a full attribute map. Throws
 // std::out_of_range if a referenced attribute is missing. NOT nodes are
 // supported (used by the centralized baseline on raw records).

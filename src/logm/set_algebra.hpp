@@ -1,0 +1,95 @@
+// Sorted-set algebra over strictly increasing vectors.
+//
+// The glsn-set protocol layer only ever consumes sorted, duplicate-free
+// sequences: local subquery results, ring-pass staging sets (as Z_p residues)
+// and the final combine all operate on sorted runs. This header is the single
+// shared implementation of intersect/union/difference over such runs; it is
+// templated on the element type so the same code serves `logm::Glsn`
+// (combine/merge paths) and `bn::BigUInt` (ring-pass staging).
+//
+// Intersection switches to a galloping (exponential-search) probe when the
+// inputs are heavily skewed in size — the common case after the planner has
+// ordered conjuncts by selectivity, where a tiny equality run is intersected
+// against a broad range run. The linear merge is kept for balanced inputs
+// where it is cache-friendlier.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <iterator>
+#include <vector>
+
+namespace dla::logm {
+
+namespace set_detail {
+
+// Exponential search: first position in [first, last) not less than key,
+// assuming the answer is likely near `first`. O(log distance) comparisons.
+template <class It, class T>
+It gallop_lower_bound(It first, It last, const T& key) {
+  std::size_t step = 1;
+  It probe = first;
+  while (probe != last && *probe < key) {
+    first = std::next(probe);
+    const std::size_t remaining =
+        static_cast<std::size_t>(std::distance(first, last));
+    probe = std::next(first, std::min(step, remaining));
+    step *= 2;
+    if (probe == first) break;
+  }
+  return std::lower_bound(first, probe, key);
+}
+
+// Size ratio beyond which probing the large side element-by-element from the
+// small side beats a linear merge.
+inline constexpr std::size_t kGallopSkew = 16;
+
+}  // namespace set_detail
+
+// Intersection of two sorted duplicate-free runs; output is sorted and
+// duplicate-free. Gallops over the larger side when sizes are skewed.
+template <class T>
+std::vector<T> intersect_sorted(const std::vector<T>& a,
+                                const std::vector<T>& b) {
+  const std::vector<T>& small = a.size() <= b.size() ? a : b;
+  const std::vector<T>& large = a.size() <= b.size() ? b : a;
+  std::vector<T> out;
+  if (small.empty()) return out;
+  out.reserve(small.size());
+  if (large.size() / small.size() >= set_detail::kGallopSkew) {
+    auto cursor = large.begin();
+    for (const T& key : small) {
+      cursor = set_detail::gallop_lower_bound(cursor, large.end(), key);
+      if (cursor == large.end()) break;
+      if (!(key < *cursor)) out.push_back(key);
+    }
+    return out;
+  }
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+// Union of two sorted duplicate-free runs; an element present in both appears
+// once in the output.
+template <class T>
+std::vector<T> union_sorted(const std::vector<T>& a, const std::vector<T>& b) {
+  std::vector<T> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+// Elements of `a` not present in `b`; both inputs sorted and duplicate-free.
+template <class T>
+std::vector<T> difference_sorted(const std::vector<T>& a,
+                                 const std::vector<T>& b) {
+  std::vector<T> out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace dla::logm

@@ -1,11 +1,89 @@
 #include "logm/store.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace dla::logm {
 
+// ---- AttributeIndex --------------------------------------------------------
+
+void AttributeIndex::add(const Value& value, Glsn glsn) {
+  std::vector<Glsn>& run = postings_[value];
+  run.insert(std::lower_bound(run.begin(), run.end(), glsn), glsn);
+  ++rows_;
+}
+
+void AttributeIndex::remove(const Value& value, Glsn glsn) {
+  auto it = postings_.find(value);
+  if (it == postings_.end()) return;
+  std::vector<Glsn>& run = it->second;
+  auto pos = std::lower_bound(run.begin(), run.end(), glsn);
+  if (pos == run.end() || *pos != glsn) return;
+  run.erase(pos);
+  --rows_;
+  if (run.empty()) postings_.erase(it);
+}
+
+const std::vector<Glsn>* AttributeIndex::equal(const Value& value) const {
+  auto it = postings_.find(value);
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+std::vector<Glsn> AttributeIndex::range(const Value* lo, bool lo_inclusive,
+                                        const Value* hi,
+                                        bool hi_inclusive) const {
+  if (lo != nullptr && hi != nullptr) {
+    const ValueLess less;
+    // Inverted or empty interval: the bound iterators would cross.
+    if (less(*hi, *lo)) return {};
+    if (!less(*lo, *hi) && !(lo_inclusive && hi_inclusive)) return {};
+  }
+  auto first = lo == nullptr ? postings_.begin()
+               : lo_inclusive ? postings_.lower_bound(*lo)
+                              : postings_.upper_bound(*lo);
+  auto last = hi == nullptr ? postings_.end()
+              : hi_inclusive ? postings_.upper_bound(*hi)
+                             : postings_.lower_bound(*hi);
+  std::vector<Glsn> out;
+  for (auto it = first; it != last; ++it) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  // Postings interleave glsns arbitrarily across values; one sort restores
+  // the global run order the set algebra requires. Each glsn appears in at
+  // most one posting per attribute, so the result is duplicate-free.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const Value* AttributeIndex::min_value() const {
+  return postings_.empty() ? nullptr : &postings_.begin()->first;
+}
+
+const Value* AttributeIndex::max_value() const {
+  return postings_.empty() ? nullptr : &postings_.rbegin()->first;
+}
+
+// ---- FragmentStore ---------------------------------------------------------
+
+FragmentStore::FragmentStore(const FragmentStore& other)
+    : fragments_(other.fragments_), indexing_(other.indexing_) {
+  rebuild();
+}
+
+FragmentStore& FragmentStore::operator=(const FragmentStore& other) {
+  if (this == &other) return *this;
+  fragments_ = other.fragments_;
+  indexing_ = other.indexing_;
+  rebuild();
+  return *this;
+}
+
 void FragmentStore::put(Fragment fragment) {
-  fragments_[fragment.glsn] = std::move(fragment);
+  const Glsn glsn = fragment.glsn;
+  if (indexing_) detach(glsn);
+  Fragment& slot = fragments_[glsn];
+  slot = std::move(fragment);
+  if (indexing_) attach(slot);
 }
 
 const Fragment* FragmentStore::get(Glsn glsn) const {
@@ -13,15 +91,9 @@ const Fragment* FragmentStore::get(Glsn glsn) const {
   return it == fragments_.end() ? nullptr : &it->second;
 }
 
-bool FragmentStore::erase(Glsn glsn) { return fragments_.erase(glsn) > 0; }
-
-std::vector<Glsn> FragmentStore::select(
-    const std::function<bool(const Fragment&)>& predicate) const {
-  std::vector<Glsn> out;
-  for (const auto& [glsn, frag] : fragments_) {
-    if (predicate(frag)) out.push_back(glsn);
-  }
-  return out;
+bool FragmentStore::erase(Glsn glsn) {
+  if (indexing_) detach(glsn);
+  return fragments_.erase(glsn) > 0;
 }
 
 std::vector<Glsn> FragmentStore::glsns() const {
@@ -31,9 +103,74 @@ std::vector<Glsn> FragmentStore::glsns() const {
   return out;
 }
 
-void FragmentStore::for_each(
-    const std::function<void(const Fragment&)>& visit) const {
-  for (const auto& [glsn, frag] : fragments_) visit(frag);
+void FragmentStore::set_indexing(bool enabled) {
+  if (enabled == indexing_) return;
+  indexing_ = enabled;
+  rebuild();
+}
+
+const FragmentStore::Column* FragmentStore::column(
+    const std::string& attr) const {
+  auto it = columns_.find(attr);
+  return it == columns_.end() ? nullptr : &it->second;
+}
+
+const AttributeIndex* FragmentStore::attr_index(const std::string& attr) const {
+  auto it = indexes_.find(attr);
+  return it == indexes_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::size_t> FragmentStore::row_of(Glsn glsn) const {
+  auto it = std::lower_bound(rows_.begin(), rows_.end(), glsn);
+  if (it == rows_.end() || *it != glsn) return std::nullopt;
+  return static_cast<std::size_t>(it - rows_.begin());
+}
+
+void FragmentStore::attach(const Fragment& fragment) {
+  auto pos_it = std::lower_bound(rows_.begin(), rows_.end(), fragment.glsn);
+  const std::size_t pos = static_cast<std::size_t>(pos_it - rows_.begin());
+  rows_.insert(pos_it, fragment.glsn);
+  for (auto& [name, col] : columns_) {
+    col.cells.insert(col.cells.begin() + static_cast<std::ptrdiff_t>(pos),
+                     nullptr);
+  }
+  for (const auto& [name, value] : fragment.attrs) {
+    Column& col = columns_[name];
+    // A first-seen attribute backfills nulls for every existing row.
+    if (col.cells.size() < rows_.size()) col.cells.resize(rows_.size());
+    col.cells[pos] = &value;
+    ++col.present;
+    indexes_[name].add(value, fragment.glsn);
+  }
+}
+
+void FragmentStore::detach(Glsn glsn) {
+  auto frag_it = fragments_.find(glsn);
+  if (frag_it == fragments_.end()) return;
+  auto pos_it = std::lower_bound(rows_.begin(), rows_.end(), glsn);
+  if (pos_it == rows_.end() || *pos_it != glsn) return;
+  const std::size_t pos = static_cast<std::size_t>(pos_it - rows_.begin());
+  for (const auto& [name, value] : frag_it->second.attrs) {
+    auto col_it = columns_.find(name);
+    if (col_it != columns_.end() && col_it->second.cells[pos] != nullptr) {
+      --col_it->second.present;
+    }
+    auto idx_it = indexes_.find(name);
+    if (idx_it != indexes_.end()) idx_it->second.remove(value, glsn);
+  }
+  for (auto& [name, col] : columns_) {
+    col.cells.erase(col.cells.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  rows_.erase(pos_it);
+}
+
+void FragmentStore::rebuild() {
+  rows_.clear();
+  columns_.clear();
+  indexes_.clear();
+  if (!indexing_) return;
+  // Ascending map order makes every attach hit the append fast path.
+  for (const auto& [glsn, frag] : fragments_) attach(frag);
 }
 
 std::string_view to_string(Op op) {

@@ -60,10 +60,22 @@ const std::vector<std::string>& criteria() {
   return kCriteria;
 }
 
-Cluster make_cluster() {
-  return Cluster(Cluster::Options{logm::paper_schema(), 4, 1,
-                                  logm::paper_partition(), kWorkloadSeed,
-                                  /*auditor_users=*/true});
+// `indexed` toggles the FragmentStore columnar indexes on every DLA. The
+// oracle runs with indexing *disabled* (pure naive scans) while every sweep
+// cluster keeps the default indexed engine, so each tier-A equality check is
+// also an indexed-vs-scan differential: invariant I5 (result-set
+// equivalence) covers the compiled index path under chaos for free.
+Cluster make_cluster(bool indexed = true) {
+  Cluster cluster(Cluster::Options{logm::paper_schema(), 4, 1,
+                                   logm::paper_partition(), kWorkloadSeed,
+                                   /*auditor_users=*/true});
+  if (!indexed) {
+    for (std::size_t i = 0; i < cluster.dla_count(); ++i) {
+      cluster.dla(i).store().set_indexing(false);
+      cluster.dla(i).replica_store().set_indexing(false);
+    }
+  }
+  return cluster;
 }
 
 struct WorkloadRun {
@@ -107,11 +119,11 @@ WorkloadRun run_workload(Cluster& cluster) {
   return out;
 }
 
-// The fault-free oracle: one run without a chaos engine. Computed once and
-// shared by every sweep.
+// The fault-free oracle: one run without a chaos engine, on scan-mode
+// stores (indexing disabled). Computed once and shared by every sweep.
 const WorkloadRun& oracle() {
   static const WorkloadRun kOracle = [] {
-    Cluster cluster = make_cluster();
+    Cluster cluster = make_cluster(/*indexed=*/false);
     WorkloadRun run = run_workload(cluster);
     return run;
   }();
@@ -158,6 +170,16 @@ TEST(ChaosOracle, FaultFreeWorkloadSatisfiesEveryInvariant) {
   check_session_quiescence(cluster, report);
   check_column_confidentiality(cluster, report);
   check_glsn_sets_equal("fault-free rerun", assigned, rerun_glsns, report);
+  // The rerun uses the indexed engine while the oracle ran scan-mode
+  // stores: equal query results here are the fault-free half of the
+  // indexed-vs-scan differential (I5 over the index path).
+  for (std::size_t i = 0; i < rerun.queries.size(); ++i) {
+    ASSERT_TRUE(rerun.queries[i].has_value() && rerun.queries[i]->ok)
+        << criteria()[i];
+    check_glsn_sets_equal("indexed query '" + criteria()[i] + "'",
+                          (*base.queries[i]).glsns, rerun.queries[i]->glsns,
+                          report);
+  }
   EXPECT_TRUE(report.ok()) << report.summary();
 }
 

@@ -1,6 +1,8 @@
 // Tests for the Section 5 confidentiality metrics (Eqs. 10-13).
 #include "audit/metrics.hpp"
 
+#include "audit/local_query.hpp"
+
 #include <gtest/gtest.h>
 
 #include "logm/workload.hpp"
@@ -161,6 +163,93 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<std::size_t, std::size_t>{4, 4},
                       std::pair<std::size_t, std::size_t>{8, 8},
                       std::pair<std::size_t, std::size_t>{3, 16}));
+
+// ---- query-engine counters -------------------------------------------------
+
+logm::FragmentStore paper_store() {
+  logm::FragmentStore store;
+  for (const logm::LogRecord& rec : logm::paper_table1_records()) {
+    store.put(logm::Fragment{rec.glsn, rec.attrs});
+  }
+  return store;
+}
+
+TEST(Metrics, QueryEngineCountersTrackIndexHits) {
+  logm::FragmentStore store = paper_store();
+  const logm::Schema schema = logm::paper_schema();
+  reset_query_engine_counters();
+
+  // Pure index path: one access path, no residual rows touched.
+  eval_local_indexed(parse("id = 'U1'", schema), store);
+  QueryEngineCounters c = query_engine_counters();
+  EXPECT_EQ(c.index_hits, 1u);
+  EXPECT_EQ(c.rows_scanned, 0u);
+  EXPECT_EQ(c.planner_fallbacks, 0u);
+  EXPECT_EQ(c.conjuncts_short_circuited, 0u);
+
+  // Two indexable conjuncts: both runs execute, still no row probes.
+  reset_query_engine_counters();
+  eval_local_indexed(parse("id = 'U1' AND C2 < 100.0", schema), store);
+  c = query_engine_counters();
+  EXPECT_EQ(c.index_hits, 2u);
+  EXPECT_EQ(c.rows_scanned, 0u);
+}
+
+TEST(Metrics, QueryEngineCountersTrackShortCircuit) {
+  logm::FragmentStore store = paper_store();
+  const logm::Schema schema = logm::paper_schema();
+  reset_query_engine_counters();
+
+  // The planner runs the empty equality run first and skips the rest.
+  eval_local_indexed(
+      parse("id = 'NO_SUCH_USER' AND Time > 0 AND C1 < C2", schema), store);
+  QueryEngineCounters c = query_engine_counters();
+  EXPECT_EQ(c.index_hits, 1u);
+  EXPECT_EQ(c.conjuncts_short_circuited, 2u);  // Time range + residual
+  EXPECT_EQ(c.rows_scanned, 0u);
+}
+
+TEST(Metrics, QueryEngineCountersTrackFallbacks) {
+  logm::FragmentStore store = paper_store();
+  const logm::Schema schema = logm::paper_schema();
+
+  // Attribute-vs-attribute predicates have no index shape: full column scan.
+  reset_query_engine_counters();
+  eval_local_indexed(parse("C1 < C2", schema), store);
+  QueryEngineCounters c = query_engine_counters();
+  EXPECT_EQ(c.planner_fallbacks, 1u);
+  EXPECT_EQ(c.rows_scanned, store.size());
+  EXPECT_EQ(c.index_hits, 0u);
+
+  // Indexing disabled on the store: delegates to the naive scan baseline.
+  store.set_indexing(false);
+  reset_query_engine_counters();
+  eval_local_indexed(parse("id = 'U1'", schema), store);
+  c = query_engine_counters();
+  EXPECT_EQ(c.planner_fallbacks, 1u);
+  EXPECT_EQ(c.rows_scanned, store.size());
+  EXPECT_EQ(c.index_hits, 0u);
+
+  reset_query_engine_counters();
+  c = query_engine_counters();
+  EXPECT_EQ(c.index_hits, 0u);
+  EXPECT_EQ(c.rows_scanned, 0u);
+  EXPECT_EQ(c.conjuncts_short_circuited, 0u);
+  EXPECT_EQ(c.planner_fallbacks, 0u);
+}
+
+// Residual probing only touches rows surviving the index intersection.
+TEST(Metrics, QueryEngineCountersResidualRowsBounded) {
+  logm::FragmentStore store = paper_store();
+  const logm::Schema schema = logm::paper_schema();
+  reset_query_engine_counters();
+  const Expr expr = parse("id = 'U1' AND C1 < C2", schema);
+  const std::vector<logm::Glsn> hits = eval_local_indexed(expr, store);
+  QueryEngineCounters c = query_engine_counters();
+  EXPECT_EQ(c.index_hits, 1u);
+  EXPECT_LE(c.rows_scanned, store.size());
+  EXPECT_GE(c.rows_scanned, hits.size());
+}
 
 }  // namespace
 }  // namespace dla::audit

@@ -1,0 +1,116 @@
+// Unit tests for the shared sorted-set algebra (logm/set_algebra.hpp): the
+// single implementation behind the local combine path, the ring-pass staging
+// path and the indexed query engine's run intersection.
+#include "logm/set_algebra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "bignum/biguint.hpp"
+
+namespace dla::logm {
+namespace {
+
+using U64 = std::vector<std::uint64_t>;
+
+U64 reference_intersect(const U64& a, const U64& b) {
+  U64 out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+TEST(SetAlgebra, EmptyInputs) {
+  const U64 empty;
+  const U64 some{1, 5, 9};
+  EXPECT_EQ(intersect_sorted(empty, empty), empty);
+  EXPECT_EQ(intersect_sorted(empty, some), empty);
+  EXPECT_EQ(intersect_sorted(some, empty), empty);
+  EXPECT_EQ(union_sorted(empty, some), some);
+  EXPECT_EQ(union_sorted(some, empty), some);
+  EXPECT_EQ(union_sorted(empty, empty), empty);
+  EXPECT_EQ(difference_sorted(some, empty), some);
+  EXPECT_EQ(difference_sorted(empty, some), empty);
+}
+
+TEST(SetAlgebra, DisjointInputs) {
+  const U64 lo{1, 2, 3};
+  const U64 hi{10, 20, 30};
+  EXPECT_EQ(intersect_sorted(lo, hi), U64{});
+  EXPECT_EQ(union_sorted(lo, hi), (U64{1, 2, 3, 10, 20, 30}));
+  EXPECT_EQ(union_sorted(hi, lo), (U64{1, 2, 3, 10, 20, 30}));
+  EXPECT_EQ(difference_sorted(lo, hi), lo);
+}
+
+TEST(SetAlgebra, OverlappingInputs) {
+  const U64 a{1, 3, 5, 7, 9};
+  const U64 b{3, 4, 5, 6, 7};
+  EXPECT_EQ(intersect_sorted(a, b), (U64{3, 5, 7}));
+  EXPECT_EQ(union_sorted(a, b), (U64{1, 3, 4, 5, 6, 7, 9}));
+  EXPECT_EQ(difference_sorted(a, b), (U64{1, 9}));
+}
+
+// Skewed sizes drive the galloping branch; cross-check against the linear
+// std::set_intersection reference on randomized inputs.
+TEST(SetAlgebra, SkewedIntersectionMatchesReference) {
+  std::mt19937_64 rng(0x5e7a15eb);
+  for (int round = 0; round < 20; ++round) {
+    U64 large;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 5000; ++i) {
+      v += 1 + rng() % 7;
+      large.push_back(v);
+    }
+    U64 small;
+    std::sample(large.begin(), large.end(), std::back_inserter(small),
+                17, rng);
+    // Pepper in elements outside `large` so misses are exercised too.
+    for (int i = 0; i < 5; ++i) small.push_back(v + 10 + rng() % 100);
+    std::sort(small.begin(), small.end());
+    small.erase(std::unique(small.begin(), small.end()), small.end());
+
+    EXPECT_EQ(intersect_sorted(small, large),
+              reference_intersect(small, large));
+    EXPECT_EQ(intersect_sorted(large, small),
+              reference_intersect(small, large));
+  }
+}
+
+TEST(SetAlgebra, GallopHandlesBlockBoundaries) {
+  // Small side elements clustered at the very start, middle and end of the
+  // large side, hitting gallop restart and end-of-range paths.
+  U64 large;
+  for (std::uint64_t i = 0; i < 4096; ++i) large.push_back(i * 2);
+  const U64 small{0, 2, 4000, 4096, 8188, 8190, 9999};
+  EXPECT_EQ(intersect_sorted(small, large),
+            reference_intersect(small, large));
+}
+
+// The ring-pass staging path instantiates the same templates over BigUInt.
+TEST(SetAlgebra, WorksOverBigUInt) {
+  using B = bn::BigUInt;
+  const std::vector<B> a{B(1), B(7), B(1000000007)};
+  const std::vector<B> b{B(7), B(8), B(1000000007)};
+  const std::vector<B> both = intersect_sorted(a, b);
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(both[0], B(7));
+  EXPECT_EQ(both[1], B(1000000007));
+  EXPECT_EQ(union_sorted(a, b).size(), 4u);
+  const std::vector<B> only_a = difference_sorted(a, b);
+  ASSERT_EQ(only_a.size(), 1u);
+  EXPECT_EQ(only_a[0], B(1));
+}
+
+TEST(SetAlgebra, IdenticalInputs) {
+  const U64 a{2, 4, 6, 8};
+  EXPECT_EQ(intersect_sorted(a, a), a);
+  EXPECT_EQ(union_sorted(a, a), a);
+  EXPECT_EQ(difference_sorted(a, a), U64{});
+}
+
+}  // namespace
+}  // namespace dla::logm
