@@ -56,7 +56,7 @@ void DlaNode::configure(ConfigPtr cfg, std::size_t index) {
   cfg_ = std::move(cfg);
   index_ = index;
   tickets_.emplace(cfg_->ticket_key);
-  accum_mont_.emplace(cfg_->accum_params.n);
+  accum_stepper_.emplace(cfg_->accum_params);
 }
 
 SessionId DlaNode::fresh_session() {
@@ -131,8 +131,29 @@ void DlaNode::dispatch(net::Simulator& sim, const net::Message& msg) {
     case kCmpBatchResult: return handle_cmp_batch_result(sim, msg);
     case kSubqueryFetch: return handle_subquery_fetch(sim, msg);
     case kSubqueryData: return handle_subquery_data(sim, msg);
-    default:
-      break;  // unknown types are dropped (forward compatibility)
+    // Deliberately ignored: application-side replies (a cluster node is
+    // never the addressee of its own acks/results) and the evidence-chain
+    // membership handshake, which MemberNode/CertAuthority actors run.
+    // Every MsgType must appear here explicitly — dla_lint's msgtype-switch
+    // rule bans a silent `default:` so that a newly added message type fails
+    // lint until each dispatch decides to handle or ignore it. Raw u32
+    // values outside the enum fall through the switch and are dropped
+    // (forward compatibility).
+    case kLogAck:
+    case kFragmentReply:
+    case kDeleteReply:
+    case kCmpSpec:
+    case kCmpValue:
+    case kCmpBatch:
+    case kAuditResult:
+    case kAggregateResult:
+    case kScalarInit:
+    case kTokenRequest:
+    case kTokenReply:
+    case kPolicyProposal:
+    case kServiceCommitment:
+    case kEvidenceGrant:
+      break;
   }
 }
 
@@ -471,6 +492,11 @@ void DlaNode::handle_fragment_request(net::Simulator& sim,
   w.u64(reqid);
   w.u64(glsn);
   w.boolean(frag != nullptr);
+  // Authorized-result path: plaintext leaves the node only after the ticket
+  // check above proves the requester owns (or may audit) this record, and
+  // the reply carries a single fragment — never a cross-node join of
+  // attributes. Query handlers, by contrast, must only ever return glsns.
+  // DLA-LINT-ALLOW(plaintext-egress): ticket-authorized owner/auditor readback
   if (frag != nullptr) frag->encode(w);
   send_payload(sim, id(), msg.src, kFragmentReply, std::move(w));
 }
@@ -1148,9 +1174,8 @@ std::string DlaNode::fragment_canonical_or_missing(logm::Glsn glsn) const {
 void DlaNode::start_integrity_check(net::Simulator& sim, SessionId session,
                                     logm::Glsn glsn) {
   integrity_initiated_[session] = IntegritySession{glsn};
-  bn::BigUInt value = crypto::Accumulator::step_with(
-      *accum_mont_, cfg_->accum_params.x0,
-      fragment_canonical_or_missing(glsn));
+  bn::BigUInt value = accum_stepper_->step(
+      cfg_->accum_params.x0, fragment_canonical_or_missing(glsn));
   net::Writer w;
   w.u64(session);
   w.u64(glsn);
@@ -1183,8 +1208,7 @@ void DlaNode::handle_integrity_pass(net::Simulator& sim,
     if (on_integrity_result) on_integrity_result(session, glsn, ok);
     return;
   }
-  value = crypto::Accumulator::step_with(*accum_mont_, value,
-                                         fragment_canonical_or_missing(glsn));
+  value = accum_stepper_->step(value, fragment_canonical_or_missing(glsn));
   net::Writer w;
   w.u64(session);
   w.u64(glsn);

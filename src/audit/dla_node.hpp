@@ -30,6 +30,7 @@
 #include "audit/replay_guard.hpp"
 #include "audit/ticket.hpp"
 #include "audit/wire.hpp"
+#include "crypto/accumulator.hpp"
 #include "crypto/dkg.hpp"
 #include "crypto/rng.hpp"
 #include "crypto/shamir.hpp"
@@ -343,7 +344,7 @@ class DlaNode : public net::Node {
   logm::FragmentStore replica_store_;
   logm::AccessControlTable acl_;
   std::map<logm::Glsn, bn::BigUInt> deposits_;
-  std::optional<bn::MontgomeryContext> accum_mont_;  // for params.n
+  std::optional<crypto::AccumulatorStepper> accum_stepper_;  // for params.n
 
   // failure detector state.
   bool heartbeats_on_ = false;

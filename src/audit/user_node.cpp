@@ -269,6 +269,9 @@ void UserNode::on_message(net::Simulator& sim, const net::Message& msg) {
       case kFragmentReply: return handle_fragment_reply(sim, msg);
       case kDeleteReply: return handle_delete_reply(sim, msg);
       case kAggregateResult: return handle_aggregate_result(sim, msg);
+      // Application node: it only consumes the six reply types above, and
+      // cluster-internal protocol traffic is never addressed to users.
+      // DLA-LINT-ALLOW(msgtype-switch): application node, reply subset only
       default:
         break;
     }

@@ -50,4 +50,12 @@ Accumulator& Accumulator::add(std::string_view item) {
   return *this;
 }
 
+AccumulatorStepper::AccumulatorStepper(const Accumulator::Params& params)
+    : mont_(params.n) {}
+
+bn::BigUInt AccumulatorStepper::step(const bn::BigUInt& current,
+                                     std::string_view item) const {
+  return Accumulator::step_with(mont_, current, item);
+}
+
 }  // namespace dla::crypto

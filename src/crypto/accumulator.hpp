@@ -62,4 +62,18 @@ class Accumulator {
   bn::BigUInt value_;
 };
 
+// Key handle for the circulation step of the distributed integrity check: it
+// owns the Montgomery context for params.n so protocol code can fold many
+// steps efficiently without touching raw bignum kernels (dla_lint's
+// crypto-boundary rule keeps those confined to the crypto layer).
+class AccumulatorStepper {
+ public:
+  explicit AccumulatorStepper(const Accumulator::Params& params);
+
+  bn::BigUInt step(const bn::BigUInt& current, std::string_view item) const;
+
+ private:
+  bn::MontgomeryContext mont_;
+};
+
 }  // namespace dla::crypto

@@ -92,10 +92,11 @@ class WorkerPool {
             std::lock_guard<std::mutex> jl(join.mu);
             if (!join.error) join.error = std::current_exception();
           }
-          {
-            std::lock_guard<std::mutex> jl(join.mu);
-            --join.remaining;
-          }
+          // Notify while still holding join.mu: the waiter owns `join` on
+          // its stack and destroys it as soon as it observes remaining == 0,
+          // so an unlocked notify could touch a dead condition_variable.
+          std::lock_guard<std::mutex> jl(join.mu);
+          --join.remaining;
           join.done.notify_one();
         });
       }

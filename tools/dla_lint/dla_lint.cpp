@@ -1,0 +1,961 @@
+// dla_lint — repo-specific static analysis for the DLA codebase.
+//
+// Enforces, at lint time, the structural invariants the paper's guarantees
+// rest on (see docs/STATIC_ANALYSIS.md for the full rationale):
+//
+//   crypto-boundary      raw modpow/Montgomery kernels and their contexts may
+//                        only be touched under src/crypto/ and src/bignum/;
+//                        everything else must go through ModExpEngine or a
+//                        key-handle class (RsaKeyPair, AccumulatorStepper, ...).
+//   plaintext-egress     logm::Value / Fragment / LogRecord plaintext may only
+//                        be serialized toward the wire from the whitelisted
+//                        fragment-upload path (user_node.cpp) and the logm
+//                        codec layer itself — never from DLA-node handlers,
+//                        unless explicitly waived (authorized-result paths).
+//   nondeterminism       std::random_device, rand/srand, std::mt19937-family
+//                        engines and wall clocks are banned in protocol and
+//                        simulator code (src/audit, src/net): they silently
+//                        break seeded chaos replay and SHA-256 trace-chain
+//                        divergence pinpointing.
+//   unordered-container  std::unordered_* containers are banned in protocol
+//                        and simulator code: their iteration order is
+//                        unspecified, which breaks deterministic replay.
+//   msgtype-switch       a switch over MsgType must either handle every
+//                        enumerator explicitly (no default) or carry a waiver
+//                        on its default label; silently-defaulted dispatch is
+//                        how new message types lose coverage.
+//   msgtype-coverage     every MsgType enumerator must be *handled* (a case
+//                        label whose body does real work, or an explicit
+//                        msg.type == comparison) somewhere under src/.
+//   metrics-registry     every counter field declared in audit/metrics.hpp
+//                        counter structs must be written somewhere in src/
+//                        and documented in docs/*.md.
+//
+// Waiver syntax (same line or the line directly above the violation):
+//   // DLA-LINT-ALLOW(<rule>): <reason>
+// A waiver with no reason or an unknown rule id is itself a violation
+// (bad-waiver); a waiver that suppresses nothing is reported (unused-waiver)
+// so stale annotations cannot accumulate.
+//
+// Self-test mode (--self-test) runs the rules over a fixture tree whose files
+// carry // EXPECT(<rule>) annotations and verifies the diagnostic set matches
+// exactly (rule id + file + line), including that waivers suppress.
+//
+// Deliberately standalone C++17 with no libclang dependency: a lightweight
+// lexer is enough for these token-shaped rules, keeps the tool buildable
+// everywhere the tree builds, and runs over the whole repo in milliseconds.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(_WIN32)
+#error "dla_lint supports POSIX hosts only"
+#endif
+#include <dirent.h>
+#include <sys/stat.h>
+
+namespace {
+
+// ----------------------------------------------------------- diagnostics --
+
+struct Diagnostic {
+  std::string file;  // root-relative, forward slashes
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& rhs) const {
+    if (file != rhs.file) return file < rhs.file;
+    if (line != rhs.line) return line < rhs.line;
+    if (rule != rhs.rule) return rule < rhs.rule;
+    return message < rhs.message;
+  }
+};
+
+const std::set<std::string>& known_rules() {
+  static const std::set<std::string> rules = {
+      "crypto-boundary", "plaintext-egress",  "nondeterminism",
+      "unordered-container", "msgtype-switch", "msgtype-coverage",
+      "metrics-registry"};
+  return rules;
+}
+
+// ------------------------------------------------------------- tokenizer --
+
+enum class TokKind { Identifier, Number, String, Punct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Waiver {
+  int line = 0;
+  std::string rule;
+  bool has_reason = false;
+  bool used = false;
+};
+
+struct SourceFile {
+  std::string rel_path;  // relative to root
+  std::vector<Token> tokens;
+  std::vector<Waiver> waivers;
+  // line -> rules expected by the self-test fixture annotations.
+  std::multimap<int, std::string> expects;
+};
+
+// Parses "DLA-LINT-ALLOW(rule): reason" and "EXPECT(rule)" out of a comment.
+void scan_comment(const std::string& text, int line, SourceFile* out) {
+  std::size_t pos = 0;
+  while ((pos = text.find("DLA-LINT-ALLOW(", pos)) != std::string::npos) {
+    std::size_t open = pos + std::strlen("DLA-LINT-ALLOW(");
+    std::size_t close = text.find(')', open);
+    if (close == std::string::npos) break;
+    Waiver w;
+    w.line = line;
+    w.rule = text.substr(open, close - open);
+    std::size_t after = close + 1;
+    // Reason is required: a colon followed by at least one non-space char.
+    if (after < text.size() && text[after] == ':') {
+      std::size_t r = after + 1;
+      while (r < text.size() && std::isspace(static_cast<unsigned char>(text[r])))
+        ++r;
+      w.has_reason = r < text.size();
+    }
+    out->waivers.push_back(std::move(w));
+    pos = close;
+  }
+  pos = 0;
+  while ((pos = text.find("EXPECT(", pos)) != std::string::npos) {
+    // Avoid matching identifiers like GTEST's EXPECT_(; require the char
+    // before to be non-alphanumeric.
+    if (pos > 0 && (std::isalnum(static_cast<unsigned char>(text[pos - 1])) ||
+                    text[pos - 1] == '_' || text[pos - 1] == '-')) {
+      pos += 1;
+      continue;
+    }
+    std::size_t open = pos + std::strlen("EXPECT(");
+    std::size_t close = text.find(')', open);
+    if (close == std::string::npos) break;
+    out->expects.emplace(line, text.substr(open, close - open));
+    pos = close;
+  }
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+SourceFile tokenize(const std::string& rel_path, const std::string& src) {
+  SourceFile out;
+  out.rel_path = rel_path;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // #include directives: emit the header name as a String token so that
+    // `#include <unordered_map>` does not read as an identifier use, while
+    // include-level boundary rules can still match on the path.
+    if (c == '#') {
+      std::size_t j = i + 1;
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      if (src.compare(j, 7, "include") == 0) {
+        std::size_t end = src.find('\n', i);
+        if (end == std::string::npos) end = n;
+        std::string rest = src.substr(j + 7, end - j - 7);
+        std::size_t open = rest.find_first_of("<\"");
+        if (open != std::string::npos) {
+          char closer = rest[open] == '<' ? '>' : '"';
+          std::size_t close = rest.find(closer, open + 1);
+          if (close != std::string::npos) {
+            out.tokens.push_back({TokKind::String,
+                                  rest.substr(open + 1, close - open - 1),
+                                  line});
+          }
+        }
+        // Don't lose a trailing // comment (waivers/EXPECTs on include lines).
+        std::size_t cpos = rest.find("//");
+        if (cpos != std::string::npos)
+          scan_comment(rest.substr(cpos + 2), line, &out);
+        i = end;
+        continue;
+      }
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string::npos) end = n;
+      scan_comment(src.substr(i + 2, end - i - 2), line, &out);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t j = i + 2;
+      int start_line = line;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      scan_comment(src.substr(i + 2, j - i - 2), start_line, &out);
+      i = j + 2 > n ? n : j + 2;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t dstart = i + 2;
+      std::size_t paren = src.find('(', dstart);
+      if (paren != std::string::npos) {
+        std::string closer = ")" + src.substr(dstart, paren - dstart) + "\"";
+        std::size_t end = src.find(closer, paren + 1);
+        if (end == std::string::npos) end = n;
+        for (std::size_t k = i; k < std::min(end + closer.size(), n); ++k)
+          if (src[k] == '\n') ++line;
+        out.tokens.push_back({TokKind::String, "", line});
+        i = std::min(end + closer.size(), n);
+        continue;
+      }
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      std::size_t j = i + 1;
+      std::string value;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          value += src[j + 1];
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;  // unterminated; tolerate
+        value += src[j];
+        ++j;
+      }
+      out.tokens.push_back({TokKind::String, value, line});
+      i = j + 1 > n ? n : j + 1;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      out.tokens.push_back({TokKind::Identifier, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' || src[j] == '\''))
+        ++j;
+      out.tokens.push_back({TokKind::Number, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Multi-char operators we care about distinguishing from '='.
+    static const char* two[] = {"==", "!=", "<=", ">=", "+=", "-=", "*=", "/=",
+                                "|=", "&=", "^=", "->", "::", "++", "--", "&&",
+                                "||", "<<", ">>"};
+    bool matched = false;
+    for (const char* op : two) {
+      if (c == op[0] && i + 1 < n && src[i + 1] == op[1]) {
+        out.tokens.push_back({TokKind::Punct, op, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.tokens.push_back({TokKind::Punct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- fs walk --
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+void walk(const std::string& dir, std::vector<std::string>* out) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (dirent* e = readdir(d)) {
+    std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    std::string path = dir + "/" + name;
+    struct stat st{};
+    if (stat(path.c_str(), &st) != 0) continue;
+    if (S_ISDIR(st.st_mode)) {
+      walk(path, out);
+    } else if (S_ISREG(st.st_mode)) {
+      out->push_back(path);
+    }
+  }
+  closedir(d);
+}
+
+bool has_suffix(const std::string& s, const std::string& suf) {
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+bool has_prefix(const std::string& s, const std::string& pre) {
+  return s.compare(0, pre.size(), pre) == 0;
+}
+
+bool is_source_file(const std::string& path) {
+  return has_suffix(path, ".cpp") || has_suffix(path, ".hpp") ||
+         has_suffix(path, ".cc") || has_suffix(path, ".h");
+}
+
+// ------------------------------------------------------------ rule scope --
+
+bool in_crypto_layer(const std::string& rel) {
+  return has_prefix(rel, "src/crypto/") || has_prefix(rel, "src/bignum/");
+}
+
+bool in_protocol_layer(const std::string& rel) {
+  return has_prefix(rel, "src/audit/") || has_prefix(rel, "src/net/");
+}
+
+// Fragment-upload / application-side path where plaintext legitimately
+// crosses into a message: the user's own node serializing its own record.
+bool egress_whitelisted(const std::string& rel) {
+  return !has_prefix(rel, "src/audit/") ||
+         has_suffix(rel, "audit/user_node.cpp");
+}
+
+// --------------------------------------------------------------- linter --
+
+class Linter {
+ public:
+  explicit Linter(std::string root) : root_(std::move(root)) {}
+
+  bool load();
+  void run();
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  const std::vector<SourceFile>& files() const { return files_; }
+
+ private:
+  void report(const SourceFile& f, int line, const std::string& rule,
+              std::string message) {
+    pending_.push_back(Diagnostic{f.rel_path, line, rule, std::move(message)});
+  }
+
+  void rule_banned_tokens(const SourceFile& f);
+  void rule_plaintext_egress(const SourceFile& f);
+  void rule_msgtype_switches(const SourceFile& f);
+  void rule_msgtype_coverage();
+  void rule_metrics_registry();
+  void collect_msgtype_enum(const SourceFile& f);
+  void apply_waivers();
+
+  std::string root_;
+  std::vector<SourceFile> files_;
+  std::vector<std::string> doc_texts_;  // contents of docs/*.md under root
+  std::vector<Diagnostic> pending_;
+  std::vector<Diagnostic> diagnostics_;
+
+  std::set<std::string> msgtype_enumerators_;
+  // enumerator -> (file, line) of its declaration, for coverage reporting.
+  std::map<std::string, std::pair<std::string, int>> msgtype_decl_;
+  std::set<std::string> msgtype_handled_;
+};
+
+bool Linter::load() {
+  std::vector<std::string> paths;
+  walk(root_ + "/src", &paths);
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& path : paths) {
+    if (!is_source_file(path)) continue;
+    std::string text;
+    if (!read_file(path, &text)) {
+      std::fprintf(stderr, "dla_lint: cannot read %s\n", path.c_str());
+      return false;
+    }
+    files_.push_back(tokenize(path.substr(root_.size() + 1), text));
+  }
+  std::vector<std::string> docs;
+  walk(root_ + "/docs", &docs);
+  for (const std::string& path : docs) {
+    if (!has_suffix(path, ".md")) continue;
+    std::string text;
+    if (read_file(path, &text)) doc_texts_.push_back(std::move(text));
+  }
+  return !files_.empty();
+}
+
+// Rules 1, 3, 4: straight banned-identifier scans with layer scoping.
+void Linter::rule_banned_tokens(const SourceFile& f) {
+  struct Ban {
+    const char* token;
+    const char* rule;
+    bool (*applies)(const std::string& rel);
+    const char* why;
+  };
+  static const Ban bans[] = {
+      // Raw Montgomery kernel surface (bignum/montgomery.hpp).
+      {"MontgomeryContext", "crypto-boundary", nullptr,
+       "raw Montgomery contexts are confined to src/crypto + src/bignum; use "
+       "ModExpEngine or a key-handle (RsaKeyPair, AccumulatorStepper)"},
+      {"mont_mul_raw", "crypto-boundary", nullptr, "raw Montgomery kernel"},
+      {"mont_sqr_raw", "crypto-boundary", nullptr, "raw Montgomery kernel"},
+      {"to_mont_raw", "crypto-boundary", nullptr, "raw Montgomery kernel"},
+      {"redc_raw", "crypto-boundary", nullptr, "raw Montgomery kernel"},
+      {"mont_one", "crypto-boundary", nullptr, "raw Montgomery kernel"},
+      {"modpow", "crypto-boundary", nullptr,
+       "raw modular exponentiation outside the crypto layer"},
+      // Nondeterminism sources in protocol/simulator code.
+      {"random_device", "nondeterminism", nullptr,
+       "unseeded entropy breaks seeded chaos replay; use crypto::ChaCha20Rng "
+       "with a named stream"},
+      {"rand", "nondeterminism", nullptr,
+       "rand() is unseeded global state; use crypto::ChaCha20Rng"},
+      {"srand", "nondeterminism", nullptr,
+       "global RNG seeding; use crypto::ChaCha20Rng"},
+      {"mt19937", "nondeterminism", nullptr,
+       "use crypto::ChaCha20Rng with a named stream so replay stays seeded"},
+      {"mt19937_64", "nondeterminism", nullptr,
+       "use crypto::ChaCha20Rng with a named stream so replay stays seeded"},
+      {"minstd_rand", "nondeterminism", nullptr,
+       "use crypto::ChaCha20Rng with a named stream"},
+      {"default_random_engine", "nondeterminism", nullptr,
+       "use crypto::ChaCha20Rng with a named stream"},
+      {"system_clock", "nondeterminism", nullptr,
+       "wall clocks diverge across runs; use net::Simulator virtual time"},
+      {"steady_clock", "nondeterminism", nullptr,
+       "wall clocks diverge across runs; use net::Simulator virtual time"},
+      {"high_resolution_clock", "nondeterminism", nullptr,
+       "wall clocks diverge across runs; use net::Simulator virtual time"},
+      {"gettimeofday", "nondeterminism", nullptr,
+       "wall clocks diverge across runs; use net::Simulator virtual time"},
+      {"clock_gettime", "nondeterminism", nullptr,
+       "wall clocks diverge across runs; use net::Simulator virtual time"},
+      // Unspecified iteration order in protocol/simulator code.
+      {"unordered_map", "unordered-container", nullptr,
+       "iteration order is unspecified and breaks deterministic replay; use "
+       "std::map"},
+      {"unordered_set", "unordered-container", nullptr,
+       "iteration order is unspecified and breaks deterministic replay; use "
+       "std::set"},
+      {"unordered_multimap", "unordered-container", nullptr,
+       "iteration order is unspecified; use std::multimap"},
+      {"unordered_multiset", "unordered-container", nullptr,
+       "iteration order is unspecified; use std::multiset"},
+  };
+
+  const bool crypto_ok = in_crypto_layer(f.rel_path);
+  const bool protocol = in_protocol_layer(f.rel_path);
+  for (std::size_t t = 0; t < f.tokens.size(); ++t) {
+    const Token& tok = f.tokens[t];
+    if (tok.kind == TokKind::String) {
+      // #include "bignum/montgomery.hpp" outside the crypto layer is the
+      // include-level form of the same boundary breach.
+      if (!crypto_ok &&
+          tok.text.find("bignum/montgomery") != std::string::npos) {
+        report(f, tok.line, "crypto-boundary",
+               "including the raw Montgomery kernel header; depend on "
+               "crypto/ key handles instead");
+      }
+      continue;
+    }
+    if (tok.kind != TokKind::Identifier) continue;
+    for (const Ban& ban : bans) {
+      if (tok.text != ban.token) continue;
+      const bool is_crypto_rule = std::strcmp(ban.rule, "crypto-boundary") == 0;
+      if (is_crypto_rule && crypto_ok) continue;
+      if (!is_crypto_rule && !protocol) continue;
+      // `rand` only as a call: require '(' next so e.g. member fields named
+      // rand_… (none today) or comments don't trip; all other tokens are
+      // specific enough to flag on sight.
+      if (std::strcmp(ban.token, "rand") == 0 &&
+          (t + 1 >= f.tokens.size() || f.tokens[t + 1].text != "(")) {
+        continue;
+      }
+      report(f, tok.line, ban.rule,
+             std::string(ban.token) + ": " + ban.why);
+    }
+  }
+}
+
+// Rule 2: Value/Fragment/LogRecord serialization toward the wire from
+// non-whitelisted audit code.
+void Linter::rule_plaintext_egress(const SourceFile& f) {
+  if (egress_whitelisted(f.rel_path)) return;
+  const std::vector<Token>& toks = f.tokens;
+  auto base_matches = [](const std::string& name) {
+    std::string lower;
+    for (char c : name) lower += static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c)));
+    return lower.find("frag") != std::string::npos ||
+           lower.find("record") != std::string::npos ||
+           lower.find("value") != std::string::npos;
+  };
+  for (std::size_t t = 0; t < toks.size(); ++t) {
+    if (toks[t].kind != TokKind::Identifier) continue;
+    // encode_attrs(...) is the shared attribute-map codec.
+    if (toks[t].text == "encode_attrs" && t + 1 < toks.size() &&
+        toks[t + 1].text == "(") {
+      report(f, toks[t].line, "plaintext-egress",
+             "encode_attrs serializes plaintext attribute values; only the "
+             "fragment-upload and authorized-result paths may do this");
+      continue;
+    }
+    if (toks[t].text != "encode" || t + 1 >= toks.size() ||
+        toks[t + 1].text != "(")
+      continue;
+    if (t < 2) continue;
+    const Token& sep = toks[t - 1];
+    std::string base;
+    if (sep.text == "." || sep.text == "->") {
+      // Walk back over an index suffix: fragments[i].encode -> fragments.
+      std::size_t b = t - 2;
+      if (toks[b].text == "]") {
+        int depth = 1;
+        while (b > 0 && depth > 0) {
+          --b;
+          if (toks[b].text == "]") ++depth;
+          if (toks[b].text == "[") --depth;
+        }
+        if (b > 0) --b;
+      }
+      if (toks[b].kind == TokKind::Identifier) base = toks[b].text;
+    } else if (sep.text == "::") {
+      base = toks[t - 2].text;  // Fragment::encode / Value::encode
+    }
+    if (!base.empty() && base_matches(base)) {
+      report(f, toks[t].line, "plaintext-egress",
+             base + "." + "encode() serializes plaintext toward the wire "
+             "outside the whitelisted upload path");
+    }
+  }
+}
+
+void Linter::collect_msgtype_enum(const SourceFile& f) {
+  const std::vector<Token>& toks = f.tokens;
+  for (std::size_t t = 0; t + 1 < toks.size(); ++t) {
+    if (toks[t].text != "enum") continue;
+    std::size_t name_at = t + 1;
+    if (name_at < toks.size() &&
+        (toks[name_at].text == "class" || toks[name_at].text == "struct"))
+      ++name_at;
+    if (name_at >= toks.size() || toks[name_at].text != "MsgType") continue;
+    // Skip an optional ": underlying_type" to the opening brace.
+    std::size_t b = name_at + 1;
+    while (b < toks.size() && toks[b].text != "{" && toks[b].text != ";") ++b;
+    if (b >= toks.size() || toks[b].text != "{") continue;
+    int depth = 1;
+    bool expect_name = true;
+    for (std::size_t j = b + 1; j < toks.size() && depth > 0; ++j) {
+      if (toks[j].text == "{") ++depth;
+      if (toks[j].text == "}") {
+        --depth;
+        continue;
+      }
+      if (depth != 1) continue;
+      if (toks[j].text == ",") {
+        expect_name = true;
+        continue;
+      }
+      if (expect_name && toks[j].kind == TokKind::Identifier) {
+        msgtype_enumerators_.insert(toks[j].text);
+        msgtype_decl_.emplace(toks[j].text,
+                              std::make_pair(f.rel_path, toks[j].line));
+        expect_name = false;
+      }
+    }
+  }
+}
+
+// Rules 5+6: switch analysis over MsgType and handled-enumerator coverage.
+void Linter::rule_msgtype_switches(const SourceFile& f) {
+  const std::vector<Token>& toks = f.tokens;
+
+  // Coverage source (b): explicit `== kFoo` / `kFoo ==` comparisons.
+  for (std::size_t t = 0; t < toks.size(); ++t) {
+    if (toks[t].kind != TokKind::Identifier ||
+        msgtype_enumerators_.count(toks[t].text) == 0)
+      continue;
+    if ((t > 0 && (toks[t - 1].text == "==" || toks[t - 1].text == "!=")) ||
+        (t + 1 < toks.size() &&
+         (toks[t + 1].text == "==" || toks[t + 1].text == "!=")))
+      msgtype_handled_.insert(toks[t].text);
+  }
+
+  for (std::size_t t = 0; t < toks.size(); ++t) {
+    if (toks[t].text != "switch" || toks[t].kind != TokKind::Identifier)
+      continue;
+    // Find the switch body '{' after the condition's balanced parens.
+    std::size_t j = t + 1;
+    while (j < toks.size() && toks[j].text != "(") ++j;
+    if (j >= toks.size()) continue;
+    int pdepth = 1;
+    ++j;
+    while (j < toks.size() && pdepth > 0) {
+      if (toks[j].text == "(") ++pdepth;
+      if (toks[j].text == ")") --pdepth;
+      ++j;
+    }
+    while (j < toks.size() && toks[j].text != "{") ++j;
+    if (j >= toks.size()) continue;
+
+    // Walk the body at depth 1 collecting case groups and a default label.
+    int depth = 1;
+    std::size_t k = j + 1;
+    std::set<std::string> labels;          // all MsgType case labels
+    std::vector<std::string> group;        // labels of the current group
+    bool group_has_work = false;
+    bool in_group = false;
+    int default_line = 0;
+    int switch_line = toks[t].line;
+    auto close_group = [&]() {
+      if (in_group && group_has_work)
+        for (const std::string& l : group) msgtype_handled_.insert(l);
+      group.clear();
+      group_has_work = false;
+      in_group = false;
+    };
+    while (k < toks.size() && depth > 0) {
+      const Token& tok = toks[k];
+      if (tok.text == "{") ++depth;
+      if (tok.text == "}") --depth;
+      if (depth == 0) break;
+      if (depth == 1 && tok.text == "case") {
+        // New group starts only if the previous group already did work;
+        // consecutive case labels fall through into one group.
+        if (group_has_work) close_group();
+        in_group = true;
+        // Label is the identifier before ':' (possibly qualified).
+        std::size_t l = k + 1;
+        std::string last_ident;
+        while (l < toks.size() && toks[l].text != ":") {
+          if (toks[l].kind == TokKind::Identifier) last_ident = toks[l].text;
+          ++l;
+        }
+        if (msgtype_enumerators_.count(last_ident) != 0) {
+          labels.insert(last_ident);
+          group.push_back(last_ident);
+        }
+        k = l + 1;
+        continue;
+      }
+      if (depth == 1 && tok.text == "default" && k + 1 < toks.size() &&
+          toks[k + 1].text == ":") {
+        close_group();
+        default_line = tok.line;
+        ++k;
+        continue;
+      }
+      if (in_group && tok.text != ";" && tok.text != "break" &&
+          tok.text != "{" && tok.text != "}") {
+        group_has_work = true;
+      }
+      ++k;
+    }
+    close_group();
+
+    if (labels.empty()) continue;  // not a MsgType switch
+
+    if (default_line != 0) {
+      report(f, default_line, "msgtype-switch",
+             "defaulted switch over MsgType silently swallows unhandled "
+             "message types; enumerate every MsgType (ignored ones "
+             "explicitly) or waive with a reason");
+    } else {
+      std::vector<std::string> missing;
+      for (const std::string& e : msgtype_enumerators_)
+        if (labels.count(e) == 0) missing.push_back(e);
+      if (!missing.empty()) {
+        std::string list;
+        for (std::size_t m = 0; m < missing.size() && m < 6; ++m)
+          list += (m != 0 ? ", " : "") + missing[m];
+        if (missing.size() > 6) list += ", ...";
+        report(f, switch_line, "msgtype-switch",
+               "non-exhaustive switch over MsgType (missing " +
+                   std::to_string(missing.size()) + ": " + list + ")");
+      }
+    }
+  }
+}
+
+void Linter::rule_msgtype_coverage() {
+  for (const std::string& e : msgtype_enumerators_) {
+    if (msgtype_handled_.count(e) != 0) continue;
+    const auto& decl = msgtype_decl_.at(e);
+    // Synthesize against the declaring file so waivers on the enumerator
+    // line work like every other rule.
+    for (const SourceFile& f : files_) {
+      if (f.rel_path != decl.first) continue;
+      report(f, decl.second, "msgtype-coverage",
+             e + " is declared but no dispatch switch or msg.type comparison "
+             "handles it");
+      break;
+    }
+  }
+}
+
+// Rule 7: counter structs in audit/metrics.hpp — every field written
+// somewhere in src/ and mentioned in docs/*.md.
+void Linter::rule_metrics_registry() {
+  const SourceFile* metrics = nullptr;
+  for (const SourceFile& f : files_)
+    if (has_suffix(f.rel_path, "audit/metrics.hpp")) metrics = &f;
+  if (metrics == nullptr) return;
+
+  // Collect fields of structs whose name ends in "Counters".
+  struct Field {
+    std::string name;
+    int line;
+  };
+  std::vector<Field> fields;
+  const std::vector<Token>& toks = metrics->tokens;
+  for (std::size_t t = 0; t + 2 < toks.size(); ++t) {
+    if (toks[t].text != "struct" && toks[t].text != "class") continue;
+    const std::string& name = toks[t + 1].text;
+    if (!has_suffix(name, "Counters")) continue;
+    std::size_t b = t + 2;
+    while (b < toks.size() && toks[b].text != "{" && toks[b].text != ";") ++b;
+    if (b >= toks.size() || toks[b].text != "{") continue;
+    int depth = 1;
+    for (std::size_t j = b + 1; j < toks.size() && depth > 0; ++j) {
+      if (toks[j].text == "{") ++depth;
+      if (toks[j].text == "}") --depth;
+      if (depth != 1) continue;
+      // A field declaration looks like `<type tokens> name = 0;` or
+      // `<type tokens> name;` — detect identifier followed by '=' or ';'
+      // whose previous token is part of a type (identifier or '>').
+      if (toks[j].kind == TokKind::Identifier && j + 1 < toks.size() &&
+          (toks[j + 1].text == "=" || toks[j + 1].text == ";") &&
+          j > b + 1 &&
+          (toks[j - 1].kind == TokKind::Identifier || toks[j - 1].text == ">" ||
+           toks[j - 1].text == "&" || toks[j - 1].text == "*")) {
+        fields.push_back({toks[j].text, toks[j].line});
+      }
+    }
+  }
+
+  for (const Field& field : fields) {
+    bool written = false;
+    for (const SourceFile& f : files_) {
+      if (&f == metrics) continue;
+      const std::vector<Token>& ft = f.tokens;
+      for (std::size_t t = 0; t < ft.size() && !written; ++t) {
+        if (ft[t].kind != TokKind::Identifier || ft[t].text != field.name)
+          continue;
+        if (t + 1 < ft.size()) {
+          const std::string& nx = ft[t + 1].text;
+          if (nx == "=" || nx == "+=" || nx == "-=" || nx == "++" ||
+              nx == "--")
+            written = true;
+        }
+        if (t > 0 && (ft[t - 1].text == "++" || ft[t - 1].text == "--"))
+          written = true;
+        // Pre-increment through a member access: `++ctr.field`.
+        if (t >= 3 && (ft[t - 1].text == "." || ft[t - 1].text == "->") &&
+            (ft[t - 3].text == "++" || ft[t - 3].text == "--"))
+          written = true;
+      }
+      if (written) break;
+    }
+    if (!written) {
+      report(*metrics, field.line, "metrics-registry",
+             "counter '" + field.name +
+                 "' is declared but never written anywhere under src/");
+    }
+    bool documented = false;
+    for (const std::string& doc : doc_texts_)
+      if (doc.find(field.name) != std::string::npos) documented = true;
+    if (!documented) {
+      report(*metrics, field.line, "metrics-registry",
+             "counter '" + field.name +
+                 "' is not documented in any docs/*.md (see the metrics "
+                 "registry in docs/STATIC_ANALYSIS.md)");
+    }
+  }
+}
+
+void Linter::apply_waivers() {
+  // Waiver bookkeeping first: unknown rules / missing reasons are violations
+  // and such waivers never suppress.
+  for (SourceFile& f : files_) {
+    for (Waiver& w : f.waivers) {
+      if (known_rules().count(w.rule) == 0) {
+        diagnostics_.push_back(
+            Diagnostic{f.rel_path, w.line, "bad-waiver",
+                       "DLA-LINT-ALLOW names unknown rule '" + w.rule + "'"});
+        w.used = true;  // don't also report as unused
+      } else if (!w.has_reason) {
+        diagnostics_.push_back(Diagnostic{
+            f.rel_path, w.line, "bad-waiver",
+            "DLA-LINT-ALLOW(" + w.rule +
+                ") is missing a reason: write DLA-LINT-ALLOW(" + w.rule +
+                "): <why this is safe>"});
+        w.used = true;
+      }
+    }
+  }
+
+  for (const Diagnostic& d : pending_) {
+    bool suppressed = false;
+    for (SourceFile& f : files_) {
+      if (f.rel_path != d.file) continue;
+      for (Waiver& w : f.waivers) {
+        if (w.rule == d.rule && w.has_reason &&
+            known_rules().count(w.rule) != 0 &&
+            (w.line == d.line || w.line + 1 == d.line)) {
+          w.used = true;
+          suppressed = true;
+        }
+      }
+    }
+    if (!suppressed) diagnostics_.push_back(d);
+  }
+
+  for (const SourceFile& f : files_) {
+    for (const Waiver& w : f.waivers) {
+      if (!w.used) {
+        diagnostics_.push_back(Diagnostic{
+            f.rel_path, w.line, "unused-waiver",
+            "DLA-LINT-ALLOW(" + w.rule +
+                ") suppresses nothing on this or the next line; remove it"});
+      }
+    }
+  }
+  std::sort(diagnostics_.begin(), diagnostics_.end());
+}
+
+void Linter::run() {
+  for (const SourceFile& f : files_) collect_msgtype_enum(f);
+  for (const SourceFile& f : files_) {
+    rule_banned_tokens(f);
+    rule_plaintext_egress(f);
+    rule_msgtype_switches(f);
+  }
+  rule_msgtype_coverage();
+  rule_metrics_registry();
+  apply_waivers();
+}
+
+// ------------------------------------------------------------ self test --
+
+int run_self_test(const Linter& linter) {
+  std::multiset<std::pair<std::string, std::pair<int, std::string>>> expected;
+  for (const SourceFile& f : linter.files())
+    for (const auto& [line, rule] : f.expects)
+      expected.insert({f.rel_path, {line, rule}});
+
+  std::multiset<std::pair<std::string, std::pair<int, std::string>>> actual;
+  for (const Diagnostic& d : linter.diagnostics())
+    actual.insert({d.file, {d.line, d.rule}});
+
+  int failures = 0;
+  for (const auto& e : expected) {
+    if (actual.count(e) < expected.count(e)) {
+      std::printf("SELF-TEST MISS: expected %s at %s:%d was not reported\n",
+                  e.second.second.c_str(), e.first.c_str(), e.second.first);
+      ++failures;
+    }
+  }
+  for (const auto& a : actual) {
+    if (expected.count(a) < actual.count(a)) {
+      std::printf("SELF-TEST EXTRA: unexpected %s at %s:%d\n",
+                  a.second.second.c_str(), a.first.c_str(), a.second.first);
+      ++failures;
+    }
+  }
+  if (expected.empty()) {
+    std::printf("SELF-TEST: fixture tree carries no EXPECT annotations\n");
+    ++failures;
+  }
+  if (failures == 0) {
+    std::printf("self-test OK: %zu expected diagnostics all detected, "
+                "no extras, waivers honored\n",
+                expected.size());
+    return 0;
+  }
+  std::printf("self-test FAILED: %d mismatches\n", failures);
+  return 1;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: dla_lint --root <repo-root> [--self-test]\n"
+      "  Scans <root>/src/**.{h,hpp,cc,cpp} (+ <root>/docs/*.md for the\n"
+      "  metrics registry). Exit 0 = clean, 1 = violations, 2 = usage/io.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  bool self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    usage();
+    return 2;
+  }
+  while (root.size() > 1 && root.back() == '/') root.pop_back();
+
+  Linter linter(root);
+  if (!linter.load()) {
+    std::fprintf(stderr, "dla_lint: no sources found under %s/src\n",
+                 root.c_str());
+    return 2;
+  }
+  linter.run();
+
+  if (self_test) return run_self_test(linter);
+
+  for (const Diagnostic& d : linter.diagnostics()) {
+    std::printf("%s:%d: error: [%s] %s\n", d.file.c_str(), d.line,
+                d.rule.c_str(), d.message.c_str());
+  }
+  if (linter.diagnostics().empty()) {
+    std::printf("dla_lint: clean (%zu files)\n", linter.files().size());
+    return 0;
+  }
+  std::printf("dla_lint: %zu violation(s)\n", linter.diagnostics().size());
+  return 1;
+}

@@ -1,0 +1,52 @@
+// Fixture: MsgType dispatch switches — exhaustive, defaulted, and
+// non-exhaustive forms, plus a waived default.
+#include "audit/wire.hpp"
+
+struct Msg {
+  unsigned type = 0;
+};
+
+void handle_alpha(const Msg&);
+void handle_beta_or_gamma(const Msg&);
+
+// Exhaustive: every enumerator appears, ignored ones as explicit break
+// groups. Clean under msgtype-switch; kDelta/kOmega stay uncovered because
+// an ignore group does not count as handling.
+void dispatch_exhaustive(const Msg& msg) {
+  switch (msg.type) {
+    case kAlpha: return handle_alpha(msg);
+    case kBeta:
+    case kGamma: return handle_beta_or_gamma(msg);
+    case kDelta:
+    case kOmega:
+      break;  // not addressed to this fixture node
+  }
+}
+
+// Explicit comparison counts as handling kGamma for msgtype-coverage.
+bool is_gamma(const Msg& msg) { return msg.type == kGamma; }
+
+void dispatch_defaulted(const Msg& msg) {
+  switch (msg.type) {
+    case kAlpha: return handle_alpha(msg);
+    default:  // EXPECT(msgtype-switch)
+      break;
+  }
+}
+
+void dispatch_nonexhaustive(const Msg& msg) {
+  switch (msg.type) {  // EXPECT(msgtype-switch)
+    case kAlpha: return handle_alpha(msg);
+    case kBeta:
+      break;
+  }
+}
+
+void dispatch_waived(const Msg& msg) {
+  switch (msg.type) {
+    case kAlpha: return handle_alpha(msg);
+    // DLA-LINT-ALLOW(msgtype-switch): fixture edge node, replies only
+    default:
+      break;
+  }
+}

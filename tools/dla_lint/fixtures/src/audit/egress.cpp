@@ -1,0 +1,24 @@
+// Fixture: plaintext Value/Fragment serialization from DLA-node code.
+#include "audit/wire.hpp"
+
+struct Writer {};
+struct Fragment {
+  void encode(Writer&) const;
+};
+struct SetSpec {
+  void encode(Writer&) const;
+};
+
+void leak_plaintext(Writer& w, const Fragment& frag, Fragment* record,
+                    const Fragment* fragments, const SetSpec& spec) {
+  frag.encode(w);  // EXPECT(plaintext-egress)
+  record->encode(w);  // EXPECT(plaintext-egress)
+  fragments[2].encode(w);  // EXPECT(plaintext-egress)
+  encode_attrs(w, 7, 1);  // EXPECT(plaintext-egress)
+  spec.encode(w);  // clean: protocol spec payloads carry no Value plaintext
+}
+
+void authorized_readback(Writer& w, const Fragment& frag) {
+  // DLA-LINT-ALLOW(plaintext-egress): fixture of a ticket-checked readback
+  frag.encode(w);
+}

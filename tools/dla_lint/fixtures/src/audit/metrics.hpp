@@ -1,0 +1,16 @@
+// Fixture metrics registry: counter structs for the metrics-registry rule.
+#pragma once
+
+#include <cstdint>
+
+struct FixtureCounters {
+  std::uint64_t good_counter = 0;  // written + documented: clean
+  std::uint64_t undocumented_counter = 0;  // EXPECT(metrics-registry)
+  std::uint64_t orphan_counter = 0;  // EXPECT(metrics-registry) EXPECT(metrics-registry)
+  std::uint64_t preinc_counter = 0;  // written via ++c.preinc_counter: clean
+};
+
+// Not a Counters struct: ignored by the registry rule.
+struct FixtureConfig {
+  std::uint64_t untracked_knob = 0;
+};

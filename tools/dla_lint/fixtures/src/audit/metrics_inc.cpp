@@ -1,0 +1,10 @@
+// Fixture: writes two of the three registry counters; orphan_counter is only
+// ever read.
+#include "audit/metrics.hpp"
+
+std::uint64_t poke(FixtureCounters& c) {
+  c.good_counter += 1;
+  c.undocumented_counter++;
+  ++c.preinc_counter;
+  return c.orphan_counter;
+}

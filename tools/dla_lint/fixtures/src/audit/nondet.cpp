@@ -1,0 +1,20 @@
+// Fixture: nondeterminism sources banned in protocol code.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+unsigned fixture_entropy() {
+  std::random_device rd;  // EXPECT(nondeterminism)
+  unsigned x = static_cast<unsigned>(rand());  // EXPECT(nondeterminism)
+  srand(42);  // EXPECT(nondeterminism)
+  std::mt19937 gen(x);  // EXPECT(nondeterminism)
+  auto t = std::chrono::steady_clock::now();  // EXPECT(nondeterminism)
+  (void)t;
+  std::unordered_map<int, int> m;  // EXPECT(unordered-container)
+  m[1] = static_cast<int>(gen());
+  return rd() + static_cast<unsigned>(m.size());
+}
+
+// A variable merely *named* rand_state must not trip the rand() ban.
+int rand_state = 0;

@@ -1,0 +1,11 @@
+// Fixture: the fragment-upload path is whitelisted for plaintext egress —
+// the user's own node serializing its own record is the one legitimate
+// plaintext->wire crossing.
+struct Writer {};
+struct Fragment {
+  void encode(Writer&) const;
+};
+
+void upload(Writer& w, const Fragment& frag) {
+  frag.encode(w);  // clean: whitelisted upload path
+}

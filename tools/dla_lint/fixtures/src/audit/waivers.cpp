@@ -1,0 +1,16 @@
+// Fixture: waiver syntax edge cases.
+#include <unordered_map>
+
+void waiver_cases() {
+  // DLA-LINT-ALLOW(unordered-container) EXPECT(bad-waiver)
+  std::unordered_map<int, int> a;  // EXPECT(unordered-container)
+  a[0] = 1;
+
+  // DLA-LINT-ALLOW(no-such-rule): misspelled rule id EXPECT(bad-waiver)
+
+  // DLA-LINT-ALLOW(nondeterminism): nothing to suppress here EXPECT(unused-waiver)
+
+  // DLA-LINT-ALLOW(unordered-container): scratch map, never iterated
+  std::unordered_map<int, int> b;
+  b[2] = 3;
+}

@@ -1,0 +1,10 @@
+// Fixture mini wire protocol: a MsgType enum for the switch/coverage rules.
+#pragma once
+
+enum MsgType : unsigned {
+  kAlpha = 1,  // handled in dispatch.cpp's exhaustive switch
+  kBeta,       // handled via a fallthrough group
+  kGamma,      // handled via an explicit msg.type == comparison
+  kDelta,      // EXPECT(msgtype-coverage)
+  kOmega,      // EXPECT(msgtype-coverage)
+};

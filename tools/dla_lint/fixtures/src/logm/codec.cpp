@@ -1,0 +1,12 @@
+// Fixture: the logm codec layer itself may serialize Values — the rule only
+// scopes src/audit.
+struct Writer {};
+struct Record {
+  void encode(Writer&) const;
+};
+void encode_attrs(Writer&, unsigned long, int);
+
+void write_record(Writer& w, const Record& record) {
+  record.encode(w);
+  encode_attrs(w, 1, 2);
+}

@@ -1,0 +1,16 @@
+// Fixture: wall clocks and unordered containers in simulator code, plus a
+// correctly-waived case.
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+
+long fixture_now() {
+  auto t = std::chrono::system_clock::now();  // EXPECT(nondeterminism)
+  std::unordered_set<int> seen;  // EXPECT(unordered-container)
+  seen.insert(1);
+  // DLA-LINT-ALLOW(unordered-container): scratch lookup table, never iterated
+  std::unordered_map<int, int> scratch;
+  scratch[2] = 3;
+  return t.time_since_epoch().count() +
+         static_cast<long>(seen.size() + scratch.size());
+}
