@@ -31,14 +31,23 @@ std::vector<std::vector<std::string>> make_sets(std::size_t n,
   return sets;
 }
 
+// range(3) = ring chunk size (0 = legacy monolithic frames); range(4) =
+// link bandwidth in bytes per simulated us (0 = latency model only). The
+// pipelined-vs-monolithic contrast shows up in the deterministic sim_ms/op
+// counter; wall time stays modexp-dominated.
 void BM_SecureSetUnion(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const std::size_t size = static_cast<std::size_t>(state.range(1));
   const double overlap = static_cast<double>(state.range(2)) / 100.0;
+  const std::size_t chunk = static_cast<std::size_t>(state.range(3));
+  const double bandwidth = static_cast<double>(state.range(4));
   auto sets = make_sets(n, size, overlap);
-  audit::Cluster cluster(audit::Cluster::Options{
+  audit::Cluster::Options opts{
       logm::paper_schema(), std::max<std::size_t>(n, 2), 0, std::nullopt,
-      /*seed=*/3, false});
+      /*seed=*/3, false};
+  opts.set_chunk_size = chunk;
+  audit::Cluster cluster(std::move(opts));
+  cluster.sim().set_link_bandwidth(bandwidth);
   std::size_t union_size = 0;
   cluster.dla(0).on_set_result =
       [&](audit::SessionId, std::vector<bn::BigUInt> r) {
@@ -47,7 +56,9 @@ void BM_SecureSetUnion(benchmark::State& state) {
   audit::SessionId session = 1;
   cluster.sim().reset_stats();
   audit::reset_crypto_op_counters();
+  net::SimTime sim_elapsed = 0;
   for (auto _ : state) {
+    net::SimTime t0 = cluster.sim().now();
     for (std::size_t i = 0; i < n; ++i) {
       std::vector<bn::BigUInt> elements;
       for (const auto& s : sets[i]) {
@@ -66,11 +77,16 @@ void BM_SecureSetUnion(benchmark::State& state) {
     spec.observers = {spec.participants[0]};
     cluster.dla(0).start_set_protocol(cluster.sim(), spec);
     cluster.run();
+    sim_elapsed += cluster.sim().now() - t0;
   }
   state.counters["parties"] = static_cast<double>(n);
   state.counters["set_size"] = static_cast<double>(size);
   state.counters["overlap_pct"] = static_cast<double>(state.range(2));
+  state.counters["chunk"] = static_cast<double>(chunk);
   state.counters["union_size"] = static_cast<double>(union_size);
+  state.counters["sim_ms/op"] = benchmark::Counter(
+      static_cast<double>(sim_elapsed) / 1000.0,
+      benchmark::Counter::kAvgIterations);
   state.counters["msgs/op"] = benchmark::Counter(
       static_cast<double>(cluster.sim().stats().messages_sent),
       benchmark::Counter::kAvgIterations);
@@ -89,12 +105,16 @@ void BM_SecureSetUnion(benchmark::State& state) {
 
 BENCHMARK(BM_SecureSetUnion)
     ->Unit(benchmark::kMillisecond)
-    ->Args({3, 16, 0})
-    ->Args({3, 16, 50})
-    ->Args({3, 16, 100})
-    ->Args({3, 64, 50})
-    ->Args({3, 1024, 50})
-    ->Args({5, 32, 50})
-    ->Args({9, 32, 50});
+    ->Args({3, 16, 0, 64, 0})
+    ->Args({3, 16, 50, 64, 0})
+    ->Args({3, 16, 100, 64, 0})
+    ->Args({3, 64, 50, 64, 0})
+    ->Args({3, 1024, 50, 64, 0})
+    ->Args({5, 32, 50, 64, 0})
+    ->Args({9, 32, 50, 64, 0})
+    // Pipelined vs monolithic under a bandwidth-bound link model: compare
+    // the deterministic sim_ms/op counter between these rows.
+    ->Args({3, 128, 50, 0, 2})
+    ->Args({3, 128, 50, 16, 2});
 
 BENCHMARK_MAIN();

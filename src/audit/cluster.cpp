@@ -36,6 +36,7 @@ Cluster::Cluster(Options options)
   cfg_ = shared;
   for (std::size_t i = 0; i < options.dla_count; ++i) {
     dla_nodes_[i]->configure(shared, i);
+    dla_nodes_[i]->set_chunk_size(options.set_chunk_size);
     if (!shares.empty()) dla_nodes_[i]->set_signing_share(shares[i]);
     if (options.heartbeat_interval > 0) {
       dla_nodes_[i]->start_heartbeats(sim_);

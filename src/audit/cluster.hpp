@@ -35,6 +35,8 @@ class Cluster {
     std::size_t replication = 1;
     // Failure-detector heartbeat period in simulated us (0 = off).
     net::SimTime heartbeat_interval = 0;
+    // Secure-set ring chunk size in elements (0 = legacy monolithic frames).
+    std::size_t set_chunk_size = 64;
   };
 
   explicit Cluster(Options options);

@@ -95,6 +95,7 @@ void DlaNode::dispatch(net::Simulator& sim, const net::Message& msg) {
     case kAccumDeposit: return handle_accum_deposit(sim, msg);
     case kFragmentRequest: return handle_fragment_request(sim, msg);
     case kFragmentDelete: return handle_fragment_delete(sim, msg);
+    case kWatermarkAdvance: return handle_watermark_advance(sim, msg);
     case kSetStart: return handle_set_start(sim, msg);
     case kSetRing: return handle_set_ring(sim, msg);
     case kSetFull: return handle_set_full(sim, msg);
@@ -465,12 +466,46 @@ void DlaNode::handle_log_fragment(net::Simulator& sim,
     (is_replica ? replica_store_ : store_).put(std::move(fragment));
     acl_.grant(ticket.id, ticket.ops);
     acl_.authorize(ticket.id, glsn);
+    advance_store_epoch(sim);
   }
   net::Writer w;
   w.u64(glsn);
   w.boolean(ok);
   w.u32(copy_seq);
   send_payload(sim, id(), msg.src, kLogAck, std::move(w));
+}
+
+void DlaNode::advance_store_epoch(net::Simulator& sim) {
+  ++store_epoch_;
+  logm::Glsn high = 0;
+  if (auto glsns = store_.glsns(); !glsns.empty()) high = glsns.back();
+  if (auto glsns = replica_store_.glsns(); !glsns.empty()) {
+    high = std::max(high, glsns.back());
+  }
+  // Our own gateway cache sees the advance synchronously; peers learn of it
+  // via kWatermarkAdvance, so their cached entries involving this owner die
+  // as soon as the announcement lands — before any query that was issued
+  // after the write's ack can reach them through the same links.
+  result_cache_.watermark_advance(index_, store_epoch_, high);
+  for (std::size_t i = 0; i < cfg_->cluster_size(); ++i) {
+    if (i == index_) continue;
+    net::Writer w;
+    w.u32(static_cast<std::uint32_t>(index_));
+    w.u64(store_epoch_);
+    w.u64(high);
+    send_payload(sim, id(), cfg_->dla_nodes[i], kWatermarkAdvance,
+                 std::move(w));
+  }
+}
+
+void DlaNode::handle_watermark_advance(net::Simulator&,
+                                       const net::Message& msg) {
+  net::Reader r(msg.payload);
+  std::size_t owner = r.u32();
+  std::uint64_t epoch = r.u64();
+  logm::Glsn high = r.u64();
+  if (owner >= cfg_->cluster_size()) return;  // malformed announcement
+  result_cache_.watermark_advance(owner, epoch, high);
 }
 
 void DlaNode::handle_accum_deposit(net::Simulator&, const net::Message& msg) {
@@ -514,6 +549,9 @@ void DlaNode::handle_fragment_delete(net::Simulator& sim,
     replica_store_.erase(glsn);
     acl_.revoke(ticket.id, glsn);
     deposits_.erase(glsn);
+    // A delete changes query results just like a write does: cached final
+    // sets naming this owner must not be served afterwards.
+    if (ok) advance_store_epoch(sim);
   }
   net::Writer w;
   w.u64(reqid);
@@ -587,13 +625,42 @@ void DlaNode::handle_set_start(net::Simulator& sim, const net::Message& msg) {
     ++set_ring_rejects_;
     return;
   }
-  ring_encrypt_and_forward(sim, spec, static_cast<std::uint32_t>(my_pos), 0,
-                           std::move(elements));
+  ring_start_stream(sim, spec, static_cast<std::uint32_t>(my_pos),
+                    std::move(elements));
+}
+
+std::uint32_t DlaNode::chunk_count(std::size_t n) const {
+  if (set_chunk_size_ == 0 || n <= set_chunk_size_) return 1;
+  return static_cast<std::uint32_t>((n + set_chunk_size_ - 1) /
+                                    set_chunk_size_);
+}
+
+void DlaNode::ring_start_stream(net::Simulator& sim, const SetSpec& spec,
+                                std::uint32_t my_pos,
+                                std::vector<bn::BigUInt> elements) {
+  // Chunking happens once, at the origin; every later hop re-encrypts and
+  // forwards chunks exactly as framed here, so mixed chunk-size settings
+  // across the ring interoperate. An empty input still circulates one empty
+  // chunk — the stream is what lets every hop learn of the session and the
+  // collector count this origin as landed.
+  const std::uint32_t n_chunks = chunk_count(elements.size());
+  const std::size_t stride =
+      n_chunks == 1 ? elements.size() : set_chunk_size_;
+  for (std::uint32_t seq = 0; seq < n_chunks; ++seq) {
+    const std::size_t begin = seq * stride;
+    const std::size_t end =
+        seq + 1 == n_chunks ? elements.size() : begin + stride;
+    std::vector<bn::BigUInt> chunk(
+        std::make_move_iterator(elements.begin() + begin),
+        std::make_move_iterator(elements.begin() + end));
+    SetChunkHeader header{my_pos, kRingEncrypt, seq, n_chunks};
+    ring_encrypt_and_forward(sim, spec, header, 0, std::move(chunk));
+  }
 }
 
 void DlaNode::ring_encrypt_and_forward(net::Simulator& sim,
                                        const SetSpec& spec,
-                                       std::uint32_t origin,
+                                       SetChunkHeader header,
                                        std::uint32_t hops,
                                        std::vector<bn::BigUInt> elements) {
   // Position check BEFORE any crypto: a node absent from participants must
@@ -603,6 +670,17 @@ void DlaNode::ring_encrypt_and_forward(net::Simulator& sim,
     if (spec.participants[i] == id()) my_pos = i;
   }
   if (my_pos == spec.participants.size()) {
+    ++set_ring_rejects_;
+    return;
+  }
+  // Header validation against the accompanying spec: `origin` indexes
+  // full_sets at the collector and `hops` indexes participants on forward,
+  // so a corrupted or cross-ring-replayed frame must die here, not index
+  // out of bounds downstream.
+  if (header.ring_id != kRingEncrypt ||
+      header.origin >= spec.participants.size() ||
+      hops >= spec.participants.size() || header.n_chunks == 0 ||
+      header.chunk_seq >= header.n_chunks) {
     ++set_ring_rejects_;
     return;
   }
@@ -619,7 +697,7 @@ void DlaNode::ring_encrypt_and_forward(net::Simulator& sim,
   if (hops == spec.participants.size()) {
     net::Writer w;
     spec.encode(w);
-    w.u32(origin);
+    header.encode(w);
     encode_elements(w, elements);
     send_payload(sim, id(), spec.collector, kSetFull, std::move(w));
     return;
@@ -627,7 +705,7 @@ void DlaNode::ring_encrypt_and_forward(net::Simulator& sim,
   net::NodeId next = spec.participants[(my_pos + 1) % spec.participants.size()];
   net::Writer w;
   spec.encode(w);
-  w.u32(origin);
+  header.encode(w);
   w.u32(hops);
   encode_elements(w, elements);
   send_payload(sim, id(), next, kSetRing, std::move(w));
@@ -636,17 +714,26 @@ void DlaNode::ring_encrypt_and_forward(net::Simulator& sim,
 void DlaNode::handle_set_ring(net::Simulator& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SetSpec spec = SetSpec::decode(r);
-  std::uint32_t origin = r.u32();
+  SetChunkHeader header = SetChunkHeader::decode(r);
   std::uint32_t hops = r.u32();
   std::vector<bn::BigUInt> elements = decode_elements(r);
-  ring_encrypt_and_forward(sim, spec, origin, hops, std::move(elements));
+  ring_encrypt_and_forward(sim, spec, header, hops, std::move(elements));
 }
 
 void DlaNode::handle_set_full(net::Simulator& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SetSpec spec = SetSpec::decode(r);
-  std::uint32_t origin = r.u32();
+  SetChunkHeader header = SetChunkHeader::decode(r);
   std::vector<bn::BigUInt> elements = decode_elements(r);
+  // Validate before touching set_collect_: `origin` keys full_sets, so an
+  // out-of-range origin would count toward the participants-landed total
+  // and leave residue for a session that can never complete.
+  if (header.ring_id != kRingEncrypt ||
+      header.origin >= spec.participants.size() || header.n_chunks == 0 ||
+      header.chunk_seq >= header.n_chunks) {
+    ++set_ring_rejects_;
+    return;
+  }
   // A duplicate kSetFull arriving after the combine would recreate the
   // collect entry (session residue) and, worse, kick off a second decrypt
   // ring against already-spent keys.
@@ -655,7 +742,32 @@ void DlaNode::handle_set_full(net::Simulator& sim, const net::Message& msg) {
     return;
   }
   SetCollect& collect = set_collect_[spec.session];
-  collect.full_sets[origin] = std::move(elements);
+  if (collect.full_sets.contains(header.origin)) {
+    ++replay_drops_;  // whole stream already graduated
+    return;
+  }
+  SetCollect::Partial& partial = collect.partials[header.origin];
+  if (partial.n_chunks == 0) {
+    partial.n_chunks = header.n_chunks;
+  } else if (partial.n_chunks != header.n_chunks) {
+    ++set_ring_rejects_;  // frames disagree on stream length
+    return;
+  }
+  if (partial.chunks.contains(header.chunk_seq)) {
+    ++replay_drops_;
+    return;
+  }
+  partial.chunks[header.chunk_seq] = std::move(elements);
+  if (partial.chunks.size() < partial.n_chunks) return;
+
+  // Stream complete for this origin: graduate to full_sets in seq order.
+  std::vector<bn::BigUInt>& full = collect.full_sets[header.origin];
+  for (auto& [seq, chunk] : partial.chunks) {
+    (void)seq;
+    full.insert(full.end(), std::make_move_iterator(chunk.begin()),
+                std::make_move_iterator(chunk.end()));
+  }
+  collect.partials.erase(header.origin);
   if (collect.full_sets.size() < spec.participants.size()) return;
 
   // All fully-encrypted sets present: combine under the chosen operation.
@@ -679,46 +791,101 @@ void DlaNode::handle_set_full(net::Simulator& sim, const net::Message& msg) {
   // commutative encryptions (order irrelevant). An empty combined set still
   // takes the decrypt ring — decrypting nothing is free, and the pass is
   // what lets every participant retire its session key and staged input.
-  net::Writer w;
-  spec.encode(w);
-  w.u32(0);  // hops
-  encode_elements(w, combined);
-  send_payload(sim, id(), spec.participants[0], kSetDecrypt, std::move(w));
+  // The pass is chunked like the encrypt ring so a wide combined set
+  // pipelines across hops instead of serializing per hop.
+  const std::uint32_t n_chunks = chunk_count(combined.size());
+  const std::size_t stride =
+      n_chunks == 1 ? combined.size() : set_chunk_size_;
+  for (std::uint32_t seq = 0; seq < n_chunks; ++seq) {
+    const std::size_t begin = seq * stride;
+    const std::size_t end =
+        seq + 1 == n_chunks ? combined.size() : begin + stride;
+    std::vector<bn::BigUInt> chunk(
+        std::make_move_iterator(combined.begin() + begin),
+        std::make_move_iterator(combined.begin() + end));
+    net::Writer w;
+    spec.encode(w);
+    SetChunkHeader{0, kRingDecrypt, seq, n_chunks}.encode(w);
+    w.u32(0);  // hops
+    encode_elements(w, chunk);
+    send_payload(sim, id(), spec.participants[0], kSetDecrypt, std::move(w));
+  }
 }
 
 void DlaNode::handle_set_decrypt(net::Simulator& sim,
                                  const net::Message& msg) {
   net::Reader r(msg.payload);
   SetSpec spec = SetSpec::decode(r);
+  SetChunkHeader header = SetChunkHeader::decode(r);
   std::uint32_t hops = r.u32();
   std::vector<bn::BigUInt> elements = decode_elements(r);
+  // `hops` indexes participants on forward, so it must be validated BEFORE
+  // the increment below — a corrupted value at or past participants.size()
+  // previously indexed out of bounds here.
+  if (header.ring_id != kRingDecrypt || header.n_chunks == 0 ||
+      header.chunk_seq >= header.n_chunks ||
+      hops >= spec.participants.size()) {
+    ++set_ring_rejects_;
+    return;
+  }
   // Look the key up instead of lazily creating it: on a duplicate decrypt
-  // hop the key was already spent, and session_key() would mint a fresh
+  // pass the key was already spent, and session_key() would mint a fresh
   // random key that corrupts the ciphertexts (and lingers forever).
   auto kit = session_keys_.find(spec.session);
   if (kit == session_keys_.end()) {
     ++replay_drops_;
     return;
   }
+  DecryptProgress& prog = decrypt_progress_[spec.session];
+  if (prog.n_chunks == 0) {
+    prog.n_chunks = header.n_chunks;
+  } else if (prog.n_chunks != header.n_chunks) {
+    ++set_ring_rejects_;  // frames disagree on stream length
+    return;
+  }
+  // A duplicated chunk must not be decrypted twice — stripping the same
+  // layer twice corrupts the ciphertext for every downstream hop.
+  if (!prog.seen.insert(header.chunk_seq).second) {
+    ++replay_drops_;
+    return;
+  }
   kit->second.decrypt_batch(elements);
-  session_keys_.erase(kit);  // this session's key is spent
+  const std::uint32_t next_hops = hops + 1;
+  const bool terminal = next_hops == spec.participants.size();
+  if (terminal) {
+    prog.chunks[header.chunk_seq] = std::move(elements);
+  } else {
+    net::Writer w;
+    spec.encode(w);
+    header.encode(w);
+    w.u32(next_hops);
+    encode_elements(w, elements);
+    send_payload(sim, id(), spec.participants[next_hops], kSetDecrypt,
+                 std::move(w));
+  }
+  if (prog.seen.size() < prog.n_chunks) return;
+
+  // Whole stream decrypted at this hop: the session key is spent.
+  session_keys_.erase(kit);
   set_inputs_.erase(spec.session);
   set_spent_guard_.insert(spec.session);
-  ++hops;
-  if (hops == spec.participants.size()) {
+  if (terminal) {
+    // Concatenate in seq order and deliver one monolithic result so
+    // observers see bit-identical payloads regardless of chunk size.
+    std::vector<bn::BigUInt> result;
+    for (auto& [seq, chunk] : prog.chunks) {
+      (void)seq;
+      result.insert(result.end(), std::make_move_iterator(chunk.begin()),
+                    std::make_move_iterator(chunk.end()));
+    }
     for (net::NodeId obs : spec.observers) {
       net::Writer w;
       w.u64(spec.session);
-      encode_elements(w, elements);
+      encode_elements(w, result);
       send_payload(sim, id(), obs, kSetResult, std::move(w));
     }
-    return;
   }
-  net::Writer w;
-  spec.encode(w);
-  w.u32(hops);
-  encode_elements(w, elements);
-  send_payload(sim, id(), spec.participants[hops], kSetDecrypt, std::move(w));
+  decrypt_progress_.erase(spec.session);
 }
 
 void DlaNode::handle_set_result(net::Simulator& sim, const net::Message& msg) {
@@ -1389,6 +1556,34 @@ void DlaNode::start_query(net::Simulator& sim, QueryState qs,
         break;  // decided when the task runs
     }
   }
+  // Gateway result cache: memoize the pre-ACL-filter final glsn set under
+  // the canonical criterion + resolved owner set. The secret-counting
+  // shortcut never materializes a glsn set, so it bypasses the cache.
+  if (!(qs.tasks.size() == 1 && qs.tasks[0].count_only)) {
+    std::string canonical;
+    for (const auto& sq : conjuncts) {
+      if (!canonical.empty()) canonical += " AND ";
+      canonical += to_text(sq);
+    }
+    std::vector<std::size_t> involved;
+    for (const auto& task : qs.tasks) {
+      for (std::size_t o : task.owners) involved.push_back(o);
+    }
+    std::string key = GatewayResultCache::make_key(canonical, involved);
+    if (const std::vector<logm::Glsn>* cached = result_cache_.lookup(key)) {
+      // Serve through finish_query so the ACL filter, aggregate delegation,
+      // and certification run exactly as on the protocol path.
+      std::vector<logm::Glsn> glsns = *cached;
+      queries_[qid] = std::move(qs);
+      finish_query(sim, queries_[qid], std::move(glsns));
+      return;
+    }
+    // Snapshot involved-owner epochs at PLAN time: if a write lands while
+    // the subqueries run, insert() sees a stale snapshot and refuses to
+    // cache the (pre-write) result.
+    qs.cache_key = std::move(key);
+    qs.cache_epochs = result_cache_.snapshot(involved);
+  }
   queries_[qid] = std::move(qs);
   run_next_task(sim, queries_[qid]);
 }
@@ -1894,6 +2089,13 @@ void DlaNode::finish_query(net::Simulator& sim, QueryState& qs,
   }
   qs.finishing = true;
   sort_unique(glsns);
+  // Fill the result cache BEFORE the per-ticket ACL filter so the entry is
+  // ticket-neutral; insert() drops the fill if any involved owner advanced
+  // its watermark while the query ran.
+  if (!qs.cache_key.empty()) {
+    result_cache_.insert(qs.cache_key, glsns, qs.cache_epochs);
+    qs.cache_key.clear();
+  }
   if (!qs.ticket.auditor) {
     // User-scope tickets only see their own audit trail (Table 6 ACL).
     std::set<logm::Glsn> allowed = acl_.glsns_of(qs.ticket.id);

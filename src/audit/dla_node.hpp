@@ -28,6 +28,7 @@
 #include "audit/config.hpp"
 #include "audit/query.hpp"
 #include "audit/replay_guard.hpp"
+#include "audit/result_cache.hpp"
 #include "audit/ticket.hpp"
 #include "audit/wire.hpp"
 #include "crypto/accumulator.hpp"
@@ -67,6 +68,22 @@ class DlaNode : public net::Node {
   const std::map<logm::Glsn, bn::BigUInt>& deposits() const {
     return deposits_;
   }
+
+  // Ring-pass chunking: element count per kSetRing/kSetFull/kSetDecrypt
+  // frame. Each hop re-encrypts chunk k while chunk k+1 is still in flight
+  // upstream, so ring latency under a bandwidth-limited link model scales
+  // with max(compute, transmit) instead of their sum. 0 = legacy monolithic
+  // frames (one chunk per set), kept for differential testing.
+  void set_chunk_size(std::size_t elements) { set_chunk_size_ = elements; }
+  std::size_t chunk_size() const { return set_chunk_size_; }
+
+  // Gateway-side cross-subquery result cache (docs/PROTOCOLS.md "Gateway
+  // result cache"). Exposed for tests; counters live in audit::metrics.
+  GatewayResultCache& result_cache() { return result_cache_; }
+  const GatewayResultCache& result_cache() const { return result_cache_; }
+  // Monotone store epoch: bumped on every acked fragment write/delete and
+  // announced to peers so their result caches invalidate.
+  std::uint64_t store_epoch() const { return store_epoch_; }
   // Ring-pass messages dropped because this node was not listed in the
   // spec's participants (a malformed or misrouted kSetStart/kSetRing).
   // Joining the ring at a fabricated position would corrupt the protocol —
@@ -98,6 +115,7 @@ class DlaNode : public net::Node {
             {"session_keys", session_keys_.size()},
             {"set_inputs", set_inputs_.size()},
             {"set_collect", set_collect_.size()},
+            {"decrypt_progress", decrypt_progress_.size()},
             {"sum_state", sum_state_.size()},
             {"sum_inputs", sum_inputs_.size()},
             {"cmp_inputs", cmp_inputs_.size()},
@@ -209,6 +227,10 @@ class DlaNode : public net::Node {
   void handle_accum_deposit(net::Simulator& sim, const net::Message& msg);
   void handle_fragment_request(net::Simulator& sim, const net::Message& msg);
   void handle_fragment_delete(net::Simulator& sim, const net::Message& msg);
+  void handle_watermark_advance(net::Simulator& sim, const net::Message& msg);
+  // Bump this node's store epoch after an acked write/delete and announce
+  // the advance to every peer's result cache (and to our own).
+  void advance_store_epoch(net::Simulator& sim);
   void dispatch(net::Simulator& sim, const net::Message& msg);
 
   // ---- set ring ----
@@ -219,8 +241,16 @@ class DlaNode : public net::Node {
   void handle_set_result(net::Simulator& sim, const net::Message& msg);
   crypto::PhKey& session_key(SessionId session);
   void ring_encrypt_and_forward(net::Simulator& sim, const SetSpec& spec,
-                                std::uint32_t origin, std::uint32_t hops,
+                                SetChunkHeader header, std::uint32_t hops,
                                 std::vector<bn::BigUInt> elements);
+  // Splits `elements` into the session's chunk stream and runs each chunk
+  // through ring_encrypt_and_forward (origin side of the encrypt ring).
+  void ring_start_stream(net::Simulator& sim, const SetSpec& spec,
+                         std::uint32_t my_pos,
+                         std::vector<bn::BigUInt> elements);
+  // Number of chunks `n` elements split into under this node's chunk size
+  // (always >= 1: an empty set still circulates one empty chunk).
+  std::uint32_t chunk_count(std::size_t n) const;
 
   // ---- secure sum ----
   void handle_sum_start(net::Simulator& sim, const net::Message& msg);
@@ -304,6 +334,11 @@ class DlaNode : public net::Node {
     // Set once the final result is being certified/aggregated; duplicate
     // completion messages must not re-enter finish_query.
     bool finishing = false;
+    // Result-cache bookkeeping, captured at plan time: the canonical key
+    // and the involved owners' epoch snapshot the fill must be validated
+    // against. Empty key = not cacheable (secret-counting shortcut).
+    std::string cache_key;
+    GatewayResultCache::EpochSnapshot cache_epochs;
   };
   // Compiles the expression tree of one subquery into tasks appended to
   // `tasks`; returns the rid holding the subquery result.
@@ -408,10 +443,30 @@ class DlaNode : public net::Node {
   // protocol state.
   std::map<SessionId, crypto::PhKey> session_keys_;
   std::map<SessionId, std::vector<bn::BigUInt>> set_inputs_;
+  // Collector-side reassembly: chunks land out of order and per origin;
+  // an origin graduates from `partials` to `full_sets` when its declared
+  // chunk count is complete, and the combine fires only when every origin
+  // has landed in full.
   struct SetCollect {
+    struct Partial {
+      std::uint32_t n_chunks = 0;  // declared stream length
+      std::map<std::uint32_t, std::vector<bn::BigUInt>> chunks;  // by seq
+    };
     std::map<std::uint32_t, std::vector<bn::BigUInt>> full_sets;
+    std::map<std::uint32_t, Partial> partials;
   };
   std::map<SessionId, SetCollect> set_collect_;
+  // Decrypt-pass progress at each hop: which chunk_seqs this node already
+  // decrypted (a duplicated chunk must not be double-decrypted), and — at
+  // the terminal hop only — the decrypted chunks held until the stream
+  // completes. The session key retires when every chunk was seen.
+  struct DecryptProgress {
+    std::uint32_t n_chunks = 0;
+    std::set<std::uint32_t> seen;
+    std::map<std::uint32_t, std::vector<bn::BigUInt>> chunks;  // terminal hop
+  };
+  std::map<SessionId, DecryptProgress> decrypt_progress_;
+  std::size_t set_chunk_size_ = 64;
   std::uint64_t set_ring_rejects_ = 0;
   std::uint64_t replay_drops_ = 0;
   // Duplicate-delivery guards (see replay_guard.hpp): ring sessions this
@@ -473,6 +528,8 @@ class DlaNode : public net::Node {
   std::map<SessionId, PendingCombine> pending_combines_;
   std::uint64_t next_qid_ = 1;
   std::uint64_t next_session_ = 1;
+  GatewayResultCache result_cache_;
+  std::uint64_t store_epoch_ = 0;
 
   // distributed key generation.
   struct DkgState {

@@ -86,6 +86,21 @@ void reset_query_engine_counters() {
   detail::query_engine_counters_mut() = QueryEngineCounters{};
 }
 
+namespace detail {
+GatewayCacheCounters& gateway_cache_counters_mut() {
+  static GatewayCacheCounters counters;
+  return counters;
+}
+}  // namespace detail
+
+GatewayCacheCounters gateway_cache_counters() {
+  return detail::gateway_cache_counters_mut();
+}
+
+void reset_gateway_cache_counters() {
+  detail::gateway_cache_counters_mut() = GatewayCacheCounters{};
+}
+
 ChaosCounters chaos_counters(const net::Simulator& sim) {
   const net::NetworkStats& stats = sim.stats();
   return ChaosCounters{stats.chaos_drops, stats.duplicates_injected,

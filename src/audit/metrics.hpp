@@ -87,6 +87,25 @@ namespace detail {
 QueryEngineCounters& query_engine_counters_mut();
 }  // namespace detail
 
+// ---- gateway result-cache counters ---------------------------------------
+// Process-wide counters for the gateway-side cross-subquery result cache
+// (src/audit/result_cache.hpp, see docs/PROTOCOLS.md "Gateway result
+// cache"): cache_hits counts queries served from a cached final glsn set,
+// cache_misses counts lookups that fell through to the full pipeline, and
+// cache_invalidations counts cached entries evicted because an involved
+// attribute owner acked a newer fragment write (or delete).
+struct GatewayCacheCounters {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_invalidations = 0;
+};
+GatewayCacheCounters gateway_cache_counters();
+void reset_gateway_cache_counters();
+
+namespace detail {
+GatewayCacheCounters& gateway_cache_counters_mut();
+}  // namespace detail
+
 // ---- chaos counters ------------------------------------------------------
 // Fault-injection counters surfaced from the network layer (net::ChaosEngine
 // via net::NetworkStats) so audit-level drivers can report how much chaos a

@@ -1,0 +1,106 @@
+#include "audit/result_cache.hpp"
+
+#include <algorithm>
+
+#include "audit/metrics.hpp"
+
+namespace dla::audit {
+
+std::string GatewayResultCache::make_key(
+    const std::string& canonical_criterion,
+    const std::vector<std::size_t>& owners) {
+  std::vector<std::size_t> sorted = owners;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::string key = canonical_criterion;
+  key += "|owners:";
+  for (std::size_t o : sorted) {
+    key += std::to_string(o);
+    key += ',';
+  }
+  return key;
+}
+
+std::uint64_t GatewayResultCache::epoch_of(std::size_t owner) const {
+  auto it = epochs_.find(owner);
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+GatewayResultCache::EpochSnapshot GatewayResultCache::snapshot(
+    const std::vector<std::size_t>& owners) const {
+  EpochSnapshot snap;
+  for (std::size_t o : owners) snap[o] = epoch_of(o);
+  return snap;
+}
+
+const std::vector<logm::Glsn>* GatewayResultCache::lookup(
+    const std::string& key) {
+  GatewayCacheCounters& ctr = detail::gateway_cache_counters_mut();
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++ctr.cache_misses;
+    return nullptr;
+  }
+  // Entries are evicted eagerly on watermark_advance, but verify anyway:
+  // an entry outliving its snapshot must read as a miss, never as stale.
+  for (const auto& [owner, epoch] : it->second.epochs) {
+    if (epoch_of(owner) != epoch) {
+      ++ctr.cache_invalidations;
+      evict_key(key);
+      ++ctr.cache_misses;
+      return nullptr;
+    }
+  }
+  ++ctr.cache_hits;
+  return &it->second.glsns;
+}
+
+void GatewayResultCache::insert(const std::string& key,
+                                std::vector<logm::Glsn> glsns,
+                                EpochSnapshot epochs) {
+  if (capacity_ == 0) return;
+  // A write that landed while the query ran makes the snapshot stale; the
+  // result reflects the pre-write log, so caching it would serve it after
+  // the invalidation that should have killed it.
+  for (const auto& [owner, epoch] : epochs) {
+    if (epoch_of(owner) != epoch) return;
+  }
+  if (entries_.contains(key)) evict_key(key);
+  while (entries_.size() >= capacity_ && !order_.empty()) {
+    evict_key(order_.front());
+  }
+  entries_[key] = Entry{std::move(glsns), std::move(epochs)};
+  order_.push_back(key);
+}
+
+void GatewayResultCache::watermark_advance(std::size_t owner,
+                                           std::uint64_t epoch,
+                                           logm::Glsn high_glsn) {
+  std::uint64_t& current = epochs_[owner];
+  if (epoch <= current) return;  // stale/duplicated announcement
+  current = epoch;
+  logm::Glsn& high = high_glsns_[owner];
+  high = std::max(high, high_glsn);
+  std::vector<std::string> stale;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.epochs.contains(owner)) stale.push_back(key);
+  }
+  GatewayCacheCounters& ctr = detail::gateway_cache_counters_mut();
+  for (const std::string& key : stale) {
+    ++ctr.cache_invalidations;
+    evict_key(key);
+  }
+}
+
+logm::Glsn GatewayResultCache::high_glsn_of(std::size_t owner) const {
+  auto it = high_glsns_.find(owner);
+  return it == high_glsns_.end() ? 0 : it->second;
+}
+
+void GatewayResultCache::evict_key(const std::string& key) {
+  entries_.erase(key);
+  auto it = std::find(order_.begin(), order_.end(), key);
+  if (it != order_.end()) order_.erase(it);
+}
+
+}  // namespace dla::audit

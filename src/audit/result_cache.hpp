@@ -1,0 +1,96 @@
+// Gateway-side cross-subquery result cache.
+//
+// A gateway that answers the same canonical criterion twice against an
+// unchanged log runs the whole subquery/ring pipeline twice for the same
+// final glsn set. This cache memoizes the *pre-ACL-filter* final glsn set
+// of a query, keyed by canonical criterion text + the set of cluster
+// indices whose stores the plan touches. Serving from cache re-applies the
+// per-ticket ACL filter (and aggregate/certification steps), so a cached
+// entry is never ticket-specific.
+//
+// Freshness: every DLA node keeps a monotone store epoch (bumped each time
+// it acks a fragment write or delete) and announces advances to its peers
+// (kWatermarkAdvance, carrying the new epoch and the node's high-glsn
+// watermark). An entry records the announced epoch of every involved owner
+// at *plan* time; it is served only while those epochs are still current,
+// and is evicted (counted as an invalidation) the moment any involved owner
+// announces a newer write. A write racing an in-flight query therefore
+// invalidates the entry the query would have filled.
+//
+// Leakage profile (Definition 1): the cache reveals repeat-query structure
+// (identical criteria reuse one entry, visible as absent protocol traffic)
+// to the gateway only — a permitted secondary disclosure, see
+// docs/PROTOCOLS.md "Gateway result cache".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logm/record.hpp"
+
+namespace dla::audit {
+
+class GatewayResultCache {
+ public:
+  // `capacity` bounds the entry count; the oldest entry is dropped first.
+  explicit GatewayResultCache(std::size_t capacity = 128)
+      : capacity_(capacity) {}
+
+  // Epoch snapshot of the owners a query plan involves: cluster index ->
+  // announced store epoch at snapshot time.
+  using EpochSnapshot = std::map<std::size_t, std::uint64_t>;
+
+  // Canonical cache key: normalized criterion text + sorted owner set. Two
+  // queries share an entry iff they normalize to the same text AND resolve
+  // to the same owner nodes (failover re-routing changes the key).
+  static std::string make_key(const std::string& canonical_criterion,
+                              const std::vector<std::size_t>& owners);
+
+  // Highest store epoch announced by `owner` so far (0 = never announced).
+  std::uint64_t epoch_of(std::size_t owner) const;
+  // Epoch snapshot for a plan's owner set, taken from announced watermarks.
+  EpochSnapshot snapshot(const std::vector<std::size_t>& owners) const;
+
+  // Returns the cached final glsn set iff the entry exists and every
+  // involved owner's epoch is unchanged since fill time; counts a hit or a
+  // miss in audit::metrics either way. The pointer is invalidated by any
+  // non-const call.
+  const std::vector<logm::Glsn>* lookup(const std::string& key);
+
+  // Records a completed query's pre-filter glsn set under the epoch
+  // snapshot taken when the query was planned. A stale snapshot (an
+  // involved owner advanced while the query ran) is not inserted.
+  void insert(const std::string& key, std::vector<logm::Glsn> glsns,
+              EpochSnapshot epochs);
+
+  // An owner acked a newer fragment write/delete: advance its announced
+  // epoch and evict every entry that involved it (counted as
+  // invalidations). Announcements are monotone — a reordered or duplicated
+  // stale announcement is ignored.
+  void watermark_advance(std::size_t owner, std::uint64_t epoch,
+                         logm::Glsn high_glsn);
+
+  // Observability: high-glsn watermark last announced by `owner`.
+  logm::Glsn high_glsn_of(std::size_t owner) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::vector<logm::Glsn> glsns;
+    EpochSnapshot epochs;  // involved owners at fill time
+  };
+
+  void evict_key(const std::string& key);
+
+  std::size_t capacity_;
+  std::map<std::string, Entry> entries_;
+  std::deque<std::string> order_;  // insertion order for capacity eviction
+  std::map<std::size_t, std::uint64_t> epochs_;     // owner -> announced epoch
+  std::map<std::size_t, logm::Glsn> high_glsns_;    // owner -> high watermark
+};
+
+}  // namespace dla::audit

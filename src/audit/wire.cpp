@@ -40,6 +40,22 @@ SetSpec SetSpec::decode(net::Reader& r) {
   return s;
 }
 
+void SetChunkHeader::encode(net::Writer& w) const {
+  w.u32(origin);
+  w.u32(ring_id);
+  w.u32(chunk_seq);
+  w.u32(n_chunks);
+}
+
+SetChunkHeader SetChunkHeader::decode(net::Reader& r) {
+  SetChunkHeader h;
+  h.origin = r.u32();
+  h.ring_id = r.u32();
+  h.chunk_seq = r.u32();
+  h.n_chunks = r.u32();
+  return h;
+}
+
 void SumSpec::encode(net::Writer& w) const {
   w.u64(session);
   encode_node_ids(w, participants);

@@ -41,12 +41,16 @@ enum MsgType : std::uint32_t {
   kFragmentReply = 0x24,    // P_i -> user {reqid, glsn, ok, fragment}
   kFragmentDelete = 0x25,   // user -> P_i {reqid, ticket, glsn}
   kDeleteReply = 0x26,      // P_i -> user {reqid, glsn, ok}
+  kWatermarkAdvance = 0x27, // P_i -> peers {index, store epoch, high glsn}
 
-  // secure set protocols (ring of commutative encryptions)
+  // secure set protocols (ring of commutative encryptions). Ring traffic is
+  // a stream of fixed-size chunks (SetChunkHeader) so each hop pipelines
+  // re-encryption of chunk k against transmission of chunk k+1; see
+  // docs/PROTOCOLS.md "Chunked, pipelined ring-pass".
   kSetStart = 0x40,      // initiator -> participants {spec}
-  kSetRing = 0x41,       // P -> next {spec, origin, hops, elements}
-  kSetFull = 0x42,       // P -> collector {spec, origin, elements}
-  kSetDecrypt = 0x43,    // collector/P -> P {spec, hops, elements}
+  kSetRing = 0x41,       // P -> next {spec, chunk header, hops, elements}
+  kSetFull = 0x42,       // P -> collector {spec, chunk header, elements}
+  kSetDecrypt = 0x43,    // collector/P -> P {spec, chunk header, hops, elements}
   kSetResult = 0x44,     // last P -> observers {session, elements}
 
   // secure sum (Shamir)
@@ -131,6 +135,30 @@ struct SetSpec {
 
   void encode(net::Writer& w) const;
   static SetSpec decode(net::Reader& r);
+};
+
+// Which circulation of a session a chunk belongs to. A decrypt-pass chunk
+// replayed into the encrypt ring (or vice versa) must be rejected, not
+// re-encrypted — the ring_id makes the two streams distinguishable on the
+// wire instead of relying on the message type alone.
+inline constexpr std::uint32_t kRingEncrypt = 0;
+inline constexpr std::uint32_t kRingDecrypt = 1;
+
+// Per-chunk header of the windowed ring stream. `origin` is the ring
+// position of the participant whose set this chunk belongs to (always 0 on
+// the decrypt pass, which circulates the single combined set); `chunk_seq`
+// in [0, n_chunks) orders the stream for reassembly at the collector and at
+// the terminal decrypt hop. Chunks may arrive out of order and duplicated;
+// receivers dedup by (session, ring_id, origin, chunk_seq) and reject any
+// header whose fields are out of range for the accompanying SetSpec.
+struct SetChunkHeader {
+  std::uint32_t origin = 0;
+  std::uint32_t ring_id = kRingEncrypt;
+  std::uint32_t chunk_seq = 0;
+  std::uint32_t n_chunks = 1;
+
+  void encode(net::Writer& w) const;
+  static SetChunkHeader decode(net::Reader& r);
 };
 
 // ---------------------------------------------------------- sum payload --

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <deque>
 #include <functional>
+#include <list>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -316,18 +317,31 @@ bn::BigUInt FixedBaseEngine::pow(const bn::BigUInt& exponent) const {
 
 std::shared_ptr<const FixedBaseEngine> FixedBaseEngine::shared(
     const bn::BigUInt& base, const bn::BigUInt& modulus) {
+  using Key = std::pair<std::string, std::string>;
+  using Entry = std::pair<Key, std::shared_ptr<const FixedBaseEngine>>;
   static std::mutex mu;
-  static std::map<std::pair<std::string, std::string>,
-                  std::shared_ptr<const FixedBaseEngine>>
-      cache;
-  std::pair<std::string, std::string> key{base.to_hex(), modulus.to_hex()};
+  // True LRU: a recency list (front = most recent) plus a map into it.
+  // Clearing the whole cache on overflow evicted the hot generator/domain
+  // engines every 17th distinct key, forcing their (expensive) table
+  // rebuilds in steady state.
+  static std::list<Entry> order;
+  static std::map<Key, std::list<Entry>::iterator> index;
+  constexpr std::size_t kCapacity = 16;
+  Key key{base.to_hex(), modulus.to_hex()};
   std::lock_guard<std::mutex> lock(mu);
-  if (auto it = cache.find(key); it != cache.end()) return it->second;
+  if (auto it = index.find(key); it != index.end()) {
+    order.splice(order.begin(), order, it->second);  // mark most-recent
+    return it->second->second;
+  }
   auto engine = std::make_shared<const FixedBaseEngine>(
       std::make_shared<bn::MontgomeryContext>(modulus), base,
       modulus.bit_length());
-  if (cache.size() >= 16) cache.clear();  // tiny workloads; coarse eviction
-  cache.emplace(std::move(key), engine);
+  while (order.size() >= kCapacity) {
+    index.erase(order.back().first);
+    order.pop_back();
+  }
+  order.emplace_front(key, engine);
+  index.emplace(std::move(key), order.begin());
   return engine;
 }
 

@@ -6,6 +6,11 @@
 #include <fstream>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace dla::logm {
 
 namespace {
@@ -110,6 +115,37 @@ void WalFragmentStore::append_frame(std::uint8_t op,
             static_cast<std::streamsize>(payload.size()));
   out.flush();
   if (!out) throw std::runtime_error("WalFragmentStore: write failed");
+  out.close();
+  // flush() only hands the frame to the page cache; the frame is
+  // acknowledged to callers, so it must reach stable storage.
+  sync_file(path_);
+}
+
+void WalFragmentStore::sync_file(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    if (::fsync(fd) == 0) ++sync_calls_;
+    ::close(fd);
+  }
+#else
+  (void)path;  // best-effort: no fsync equivalent wired up
+#endif
+}
+
+void WalFragmentStore::sync_parent_dir(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  namespace fs = std::filesystem;
+  fs::path parent = fs::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  int fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    if (::fsync(fd) == 0) ++dir_sync_calls_;
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
 }
 
 void WalFragmentStore::put(Fragment fragment) {
@@ -142,8 +178,16 @@ std::size_t WalFragmentStore::compact() {
     WalFragmentStore scratch(tmp);
     store_.for_each([&](const Fragment& frag) { scratch.put(frag); });
   }
+  // The tmp log must be on stable storage BEFORE the rename publishes it:
+  // rename-then-crash with unsynced data can otherwise leave a truncated
+  // log under the live name, losing acknowledged frames.
+  sync_file(tmp);
+  if (compact_crash_hook_) compact_crash_hook_();
   fs::rename(tmp, path_, ec);
   if (ec) throw std::runtime_error("WalFragmentStore: compact rename failed");
+  // Make the rename itself durable: the directory entry swap lives in the
+  // parent directory's data.
+  sync_parent_dir(path_);
   auto after = fs::file_size(path_, ec);
   return before > after ? static_cast<std::size_t>(before - after) : 0;
 }

@@ -5,7 +5,10 @@
 // CRC32-protected frames (put and erase operations); opening a store
 // replays the log, stopping at the first torn or corrupt frame — so a node
 // recovers exactly its acknowledged state after a crash. compact() rewrites
-// the live set into a fresh log and atomically swaps it in.
+// the live set into a fresh log and atomically swaps it in, fsyncing the
+// tmp log before the rename and the parent directory after it — a stream
+// flush alone leaves the data in the page cache, where a power loss can
+// tear an already-acknowledged frame or unlink both log versions.
 //
 // Frame layout: [u32 len][u32 crc32][u8 op][payload]
 //   op 0 = put  (payload: Fragment encoding)
@@ -13,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "logm/store.hpp"
@@ -43,14 +47,33 @@ class WalFragmentStore {
   std::size_t replayed_frames() const { return replayed_; }
   const std::string& path() const { return path_; }
 
+  // Durability instrumentation: file fsyncs issued (one per acknowledged
+  // frame plus one for the compacted tmp log) and parent-directory fsyncs
+  // (one per compact, making the rename itself durable). Tests assert on
+  // these; they are best-effort no-ops on platforms without fsync.
+  std::size_t sync_calls() const { return sync_calls_; }
+  std::size_t dir_sync_calls() const { return dir_sync_calls_; }
+
+  // Test hook: invoked after the compacted tmp log is written and synced
+  // but BEFORE the rename swaps it in. Throwing from it simulates a crash
+  // at the most dangerous point of compaction.
+  void set_compact_crash_hook(std::function<void()> hook) {
+    compact_crash_hook_ = std::move(hook);
+  }
+
  private:
   void append_frame(std::uint8_t op, const net::Bytes& payload);
   void replay();
+  void sync_file(const std::string& path);
+  void sync_parent_dir(const std::string& path);
 
   std::string path_;
   FragmentStore store_;
   std::size_t corrupt_skipped_ = 0;
   std::size_t replayed_ = 0;
+  std::size_t sync_calls_ = 0;
+  std::size_t dir_sync_calls_ = 0;
+  std::function<void()> compact_crash_hook_;
 };
 
 }  // namespace dla::logm

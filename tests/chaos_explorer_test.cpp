@@ -65,10 +65,18 @@ const std::vector<std::string>& criteria() {
 // cluster keeps the default indexed engine, so each tier-A equality check is
 // also an indexed-vs-scan differential: invariant I5 (result-set
 // equivalence) covers the compiled index path under chaos for free.
-Cluster make_cluster(bool indexed = true) {
-  Cluster cluster(Cluster::Options{logm::paper_schema(), 4, 1,
-                                   logm::paper_partition(), kWorkloadSeed,
-                                   /*auditor_users=*/true});
+//
+// Likewise `set_chunk_size`: the oracle runs the legacy monolithic set ring
+// (chunk size 0) while sweep clusters use a deliberately tiny chunk so the
+// small workload sets still split into multi-chunk streams — every tier-A
+// comparison is then a chunked-vs-monolithic ring differential with chunk
+// frames duplicated and reordered by the chaos engine.
+Cluster make_cluster(bool indexed = true, std::size_t set_chunk_size = 2) {
+  Cluster::Options opts{logm::paper_schema(), 4, 1, logm::paper_partition(),
+                        kWorkloadSeed,
+                        /*auditor_users=*/true};
+  opts.set_chunk_size = set_chunk_size;
+  Cluster cluster(std::move(opts));
   if (!indexed) {
     for (std::size_t i = 0; i < cluster.dla_count(); ++i) {
       cluster.dla(i).store().set_indexing(false);
@@ -123,7 +131,7 @@ WorkloadRun run_workload(Cluster& cluster) {
 // stores (indexing disabled). Computed once and shared by every sweep.
 const WorkloadRun& oracle() {
   static const WorkloadRun kOracle = [] {
-    Cluster cluster = make_cluster(/*indexed=*/false);
+    Cluster cluster = make_cluster(/*indexed=*/false, /*set_chunk_size=*/0);
     WorkloadRun run = run_workload(cluster);
     return run;
   }();

@@ -201,5 +201,29 @@ TEST_F(ModExpEngineTest, FixedBaseSharedCacheReusesInstances) {
   EXPECT_NE(a.get(), c.get());
 }
 
+TEST_F(ModExpEngineTest, FixedBaseSharedCacheEvictsLeastRecentlyUsed) {
+  // Regression: the shared cache used to clear ALL entries once it held 16,
+  // so the hot generator engine was rebuilt every 17th distinct key. With
+  // LRU eviction, an entry that is touched while filler keys stream through
+  // must survive; only the coldest keys fall out.
+  const bn::BigUInt p = PhDomain::fixed256().p;
+  const bn::BigUInt hot_base(4);
+  auto hot = FixedBaseEngine::shared(hot_base, p);
+  auto cold = FixedBaseEngine::shared(bn::BigUInt(100), p);
+  // Stream 40 distinct filler keys through the 16-entry cache, re-touching
+  // the hot key between them so it is never the LRU victim. The cold key is
+  // never touched again.
+  for (int i = 0; i < 40; ++i) {
+    (void)FixedBaseEngine::shared(bn::BigUInt(101 + i), p);
+    auto again = FixedBaseEngine::shared(hot_base, p);
+    EXPECT_EQ(hot.get(), again.get()) << "hot engine evicted at filler " << i;
+  }
+  // The hot key still maps to the original engine; the untouched cold key
+  // fell out and comes back as a fresh instance (the old one is pinned
+  // alive by `cold`, so pointer inequality proves eviction).
+  EXPECT_EQ(hot.get(), FixedBaseEngine::shared(hot_base, p).get());
+  EXPECT_NE(cold.get(), FixedBaseEngine::shared(bn::BigUInt(100), p).get());
+}
+
 }  // namespace
 }  // namespace dla::crypto

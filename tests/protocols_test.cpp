@@ -223,7 +223,7 @@ TEST_F(ProtocolFixture, RingMessageToNonParticipantIsDropped) {
   };
   net::Writer w;
   spec.encode(w);
-  w.u32(0);  // origin
+  SetChunkHeader{0, kRingEncrypt, 0, 1}.encode(w);
   w.u32(1);  // hops
   encode_elements(w, {crypto::encode_element(cluster.config()->ph_domain, "x")});
   EXPECT_EQ(cluster.dla(3).set_ring_rejects(), 0u);

@@ -1,0 +1,243 @@
+// Gateway result cache: unit tests for GatewayResultCache (keying, epoch
+// snapshots, watermark invalidation, capacity) and end-to-end correctness
+// over a full cluster — a repeated query is served from cache with an
+// identical result, and a fragment write to any involved owner invalidates
+// the entry so the next query never sees a stale watermark.
+#include "audit/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "audit/cluster.hpp"
+#include "audit/metrics.hpp"
+#include "logm/workload.hpp"
+
+namespace dla::audit {
+namespace {
+
+struct CacheUnit : ::testing::Test {
+  void SetUp() override { reset_gateway_cache_counters(); }
+  void TearDown() override { reset_gateway_cache_counters(); }
+};
+
+TEST_F(CacheUnit, KeyCanonicalizesOwnerSet) {
+  // Owner order and duplicates must not fragment the key space.
+  EXPECT_EQ(GatewayResultCache::make_key("id = 'U1'", {2, 0, 1}),
+            GatewayResultCache::make_key("id = 'U1'", {0, 1, 2, 1}));
+  EXPECT_NE(GatewayResultCache::make_key("id = 'U1'", {0, 1}),
+            GatewayResultCache::make_key("id = 'U1'", {0, 2}));
+  EXPECT_NE(GatewayResultCache::make_key("id = 'U1'", {0}),
+            GatewayResultCache::make_key("id = 'U2'", {0}));
+}
+
+TEST_F(CacheUnit, LookupHitThenInvalidatedByWatermark) {
+  GatewayResultCache cache;
+  std::string key = GatewayResultCache::make_key("c", {0, 1});
+  EXPECT_EQ(cache.lookup(key), nullptr);  // miss
+  cache.insert(key, {10, 20}, cache.snapshot({0, 1}));
+  const auto* hit = cache.lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, (std::vector<logm::Glsn>{10, 20}));
+  // Owner 1 acks a newer write: the entry must die.
+  cache.watermark_advance(1, /*epoch=*/1, /*high_glsn=*/99);
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  EXPECT_EQ(cache.high_glsn_of(1), 99u);
+  auto counters = gateway_cache_counters();
+  EXPECT_EQ(counters.cache_hits, 1u);
+  EXPECT_EQ(counters.cache_misses, 2u);
+  EXPECT_EQ(counters.cache_invalidations, 1u);
+}
+
+TEST_F(CacheUnit, UninvolvedOwnerAdvanceKeepsEntry) {
+  GatewayResultCache cache;
+  std::string key = GatewayResultCache::make_key("c", {0});
+  cache.insert(key, {7}, cache.snapshot({0}));
+  cache.watermark_advance(3, 1, 50);  // owner 3 is not involved in `key`
+  EXPECT_NE(cache.lookup(key), nullptr);
+  EXPECT_EQ(gateway_cache_counters().cache_invalidations, 0u);
+}
+
+TEST_F(CacheUnit, StaleSnapshotIsNotInserted) {
+  // A write that lands while the query runs advances the owner's epoch
+  // past the plan-time snapshot; the (pre-write) result must not be cached.
+  GatewayResultCache cache;
+  std::string key = GatewayResultCache::make_key("c", {0});
+  auto snap = cache.snapshot({0});          // plan time: epoch 0
+  cache.watermark_advance(0, 1, 42);        // write lands mid-query
+  cache.insert(key, {7}, std::move(snap));  // refused
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(key), nullptr);
+}
+
+TEST_F(CacheUnit, WatermarkAnnouncementsAreMonotone) {
+  GatewayResultCache cache;
+  cache.watermark_advance(0, 5, 100);
+  cache.watermark_advance(0, 3, 200);  // reordered stale announcement
+  EXPECT_EQ(cache.epoch_of(0), 5u);
+  EXPECT_EQ(cache.high_glsn_of(0), 100u);
+  cache.watermark_advance(0, 5, 300);  // duplicate epoch: ignored
+  EXPECT_EQ(cache.high_glsn_of(0), 100u);
+}
+
+TEST_F(CacheUnit, CapacityEvictsOldestEntry) {
+  GatewayResultCache cache(/*capacity=*/2);
+  cache.insert(GatewayResultCache::make_key("a", {0}), {1}, {});
+  cache.insert(GatewayResultCache::make_key("b", {0}), {2}, {});
+  cache.insert(GatewayResultCache::make_key("c", {0}), {3}, {});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.lookup(GatewayResultCache::make_key("a", {0})), nullptr);
+  EXPECT_NE(cache.lookup(GatewayResultCache::make_key("c", {0})), nullptr);
+}
+
+// ------------------------------------------------ end-to-end (cluster) --
+
+struct CacheE2e : ::testing::Test {
+  CacheE2e()
+      : cluster(Cluster::Options{logm::paper_schema(), 4, 1,
+                                 logm::paper_partition(), /*seed=*/7,
+                                 /*auditor_users=*/true}) {
+    reset_gateway_cache_counters();
+    // Pin all traffic to one gateway so repeat queries share one cache.
+    cluster.user(0).set_gateway(0);
+    for (const auto& rec : logm::paper_table1_records()) {
+      cluster.user(0).log_record(cluster.sim(), rec.attrs,
+                                 [&](std::optional<logm::Glsn> glsn) {
+                                   ASSERT_TRUE(glsn.has_value());
+                                   glsns.push_back(*glsn);
+                                 });
+    }
+    cluster.run();
+    EXPECT_EQ(glsns.size(), 5u);
+  }
+  void TearDown() override { reset_gateway_cache_counters(); }
+
+  QueryOutcome run_query(const std::string& criterion) {
+    std::optional<QueryOutcome> outcome;
+    cluster.user(0).query(cluster.sim(), criterion,
+                          [&](QueryOutcome o) { outcome = std::move(o); });
+    cluster.run();
+    EXPECT_TRUE(outcome.has_value()) << criterion;
+    return outcome.value_or(QueryOutcome{});
+  }
+
+  Cluster cluster;
+  std::vector<logm::Glsn> glsns;
+};
+
+TEST_F(CacheE2e, RepeatQueryIsServedFromCacheIdentically) {
+  reset_gateway_cache_counters();
+  auto first = run_query("id = 'U1' AND protocl = 'UDP'");
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(gateway_cache_counters().cache_hits, 0u);
+  auto second = run_query("id = 'U1' AND protocl = 'UDP'");
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(first.glsns, second.glsns);
+  EXPECT_EQ(gateway_cache_counters().cache_hits, 1u);
+  // Syntactic variation that normalizes identically also hits.
+  auto third = run_query("protocl = 'UDP' AND id = 'U1'");
+  ASSERT_TRUE(third.ok) << third.error;
+  EXPECT_EQ(first.glsns, third.glsns);
+  EXPECT_EQ(gateway_cache_counters().cache_hits, 2u);
+}
+
+TEST_F(CacheE2e, WriteInvalidatesAndNextQueryIsFresh) {
+  const std::string criterion = "id = 'U1' AND protocl = 'UDP'";
+  auto before = run_query(criterion);
+  ASSERT_TRUE(before.ok) << before.error;
+  auto cached = run_query(criterion);
+  EXPECT_EQ(gateway_cache_counters().cache_hits, 1u);
+  EXPECT_EQ(before.glsns, cached.glsns);
+
+  // Log a new matching record; every owner acks a fragment, so each
+  // involved owner broadcasts a watermark advance that evicts the entry.
+  std::optional<logm::Glsn> fresh;
+  cluster.user(0).log_record(
+      cluster.sim(),
+      {{"Time", logm::Value(std::int64_t{999})},
+       {"id", logm::Value("U1")},
+       {"Tid", logm::Value("T99")},
+       {"protocl", logm::Value("UDP")},
+       {"C1", logm::Value(std::int64_t{1})},
+       {"C2", logm::Value(2.0)},
+       {"C3", logm::Value("c3")}},
+      [&](std::optional<logm::Glsn> g) { fresh = g; });
+  cluster.run();
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_GE(gateway_cache_counters().cache_invalidations, 1u);
+
+  // The post-write query must include the new record — a stale cache serve
+  // would return the pre-write set.
+  auto after = run_query(criterion);
+  ASSERT_TRUE(after.ok) << after.error;
+  std::vector<logm::Glsn> expected = before.glsns;
+  expected.push_back(*fresh);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(after.glsns, expected);
+
+  // And the fresh result is itself cacheable again.
+  const std::uint64_t hits = gateway_cache_counters().cache_hits;
+  auto again = run_query(criterion);
+  EXPECT_EQ(again.glsns, after.glsns);
+  EXPECT_EQ(gateway_cache_counters().cache_hits, hits + 1);
+}
+
+TEST_F(CacheE2e, DeleteInvalidatesCachedEntry) {
+  // The default cluster ticket lacks Delete; issue an auditor ticket with
+  // it and log one extra matching record we are allowed to delete.
+  Ticket del_ticket = cluster.issue_ticket(
+      "TD", "u0", {logm::Op::Read, logm::Op::Write, logm::Op::Delete},
+      /*auditor=*/true);
+  cluster.user(0).configure(cluster.config(), del_ticket);
+  cluster.user(0).set_gateway(0);
+  std::optional<logm::Glsn> mine;
+  cluster.user(0).log_record(
+      cluster.sim(),
+      {{"Time", logm::Value(std::int64_t{999})},
+       {"id", logm::Value("U1")},
+       {"Tid", logm::Value("T99")},
+       {"protocl", logm::Value("UDP")},
+       {"C1", logm::Value(std::int64_t{1})},
+       {"C2", logm::Value(2.0)},
+       {"C3", logm::Value("c3")}},
+      [&](std::optional<logm::Glsn> g) { mine = g; });
+  cluster.run();
+  ASSERT_TRUE(mine.has_value());
+
+  const std::string criterion = "id = 'U1' AND protocl = 'UDP'";
+  auto before = run_query(criterion);
+  ASSERT_TRUE(before.ok) << before.error;
+  ASSERT_TRUE(std::find(before.glsns.begin(), before.glsns.end(), *mine) !=
+              before.glsns.end());
+  (void)run_query(criterion);
+  EXPECT_EQ(gateway_cache_counters().cache_hits, 1u);
+
+  bool deleted = false;
+  cluster.user(0).delete_record(cluster.sim(), *mine,
+                                [&](bool ok) { deleted = ok; });
+  cluster.run();
+  ASSERT_TRUE(deleted);
+
+  // The delete advanced every involved owner's watermark; the cached entry
+  // must not survive to serve the deleted glsn.
+  auto after = run_query(criterion);
+  ASSERT_TRUE(after.ok) << after.error;
+  std::vector<logm::Glsn> expected = before.glsns;
+  expected.erase(std::remove(expected.begin(), expected.end(), *mine),
+                 expected.end());
+  EXPECT_EQ(after.glsns, expected);
+}
+
+TEST_F(CacheE2e, DifferentCriteriaDoNotShareEntries) {
+  auto u1 = run_query("id = 'U1'");
+  auto u3 = run_query("id = 'U3'");
+  ASSERT_TRUE(u1.ok && u3.ok);
+  EXPECT_NE(u1.glsns, u3.glsns);
+  EXPECT_EQ(gateway_cache_counters().cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace dla::audit

@@ -149,6 +149,58 @@ TEST_F(WalFixture, CompactedLogReplaysFasterFrames) {
   EXPECT_EQ(reopened.store().get(7)->attrs.at("Time").as_int(), 2);
 }
 
+TEST_F(WalFixture, AppendSyncsEveryAcknowledgedFrame) {
+  WalFragmentStore wal(path);
+  EXPECT_EQ(wal.sync_calls(), 0u);
+  wal.put(frag(1, 100));
+  wal.put(frag(2, 200));
+  wal.erase(1);
+  // One fsync per acknowledged frame (2 puts + 1 erase): flush() alone
+  // leaves frames in the page cache, where a power cut can tear them.
+  EXPECT_EQ(wal.sync_calls(), 3u);
+}
+
+TEST_F(WalFixture, CompactSyncsTmpAndParentDirectory) {
+  WalFragmentStore wal(path);
+  for (Glsn g = 1; g <= 5; ++g) wal.put(frag(g, static_cast<std::int64_t>(g)));
+  const std::size_t before = wal.sync_calls();
+  EXPECT_EQ(wal.dir_sync_calls(), 0u);
+  wal.compact();
+  // compact must sync the fully-written tmp log before the rename and the
+  // parent directory after it; both were previously skipped entirely.
+  EXPECT_EQ(wal.sync_calls(), before + 1);
+  EXPECT_EQ(wal.dir_sync_calls(), 1u);
+}
+
+TEST_F(WalFixture, CrashBeforeCompactRenameRecoversPreCompactState) {
+  struct CompactCrash {};
+  {
+    WalFragmentStore wal(path);
+    for (Glsn g = 1; g <= 20; ++g)
+      wal.put(frag(g, static_cast<std::int64_t>(g)));
+    for (Glsn g = 1; g <= 15; ++g) wal.erase(g);
+    // Simulate the process dying after the tmp log is written+synced but
+    // before the rename publishes it: the live log must be untouched.
+    wal.set_compact_crash_hook([] { throw CompactCrash{}; });
+    EXPECT_THROW(wal.compact(), CompactCrash);
+  }
+  WalFragmentStore reopened(path);
+  EXPECT_EQ(reopened.store().size(), 5u);
+  EXPECT_EQ(reopened.corrupt_frames_skipped(), 0u);
+  for (Glsn g = 16; g <= 20; ++g) {
+    ASSERT_NE(reopened.store().get(g), nullptr) << g;
+    EXPECT_EQ(reopened.store().get(g)->attrs.at("Time").as_int(),
+              static_cast<std::int64_t>(g));
+  }
+  // The interrupted tmp log is still on disk; a rerun of compact() from the
+  // recovered store must succeed and leave the same live set.
+  std::size_t reclaimed = reopened.compact();
+  EXPECT_GT(reclaimed, 0u);
+  WalFragmentStore after(path);
+  EXPECT_EQ(after.store().size(), 5u);
+  EXPECT_EQ(after.replayed_frames(), 5u);
+}
+
 TEST(WalCrc, KnownVector) {
   // CRC32("123456789") = 0xCBF43926 (IEEE).
   const char* s = "123456789";
