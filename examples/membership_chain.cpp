@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "audit/member_node.hpp"
+#include "net/sim.hpp"
 
 using namespace dla;
 

@@ -1,0 +1,59 @@
+#include "audit/bootstrap.hpp"
+
+#include "crypto/rng.hpp"
+
+namespace dla::audit {
+
+Bootstrap make_bootstrap(const BootstrapOptions& options) {
+  Bootstrap boot;
+  auto cfg = std::make_shared<ClusterConfig>();
+  cfg->schema = options.schema;
+  cfg->partition =
+      logm::AttributePartition::round_robin(options.schema, options.dla_count);
+  for (std::size_t i = 0; i < options.dla_count; ++i) {
+    cfg->dla_nodes.push_back(Bootstrap::dla_id(i));
+  }
+  cfg->ttp = Bootstrap::ttp_id(options);
+  if (options.certify_reports) {
+    // Same dealer derivation as Cluster: the shares depend only on the
+    // seed, so every process deals the identical key.
+    crypto::ChaCha20Rng dealer_rng(options.seed ^ 0x5163);
+    auto dealing = crypto::deal_threshold_key(dealer_rng, cfg->majority(),
+                                              options.dla_count);
+    cfg->threshold_params = dealing.params;
+    cfg->sign_threshold_k = static_cast<std::uint32_t>(cfg->majority());
+    boot.shares = std::move(dealing.shares);
+  }
+  boot.config = std::move(cfg);
+  return boot;
+}
+
+std::unique_ptr<DlaNode> make_dla_node(const Bootstrap& boot,
+                                       const BootstrapOptions& options,
+                                       std::size_t index) {
+  auto node = std::make_unique<DlaNode>("P" + std::to_string(index),
+                                        options.seed * 1000 + index);
+  node->configure(boot.config, index);
+  node->set_chunk_size(options.set_chunk_size);
+  if (!boot.shares.empty()) node->set_signing_share(boot.shares[index]);
+  return node;
+}
+
+std::unique_ptr<TtpNode> make_ttp_node(const Bootstrap& boot) {
+  auto ttp = std::make_unique<TtpNode>("TTP");
+  ttp->configure(boot.config);
+  return ttp;
+}
+
+std::unique_ptr<UserNode> make_user_node(const Bootstrap& boot,
+                                         const BootstrapOptions& options,
+                                         std::size_t index) {
+  auto user = std::make_unique<UserNode>("u" + std::to_string(index));
+  Ticket ticket = boot.tickets.issue(
+      "T" + std::to_string(index + 1), user->name(),
+      {logm::Op::Read, logm::Op::Write}, options.auditor_users);
+  user->configure(boot.config, std::move(ticket));
+  return user;
+}
+
+}  // namespace dla::audit

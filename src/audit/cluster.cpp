@@ -1,9 +1,35 @@
 #include "audit/cluster.hpp"
 
+#include <cstdlib>
+#include <string_view>
+
+#include "net/tcp_relay.hpp"
+
 namespace dla::audit {
 
+namespace {
+
+std::unique_ptr<net::Simulator> make_transport(Cluster::TransportKind kind) {
+  const char* env = std::getenv("DLA_TRANSPORT");
+  if (env != nullptr) {
+    std::string_view choice(env);
+    if (choice == "tcp" || choice == "tcp-relay") {
+      kind = Cluster::TransportKind::TcpRelay;
+    } else if (choice == "sim") {
+      kind = Cluster::TransportKind::Sim;
+    }
+  }
+  if (kind == Cluster::TransportKind::TcpRelay) {
+    return std::make_unique<net::TcpRelayTransport>();
+  }
+  return std::make_unique<net::Simulator>();
+}
+
+}  // namespace
+
 Cluster::Cluster(Options options)
-    : ticket_service_(ClusterConfig{}.ticket_key) {
+    : sim_(make_transport(options.transport)),
+      ticket_service_(ClusterConfig{}.ticket_key) {
   auto cfg = std::make_shared<ClusterConfig>();
   cfg->schema = options.schema;
   cfg->partition = options.partition.has_value()
@@ -17,10 +43,10 @@ Cluster::Cluster(Options options)
   for (std::size_t i = 0; i < options.dla_count; ++i) {
     dla_nodes_.push_back(std::make_unique<DlaNode>(
         "P" + std::to_string(i), options.seed * 1000 + i));
-    cfg->dla_nodes.push_back(sim_.add_node(*dla_nodes_.back()));
+    cfg->dla_nodes.push_back(sim_->add_node(*dla_nodes_.back()));
   }
   ttp_ = std::make_unique<TtpNode>("TTP");
-  cfg->ttp = sim_.add_node(*ttp_);
+  cfg->ttp = sim_->add_node(*ttp_);
 
   std::vector<crypto::SignerShare> shares;
   if (options.certify_reports) {
@@ -39,14 +65,14 @@ Cluster::Cluster(Options options)
     dla_nodes_[i]->set_chunk_size(options.set_chunk_size);
     if (!shares.empty()) dla_nodes_[i]->set_signing_share(shares[i]);
     if (options.heartbeat_interval > 0) {
-      dla_nodes_[i]->start_heartbeats(sim_);
+      dla_nodes_[i]->start_heartbeats(*sim_);
     }
   }
   ttp_->configure(shared);
 
   for (std::size_t i = 0; i < options.user_count; ++i) {
     auto user = std::make_unique<UserNode>("u" + std::to_string(i));
-    sim_.add_node(*user);
+    sim_->add_node(*user);
     Ticket ticket = ticket_service_.issue(
         "T" + std::to_string(i + 1), user->name(),
         {logm::Op::Read, logm::Op::Write}, options.auditor_users);

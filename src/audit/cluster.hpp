@@ -12,11 +12,21 @@
 #include "audit/dla_node.hpp"
 #include "audit/ttp_node.hpp"
 #include "audit/user_node.hpp"
+#include "net/sim.hpp"
 
 namespace dla::audit {
 
 class Cluster {
  public:
+  // Which backend carries the cluster's traffic. Sim is the plain
+  // deterministic simulator; TcpRelay round-trips every frame through a
+  // real loopback TCP connection and the hardened frame parser before
+  // deterministic delivery, so trace digests must match Sim bit-for-bit
+  // (docs/TRANSPORT.md). The DLA_TRANSPORT environment variable ("sim" /
+  // "tcp") overrides the per-Options choice, letting CI rerun the entire
+  // tier-1 suite over the TCP path without touching the tests.
+  enum class TransportKind { Sim, TcpRelay };
+
   struct Options {
     logm::Schema schema;
     std::size_t dla_count = 4;
@@ -37,11 +47,13 @@ class Cluster {
     net::SimTime heartbeat_interval = 0;
     // Secure-set ring chunk size in elements (0 = legacy monolithic frames).
     std::size_t set_chunk_size = 64;
+    // Transport backend; DLA_TRANSPORT=sim|tcp overrides it when set.
+    TransportKind transport = TransportKind::Sim;
   };
 
   explicit Cluster(Options options);
 
-  net::Simulator& sim() { return sim_; }
+  net::Simulator& sim() { return *sim_; }
   const ConfigPtr& config() const { return cfg_; }
   std::size_t dla_count() const { return dla_nodes_.size(); }
   std::size_t user_count() const { return user_nodes_.size(); }
@@ -58,10 +70,10 @@ class Cluster {
                       bool auditor = false, std::uint64_t expires_at = 0) const;
 
   // Drain the simulator; returns processed event count.
-  std::size_t run() { return sim_.run(); }
+  std::size_t run() { return sim_->run(); }
 
  private:
-  net::Simulator sim_;
+  std::unique_ptr<net::Simulator> sim_;
   ConfigPtr cfg_;
   TicketService ticket_service_;
   std::vector<std::unique_ptr<DlaNode>> dla_nodes_;

@@ -16,7 +16,7 @@
 #include "crypto/pohlig_hellman.hpp"
 #include "crypto/threshold_schnorr.hpp"
 #include "logm/record.hpp"
-#include "net/sim.hpp"
+#include "net/transport.hpp"
 
 namespace dla::audit {
 

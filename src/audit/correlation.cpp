@@ -9,18 +9,18 @@ CorrelationMonitor::CorrelationMonitor(UserNode& auditor,
       rules_(std::move(rules)),
       poll_interval_(poll_interval) {}
 
-void CorrelationMonitor::start(net::Simulator& sim, std::int64_t start_time) {
+void CorrelationMonitor::start(net::Transport& sim, std::int64_t start_time) {
   cursors_.assign(rules_.size(), start_time);
   running_ = true;
   timer_ = sim.set_timer(id(), poll_interval_);
 }
 
-void CorrelationMonitor::on_message(net::Simulator&, const net::Message&) {
+void CorrelationMonitor::on_message(net::Transport&, const net::Message&) {
   // The monitor receives no protocol traffic; results come back through
   // the auditor UserNode's callbacks.
 }
 
-void CorrelationMonitor::sweep(net::Simulator& sim) {
+void CorrelationMonitor::sweep(net::Transport& sim) {
   for (std::size_t i = 0; i < rules_.size(); ++i) {
     const CorrelationRule& rule = rules_[i];
     std::int64_t start = cursors_[i];
@@ -42,7 +42,7 @@ void CorrelationMonitor::sweep(net::Simulator& sim) {
   }
 }
 
-void CorrelationMonitor::on_timer(net::Simulator& sim,
+void CorrelationMonitor::on_timer(net::Transport& sim,
                                   std::uint64_t timer_id) {
   if (!running_ || timer_id != timer_) return;
   sweep(sim);

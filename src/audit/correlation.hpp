@@ -46,7 +46,7 @@ class CorrelationMonitor : public net::Node {
 
   // Begins monitoring event time from `start_time`; must be called after
   // the monitor was added to the simulator.
-  void start(net::Simulator& sim, std::int64_t start_time);
+  void start(net::Transport& sim, std::int64_t start_time);
   void stop() { running_ = false; }
 
   std::function<void(const CorrelationAlert&)> on_alert;
@@ -59,11 +59,11 @@ class CorrelationMonitor : public net::Node {
 
   std::uint64_t windows_audited() const { return windows_audited_; }
 
-  void on_message(net::Simulator& sim, const net::Message& msg) override;
-  void on_timer(net::Simulator& sim, std::uint64_t timer_id) override;
+  void on_message(net::Transport& sim, const net::Message& msg) override;
+  void on_timer(net::Transport& sim, std::uint64_t timer_id) override;
 
  private:
-  void sweep(net::Simulator& sim);
+  void sweep(net::Transport& sim);
 
   UserNode& auditor_;
   std::vector<CorrelationRule> rules_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "audit/local_query.hpp"
+#include "audit/metrics.hpp"
 #include "crypto/sha256.hpp"
 #include "logm/set_algebra.hpp"
 
@@ -18,7 +19,7 @@ constexpr net::SimTime kGlsnTimeout = 50000;  // 50 ms
 // enough that a partition-stalled query fails back to the user promptly.
 constexpr net::SimTime kQueryTimeout = 5000000;  // 5 s
 
-void send_payload(net::Simulator& sim, net::NodeId src, net::NodeId dst,
+void send_payload(net::Transport& sim, net::NodeId src, net::NodeId dst,
                   std::uint32_t type, net::Writer w) {
   sim.send(src, dst, type, std::move(w).take());
 }
@@ -65,24 +66,35 @@ SessionId DlaNode::fresh_session() {
 
 // ======================================================== dispatch =========
 
-void DlaNode::on_message(net::Simulator& sim, const net::Message& msg) {
+void DlaNode::on_message(net::Transport& sim, const net::Message& msg) {
   try {
     dispatch(sim, msg);
+  } catch (const net::TrailingBytesError&) {
+    // The payload decoded, but bytes were left over (Reader::expect_end in
+    // every handler): trailing garbage is rejected, not silently carried.
+    auto& ctr = detail::wire_reject_counters_mut();
+    ++ctr.trailing_rejects;
   } catch (const net::CodecError&) {
     // Malformed or truncated payloads are dropped rather than crashing the
     // node — a remote peer must not be able to take a DLA node down with a
     // bad message.
+    auto& ctr = detail::wire_reject_counters_mut();
+    ++ctr.codec_rejects;
   } catch (const ParseError&) {
     // Likewise for an unparseable criterion smuggled into an internal task
     // message (the gateway validates user queries before planning).
+    auto& ctr = detail::wire_reject_counters_mut();
+    ++ctr.parse_rejects;
   }
 }
 
-void DlaNode::dispatch(net::Simulator& sim, const net::Message& msg) {
+void DlaNode::dispatch(net::Transport& sim, const net::Message& msg) {
   switch (msg.type) {
     case kHeartbeat: {
       net::Reader r(msg.payload);
-      last_heartbeat_[r.u32()] = sim.now();
+      std::uint32_t peer = r.u32();
+      r.expect_end();
+      last_heartbeat_[peer] = sim.now();
       return;
     }
     case kGlsnRequest: return handle_glsn_request(sim, msg);
@@ -158,13 +170,13 @@ void DlaNode::dispatch(net::Simulator& sim, const net::Message& msg) {
   }
 }
 
-void DlaNode::enable_periodic_audit(net::Simulator& sim,
+void DlaNode::enable_periodic_audit(net::Transport& sim,
                                     net::SimTime interval) {
   periodic_interval_ = interval;
   periodic_timer_ = sim.set_timer(id(), interval);
 }
 
-void DlaNode::start_heartbeats(net::Simulator& sim) {
+void DlaNode::start_heartbeats(net::Transport& sim) {
   if (cfg_->heartbeat_interval == 0) return;
   heartbeats_on_ = true;
   // Mark every peer fresh so nobody starts out suspected.
@@ -181,7 +193,7 @@ bool DlaNode::suspects(std::size_t peer_index, net::SimTime now) const {
   return now - it->second > 3 * cfg_->heartbeat_interval;
 }
 
-void DlaNode::on_timer(net::Simulator& sim, std::uint64_t timer_id) {
+void DlaNode::on_timer(net::Transport& sim, std::uint64_t timer_id) {
   if (timer_id == heartbeat_timer_ && heartbeats_on_) {
     for (std::size_t i = 0; i < cfg_->cluster_size(); ++i) {
       if (i == index_) continue;
@@ -234,16 +246,16 @@ void DlaNode::on_timer(net::Simulator& sim, std::uint64_t timer_id) {
 
 // ==================================================== glsn sequencing ======
 
-void DlaNode::handle_glsn_request(net::Simulator& sim,
+void DlaNode::handle_glsn_request(net::Transport& sim,
                                   const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t reqid = r.u64();
   Ticket ticket = Ticket::decode(r);
+  r.expect_end();
   if (!tickets_->authorizes(ticket, logm::Op::Write, sim.now())) {
     net::Writer w;
     w.u64(reqid);
     w.u64(0);  // glsn 0 = refused
-    w.u32(msg.src);
     send_payload(sim, id(), msg.src, kGlsnReply, std::move(w));
     return;
   }
@@ -258,7 +270,6 @@ void DlaNode::handle_glsn_request(net::Simulator& sim,
       net::Writer w;
       w.u64(reqid);
       w.u64(jit->second.glsn);
-      w.u32(0);
       send_payload(sim, id(), msg.src, kGlsnReply, std::move(w));
     }
     return;
@@ -285,12 +296,13 @@ void DlaNode::handle_glsn_request(net::Simulator& sim,
   timer_to_gid_[timer] = gid;
 }
 
-void DlaNode::handle_glsn_forward(net::Simulator& sim,
+void DlaNode::handle_glsn_forward(net::Transport& sim,
                                   const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t reqid = r.u64();
   r.u32();  // user id (carried for diagnostics; reply goes via gateway)
   net::NodeId gateway = r.u32();
+  r.expect_end();
 
   // At-least-once dedup: a round is already open (drop the duplicate) or
   // was already committed (replay the remembered reply to the gateway).
@@ -303,7 +315,6 @@ void DlaNode::handle_glsn_forward(net::Simulator& sim,
     net::Writer w;
     w.u64(reqid);
     w.u64(jit->second);
-    w.u32(0);
     send_payload(sim, id(), gateway, kGlsnReply, std::move(w));
     return;
   }
@@ -326,11 +337,12 @@ void DlaNode::handle_glsn_forward(net::Simulator& sim,
   }
 }
 
-void DlaNode::handle_glsn_propose(net::Simulator& sim,
+void DlaNode::handle_glsn_propose(net::Transport& sim,
                                   const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t proposal_id = r.u64();
   logm::Glsn glsn = r.u64();
+  r.expect_end();
   bool accept;
   if (auto jit = propose_journal_.find(proposal_id);
       jit != propose_journal_.end()) {
@@ -354,11 +366,12 @@ void DlaNode::handle_glsn_propose(net::Simulator& sim,
   send_payload(sim, id(), msg.src, kGlsnVote, std::move(w));
 }
 
-void DlaNode::handle_glsn_vote(net::Simulator& sim, const net::Message& msg) {
+void DlaNode::handle_glsn_vote(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t proposal_id = r.u64();
   bool accept = r.boolean();
   logm::Glsn hint = r.u64();
+  r.expect_end();
   auto it = glsn_rounds_.find(proposal_id);
   if (it == glsn_rounds_.end() || it->second.done) return;
   GlsnRound& round = it->second;
@@ -389,7 +402,6 @@ void DlaNode::handle_glsn_vote(net::Simulator& sim, const net::Message& msg) {
     net::Writer w;
     w.u64(round.reqid);
     w.u64(round.proposal);
-    w.u32(0);
     send_payload(sim, id(), round.reply_to, kGlsnReply, std::move(w));
     // Round closed: erase instead of flagging done, so a quiesced node
     // holds no sequencing residue (late votes simply find no round).
@@ -419,18 +431,20 @@ void DlaNode::handle_glsn_vote(net::Simulator& sim, const net::Message& msg) {
   }
 }
 
-void DlaNode::handle_glsn_commit(net::Simulator&, const net::Message& msg) {
+void DlaNode::handle_glsn_commit(net::Transport&, const net::Message& msg) {
   net::Reader r(msg.payload);
   logm::Glsn glsn = r.u64();
+  r.expect_end();
   glsn_counter_ = std::max(glsn_counter_, glsn);
 }
 
-void DlaNode::handle_glsn_reply(net::Simulator& sim, const net::Message& msg) {
+void DlaNode::handle_glsn_reply(net::Transport& sim, const net::Message& msg) {
   // Gateway leg: relay the assigned glsn to the waiting user, translating
   // the gateway-local id back into the user's own request id.
   net::Reader r(msg.payload);
   std::uint64_t gid = r.u64();
   logm::Glsn glsn = r.u64();
+  r.expect_end();
   auto it = pending_glsn_.find(gid);
   if (it == pending_glsn_.end() || it->second.done) return;
   it->second.done = true;
@@ -444,14 +458,13 @@ void DlaNode::handle_glsn_reply(net::Simulator& sim, const net::Message& msg) {
   net::Writer w;
   w.u64(it->second.user_reqid);
   w.u64(glsn);
-  w.u32(0);
   send_payload(sim, id(), it->second.user, kGlsnReply, std::move(w));
   pending_glsn_.erase(it);
 }
 
 // ===================================================== logging path ========
 
-void DlaNode::handle_log_fragment(net::Simulator& sim,
+void DlaNode::handle_log_fragment(net::Transport& sim,
                                   const net::Message& msg) {
   net::Reader r(msg.payload);
   Ticket ticket = Ticket::decode(r);
@@ -460,6 +473,7 @@ void DlaNode::handle_log_fragment(net::Simulator& sim,
   // Trailing copy sequence number, echoed in the ack so the user can tell
   // a duplicated ack from a distinct copy's ack (absent in old encodings).
   std::uint32_t copy_seq = r.at_end() ? 0 : r.u32();
+  r.expect_end();
   bool ok = tickets_->authorizes(ticket, logm::Op::Write, sim.now());
   logm::Glsn glsn = fragment.glsn;
   if (ok) {
@@ -475,7 +489,7 @@ void DlaNode::handle_log_fragment(net::Simulator& sim,
   send_payload(sim, id(), msg.src, kLogAck, std::move(w));
 }
 
-void DlaNode::advance_store_epoch(net::Simulator& sim) {
+void DlaNode::advance_store_epoch(net::Transport& sim) {
   ++store_epoch_;
   logm::Glsn high = 0;
   if (auto glsns = store_.glsns(); !glsns.empty()) high = glsns.back();
@@ -498,28 +512,32 @@ void DlaNode::advance_store_epoch(net::Simulator& sim) {
   }
 }
 
-void DlaNode::handle_watermark_advance(net::Simulator&,
+void DlaNode::handle_watermark_advance(net::Transport&,
                                        const net::Message& msg) {
   net::Reader r(msg.payload);
   std::size_t owner = r.u32();
   std::uint64_t epoch = r.u64();
   logm::Glsn high = r.u64();
+  r.expect_end();
   if (owner >= cfg_->cluster_size()) return;  // malformed announcement
   result_cache_.watermark_advance(owner, epoch, high);
 }
 
-void DlaNode::handle_accum_deposit(net::Simulator&, const net::Message& msg) {
+void DlaNode::handle_accum_deposit(net::Transport&, const net::Message& msg) {
   net::Reader r(msg.payload);
   logm::Glsn glsn = r.u64();
-  deposits_[glsn] = r.big();
+  bn::BigUInt value = r.big();
+  r.expect_end();
+  deposits_[glsn] = std::move(value);
 }
 
-void DlaNode::handle_fragment_request(net::Simulator& sim,
+void DlaNode::handle_fragment_request(net::Transport& sim,
                                       const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t reqid = r.u64();
   Ticket ticket = Ticket::decode(r);
   logm::Glsn glsn = r.u64();
+  r.expect_end();
   bool ok = tickets_->authorizes(ticket, logm::Op::Read, sim.now()) &&
             (ticket.auditor || acl_.allowed(ticket.id, logm::Op::Read, glsn));
   const logm::Fragment* frag = ok ? store_.get(glsn) : nullptr;
@@ -536,12 +554,13 @@ void DlaNode::handle_fragment_request(net::Simulator& sim,
   send_payload(sim, id(), msg.src, kFragmentReply, std::move(w));
 }
 
-void DlaNode::handle_fragment_delete(net::Simulator& sim,
+void DlaNode::handle_fragment_delete(net::Transport& sim,
                                      const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t reqid = r.u64();
   Ticket ticket = Ticket::decode(r);
   logm::Glsn glsn = r.u64();
+  r.expect_end();
   bool ok = tickets_->authorizes(ticket, logm::Op::Delete, sim.now()) &&
             acl_.allowed(ticket.id, logm::Op::Delete, glsn);
   if (ok) {
@@ -578,7 +597,7 @@ void DlaNode::stage_set_input(SessionId session,
   set_inputs_[session] = std::move(elements);
 }
 
-void DlaNode::start_set_protocol(net::Simulator& sim, const SetSpec& spec) {
+void DlaNode::start_set_protocol(net::Transport& sim, const SetSpec& spec) {
   net::Writer w;
   spec.encode(w);
   for (net::NodeId p : spec.participants) {
@@ -588,9 +607,10 @@ void DlaNode::start_set_protocol(net::Simulator& sim, const SetSpec& spec) {
   }
 }
 
-void DlaNode::handle_set_start(net::Simulator& sim, const net::Message& msg) {
+void DlaNode::handle_set_start(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SetSpec spec = SetSpec::decode(r);
+  r.expect_end();
   // At-least-once delivery: a duplicate kSetStart would contribute this
   // node's set twice (doubling ring traffic), and one arriving after the
   // session's decrypt pass would resurrect an already-spent session key.
@@ -635,7 +655,7 @@ std::uint32_t DlaNode::chunk_count(std::size_t n) const {
                                     set_chunk_size_);
 }
 
-void DlaNode::ring_start_stream(net::Simulator& sim, const SetSpec& spec,
+void DlaNode::ring_start_stream(net::Transport& sim, const SetSpec& spec,
                                 std::uint32_t my_pos,
                                 std::vector<bn::BigUInt> elements) {
   // Chunking happens once, at the origin; every later hop re-encrypts and
@@ -658,7 +678,7 @@ void DlaNode::ring_start_stream(net::Simulator& sim, const SetSpec& spec,
   }
 }
 
-void DlaNode::ring_encrypt_and_forward(net::Simulator& sim,
+void DlaNode::ring_encrypt_and_forward(net::Transport& sim,
                                        const SetSpec& spec,
                                        SetChunkHeader header,
                                        std::uint32_t hops,
@@ -711,20 +731,22 @@ void DlaNode::ring_encrypt_and_forward(net::Simulator& sim,
   send_payload(sim, id(), next, kSetRing, std::move(w));
 }
 
-void DlaNode::handle_set_ring(net::Simulator& sim, const net::Message& msg) {
+void DlaNode::handle_set_ring(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SetSpec spec = SetSpec::decode(r);
   SetChunkHeader header = SetChunkHeader::decode(r);
   std::uint32_t hops = r.u32();
   std::vector<bn::BigUInt> elements = decode_elements(r);
+  r.expect_end();
   ring_encrypt_and_forward(sim, spec, header, hops, std::move(elements));
 }
 
-void DlaNode::handle_set_full(net::Simulator& sim, const net::Message& msg) {
+void DlaNode::handle_set_full(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SetSpec spec = SetSpec::decode(r);
   SetChunkHeader header = SetChunkHeader::decode(r);
   std::vector<bn::BigUInt> elements = decode_elements(r);
+  r.expect_end();
   // Validate before touching set_collect_: `origin` keys full_sets, so an
   // out-of-range origin would count toward the participants-landed total
   // and leave residue for a session that can never complete.
@@ -812,13 +834,14 @@ void DlaNode::handle_set_full(net::Simulator& sim, const net::Message& msg) {
   }
 }
 
-void DlaNode::handle_set_decrypt(net::Simulator& sim,
+void DlaNode::handle_set_decrypt(net::Transport& sim,
                                  const net::Message& msg) {
   net::Reader r(msg.payload);
   SetSpec spec = SetSpec::decode(r);
   SetChunkHeader header = SetChunkHeader::decode(r);
   std::uint32_t hops = r.u32();
   std::vector<bn::BigUInt> elements = decode_elements(r);
+  r.expect_end();
   // `hops` indexes participants on forward, so it must be validated BEFORE
   // the increment below — a corrupted value at or past participants.size()
   // previously indexed out of bounds here.
@@ -888,10 +911,11 @@ void DlaNode::handle_set_decrypt(net::Simulator& sim,
   decrypt_progress_.erase(spec.session);
 }
 
-void DlaNode::handle_set_result(net::Simulator& sim, const net::Message& msg) {
+void DlaNode::handle_set_result(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   std::vector<bn::BigUInt> elements = decode_elements(r);
+  r.expect_end();
   if (set_result_guard_.check_and_mark(session)) {
     ++replay_drops_;
     return;
@@ -930,7 +954,7 @@ void DlaNode::handle_set_result(net::Simulator& sim, const net::Message& msg) {
   if (on_set_result) on_set_result(session, std::move(elements));
 }
 
-void DlaNode::start_acl_consistency_check(net::Simulator& sim,
+void DlaNode::start_acl_consistency_check(net::Transport& sim,
                                           SessionId session) {
   acl_sessions_[session] = true;
   SetSpec spec;
@@ -949,7 +973,7 @@ void DlaNode::stage_sum_input(SessionId session, bn::BigUInt value) {
   sum_inputs_[session] = std::move(value);
 }
 
-void DlaNode::start_sum(net::Simulator& sim, const SumSpec& spec) {
+void DlaNode::start_sum(net::Transport& sim, const SumSpec& spec) {
   if (spec.threshold_k == 0 || spec.threshold_k > spec.participants.size())
     throw std::invalid_argument("start_sum: bad threshold");
   if (!spec.weights.empty() &&
@@ -962,9 +986,10 @@ void DlaNode::start_sum(net::Simulator& sim, const SumSpec& spec) {
   }
 }
 
-void DlaNode::handle_sum_start(net::Simulator& sim, const net::Message& msg) {
+void DlaNode::handle_sum_start(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SumSpec spec = SumSpec::decode(r);
+  r.expect_end();
   if (sum_done_guard_.contains(spec.session)) {
     ++replay_drops_;
     return;
@@ -998,11 +1023,12 @@ void DlaNode::handle_sum_start(net::Simulator& sim, const net::Message& msg) {
   maybe_emit_sum_eval(sim, spec.session);
 }
 
-void DlaNode::handle_sum_share(net::Simulator& sim, const net::Message& msg) {
+void DlaNode::handle_sum_share(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   std::uint32_t from = r.u32();
   bn::BigUInt y = r.big();
+  r.expect_end();
   // A share replayed after the session finished would recreate the state
   // entry; one replayed before is an idempotent map overwrite.
   if (sum_done_guard_.contains(session)) {
@@ -1014,7 +1040,7 @@ void DlaNode::handle_sum_share(net::Simulator& sim, const net::Message& msg) {
   maybe_emit_sum_eval(sim, session);
 }
 
-void DlaNode::maybe_emit_sum_eval(net::Simulator& sim, SessionId session) {
+void DlaNode::maybe_emit_sum_eval(net::Transport& sim, SessionId session) {
   SumState& state = sum_state_[session];
   // Shares can outrun the kSumStart carrying the spec under asymmetric
   // latencies; both arrival paths funnel through this check.
@@ -1045,11 +1071,12 @@ void DlaNode::maybe_emit_sum_eval(net::Simulator& sim, SessionId session) {
   send_payload(sim, id(), state.spec.collector, kSumEval, std::move(w));
 }
 
-void DlaNode::handle_sum_eval(net::Simulator& sim, const net::Message& msg) {
+void DlaNode::handle_sum_eval(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SumSpec spec = SumSpec::decode(r);
   bn::BigUInt x = r.big();
   bn::BigUInt y = r.big();
+  r.expect_end();
   if (sum_done_guard_.contains(spec.session)) {
     ++replay_drops_;
     return;
@@ -1078,10 +1105,11 @@ void DlaNode::handle_sum_eval(net::Simulator& sim, const net::Message& msg) {
   }
 }
 
-void DlaNode::handle_sum_result(net::Simulator&, const net::Message& msg) {
+void DlaNode::handle_sum_result(net::Transport&, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   bn::BigUInt value = r.big();
+  r.expect_end();
   if (sum_done_guard_.check_and_mark(session)) {
     ++replay_drops_;
     return;
@@ -1097,7 +1125,7 @@ void DlaNode::stage_cmp_input(SessionId session, bn::BigUInt value) {
   cmp_inputs_[session] = std::move(value);
 }
 
-void DlaNode::start_cmp(net::Simulator& sim, CmpSpec spec) {
+void DlaNode::start_cmp(net::Transport& sim, CmpSpec spec) {
   const bn::BigUInt& p = cfg_->shamir_prime;
   if (spec.op == CmpOpKind::Equality) {
     // Full hiding: random affine map taken mod p destroys order.
@@ -1119,9 +1147,10 @@ void DlaNode::start_cmp(net::Simulator& sim, CmpSpec spec) {
   send_payload(sim, id(), spec.ttp, kCmpSpec, std::move(w));
 }
 
-void DlaNode::handle_cmp_params(net::Simulator& sim, const net::Message& msg) {
+void DlaNode::handle_cmp_params(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   CmpSpec spec = CmpSpec::decode(r, /*include_transform=*/true);
+  r.expect_end();
   // send_transformed_value consumes the staged input, so a duplicate
   // kCmpParams would ship w(0) to the TTP and corrupt the comparison.
   if (cmp_sent_guard_.check_and_mark(spec.session)) {
@@ -1131,7 +1160,7 @@ void DlaNode::handle_cmp_params(net::Simulator& sim, const net::Message& msg) {
   send_transformed_value(sim, spec);
 }
 
-void DlaNode::send_transformed_value(net::Simulator& sim,
+void DlaNode::send_transformed_value(net::Transport& sim,
                                      const CmpSpec& spec) {
   bn::BigUInt y;
   if (auto it = cmp_inputs_.find(spec.session); it != cmp_inputs_.end()) {
@@ -1156,11 +1185,12 @@ void DlaNode::send_transformed_value(net::Simulator& sim,
   cmp_inputs_.erase(spec.session);
 }
 
-void DlaNode::handle_cmp_result(net::Simulator&, const net::Message& msg) {
+void DlaNode::handle_cmp_result(net::Transport&, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   auto op = static_cast<CmpOpKind>(r.u8());
   std::uint32_t outcome = r.u32();
+  r.expect_end();
   if (cmp_result_guard_.check_and_mark(session)) {
     ++replay_drops_;
     return;
@@ -1168,10 +1198,11 @@ void DlaNode::handle_cmp_result(net::Simulator&, const net::Message& msg) {
   if (on_cmp_result) on_cmp_result(session, op, outcome);
 }
 
-void DlaNode::handle_rank_result(net::Simulator&, const net::Message& msg) {
+void DlaNode::handle_rank_result(net::Transport&, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   std::uint32_t rank = r.u32();
+  r.expect_end();
   if (cmp_result_guard_.check_and_mark(session)) {
     ++replay_drops_;
     return;
@@ -1192,7 +1223,7 @@ void DlaNode::stage_vector_input(SessionId session,
   vector_inputs_[session] = std::move(v);
 }
 
-void DlaNode::start_scalar_product(net::Simulator& sim, SessionId session,
+void DlaNode::start_scalar_product(net::Transport& sim, SessionId session,
                                    net::NodeId alice, net::NodeId bob,
                                    std::uint32_t length,
                                    std::vector<net::NodeId> observers) {
@@ -1205,7 +1236,7 @@ void DlaNode::start_scalar_product(net::Simulator& sim, SessionId session,
   send_payload(sim, id(), cfg_->ttp, kScalarInit, std::move(w));
 }
 
-void DlaNode::handle_scalar_randomness(net::Simulator& sim,
+void DlaNode::handle_scalar_randomness(net::Transport& sim,
                                        const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
@@ -1214,6 +1245,7 @@ void DlaNode::handle_scalar_randomness(net::Simulator& sim,
   std::vector<net::NodeId> observers = decode_node_ids(r);
   std::vector<bn::BigUInt> r_vec = decode_elements(r);
   bn::BigUInt r_scalar = r.big();
+  r.expect_end();
 
   if (scalar_done_guard_.contains(session)) {
     ++replay_drops_;
@@ -1233,7 +1265,7 @@ void DlaNode::handle_scalar_randomness(net::Simulator& sim,
   }
 }
 
-void DlaNode::scalar_send_masked_a(net::Simulator& sim, SessionId session) {
+void DlaNode::scalar_send_masked_a(net::Transport& sim, SessionId session) {
   ScalarState& st = scalar_state_[session];
   crypto::ShamirField field(cfg_->shamir_prime);
   auto input = vector_inputs_.find(session);
@@ -1250,20 +1282,24 @@ void DlaNode::scalar_send_masked_a(net::Simulator& sim, SessionId session) {
   send_payload(sim, id(), st.peer, kScalarMaskedA, std::move(w));
 }
 
-void DlaNode::handle_scalar_masked_a(net::Simulator& sim,
+void DlaNode::handle_scalar_masked_a(net::Transport& sim,
                                      const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
+  // Decode fully (and check for trailing bytes) before touching state, so a
+  // malformed frame cannot leave a half-updated session entry behind.
+  std::vector<bn::BigUInt> masked_a = decode_elements(r);
+  r.expect_end();
   if (scalar_done_guard_.contains(session)) {
     ++replay_drops_;
     return;
   }
   ScalarState& st = scalar_state_[session];
-  st.pending_masked_a = decode_elements(r);
+  st.pending_masked_a = std::move(masked_a);
   if (st.have_randomness) scalar_bob_reply(sim, session);
 }
 
-void DlaNode::scalar_bob_reply(net::Simulator& sim, SessionId session) {
+void DlaNode::scalar_bob_reply(net::Transport& sim, SessionId session) {
   ScalarState& st = scalar_state_[session];
   crypto::ShamirField field(cfg_->shamir_prime);
   auto input = vector_inputs_.find(session);
@@ -1289,12 +1325,13 @@ void DlaNode::scalar_bob_reply(net::Simulator& sim, SessionId session) {
   scalar_done_guard_.insert(session);
 }
 
-void DlaNode::handle_scalar_reply(net::Simulator& sim,
+void DlaNode::handle_scalar_reply(net::Transport& sim,
                                   const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   bn::BigUInt t = r.big();
   std::vector<bn::BigUInt> masked_b = decode_elements(r);
+  r.expect_end();
   auto sit = scalar_state_.find(session);
   if (sit == scalar_state_.end()) return;
   ScalarState& st = sit->second;
@@ -1317,10 +1354,11 @@ void DlaNode::handle_scalar_reply(net::Simulator& sim,
   scalar_done_guard_.insert(session);
 }
 
-void DlaNode::handle_scalar_result(net::Simulator&, const net::Message& msg) {
+void DlaNode::handle_scalar_result(net::Transport&, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   bn::BigUInt value = r.big();
+  r.expect_end();
   if (scalar_result_guard_.check_and_mark(session)) {
     ++replay_drops_;
     return;
@@ -1338,7 +1376,7 @@ std::string DlaNode::fragment_canonical_or_missing(logm::Glsn glsn) const {
   return frag->canonical();
 }
 
-void DlaNode::start_integrity_check(net::Simulator& sim, SessionId session,
+void DlaNode::start_integrity_check(net::Transport& sim, SessionId session,
                                     logm::Glsn glsn) {
   integrity_initiated_[session] = IntegritySession{glsn};
   bn::BigUInt value = accum_stepper_->step(
@@ -1353,7 +1391,7 @@ void DlaNode::start_integrity_check(net::Simulator& sim, SessionId session,
                std::move(w));
 }
 
-void DlaNode::handle_integrity_pass(net::Simulator& sim,
+void DlaNode::handle_integrity_pass(net::Transport& sim,
                                     const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
@@ -1361,6 +1399,7 @@ void DlaNode::handle_integrity_pass(net::Simulator& sim,
   std::uint32_t hops = r.u32();
   std::uint32_t initiator = r.u32();
   bn::BigUInt value = r.big();
+  r.expect_end();
 
   if (hops == cfg_->cluster_size()) {
     // Back at the initiator: compare against the user's deposit. Only the
@@ -1458,12 +1497,13 @@ std::uint64_t DlaNode::plan_expr(const Expr& expr, std::vector<Task>& tasks,
   return tasks.back().rid;
 }
 
-void DlaNode::handle_audit_query(net::Simulator& sim,
+void DlaNode::handle_audit_query(net::Transport& sim,
                                  const net::Message& msg) {
   net::Reader r(msg.payload);
   const std::uint64_t user_reqid = r.u64();
   Ticket ticket = Ticket::decode(r);
   std::string criterion = r.str();
+  r.expect_end();
 
   auto reply_error = [&](const std::string& error) {
     net::Writer w;
@@ -1491,7 +1531,7 @@ void DlaNode::handle_audit_query(net::Simulator& sim,
   }
 }
 
-void DlaNode::start_query(net::Simulator& sim, QueryState qs,
+void DlaNode::start_query(net::Transport& sim, QueryState qs,
                           const std::string& criterion) {
   std::uint64_t qid = (static_cast<std::uint64_t>(id()) << 24) | next_qid_++;
   qs.qid = qid;
@@ -1588,7 +1628,7 @@ void DlaNode::start_query(net::Simulator& sim, QueryState qs,
   run_next_task(sim, queries_[qid]);
 }
 
-void DlaNode::handle_aggregate_query(net::Simulator& sim,
+void DlaNode::handle_aggregate_query(net::Transport& sim,
                                      const net::Message& msg) {
   net::Reader r(msg.payload);
   const std::uint64_t user_reqid = r.u64();
@@ -1596,6 +1636,7 @@ void DlaNode::handle_aggregate_query(net::Simulator& sim,
   std::string criterion = r.str();
   auto op = static_cast<AggOp>(r.u8());
   std::string attr = r.str();
+  r.expect_end();
 
   auto reply_error = [&](const std::string& error) {
     net::Writer w;
@@ -1634,7 +1675,7 @@ void DlaNode::handle_aggregate_query(net::Simulator& sim,
   }
 }
 
-void DlaNode::handle_aggregate_exec(net::Simulator& sim,
+void DlaNode::handle_aggregate_exec(net::Transport& sim,
                                     const net::Message& msg) {
   // This node owns the aggregate attribute: fold it over the glsn set and
   // return only the aggregate — raw values never leave this node.
@@ -1643,6 +1684,7 @@ void DlaNode::handle_aggregate_exec(net::Simulator& sim,
   auto op = static_cast<AggOp>(r.u8());
   std::string attr = r.str();
   auto glsns = r.vec<logm::Glsn>([](net::Reader& in) { return in.u64(); });
+  r.expect_end();
 
   double acc = 0.0;
   std::uint64_t present = 0;
@@ -1680,13 +1722,14 @@ void DlaNode::handle_aggregate_exec(net::Simulator& sim,
   send_payload(sim, id(), msg.src, kAggregateValue, std::move(w));
 }
 
-void DlaNode::handle_aggregate_value(net::Simulator& sim,
+void DlaNode::handle_aggregate_value(net::Transport& sim,
                                      const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t qid = r.u64();
   bool ok = r.boolean();
   double value = r.f64();
   std::uint64_t count = r.u64();
+  r.expect_end();
   auto it = queries_.find(qid);
   if (it == queries_.end()) return;
   QueryState& qs = it->second;
@@ -1702,7 +1745,7 @@ void DlaNode::handle_aggregate_value(net::Simulator& sim,
   queries_.erase(it);
 }
 
-void DlaNode::run_next_task(net::Simulator& sim, QueryState& qs) {
+void DlaNode::run_next_task(net::Transport& sim, QueryState& qs) {
   if (qs.next_task >= qs.tasks.size()) return;
   Task& task = qs.tasks[qs.next_task];
   switch (task.kind) {
@@ -1814,7 +1857,7 @@ void DlaNode::run_next_task(net::Simulator& sim, QueryState& qs) {
   }
 }
 
-void DlaNode::handle_subquery_exec(net::Simulator& sim,
+void DlaNode::handle_subquery_exec(net::Transport& sim,
                                    const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t qid = r.u64();
@@ -1827,6 +1870,7 @@ void DlaNode::handle_subquery_exec(net::Simulator& sim,
   }
   std::string expr_text = r.str();
   bool count_only = !r.at_end() && r.boolean();
+  r.expect_end();
   Expr expr = parse(expr_text, cfg_->schema);
   std::vector<logm::Glsn> hits = eval_local(expr);
   std::uint32_t size = static_cast<std::uint32_t>(hits.size());
@@ -1842,7 +1886,7 @@ void DlaNode::handle_subquery_exec(net::Simulator& sim,
   send_payload(sim, id(), msg.src, kSubqueryDone, std::move(w));
 }
 
-void DlaNode::handle_join_exec(net::Simulator& sim, const net::Message& msg) {
+void DlaNode::handle_join_exec(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t qid = r.u64();
   std::uint64_t rid = r.u64();
@@ -1860,6 +1904,7 @@ void DlaNode::handle_join_exec(net::Simulator& sim, const net::Message& msg) {
   bn::BigUInt a = r.big();
   bn::BigUInt b = r.big();
   net::NodeId result_owner = r.u32();
+  r.expect_end();
 
   const std::string& attr = side == 0 ? lhs_attr : rhs_attr;
   const bn::BigUInt& p = cfg_->shamir_prime;
@@ -1890,7 +1935,7 @@ void DlaNode::handle_join_exec(net::Simulator& sim, const net::Message& msg) {
   send_payload(sim, id(), cfg_->ttp, kCmpBatch, std::move(w));
 }
 
-void DlaNode::handle_cmp_batch_result(net::Simulator& sim,
+void DlaNode::handle_cmp_batch_result(net::Transport& sim,
                                       const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t rid = r.u64();
@@ -1902,6 +1947,7 @@ void DlaNode::handle_cmp_batch_result(net::Simulator& sim,
   net::NodeId gateway = r.u32();
   auto glsns =
       r.vec<logm::Glsn>([](net::Reader& in) { return in.u64(); });
+  r.expect_end();
   sort_unique(glsns);
   result_sets_[rid] = std::move(glsns);
   net::Writer w;
@@ -1911,7 +1957,7 @@ void DlaNode::handle_cmp_batch_result(net::Simulator& sim,
   send_payload(sim, id(), gateway, kSubqueryDone, std::move(w));
 }
 
-void DlaNode::handle_combine_exec(net::Simulator& sim,
+void DlaNode::handle_combine_exec(net::Transport& sim,
                                   const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t qid = r.u64();
@@ -1927,6 +1973,7 @@ void DlaNode::handle_combine_exec(net::Simulator& sim,
       r.vec<std::uint64_t>([](net::Reader& in) { return in.u64(); });
   bool multi_owner = r.boolean();
   r.boolean();  // is_final: only meaningful at the gateway
+  r.expect_end();
 
   // Merge this node's input sets under the combine operation.
   std::vector<logm::Glsn> merged;
@@ -1968,11 +2015,12 @@ void DlaNode::handle_combine_exec(net::Simulator& sim,
   send_payload(sim, id(), msg.src, kCombineReady, std::move(w));
 }
 
-void DlaNode::handle_combine_ready(net::Simulator& sim,
+void DlaNode::handle_combine_ready(net::Transport& sim,
                                    const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t qid = r.u64();
   std::uint64_t rid = r.u64();
+  r.expect_end();
   auto qit = queries_.find(qid);
   if (qit == queries_.end()) return;
   QueryState& qs = qit->second;
@@ -2004,12 +2052,13 @@ void DlaNode::handle_combine_ready(net::Simulator& sim,
   start_set_protocol(sim, spec);
 }
 
-void DlaNode::handle_subquery_done(net::Simulator& sim,
+void DlaNode::handle_subquery_done(net::Transport& sim,
                                    const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t qid = r.u64();
   std::uint64_t rid = r.u64();
   std::uint32_t size = r.u32();
+  r.expect_end();
   auto it = queries_.find(qid);
   if (it == queries_.end()) return;
   QueryState& qs = it->second;
@@ -2034,7 +2083,7 @@ void DlaNode::handle_subquery_done(net::Simulator& sim,
   task_completed(sim, qid);
 }
 
-void DlaNode::task_completed(net::Simulator& sim, std::uint64_t qid) {
+void DlaNode::task_completed(net::Transport& sim, std::uint64_t qid) {
   auto it = queries_.find(qid);
   if (it == queries_.end()) return;
   QueryState& qs = it->second;
@@ -2045,11 +2094,12 @@ void DlaNode::task_completed(net::Simulator& sim, std::uint64_t qid) {
   // The FinalCombine task completes through finish_query instead.
 }
 
-void DlaNode::handle_subquery_fetch(net::Simulator& sim,
+void DlaNode::handle_subquery_fetch(net::Transport& sim,
                                     const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t qid = r.u64();
   std::uint64_t rid = r.u64();
+  r.expect_end();
   // Serve each fetch once: the first reply consumes the staged set, so a
   // duplicate would ship an empty set that clobbers the real result.
   if (fetch_served_guard_.check_and_mark(rid)) {
@@ -2067,18 +2117,19 @@ void DlaNode::handle_subquery_fetch(net::Simulator& sim,
   send_payload(sim, id(), msg.src, kSubqueryData, std::move(w));
 }
 
-void DlaNode::handle_subquery_data(net::Simulator& sim,
+void DlaNode::handle_subquery_data(net::Transport& sim,
                                    const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t qid = r.u64();
   r.u64();  // rid
   auto glsns = r.vec<logm::Glsn>([](net::Reader& in) { return in.u64(); });
+  r.expect_end();
   auto it = queries_.find(qid);
   if (it == queries_.end()) return;
   finish_query(sim, it->second, std::move(glsns));
 }
 
-void DlaNode::finish_query(net::Simulator& sim, QueryState& qs,
+void DlaNode::finish_query(net::Transport& sim, QueryState& qs,
                            std::vector<logm::Glsn> glsns) {
   // The deferred paths (value aggregates, threshold certification) retain
   // the query state, so a duplicated final message could re-enter here and
@@ -2156,7 +2207,7 @@ void DlaNode::finish_query(net::Simulator& sim, QueryState& qs,
 }
 
 void DlaNode::reply_with_result(
-    net::Simulator& sim, const QueryState& qs,
+    net::Transport& sim, const QueryState& qs,
     const std::vector<logm::Glsn>& glsns,
     const std::optional<crypto::ThresholdSignature>& cert) {
   sim.cancel_timer(qs.timeout_timer);
@@ -2176,7 +2227,7 @@ void DlaNode::reply_with_result(
 
 // --------------------------------------- distributed key generation -------
 
-void DlaNode::start_dkg(net::Simulator& sim, SessionId session,
+void DlaNode::start_dkg(net::Transport& sim, SessionId session,
                         std::uint32_t k) {
   if (k == 0 || k > cfg_->cluster_size())
     throw std::invalid_argument("start_dkg: bad threshold");
@@ -2188,10 +2239,11 @@ void DlaNode::start_dkg(net::Simulator& sim, SessionId session,
   }
 }
 
-void DlaNode::handle_dkg_start(net::Simulator& sim, const net::Message& msg) {
+void DlaNode::handle_dkg_start(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   std::uint32_t k = r.u32();
+  r.expect_end();
   if (dkg_done_guard_.contains(session)) {
     ++replay_drops_;
     return;
@@ -2228,32 +2280,36 @@ void DlaNode::handle_dkg_start(net::Simulator& sim, const net::Message& msg) {
   maybe_finish_dkg(sim, session);
 }
 
-void DlaNode::handle_dkg_commit(net::Simulator& sim,
+void DlaNode::handle_dkg_commit(net::Transport& sim,
                                 const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   std::uint32_t dealer = r.u32();
+  std::vector<bn::BigUInt> commitments = decode_elements(r);
+  r.expect_end();
   if (dkg_done_guard_.contains(session)) {
     ++replay_drops_;
     return;
   }
-  dkg_state_[session].commitments[dealer] = decode_elements(r);
+  dkg_state_[session].commitments[dealer] = std::move(commitments);
   maybe_finish_dkg(sim, session);
 }
 
-void DlaNode::handle_dkg_share(net::Simulator& sim, const net::Message& msg) {
+void DlaNode::handle_dkg_share(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   std::uint32_t dealer = r.u32();
+  bn::BigUInt share = r.big();
+  r.expect_end();
   if (dkg_done_guard_.contains(session)) {
     ++replay_drops_;
     return;
   }
-  dkg_state_[session].shares[dealer] = r.big();
+  dkg_state_[session].shares[dealer] = std::move(share);
   maybe_finish_dkg(sim, session);
 }
 
-void DlaNode::maybe_finish_dkg(net::Simulator& sim, SessionId session) {
+void DlaNode::maybe_finish_dkg(net::Transport& sim, SessionId session) {
   (void)sim;
   DkgState& st = dkg_state_[session];
   const std::size_t n = cfg_->cluster_size();
@@ -2293,7 +2349,7 @@ void DlaNode::maybe_finish_dkg(net::Simulator& sim, SessionId session) {
 
 // ------------------------------------------- threshold certification ------
 
-void DlaNode::handle_sign_request(net::Simulator& sim,
+void DlaNode::handle_sign_request(net::Transport& sim,
                                   const net::Message& msg) {
   if (!cfg_->threshold_params || !signing_share_) return;
   net::Reader r(msg.payload);
@@ -2306,6 +2362,7 @@ void DlaNode::handle_sign_request(net::Simulator& sim,
     return;
   }
   r.str();  // message text (the response binds only via the challenge)
+  r.expect_end();
   crypto::NoncePair nonce = crypto::make_nonce(*cfg_->threshold_params, rng_);
   sign_nonces_[sid] = nonce.k;
   net::Writer w;
@@ -2315,11 +2372,12 @@ void DlaNode::handle_sign_request(net::Simulator& sim,
   send_payload(sim, id(), msg.src, kSignNonce, std::move(w));
 }
 
-void DlaNode::handle_sign_nonce(net::Simulator& sim, const net::Message& msg) {
+void DlaNode::handle_sign_nonce(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId sid = r.u64();
   std::uint32_t index = r.u32();
   bn::BigUInt nonce_r = r.big();
+  r.expect_end();
   auto it = sign_state_.find(sid);
   if (it == sign_state_.end() || it->second.challenged) return;
   SignState& st = it->second;
@@ -2343,13 +2401,14 @@ void DlaNode::handle_sign_nonce(net::Simulator& sim, const net::Message& msg) {
   }
 }
 
-void DlaNode::handle_sign_challenge(net::Simulator& sim,
+void DlaNode::handle_sign_challenge(net::Transport& sim,
                                     const net::Message& msg) {
   if (!cfg_->threshold_params || !signing_share_) return;
   net::Reader r(msg.payload);
   SessionId sid = r.u64();
   bn::BigUInt c = r.big();
   bn::BigUInt lambda = r.big();
+  r.expect_end();
   auto it = sign_nonces_.find(sid);
   if (it == sign_nonces_.end()) return;
   bn::BigUInt s = crypto::response_share(*cfg_->threshold_params,
@@ -2364,11 +2423,12 @@ void DlaNode::handle_sign_challenge(net::Simulator& sim,
   send_payload(sim, id(), msg.src, kSignShare, std::move(w));
 }
 
-void DlaNode::handle_sign_share(net::Simulator& sim, const net::Message& msg) {
+void DlaNode::handle_sign_share(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId sid = r.u64();
   std::uint32_t signer = r.u32();
   bn::BigUInt s = r.big();
+  r.expect_end();
   auto it = sign_state_.find(sid);
   if (it == sign_state_.end()) return;
   SignState& st = it->second;
@@ -2396,7 +2456,7 @@ void DlaNode::handle_sign_share(net::Simulator& sim, const net::Message& msg) {
   sign_state_.erase(it);
 }
 
-void DlaNode::fail_query(net::Simulator& sim, QueryState& qs,
+void DlaNode::fail_query(net::Transport& sim, QueryState& qs,
                          const std::string& error) {
   sim.cancel_timer(qs.timeout_timer);
   timer_to_qid_.erase(qs.timeout_timer);

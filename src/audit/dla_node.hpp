@@ -147,42 +147,42 @@ class DlaNode : public net::Node {
   void stage_cmp_input(SessionId session, bn::BigUInt value);
 
   // Ring-based secure set intersection / union over staged inputs.
-  void start_set_protocol(net::Simulator& sim, const SetSpec& spec);
+  void start_set_protocol(net::Transport& sim, const SetSpec& spec);
   // Shamir secure (weighted) sum over staged inputs.
-  void start_sum(net::Simulator& sim, const SumSpec& spec);
+  void start_sum(net::Transport& sim, const SumSpec& spec);
   // Blind-TTP equality / max / min / rank over staged inputs. This node
   // generates the shared transform and distributes it to participants
   // (but not to the TTP).
-  void start_cmp(net::Simulator& sim, CmpSpec spec);
+  void start_cmp(net::Transport& sim, CmpSpec spec);
   // Du-Atallah secure scalar product between two parties with the blind
   // TTP as commodity server: both stage equal-length vectors via
   // stage_vector_input; Alice (and the observers) learn only A.B mod p.
   void stage_vector_input(SessionId session, std::vector<bn::BigUInt> v);
-  void start_scalar_product(net::Simulator& sim, SessionId session,
+  void start_scalar_product(net::Transport& sim, SessionId session,
                             net::NodeId alice, net::NodeId bob,
                             std::uint32_t length,
                             std::vector<net::NodeId> observers);
   std::function<void(SessionId, bn::BigUInt)> on_scalar_result;
   // One-way accumulator circulation for one glsn (Section 4.1).
-  void start_integrity_check(net::Simulator& sim, SessionId session,
+  void start_integrity_check(net::Transport& sim, SessionId session,
                              logm::Glsn glsn);
   // ACL consistency audit: secure set intersection over canonical ACL
   // entries of all cluster nodes; reports consistent iff the intersection
   // matches this node's own table.
-  void start_acl_consistency_check(net::Simulator& sim, SessionId session);
+  void start_acl_consistency_check(net::Transport& sim, SessionId session);
 
   // Periodic self-audit (Section 4.1: "DLA node can periodically check the
   // integrity of log records it stores"): every `interval` microseconds
   // this node circulates an integrity check for the next stored glsn in
   // rotation; outcomes arrive through on_integrity_result.
-  void enable_periodic_audit(net::Simulator& sim, net::SimTime interval);
+  void enable_periodic_audit(net::Transport& sim, net::SimTime interval);
   void disable_periodic_audit() { periodic_interval_ = 0; }
 
   // Distributed key generation: every cluster node deals a random secret
   // with Feldman VSS; the verified share sums become (k, n) shares of a
   // joint key no party ever sees. Results arrive via on_dkg_result on
   // every participant.
-  void start_dkg(net::Simulator& sim, SessionId session, std::uint32_t k);
+  void start_dkg(net::Transport& sim, SessionId session, std::uint32_t k);
   struct DkgResult {
     bool ok = false;
     crypto::ThresholdParams params;       // valid when ok
@@ -197,7 +197,7 @@ class DlaNode : public net::Node {
   // Failure detection: periodic heartbeats to every peer; a peer missing
   // 3 consecutive beats is suspected, and gateways route its subqueries to
   // the successor replica (requires cfg->replication >= 2 for coverage).
-  void start_heartbeats(net::Simulator& sim);
+  void start_heartbeats(net::Transport& sim);
   void stop_heartbeats() { heartbeats_on_ = false; }
   bool suspects(std::size_t peer_index, net::SimTime now) const;
 
@@ -212,40 +212,40 @@ class DlaNode : public net::Node {
   std::function<void(SessionId, bool consistent)> on_acl_check;
 
   // --- actor entry points -------------------------------------------------
-  void on_message(net::Simulator& sim, const net::Message& msg) override;
-  void on_timer(net::Simulator& sim, std::uint64_t timer_id) override;
+  void on_message(net::Transport& sim, const net::Message& msg) override;
+  void on_timer(net::Transport& sim, std::uint64_t timer_id) override;
 
  private:
   // ---- logging path ----
-  void handle_glsn_request(net::Simulator& sim, const net::Message& msg);
-  void handle_glsn_forward(net::Simulator& sim, const net::Message& msg);
-  void handle_glsn_propose(net::Simulator& sim, const net::Message& msg);
-  void handle_glsn_vote(net::Simulator& sim, const net::Message& msg);
-  void handle_glsn_commit(net::Simulator& sim, const net::Message& msg);
-  void handle_glsn_reply(net::Simulator& sim, const net::Message& msg);
-  void handle_log_fragment(net::Simulator& sim, const net::Message& msg);
-  void handle_accum_deposit(net::Simulator& sim, const net::Message& msg);
-  void handle_fragment_request(net::Simulator& sim, const net::Message& msg);
-  void handle_fragment_delete(net::Simulator& sim, const net::Message& msg);
-  void handle_watermark_advance(net::Simulator& sim, const net::Message& msg);
+  void handle_glsn_request(net::Transport& sim, const net::Message& msg);
+  void handle_glsn_forward(net::Transport& sim, const net::Message& msg);
+  void handle_glsn_propose(net::Transport& sim, const net::Message& msg);
+  void handle_glsn_vote(net::Transport& sim, const net::Message& msg);
+  void handle_glsn_commit(net::Transport& sim, const net::Message& msg);
+  void handle_glsn_reply(net::Transport& sim, const net::Message& msg);
+  void handle_log_fragment(net::Transport& sim, const net::Message& msg);
+  void handle_accum_deposit(net::Transport& sim, const net::Message& msg);
+  void handle_fragment_request(net::Transport& sim, const net::Message& msg);
+  void handle_fragment_delete(net::Transport& sim, const net::Message& msg);
+  void handle_watermark_advance(net::Transport& sim, const net::Message& msg);
   // Bump this node's store epoch after an acked write/delete and announce
   // the advance to every peer's result cache (and to our own).
-  void advance_store_epoch(net::Simulator& sim);
-  void dispatch(net::Simulator& sim, const net::Message& msg);
+  void advance_store_epoch(net::Transport& sim);
+  void dispatch(net::Transport& sim, const net::Message& msg);
 
   // ---- set ring ----
-  void handle_set_start(net::Simulator& sim, const net::Message& msg);
-  void handle_set_ring(net::Simulator& sim, const net::Message& msg);
-  void handle_set_full(net::Simulator& sim, const net::Message& msg);
-  void handle_set_decrypt(net::Simulator& sim, const net::Message& msg);
-  void handle_set_result(net::Simulator& sim, const net::Message& msg);
+  void handle_set_start(net::Transport& sim, const net::Message& msg);
+  void handle_set_ring(net::Transport& sim, const net::Message& msg);
+  void handle_set_full(net::Transport& sim, const net::Message& msg);
+  void handle_set_decrypt(net::Transport& sim, const net::Message& msg);
+  void handle_set_result(net::Transport& sim, const net::Message& msg);
   crypto::PhKey& session_key(SessionId session);
-  void ring_encrypt_and_forward(net::Simulator& sim, const SetSpec& spec,
+  void ring_encrypt_and_forward(net::Transport& sim, const SetSpec& spec,
                                 SetChunkHeader header, std::uint32_t hops,
                                 std::vector<bn::BigUInt> elements);
   // Splits `elements` into the session's chunk stream and runs each chunk
   // through ring_encrypt_and_forward (origin side of the encrypt ring).
-  void ring_start_stream(net::Simulator& sim, const SetSpec& spec,
+  void ring_start_stream(net::Transport& sim, const SetSpec& spec,
                          std::uint32_t my_pos,
                          std::vector<bn::BigUInt> elements);
   // Number of chunks `n` elements split into under this node's chunk size
@@ -253,49 +253,49 @@ class DlaNode : public net::Node {
   std::uint32_t chunk_count(std::size_t n) const;
 
   // ---- secure sum ----
-  void handle_sum_start(net::Simulator& sim, const net::Message& msg);
-  void handle_sum_share(net::Simulator& sim, const net::Message& msg);
-  void maybe_emit_sum_eval(net::Simulator& sim, SessionId session);
-  void handle_sum_eval(net::Simulator& sim, const net::Message& msg);
-  void handle_sum_result(net::Simulator& sim, const net::Message& msg);
+  void handle_sum_start(net::Transport& sim, const net::Message& msg);
+  void handle_sum_share(net::Transport& sim, const net::Message& msg);
+  void maybe_emit_sum_eval(net::Transport& sim, SessionId session);
+  void handle_sum_eval(net::Transport& sim, const net::Message& msg);
+  void handle_sum_result(net::Transport& sim, const net::Message& msg);
 
   // ---- blind-TTP comparisons ----
-  void handle_cmp_params(net::Simulator& sim, const net::Message& msg);
-  void handle_cmp_result(net::Simulator& sim, const net::Message& msg);
-  void handle_rank_result(net::Simulator& sim, const net::Message& msg);
-  void send_transformed_value(net::Simulator& sim, const CmpSpec& spec);
+  void handle_cmp_params(net::Transport& sim, const net::Message& msg);
+  void handle_cmp_result(net::Transport& sim, const net::Message& msg);
+  void handle_rank_result(net::Transport& sim, const net::Message& msg);
+  void send_transformed_value(net::Transport& sim, const CmpSpec& spec);
 
   // ---- secure scalar product ----
-  void handle_scalar_randomness(net::Simulator& sim, const net::Message& msg);
-  void handle_scalar_masked_a(net::Simulator& sim, const net::Message& msg);
-  void handle_scalar_reply(net::Simulator& sim, const net::Message& msg);
-  void handle_scalar_result(net::Simulator& sim, const net::Message& msg);
+  void handle_scalar_randomness(net::Transport& sim, const net::Message& msg);
+  void handle_scalar_masked_a(net::Transport& sim, const net::Message& msg);
+  void handle_scalar_reply(net::Transport& sim, const net::Message& msg);
+  void handle_scalar_result(net::Transport& sim, const net::Message& msg);
 
   // ---- integrity ----
-  void handle_integrity_pass(net::Simulator& sim, const net::Message& msg);
+  void handle_integrity_pass(net::Transport& sim, const net::Message& msg);
   std::string fragment_canonical_or_missing(logm::Glsn glsn) const;
 
   // ---- query pipeline (gateway + owner roles) ----
-  void handle_audit_query(net::Simulator& sim, const net::Message& msg);
-  void handle_aggregate_query(net::Simulator& sim, const net::Message& msg);
-  void handle_aggregate_exec(net::Simulator& sim, const net::Message& msg);
-  void handle_aggregate_value(net::Simulator& sim, const net::Message& msg);
-  void handle_dkg_start(net::Simulator& sim, const net::Message& msg);
-  void handle_dkg_commit(net::Simulator& sim, const net::Message& msg);
-  void handle_dkg_share(net::Simulator& sim, const net::Message& msg);
-  void maybe_finish_dkg(net::Simulator& sim, SessionId session);
-  void handle_sign_request(net::Simulator& sim, const net::Message& msg);
-  void handle_sign_nonce(net::Simulator& sim, const net::Message& msg);
-  void handle_sign_challenge(net::Simulator& sim, const net::Message& msg);
-  void handle_sign_share(net::Simulator& sim, const net::Message& msg);
-  void handle_subquery_exec(net::Simulator& sim, const net::Message& msg);
-  void handle_join_exec(net::Simulator& sim, const net::Message& msg);
-  void handle_combine_exec(net::Simulator& sim, const net::Message& msg);
-  void handle_combine_ready(net::Simulator& sim, const net::Message& msg);
-  void handle_subquery_done(net::Simulator& sim, const net::Message& msg);
-  void handle_cmp_batch_result(net::Simulator& sim, const net::Message& msg);
-  void handle_subquery_fetch(net::Simulator& sim, const net::Message& msg);
-  void handle_subquery_data(net::Simulator& sim, const net::Message& msg);
+  void handle_audit_query(net::Transport& sim, const net::Message& msg);
+  void handle_aggregate_query(net::Transport& sim, const net::Message& msg);
+  void handle_aggregate_exec(net::Transport& sim, const net::Message& msg);
+  void handle_aggregate_value(net::Transport& sim, const net::Message& msg);
+  void handle_dkg_start(net::Transport& sim, const net::Message& msg);
+  void handle_dkg_commit(net::Transport& sim, const net::Message& msg);
+  void handle_dkg_share(net::Transport& sim, const net::Message& msg);
+  void maybe_finish_dkg(net::Transport& sim, SessionId session);
+  void handle_sign_request(net::Transport& sim, const net::Message& msg);
+  void handle_sign_nonce(net::Transport& sim, const net::Message& msg);
+  void handle_sign_challenge(net::Transport& sim, const net::Message& msg);
+  void handle_sign_share(net::Transport& sim, const net::Message& msg);
+  void handle_subquery_exec(net::Transport& sim, const net::Message& msg);
+  void handle_join_exec(net::Transport& sim, const net::Message& msg);
+  void handle_combine_exec(net::Transport& sim, const net::Message& msg);
+  void handle_combine_ready(net::Transport& sim, const net::Message& msg);
+  void handle_subquery_done(net::Transport& sim, const net::Message& msg);
+  void handle_cmp_batch_result(net::Transport& sim, const net::Message& msg);
+  void handle_subquery_fetch(net::Transport& sim, const net::Message& msg);
+  void handle_subquery_data(net::Transport& sim, const net::Message& msg);
 
   // Gateway-side task plan.
   struct Task {
@@ -346,14 +346,14 @@ class DlaNode : public net::Node {
                           std::uint64_t qid, net::SimTime now);
   // Parses + normalizes + plans the criterion into qs.tasks and launches
   // the first task. Throws ParseError on a bad criterion.
-  void start_query(net::Simulator& sim, QueryState qs,
+  void start_query(net::Transport& sim, QueryState qs,
                    const std::string& criterion);
-  void run_next_task(net::Simulator& sim, QueryState& qs);
-  void finish_query(net::Simulator& sim, QueryState& qs,
+  void run_next_task(net::Transport& sim, QueryState& qs);
+  void finish_query(net::Transport& sim, QueryState& qs,
                     std::vector<logm::Glsn> glsns);
-  void fail_query(net::Simulator& sim, QueryState& qs,
+  void fail_query(net::Transport& sim, QueryState& qs,
                   const std::string& error);
-  void task_completed(net::Simulator& sim, std::uint64_t qid);
+  void task_completed(net::Transport& sim, std::uint64_t qid);
   std::vector<logm::Glsn> eval_local(const Expr& expr) const;
   // The store to evaluate `attrs` against: the primary store when they are
   // this node's own attributes, else the replica store.
@@ -513,8 +513,8 @@ class DlaNode : public net::Node {
     std::vector<bn::BigUInt> pending_masked_a;  // Bob: A+Ra that beat the TTP
   };
   std::map<SessionId, ScalarState> scalar_state_;
-  void scalar_send_masked_a(net::Simulator& sim, SessionId session);
-  void scalar_bob_reply(net::Simulator& sim, SessionId session);
+  void scalar_send_masked_a(net::Transport& sim, SessionId session);
+  void scalar_bob_reply(net::Transport& sim, SessionId session);
 
   struct IntegritySession {
     logm::Glsn glsn = 0;
@@ -558,7 +558,7 @@ class DlaNode : public net::Node {
     bool challenged = false;
   };
   std::map<SessionId, SignState> sign_state_;
-  void reply_with_result(net::Simulator& sim, const QueryState& qs,
+  void reply_with_result(net::Transport& sim, const QueryState& qs,
                          const std::vector<logm::Glsn>& glsns,
                          const std::optional<crypto::ThresholdSignature>& cert);
 

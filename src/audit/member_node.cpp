@@ -1,5 +1,7 @@
 #include "audit/member_node.hpp"
 
+#include "audit/metrics.hpp"
+
 namespace dla::audit {
 
 // ------------------------------------------------------------- CaNode -----
@@ -7,11 +9,19 @@ namespace dla::audit {
 CaNode::CaNode(std::string name, crypto::RsaKeyPair key)
     : name_(std::move(name)), key_(std::move(key)) {}
 
-void CaNode::on_message(net::Simulator& sim, const net::Message& msg) {
+void CaNode::on_message(net::Transport& sim, const net::Message& msg) {
   if (msg.type != kTokenRequest) return;
   net::Reader r(msg.payload);
-  std::uint64_t reqid = r.u64();
-  bn::BigUInt blinded = r.big();
+  std::uint64_t reqid;
+  bn::BigUInt blinded;
+  try {
+    reqid = r.u64();
+    blinded = r.big();
+  } catch (const net::CodecError&) {
+    // A hostile join request must not crash the certificate authority.
+    ++detail::wire_reject_counters_mut().codec_rejects;
+    return;
+  }
   // Blind signing: the CA sees only m * r^e mod n, never the pseudonym.
   bn::BigUInt blind_sig = key_.apply_private(blinded % key_.public_key().n);
   ++tokens_issued_;
@@ -29,7 +39,7 @@ MemberNode::MemberNode(std::string name, std::uint64_t seed,
       rng_(seed),
       key_(crypto::RsaKeyPair::generate(rng_, pseudonym_bits)) {}
 
-void MemberNode::acquire_token(net::Simulator& sim, net::NodeId ca,
+void MemberNode::acquire_token(net::Transport& sim, net::NodeId ca,
                                const crypto::RsaPublicKey& ca_pub,
                                TokenCallback done) {
   ca_pub_ = ca_pub;
@@ -43,7 +53,7 @@ void MemberNode::acquire_token(net::Simulator& sim, net::NodeId ca,
   sim.send(id(), ca, kTokenRequest, std::move(w).take());
 }
 
-void MemberNode::handle_token_reply(net::Simulator&, const net::Message& msg) {
+void MemberNode::handle_token_reply(net::Transport&, const net::Message& msg) {
   net::Reader r(msg.payload);
   r.u64();  // reqid
   bn::BigUInt blind_sig = r.big();
@@ -66,7 +76,7 @@ void MemberNode::found_chain(const std::string& terms) {
   has_authority_ = true;
 }
 
-void MemberNode::invite(net::Simulator& sim, net::NodeId candidate,
+void MemberNode::invite(net::Transport& sim, net::NodeId candidate,
                         const std::string& terms, JoinCallback done) {
   if (!has_authority_ && !allow_misconduct_) {
     if (done) done(false);
@@ -80,7 +90,7 @@ void MemberNode::invite(net::Simulator& sim, net::NodeId candidate,
   sim.send(id(), candidate, kPolicyProposal, std::move(w).take());
 }
 
-void MemberNode::handle_policy_proposal(net::Simulator& sim,
+void MemberNode::handle_policy_proposal(net::Transport& sim,
                                         const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
@@ -96,7 +106,7 @@ void MemberNode::handle_policy_proposal(net::Simulator& sim,
   sim.send(id(), msg.src, kServiceCommitment, std::move(w).take());
 }
 
-void MemberNode::handle_service_commitment(net::Simulator& sim,
+void MemberNode::handle_service_commitment(net::Transport& sim,
                                            const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
@@ -141,7 +151,7 @@ void MemberNode::handle_service_commitment(net::Simulator& sim,
   if (invite.done) invite.done(true);
 }
 
-void MemberNode::handle_evidence_grant(net::Simulator&,
+void MemberNode::handle_evidence_grant(net::Transport&,
                                        const net::Message& msg) {
   net::Reader r(msg.payload);
   r.u64();  // session
@@ -169,18 +179,23 @@ void MemberNode::handle_evidence_grant(net::Simulator&,
   if (on_joined) on_joined(chain_);
 }
 
-void MemberNode::on_message(net::Simulator& sim, const net::Message& msg) {
-  switch (msg.type) {
-    case kTokenReply: return handle_token_reply(sim, msg);
-    case kPolicyProposal: return handle_policy_proposal(sim, msg);
-    case kServiceCommitment: return handle_service_commitment(sim, msg);
-    case kEvidenceGrant: return handle_evidence_grant(sim, msg);
-    // Membership-protocol edge actor: it only ever receives the four
-    // handshake replies above; cluster-internal traffic is never addressed
-    // to it.
-    // DLA-LINT-ALLOW(msgtype-switch): edge actor, handshake-reply subset only
-    default:
-      break;
+void MemberNode::on_message(net::Transport& sim, const net::Message& msg) {
+  try {
+    switch (msg.type) {
+      case kTokenReply: return handle_token_reply(sim, msg);
+      case kPolicyProposal: return handle_policy_proposal(sim, msg);
+      case kServiceCommitment: return handle_service_commitment(sim, msg);
+      case kEvidenceGrant: return handle_evidence_grant(sim, msg);
+      // Membership-protocol edge actor: it only ever receives the four
+      // handshake replies above; cluster-internal traffic is never addressed
+      // to it.
+      // DLA-LINT-ALLOW(msgtype-switch): edge actor, handshake-reply subset
+      default:
+        break;
+    }
+  } catch (const net::CodecError&) {
+    // Malformed handshake replies are dropped, not fatal.
+    ++detail::wire_reject_counters_mut().codec_rejects;
   }
 }
 

@@ -22,7 +22,7 @@
 
 #include "audit/evidence.hpp"
 #include "audit/wire.hpp"
-#include "net/sim.hpp"
+#include "net/transport.hpp"
 
 namespace dla::audit {
 
@@ -33,7 +33,7 @@ class CaNode : public net::Node {
   const crypto::RsaPublicKey& public_key() const { return key_.public_key(); }
   std::uint64_t tokens_issued() const { return tokens_issued_; }
 
-  void on_message(net::Simulator& sim, const net::Message& msg) override;
+  void on_message(net::Transport& sim, const net::Message& msg) override;
 
  private:
   std::string name_;
@@ -56,7 +56,7 @@ class MemberNode : public net::Node {
 
   // Phase 0: obtain a blind-signed membership token from the CA.
   using TokenCallback = std::function<void(bool ok)>;
-  void acquire_token(net::Simulator& sim, net::NodeId ca,
+  void acquire_token(net::Transport& sim, net::NodeId ca,
                      const crypto::RsaPublicKey& ca_pub, TokenCallback done);
 
   // Founder bootstrap: self-issue the genesis evidence piece (requires a
@@ -65,7 +65,7 @@ class MemberNode : public net::Node {
 
   // Phase 1: as chain tail, propose membership to `candidate`.
   using JoinCallback = std::function<void(bool ok)>;
-  void invite(net::Simulator& sim, net::NodeId candidate,
+  void invite(net::Transport& sim, net::NodeId candidate,
               const std::string& terms, JoinCallback done = nullptr);
 
   // For the misconduct experiment only: allows inviting after the
@@ -81,13 +81,13 @@ class MemberNode : public net::Node {
     return suspicious_pieces_;
   }
 
-  void on_message(net::Simulator& sim, const net::Message& msg) override;
+  void on_message(net::Transport& sim, const net::Message& msg) override;
 
  private:
-  void handle_token_reply(net::Simulator& sim, const net::Message& msg);
-  void handle_policy_proposal(net::Simulator& sim, const net::Message& msg);
-  void handle_service_commitment(net::Simulator& sim, const net::Message& msg);
-  void handle_evidence_grant(net::Simulator& sim, const net::Message& msg);
+  void handle_token_reply(net::Transport& sim, const net::Message& msg);
+  void handle_policy_proposal(net::Transport& sim, const net::Message& msg);
+  void handle_service_commitment(net::Transport& sim, const net::Message& msg);
+  void handle_evidence_grant(net::Transport& sim, const net::Message& msg);
 
   std::string name_;
   crypto::ChaCha20Rng rng_;

@@ -101,6 +101,21 @@ void reset_gateway_cache_counters() {
   detail::gateway_cache_counters_mut() = GatewayCacheCounters{};
 }
 
+namespace detail {
+WireRejectCounters& wire_reject_counters_mut() {
+  static WireRejectCounters counters;
+  return counters;
+}
+}  // namespace detail
+
+WireRejectCounters wire_reject_counters() {
+  return detail::wire_reject_counters_mut();
+}
+
+void reset_wire_reject_counters() {
+  detail::wire_reject_counters_mut() = WireRejectCounters{};
+}
+
 ChaosCounters chaos_counters(const net::Simulator& sim) {
   const net::NetworkStats& stats = sim.stats();
   return ChaosCounters{stats.chaos_drops, stats.duplicates_injected,

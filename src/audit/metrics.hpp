@@ -106,6 +106,27 @@ namespace detail {
 GatewayCacheCounters& gateway_cache_counters_mut();
 }  // namespace detail
 
+// ---- wire reject counters ------------------------------------------------
+// Process-wide counters for frames the protocol actors refused to act on
+// (see docs/TRANSPORT.md "Parser and codec error taxonomy"): codec_rejects
+// counts payloads whose decode threw net::CodecError (truncated or
+// structurally malformed), trailing_rejects counts payloads that decoded
+// completely but carried trailing garbage (net::Reader::expect_end), and
+// parse_rejects counts well-formed payloads whose embedded audit criterion
+// failed to parse. All three are hostile-input signals: a nonzero rate on a
+// production deployment means someone is probing the ingestion edge.
+struct WireRejectCounters {
+  std::uint64_t codec_rejects = 0;
+  std::uint64_t trailing_rejects = 0;
+  std::uint64_t parse_rejects = 0;
+};
+WireRejectCounters wire_reject_counters();
+void reset_wire_reject_counters();
+
+namespace detail {
+WireRejectCounters& wire_reject_counters_mut();
+}  // namespace detail
+
 // ---- chaos counters ------------------------------------------------------
 // Fault-injection counters surfaced from the network layer (net::ChaosEngine
 // via net::NetworkStats) so audit-level drivers can report how much chaos a

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "audit/metrics.hpp"
+
 namespace dla::audit {
 
 namespace {
@@ -26,22 +28,27 @@ TtpNode::TtpNode(std::string name)
 
 void TtpNode::configure(ConfigPtr cfg) { cfg_ = std::move(cfg); }
 
-void TtpNode::on_message(net::Simulator& sim, const net::Message& msg) {
-  switch (msg.type) {
-    case kCmpSpec: return handle_cmp_spec(sim, msg);
-    case kCmpValue: return handle_cmp_value(sim, msg);
-    case kCmpBatch: return handle_cmp_batch(sim, msg);
-    case kScalarInit: return handle_scalar_init(sim, msg);
-    // The blind TTP must stay blind: it participates in exactly the four
-    // comparison/commodity messages above and must ignore (never decode)
-    // everything else by construction.
-    // DLA-LINT-ALLOW(msgtype-switch): blind TTP ignores all non-TTP traffic
-    default:
-      break;
+void TtpNode::on_message(net::Transport& sim, const net::Message& msg) {
+  try {
+    switch (msg.type) {
+      case kCmpSpec: return handle_cmp_spec(sim, msg);
+      case kCmpValue: return handle_cmp_value(sim, msg);
+      case kCmpBatch: return handle_cmp_batch(sim, msg);
+      case kScalarInit: return handle_scalar_init(sim, msg);
+      // The blind TTP must stay blind: it participates in exactly the four
+      // comparison/commodity messages above and must ignore (never decode)
+      // everything else by construction.
+      // DLA-LINT-ALLOW(msgtype-switch): blind TTP ignores all non-TTP traffic
+      default:
+        break;
+    }
+  } catch (const net::CodecError&) {
+    // A malformed comparison frame must not take the (shared) TTP down.
+    ++detail::wire_reject_counters_mut().codec_rejects;
   }
 }
 
-void TtpNode::handle_cmp_spec(net::Simulator& sim, const net::Message& msg) {
+void TtpNode::handle_cmp_spec(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   CmpSpec spec = CmpSpec::decode(r, /*include_transform=*/false);
   if (cmp_served_guard_.contains(spec.session)) {
@@ -54,7 +61,7 @@ void TtpNode::handle_cmp_spec(net::Simulator& sim, const net::Message& msg) {
   maybe_finish(sim, state.spec.session);
 }
 
-void TtpNode::handle_cmp_value(net::Simulator& sim, const net::Message& msg) {
+void TtpNode::handle_cmp_value(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   std::uint32_t index = r.u32();
@@ -67,7 +74,7 @@ void TtpNode::handle_cmp_value(net::Simulator& sim, const net::Message& msg) {
   maybe_finish(sim, session);
 }
 
-void TtpNode::maybe_finish(net::Simulator& sim, SessionId session) {
+void TtpNode::maybe_finish(net::Transport& sim, SessionId session) {
   auto it = cmp_.find(session);
   if (it == cmp_.end()) return;
   CmpState& state = it->second;
@@ -132,7 +139,7 @@ void TtpNode::maybe_finish(net::Simulator& sim, SessionId session) {
   cmp_served_guard_.insert(session);
 }
 
-void TtpNode::handle_scalar_init(net::Simulator& sim,
+void TtpNode::handle_scalar_init(net::Transport& sim,
                                  const net::Message& msg) {
   net::Reader r(msg.payload);
   SessionId session = r.u64();
@@ -179,7 +186,7 @@ void TtpNode::handle_scalar_init(net::Simulator& sim,
   sim.send(id(), bob, kScalarRandomness, std::move(to_bob).take());
 }
 
-void TtpNode::handle_cmp_batch(net::Simulator& sim, const net::Message& msg) {
+void TtpNode::handle_cmp_batch(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t rid = r.u64();
   std::uint64_t qid = r.u64();

@@ -36,16 +36,16 @@ class TtpNode : public net::Node {
   // In-flight comparison/batch entries; zero once the cluster quiesces.
   std::size_t session_residue() const { return cmp_.size() + batches_.size(); }
 
-  void on_message(net::Simulator& sim, const net::Message& msg) override;
+  void on_message(net::Transport& sim, const net::Message& msg) override;
 
  private:
-  void handle_cmp_spec(net::Simulator& sim, const net::Message& msg);
-  void handle_cmp_value(net::Simulator& sim, const net::Message& msg);
-  void handle_cmp_batch(net::Simulator& sim, const net::Message& msg);
+  void handle_cmp_spec(net::Transport& sim, const net::Message& msg);
+  void handle_cmp_value(net::Transport& sim, const net::Message& msg);
+  void handle_cmp_batch(net::Transport& sim, const net::Message& msg);
   // Commodity-server role of the Du-Atallah scalar product: hand the two
   // parties correlated randomness (ra + rb = Ra.Rb) and step aside.
-  void handle_scalar_init(net::Simulator& sim, const net::Message& msg);
-  void maybe_finish(net::Simulator& sim, SessionId session);
+  void handle_scalar_init(net::Transport& sim, const net::Message& msg);
+  void maybe_finish(net::Transport& sim, SessionId session);
 
   struct CmpState {
     CmpSpec spec;          // transform-free

@@ -1,5 +1,7 @@
 #include "audit/user_node.hpp"
 
+#include "audit/metrics.hpp"
+
 namespace dla::audit {
 
 UserNode::UserNode(std::string name) : name_(std::move(name)) {}
@@ -18,7 +20,7 @@ net::NodeId UserNode::pick_gateway() {
   return gw;
 }
 
-void UserNode::log_record(net::Simulator& sim,
+void UserNode::log_record(net::Transport& sim,
                           std::map<std::string, logm::Value> attrs,
                           LogCallback done) {
   std::uint64_t reqid = next_reqid_++;
@@ -33,11 +35,12 @@ void UserNode::log_record(net::Simulator& sim,
   sim.send(id(), pick_gateway(), kGlsnRequest, std::move(w).take());
 }
 
-void UserNode::handle_glsn_reply(net::Simulator& sim,
+void UserNode::handle_glsn_reply(net::Transport& sim,
                                  const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t reqid = r.u64();
   logm::Glsn glsn = r.u64();
+  r.expect_end();
   auto it = pending_logs_.find(reqid);
   if (it == pending_logs_.end()) return;
   PendingLog& pending = it->second;
@@ -86,7 +89,7 @@ void UserNode::handle_glsn_reply(net::Simulator& sim,
   }
 }
 
-void UserNode::handle_log_ack(net::Simulator&, const net::Message& msg) {
+void UserNode::handle_log_ack(net::Transport&, const net::Message& msg) {
   net::Reader r(msg.payload);
   logm::Glsn glsn = r.u64();
   bool ok = r.boolean();
@@ -111,7 +114,7 @@ void UserNode::handle_log_ack(net::Simulator&, const net::Message& msg) {
   pending_logs_.erase(it);
 }
 
-void UserNode::query(net::Simulator& sim, std::string criterion,
+void UserNode::query(net::Transport& sim, std::string criterion,
                      QueryCallback done) {
   std::uint64_t reqid = next_reqid_++;
   pending_queries_[reqid] = std::move(done);
@@ -122,7 +125,7 @@ void UserNode::query(net::Simulator& sim, std::string criterion,
   sim.send(id(), pick_gateway(), kAuditQuery, std::move(w).take());
 }
 
-void UserNode::handle_audit_result(net::Simulator&, const net::Message& msg) {
+void UserNode::handle_audit_result(net::Transport&, const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t reqid = r.u64();
   QueryOutcome outcome;
@@ -144,7 +147,7 @@ void UserNode::handle_audit_result(net::Simulator&, const net::Message& msg) {
   if (done) done(std::move(outcome));
 }
 
-void UserNode::aggregate_query(net::Simulator& sim, std::string criterion,
+void UserNode::aggregate_query(net::Transport& sim, std::string criterion,
                                AggOp op, std::string attr,
                                AggregateCallback done) {
   std::uint64_t reqid = next_reqid_++;
@@ -158,7 +161,7 @@ void UserNode::aggregate_query(net::Simulator& sim, std::string criterion,
   sim.send(id(), pick_gateway(), kAggregateQuery, std::move(w).take());
 }
 
-void UserNode::handle_aggregate_result(net::Simulator&,
+void UserNode::handle_aggregate_result(net::Transport&,
                                        const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t reqid = r.u64();
@@ -174,7 +177,7 @@ void UserNode::handle_aggregate_result(net::Simulator&,
   if (done) done(std::move(outcome));
 }
 
-void UserNode::fetch_fragment(net::Simulator& sim, std::size_t node_index,
+void UserNode::fetch_fragment(net::Transport& sim, std::size_t node_index,
                               logm::Glsn glsn, FetchCallback done) {
   std::uint64_t reqid = next_reqid_++;
   pending_fetches_[reqid] = std::move(done);
@@ -186,7 +189,7 @@ void UserNode::fetch_fragment(net::Simulator& sim, std::size_t node_index,
            std::move(w).take());
 }
 
-void UserNode::handle_fragment_reply(net::Simulator&,
+void UserNode::handle_fragment_reply(net::Transport&,
                                      const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t reqid = r.u64();
@@ -201,7 +204,7 @@ void UserNode::handle_fragment_reply(net::Simulator&,
   if (done) done(std::move(fragment));
 }
 
-void UserNode::fetch_record(net::Simulator& sim, logm::Glsn glsn,
+void UserNode::fetch_record(net::Transport& sim, logm::Glsn glsn,
                             RecordCallback done) {
   // Fan out one fragment fetch per node and assemble client-side.
   auto record = std::make_shared<logm::LogRecord>();
@@ -230,7 +233,7 @@ void UserNode::fetch_record(net::Simulator& sim, logm::Glsn glsn,
   }
 }
 
-void UserNode::delete_record(net::Simulator& sim, logm::Glsn glsn,
+void UserNode::delete_record(net::Transport& sim, logm::Glsn glsn,
                              DeleteCallback done) {
   std::uint64_t reqid = next_reqid_++;
   pending_deletes_[reqid] = PendingDelete{std::move(done), {}, true};
@@ -243,7 +246,7 @@ void UserNode::delete_record(net::Simulator& sim, logm::Glsn glsn,
   }
 }
 
-void UserNode::handle_delete_reply(net::Simulator&, const net::Message& msg) {
+void UserNode::handle_delete_reply(net::Transport&, const net::Message& msg) {
   net::Reader r(msg.payload);
   std::uint64_t reqid = r.u64();
   r.u64();  // glsn
@@ -260,7 +263,7 @@ void UserNode::handle_delete_reply(net::Simulator&, const net::Message& msg) {
   if (done) done(all_ok);
 }
 
-void UserNode::on_message(net::Simulator& sim, const net::Message& msg) {
+void UserNode::on_message(net::Transport& sim, const net::Message& msg) {
   try {
     switch (msg.type) {
       case kGlsnReply: return handle_glsn_reply(sim, msg);
@@ -278,6 +281,7 @@ void UserNode::on_message(net::Simulator& sim, const net::Message& msg) {
   } catch (const net::CodecError&) {
     // Drop malformed replies; a misbehaving cluster node must not be able
     // to crash an application node.
+    ++detail::wire_reject_counters_mut().codec_rejects;
   }
 }
 

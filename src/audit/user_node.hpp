@@ -55,24 +55,24 @@ class UserNode : public net::Node {
   // (nullopt when the cluster refused the write). The attrs map must use
   // schema attribute names.
   using LogCallback = std::function<void(std::optional<logm::Glsn>)>;
-  void log_record(net::Simulator& sim, std::map<std::string, logm::Value> attrs,
+  void log_record(net::Transport& sim, std::map<std::string, logm::Value> attrs,
                   LogCallback done);
 
   // Confidential audit query (criterion text per audit/query.hpp grammar).
   using QueryCallback = std::function<void(QueryOutcome)>;
-  void query(net::Simulator& sim, std::string criterion, QueryCallback done);
+  void query(net::Transport& sim, std::string criterion, QueryCallback done);
 
   // Confidential aggregate (abstract: "number of transactions, total of
   // volumes" without accessing raw data). For value aggregates, `attr`
   // names a numeric attribute; per-record values never leave its owner
   // node. For AggOp::Count, `attr` is ignored.
   using AggregateCallback = std::function<void(AggregateOutcome)>;
-  void aggregate_query(net::Simulator& sim, std::string criterion, AggOp op,
+  void aggregate_query(net::Transport& sim, std::string criterion, AggOp op,
                        std::string attr, AggregateCallback done);
 
   // Retrieve one fragment of an authorized record from DLA node P_i.
   using FetchCallback = std::function<void(std::optional<logm::Fragment>)>;
-  void fetch_fragment(net::Simulator& sim, std::size_t node_index,
+  void fetch_fragment(net::Transport& sim, std::size_t node_index,
                       logm::Glsn glsn, FetchCallback done);
 
   // Reassemble a full record from its fragments across the cluster — the
@@ -80,16 +80,16 @@ class UserNode : public net::Node {
   // read authorization on every node; yields nullopt if any fragment was
   // denied or missing.
   using RecordCallback = std::function<void(std::optional<logm::LogRecord>)>;
-  void fetch_record(net::Simulator& sim, logm::Glsn glsn, RecordCallback done);
+  void fetch_record(net::Transport& sim, logm::Glsn glsn, RecordCallback done);
 
   // Delete an owned record from every DLA node (requires a ticket with the
   // Delete operation). The callback receives true only when every node
   // confirmed the removal.
   using DeleteCallback = std::function<void(bool all_deleted)>;
-  void delete_record(net::Simulator& sim, logm::Glsn glsn,
+  void delete_record(net::Transport& sim, logm::Glsn glsn,
                      DeleteCallback done);
 
-  void on_message(net::Simulator& sim, const net::Message& msg) override;
+  void on_message(net::Transport& sim, const net::Message& msg) override;
 
   // Outstanding request-tracking entries. A drained fault-free run must
   // leave zero behind; the invariant explorer asserts that.
@@ -100,12 +100,12 @@ class UserNode : public net::Node {
   }
 
  private:
-  void handle_glsn_reply(net::Simulator& sim, const net::Message& msg);
-  void handle_log_ack(net::Simulator& sim, const net::Message& msg);
-  void handle_audit_result(net::Simulator& sim, const net::Message& msg);
-  void handle_fragment_reply(net::Simulator& sim, const net::Message& msg);
-  void handle_delete_reply(net::Simulator& sim, const net::Message& msg);
-  void handle_aggregate_result(net::Simulator& sim, const net::Message& msg);
+  void handle_glsn_reply(net::Transport& sim, const net::Message& msg);
+  void handle_log_ack(net::Transport& sim, const net::Message& msg);
+  void handle_audit_result(net::Transport& sim, const net::Message& msg);
+  void handle_fragment_reply(net::Transport& sim, const net::Message& msg);
+  void handle_delete_reply(net::Transport& sim, const net::Message& msg);
+  void handle_aggregate_result(net::Transport& sim, const net::Message& msg);
   net::NodeId pick_gateway();
 
   struct PendingLog {

@@ -17,7 +17,7 @@
 #include "bignum/biguint.hpp"
 #include "logm/record.hpp"
 #include "net/bytes.hpp"
-#include "net/sim.hpp"
+#include "net/transport.hpp"
 
 namespace dla::audit {
 
@@ -29,7 +29,7 @@ enum MsgType : std::uint32_t {
   kGlsnRequest = 0x10,   // user -> gateway {reqid, ticket}
   kGlsnForward = 0x11,   // gateway -> leader {reqid, gateway, user, ticket_id}
   kGlsnPropose = 0x12,   // leader -> replicas {proposal_id, glsn}
-  kGlsnVote = 0x13,      // replica -> leader {proposal_id, accept}
+  kGlsnVote = 0x13,      // replica -> leader {proposal_id, accept, promised_hint}
   kGlsnCommit = 0x14,    // leader -> replicas {glsn}
   kGlsnReply = 0x15,     // leader -> gateway -> user {reqid, glsn}
 

@@ -24,6 +24,14 @@ class CodecError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// A payload decoded completely but left bytes behind (Reader::expect_end).
+// Distinct from plain truncation so dispatchers can account trailing-garbage
+// frames separately from short ones.
+class TrailingBytesError : public CodecError {
+ public:
+  TrailingBytesError() : CodecError("Reader: trailing bytes after payload") {}
+};
+
 class Writer {
  public:
   void u8(std::uint8_t v) { buf_.push_back(v); }
@@ -66,6 +74,13 @@ class Reader {
   template <typename T, typename Fn>
   std::vector<T> vec(Fn&& read_item) {
     std::uint32_t count = u32();
+    // Bound the count BEFORE allocating: every element consumes at least
+    // one byte, so a count beyond the remaining bytes cannot possibly be
+    // satisfied — without this check a 16-byte hostile frame could demand
+    // a multi-gigabyte reserve() up front.
+    if (count > remaining()) {
+      throw CodecError("Reader: vec count exceeds remaining bytes");
+    }
     std::vector<T> out;
     out.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) out.push_back(read_item(*this));
@@ -73,6 +88,13 @@ class Reader {
   }
 
   bool at_end() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  // Asserts the payload was consumed exactly; frames carrying trailing
+  // garbage must be rejected, not silently accepted.
+  void expect_end() const {
+    if (!at_end()) throw TrailingBytesError();
+  }
 
  private:
   void need(std::size_t n) const;

@@ -1,0 +1,147 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace dla::net {
+
+namespace {
+
+[[noreturn]] void sys_fail(const char* what) {
+  throw std::runtime_error(std::string("EventLoop: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) sys_fail("epoll_create1");
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+std::uint64_t EventLoop::now_us() const {
+  timespec ts{};
+  // The daemon transport genuinely advances with the host; actors only see
+  // this via Transport::now(), and the differential oracle runs on virtual
+  // time, so trace digests never depend on this value.
+  // DLA-LINT-ALLOW(nondeterminism): TCP backend needs a real monotonic clock
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000ull;
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdCallback cb) {
+  epoll_event ev{};
+  ev.events = (events & kReadable ? EPOLLIN : 0u) |
+              (events & kWritable ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    sys_fail("epoll_ctl(ADD)");
+  }
+  fds_[fd] = FdState{events, std::move(cb)};
+}
+
+void EventLoop::want(int fd, std::uint32_t events) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+  if (it->second.events == events) return;
+  epoll_event ev{};
+  ev.events = (events & kReadable ? EPOLLIN : 0u) |
+              (events & kWritable ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    sys_fail("epoll_ctl(MOD)");
+  }
+  it->second.events = events;
+}
+
+void EventLoop::remove_fd(int fd) {
+  if (fds_.erase(fd) == 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+std::uint64_t EventLoop::add_timer(std::uint64_t delay_us, TimerCallback cb) {
+  std::uint64_t id = next_timer_++;
+  std::uint64_t deadline = now_us() + delay_us;
+  timers_[{deadline, id}] = std::move(cb);
+  timer_deadline_[id] = deadline;
+  return id;
+}
+
+void EventLoop::cancel_timer(std::uint64_t id) {
+  auto it = timer_deadline_.find(id);
+  if (it == timer_deadline_.end()) return;
+  timers_.erase({it->second, id});
+  timer_deadline_.erase(it);
+}
+
+void EventLoop::post(std::function<void()> task) {
+  posted_.push_back(std::move(task));
+}
+
+void EventLoop::fire_due_timers() {
+  std::uint64_t now = now_us();
+  while (!timers_.empty() && timers_.begin()->first.first <= now) {
+    auto node = timers_.extract(timers_.begin());
+    timer_deadline_.erase(node.key().second);
+    node.mapped()();
+  }
+}
+
+void EventLoop::drain_posted() {
+  // Tasks posted while draining run on the next iteration (no starvation).
+  std::vector<std::function<void()>> batch;
+  batch.swap(posted_);
+  for (auto& task : batch) task();
+}
+
+void EventLoop::run_once(std::int64_t timeout_us) {
+  drain_posted();
+  fire_due_timers();
+  std::int64_t wait_us = timeout_us;
+  if (!timers_.empty()) {
+    std::uint64_t now = now_us();
+    std::uint64_t next = timers_.begin()->first.first;
+    std::int64_t until_timer =
+        next > now ? static_cast<std::int64_t>(next - now) : 0;
+    if (wait_us < 0 || until_timer < wait_us) wait_us = until_timer;
+  }
+  if (!posted_.empty()) wait_us = 0;
+  int timeout_ms =
+      wait_us < 0 ? -1 : static_cast<int>((wait_us + 999) / 1000);
+  epoll_event events[64];
+  int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return;
+    sys_fail("epoll_wait");
+  }
+  for (int i = 0; i < n; ++i) {
+    auto it = fds_.find(events[i].data.fd);
+    if (it == fds_.end()) continue;  // removed by an earlier callback
+    std::uint32_t ready =
+        ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) ? kReadable
+                                                              : 0u) |
+        ((events[i].events & EPOLLOUT) ? kWritable : 0u);
+    // Copy: the callback may remove_fd(fd) and invalidate the iterator.
+    FdCallback cb = it->second.cb;
+    cb(ready);
+  }
+  fire_due_timers();
+  drain_posted();
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  while (!stopped_) run_once(-1);
+}
+
+}  // namespace dla::net

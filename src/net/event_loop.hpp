@@ -1,0 +1,75 @@
+// Minimal single-threaded epoll event loop for the TCP transport.
+//
+// Drives nonblocking sockets and one-shot timers for dla_noded. This is
+// deliberately the only place in src/net that touches a real clock: actors
+// never see it directly — they see Transport::now(), and on the simulator
+// backends that is virtual time. The loop is single-threaded, so actor
+// handlers keep their run-to-completion semantics on the TCP backend.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace dla::net {
+
+class EventLoop {
+ public:
+  // Bitmask for want(): which readiness events a registered fd cares about.
+  static constexpr std::uint32_t kReadable = 1;
+  static constexpr std::uint32_t kWritable = 2;
+
+  using FdCallback = std::function<void(std::uint32_t events)>;
+  using TimerCallback = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registers `fd` (must be nonblocking); `cb` runs with the ready-event
+  // mask whenever epoll reports it. The loop does not own the fd.
+  void add_fd(int fd, std::uint32_t events, FdCallback cb);
+  // Updates the interest mask for a registered fd.
+  void want(int fd, std::uint32_t events);
+  // Deregisters; safe to call from inside the fd's own callback.
+  void remove_fd(int fd);
+
+  // One-shot timer after `delay_us` microseconds; returns a nonzero id.
+  std::uint64_t add_timer(std::uint64_t delay_us, TimerCallback cb);
+  void cancel_timer(std::uint64_t id);
+
+  // Queues a task to run on the next loop iteration (before polling).
+  void post(std::function<void()> task);
+
+  // Monotonic microseconds since an arbitrary epoch.
+  std::uint64_t now_us() const;
+
+  // Runs until stop() is called. run_once() processes at most one poll
+  // cycle, waiting up to `timeout_us` (-1 = until the next timer/event).
+  void run();
+  void run_once(std::int64_t timeout_us);
+  void stop() { stopped_ = true; }
+
+ private:
+  struct FdState {
+    std::uint32_t events = 0;
+    FdCallback cb;
+  };
+
+  void fire_due_timers();
+  void drain_posted();
+
+  int epoll_fd_ = -1;
+  std::map<int, FdState> fds_;
+  // (deadline_us, id) -> callback; map order gives earliest-first firing
+  // with the id as a deterministic tie-break.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, TimerCallback> timers_;
+  std::map<std::uint64_t, std::uint64_t> timer_deadline_;  // id -> deadline
+  std::uint64_t next_timer_ = 1;
+  std::vector<std::function<void()>> posted_;
+  bool stopped_ = false;
+};
+
+}  // namespace dla::net

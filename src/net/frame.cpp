@@ -1,0 +1,142 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace dla::net {
+
+namespace {
+
+std::uint32_t read_u32_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void write_u32_le(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+const char* to_string(FrameErrorKind kind) {
+  switch (kind) {
+    case FrameErrorKind::BadMagic: return "bad-magic";
+    case FrameErrorKind::BadVersion: return "bad-version";
+    case FrameErrorKind::BadFlags: return "bad-flags";
+    case FrameErrorKind::BadReserved: return "bad-reserved";
+    case FrameErrorKind::Oversize: return "oversize";
+    case FrameErrorKind::Poisoned: return "poisoned";
+  }
+  return "unknown";
+}
+
+Bytes encode_frame(const Message& msg) {
+  Bytes out;
+  out.reserve(kFrameHeaderSize + msg.payload.size());
+  write_u32_le(out, kFrameMagic);
+  out.push_back(kFrameVersion);
+  out.push_back(0);  // flags
+  out.push_back(0);  // reserved lo
+  out.push_back(0);  // reserved hi
+  write_u32_le(out, msg.type);
+  write_u32_le(out, msg.src);
+  write_u32_le(out, msg.dst);
+  write_u32_le(out, static_cast<std::uint32_t>(msg.payload.size()));
+  out.insert(out.end(), msg.payload.begin(), msg.payload.end());
+  return out;
+}
+
+void FrameParser::fail(FrameErrorKind kind, const std::string& detail) {
+  poisoned_ = true;
+  throw FrameError(kind, detail);
+}
+
+void FrameParser::validate_header_prefix() {
+  // Validate each field the moment its last byte arrives, not when the
+  // whole header is in: a hostile stream is refused at the earliest
+  // provably-bad byte.
+  // Magic is a known constant, so every byte is provably bad on its own —
+  // no need to wait for all four before cutting a hostile peer off.
+  while (header_checked_ < 4 && header_have_ > header_checked_) {
+    const std::uint8_t expected =
+        static_cast<std::uint8_t>(kFrameMagic >> (8 * header_checked_));
+    if (header_[header_checked_] != expected) {
+      fail(FrameErrorKind::BadMagic, "not a DLA1 frame");
+    }
+    ++header_checked_;
+  }
+  if (header_checked_ < 5 && header_have_ >= 5) {
+    if (header_[4] != kFrameVersion) {
+      fail(FrameErrorKind::BadVersion,
+           "version " + std::to_string(header_[4]));
+    }
+    header_checked_ = 5;
+  }
+  if (header_checked_ < 6 && header_have_ >= 6) {
+    if (header_[5] != 0) fail(FrameErrorKind::BadFlags, "nonzero flags");
+    header_checked_ = 6;
+  }
+  if (header_checked_ < 8 && header_have_ >= 8) {
+    if (header_[6] != 0 || header_[7] != 0) {
+      fail(FrameErrorKind::BadReserved, "nonzero reserved field");
+    }
+    header_checked_ = 8;
+  }
+  if (header_checked_ < kFrameHeaderSize && header_have_ >= kFrameHeaderSize) {
+    std::size_t payload_len = read_u32_le(header_ + 20);
+    if (payload_len > max_payload_) {
+      fail(FrameErrorKind::Oversize,
+           "payload_len " + std::to_string(payload_len) + " > max " +
+               std::to_string(max_payload_));
+    }
+    header_checked_ = kFrameHeaderSize;
+  }
+}
+
+void FrameParser::feed(const std::uint8_t* data, std::size_t len,
+                       std::vector<Message>& out) {
+  if (poisoned_) {
+    throw FrameError(FrameErrorKind::Poisoned,
+                     "stream already failed; reconnect required");
+  }
+  while (len > 0) {
+    if (!in_payload_) {
+      std::size_t take = std::min(len, kFrameHeaderSize - header_have_);
+      std::memcpy(header_ + header_have_, data, take);
+      header_have_ += take;
+      data += take;
+      len -= take;
+      validate_header_prefix();
+      if (header_have_ < kFrameHeaderSize) return;  // await more header
+      current_.type = read_u32_le(header_ + 8);
+      current_.src = read_u32_le(header_ + 12);
+      current_.dst = read_u32_le(header_ + 16);
+      payload_need_ = read_u32_le(header_ + 20);
+      current_.payload.clear();
+      // Safe to reserve: payload_need_ was bounded against max_payload_.
+      current_.payload.reserve(payload_need_);
+      payload_have_ = 0;
+      in_payload_ = true;
+    }
+    std::size_t take = std::min(len, payload_need_ - payload_have_);
+    current_.payload.insert(current_.payload.end(), data, data + take);
+    payload_have_ += take;
+    data += take;
+    len -= take;
+    if (payload_have_ == payload_need_) {
+      out.push_back(std::move(current_));
+      current_ = Message{};
+      header_have_ = 0;
+      header_checked_ = 0;
+      payload_need_ = 0;
+      payload_have_ = 0;
+      in_payload_ = false;
+      ++frames_parsed_;
+    }
+  }
+}
+
+}  // namespace dla::net

@@ -1,0 +1,106 @@
+// Length-prefixed wire framing for the TCP transport.
+//
+// Every message crosses the network as a fixed 24-byte header followed by
+// the payload:
+//
+//   offset  size  field        validation
+//        0     4  magic        must be kFrameMagic ("DLA1")
+//        4     1  version      must be kFrameVersion
+//        5     1  flags        must be 0 (reserved for future use)
+//        6     2  reserved     must be 0
+//        8     4  type         MsgType value (opaque to the framing layer)
+//       12     4  src          sender NodeId
+//       16     4  dst          destination NodeId
+//       20     4  payload_len  must be <= max_payload
+//
+// All integers little-endian, matching net::Writer. FrameParser is an
+// incremental state machine: bytes are fed in arbitrary chunks (whatever
+// recv() returned) and each header field is validated as soon as its bytes
+// arrive — a hostile peer is cut off at the earliest provably-bad byte,
+// before any payload allocation. A frame claiming more than max_payload
+// bytes is rejected outright, so a 24-byte header can never demand a
+// multi-gigabyte buffer. Errors carry an explicit taxonomy (FrameErrorKind)
+// and poison the parser: a TCP byte stream has no frame sync to recover to,
+// so the connection must be dropped (see docs/TRANSPORT.md).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace dla::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x31414C44;  // "DLA1" LE
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 24;
+// Upper bound on a single payload; generous for every protocol message the
+// cluster emits (ring chunks are bounded by set_chunk_size) while keeping a
+// hostile length field from reserving gigabytes.
+inline constexpr std::size_t kDefaultMaxFramePayload = 16 * 1024 * 1024;
+
+enum class FrameErrorKind {
+  BadMagic,      // first four bytes are not "DLA1"
+  BadVersion,    // protocol version this build does not speak
+  BadFlags,      // nonzero flags byte (none are defined yet)
+  BadReserved,   // nonzero reserved field
+  Oversize,      // payload_len exceeds the configured maximum
+  Poisoned,      // feed() after a previous error on this stream
+};
+
+const char* to_string(FrameErrorKind kind);
+
+class FrameError : public std::runtime_error {
+ public:
+  FrameError(FrameErrorKind kind, const std::string& detail)
+      : std::runtime_error(std::string("FrameParser: ") + to_string(kind) +
+                           ": " + detail),
+        kind_(kind) {}
+  FrameErrorKind kind() const { return kind_; }
+
+ private:
+  FrameErrorKind kind_;
+};
+
+// Serialises a message into header + payload wire bytes.
+Bytes encode_frame(const Message& msg);
+
+class FrameParser {
+ public:
+  explicit FrameParser(std::size_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  // Feeds a chunk of stream bytes; every completed frame is appended to
+  // `out`. Throws FrameError at the earliest byte that proves the stream
+  // malformed; the parser is then poisoned and all further feeds throw.
+  void feed(const std::uint8_t* data, std::size_t len,
+            std::vector<Message>& out);
+  void feed(const Bytes& data, std::vector<Message>& out) {
+    feed(data.data(), data.size(), out);
+  }
+
+  // True while a frame is partially buffered — an EOF here means the peer
+  // hung up mid-frame.
+  bool mid_frame() const { return header_have_ > 0 || payload_have_ > 0; }
+  bool poisoned() const { return poisoned_; }
+  std::uint64_t frames_parsed() const { return frames_parsed_; }
+
+ private:
+  void validate_header_prefix();  // checks fields whose bytes have arrived
+  [[noreturn]] void fail(FrameErrorKind kind, const std::string& detail);
+
+  std::size_t max_payload_;
+  std::uint8_t header_[kFrameHeaderSize] = {};
+  std::size_t header_have_ = 0;
+  std::size_t header_checked_ = 0;  // bytes already validated
+  Message current_;
+  std::size_t payload_need_ = 0;
+  std::size_t payload_have_ = 0;
+  bool in_payload_ = false;
+  bool poisoned_ = false;
+  std::uint64_t frames_parsed_ = 0;
+};
+
+}  // namespace dla::net

@@ -8,8 +8,6 @@
 
 namespace dla::net {
 
-void Node::on_timer(Simulator&, std::uint64_t) {}
-
 Simulator::Simulator() {
   latency_ = [](NodeId, NodeId, std::size_t bytes) -> SimTime {
     return 100 + static_cast<SimTime>(bytes) * 8 / 1000;  // 100us + ~1 Gbps
@@ -17,9 +15,10 @@ Simulator::Simulator() {
 }
 
 NodeId Simulator::add_node(Node& node) {
-  node.id_ = static_cast<NodeId>(nodes_.size());
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  assign_id(node, id);
   nodes_.push_back(&node);
-  return node.id_;
+  return id;
 }
 
 void Simulator::crash(NodeId node) { crashed_.insert(node); }
@@ -141,6 +140,7 @@ bool Simulator::step() {
   } else {
     ++stats_.messages_delivered;
     if (trace_) trace_->on_deliver(ev.at, ev.seq, ev.msg);
+    if (deliver_hook_) deliver_hook_(ev.msg);
     nodes_[dst]->on_message(*this, ev.msg);
   }
   return true;

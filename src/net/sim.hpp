@@ -22,40 +22,12 @@
 #include <vector>
 
 #include "net/bytes.hpp"
+#include "net/transport.hpp"
 
 namespace dla::net {
 
-using NodeId = std::uint32_t;
-using SimTime = std::uint64_t;  // microseconds
-
-struct Message {
-  NodeId src = 0;
-  NodeId dst = 0;
-  std::uint32_t type = 0;
-  Bytes payload;
-};
-
-class Simulator;
 class ChaosEngine;
 class TraceRecorder;
-
-// A protocol actor. Handlers run to completion (run-to-completion actor
-// model); they may send messages and set timers but must not block.
-class Node {
- public:
-  virtual ~Node() = default;
-
-  NodeId id() const { return id_; }
-
-  // Called when a message addressed to this node is delivered.
-  virtual void on_message(Simulator& sim, const Message& msg) = 0;
-  // Called when a timer set via Simulator::set_timer fires.
-  virtual void on_timer(Simulator& sim, std::uint64_t timer_id);
-
- private:
-  friend class Simulator;
-  NodeId id_ = 0;
-};
 
 // Latency model: microseconds from src to dst for a payload of `bytes`.
 using LatencyModel =
@@ -83,7 +55,7 @@ struct NetworkStats {
   std::map<std::pair<NodeId, NodeId>, LinkStats> per_link;
 };
 
-class Simulator {
+class Simulator : public Transport {
  public:
   Simulator();
 
@@ -107,6 +79,11 @@ class Simulator {
   void set_chaos(ChaosEngine* chaos) { chaos_ = chaos; }
   // Optional trace recorder: observes every delivered message. Non-owning.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
+  // Optional hook invoked for every delivered (non-timer) message, before
+  // the destination actor runs. Tests use it to capture live protocol
+  // payloads (e.g. to build the truncation corpus from real traffic).
+  using DeliverHook = std::function<void(const Message&)>;
+  void set_deliver_hook(DeliverHook hook) { deliver_hook_ = std::move(hook); }
 
   // Fault injection.
   void crash(NodeId node);            // node stops receiving permanently
@@ -118,20 +95,21 @@ class Simulator {
   void heal_partition();
 
   // Queue a message for delivery (latency model decides when).
-  void send(NodeId src, NodeId dst, std::uint32_t type, Bytes payload);
+  void send(NodeId src, NodeId dst, std::uint32_t type,
+            Bytes payload) override;
 
   // One-shot timer for `node` after `delay` microseconds; returns timer id.
-  std::uint64_t set_timer(NodeId node, SimTime delay);
+  std::uint64_t set_timer(NodeId node, SimTime delay) override;
   // Cancels a pending timer: it neither fires nor advances the clock when
   // its slot drains. Unknown/already-fired ids are ignored (and leave no
   // bookkeeping behind).
-  void cancel_timer(std::uint64_t timer_id);
+  void cancel_timer(std::uint64_t timer_id) override;
   // Cancelled-but-not-yet-drained timer entries; bounded by pending timers.
   std::size_t cancelled_timer_backlog() const {
     return cancelled_timers_.size();
   }
 
-  SimTime now() const { return now_; }
+  SimTime now() const override { return now_; }
   const NetworkStats& stats() const { return stats_; }
   void reset_stats() { stats_ = NetworkStats{}; }
 
@@ -173,6 +151,7 @@ class Simulator {
   std::set<std::uint64_t> cancelled_timers_;
   ChaosEngine* chaos_ = nullptr;
   TraceRecorder* trace_ = nullptr;
+  DeliverHook deliver_hook_;
   NetworkStats stats_;
 };
 

@@ -1,0 +1,131 @@
+#include "net/tcp_relay.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace dla::net {
+
+namespace {
+
+[[noreturn]] void sys_fail(const char* what) {
+  throw std::runtime_error(std::string("TcpRelayTransport: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    sys_fail("fcntl(O_NONBLOCK)");
+  }
+}
+
+}  // namespace
+
+TcpRelayTransport::TcpRelayTransport() {
+  // One loopback TCP connection, established eagerly: listen on an
+  // ephemeral port, connect, accept, then drop the listener.
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) sys_fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(listener);
+    sys_fail("bind");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    ::close(listener);
+    sys_fail("getsockname");
+  }
+  if (::listen(listener, 1) < 0) {
+    ::close(listener);
+    sys_fail("listen");
+  }
+  write_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (write_fd_ < 0) {
+    ::close(listener);
+    sys_fail("socket(client)");
+  }
+  if (::connect(write_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listener);
+    sys_fail("connect");
+  }
+  read_fd_ = ::accept(listener, nullptr, nullptr);
+  ::close(listener);
+  if (read_fd_ < 0) sys_fail("accept");
+  set_nonblocking(write_fd_);
+  set_nonblocking(read_fd_);
+  int one = 1;
+  ::setsockopt(write_fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpRelayTransport::~TcpRelayTransport() {
+  if (write_fd_ >= 0) ::close(write_fd_);
+  if (read_fd_ >= 0) ::close(read_fd_);
+}
+
+Message TcpRelayTransport::round_trip(const Bytes& wire) {
+  // Interleave nonblocking writes and reads: a frame larger than the
+  // socket buffers would deadlock a write-everything-then-read loop, so
+  // drain the read side whenever the write side stalls.
+  std::size_t written = 0;
+  std::uint8_t buf[64 * 1024];
+  while (decoded_.empty()) {
+    bool progressed = false;
+    if (written < wire.size()) {
+      ssize_t n = ::write(write_fd_, wire.data() + written,
+                          wire.size() - written);
+      if (n > 0) {
+        written += static_cast<std::size_t>(n);
+        progressed = true;
+      } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR) {
+        sys_fail("write");
+      }
+    }
+    ssize_t n = ::read(read_fd_, buf, sizeof(buf));
+    if (n > 0) {
+      // The kernel decides the chunk boundaries here, so the incremental
+      // parser sees realistic partial frames; the decoded message is
+      // chunking-independent, which keeps the trace deterministic.
+      parser_.feed(buf, static_cast<std::size_t>(n), decoded_);
+      progressed = true;
+    } else if (n == 0) {
+      sys_fail("read (peer closed)");
+    } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      sys_fail("read");
+    }
+    if (!progressed && decoded_.empty()) {
+      // Neither side is ready; block briefly on both directions.
+      pollfd fds[2] = {{write_fd_, POLLOUT, 0}, {read_fd_, POLLIN, 0}};
+      nfds_t count = written < wire.size() ? 2 : 1;
+      pollfd* watch = written < wire.size() ? fds : fds + 1;
+      if (::poll(watch, count, 1000) < 0 && errno != EINTR) sys_fail("poll");
+    }
+  }
+  Message msg = std::move(decoded_.front());
+  decoded_.erase(decoded_.begin());
+  return msg;
+}
+
+void TcpRelayTransport::send(NodeId src, NodeId dst, std::uint32_t type,
+                             Bytes payload) {
+  Message out{src, dst, type, std::move(payload)};
+  Message back = round_trip(encode_frame(out));
+  Simulator::send(back.src, back.dst, back.type, std::move(back.payload));
+}
+
+}  // namespace dla::net

@@ -1,0 +1,44 @@
+// Simulator variant that routes every frame through a real TCP socket.
+//
+// TcpRelayTransport is the differential bridge between the deterministic
+// simulator and the production framing code: each send() is encoded with
+// encode_frame, written to one end of a real loopback TCP connection,
+// read back from the other end in whatever chunk sizes the kernel returns,
+// reassembled by the hardened FrameParser, and only then handed to the
+// Simulator's deterministic scheduler. Delivery order, latency modelling,
+// chaos injection and trace digests are all untouched — so a protocol run
+// over this transport must produce a TraceRecorder digest bit-identical to
+// the plain simulator, while still exercising the real OS byte path and
+// the incremental parser on every single protocol message
+// (see docs/TRANSPORT.md, "Differential methodology").
+#pragma once
+
+#include "net/frame.hpp"
+#include "net/sim.hpp"
+
+namespace dla::net {
+
+class TcpRelayTransport : public Simulator {
+ public:
+  TcpRelayTransport();
+  ~TcpRelayTransport() override;
+
+  TcpRelayTransport(const TcpRelayTransport&) = delete;
+  TcpRelayTransport& operator=(const TcpRelayTransport&) = delete;
+
+  void send(NodeId src, NodeId dst, std::uint32_t type,
+            Bytes payload) override;
+
+  // Frames that completed the socket round trip (== messages sent).
+  std::uint64_t frames_relayed() const { return parser_.frames_parsed(); }
+
+ private:
+  Message round_trip(const Bytes& wire);
+
+  int write_fd_ = -1;  // client end: frames are written here
+  int read_fd_ = -1;   // accepted end: frames are read back here
+  FrameParser parser_;
+  std::vector<Message> decoded_;
+};
+
+}  // namespace dla::net

@@ -1,0 +1,273 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace dla::net {
+
+namespace {
+
+[[noreturn]] void sys_fail(const char* what) {
+  throw std::runtime_error(std::string("TcpTransport: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    sys_fail("fcntl(O_NONBLOCK)");
+  }
+}
+
+sockaddr_in endpoint_of(std::uint16_t base_port, NodeId id) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(base_port + id));
+  return addr;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(std::uint16_t base_port, std::size_t max_payload)
+    : base_port_(base_port), max_payload_(max_payload) {}
+
+TcpTransport::~TcpTransport() {
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  for (auto& [id, fd] : listeners_) ::close(fd);
+}
+
+void TcpTransport::host(Node& node, NodeId id) {
+  if (nodes_.contains(id)) {
+    throw std::invalid_argument("TcpTransport::host: id already hosted");
+  }
+  assign_id(node, id);
+  nodes_[id] = &node;
+  open_listener(id);
+}
+
+void TcpTransport::open_listener(NodeId id) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket(listener)");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = endpoint_of(base_port_, id);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    sys_fail("bind(listener)");
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    sys_fail("listen");
+  }
+  set_nonblocking(fd);
+  listeners_[id] = fd;
+  loop_.add_fd(fd, EventLoop::kReadable,
+               [this, fd](std::uint32_t) { accept_ready(fd); });
+}
+
+void TcpTransport::accept_ready(int listener_fd) {
+  for (;;) {
+    int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      sys_fail("accept");
+    }
+    set_nonblocking(fd);
+    auto conn = std::make_unique<Connection>(max_payload_);
+    conn->fd = fd;
+    conn->connected = true;
+    conns_[fd] = std::move(conn);
+    ++stats_.connections_accepted;
+    loop_.add_fd(fd, EventLoop::kReadable, [this, fd](std::uint32_t events) {
+      connection_ready(fd, events);
+    });
+  }
+}
+
+TcpTransport::Connection& TcpTransport::outbound_connection(NodeId dst) {
+  auto it = outbound_.find(dst);
+  if (it != outbound_.end()) return *conns_.at(it->second);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket(outbound)");
+  set_nonblocking(fd);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr = endpoint_of(base_port_, dst);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+      errno != EINPROGRESS) {
+    ::close(fd);
+    sys_fail("connect");
+  }
+  auto conn = std::make_unique<Connection>(max_payload_);
+  conn->fd = fd;
+  conn->connected = false;  // confirmed by the first EPOLLOUT
+  conn->peer = dst;
+  conn->outbound = true;
+  Connection& ref = *conn;
+  conns_[fd] = std::move(conn);
+  outbound_[dst] = fd;
+  loop_.add_fd(fd, EventLoop::kReadable | EventLoop::kWritable,
+               [this, fd](std::uint32_t events) {
+                 connection_ready(fd, events);
+               });
+  return ref;
+}
+
+void TcpTransport::send(NodeId src, NodeId dst, std::uint32_t type,
+                        Bytes payload) {
+  ++stats_.frames_sent;
+  auto local = nodes_.find(dst);
+  if (local != nodes_.end()) {
+    // Local delivery still goes through the loop so the sending handler
+    // runs to completion before the destination handler starts.
+    auto msg = std::make_shared<Message>(
+        Message{src, dst, type, std::move(payload)});
+    loop_.post([this, msg] { deliver(*msg); });
+    return;
+  }
+  Message msg{src, dst, type, std::move(payload)};
+  Bytes wire = encode_frame(msg);
+  Connection& conn = outbound_connection(dst);
+  conn.write_buf.insert(conn.write_buf.end(), wire.begin(), wire.end());
+  if (conn.connected) flush_writes(conn);
+  if (conn.write_pos < conn.write_buf.size()) {
+    loop_.want(conn.fd, EventLoop::kReadable | EventLoop::kWritable);
+  }
+}
+
+void TcpTransport::flush_writes(Connection& conn) {
+  while (conn.write_pos < conn.write_buf.size()) {
+    ssize_t n = ::write(conn.fd, conn.write_buf.data() + conn.write_pos,
+                        conn.write_buf.size() - conn.write_pos);
+    if (n > 0) {
+      conn.write_pos += static_cast<std::size_t>(n);
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      close_connection(conn.fd, true);
+      return;
+    }
+  }
+  if (conn.write_pos == conn.write_buf.size()) {
+    conn.write_buf.clear();
+    conn.write_pos = 0;
+    loop_.want(conn.fd, EventLoop::kReadable);
+  }
+}
+
+void TcpTransport::connection_ready(int fd, std::uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+  if ((events & EventLoop::kWritable) != 0) {
+    if (!conn.connected) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        close_connection(fd, true);
+        return;
+      }
+      conn.connected = true;
+    }
+    flush_writes(conn);
+    if (conns_.find(fd) == conns_.end()) return;  // closed by flush
+  }
+  if ((events & EventLoop::kReadable) != 0) {
+    std::uint8_t buf[64 * 1024];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        std::vector<Message> frames;
+        try {
+          conn.parser.feed(buf, static_cast<std::size_t>(n), frames);
+        } catch (const FrameError&) {
+          // Hostile or corrupt stream: count it and cut the connection.
+          // The parser is poisoned — there is no resync point in a TCP
+          // byte stream, so reconnecting is the peer's only path back.
+          ++stats_.frames_rejected;
+          close_connection(fd, true);
+          return;
+        }
+        for (Message& msg : frames) deliver(msg);
+        if (conns_.find(fd) == conns_.end()) return;
+      } else if (n == 0) {
+        close_connection(fd, conn.parser.mid_frame());
+        return;
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      } else if (errno == EINTR) {
+        continue;
+      } else {
+        close_connection(fd, true);
+        return;
+      }
+    }
+  }
+}
+
+void TcpTransport::close_connection(int fd, bool failed) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  if (failed) ++stats_.connections_dropped;
+  if (it->second->outbound) outbound_.erase(it->second->peer);
+  loop_.remove_fd(fd);
+  ::close(fd);
+  conns_.erase(it);
+}
+
+void TcpTransport::deliver(const Message& msg) {
+  auto it = nodes_.find(msg.dst);
+  if (it == nodes_.end()) {
+    // A frame for an id this process does not host: routing error or
+    // hostile dst field. Never dispatch it.
+    ++stats_.frames_misrouted;
+    return;
+  }
+  ++stats_.frames_delivered;
+  it->second->on_message(*this, msg);
+}
+
+std::uint64_t TcpTransport::set_timer(NodeId node, SimTime delay) {
+  std::uint64_t id = next_timer_++;
+  std::uint64_t loop_id = loop_.add_timer(delay, [this, node, id] {
+    timer_ids_.erase(id);
+    auto it = nodes_.find(node);
+    if (it != nodes_.end()) it->second->on_timer(*this, id);
+  });
+  timer_ids_[id] = loop_id;
+  return id;
+}
+
+void TcpTransport::cancel_timer(std::uint64_t timer_id) {
+  auto it = timer_ids_.find(timer_id);
+  if (it == timer_ids_.end()) return;
+  loop_.cancel_timer(it->second);
+  timer_ids_.erase(it);
+}
+
+bool TcpTransport::run_until(const std::function<bool()>& done,
+                             std::uint64_t timeout_us) {
+  std::uint64_t deadline = loop_.now_us() + timeout_us;
+  while (!done()) {
+    std::uint64_t now = loop_.now_us();
+    if (now >= deadline) return false;
+    std::uint64_t slice = std::min<std::uint64_t>(deadline - now, 50 * 1000);
+    loop_.run_once(static_cast<std::int64_t>(slice));
+  }
+  return true;
+}
+
+}  // namespace dla::net

@@ -1,0 +1,99 @@
+// Real TCP transport backend for daemon-hosted actors.
+//
+// Each process hosts one or more Node actors. A NodeId maps to a loopback
+// TCP endpoint through a static directory (base_port + id on 127.0.0.1),
+// so any daemon can reach any actor with no discovery protocol; the
+// deterministic cluster bootstrap (audit/bootstrap.hpp) guarantees every
+// process agrees on the id assignment. One listener per hosted actor id,
+// lazy outbound connections with per-connection write buffering, and every
+// inbound byte goes through the hardened FrameParser — a malformed stream
+// closes that connection and is counted, never crashes the daemon
+// (see docs/TRANSPORT.md).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/transport.hpp"
+
+namespace dla::net {
+
+class TcpTransport : public Transport {
+ public:
+  struct Stats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_delivered = 0;
+    std::uint64_t frames_rejected = 0;   // framing-layer parse failures
+    std::uint64_t frames_misrouted = 0;  // delivered for a non-hosted id
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_dropped = 0;
+  };
+
+  // The directory: actor `id` listens on 127.0.0.1:(base_port + id).
+  TcpTransport(std::uint16_t base_port,
+               std::size_t max_payload = kDefaultMaxFramePayload);
+  ~TcpTransport() override;
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  // Hosts `node` under the cluster-wide id `id` and opens its listener.
+  // Unlike Simulator::add_node the id is caller-assigned: every process
+  // must agree on the numbering, so it comes from the shared config.
+  void host(Node& node, NodeId id);
+  bool hosts(NodeId id) const { return nodes_.contains(id); }
+
+  // Transport interface. send() to a non-hosted id opens (or reuses) a
+  // connection to the destination daemon; send() to a hosted id is posted
+  // to the loop and delivered locally on the next iteration.
+  void send(NodeId src, NodeId dst, std::uint32_t type,
+            Bytes payload) override;
+  std::uint64_t set_timer(NodeId node, SimTime delay) override;
+  void cancel_timer(std::uint64_t timer_id) override;
+  SimTime now() const override { return loop_.now_us(); }
+
+  // Runs the event loop until `done` returns true (checked once per poll
+  // cycle) or `timeout_us` elapses. Returns true when `done` was reached.
+  bool run_until(const std::function<bool()>& done, std::uint64_t timeout_us);
+  // Runs forever (until stop()).
+  void run() { loop_.run(); }
+  void stop() { loop_.stop(); }
+
+  EventLoop& loop() { return loop_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    bool connected = false;  // outbound: connect() completed
+    Bytes write_buf;
+    std::size_t write_pos = 0;
+    FrameParser parser;
+    std::uint32_t peer = 0;   // dst id for outbound; 0 for inbound
+    bool outbound = false;
+
+    explicit Connection(std::size_t max_payload) : parser(max_payload) {}
+  };
+
+  void open_listener(NodeId id);
+  Connection& outbound_connection(NodeId dst);
+  void accept_ready(int listener_fd);
+  void connection_ready(int fd, std::uint32_t events);
+  void flush_writes(Connection& conn);
+  void close_connection(int fd, bool failed);
+  void deliver(const Message& msg);
+
+  std::uint16_t base_port_;
+  std::size_t max_payload_;
+  EventLoop loop_;
+  std::map<NodeId, Node*> nodes_;
+  std::map<NodeId, int> listeners_;              // hosted id -> listener fd
+  std::map<int, std::unique_ptr<Connection>> conns_;  // fd -> state
+  std::map<NodeId, int> outbound_;               // dst id -> fd
+  std::map<std::uint64_t, std::uint64_t> timer_ids_;  // transport -> loop id
+  std::uint64_t next_timer_ = 1;
+  Stats stats_;
+};
+
+}  // namespace dla::net

@@ -1,0 +1,74 @@
+// Message-passing substrate the protocol actors run on.
+//
+// Node actors are written against this interface only: they receive typed
+// messages, send typed messages, and arm one-shot timers, without knowing
+// whether the substrate is the deterministic discrete-event simulator
+// (net/sim.hpp), the simulator with a real-TCP relay underneath it
+// (net/tcp_relay.hpp), or the epoll-driven TCP transport the dla_noded
+// daemon hosts them behind (net/tcp_transport.hpp). Keeping the actors
+// transport-agnostic is what lets the simulator act as a differential
+// oracle for the real network stack: the same actor code runs on both, and
+// trace digests must match (see docs/TRANSPORT.md).
+#pragma once
+
+#include <cstdint>
+
+#include "net/bytes.hpp"
+
+namespace dla::net {
+
+using NodeId = std::uint32_t;
+using SimTime = std::uint64_t;  // microseconds
+
+struct Message {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t type = 0;
+  Bytes payload;
+};
+
+class Transport;
+
+// A protocol actor. Handlers run to completion (run-to-completion actor
+// model); they may send messages and set timers but must not block.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  NodeId id() const { return id_; }
+
+  // Called when a message addressed to this node is delivered.
+  virtual void on_message(Transport& net, const Message& msg) = 0;
+  // Called when a timer set via Transport::set_timer fires.
+  virtual void on_timer(Transport& /*net*/, std::uint64_t /*timer_id*/) {}
+
+ private:
+  friend class Transport;
+  NodeId id_ = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Queue a message for delivery. Backends may throw std::out_of_range for
+  // destinations they know to be unroutable; a remote backend cannot know
+  // and delivers best-effort.
+  virtual void send(NodeId src, NodeId dst, std::uint32_t type,
+                    Bytes payload) = 0;
+
+  // One-shot timer for `node` after `delay` microseconds; returns timer id.
+  virtual std::uint64_t set_timer(NodeId node, SimTime delay) = 0;
+  // Cancels a pending timer; unknown/already-fired ids are ignored.
+  virtual void cancel_timer(std::uint64_t timer_id) = 0;
+
+  // Current transport time in microseconds (virtual time on the simulator,
+  // monotonic wall-clock on the TCP backend).
+  virtual SimTime now() const = 0;
+
+ protected:
+  // Backends assign actor ids when an actor is registered with them.
+  static void assign_id(Node& node, NodeId id) { node.id_ = id; }
+};
+
+}  // namespace dla::net

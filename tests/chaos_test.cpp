@@ -17,7 +17,7 @@ namespace {
 
 class Sink : public Node {
  public:
-  void on_message(Simulator&, const Message& msg) override {
+  void on_message(Transport&, const Message& msg) override {
     received.push_back(msg);
   }
   std::vector<Message> received;
@@ -28,7 +28,7 @@ class Sink : public Node {
 class RingHop : public Node {
  public:
   explicit RingHop(NodeId next) : next_(next) {}
-  void on_message(Simulator& sim, const Message& msg) override {
+  void on_message(Transport& sim, const Message& msg) override {
     if (msg.payload[0] == 0) return;
     Bytes payload = msg.payload;
     --payload[0];

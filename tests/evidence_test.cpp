@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "audit/member_node.hpp"
+#include "net/sim.hpp"
 
 namespace dla::audit {
 namespace {

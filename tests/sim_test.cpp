@@ -11,10 +11,10 @@ namespace {
 // Records every delivery for inspection.
 class Recorder : public Node {
  public:
-  void on_message(Simulator&, const Message& msg) override {
+  void on_message(Transport&, const Message& msg) override {
     received.push_back(msg);
   }
-  void on_timer(Simulator&, std::uint64_t timer_id) override {
+  void on_timer(Transport&, std::uint64_t timer_id) override {
     timers.push_back(timer_id);
   }
   std::vector<Message> received;
@@ -25,7 +25,7 @@ class Recorder : public Node {
 class Forwarder : public Node {
  public:
   explicit Forwarder(NodeId next) : next_(next) {}
-  void on_message(Simulator& sim, const Message& msg) override {
+  void on_message(Transport& sim, const Message& msg) override {
     ++hops;
     if (msg.payload[0] > 0) {
       Bytes payload = msg.payload;

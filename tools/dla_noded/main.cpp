@@ -1,0 +1,290 @@
+// dla_noded — hosts DLA cluster actors behind the real TCP transport.
+//
+// Two roles, selected by flags:
+//
+//   --index=<i>   Node daemon: hosts DLA node P_i behind an epoll loop and
+//                 serves until --run-ms elapses (safety bound) or SIGTERM.
+//
+//   --drive       Driver: hosts the blind TTP and every user node, then
+//                 runs a log -> query -> aggregate workload against the
+//                 node daemons and exits 0 only if every step verified.
+//                 With --hostile it first feeds a malformed-frame corpus to
+//                 P_0's listener over raw TCP and asserts the cluster still
+//                 answers queries afterwards (the parser must reject, count,
+//                 and close — never crash).
+//
+// All processes derive the identical shared config from the same flags via
+// audit/bootstrap.hpp; there is no coordination traffic. See
+// docs/TRANSPORT.md and tests/transport_e2e.sh for the 4-node loopback
+// cluster this binary is exercised in by CI.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "audit/bootstrap.hpp"
+#include "audit/metrics.hpp"
+#include "logm/workload.hpp"
+#include "net/frame.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace {
+
+using namespace dla;
+
+struct Flags {
+  std::optional<std::size_t> index;  // DLA node daemon when set
+  bool drive = false;
+  bool hostile = false;
+  bool certify = false;
+  std::size_t dla_count = 4;
+  std::size_t users = 1;
+  std::uint64_t seed = 1;
+  std::uint16_t base_port = 45000;
+  std::uint64_t run_ms = 60000;
+};
+
+std::optional<Flags> parse_flags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> std::optional<std::string> {
+      std::size_t n = std::strlen(prefix);
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(n);
+      return std::nullopt;
+    };
+    if (auto v = value("--index=")) {
+      f.index = std::stoul(*v);
+    } else if (arg == "--drive") {
+      f.drive = true;
+    } else if (arg == "--hostile") {
+      f.hostile = true;
+    } else if (arg == "--certify") {
+      f.certify = true;
+    } else if (auto v = value("--dla-count=")) {
+      f.dla_count = std::stoul(*v);
+    } else if (auto v = value("--users=")) {
+      f.users = std::stoul(*v);
+    } else if (auto v = value("--seed=")) {
+      f.seed = std::stoull(*v);
+    } else if (auto v = value("--base-port=")) {
+      f.base_port = static_cast<std::uint16_t>(std::stoul(*v));
+    } else if (auto v = value("--run-ms=")) {
+      f.run_ms = std::stoull(*v);
+    } else {
+      std::fprintf(stderr, "dla_noded: unknown flag '%s'\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  if (!f.index.has_value() && !f.drive) {
+    std::fprintf(stderr, "dla_noded: need --index=<i> or --drive\n");
+    return std::nullopt;
+  }
+  if (f.index.has_value() && *f.index >= f.dla_count) {
+    std::fprintf(stderr, "dla_noded: --index out of range\n");
+    return std::nullopt;
+  }
+  return f;
+}
+
+audit::BootstrapOptions bootstrap_options(const Flags& f) {
+  audit::BootstrapOptions opt;
+  opt.schema = logm::paper_schema();
+  opt.dla_count = f.dla_count;
+  opt.user_count = f.users;
+  opt.seed = f.seed;
+  opt.auditor_users = true;  // driver queries verify unfiltered results
+  opt.certify_reports = f.certify;
+  return opt;
+}
+
+int run_node(const Flags& flags) {
+  audit::BootstrapOptions opt = bootstrap_options(flags);
+  audit::Bootstrap boot = audit::make_bootstrap(opt);
+  auto node = audit::make_dla_node(boot, opt, *flags.index);
+  net::TcpTransport transport(flags.base_port);
+  transport.host(*node, audit::Bootstrap::dla_id(*flags.index));
+  std::fprintf(stderr, "dla_noded: P%zu serving on 127.0.0.1:%u\n",
+               *flags.index,
+               flags.base_port + static_cast<unsigned>(*flags.index));
+  // Serve until the safety bound; the e2e harness SIGTERMs us sooner.
+  transport.run_until([] { return false; }, flags.run_ms * 1000);
+  const net::TcpTransport::Stats& stats = transport.stats();
+  std::fprintf(stderr,
+               "dla_noded: P%zu exiting (delivered=%llu rejected=%llu)\n",
+               *flags.index,
+               static_cast<unsigned long long>(stats.frames_delivered),
+               static_cast<unsigned long long>(stats.frames_rejected));
+  return 0;
+}
+
+// Feeds one malformed byte string to P_0's listener over a raw socket. The
+// daemon must reject the stream (close the connection) without dying; the
+// caller re-verifies service afterwards.
+bool send_raw(std::uint16_t port, const std::vector<std::uint8_t>& bytes) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n <= 0) break;  // peer already closed on us: that is a rejection
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return true;
+}
+
+void hostile_phase(const Flags& flags) {
+  const std::uint16_t port = flags.base_port;  // P_0
+  // Corpus: bad magic, bad version, bad flags, bad reserved, oversize
+  // payload_len, a truncated header, and plain garbage. Each case must be
+  // rejected by the incremental parser at the earliest offending byte.
+  std::vector<std::vector<std::uint8_t>> corpus;
+  corpus.push_back({0xde, 0xad, 0xbe, 0xef});  // bad magic, truncated
+  {
+    net::Message msg{1, 0, 7, net::Bytes{1, 2, 3}};
+    net::Bytes good = net::encode_frame(msg);
+    std::vector<std::uint8_t> bad(good.begin(), good.end());
+    bad[4] = 0x7f;  // version
+    corpus.push_back(bad);
+    bad = std::vector<std::uint8_t>(good.begin(), good.end());
+    bad[5] = 0xff;  // flags
+    corpus.push_back(bad);
+    bad = std::vector<std::uint8_t>(good.begin(), good.end());
+    bad[6] = 0x01;  // reserved
+    corpus.push_back(bad);
+    bad = std::vector<std::uint8_t>(good.begin(), good.end());
+    bad[20] = 0xff;  // payload_len -> far beyond the frame cap
+    bad[21] = 0xff;
+    bad[22] = 0xff;
+    bad[23] = 0x7f;
+    corpus.push_back(bad);
+    corpus.push_back(
+        std::vector<std::uint8_t>(good.begin(), good.begin() + 11));
+  }
+  {
+    std::vector<std::uint8_t> garbage(512);
+    for (std::size_t i = 0; i < garbage.size(); ++i) {
+      garbage[i] = static_cast<std::uint8_t>(i * 131 + 17);
+    }
+    corpus.push_back(garbage);
+  }
+  std::size_t sent = 0;
+  for (const auto& bytes : corpus) {
+    if (send_raw(port, bytes)) ++sent;
+  }
+  std::fprintf(stderr, "dla_noded: hostile corpus sent (%zu/%zu streams)\n",
+               sent, corpus.size());
+}
+
+int run_driver(const Flags& flags) {
+  audit::BootstrapOptions opt = bootstrap_options(flags);
+  audit::Bootstrap boot = audit::make_bootstrap(opt);
+  net::TcpTransport transport(flags.base_port);
+
+  auto ttp = audit::make_ttp_node(boot);
+  transport.host(*ttp, audit::Bootstrap::ttp_id(opt));
+  std::vector<std::unique_ptr<audit::UserNode>> users;
+  for (std::size_t j = 0; j < flags.users; ++j) {
+    users.push_back(audit::make_user_node(boot, opt, j));
+    transport.host(*users.back(), audit::Bootstrap::user_id(opt, j));
+  }
+
+  const std::uint64_t step_timeout_us = 20 * 1000 * 1000;
+  auto step = [&](const char* what, const std::function<bool()>& done) {
+    if (!transport.run_until(done, step_timeout_us)) {
+      std::fprintf(stderr, "dla_noded: FAIL %s timed out\n", what);
+      std::exit(1);
+    }
+    std::fprintf(stderr, "dla_noded: ok %s\n", what);
+  };
+
+  // Phase 1: confidential logging of the paper's Table 1 rows.
+  std::vector<logm::Glsn> glsns;
+  std::size_t failed_logs = 0;
+  const auto records = logm::paper_table1_records();
+  for (const auto& rec : records) {
+    users[0]->log_record(transport, rec.attrs,
+                         [&](std::optional<logm::Glsn> glsn) {
+                           if (glsn.has_value()) {
+                             glsns.push_back(*glsn);
+                           } else {
+                             ++failed_logs;
+                           }
+                         });
+  }
+  step("log", [&] { return glsns.size() + failed_logs == records.size(); });
+  if (failed_logs != 0) {
+    std::fprintf(stderr, "dla_noded: FAIL %zu log writes refused\n",
+                 failed_logs);
+    return 1;
+  }
+
+  // Phase 2: audit query spanning two owner nodes (AND -> secure set).
+  auto run_query = [&](const std::string& criterion,
+                       std::size_t expect_hits) {
+    std::optional<audit::QueryOutcome> outcome;
+    users[0]->query(transport, criterion,
+                    [&](audit::QueryOutcome o) { outcome = std::move(o); });
+    step(("query '" + criterion + "'").c_str(),
+         [&] { return outcome.has_value(); });
+    if (!outcome->ok || outcome->glsns.size() != expect_hits) {
+      std::fprintf(stderr, "dla_noded: FAIL query '%s': ok=%d hits=%zu want=%zu (%s)\n",
+                   criterion.c_str(), outcome->ok ? 1 : 0,
+                   outcome->glsns.size(), expect_hits,
+                   outcome->error.c_str());
+      std::exit(1);
+    }
+  };
+  // Table 1: three UDP rows, two of them with C1 >= 30.
+  run_query("protocl = 'UDP'", 3);
+  run_query("protocl = 'UDP' AND C1 >= 30", 2);
+
+  // Phase 3: confidential aggregate (count + sum over C1).
+  std::optional<audit::AggregateOutcome> agg;
+  users[0]->aggregate_query(transport, "protocl = 'UDP'", audit::AggOp::Sum,
+                            "C1",
+                            [&](audit::AggregateOutcome o) { agg = o; });
+  step("aggregate", [&] { return agg.has_value(); });
+  if (!agg->ok || agg->count != 3 || agg->value != 20 + 34 + 45) {
+    std::fprintf(stderr, "dla_noded: FAIL aggregate: ok=%d count=%llu value=%f\n",
+                 agg->ok ? 1 : 0,
+                 static_cast<unsigned long long>(agg->count), agg->value);
+    return 1;
+  }
+
+  if (flags.hostile) {
+    // Phase 4: malformed-frame corpus against P_0, then prove the cluster
+    // still serves the exact query from phase 2.
+    hostile_phase(flags);
+    run_query("protocl = 'UDP' AND C1 >= 30", 2);
+  }
+
+  std::fprintf(stderr, "dla_noded: PASS driver workload\n");
+  std::printf("PASS\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<Flags> flags = parse_flags(argc, argv);
+  if (!flags.has_value()) return 2;
+  return flags->index.has_value() ? run_node(*flags) : run_driver(*flags);
+}
