@@ -17,6 +17,14 @@ namespace {
                            std::strerror(errno));
 }
 
+// epoll_event.data carries (generation << 32) | fd so the dispatch loop can
+// tell a reused fd number apart from the registration the kernel queued the
+// event for (see FdState::gen).
+std::uint64_t pack_fd_gen(int fd, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(gen) << 32) |
+         static_cast<std::uint32_t>(fd);
+}
+
 }  // namespace
 
 EventLoop::EventLoop() {
@@ -40,14 +48,15 @@ std::uint64_t EventLoop::now_us() const {
 }
 
 void EventLoop::add_fd(int fd, std::uint32_t events, FdCallback cb) {
+  std::uint32_t gen = next_gen_++;
   epoll_event ev{};
   ev.events = (events & kReadable ? EPOLLIN : 0u) |
               (events & kWritable ? EPOLLOUT : 0u);
-  ev.data.fd = fd;
+  ev.data.u64 = pack_fd_gen(fd, gen);
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
     sys_fail("epoll_ctl(ADD)");
   }
-  fds_[fd] = FdState{events, std::move(cb)};
+  fds_[fd] = FdState{events, gen, std::move(cb)};
 }
 
 void EventLoop::want(int fd, std::uint32_t events) {
@@ -57,7 +66,7 @@ void EventLoop::want(int fd, std::uint32_t events) {
   epoll_event ev{};
   ev.events = (events & kReadable ? EPOLLIN : 0u) |
               (events & kWritable ? EPOLLOUT : 0u);
-  ev.data.fd = fd;
+  ev.data.u64 = pack_fd_gen(fd, it->second.gen);
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
     sys_fail("epoll_ctl(MOD)");
   }
@@ -125,8 +134,13 @@ void EventLoop::run_once(std::int64_t timeout_us) {
     sys_fail("epoll_wait");
   }
   for (int i = 0; i < n; ++i) {
-    auto it = fds_.find(events[i].data.fd);
+    int fd = static_cast<int>(events[i].data.u64 & 0xffffffffu);
+    std::uint32_t gen = static_cast<std::uint32_t>(events[i].data.u64 >> 32);
+    auto it = fds_.find(fd);
     if (it == fds_.end()) continue;  // removed by an earlier callback
+    // fd number reused and re-registered within this batch: the queued
+    // readiness belongs to the dead registration, not the new one.
+    if (it->second.gen != gen) continue;
     std::uint32_t ready =
         ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) ? kReadable
                                                               : 0u) |

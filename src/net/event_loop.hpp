@@ -55,6 +55,12 @@ class EventLoop {
  private:
   struct FdState {
     std::uint32_t events = 0;
+    // Registration generation, packed into epoll_event.data alongside the
+    // fd. If a callback closes fd X and a later callback in the same
+    // epoll_wait batch opens a new socket that reuses number X, the queued
+    // event still carries the old generation and is dropped instead of
+    // being dispatched to the new registration with stale readiness.
+    std::uint32_t gen = 0;
     FdCallback cb;
   };
 
@@ -63,6 +69,7 @@ class EventLoop {
 
   int epoll_fd_ = -1;
   std::map<int, FdState> fds_;
+  std::uint32_t next_gen_ = 1;
   // (deadline_us, id) -> callback; map order gives earliest-first firing
   // with the id as a deterministic tie-break.
   std::map<std::pair<std::uint64_t, std::uint64_t>, TimerCallback> timers_;

@@ -86,8 +86,9 @@ Message TcpRelayTransport::round_trip(const Bytes& wire) {
   while (decoded_.empty()) {
     bool progressed = false;
     if (written < wire.size()) {
-      ssize_t n = ::write(write_fd_, wire.data() + written,
-                          wire.size() - written);
+      // MSG_NOSIGNAL: surface a reset peer as an EPIPE error, not SIGPIPE.
+      ssize_t n = ::send(write_fd_, wire.data() + written,
+                         wire.size() - written, MSG_NOSIGNAL);
       if (n > 0) {
         written += static_cast<std::size_t>(n);
         progressed = true;

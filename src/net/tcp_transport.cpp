@@ -28,7 +28,17 @@ void set_nonblocking(int fd) {
   }
 }
 
+// The static directory only covers ids that fit the port space above
+// base_port; anything else must be refused before htons() silently wraps
+// it onto a wrong (possibly privileged or colliding) port.
+bool routable(std::uint16_t base_port, NodeId id) {
+  return id <= 65535u - base_port;
+}
+
 sockaddr_in endpoint_of(std::uint16_t base_port, NodeId id) {
+  if (!routable(base_port, id)) {
+    throw std::out_of_range("TcpTransport: base_port + id exceeds 65535");
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -49,6 +59,9 @@ TcpTransport::~TcpTransport() {
 void TcpTransport::host(Node& node, NodeId id) {
   if (nodes_.contains(id)) {
     throw std::invalid_argument("TcpTransport::host: id already hosted");
+  }
+  if (!routable(base_port_, id)) {
+    throw std::out_of_range("TcpTransport::host: base_port + id > 65535");
   }
   assign_id(node, id);
   nodes_[id] = &node;
@@ -79,8 +92,17 @@ void TcpTransport::accept_ready(int listener_fd) {
   for (;;) {
     int fd = ::accept(listener_fd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-      sys_fail("accept");
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      // Never fatal: a hostile client must not be able to kill the daemon
+      // by aborting handshakes (ECONNABORTED) or exhausting fds/buffers
+      // (EMFILE/ENFILE/ENOBUFS/ENOMEM). Count it; a per-connection failure
+      // may leave more pending connections, so keep draining, while a
+      // resource failure will fail again immediately, so yield until the
+      // next poll cycle.
+      ++stats_.accept_errors;
+      if (errno == ECONNABORTED || errno == EPROTO) continue;
+      return;
     }
     set_nonblocking(fd);
     auto conn = std::make_unique<Connection>(max_payload_);
@@ -94,11 +116,14 @@ void TcpTransport::accept_ready(int listener_fd) {
   }
 }
 
-TcpTransport::Connection& TcpTransport::outbound_connection(NodeId dst) {
+TcpTransport::Connection* TcpTransport::outbound_connection(NodeId dst) {
   auto it = outbound_.find(dst);
-  if (it != outbound_.end()) return *conns_.at(it->second);
+  if (it != outbound_.end()) return conns_.at(it->second).get();
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) sys_fail("socket(outbound)");
+  if (fd < 0) {
+    ++stats_.connect_failures;
+    return nullptr;
+  }
   set_nonblocking(fd);
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -106,14 +131,15 @@ TcpTransport::Connection& TcpTransport::outbound_connection(NodeId dst) {
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
       errno != EINPROGRESS) {
     ::close(fd);
-    sys_fail("connect");
+    ++stats_.connect_failures;
+    return nullptr;
   }
   auto conn = std::make_unique<Connection>(max_payload_);
   conn->fd = fd;
   conn->connected = false;  // confirmed by the first EPOLLOUT
   conn->peer = dst;
   conn->outbound = true;
-  Connection& ref = *conn;
+  Connection* ref = conn.get();
   conns_[fd] = std::move(conn);
   outbound_[dst] = fd;
   loop_.add_fd(fd, EventLoop::kReadable | EventLoop::kWritable,
@@ -135,20 +161,31 @@ void TcpTransport::send(NodeId src, NodeId dst, std::uint32_t type,
     loop_.post([this, msg] { deliver(*msg); });
     return;
   }
+  if (!routable(base_port_, dst)) {
+    // dst can come straight off a hostile frame (actors reply to msg.src),
+    // so an unmappable id is dropped and counted, never thrown.
+    ++stats_.frames_unroutable;
+    return;
+  }
   Message msg{src, dst, type, std::move(payload)};
   Bytes wire = encode_frame(msg);
-  Connection& conn = outbound_connection(dst);
-  conn.write_buf.insert(conn.write_buf.end(), wire.begin(), wire.end());
-  if (conn.connected) flush_writes(conn);
-  if (conn.write_pos < conn.write_buf.size()) {
-    loop_.want(conn.fd, EventLoop::kReadable | EventLoop::kWritable);
+  Connection* conn = outbound_connection(dst);
+  if (conn == nullptr) return;  // counted in connect_failures
+  conn->write_buf.insert(conn->write_buf.end(), wire.begin(), wire.end());
+  // A fatal write error inside flush_writes destroys *conn; only touch it
+  // again when the flush reports the connection survived.
+  if (conn->connected && !flush_writes(*conn)) return;
+  if (conn->write_pos < conn->write_buf.size()) {
+    loop_.want(conn->fd, EventLoop::kReadable | EventLoop::kWritable);
   }
 }
 
-void TcpTransport::flush_writes(Connection& conn) {
+bool TcpTransport::flush_writes(Connection& conn) {
   while (conn.write_pos < conn.write_buf.size()) {
-    ssize_t n = ::write(conn.fd, conn.write_buf.data() + conn.write_pos,
-                        conn.write_buf.size() - conn.write_pos);
+    // MSG_NOSIGNAL: a peer that reset the connection (routine for a poisoned
+    // stream) must produce EPIPE here, not a process-killing SIGPIPE.
+    ssize_t n = ::send(conn.fd, conn.write_buf.data() + conn.write_pos,
+                       conn.write_buf.size() - conn.write_pos, MSG_NOSIGNAL);
     if (n > 0) {
       conn.write_pos += static_cast<std::size_t>(n);
     } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -156,8 +193,8 @@ void TcpTransport::flush_writes(Connection& conn) {
     } else if (n < 0 && errno == EINTR) {
       continue;
     } else {
-      close_connection(conn.fd, true);
-      return;
+      close_connection(conn.fd, true);  // destroys conn
+      return false;
     }
   }
   if (conn.write_pos == conn.write_buf.size()) {
@@ -165,6 +202,7 @@ void TcpTransport::flush_writes(Connection& conn) {
     conn.write_pos = 0;
     loop_.want(conn.fd, EventLoop::kReadable);
   }
+  return true;
 }
 
 void TcpTransport::connection_ready(int fd, std::uint32_t events) {
@@ -182,8 +220,7 @@ void TcpTransport::connection_ready(int fd, std::uint32_t events) {
       }
       conn.connected = true;
     }
-    flush_writes(conn);
-    if (conns_.find(fd) == conns_.end()) return;  // closed by flush
+    if (!flush_writes(conn)) return;  // closed by flush; conn is gone
   }
   if ((events & EventLoop::kReadable) != 0) {
     std::uint8_t buf[64 * 1024];

@@ -25,10 +25,13 @@ class TcpTransport : public Transport {
   struct Stats {
     std::uint64_t frames_sent = 0;
     std::uint64_t frames_delivered = 0;
-    std::uint64_t frames_rejected = 0;   // framing-layer parse failures
-    std::uint64_t frames_misrouted = 0;  // delivered for a non-hosted id
+    std::uint64_t frames_rejected = 0;    // framing-layer parse failures
+    std::uint64_t frames_misrouted = 0;   // delivered for a non-hosted id
+    std::uint64_t frames_unroutable = 0;  // dst maps past the port space
     std::uint64_t connections_accepted = 0;
     std::uint64_t connections_dropped = 0;
+    std::uint64_t accept_errors = 0;      // non-fatal accept() failures
+    std::uint64_t connect_failures = 0;   // synchronous socket()/connect()
   };
 
   // The directory: actor `id` listens on 127.0.0.1:(base_port + id).
@@ -77,10 +80,15 @@ class TcpTransport : public Transport {
   };
 
   void open_listener(NodeId id);
-  Connection& outbound_connection(NodeId dst);
+  // nullptr on synchronous socket()/connect() failure (fd exhaustion etc.):
+  // the frame is dropped and counted, never thrown — a hosted actor replying
+  // to a hostile src must not be able to unwind the event loop.
+  Connection* outbound_connection(NodeId dst);
   void accept_ready(int listener_fd);
   void connection_ready(int fd, std::uint32_t events);
-  void flush_writes(Connection& conn);
+  // Returns false when a fatal write error closed (and destroyed) `conn`;
+  // the caller must not touch the reference again in that case.
+  bool flush_writes(Connection& conn);
   void close_connection(int fd, bool failed);
   void deliver(const Message& msg);
 

@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "net/frame.hpp"
@@ -131,7 +132,7 @@ TEST(TcpTransport, MalformedStreamIsCountedAndConnectionDropped) {
   int fd = raw_connect(base);
   ASSERT_GE(fd, 0);
   const std::uint8_t garbage[] = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x11};
-  ASSERT_EQ(::write(fd, garbage, sizeof(garbage)),
+  ASSERT_EQ(::send(fd, garbage, sizeof(garbage), MSG_NOSIGNAL),
             static_cast<ssize_t>(sizeof(garbage)));
   t.run_until([&] { return t.stats().frames_rejected > 0; }, 2 * 1000 * 1000);
   EXPECT_EQ(t.stats().frames_rejected, 1u);
@@ -148,7 +149,7 @@ TEST(TcpTransport, MalformedStreamIsCountedAndConnectionDropped) {
   Bytes wire = encode_frame(msg);
   int fd2 = raw_connect(base);
   ASSERT_GE(fd2, 0);
-  ASSERT_EQ(::write(fd2, wire.data(), wire.size()),
+  ASSERT_EQ(::send(fd2, wire.data(), wire.size(), MSG_NOSIGNAL),
             static_cast<ssize_t>(wire.size()));
   ASSERT_TRUE(
       t.run_until([&] { return !a.received.empty(); }, 2 * 1000 * 1000));
@@ -170,7 +171,7 @@ TEST(TcpTransport, FrameForNonHostedIdCountsAsMisrouted) {
   Bytes wire = encode_frame(msg);
   int fd = raw_connect(base);
   ASSERT_GE(fd, 0);
-  ASSERT_EQ(::write(fd, wire.data(), wire.size()),
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
             static_cast<ssize_t>(wire.size()));
   t.run_until([&] { return t.stats().frames_misrouted > 0; }, 2 * 1000 * 1000);
   EXPECT_EQ(t.stats().frames_misrouted, 1u);
@@ -193,13 +194,88 @@ TEST(TcpTransport, OversizeFrameIsRejectedByThePayloadCap) {
   int fd = raw_connect(base);
   ASSERT_GE(fd, 0);
   // The peer may reset the connection as soon as it sees the header; a
-  // short or failed write is acceptable.
-  ssize_t ignored = ::write(fd, wire.data(), wire.size());
+  // short or failed write is acceptable — but it must surface as an error,
+  // not a SIGPIPE, hence MSG_NOSIGNAL.
+  ssize_t ignored = ::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
   (void)ignored;
   t.run_until([&] { return t.stats().frames_rejected > 0; }, 2 * 1000 * 1000);
   EXPECT_EQ(t.stats().frames_rejected, 1u);
   EXPECT_TRUE(a.received.empty());
   ::close(fd);
+}
+
+// Plain listener standing in for a remote daemon; returns the listening fd.
+int raw_listen(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 4) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Regression for two remote-triggerable daemon kills on the send path: a
+// fatal write error inside send()'s flush used to destroy the Connection
+// and then keep using the dangling reference (use-after-free), and the
+// failing write itself used to raise SIGPIPE. A peer that resets before we
+// send is routine (it is how poisoned streams are dropped), so sending
+// after the reset must just close and count the connection.
+TEST(TcpTransport, SendAfterPeerResetDropsConnectionSafely) {
+  const std::uint16_t base = test_base_port(6);
+  TcpTransport t(base);
+  RecorderNode a;
+  t.host(a, 1);
+  int listener = raw_listen(static_cast<std::uint16_t>(base + 2));
+  ASSERT_GE(listener, 0);
+
+  t.send(1, 2, 1, Bytes{1, 2, 3});
+  // Pump until the nonblocking connect completes and the frame flushes.
+  t.run_until([] { return false; }, 50 * 1000);
+  int peer = ::accept(listener, nullptr, nullptr);
+  ASSERT_GE(peer, 0);
+  // Reset (not FIN): SO_LINGER with zero timeout makes close() send RST.
+  linger lg{1, 0};
+  ASSERT_EQ(::setsockopt(peer, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg)), 0);
+  ::close(peer);
+  ::usleep(20 * 1000);  // let the RST land without pumping the loop
+
+  // First send hits the reset socket (write fails -> connection destroyed
+  // mid-send); the second goes through a fresh outbound connection. Neither
+  // may crash or signal.
+  t.send(1, 2, 2, Bytes{4});
+  t.send(1, 2, 3, Bytes{5});
+  t.run_until([] { return false; }, 20 * 1000);
+  EXPECT_GE(t.stats().connections_dropped, 1u);
+  ::close(listener);
+}
+
+TEST(TcpTransport, HostRejectsIdBeyondThePortSpace) {
+  TcpTransport t(65000);
+  RecorderNode a;
+  EXPECT_THROW(t.host(a, 5000), std::out_of_range);  // 65000 + 5000 > 65535
+  EXPECT_FALSE(t.hosts(5000));
+}
+
+// A hostile frame controls the src id an actor replies to; a dst that would
+// wrap htons() onto a bogus port must be dropped and counted, never thrown
+// (an exception here unwinds through the event loop and kills the daemon).
+TEST(TcpTransport, SendToUnroutableIdIsDroppedAndCounted) {
+  const std::uint16_t base = test_base_port(7);
+  TcpTransport t(base);
+  RecorderNode a;
+  t.host(a, 1);
+  EXPECT_NO_THROW(t.send(1, 0xffffffffu, 7, Bytes{1}));
+  EXPECT_EQ(t.stats().frames_unroutable, 1u);
+  EXPECT_EQ(t.stats().frames_sent, 1u);
+  EXPECT_EQ(t.stats().connect_failures, 0u);
 }
 
 }  // namespace

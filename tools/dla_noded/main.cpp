@@ -22,6 +22,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -142,7 +143,10 @@ bool send_raw(std::uint16_t port, const std::vector<std::uint8_t>& bytes) {
   }
   std::size_t off = 0;
   while (off < bytes.size()) {
-    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    // The daemon is expected to reset poisoned streams mid-write; send with
+    // MSG_NOSIGNAL so that shows up as an error, not a SIGPIPE.
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
     if (n <= 0) break;  // peer already closed on us: that is a rejection
     off += static_cast<std::size_t>(n);
   }
@@ -284,6 +288,10 @@ int run_driver(const Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Peers dropping poisoned connections is designed behavior; a write that
+  // races the reset must fail with EPIPE, not kill the daemon. Belt and
+  // braces with the MSG_NOSIGNAL on every socket write.
+  std::signal(SIGPIPE, SIG_IGN);
   std::optional<Flags> flags = parse_flags(argc, argv);
   if (!flags.has_value()) return 2;
   return flags->index.has_value() ? run_node(*flags) : run_driver(*flags);
