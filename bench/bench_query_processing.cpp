@@ -28,6 +28,7 @@
 #include "baseline/centralized.hpp"
 #include "logm/store.hpp"
 #include "logm/workload.hpp"
+#include "workload_gen.hpp"
 
 using namespace dla;
 
@@ -78,40 +79,17 @@ int run_store_scaling(bool smoke, const std::string& json_path) {
 
   std::size_t sink = 0;
   for (std::size_t records : sizes) {
-    crypto::ChaCha20Rng rng(2026 + records);
-    logm::WorkloadSpec spec;
-    spec.records = records;
-    const auto recs = logm::generate_workload(spec, rng);
+    // Record stream, stores and criteria suite come from the shared
+    // testkit helpers (tests/workload_gen.hpp) so the bench measures the
+    // exact streams the tests pin.
+    const auto recs = dla::testkit::make_records(2026 + records, records);
+    logm::FragmentStore indexed = dla::testkit::make_store(recs);
+    logm::FragmentStore scan =
+        dla::testkit::make_store(recs, /*indexed=*/false);
+    const auto [t_lo, t_hi] = dla::testkit::time_quantiles(recs);
 
-    logm::FragmentStore indexed;
-    logm::FragmentStore scan;
-    scan.set_indexing(false);
-    std::vector<std::int64_t> times;
-    times.reserve(recs.size());
-    for (const auto& rec : recs) {
-      indexed.put(logm::Fragment{rec.glsn, rec.attrs});
-      scan.put(logm::Fragment{rec.glsn, rec.attrs});
-      times.push_back(rec.attrs.at("Time").as_int());
-    }
-    std::sort(times.begin(), times.end());
-    const std::int64_t t_lo = times[records * 2 / 5];
-    const std::int64_t t_hi = times[records * 3 / 5];
-
-    struct Criterion {
-      std::string text;
-      const char* kind;
-    };
-    const std::vector<Criterion> suite = {
-        {"id = 'U3'", "equality"},
-        {"protocl = 'TCP'", "equality"},
-        {"C2 > 900.0", "range"},
-        {"Time >= " + std::to_string(t_lo) +
-             " AND Time <= " + std::to_string(t_hi),
-         "range"},
-        {"id = 'U3' AND C2 > 500.0", "conjunction"},
-        {"id IN ('U1', 'U3', 'U5')", "in-fan"},
-        {"C1 < C2", "fallback"},
-    };
+    using Criterion = dla::testkit::ScalingCriterion;
+    const std::vector<Criterion> suite = dla::testkit::scaling_suite(t_lo, t_hi);
 
     for (const Criterion& c : suite) {
       const audit::Expr expr = audit::parse(c.text, schema);

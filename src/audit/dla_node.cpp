@@ -486,6 +486,12 @@ void DlaNode::handle_log_fragment(net::Transport& sim,
   w.u64(glsn);
   w.boolean(ok);
   w.u32(copy_seq);
+  // Piggyback this owner's store epoch: the writer's session now *observes*
+  // the post-write epoch and presents it with every later query, so a
+  // dropped kWatermarkAdvance can never let a gateway serve this session a
+  // result that predates its own acked write.
+  w.u32(static_cast<std::uint32_t>(index_));
+  w.u64(store_epoch_);
   send_payload(sim, id(), msg.src, kLogAck, std::move(w));
 }
 
@@ -509,6 +515,25 @@ void DlaNode::advance_store_epoch(net::Transport& sim) {
     w.u64(high);
     send_payload(sim, id(), cfg_->dla_nodes[i], kWatermarkAdvance,
                  std::move(w));
+  }
+}
+
+void DlaNode::merge_observed_epochs(net::Reader& r) {
+  // Client-observed watermark vector trailing kAuditQuery/kAggregateQuery:
+  // {count u32, (owner u32, epoch u64)*}. Merging it before the cache
+  // lookup closes the session-causality gap left by a dropped
+  // kWatermarkAdvance announcement (the broadcast is fire-and-forget).
+  // Out-of-range owners in a hostile frame are ignored; epochs are merged
+  // monotonically so duplicates and reordering are harmless.
+  auto observed = r.vec<std::pair<std::uint32_t, std::uint64_t>>(
+      [](net::Reader& in) {
+        std::uint32_t owner = in.u32();
+        std::uint64_t epoch = in.u64();
+        return std::make_pair(owner, epoch);
+      });
+  for (const auto& [owner, epoch] : observed) {
+    if (owner >= cfg_->cluster_size()) continue;
+    result_cache_.observe_epoch(owner, epoch);
   }
 }
 
@@ -576,6 +601,10 @@ void DlaNode::handle_fragment_delete(net::Transport& sim,
   w.u64(reqid);
   w.u64(glsn);
   w.boolean(ok);
+  // Same session-causality piggyback as kLogAck: the deleting session must
+  // never be served a cached result that still contains the record.
+  w.u32(static_cast<std::uint32_t>(index_));
+  w.u64(store_epoch_);
   send_payload(sim, id(), msg.src, kDeleteReply, std::move(w));
 }
 
@@ -1503,6 +1532,7 @@ void DlaNode::handle_audit_query(net::Transport& sim,
   const std::uint64_t user_reqid = r.u64();
   Ticket ticket = Ticket::decode(r);
   std::string criterion = r.str();
+  merge_observed_epochs(r);
   r.expect_end();
 
   auto reply_error = [&](const std::string& error) {
@@ -1636,6 +1666,7 @@ void DlaNode::handle_aggregate_query(net::Transport& sim,
   std::string criterion = r.str();
   auto op = static_cast<AggOp>(r.u8());
   std::string attr = r.str();
+  merge_observed_epochs(r);
   r.expect_end();
 
   auto reply_error = [&](const std::string& error) {

@@ -231,6 +231,9 @@ class DlaNode : public net::Node {
   // Bump this node's store epoch after an acked write/delete and announce
   // the advance to every peer's result cache (and to our own).
   void advance_store_epoch(net::Transport& sim);
+  // Decode the client-observed watermark vector trailing a query payload
+  // and merge it into the gateway result cache (session causality).
+  void merge_observed_epochs(net::Reader& r);
   void dispatch(net::Transport& sim, const net::Message& msg);
 
   // ---- set ring ----

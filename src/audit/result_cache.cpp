@@ -73,14 +73,10 @@ void GatewayResultCache::insert(const std::string& key,
   order_.push_back(key);
 }
 
-void GatewayResultCache::watermark_advance(std::size_t owner,
-                                           std::uint64_t epoch,
-                                           logm::Glsn high_glsn) {
+bool GatewayResultCache::raise_epoch(std::size_t owner, std::uint64_t epoch) {
   std::uint64_t& current = epochs_[owner];
-  if (epoch <= current) return;  // stale/duplicated announcement
+  if (epoch <= current) return false;  // stale/duplicated announcement
   current = epoch;
-  logm::Glsn& high = high_glsns_[owner];
-  high = std::max(high, high_glsn);
   std::vector<std::string> stale;
   for (const auto& [key, entry] : entries_) {
     if (entry.epochs.contains(owner)) stale.push_back(key);
@@ -90,6 +86,19 @@ void GatewayResultCache::watermark_advance(std::size_t owner,
     ++ctr.cache_invalidations;
     evict_key(key);
   }
+  return true;
+}
+
+void GatewayResultCache::watermark_advance(std::size_t owner,
+                                           std::uint64_t epoch,
+                                           logm::Glsn high_glsn) {
+  if (!raise_epoch(owner, epoch)) return;
+  logm::Glsn& high = high_glsns_[owner];
+  high = std::max(high, high_glsn);
+}
+
+void GatewayResultCache::observe_epoch(std::size_t owner, std::uint64_t epoch) {
+  raise_epoch(owner, epoch);
 }
 
 logm::Glsn GatewayResultCache::high_glsn_of(std::size_t owner) const {

@@ -73,6 +73,15 @@ class GatewayResultCache {
   void watermark_advance(std::size_t owner, std::uint64_t epoch,
                          logm::Glsn high_glsn);
 
+  // Session causality: a client presented an epoch it has *observed* in an
+  // owner's write/delete ack. kWatermarkAdvance is fire-and-forget, so a
+  // dropped announcement would otherwise leave this gateway's epoch table
+  // behind the client's view and a stale entry could be served against a
+  // write the client already saw complete. Merging the observed epoch
+  // (monotone, duplicate-safe) evicts such entries before lookup; unlike
+  // watermark_advance it carries no high-glsn watermark.
+  void observe_epoch(std::size_t owner, std::uint64_t epoch);
+
   // Observability: high-glsn watermark last announced by `owner`.
   logm::Glsn high_glsn_of(std::size_t owner) const;
 
@@ -85,6 +94,9 @@ class GatewayResultCache {
   };
 
   void evict_key(const std::string& key);
+  // Raise `owner`'s announced epoch and evict entries involving it.
+  // Returns false (and does nothing) for a stale/duplicated epoch.
+  bool raise_epoch(std::size_t owner, std::uint64_t epoch);
 
   std::size_t capacity_;
   std::map<std::string, Entry> entries_;

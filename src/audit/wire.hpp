@@ -35,12 +35,12 @@ enum MsgType : std::uint32_t {
 
   // fragment logging + accumulator deposits
   kLogFragment = 0x20,   // user -> P_i {ticket, fragment}
-  kLogAck = 0x21,        // P_i -> user {glsn, ok}
+  kLogAck = 0x21,        // P_i -> user {glsn, ok, copy_seq, owner, epoch}
   kAccumDeposit = 0x22,  // user -> P_i {glsn, accumulator value}
   kFragmentRequest = 0x23,  // user -> P_i {reqid, ticket, glsn}
   kFragmentReply = 0x24,    // P_i -> user {reqid, glsn, ok, fragment}
   kFragmentDelete = 0x25,   // user -> P_i {reqid, ticket, glsn}
-  kDeleteReply = 0x26,      // P_i -> user {reqid, glsn, ok}
+  kDeleteReply = 0x26,      // P_i -> user {reqid, glsn, ok, owner, epoch}
   kWatermarkAdvance = 0x27, // P_i -> peers {index, store epoch, high glsn}
 
   // secure set protocols (ring of commutative encryptions). Ring traffic is
@@ -72,7 +72,7 @@ enum MsgType : std::uint32_t {
   kIntegrityPass = 0x70, // P -> next {session, glsn, hops, value, initiator}
 
   // confidential audit queries (Figure 3)
-  kAuditQuery = 0x80,    // user -> gateway {qid, ticket, criterion}
+  kAuditQuery = 0x80,    // user -> gateway {qid, ticket, criterion, observed}
   kAuditResult = 0x81,   // gateway -> user {qid, ok, error, glsns}
   kSubqueryExec = 0x82,  // gateway -> owner {qid, sq_index, expr, participants}
   kSubqueryDone = 0x83,  // owner -> gateway {qid, sq_index, result_size}
@@ -81,7 +81,8 @@ enum MsgType : std::uint32_t {
   kJoinExec = 0x86,      // gateway -> both attr owners {join task parameters}
   kCombineExec = 0x87,   // gateway -> result owners {combine task parameters}
   kCombineReady = 0x88,  // owner -> gateway {qid, rid} (inputs staged)
-  kAggregateQuery = 0x89,  // user -> gateway {qid, ticket, criterion, op, attr}
+  kAggregateQuery = 0x89,  // user -> gateway {qid, ticket, criterion, op,
+                           //                  attr, observed}
   kAggregateExec = 0x8A,   // gateway -> attr owner {qid, op, attr, glsns}
   kAggregateValue = 0x8B,  // owner -> gateway {qid, ok, value}
   kAggregateResult = 0x8C, // gateway -> user {qid, ok, error, value, count}

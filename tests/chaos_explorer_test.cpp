@@ -33,6 +33,7 @@
 #include "logm/workload.hpp"
 #include "net/chaos.hpp"
 #include "net/trace.hpp"
+#include "workload_gen.hpp"
 
 namespace dla::audit {
 namespace {
@@ -47,84 +48,29 @@ std::size_t sweep_seeds() {
   return 32;
 }
 
-// Criteria chosen to exercise every query machine: a single-node local
-// plan, the ring set intersection, a set union, and the TTP-mediated
-// secure comparison joined with an intersection.
+// Criteria chosen to exercise every query machine; the suite is shared
+// with the traffic harness driver and the other workload consumers
+// (tests/workload_gen.hpp), so one definition covers them all.
 const std::vector<std::string>& criteria() {
-  static const std::vector<std::string> kCriteria = {
-      "id = 'U1' AND C2 < 100.0",
-      "id = 'U1' AND protocl = 'UDP'",
-      "id = 'U3' OR protocl = 'TCP'",
-      "C1 < C2 AND Tid = 'T1100267'",
-  };
-  return kCriteria;
+  return testkit::cluster_criteria();
 }
 
-// `indexed` toggles the FragmentStore columnar indexes on every DLA. The
-// oracle runs with indexing *disabled* (pure naive scans) while every sweep
-// cluster keeps the default indexed engine, so each tier-A equality check is
-// also an indexed-vs-scan differential: invariant I5 (result-set
-// equivalence) covers the compiled index path under chaos for free.
-//
-// Likewise `set_chunk_size`: the oracle runs the legacy monolithic set ring
-// (chunk size 0) while sweep clusters use a deliberately tiny chunk so the
-// small workload sets still split into multi-chunk streams — every tier-A
-// comparison is then a chunked-vs-monolithic ring differential with chunk
-// frames duplicated and reordered by the chaos engine.
+// The paper-table cluster, via the shared testkit builder. The oracle runs
+// with indexing *disabled* (pure naive scans) and the legacy monolithic set
+// ring (chunk size 0) while every sweep cluster keeps the default indexed
+// engine and a deliberately tiny chunk size, so each tier-A equality check
+// is simultaneously an indexed-vs-scan and a chunked-vs-monolithic
+// differential with chunk frames duplicated and reordered by chaos.
 Cluster make_cluster(bool indexed = true, std::size_t set_chunk_size = 2) {
-  Cluster::Options opts{logm::paper_schema(), 4, 1, logm::paper_partition(),
-                        kWorkloadSeed,
-                        /*auditor_users=*/true};
-  opts.set_chunk_size = set_chunk_size;
-  Cluster cluster(std::move(opts));
-  if (!indexed) {
-    for (std::size_t i = 0; i < cluster.dla_count(); ++i) {
-      cluster.dla(i).store().set_indexing(false);
-      cluster.dla(i).replica_store().set_indexing(false);
-    }
-  }
-  return cluster;
+  return testkit::make_paper_cluster(kWorkloadSeed, indexed, set_chunk_size);
 }
 
-struct WorkloadRun {
-  // Per paper-table record: assigned glsn, or nullopt when the log never
-  // completed (only possible under lossy chaos).
-  std::vector<std::optional<logm::Glsn>> glsns;
-  // Per criteria() entry: outcome, or nullopt when the callback never fired.
-  std::vector<std::optional<QueryOutcome>> queries;
-  std::optional<bool> integrity_ok;
-};
+using WorkloadRun = testkit::PaperWorkloadRun;
 
 // Sequentially logs Table 1, runs every criterion, then audits the first
-// logged glsn. Each step drains the simulator before the next is issued, so
-// glsn assignment order is the issue order regardless of chaos timing.
+// logged glsn (shared: testkit::run_paper_workload).
 WorkloadRun run_workload(Cluster& cluster) {
-  WorkloadRun out;
-  auto records = logm::paper_table1_records();
-  out.glsns.resize(records.size());
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    cluster.user(0).log_record(
-        cluster.sim(), records[i].attrs,
-        [&out, i](std::optional<logm::Glsn> g) { out.glsns[i] = g; });
-    cluster.run();
-  }
-  out.queries.resize(criteria().size());
-  for (std::size_t i = 0; i < criteria().size(); ++i) {
-    cluster.user(0).query(
-        cluster.sim(), criteria()[i],
-        [&out, i](QueryOutcome o) { out.queries[i] = std::move(o); });
-    cluster.run();
-  }
-  for (const auto& g : out.glsns) {
-    if (!g) continue;
-    cluster.dla(0).on_integrity_result =
-        [&out](SessionId, logm::Glsn, bool ok) { out.integrity_ok = ok; };
-    cluster.dla(0).start_integrity_check(cluster.sim(), 0xC8A05u, *g);
-    cluster.run();
-    cluster.dla(0).on_integrity_result = nullptr;
-    break;
-  }
-  return out;
+  return testkit::run_paper_workload(cluster);
 }
 
 // The fault-free oracle: one run without a chaos engine, on scan-mode

@@ -247,8 +247,8 @@ TEST(CodecTruncation, LiveTrafficSurvivesTruncationReplay) {
   ASSERT_GT(replayed, 100u);
   const WireRejectCounters after_truncation = wire_reject_counters();
   // Most prefixes are structurally invalid; only optional-trailing-field
-  // boundaries (kLogFragment/kLogAck copy_seq, kSubqueryExec count_only)
-  // and replay-guarded duplicates decode cleanly, so the reject counters
+  // boundaries (kLogFragment copy_seq, kSubqueryExec count_only) and
+  // replay-guarded duplicates decode cleanly, so the reject counters
   // must have absorbed the bulk of the campaign.
   EXPECT_GT(after_truncation.codec_rejects, replayed / 2);
 

@@ -1,0 +1,141 @@
+// Negative coverage for the invariant checkers (audit/invariants.hpp).
+//
+// The chaos explorer and the traffic harness only ever show these checkers
+// passing traces; nothing proved they can still *fail*. Each test here
+// feeds a trace violating exactly one of I1-I5 and asserts the matching
+// checker fires (and that the clean variant of the same trace does not), so
+// a refactor that turns a checker into a no-op is caught immediately.
+#include "audit/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "audit/cluster.hpp"
+#include "logm/workload.hpp"
+#include "net/transport.hpp"
+
+namespace dla::audit {
+namespace {
+
+Cluster::Options paper_options() {
+  Cluster::Options opts;
+  opts.schema = logm::paper_schema();
+  opts.dla_count = 4;
+  opts.user_count = 1;
+  opts.partition = logm::paper_partition();
+  opts.seed = 5;
+  opts.auditor_users = true;
+  return opts;
+}
+
+// ------------------------------------------------------------------- I1 --
+TEST(InvariantNegative, I1DuplicateGlsnFires) {
+  InvariantReport clean;
+  check_glsn_uniqueness({10, 11, 12, 13}, clean);
+  EXPECT_TRUE(clean.ok());
+
+  InvariantReport report;
+  check_glsn_uniqueness({10, 11, 12, 11}, report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("11"), std::string::npos)
+      << "violation should name the duplicated glsn: " << report.summary();
+}
+
+// ------------------------------------------------------------------- I2 --
+TEST(InvariantNegative, I2NonMonotonicGlsnFires) {
+  InvariantReport clean;
+  check_glsn_monotonic({5, 6, 9}, clean);
+  EXPECT_TRUE(clean.ok());
+
+  InvariantReport report;
+  check_glsn_monotonic({5, 9, 6}, report);
+  EXPECT_FALSE(report.ok());
+
+  InvariantReport equal;
+  check_glsn_monotonic({5, 5}, equal);
+  EXPECT_FALSE(equal.ok()) << "repeated glsn is not strictly increasing";
+}
+
+// ------------------------------------------------------------------- I3 --
+TEST(InvariantNegative, I3StrandedRequestFires) {
+  Cluster cluster(paper_options());
+  // Swallow every message leaving the user node: the glsn request vanishes
+  // and the pending-log entry can never drain.
+  const net::NodeId user_id = cluster.user(0).id();
+  cluster.sim().set_drop_policy(
+      [user_id](const net::Message& m) { return m.src == user_id; });
+  auto records = logm::paper_table1_records();
+  bool called = false;
+  cluster.user(0).log_record(cluster.sim(), records[0].attrs,
+                             [&called](std::optional<logm::Glsn>) {
+                               called = true;
+                             });
+  cluster.run();
+  ASSERT_FALSE(called) << "drop-all policy did not strand the request";
+
+  InvariantReport report;
+  check_session_quiescence(cluster, report);
+  EXPECT_FALSE(report.ok())
+      << "a stranded pending log entry must break quiescence";
+}
+
+TEST(InvariantNegative, I3CleanRunIsQuiescent) {
+  Cluster cluster(paper_options());
+  auto records = logm::paper_table1_records();
+  cluster.user(0).log_record(cluster.sim(), records[0].attrs,
+                             [](std::optional<logm::Glsn>) {});
+  cluster.run();
+  InvariantReport report;
+  check_session_quiescence(cluster, report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// ------------------------------------------------------------------- I4 --
+TEST(InvariantNegative, I4ForeignColumnFires) {
+  Cluster cluster(paper_options());
+  InvariantReport clean;
+  check_column_confidentiality(cluster, clean);
+  ASSERT_TRUE(clean.ok()) << clean.summary();
+
+  // Plant an attribute on a node that does not own it. Node 0's partition
+  // is whatever the paper assigns it; steal the first attribute owned by
+  // node 1 and store it on node 0 directly.
+  const auto& foreign = cluster.config()->partition.attributes_of(1);
+  ASSERT_FALSE(foreign.empty());
+  logm::Fragment leak;
+  leak.glsn = 0xBAD;
+  leak.attrs.emplace(foreign.front(), logm::Value(std::int64_t{1}));
+  cluster.dla(0).store().put(std::move(leak));
+
+  InvariantReport report;
+  check_column_confidentiality(cluster, report);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find(foreign.front()), std::string::npos)
+      << "violation should name the leaked attribute: " << report.summary();
+}
+
+// ------------------------------------------------------------------- I5 --
+TEST(InvariantNegative, I5ResultSetMismatchFires) {
+  InvariantReport clean;
+  check_glsn_sets_equal("probe", {1, 2, 3}, {1, 2, 3}, clean);
+  EXPECT_TRUE(clean.ok());
+
+  InvariantReport missing;
+  check_glsn_sets_equal("probe", {1, 2, 3}, {1, 3}, missing);
+  EXPECT_FALSE(missing.ok()) << "a dropped glsn must fail equivalence";
+
+  InvariantReport extra;
+  check_glsn_sets_equal("probe", {1, 3}, {1, 2, 3}, extra);
+  EXPECT_FALSE(extra.ok()) << "an extra glsn must fail equivalence";
+
+  InvariantReport reordered;
+  check_glsn_sets_equal("probe", {3, 2, 1}, {1, 2, 3}, reordered);
+  EXPECT_TRUE(reordered.ok()) << "set equality must ignore order: "
+                              << reordered.summary();
+}
+
+}  // namespace
+}  // namespace dla::audit

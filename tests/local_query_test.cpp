@@ -19,6 +19,7 @@
 #include "crypto/rng.hpp"
 #include "logm/store.hpp"
 #include "logm/workload.hpp"
+#include "workload_gen.hpp"
 
 namespace dla::audit {
 namespace {
@@ -52,19 +53,14 @@ const std::vector<std::string>& criteria() {
   return kCriteria;
 }
 
+// Record/store builders are shared with the bench and traffic drivers
+// (tests/workload_gen.hpp) so every consumer sees identical seeded streams.
 std::vector<LogRecord> make_records(std::uint64_t seed, std::size_t count) {
-  crypto::ChaCha20Rng rng(seed);
-  logm::WorkloadSpec spec;
-  spec.records = count;
-  return logm::generate_workload(spec, rng);
+  return testkit::make_records(seed, count);
 }
 
 FragmentStore full_store(const std::vector<LogRecord>& records) {
-  FragmentStore store;
-  for (const LogRecord& rec : records) {
-    store.put(logm::Fragment{rec.glsn, rec.attrs});
-  }
-  return store;
+  return testkit::make_store(records);
 }
 
 // Drops attributes pseudo-randomly so the missing-attribute (tri-state)

@@ -239,5 +239,104 @@ TEST_F(CacheE2e, DifferentCriteriaDoNotShareEntries) {
   EXPECT_EQ(gateway_cache_counters().cache_hits, 0u);
 }
 
+// ------------------------------------- lossy kWatermarkAdvance (chaos) --
+//
+// kWatermarkAdvance is fire-and-forget: owners broadcast it with no ack and
+// no retry, so a lossy network can drop or duplicate every single one. The
+// session-causality protocol (observed store-epoch vector piggybacked on
+// kLogAck/kDeleteReply and replayed with every query — docs/PROTOCOLS.md)
+// must still guarantee read-your-writes through the cache: a session that
+// saw its write acked may never be served a cached result predating that
+// write. This sweep seeds a targeted drop/duplication policy over the
+// watermark broadcasts and interleaves writes, deletes and repeat queries
+// from the same session.
+TEST(CacheChaosSweep, LossyWatermarksNeverServeStaleResults) {
+  const std::string criterion = "id = 'U1' AND protocl = 'UDP'";
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    reset_gateway_cache_counters();
+    Cluster cluster(Cluster::Options{logm::paper_schema(), 4, 1,
+                                     logm::paper_partition(), seed,
+                                     /*auditor_users=*/true});
+    // The default cluster ticket lacks Delete; the sweep deletes its own
+    // records, so swap in a delete-capable auditor ticket.
+    cluster.user(0).configure(
+        cluster.config(),
+        cluster.issue_ticket(
+            "TCS", "u0",
+            {logm::Op::Read, logm::Op::Write, logm::Op::Delete},
+            /*auditor=*/true));
+    cluster.user(0).set_gateway(0);
+
+    // Drop 80% of watermark broadcasts (seed 1: drop them all, proving the
+    // result does not depend on even one surviving).
+    crypto::ChaCha20Rng chaos_rng(seed * 1013);
+    cluster.sim().set_drop_policy([&chaos_rng, seed](const net::Message& m) {
+      if (m.type != kWatermarkAdvance) return false;
+      return seed == 1 || chaos_rng.next_double() < 0.8;
+    });
+
+    auto query_glsns = [&]() {
+      std::optional<QueryOutcome> outcome;
+      cluster.user(0).query(cluster.sim(), criterion,
+                            [&](QueryOutcome o) { outcome = std::move(o); });
+      cluster.run();
+      EXPECT_TRUE(outcome.has_value() && outcome->ok);
+      return outcome ? outcome->glsns : std::vector<logm::Glsn>{};
+    };
+
+    // Template record matching the criterion; Time/Tid vary per round.
+    auto base = logm::paper_table1_records()[0].attrs;
+    base["id"] = logm::Value("U1");
+    base["protocl"] = logm::Value("UDP");
+
+    std::vector<logm::Glsn> session_written;
+    (void)query_glsns();  // seed the cache with the empty-ish result
+    for (int round = 0; round < 4; ++round) {
+      auto attrs = base;
+      attrs["Time"] = logm::Value(std::int64_t{1021234000 + round});
+      std::optional<logm::Glsn> assigned;
+      cluster.user(0).log_record(
+          cluster.sim(), attrs,
+          [&](std::optional<logm::Glsn> g) { assigned = g; });
+      cluster.run();
+      ASSERT_TRUE(assigned.has_value());
+      session_written.push_back(*assigned);
+
+      // Read-your-writes: the same session's very next query must see every
+      // write it has had acked, cached result or not.
+      const auto result = query_glsns();
+      for (logm::Glsn g : session_written) {
+        EXPECT_NE(std::find(result.begin(), result.end(), g), result.end())
+            << "round " << round << ": cached result is stale, missing glsn "
+            << g;
+      }
+      // Repeat immediately: still fresh, and cacheable again.
+      const auto repeat = query_glsns();
+      EXPECT_EQ(result, repeat);
+    }
+
+    // Same guarantee for deletes: once the session saw the delete confirmed,
+    // a cached pre-delete result may never resurface.
+    const logm::Glsn victim = session_written.front();
+    bool deleted = false;
+    cluster.user(0).delete_record(cluster.sim(), victim,
+                                  [&](bool all_ok) { deleted = all_ok; });
+    cluster.run();
+    ASSERT_TRUE(deleted);
+    const auto after_delete = query_glsns();
+    EXPECT_EQ(std::find(after_delete.begin(), after_delete.end(), victim),
+              after_delete.end())
+        << "deleted glsn resurfaced from a stale cache entry";
+
+    // The sweep must actually exercise the cache, not degrade into
+    // miss-every-time (which would pass the freshness checks vacuously).
+    const auto counters = gateway_cache_counters();
+    EXPECT_GT(counters.cache_hits, 0u);
+    EXPECT_GT(counters.cache_invalidations, 0u);
+  }
+  reset_gateway_cache_counters();
+}
+
 }  // namespace
 }  // namespace dla::audit

@@ -1,0 +1,168 @@
+// Shared workload-generation helpers for tests, benchmarks and the traffic
+// harness driver.
+//
+// Three near-identical copies of "seed an RNG, build a WorkloadSpec, call
+// logm::generate_workload, pour the records into stores / a cluster" used
+// to live in tests/local_query_test.cpp, tests/chaos_explorer_test.cpp and
+// bench/bench_query_processing.cpp. They are folded together here so every
+// driver draws the exact same deterministic streams: a (seed, count) pair
+// names one record stream everywhere, and the canonical criteria suites are
+// defined once. tests/workload_gen_test.cpp pins the seed-determinism
+// contract.
+//
+// Header-only on purpose: consumed by test binaries, bench binaries and
+// tools/dla_traffic alike without a library target.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/cluster.hpp"
+#include "crypto/rng.hpp"
+#include "logm/store.hpp"
+#include "logm/workload.hpp"
+
+namespace dla::testkit {
+
+// The canonical seeded record stream: every consumer that needs `count`
+// generated e-commerce records at seed `seed` must call this, so identical
+// (seed, count) pairs are bit-identical across binaries.
+inline std::vector<logm::LogRecord> make_records(std::uint64_t seed,
+                                                 std::size_t count,
+                                                 std::size_t users = 10) {
+  crypto::ChaCha20Rng rng(seed);
+  logm::WorkloadSpec spec;
+  spec.records = count;
+  spec.users = users;
+  return logm::generate_workload(spec, rng);
+}
+
+// Pour records into a FragmentStore; `indexed = false` yields the naive
+// scan baseline store used by differential tests.
+inline logm::FragmentStore make_store(
+    const std::vector<logm::LogRecord>& records, bool indexed = true) {
+  logm::FragmentStore store;
+  if (!indexed) store.set_indexing(false);
+  for (const logm::LogRecord& rec : records) {
+    store.put(logm::Fragment{rec.glsn, rec.attrs});
+  }
+  return store;
+}
+
+// The [2/5, 3/5] quantile bounds of the Time column — the mid-density range
+// criterion of the scaling suite is built from these.
+inline std::pair<std::int64_t, std::int64_t> time_quantiles(
+    const std::vector<logm::LogRecord>& records) {
+  std::vector<std::int64_t> times;
+  times.reserve(records.size());
+  for (const auto& rec : records) times.push_back(rec.attrs.at("Time").as_int());
+  std::sort(times.begin(), times.end());
+  return {times[times.size() * 2 / 5], times[times.size() * 3 / 5]};
+}
+
+// Cluster-machinery criteria (the chaos explorer's suite): a single-node
+// local plan, the ring set intersection, a set union, and the TTP-mediated
+// secure comparison joined with an intersection.
+inline const std::vector<std::string>& cluster_criteria() {
+  static const std::vector<std::string> kCriteria = {
+      "id = 'U1' AND C2 < 100.0",
+      "id = 'U1' AND protocl = 'UDP'",
+      "id = 'U3' OR protocl = 'TCP'",
+      "C1 < C2 AND Tid = 'T1100267'",
+  };
+  return kCriteria;
+}
+
+// Local-engine scaling suite (bench_query_processing): one criterion per
+// access-path shape. The Time range is derived from the workload's own
+// quantiles so its selectivity tracks the record count.
+struct ScalingCriterion {
+  std::string text;
+  const char* kind;
+};
+
+inline std::vector<ScalingCriterion> scaling_suite(std::int64_t t_lo,
+                                                   std::int64_t t_hi) {
+  return {
+      {"id = 'U3'", "equality"},
+      {"protocl = 'TCP'", "equality"},
+      {"C2 > 900.0", "range"},
+      {"Time >= " + std::to_string(t_lo) +
+           " AND Time <= " + std::to_string(t_hi),
+       "range"},
+      {"id = 'U3' AND C2 > 500.0", "conjunction"},
+      {"id IN ('U1', 'U3', 'U5')", "in-fan"},
+      {"C1 < C2", "fallback"},
+  };
+}
+
+// The paper-table cluster the chaos explorer sweeps. `indexed` toggles the
+// FragmentStore columnar indexes (the oracle runs scan-mode so tier-A
+// equality is an indexed-vs-scan differential); `set_chunk_size` likewise
+// pits chunked ring streams against the monolithic oracle (0 = legacy).
+inline audit::Cluster make_paper_cluster(std::uint64_t seed,
+                                         bool indexed = true,
+                                         std::size_t set_chunk_size = 2) {
+  audit::Cluster::Options opts{logm::paper_schema(), 4, 1,
+                               logm::paper_partition(), seed,
+                               /*auditor_users=*/true};
+  opts.set_chunk_size = set_chunk_size;
+  audit::Cluster cluster(std::move(opts));
+  if (!indexed) {
+    for (std::size_t i = 0; i < cluster.dla_count(); ++i) {
+      cluster.dla(i).store().set_indexing(false);
+      cluster.dla(i).replica_store().set_indexing(false);
+    }
+  }
+  return cluster;
+}
+
+// One paper workload pass: sequentially log Table 1, run every
+// cluster_criteria() entry, then audit the first logged glsn. Each step
+// drains the simulator before the next is issued, so glsn assignment order
+// is the issue order regardless of chaos timing.
+struct PaperWorkloadRun {
+  // Per paper-table record: assigned glsn, or nullopt when the log never
+  // completed (only possible under lossy chaos).
+  std::vector<std::optional<logm::Glsn>> glsns;
+  // Per cluster_criteria() entry: outcome, or nullopt if no callback fired.
+  std::vector<std::optional<audit::QueryOutcome>> queries;
+  std::optional<bool> integrity_ok;
+};
+
+inline PaperWorkloadRun run_paper_workload(audit::Cluster& cluster) {
+  PaperWorkloadRun out;
+  auto records = logm::paper_table1_records();
+  out.glsns.resize(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    cluster.user(0).log_record(
+        cluster.sim(), records[i].attrs,
+        [&out, i](std::optional<logm::Glsn> g) { out.glsns[i] = g; });
+    cluster.run();
+  }
+  out.queries.resize(cluster_criteria().size());
+  for (std::size_t i = 0; i < cluster_criteria().size(); ++i) {
+    cluster.user(0).query(
+        cluster.sim(), cluster_criteria()[i],
+        [&out, i](audit::QueryOutcome o) { out.queries[i] = std::move(o); });
+    cluster.run();
+  }
+  for (const auto& g : out.glsns) {
+    if (!g) continue;
+    cluster.dla(0).on_integrity_result =
+        [&out](audit::SessionId, logm::Glsn, bool ok) {
+          out.integrity_ok = ok;
+        };
+    cluster.dla(0).start_integrity_check(cluster.sim(), 0xC8A05u, *g);
+    cluster.run();
+    cluster.dla(0).on_integrity_result = nullptr;
+    break;
+  }
+  return out;
+}
+
+}  // namespace dla::testkit

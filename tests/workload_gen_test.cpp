@@ -1,0 +1,159 @@
+// Seed-determinism contract for the shared workload helpers
+// (tests/workload_gen.hpp) and the traffic harness op-stream generator
+// (audit/traffic_harness.hpp).
+//
+// Everything the regression-gated traffic matrix asserts rests on one
+// premise: a (spec, seed) pair names exactly one workload, bit-for-bit,
+// across processes and across the fault-free/chaos legs of a pair. These
+// tests pin that premise so a refactor of the generators cannot silently
+// re-seed every baseline.
+#include "workload_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "audit/traffic_harness.hpp"
+
+namespace dla {
+namespace {
+
+TEST(WorkloadGen, SameSeedSameRecords) {
+  const auto a = testkit::make_records(42, 200);
+  const auto b = testkit::make_records(42, 200);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "record " << i << " diverged for equal seeds";
+  }
+}
+
+TEST(WorkloadGen, DifferentSeedDifferentRecords) {
+  const auto a = testkit::make_records(42, 200);
+  const auto b = testkit::make_records(43, 200);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff) << "seeds 42 and 43 produced identical workloads";
+}
+
+TEST(WorkloadGen, PrefixStability) {
+  // A longer stream at the same seed must extend, not reshuffle, the
+  // shorter one: consumers rely on (seed, count) naming a prefix.
+  const auto small = testkit::make_records(7, 50);
+  const auto large = testkit::make_records(7, 120);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i], large[i]) << "prefix diverged at record " << i;
+  }
+}
+
+TEST(WorkloadGen, StoresMirrorRecords) {
+  const auto records = testkit::make_records(9, 80);
+  const auto indexed = testkit::make_store(records);
+  const auto scan = testkit::make_store(records, /*indexed=*/false);
+  for (const auto& rec : records) {
+    ASSERT_NE(indexed.get(rec.glsn), nullptr);
+    ASSERT_NE(scan.get(rec.glsn), nullptr);
+    EXPECT_EQ(indexed.get(rec.glsn)->attrs, rec.attrs);
+  }
+}
+
+TEST(WorkloadGen, TimeQuantilesAreOrderedAndPresent) {
+  const auto records = testkit::make_records(11, 100);
+  const auto [lo, hi] = testkit::time_quantiles(records);
+  EXPECT_LE(lo, hi);
+  // Both bounds are actual Time values from the stream.
+  std::set<std::int64_t> times;
+  for (const auto& rec : records) times.insert(rec.attrs.at("Time").as_int());
+  EXPECT_TRUE(times.contains(lo));
+  EXPECT_TRUE(times.contains(hi));
+}
+
+// ----------------------------------------------- traffic op-stream spec --
+audit::ScenarioSpec harness_spec() {
+  audit::ScenarioSpec spec;
+  spec.name = "determinism";
+  spec.seed = 77;
+  spec.ops = 300;
+  spec.preload_records = 10;
+  spec.mix = {4, 3, 1, 1, 0.5};
+  spec.arrivals = audit::ArrivalProcess::PoissonBatch;
+  spec.identities = 50'000;
+  spec.zipf_s = 1.2;
+  spec.criteria = testkit::cluster_criteria();
+  spec.aggregates = {{"protocl = 'TCP'", audit::AggOp::Count, ""}};
+  return spec;
+}
+
+TEST(TrafficOpStream, SameSpecSameStream) {
+  const auto a = audit::generate_ops(harness_spec());
+  const auto b = audit::generate_ops(harness_spec());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cls, b[i].cls) << "op " << i;
+    EXPECT_EQ(a[i].arrival, b[i].arrival) << "op " << i;
+    EXPECT_EQ(a[i].session, b[i].session) << "op " << i;
+    EXPECT_EQ(a[i].attrs, b[i].attrs) << "op " << i;
+    EXPECT_EQ(a[i].criterion, b[i].criterion) << "op " << i;
+    EXPECT_EQ(a[i].target, b[i].target) << "op " << i;
+    EXPECT_EQ(a[i].reissue_ticket, b[i].reissue_ticket) << "op " << i;
+  }
+}
+
+TEST(TrafficOpStream, SeedChangesStream) {
+  auto spec_b = harness_spec();
+  spec_b.seed = 78;
+  const auto a = audit::generate_ops(harness_spec());
+  const auto b = audit::generate_ops(spec_b);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    if (a[i].cls != b[i].cls || a[i].arrival != b[i].arrival ||
+        a[i].attrs != b[i].attrs) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff) << "different seeds generated identical op streams";
+}
+
+TEST(TrafficOpStream, ArrivalsAreOpenLoopSchedulable) {
+  const auto ops = audit::generate_ops(harness_spec());
+  ASSERT_FALSE(ops.empty());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_GT(ops[i].arrival, 0u) << "op " << i << " scheduled at time zero";
+    if (ops[i].cls == audit::OpClass::Delete) {
+      // Deletes target an earlier same-session write and arrive after it.
+      ASSERT_LT(ops[i].target, i);
+      EXPECT_EQ(ops[ops[i].target].cls, audit::OpClass::Write);
+      EXPECT_EQ(ops[ops[i].target].session, ops[i].session);
+      EXPECT_GT(ops[i].arrival, ops[ops[i].target].arrival);
+    }
+  }
+}
+
+TEST(TrafficOpStream, ZipfSkewsIdentities) {
+  auto spec = harness_spec();
+  spec.mix = {1, 0, 0, 0, 0};  // writes only
+  spec.ops = 500;
+  const auto ops = audit::generate_ops(spec);
+  std::map<std::string, std::size_t> freq;
+  for (const auto& op : ops) {
+    freq[op.attrs.at("id").as_text()]++;
+  }
+  // With s = 1.2 over 50k identities, rank 1 must dominate: it should
+  // absorb well over 5% of the draws while the population stays broad.
+  std::size_t top = 0;
+  for (const auto& [id, n] : freq) top = std::max(top, n);
+  EXPECT_GE(top, ops.size() / 20u);
+  EXPECT_GE(freq.size(), 10u);
+}
+
+TEST(TrafficOpStream, ChurnPlusDeletesIsRejected) {
+  auto spec = harness_spec();
+  spec.reissue_every = 10;
+  spec.mix.del = 1.0;
+  EXPECT_THROW(audit::generate_ops(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dla

@@ -17,6 +17,7 @@ void dispatch_exhaustive(const Msg& msg) {
     case kAlpha: return handle_alpha(msg);
     case kBeta:
     case kGamma: return handle_beta_or_gamma(msg);
+    case kSigma:
     case kDelta:
     case kOmega:
       break;  // not addressed to this fixture node
@@ -25,6 +26,35 @@ void dispatch_exhaustive(const Msg& msg) {
 
 // Explicit comparison counts as handling kGamma for msgtype-coverage.
 bool is_gamma(const Msg& msg) { return msg.type == kGamma; }
+
+// Harness-style classifier (the traffic harness' classify_message shape):
+// every enumerator maps to a label through return cases, no default, and a
+// fallback return after the switch. Labelled returns count as handling —
+// kSigma's only coverage is here — while the trailing break group still
+// does not, so kDelta/kOmega stay uncovered.
+const char* classify(const Msg& msg) {
+  switch (msg.type) {
+    case kAlpha: return "alpha";
+    case kBeta:
+    case kGamma:
+    case kSigma: return "grouped";
+    case kDelta:
+    case kOmega:
+      break;  // deliberately unclassified
+  }
+  return "unclassified";
+}
+
+// A classifier that silently drops enumerators to the fallback return is
+// exactly the bug the rule exists for: no default to waive, gaps flagged.
+const char* classify_gapped(const Msg& msg) {
+  switch (msg.type) {  // EXPECT(msgtype-switch)
+    case kAlpha: return "alpha";
+    case kBeta:
+    case kGamma: return "grouped";
+  }
+  return "unclassified";
+}
 
 void dispatch_defaulted(const Msg& msg) {
   switch (msg.type) {

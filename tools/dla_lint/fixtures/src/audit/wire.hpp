@@ -5,6 +5,7 @@ enum MsgType : unsigned {
   kAlpha = 1,  // handled in dispatch.cpp's exhaustive switch
   kBeta,       // handled via a fallthrough group
   kGamma,      // handled via an explicit msg.type == comparison
+  kSigma,      // handled only by classify()'s labelled return case
   kDelta,      // EXPECT(msgtype-coverage)
   kOmega,      // EXPECT(msgtype-coverage)
 };
