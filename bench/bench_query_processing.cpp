@@ -14,9 +14,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -26,6 +28,7 @@
 #include "audit/local_query.hpp"
 #include "audit/metrics.hpp"
 #include "baseline/centralized.hpp"
+#include "logm/storage_engine.hpp"
 #include "logm/store.hpp"
 #include "logm/workload.hpp"
 #include "workload_gen.hpp"
@@ -58,15 +61,13 @@ double measure_ns(Fn&& fn, double min_ms) {
 // (same store with indexing disabled). Emits BENCH_query.json with one entry
 // per (criterion, records, engine) for the perf trajectory; both engines
 // must return identical glsn sets on every criterion.
-int run_store_scaling(bool smoke, const std::string& json_path) {
+int run_store_scaling(bool smoke, std::ostringstream& json) {
   const std::vector<std::size_t> sizes =
       smoke ? std::vector<std::size_t>{300}
             : std::vector<std::size_t>{300, 3000, 30000};
   const double min_ms = smoke ? 2.0 : 50.0;
   const logm::Schema schema = logm::paper_schema();
 
-  std::ostringstream json;
-  json << "[\n";
   bool first_entry = true;
   int mismatches = 0;
 
@@ -142,12 +143,168 @@ int run_store_scaling(bool smoke, const std::string& json_path) {
     }
     std::cout << "\n";
   }
-  json << "\n]\n";
-
-  std::ofstream out(json_path);
-  out << json.str();
-  std::cout << "wrote " << json_path << " (sink=" << sink << ")\n\n";
+  std::cout << "store-scaling section done (sink=" << sink << ")\n\n";
   return mismatches;
+}
+
+// Storage-backend tier: the same query suite against the full engines —
+// all-in-memory vs memory-mapped segments (docs/STORAGE.md) — at record
+// counts past what the mirror-store section runs. Records stream through in
+// chunks so the generator never holds the whole log; the segment backend is
+// measured for ingest rate, post-ingest RSS and cold-open (reopen +
+// validate) time, and every criterion must answer bit-identically across
+// backends. Appends one JSON entry per backend to BENCH_query.json.
+int run_backend_tier(std::size_t records, std::ostringstream& json_out) {
+  namespace fs = std::filesystem;
+  const logm::Schema schema = logm::paper_schema();
+  const std::size_t chunk = std::min<std::size_t>(records, 65536);
+  // Fixed-bound criteria (no workload quantiles needed): equality, range,
+  // conjunction, IN-fan, and the non-indexable fallback that decodes every
+  // row.
+  const std::vector<std::string> suite = {
+      "id = 'U3'",
+      "protocl = 'TCP'",
+      "C2 > 900.0",
+      "id = 'U3' AND C2 > 500.0",
+      "id IN ('U1', 'U3', 'U5')",
+      "C1 < C2",
+  };
+
+  struct Run {
+    double ingest_ms = 0.0;
+    double rss_kb = 0.0;
+    double cold_open_ms = 0.0;
+    double query_ms_total = 0.0;
+    std::vector<std::size_t> hits;
+    std::vector<std::uint64_t> digests;
+  };
+
+  auto ingest = [&](logm::StorageEngine& eng) {
+    crypto::ChaCha20Rng rng(4242);
+    logm::Glsn next = 0x139aef78;
+    std::size_t remaining = records;
+    while (remaining > 0) {
+      logm::WorkloadSpec spec;
+      spec.records = std::min(chunk, remaining);
+      auto recs = logm::generate_workload(spec, rng, next);
+      next += recs.size();
+      remaining -= recs.size();
+      for (auto& rec : recs) {
+        eng.put(logm::Fragment{rec.glsn, std::move(rec.attrs)});
+      }
+    }
+  };
+  auto fnv = [](const std::vector<logm::Glsn>& glsns) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (logm::Glsn g : glsns) {
+      h ^= g;
+      h *= 1099511628211ull;
+    }
+    return h;
+  };
+  auto run_queries = [&](const logm::StorageEngine& eng, Run& run) {
+    for (const std::string& text : suite) {
+      const audit::Expr expr = audit::parse(text, schema);
+      auto t0 = std::chrono::steady_clock::now();
+      const auto got = audit::eval_engine_indexed(expr, eng);
+      auto t1 = std::chrono::steady_clock::now();
+      run.query_ms_total +=
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      run.hits.push_back(got.size());
+      run.digests.push_back(fnv(got));
+    }
+  };
+
+  // Segment backend first so the memory backend's retained heap cannot
+  // distort the segment run's RSS delta.
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("dla_bench_backend_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  Run seg_run;
+  {
+    logm::SegmentEngine::Options opts;
+    opts.memtable_max_records = 65536;
+    opts.sync_mode = logm::SegmentEngine::SyncMode::OnSeal;
+    const std::size_t rss0 = dla::testkit::read_rss_kb();
+    auto t0 = std::chrono::steady_clock::now();
+    {
+      logm::SegmentEngine eng(dir.string(), opts);
+      ingest(eng);
+      auto t1 = std::chrono::steady_clock::now();
+      seg_run.ingest_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      const std::size_t rss1 = dla::testkit::read_rss_kb();
+      seg_run.rss_kb = rss1 > rss0 ? static_cast<double>(rss1 - rss0) : 0.0;
+      run_queries(eng, seg_run);
+    }
+    auto t2 = std::chrono::steady_clock::now();
+    logm::SegmentEngine reopened(dir.string(), opts);
+    auto t3 = std::chrono::steady_clock::now();
+    seg_run.cold_open_ms =
+        std::chrono::duration<double, std::milli>(t3 - t2).count();
+    if (reopened.size() != records) {
+      std::cerr << "FATAL: segment backend lost rows across reopen: "
+                << reopened.size() << " != " << records << "\n";
+      return 1;
+    }
+  }
+  fs::remove_all(dir);
+
+  Run mem_run;
+  {
+    logm::MemoryEngine eng;
+    const std::size_t rss0 = dla::testkit::read_rss_kb();
+    auto t0 = std::chrono::steady_clock::now();
+    ingest(eng);
+    auto t1 = std::chrono::steady_clock::now();
+    mem_run.ingest_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const std::size_t rss1 = dla::testkit::read_rss_kb();
+    mem_run.rss_kb = rss1 > rss0 ? static_cast<double>(rss1 - rss0) : 0.0;
+    run_queries(eng, mem_run);
+  }
+
+  const bool match = seg_run.digests == mem_run.digests;
+  std::cout << "storage backend tier — " << records << " records\n\n";
+  std::cout << std::left << std::setw(10) << "backend" << std::right
+            << std::setw(12) << "ingest_ms" << std::setw(12) << "rss_kb"
+            << std::setw(14) << "cold_open_ms" << std::setw(12) << "query_ms"
+            << std::setw(7) << "match" << "\n";
+  for (int b = 0; b < 2; ++b) {
+    const Run& run = b == 0 ? mem_run : seg_run;
+    std::cout << std::left << std::setw(10)
+              << (b == 0 ? "memory" : "segment") << std::right
+              << std::setw(12) << std::fixed << std::setprecision(1)
+              << run.ingest_ms << std::setw(12) << std::setprecision(0)
+              << run.rss_kb << std::setw(14) << std::setprecision(1)
+              << run.cold_open_ms << std::setw(12) << run.query_ms_total
+              << std::setw(7) << (match ? "yes" : "NO") << "\n";
+    json_out << ",\n  {\"section\": \"backend\", \"backend\": \""
+             << (b == 0 ? "memory" : "segment")
+             << "\", \"records\": " << records << ", \"ingest_ms\": "
+             << std::fixed << std::setprecision(1) << run.ingest_ms
+             << ", \"rss_kb\": " << std::setprecision(0) << run.rss_kb
+             << ", \"cold_open_ms\": " << std::setprecision(2)
+             << run.cold_open_ms << ", \"query_ms\": " << run.query_ms_total
+             << ", \"match\": " << (match ? "true" : "false") << "}";
+  }
+  std::cout << "\n";
+
+  if (!match) {
+    std::cerr << "FATAL: backends diverged on the query suite\n";
+    return 1;
+  }
+  // The bounded-RSS contract only means anything once the log dwarfs the
+  // memtable: gate at the large tier, report below it.
+  if (records >= 1000000 && mem_run.rss_kb > 0.0 &&
+      seg_run.rss_kb > 0.25 * mem_run.rss_kb) {
+    std::cerr << "FATAL: segment backend RSS " << seg_run.rss_kb
+              << " KiB exceeds 25% of in-memory " << mem_run.rss_kb
+              << " KiB\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -306,24 +463,42 @@ int run_cluster_sections() {
   return 0;
 }
 
-// `--smoke` runs only the store-scaling section at its tier1-safe size (the
-// `bench`-labelled ctest entry); the full run adds the cluster-vs-centralized
-// comparison, certification ablation and aggregate suite.
+// `--smoke` runs the store-scaling section at its tier1-safe size plus a
+// small backend tier (the `bench`-labelled ctest entry); the full run adds
+// a 100k-record backend tier, the cluster-vs-centralized comparison,
+// certification ablation and aggregate suite. `--large` raises the backend
+// tier to 3M records (the bounded-RSS demonstration; gates segment RSS at
+// 25% of the in-memory backend); `--records N` sets it explicitly.
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path = "BENCH_query.json";
+  std::size_t backend_records = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--large") == 0) backend_records = 3000000;
+    if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
+      backend_records = static_cast<std::size_t>(std::stoull(argv[++i]));
+    }
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     }
   }
-  const int mismatches = run_store_scaling(smoke, json_path);
+  if (backend_records == 0) backend_records = smoke ? 2000 : 100000;
+
+  std::ostringstream json;
+  json << "[\n";
+  const int mismatches = run_store_scaling(smoke, json);
   if (mismatches != 0) {
     std::cerr << "FATAL: " << mismatches
               << " criteria diverged between indexed and scan engines\n";
     return 1;
   }
+  const int backend_rc = run_backend_tier(backend_records, json);
+  json << "\n]\n";
+  std::ofstream out(json_path);
+  out << json.str();
+  std::cout << "wrote " << json_path << "\n";
+  if (backend_rc != 0) return backend_rc;
   if (smoke) return 0;
   return run_cluster_sections();
 }

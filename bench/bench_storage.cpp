@@ -1,0 +1,283 @@
+// Storage-engine lifecycle benchmark: ingest -> WAL -> seal -> tiered
+// compaction -> reopen, on the memory-mapped columnar segment backend
+// (docs/STORAGE.md). Reports throughput (ingest/seal/compact rates, cold
+// reopen) into BENCH_storage.json, and gates a set of *structural* metrics
+// against the checked-in baseline bench/storage_baseline.txt: visible rows,
+// segments sealed, compactions run, WAL frames replayed at reopen, and the
+// FNV digest of a fixed query suite across {memtable + segments}. The
+// structural rows are fully deterministic (seeded workload, fixed
+// thresholds, virtual of wall-clock nothing), so the gate is exact-match:
+// any drift is a storage regression, not noise. Timing rows are reported
+// but only ratio-gated when --gate-throughput is passed (sanitizer CI runs
+// would false-fail a wall-clock gate).
+//
+//   bench_storage [--records N] [--baseline PATH] [--write-baseline]
+//                 [--gate-throughput] [--json PATH]
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit/local_query.hpp"
+#include "audit/metrics.hpp"
+#include "logm/storage_engine.hpp"
+#include "logm/workload.hpp"
+#include "workload_gen.hpp"
+
+using namespace dla;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Metrics {
+  // Structural (exact-gated).
+  std::map<std::string, std::uint64_t> structural;
+  // Throughput (reported; ratio-gated only with --gate-throughput).
+  std::map<std::string, double> timing;
+};
+
+std::uint64_t fnv(const std::vector<logm::Glsn>& glsns) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (logm::Glsn g : glsns) {
+    h ^= g;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Metrics run(std::size_t records, const fs::path& dir) {
+  Metrics m;
+  const logm::Schema schema = logm::paper_schema();
+  logm::SegmentEngine::Options opts;
+  opts.memtable_max_records = 1024;
+  opts.compaction_fanout = 4;
+  opts.sync_mode = logm::SegmentEngine::SyncMode::OnSeal;
+
+  logm::reset_storage_stats();
+  fs::remove_all(dir);
+
+  // Ingest: a churny deterministic stream — every 7th record overwrites an
+  // earlier glsn and every 11th deletes one, so seals carry tombstones and
+  // compaction exercises newest-wins merging.
+  crypto::ChaCha20Rng rng(929);
+  logm::WorkloadSpec spec;
+  spec.records = records;
+  auto recs = logm::generate_workload(spec, rng, /*first_glsn=*/1);
+  double ingest_ms = 0.0;
+  std::size_t deletes = 0;
+  {
+    logm::SegmentEngine eng(dir.string(), opts);
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      eng.put(logm::Fragment{recs[i].glsn, recs[i].attrs});
+      if (i % 7 == 3 && i > 14) {
+        logm::Fragment again{recs[i - 14].glsn, recs[i].attrs};
+        eng.put(std::move(again));
+      }
+      if (i % 11 == 5 && i > 22) {
+        if (eng.erase(recs[i - 22].glsn)) ++deletes;
+      }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    ingest_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    // Force the tail out and compact to a steady state.
+    auto t2 = std::chrono::steady_clock::now();
+    eng.seal();
+    eng.compact();
+    auto t3 = std::chrono::steady_clock::now();
+    m.timing["final_seal_compact_ms"] =
+        std::chrono::duration<double, std::milli>(t3 - t2).count();
+
+    m.structural["visible_rows"] = eng.size();
+    m.structural["segments_live"] = eng.segments().size();
+    m.structural["deletes_applied"] = deletes;
+    const logm::StorageStats& st = logm::storage_stats();
+    m.structural["segments_sealed"] = st.segments_sealed;
+    m.structural["segment_compactions"] = st.segment_compactions;
+
+    // Fixed query suite across memtable + segments; digest pins both the
+    // planner and the visibility rules.
+    const std::vector<std::string> suite = {
+        "id = 'U3'",
+        "C2 > 900.0",
+        "id = 'U1' AND C2 > 500.0",
+        "id IN ('U2', 'U4', 'U6')",
+        "C1 < C2",
+    };
+    auto tq0 = std::chrono::steady_clock::now();
+    std::uint64_t digest = 1469598103934665603ull;
+    std::uint64_t hits = 0;
+    for (const std::string& text : suite) {
+      const audit::Expr expr = audit::parse(text, schema);
+      const auto got = audit::eval_engine_indexed(expr, eng);
+      hits += got.size();
+      digest ^= fnv(got);
+      digest *= 1099511628211ull;
+    }
+    auto tq1 = std::chrono::steady_clock::now();
+    m.timing["query_suite_ms"] =
+        std::chrono::duration<double, std::milli>(tq1 - tq0).count();
+    m.structural["query_hits"] = hits;
+    m.structural["query_digest"] = digest;
+
+    // Differential oracle: the scan over the same engine must agree.
+    std::uint64_t scan_digest = 1469598103934665603ull;
+    for (const std::string& text : suite) {
+      const audit::Expr expr = audit::parse(text, schema);
+      scan_digest ^= fnv(audit::eval_engine_scan(expr, eng));
+      scan_digest *= 1099511628211ull;
+    }
+    m.structural["scan_matches_indexed"] = scan_digest == digest ? 1 : 0;
+  }
+  m.timing["ingest_krecs_per_s"] =
+      ingest_ms > 0.0 ? static_cast<double>(records) / ingest_ms : 0.0;
+
+  // Cold reopen: manifest load + full segment validation + WAL replay.
+  logm::reset_storage_stats();
+  auto t0 = std::chrono::steady_clock::now();
+  logm::SegmentEngine reopened(dir.string(), opts);
+  auto t1 = std::chrono::steady_clock::now();
+  m.timing["cold_open_ms"] =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  m.structural["reopened_rows"] = reopened.size();
+  m.structural["wal_frames_replayed"] =
+      logm::storage_stats().wal_frames_replayed;
+  return m;
+}
+
+// Values stay textual so 64-bit digests round-trip exactly (a double-typed
+// baseline would silently truncate them).
+std::map<std::string, std::string> load_baseline(const std::string& path) {
+  std::map<std::string, std::string> out;
+  std::ifstream in(path);
+  std::string key, value;
+  while (in >> key >> value) out[key] = value;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t records = 20000;
+  std::string baseline_path;
+  std::string json_path = "BENCH_storage.json";
+  bool write_baseline = false;
+  bool gate_throughput = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
+      records = static_cast<std::size_t>(std::stoull(argv[++i]));
+    }
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--write-baseline") == 0) write_baseline = true;
+    if (std::strcmp(argv[i], "--gate-throughput") == 0) gate_throughput = true;
+  }
+
+  const fs::path dir = fs::temp_directory_path() /
+                       ("dla_bench_storage_" + std::to_string(::getpid()));
+  Metrics m = run(records, dir);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  std::cout << "segment storage lifecycle — " << records << " records\n\n";
+  for (const auto& [key, value] : m.structural) {
+    std::cout << "  " << std::left << std::setw(26) << key << " " << value
+              << "\n";
+  }
+  for (const auto& [key, value] : m.timing) {
+    std::cout << "  " << std::left << std::setw(26) << key << " "
+              << std::fixed << std::setprecision(2) << value << "\n";
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"records\": " << records;
+  for (const auto& [key, value] : m.structural) {
+    json << ",\n  \"" << key << "\": " << value;
+  }
+  for (const auto& [key, value] : m.timing) {
+    json << ",\n  \"" << key << "\": " << std::fixed << std::setprecision(3)
+         << value;
+  }
+  json << "\n}\n";
+  std::ofstream(json_path) << json.str();
+  std::cout << "\nwrote " << json_path << "\n";
+
+  if (m.structural["scan_matches_indexed"] != 1) {
+    std::cerr << "FATAL: segment-indexed and scan paths diverged\n";
+    return 1;
+  }
+
+  if (baseline_path.empty()) return 0;
+  if (write_baseline) {
+    std::ofstream out(baseline_path);
+    out << "records " << records << "\n";
+    for (const auto& [key, value] : m.structural) {
+      out << key << " " << value << "\n";
+    }
+    for (const auto& [key, value] : m.timing) {
+      out << "throughput." << key << " " << std::fixed << std::setprecision(3)
+          << value << "\n";
+    }
+    std::cout << "wrote baseline " << baseline_path << "\n";
+    return 0;
+  }
+
+  const auto baseline = load_baseline(baseline_path);
+  if (baseline.empty()) {
+    std::cerr << "FATAL: baseline " << baseline_path
+              << " missing or empty (regenerate with --write-baseline)\n";
+    return 1;
+  }
+  int failures = 0;
+  if (auto it = baseline.find("records");
+      it != baseline.end() && std::stoull(it->second) != records) {
+    std::cerr << "FATAL: baseline was recorded at " << it->second
+              << " records, run uses " << records << "\n";
+    return 1;
+  }
+  for (const auto& [key, value] : m.structural) {
+    auto it = baseline.find(key);
+    if (it == baseline.end()) continue;  // new metric: baseline predates it
+    if (std::stoull(it->second) != value) {
+      std::cerr << "REGRESSION: " << key << " = " << value << ", baseline "
+                << it->second << "\n";
+      ++failures;
+    }
+  }
+  if (gate_throughput) {
+    for (const auto& [key, value] : m.timing) {
+      auto it = baseline.find("throughput." + key);
+      if (it == baseline.end()) continue;
+      const double base = std::stod(it->second);
+      if (base <= 0.0) continue;
+      // Rates must not collapse below 1/3 of baseline; latencies must not
+      // exceed 3x. Key names ending in _per_s are rates.
+      const bool rate = key.size() > 6 &&
+                        key.compare(key.size() - 6, 6, "_per_s") == 0;
+      const bool bad = rate ? value < base / 3.0 : value > base * 3.0;
+      if (bad) {
+        std::cerr << "REGRESSION: throughput." << key << " = " << value
+                  << ", baseline " << base << "\n";
+        ++failures;
+      }
+    }
+  }
+  if (failures != 0) {
+    std::cerr << failures << " storage baseline regression(s)\n";
+    return 1;
+  }
+  std::cout << "baseline check passed (" << baseline.size() << " entries)\n";
+  return 0;
+}

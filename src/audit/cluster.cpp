@@ -61,6 +61,15 @@ Cluster::Cluster(Options options)
   ConfigPtr shared = cfg;
   cfg_ = shared;
   for (std::size_t i = 0; i < options.dla_count; ++i) {
+    if (!options.storage_dir.empty()) {
+      const std::string base =
+          options.storage_dir + "/node" + std::to_string(i);
+      dla_nodes_[i]->set_storage(
+          std::make_unique<logm::SegmentEngine>(base + "/primary",
+                                                options.storage),
+          std::make_unique<logm::SegmentEngine>(base + "/replica",
+                                                options.storage));
+    }
     dla_nodes_[i]->configure(shared, i);
     dla_nodes_[i]->set_chunk_size(options.set_chunk_size);
     if (!shares.empty()) dla_nodes_[i]->set_signing_share(shares[i]);

@@ -49,6 +49,12 @@ class Cluster {
     std::size_t set_chunk_size = 64;
     // Transport backend; DLA_TRANSPORT=sim|tcp overrides it when set.
     TransportKind transport = TransportKind::Sim;
+    // When non-empty, every DLA node stores fragments in a durable
+    // logm::SegmentEngine rooted at <storage_dir>/node<i>/{primary,replica}
+    // instead of the default in-memory backend; `storage` tunes seal and
+    // compaction thresholds (docs/STORAGE.md).
+    std::string storage_dir = {};
+    logm::SegmentEngine::Options storage = {};
   };
 
   explicit Cluster(Options options);

@@ -206,7 +206,7 @@ void DlaNode::on_timer(net::Transport& sim, std::uint64_t timer_id) {
   }
   if (timer_id == periodic_timer_ && periodic_interval_ != 0) {
     // Audit the next stored glsn in rotation, then re-arm.
-    auto glsns = store_.glsns();
+    auto glsns = engine_->glsns();
     if (!glsns.empty()) {
       auto it = std::upper_bound(glsns.begin(), glsns.end(), periodic_cursor_);
       logm::Glsn target = it == glsns.end() ? glsns.front() : *it;
@@ -477,7 +477,7 @@ void DlaNode::handle_log_fragment(net::Transport& sim,
   bool ok = tickets_->authorizes(ticket, logm::Op::Write, sim.now());
   logm::Glsn glsn = fragment.glsn;
   if (ok) {
-    (is_replica ? replica_store_ : store_).put(std::move(fragment));
+    (is_replica ? *replica_engine_ : *engine_).put(std::move(fragment));
     acl_.grant(ticket.id, ticket.ops);
     acl_.authorize(ticket.id, glsn);
     advance_store_epoch(sim);
@@ -498,10 +498,8 @@ void DlaNode::handle_log_fragment(net::Transport& sim,
 void DlaNode::advance_store_epoch(net::Transport& sim) {
   ++store_epoch_;
   logm::Glsn high = 0;
-  if (auto glsns = store_.glsns(); !glsns.empty()) high = glsns.back();
-  if (auto glsns = replica_store_.glsns(); !glsns.empty()) {
-    high = std::max(high, glsns.back());
-  }
+  if (auto top = engine_->max_glsn()) high = *top;
+  if (auto top = replica_engine_->max_glsn()) high = std::max(high, *top);
   // Our own gateway cache sees the advance synchronously; peers learn of it
   // via kWatermarkAdvance, so their cached entries involving this owner die
   // as soon as the announcement lands — before any query that was issued
@@ -565,17 +563,18 @@ void DlaNode::handle_fragment_request(net::Transport& sim,
   r.expect_end();
   bool ok = tickets_->authorizes(ticket, logm::Op::Read, sim.now()) &&
             (ticket.auditor || acl_.allowed(ticket.id, logm::Op::Read, glsn));
-  const logm::Fragment* frag = ok ? store_.get(glsn) : nullptr;
+  const std::optional<logm::Fragment> frag =
+      ok ? engine_->fetch(glsn) : std::nullopt;
   net::Writer w;
   w.u64(reqid);
   w.u64(glsn);
-  w.boolean(frag != nullptr);
+  w.boolean(frag.has_value());
   // Authorized-result path: plaintext leaves the node only after the ticket
   // check above proves the requester owns (or may audit) this record, and
   // the reply carries a single fragment — never a cross-node join of
   // attributes. Query handlers, by contrast, must only ever return glsns.
   // DLA-LINT-ALLOW(plaintext-egress): ticket-authorized owner/auditor readback
-  if (frag != nullptr) frag->encode(w);
+  if (frag) frag->encode(w);
   send_payload(sim, id(), msg.src, kFragmentReply, std::move(w));
 }
 
@@ -586,16 +585,35 @@ void DlaNode::handle_fragment_delete(net::Transport& sim,
   Ticket ticket = Ticket::decode(r);
   logm::Glsn glsn = r.u64();
   r.expect_end();
-  bool ok = tickets_->authorizes(ticket, logm::Op::Delete, sim.now()) &&
-            acl_.allowed(ticket.id, logm::Op::Delete, glsn);
-  if (ok) {
-    ok = store_.erase(glsn);
-    replica_store_.erase(glsn);
-    acl_.revoke(ticket.id, glsn);
-    deposits_.erase(glsn);
-    // A delete changes query results just like a write does: cached final
-    // sets naming this owner must not be served afterwards.
-    if (ok) advance_store_epoch(sim);
+  // At-least-once dedup: a delete is not idempotent — re-running it finds
+  // the record already gone (and the ACL entry already revoked) and would
+  // answer refused; a reordered refusal can then overtake the original
+  // acknowledgement at the session. Replay the remembered outcome instead.
+  const std::pair<net::NodeId, std::uint64_t> journal_key{msg.src, reqid};
+  const auto jit = delete_journal_.find(journal_key);
+  const bool replay = jit != delete_journal_.end();
+  bool ok;
+  if (replay) {
+    ++replay_drops_;
+    ok = jit->second;
+  } else {
+    ok = tickets_->authorizes(ticket, logm::Op::Delete, sim.now()) &&
+         acl_.allowed(ticket.id, logm::Op::Delete, glsn);
+    if (ok) {
+      ok = engine_->erase(glsn);
+      replica_engine_->erase(glsn);
+      acl_.revoke(ticket.id, glsn);
+      deposits_.erase(glsn);
+      // A delete changes query results just like a write does: cached final
+      // sets naming this owner must not be served afterwards.
+      if (ok) advance_store_epoch(sim);
+    }
+    delete_journal_[journal_key] = ok;
+    delete_order_.push_back(journal_key);
+    if (delete_order_.size() > 4096) {
+      delete_journal_.erase(delete_order_.front());
+      delete_order_.pop_front();
+    }
   }
   net::Writer w;
   w.u64(reqid);
@@ -1398,8 +1416,8 @@ void DlaNode::handle_scalar_result(net::Transport&, const net::Message& msg) {
 // ================================================ integrity checking =======
 
 std::string DlaNode::fragment_canonical_or_missing(logm::Glsn glsn) const {
-  const logm::Fragment* frag = store_.get(glsn);
-  if (frag == nullptr) {
+  const std::optional<logm::Fragment> frag = engine_->fetch(glsn);
+  if (!frag) {
     return "MISSING:" + std::to_string(glsn);
   }
   return frag->canonical();
@@ -1457,17 +1475,18 @@ void DlaNode::handle_integrity_pass(net::Transport& sim,
 // ================================================= query pipeline ==========
 
 std::vector<logm::Glsn> DlaNode::eval_local(const Expr& expr) const {
-  // Compiled, selectivity-ordered engine (docs/QUERY_ENGINE.md); falls back
-  // to the naive scan when the store runs with indexing disabled.
-  return eval_local_indexed(expr, store_for(attributes_of(expr)));
+  // Compiled, selectivity-ordered engine (docs/QUERY_ENGINE.md); plans
+  // across the memtable and any sealed segments (docs/STORAGE.md) and falls
+  // back to the naive scan when the store runs with indexing disabled.
+  return eval_engine_indexed(expr, engine_for(attributes_of(expr)));
 }
 
-const logm::FragmentStore& DlaNode::store_for(
+const logm::StorageEngine& DlaNode::engine_for(
     const std::set<std::string>& attrs) const {
   for (const auto& attr : attrs) {
-    if (cfg_->partition.node_for(attr) != index_) return replica_store_;
+    if (cfg_->partition.node_for(attr) != index_) return *replica_engine_;
   }
-  return store_;
+  return *engine_;
 }
 
 std::size_t DlaNode::owner_for(const std::string& attr,
@@ -1720,10 +1739,10 @@ void DlaNode::handle_aggregate_exec(net::Transport& sim,
   double acc = 0.0;
   std::uint64_t present = 0;
   bool first = true;
-  const logm::FragmentStore& source = store_for({attr});
+  const logm::StorageEngine& source = engine_for({attr});
   for (logm::Glsn g : glsns) {
-    const logm::Fragment* frag = source.get(g);
-    if (frag == nullptr) continue;
+    const std::optional<logm::Fragment> frag = source.fetch(g);
+    if (!frag) continue;
     auto it = frag->attrs.find(attr);
     if (it == frag->attrs.end()) continue;
     double v = it->second.as_real();
@@ -1947,7 +1966,7 @@ void DlaNode::handle_join_exec(net::Transport& sim, const net::Message& msg) {
   w.u32(result_owner);
   w.u32(msg.src);  // gateway to notify on completion
   std::vector<CmpBatchEntry> entries;
-  store_for({attr}).for_each([&](const logm::Fragment& frag) {
+  engine_for({attr}).for_each([&](const logm::Fragment& frag) {
     auto it = frag.attrs.find(attr);
     if (it == frag.attrs.end()) return;
     bn::BigUInt w_value;

@@ -35,6 +35,7 @@
 #include "crypto/dkg.hpp"
 #include "crypto/rng.hpp"
 #include "crypto/shamir.hpp"
+#include "logm/storage_engine.hpp"
 #include "logm/store.hpp"
 
 namespace dla::audit {
@@ -58,11 +59,32 @@ class DlaNode : public net::Node {
   std::size_t index() const { return index_; }
 
   // --- local state (driver/test access) ---------------------------------
-  logm::FragmentStore& store() { return store_; }
-  const logm::FragmentStore& store() const { return store_; }
+  // The memtable view of the primary/replica storage engines. On the default
+  // MemoryEngine backend this is the entire store, so existing drivers and
+  // tests keep their semantics; on a SegmentEngine it is only the unsealed
+  // tail — engine-aware callers should go through storage().
+  logm::FragmentStore& store() { return engine_->memtable(); }
+  const logm::FragmentStore& store() const { return engine_->memtable(); }
   // Replica copies of predecessors' fragments (cfg->replication >= 2).
-  logm::FragmentStore& replica_store() { return replica_store_; }
-  const logm::FragmentStore& replica_store() const { return replica_store_; }
+  logm::FragmentStore& replica_store() { return replica_engine_->memtable(); }
+  const logm::FragmentStore& replica_store() const {
+    return replica_engine_->memtable();
+  }
+  // The full storage engines (memtable + any sealed segments).
+  logm::StorageEngine& storage() { return *engine_; }
+  const logm::StorageEngine& storage() const { return *engine_; }
+  logm::StorageEngine& replica_storage() { return *replica_engine_; }
+  const logm::StorageEngine& replica_storage() const {
+    return *replica_engine_;
+  }
+  // Swaps a storage backend in (e.g. a logm::SegmentEngine rooted in a
+  // per-node directory). Must run before any traffic; existing contents are
+  // NOT migrated. Null arguments keep the current engine.
+  void set_storage(std::unique_ptr<logm::StorageEngine> primary,
+                   std::unique_ptr<logm::StorageEngine> replica) {
+    if (primary) engine_ = std::move(primary);
+    if (replica) replica_engine_ = std::move(replica);
+  }
   logm::AccessControlTable& acl() { return acl_; }
   const logm::AccessControlTable& acl() const { return acl_; }
   const std::map<logm::Glsn, bn::BigUInt>& deposits() const {
@@ -358,9 +380,10 @@ class DlaNode : public net::Node {
                   const std::string& error);
   void task_completed(net::Transport& sim, std::uint64_t qid);
   std::vector<logm::Glsn> eval_local(const Expr& expr) const;
-  // The store to evaluate `attrs` against: the primary store when they are
-  // this node's own attributes, else the replica store.
-  const logm::FragmentStore& store_for(const std::set<std::string>& attrs) const;
+  // The engine to evaluate `attrs` against: the primary engine when they are
+  // this node's own attributes, else the replica engine.
+  const logm::StorageEngine& engine_for(
+      const std::set<std::string>& attrs) const;
   // The cluster index answering for `attr` right now: the primary owner,
   // or its successor replica when the primary is suspected.
   std::size_t owner_for(const std::string& attr, net::SimTime now) const;
@@ -378,8 +401,10 @@ class DlaNode : public net::Node {
   std::size_t index_ = 0;
   std::optional<TicketService> tickets_;
 
-  logm::FragmentStore store_;
-  logm::FragmentStore replica_store_;
+  std::unique_ptr<logm::StorageEngine> engine_ =
+      std::make_unique<logm::MemoryEngine>();
+  std::unique_ptr<logm::StorageEngine> replica_engine_ =
+      std::make_unique<logm::MemoryEngine>();
   logm::AccessControlTable acl_;
   std::map<logm::Glsn, bn::BigUInt> deposits_;
   std::optional<crypto::AccumulatorStepper> accum_stepper_;  // for params.n
@@ -437,6 +462,11 @@ class DlaNode : public net::Node {
   // reject and could wedge the round without a majority either way.
   std::map<std::uint64_t, bool> propose_journal_;
   std::deque<std::uint64_t> propose_order_;
+  // Owner: outcome of each served kFragmentDelete by (user, reqid). Deletes
+  // are not idempotent — a duplicated request must replay the remembered
+  // outcome, never re-run the erase (see handle_fragment_delete).
+  std::map<std::pair<net::NodeId, std::uint64_t>, bool> delete_journal_;
+  std::deque<std::pair<net::NodeId, std::uint64_t>> delete_order_;
 
   // periodic self-audit state.
   net::SimTime periodic_interval_ = 0;

@@ -63,7 +63,9 @@ void check_session_quiescence(Cluster& cluster, InvariantReport& report) {
 
 namespace {
 
-void check_store(const logm::FragmentStore& store, bool is_replica,
+// Engine-aware: walks every *visible* fragment across the memtable and any
+// sealed segments, so column confidentiality covers durable backends too.
+void check_store(const logm::StorageEngine& store, bool is_replica,
                  std::size_t node, const ClusterConfig& cfg,
                  InvariantReport& report) {
   const std::size_t n = cfg.cluster_size();
@@ -95,8 +97,9 @@ void check_store(const logm::FragmentStore& store, bool is_replica,
 void check_column_confidentiality(Cluster& cluster, InvariantReport& report) {
   const ClusterConfig& cfg = *cluster.config();
   for (std::size_t i = 0; i < cluster.dla_count(); ++i) {
-    check_store(cluster.dla(i).store(), /*is_replica=*/false, i, cfg, report);
-    check_store(cluster.dla(i).replica_store(), /*is_replica=*/true, i, cfg,
+    check_store(cluster.dla(i).storage(), /*is_replica=*/false, i, cfg,
+                report);
+    check_store(cluster.dla(i).replica_storage(), /*is_replica=*/true, i, cfg,
                 report);
   }
 }

@@ -184,8 +184,10 @@ double estimate_range(const logm::AttributeIndex& idx, const logm::Value* lo,
 }
 
 // Tightens a path's bounds with another one-sided range predicate; on an
-// equivalent bound value, the strict comparison wins.
-void tighten_bounds(AccessPath& path, CmpOp op, const logm::Value* value) {
+// equivalent bound value, the strict comparison wins. Templated so the
+// segment paths below share the exact same fusing semantics.
+template <class Path>
+void tighten_bounds(Path& path, CmpOp op, const logm::Value* value) {
   const logm::ValueLess less;
   if (op == CmpOp::Gt || op == CmpOp::Ge) {
     const bool incl = op == CmpOp::Ge;
@@ -321,6 +323,412 @@ void fuse_range_paths(std::vector<AccessPath>& paths) {
   paths = std::move(fused);
 }
 
+// ---- segment evaluation ----------------------------------------------------
+//
+// The same planner semantics, replayed against an immutable mmap'd segment
+// (logm/segment.hpp): zone maps prune whole segments, the per-attribute
+// ValueLess order array answers equality/range probes by binary search, and
+// a compiled program evaluates residual rows with per-cell lazy decode — no
+// fragment is materialized. Indexability rules mirror indexable_probe
+// exactly so segment results stay bit-identical to the scan.
+
+// Lazily-decoding compiled program: the segment twin of Program above. Pred
+// leaves hold attribute directory entries instead of mirror columns; a cell
+// decodes only when its predicate is actually reached for a row.
+struct SegProgNode {
+  Expr::Kind kind = Expr::Kind::Pred;
+  CmpOp op = CmpOp::Eq;
+  bool rhs_is_attr = false;
+  const logm::Segment::AttrView* lhs_attr = nullptr;
+  const logm::Segment::AttrView* rhs_attr = nullptr;
+  const logm::Value* rhs_const = nullptr;
+  std::uint32_t children_begin = 0;
+  std::uint32_t children_count = 0;
+};
+
+struct SegProgram {
+  const logm::Segment* seg = nullptr;
+  std::vector<SegProgNode> nodes;
+  std::vector<std::uint32_t> child_idx;
+  std::uint32_t root = 0;
+
+  Tri eval(std::uint32_t node, std::uint32_t row) const {
+    const SegProgNode& nd = nodes[node];
+    switch (nd.kind) {
+      case Expr::Kind::Pred: {
+        if (nd.lhs_attr == nullptr) return Tri::Missing;
+        const std::optional<std::uint32_t> lj = seg->present_pos(*nd.lhs_attr, row);
+        if (!lj) return Tri::Missing;
+        if (nd.rhs_is_attr) {
+          if (nd.rhs_attr == nullptr) return Tri::Missing;
+          const std::optional<std::uint32_t> rj =
+              seg->present_pos(*nd.rhs_attr, row);
+          if (!rj) return Tri::Missing;
+          return compare_values(seg->cell_value(*nd.lhs_attr, *lj), nd.op,
+                                seg->cell_value(*nd.rhs_attr, *rj))
+                     ? Tri::True
+                     : Tri::False;
+        }
+        return compare_values(seg->cell_value(*nd.lhs_attr, *lj), nd.op,
+                              *nd.rhs_const)
+                   ? Tri::True
+                   : Tri::False;
+      }
+      case Expr::Kind::And:
+        for (std::uint32_t i = 0; i < nd.children_count; ++i) {
+          Tri v = eval(child_idx[nd.children_begin + i], row);
+          if (v != Tri::True) return v;
+        }
+        return Tri::True;
+      case Expr::Kind::Or:
+        for (std::uint32_t i = 0; i < nd.children_count; ++i) {
+          Tri v = eval(child_idx[nd.children_begin + i], row);
+          if (v != Tri::False) return v;
+        }
+        return Tri::False;
+      case Expr::Kind::Not: {
+        Tri v = eval(child_idx[nd.children_begin], row);
+        if (v == Tri::Missing) return v;
+        return v == Tri::True ? Tri::False : Tri::True;
+      }
+    }
+    throw std::logic_error("local_query: corrupt segment program");
+  }
+};
+
+std::uint32_t compile_seg_node(const Expr& expr, const logm::Segment& seg,
+                               SegProgram& prog) {
+  SegProgNode nd{};
+  nd.kind = expr.kind;
+  if (expr.kind == Expr::Kind::Pred) {
+    nd.op = expr.pred.op;
+    nd.rhs_is_attr = expr.pred.rhs_is_attr;
+    nd.lhs_attr = seg.attr(expr.pred.lhs);
+    if (expr.pred.rhs_is_attr) {
+      nd.rhs_attr = seg.attr(expr.pred.rhs_attr);
+    } else {
+      nd.rhs_const = &expr.pred.rhs_const;
+    }
+  } else {
+    std::vector<std::uint32_t> kids;
+    kids.reserve(expr.children.size());
+    for (const Expr& child : expr.children) {
+      kids.push_back(compile_seg_node(child, seg, prog));
+    }
+    nd.children_begin = static_cast<std::uint32_t>(prog.child_idx.size());
+    nd.children_count = static_cast<std::uint32_t>(kids.size());
+    prog.child_idx.insert(prog.child_idx.end(), kids.begin(), kids.end());
+  }
+  prog.nodes.push_back(nd);
+  return static_cast<std::uint32_t>(prog.nodes.size() - 1);
+}
+
+SegProgram compile_segment(const Expr& expr, const logm::Segment& seg) {
+  SegProgram prog;
+  prog.seg = &seg;
+  prog.root = compile_seg_node(expr, seg, prog);
+  return prog;
+}
+
+// First order-array position whose cell is not ValueLess-below v.
+std::uint32_t seg_lower_bound(const logm::Segment& seg,
+                              const logm::Segment::AttrView& view,
+                              const logm::Value& v) {
+  const logm::ValueLess less;
+  std::uint32_t lo = 0, hi = view.present;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (less(seg.cell_value(view, seg.order_at(view, mid)), v)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// First order-array position whose cell is ValueLess-above v.
+std::uint32_t seg_upper_bound(const logm::Segment& seg,
+                              const logm::Segment::AttrView& view,
+                              const logm::Value& v) {
+  const logm::ValueLess less;
+  std::uint32_t lo = 0, hi = view.present;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (less(v, seg.cell_value(view, seg.order_at(view, mid)))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+// The segment analog of indexable_probe: same rules, with the zone-map max
+// standing in for AttributeIndex::max_value (both are the ValueLess maximum
+// of the column, so text-in-column disables ordered probes identically).
+bool seg_indexable_probe(const logm::Segment::AttrView& view,
+                         const Predicate& pred) {
+  if (pred.rhs_is_attr || pred.op == CmpOp::Ne) return false;
+  if (pred.op == CmpOp::Eq) return true;
+  return pred.rhs_const.is_numeric() && view.max.is_numeric();
+}
+
+// One segment access path: Eq/OR-fan probes or a fused range over one
+// attribute's order array.
+struct SegPath {
+  const logm::Segment::AttrView* view = nullptr;
+  std::vector<Probe> probes;  // empty => range path
+  const logm::Value* lo = nullptr;
+  bool lo_incl = false;
+  const logm::Value* hi = nullptr;
+  bool hi_incl = false;
+  double estimate = 0.0;
+};
+
+double seg_estimate_range(const logm::Segment::AttrView& view,
+                          const logm::Value* lo, const logm::Value* hi) {
+  if (!view.min.is_numeric() || !view.max.is_numeric()) {
+    return static_cast<double>(view.present) / 2.0;
+  }
+  const double col_lo = view.min.as_real();
+  const double col_hi = view.max.as_real();
+  if (col_hi <= col_lo) return static_cast<double>(view.present);
+  const double width = col_hi - col_lo;
+  const double f_lo =
+      lo ? std::clamp((lo->as_real() - col_lo) / width, 0.0, 1.0) : 0.0;
+  const double f_hi =
+      hi ? std::clamp((hi->as_real() - col_lo) / width, 0.0, 1.0) : 1.0;
+  return std::max(0.0, f_hi - f_lo) * static_cast<double>(view.present);
+}
+
+// Builds a segment access path for an And-level conjunct, mirroring
+// make_access_path. Returns nullopt when the conjunct is not index-shaped
+// (it stays part of the residual program).
+std::optional<SegPath> make_seg_path(const Expr& conjunct,
+                                     const logm::Segment& seg) {
+  if (conjunct.kind == Expr::Kind::Pred) {
+    const logm::Segment::AttrView* view = seg.attr(conjunct.pred.lhs);
+    if (view == nullptr || !seg_indexable_probe(*view, conjunct.pred)) {
+      return std::nullopt;
+    }
+    SegPath path;
+    path.view = view;
+    if (conjunct.pred.op == CmpOp::Eq) {
+      path.probes.push_back(Probe{CmpOp::Eq, &conjunct.pred.rhs_const});
+      path.estimate = 1.0;  // refined at execution; Eq runs are narrow
+    } else {
+      tighten_bounds(path, conjunct.pred.op, &conjunct.pred.rhs_const);
+      path.estimate = seg_estimate_range(*view, path.lo, path.hi);
+    }
+    return path;
+  }
+  if (conjunct.kind != Expr::Kind::Or || conjunct.children.empty()) {
+    return std::nullopt;
+  }
+  const Expr& first = conjunct.children.front();
+  if (first.kind != Expr::Kind::Pred) return std::nullopt;
+  const logm::Segment::AttrView* view = seg.attr(first.pred.lhs);
+  if (view == nullptr) return std::nullopt;
+  SegPath path;
+  path.view = view;
+  for (const Expr& child : conjunct.children) {
+    if (child.kind != Expr::Kind::Pred || child.pred.lhs != first.pred.lhs ||
+        !seg_indexable_probe(*view, child.pred)) {
+      return std::nullopt;
+    }
+    path.probes.push_back(Probe{child.pred.op, &child.pred.rhs_const});
+    path.estimate += 1.0;
+  }
+  return path;
+}
+
+// Zone-map test: can this path possibly match anything in the segment?
+bool seg_path_maybe_nonempty(const SegPath& path) {
+  const logm::ValueLess less;
+  const logm::Segment::AttrView& view = *path.view;
+  if (path.probes.empty()) {
+    if (path.lo != nullptr) {
+      if (less(view.max, *path.lo)) return false;
+      if (!path.lo_incl && !less(*path.lo, view.max) &&
+          !less(view.max, *path.lo)) {
+        // lo == max and the bound is strict: nothing above it.
+        return false;
+      }
+    }
+    if (path.hi != nullptr) {
+      if (less(*path.hi, view.min)) return false;
+      if (!path.hi_incl && !less(view.min, *path.hi) &&
+          !less(*path.hi, view.min)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  for (const Probe& probe : path.probes) {
+    if (probe.op == CmpOp::Eq) {
+      if (!less(*probe.value, view.min) && !less(view.max, *probe.value)) {
+        return true;
+      }
+      continue;
+    }
+    // Ordered probe inside an OR-fan: conservatively assume nonempty.
+    return true;
+  }
+  return false;
+}
+
+// Sorted candidate row positions for a path (union over probes or the
+// fused range slice), pulled from the order array by binary search.
+std::vector<std::uint32_t> execute_seg_path(const logm::Segment& seg,
+                                            const SegPath& path) {
+  const logm::Segment::AttrView& view = *path.view;
+  auto slice_rows = [&](std::uint32_t first, std::uint32_t last,
+                        std::vector<std::uint32_t>& out) {
+    for (std::uint32_t k = first; k < last; ++k) {
+      out.push_back(seg.row_at(view, seg.order_at(view, k)));
+    }
+  };
+  std::vector<std::uint32_t> rows;
+  if (path.probes.empty()) {
+    const std::uint32_t first =
+        path.lo == nullptr
+            ? 0
+            : (path.lo_incl ? seg_lower_bound(seg, view, *path.lo)
+                            : seg_upper_bound(seg, view, *path.lo));
+    const std::uint32_t last =
+        path.hi == nullptr
+            ? view.present
+            : (path.hi_incl ? seg_upper_bound(seg, view, *path.hi)
+                            : seg_lower_bound(seg, view, *path.hi));
+    if (first < last) slice_rows(first, last, rows);
+  } else {
+    for (const Probe& probe : path.probes) {
+      switch (probe.op) {
+        case CmpOp::Eq:
+          slice_rows(seg_lower_bound(seg, view, *probe.value),
+                     seg_upper_bound(seg, view, *probe.value), rows);
+          break;
+        case CmpOp::Lt:
+          slice_rows(0, seg_lower_bound(seg, view, *probe.value), rows);
+          break;
+        case CmpOp::Le:
+          slice_rows(0, seg_upper_bound(seg, view, *probe.value), rows);
+          break;
+        case CmpOp::Gt:
+          slice_rows(seg_upper_bound(seg, view, *probe.value), view.present,
+                     rows);
+          break;
+        case CmpOp::Ge:
+          slice_rows(seg_lower_bound(seg, view, *probe.value), view.present,
+                     rows);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+// Evaluates the normalized expression against one segment, returning
+// matching glsns ascending (before visibility shadowing).
+std::vector<logm::Glsn> eval_segment(const Expr& normalized,
+                                     const std::vector<Expr>& conjuncts,
+                                     const logm::Segment& seg) {
+  logm::StorageStats& st = logm::storage_stats_mut();
+
+  // Absent-attribute pruning: an And-level predicate over an attribute the
+  // segment does not carry is Missing on every row, so the whole segment
+  // contributes nothing. Same for an OR-fan whose *first* child references
+  // an absent attribute (the naive Or aborts at the first Missing child).
+  for (const Expr& conjunct : conjuncts) {
+    const Expr* pred = nullptr;
+    if (conjunct.kind == Expr::Kind::Pred) {
+      pred = &conjunct;
+    } else if (conjunct.kind == Expr::Kind::Or && !conjunct.children.empty() &&
+               conjunct.children.front().kind == Expr::Kind::Pred) {
+      pred = &conjunct.children.front();
+    }
+    if (pred == nullptr) continue;
+    if (seg.attr(pred->pred.lhs) == nullptr ||
+        (pred->pred.rhs_is_attr &&
+         seg.attr(pred->pred.rhs_attr) == nullptr)) {
+      ++st.zone_map_skips;
+      return {};
+    }
+  }
+
+  // Access paths + zone maps.
+  std::vector<SegPath> paths;
+  for (const Expr& conjunct : conjuncts) {
+    if (std::optional<SegPath> path = make_seg_path(conjunct, seg)) {
+      if (!seg_path_maybe_nonempty(*path)) {
+        ++st.zone_map_skips;
+        return {};
+      }
+      paths.push_back(std::move(*path));
+    }
+  }
+  // Fuse same-attribute range paths into one bounded slice.
+  std::vector<SegPath> fused;
+  for (SegPath& path : paths) {
+    SegPath* host = nullptr;
+    if (path.probes.empty()) {
+      for (SegPath& f : fused) {
+        if (f.probes.empty() && f.view == path.view) {
+          host = &f;
+          break;
+        }
+      }
+    }
+    if (host == nullptr) {
+      fused.push_back(std::move(path));
+      continue;
+    }
+    if (path.lo != nullptr) {
+      tighten_bounds(*host, path.lo_incl ? CmpOp::Ge : CmpOp::Gt, path.lo);
+    }
+    if (path.hi != nullptr) {
+      tighten_bounds(*host, path.hi_incl ? CmpOp::Le : CmpOp::Lt, path.hi);
+    }
+    host->estimate = seg_estimate_range(*host->view, host->lo, host->hi);
+    if (!seg_path_maybe_nonempty(*host)) {
+      ++st.zone_map_skips;
+      return {};
+    }
+  }
+
+  // Candidate rows: the most selective path's run, or every row when no
+  // conjunct is index-shaped. The full program re-checks every conjunct, so
+  // probing with one path keeps results exact.
+  std::vector<std::uint32_t> candidates;
+  if (!fused.empty()) {
+    std::stable_sort(fused.begin(), fused.end(),
+                     [](const SegPath& a, const SegPath& b) {
+                       return a.estimate < b.estimate;
+                     });
+    candidates = execute_seg_path(seg, fused.front());
+    ++st.segment_probe_hits;
+    if (candidates.empty()) return {};
+  } else {
+    candidates.resize(seg.rows());
+    for (std::uint32_t r = 0; r < candidates.size(); ++r) candidates[r] = r;
+  }
+
+  const SegProgram prog = compile_segment(normalized, seg);
+  st.segment_rows_decoded += candidates.size();
+  std::vector<logm::Glsn> out;
+  for (std::uint32_t row : candidates) {
+    if (prog.eval(prog.root, row) == Tri::True) {
+      out.push_back(seg.glsn_at(row));
+    }
+  }
+  return out;  // candidate rows ascending => glsns ascending
+}
+
 }  // namespace
 
 std::vector<logm::Glsn> eval_local_scan(const Expr& expr,
@@ -420,6 +828,65 @@ std::vector<logm::Glsn> eval_local_indexed(const Expr& expr,
     const std::optional<std::size_t> row = store.row_of(glsn);
     if (row && prog.eval(prog.root, *row) == Tri::True) out.push_back(glsn);
   }
+  return out;
+}
+
+std::vector<logm::Glsn> eval_engine_scan(const Expr& expr,
+                                         const logm::StorageEngine& engine) {
+  QueryEngineCounters& ctr = detail::query_engine_counters_mut();
+  ctr.rows_scanned += engine.size();
+  std::vector<logm::Glsn> out;
+  engine.for_each([&](const logm::Fragment& frag) {
+    try {
+      if (evaluate(expr, frag.attrs)) out.push_back(frag.glsn);
+    } catch (const std::out_of_range&) {
+      // Missing referenced attribute => non-match, same as eval_local_scan.
+    }
+  });
+  return out;
+}
+
+std::vector<logm::Glsn> eval_engine_indexed(const Expr& expr,
+                                            const logm::StorageEngine& engine) {
+  const logm::SegmentEngine* seg_eng = engine.segment_backend();
+  if (seg_eng == nullptr) {
+    return eval_local_indexed(expr, engine.memtable());
+  }
+
+  // Snapshot: pins the segment list against compaction reclaim for the
+  // duration of the evaluation.
+  const logm::SegmentEngine::ReadTxn txn = seg_eng->begin_read();
+  const logm::FragmentStore& mem = seg_eng->memtable();
+  const std::vector<logm::Glsn>& pending = seg_eng->pending_tombstones();
+
+  std::vector<logm::Glsn> out = eval_local_indexed(expr, mem);
+
+  const Expr normalized = push_negations(expr);
+  const std::vector<Expr> conjuncts = to_conjunctive(normalized);
+  const auto& segs = txn.segments();  // oldest -> newest
+
+  for (std::size_t i = segs.size(); i-- > 0;) {
+    const logm::Segment& seg = *segs[i];
+    std::vector<logm::Glsn> hits = eval_segment(normalized, conjuncts, seg);
+    for (logm::Glsn g : hits) {
+      // Shadow subtraction: a newer source owning this glsn — memtable row,
+      // pending tombstone, or any newer segment's row/tombstone — makes the
+      // older segment's version invisible.
+      if (mem.get(g) != nullptr) continue;
+      if (std::binary_search(pending.begin(), pending.end(), g)) continue;
+      bool shadowed = false;
+      for (std::size_t j = i + 1; j < segs.size(); ++j) {
+        if (segs[j]->row_of(g) || segs[j]->has_tombstone(g)) {
+          shadowed = true;
+          break;
+        }
+      }
+      if (!shadowed) out.push_back(g);
+    }
+  }
+
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

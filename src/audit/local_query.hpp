@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "audit/query.hpp"
+#include "logm/storage_engine.hpp"
 #include "logm/store.hpp"
 
 namespace dla::audit {
@@ -46,5 +47,22 @@ std::vector<logm::Glsn> eval_local_indexed(const Expr& expr,
 // the scan-vs-indexed benchmark; adds the scanned rows to the counters.
 std::vector<logm::Glsn> eval_local_scan(const Expr& expr,
                                         const logm::FragmentStore& store);
+
+// Engine-aware evaluation across {memtable + segments} (see docs/STORAGE.md).
+// On a MemoryEngine this is exactly eval_local_indexed on the backing store.
+// On a SegmentEngine it opens a snapshot read transaction, answers the
+// memtable through the existing planner, then evaluates each segment newest
+// to oldest — zone-map pruning, value-order binary-search probes under the
+// same indexability rules as indexable_probe, and a lazily-decoding compiled
+// residual program — subtracting every glsn shadowed by a newer source
+// (memtable row, pending tombstone, or newer segment row/tombstone). No row
+// is materialized to answer a predicate. Bit-identical to eval_engine_scan.
+std::vector<logm::Glsn> eval_engine_indexed(const Expr& expr,
+                                            const logm::StorageEngine& engine);
+
+// The engine-level oracle: visible-fragment scan through `evaluate` with
+// missing-attribute => non-match, mirroring eval_local_scan.
+std::vector<logm::Glsn> eval_engine_scan(const Expr& expr,
+                                         const logm::StorageEngine& engine);
 
 }  // namespace dla::audit

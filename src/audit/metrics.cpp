@@ -1,6 +1,7 @@
 #include "audit/metrics.hpp"
 
 #include "crypto/modexp_engine.hpp"
+#include "logm/storage_stats.hpp"
 
 namespace dla::audit {
 
@@ -115,6 +116,26 @@ WireRejectCounters wire_reject_counters() {
 void reset_wire_reject_counters() {
   detail::wire_reject_counters_mut() = WireRejectCounters{};
 }
+
+StorageCounters storage_counters() {
+  const logm::StorageStats& st = logm::storage_stats();
+  StorageCounters out;
+  out.segments_sealed = st.segments_sealed;
+  out.segment_compactions = st.segment_compactions;
+  out.segment_probe_hits = st.segment_probe_hits;
+  out.zone_map_skips = st.zone_map_skips;
+  out.segment_rows_decoded = st.segment_rows_decoded;
+  out.pinned_readers = st.pinned_readers;
+  out.stalled_readers = st.stalled_readers;
+  out.clone_shared_segments = st.clone_shared_segments;
+  out.clone_memtable_rows = st.clone_memtable_rows;
+  out.mirror_rebuild_rows = st.mirror_rebuild_rows;
+  out.wal_frames_replayed = st.wal_frames_replayed;
+  out.orphan_segments_removed = st.orphan_segments_removed;
+  return out;
+}
+
+void reset_storage_counters() { logm::reset_storage_stats(); }
 
 ChaosCounters chaos_counters(const net::Simulator& sim) {
   const net::NetworkStats& stats = sim.stats();

@@ -127,6 +127,33 @@ namespace detail {
 WireRejectCounters& wire_reject_counters_mut();
 }  // namespace detail
 
+// ---- storage counters ------------------------------------------------------
+// Process-wide counters for the pluggable storage layer (logm::SegmentEngine,
+// see docs/STORAGE.md): seal/compaction activity, how often the segment query
+// planner's zone maps pruned a whole segment versus probing its value order,
+// how many segment cells were actually decoded, snapshot read-transaction
+// pressure (pinned_readers is a gauge, stalled_readers counts long-running
+// transactions reported by the tracker), what replica clones shared versus
+// copied, and recovery work (WAL frames replayed, orphan files swept).
+// Re-exported from logm so audit-level drivers and benchmarks report storage
+// cost without reaching into the engine.
+struct StorageCounters {
+  std::uint64_t segments_sealed = 0;
+  std::uint64_t segment_compactions = 0;
+  std::uint64_t segment_probe_hits = 0;
+  std::uint64_t zone_map_skips = 0;
+  std::uint64_t segment_rows_decoded = 0;
+  std::uint64_t pinned_readers = 0;  // gauge: currently open read txns
+  std::uint64_t stalled_readers = 0;
+  std::uint64_t clone_shared_segments = 0;
+  std::uint64_t clone_memtable_rows = 0;
+  std::uint64_t mirror_rebuild_rows = 0;
+  std::uint64_t wal_frames_replayed = 0;
+  std::uint64_t orphan_segments_removed = 0;
+};
+StorageCounters storage_counters();
+void reset_storage_counters();
+
 // ---- chaos counters ------------------------------------------------------
 // Fault-injection counters surfaced from the network layer (net::ChaosEngine
 // via net::NetworkStats) so audit-level drivers can report how much chaos a

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -366,6 +367,15 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
   copts.certify_reports = spec.certify_reports;
   copts.set_chunk_size = spec.set_chunk_size;
   copts.transport = opts.transport;
+  if (!spec.storage_dir.empty()) {
+    // Per-leg subdir, wiped up front so reruns start from an empty store.
+    copts.storage_dir = spec.storage_dir + "/" + res.transport +
+                        (opts.chaos ? "-chaos" : "-ff");
+    std::filesystem::remove_all(copts.storage_dir);
+    copts.storage.memtable_max_records = spec.storage_memtable_max;
+    copts.storage.compaction_fanout = spec.storage_compaction_fanout;
+    copts.storage.sync_mode = logm::SegmentEngine::SyncMode::OnSeal;
+  }
   Cluster cluster(copts);
   if (spec.link_bytes_per_us > 0.0) {
     cluster.sim().set_link_bandwidth(spec.link_bytes_per_us);

@@ -120,6 +120,17 @@ struct ScenarioSpec {
   // bursts actually queue.
   double link_bytes_per_us = 0.0;
 
+  // Durable storage: when non-empty, every DLA node runs the mmap'd
+  // segment engine (docs/STORAGE.md) rooted at
+  // `<storage_dir>/<transport>-<leg>/node<i>` — the per-leg subdir keeps a
+  // scenario's fault-free/chaos and sim/tcp legs from colliding on one
+  // directory tree. A tiny memtable threshold forces seals (and tiered
+  // compactions) to fire *mid-traffic*, so the open-loop run drives the
+  // full WAL -> seal -> compact lifecycle under live query/delete load.
+  std::string storage_dir;
+  std::size_t storage_memtable_max = 64;
+  std::size_t storage_compaction_fanout = 2;
+
   // Chaos half of the pair (applied only when RunOptions.chaos is set).
   net::ChaosConfig chaos;
   std::size_t chaos_outages = 0;

@@ -1,0 +1,150 @@
+// Immutable, memory-mapped columnar segment files.
+//
+// A segment is the sealed form of a SegmentEngine memtable: a glsn-sorted,
+// CRC-protected, column-oriented file that is mmap'd read-only and queried
+// in place — fragments are never materialized just to evaluate a predicate.
+// Per attribute the file carries the same access structures the in-memory
+// AttributeIndex provides, flattened into arrays:
+//
+//   rows[]    present row positions, ascending (the postings' row set)
+//   order[]   a permutation of 0..present-1 sorting the cells by ValueLess
+//             (stable, so equal-value runs stay in glsn order — exactly the
+//             order AttributeIndex keeps inside one posting run)
+//   cells[]   (offset, length) pairs into the value blob area
+//
+// plus a zone map (min/max cell value, decoded once at open) for whole-
+// segment pruning. Tombstones — glsns deleted after they were sealed into
+// an *older* segment — ride in the segment so deletes of sealed data are
+// durable and ordered.
+//
+// File layout (all integers little-endian):
+//
+//   header   magic "DLASEG1\0", seq u64, record_count u64,
+//            tombstone_count u64, attr_count u64, file_length u64
+//   glsns    record_count * u64, strictly ascending
+//   tombs    tombstone_count * u64, strictly ascending
+//   per attr u32 name_len + name bytes, u64 present,
+//            present * u32 rows, present * u32 order,
+//            present * (u64 offset + u32 length) cells
+//   blob     concatenated Value::encode() bytes
+//   trailer  crc32 u32 over everything before it, magic "DLAEND1\0"
+//
+// Open() validates the whole file before any query touches it: magic,
+// length, CRC over the body, strict glsn/tombstone ordering, and that every
+// row index, order entry, and cell extent is in bounds. Hostile input —
+// truncation, bit flips, resized arrays — is rejected with SegmentError,
+// never undefined behavior; cell decodes additionally go through the
+// bounds-checked net::Reader as defense in depth. The raw mapping never
+// leaves this class: dla_lint's mmap-egress rule bans the accessor tokens
+// outside src/logm (see docs/STORAGE.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logm/record.hpp"
+
+namespace dla::logm {
+
+class SegmentError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Segment {
+ public:
+  // One attribute's on-file access structures. min/max are the zone map.
+  struct AttrView {
+    std::string name;
+    std::uint32_t present = 0;
+    std::size_t rows_off = 0;   // byte offset of rows[] in the file
+    std::size_t order_off = 0;  // byte offset of order[]
+    std::size_t cells_off = 0;  // byte offset of cells[] (off u64 + len u32)
+    Value min;
+    Value max;
+  };
+
+  // Maps and fully validates the file; throws SegmentError on anything
+  // torn, truncated, or out of bounds.
+  static std::shared_ptr<Segment> open(std::string path);
+
+  ~Segment();
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  std::uint64_t seq() const { return seq_; }
+  const std::string& path() const { return path_; }
+  std::uint64_t file_bytes() const { return mapped_size_; }
+
+  std::size_t rows() const { return row_count_; }
+  Glsn glsn_at(std::size_t row) const;
+  // Row position of a glsn held by this segment (binary search).
+  std::optional<std::size_t> row_of(Glsn glsn) const;
+
+  std::size_t tombstone_count() const { return tombstone_count_; }
+  Glsn tombstone_at(std::size_t i) const;
+  bool has_tombstone(Glsn glsn) const;
+
+  const std::vector<AttrView>& attrs() const { return attrs_; }
+  const AttrView* attr(std::string_view name) const;
+
+  // Row index of the j-th present cell (j < attr.present).
+  std::uint32_t row_at(const AttrView& a, std::uint32_t j) const;
+  // Present-cell position of `row`, or nullopt when the row lacks the
+  // attribute (binary search over rows[]).
+  std::optional<std::uint32_t> present_pos(const AttrView& a,
+                                           std::uint32_t row) const;
+  // j-th entry of the ValueLess order permutation.
+  std::uint32_t order_at(const AttrView& a, std::uint32_t j) const;
+  // Decodes the j-th present cell from the blob area.
+  Value cell_value(const AttrView& a, std::uint32_t j) const;
+
+  // Assembles the full fragment for a row (all attributes). Used by point
+  // reads and compaction, not by predicate evaluation.
+  Fragment fragment_at(std::size_t row) const;
+
+  // When set, the backing file is unlinked by the destructor — i.e. once
+  // the last read transaction pinning this segment releases it. Compaction
+  // uses this to reclaim merged inputs without yanking mappings from under
+  // open readers.
+  void set_unlink_on_close(bool v) { unlink_on_close_ = v; }
+
+ private:
+  Segment() = default;
+  void validate();
+
+  std::uint32_t u32_at(std::size_t off) const;
+  std::uint64_t u64_at(std::size_t off) const;
+
+  std::string path_;
+  // Raw mapping — private to the segment; dla_lint bans these tokens
+  // outside src/logm so mapped memory cannot leak as raw pointers.
+  const std::uint8_t* mapped_base_ = nullptr;
+  std::size_t mapped_size_ = 0;
+  std::vector<std::uint8_t> heap_copy_;  // non-mmap fallback owns the bytes
+  bool mmapped_ = false;
+  bool unlink_on_close_ = false;
+
+  std::uint64_t seq_ = 0;
+  std::size_t row_count_ = 0;
+  std::size_t tombstone_count_ = 0;
+  std::size_t glsns_off_ = 0;
+  std::size_t tombstones_off_ = 0;
+  std::size_t blob_off_ = 0;
+  std::size_t blob_end_ = 0;
+  std::vector<AttrView> attrs_;
+};
+
+// Builds and writes a segment file from glsn-sorted fragments plus the
+// sorted tombstone set. Does not fsync — the engine owns the crash
+// discipline. Returns the file's byte length.
+std::uint64_t write_segment_file(const std::string& path, std::uint64_t seq,
+                                 const std::vector<const Fragment*>& fragments,
+                                 const std::vector<Glsn>& tombstones);
+
+}  // namespace dla::logm

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "logm/storage_stats.hpp"
+
 namespace dla::logm {
 
 // ---- AttributeIndex --------------------------------------------------------
@@ -169,6 +171,10 @@ void FragmentStore::rebuild() {
   columns_.clear();
   indexes_.clear();
   if (!indexing_) return;
+  // Every full rebuild re-scans the whole fragment map — the O(n) cost the
+  // segment engine's shared-segment clones exist to avoid. The counter lets
+  // tests assert a clone only re-mirrors its (bounded) memtable.
+  storage_stats_mut().mirror_rebuild_rows += fragments_.size();
   // Ascending map order makes every attach hit the append fast path.
   for (const auto& [glsn, frag] : fragments_) attach(frag);
 }

@@ -27,9 +27,6 @@ std::array<std::uint32_t, 256> make_crc_table() {
   return table;
 }
 
-constexpr std::uint8_t kOpPut = 0;
-constexpr std::uint8_t kOpErase = 1;
-
 }  // namespace
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
@@ -41,66 +38,12 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
   return c ^ 0xFFFFFFFFu;
 }
 
-WalFragmentStore::WalFragmentStore(std::string path)
-    : path_(std::move(path)) {
-  replay();
-}
+namespace walio {
 
-void WalFragmentStore::replay() {
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) return;  // fresh store
-  for (;;) {
-    std::uint8_t header[9];
-    in.read(reinterpret_cast<char*>(header), sizeof(header));
-    if (in.gcount() < static_cast<std::streamsize>(sizeof(header))) {
-      if (in.gcount() > 0) ++corrupt_skipped_;  // torn header
-      break;
-    }
-    std::uint32_t len = 0, crc = 0;
-    for (int i = 0; i < 4; ++i) len |= std::uint32_t(header[i]) << (8 * i);
-    for (int i = 0; i < 4; ++i) crc |= std::uint32_t(header[4 + i]) << (8 * i);
-    std::uint8_t op = header[8];
-    if (len > (64u << 20)) {  // implausible frame: corrupt length
-      ++corrupt_skipped_;
-      break;
-    }
-    net::Bytes payload(len);
-    in.read(reinterpret_cast<char*>(payload.data()), len);
-    if (in.gcount() < static_cast<std::streamsize>(len)) {
-      ++corrupt_skipped_;  // torn payload
-      break;
-    }
-    net::Bytes crc_input;
-    crc_input.push_back(op);
-    crc_input.insert(crc_input.end(), payload.begin(), payload.end());
-    if (crc32(crc_input.data(), crc_input.size()) != crc) {
-      ++corrupt_skipped_;
-      // A corrupt frame invalidates everything after it — the write was
-      // not acknowledged, so recovery stops here.
-      break;
-    }
-    net::Reader r(payload);
-    try {
-      if (op == kOpPut) {
-        store_.put(Fragment::decode(r));
-      } else if (op == kOpErase) {
-        store_.erase(r.u64());
-      } else {
-        ++corrupt_skipped_;
-        break;
-      }
-    } catch (const net::CodecError&) {
-      ++corrupt_skipped_;
-      break;
-    }
-    ++replayed_;
-  }
-}
-
-void WalFragmentStore::append_frame(std::uint8_t op,
-                                    const net::Bytes& payload) {
-  std::ofstream out(path_, std::ios::binary | std::ios::app);
-  if (!out) throw std::runtime_error("WalFragmentStore: cannot open " + path_);
+void append_frame(const std::string& path, std::uint8_t op,
+                  const net::Bytes& payload) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) throw std::runtime_error("walio: cannot open " + path);
   net::Bytes crc_input;
   crc_input.push_back(op);
   crc_input.insert(crc_input.end(), payload.begin(), payload.end());
@@ -114,44 +57,132 @@ void WalFragmentStore::append_frame(std::uint8_t op,
   out.write(reinterpret_cast<const char*>(payload.data()),
             static_cast<std::streamsize>(payload.size()));
   out.flush();
-  if (!out) throw std::runtime_error("WalFragmentStore: write failed");
-  out.close();
-  // flush() only hands the frame to the page cache; the frame is
-  // acknowledged to callers, so it must reach stable storage.
-  sync_file(path_);
+  if (!out) throw std::runtime_error("walio: write failed on " + path);
 }
 
-void WalFragmentStore::sync_file(const std::string& path) {
+ReplayStats replay_frames(
+    const std::string& path,
+    const std::function<void(std::uint8_t, net::Reader&)>& apply) {
+  ReplayStats stats;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return stats;  // fresh log
+  for (;;) {
+    std::uint8_t header[9];
+    in.read(reinterpret_cast<char*>(header), sizeof(header));
+    if (in.gcount() < static_cast<std::streamsize>(sizeof(header))) {
+      if (in.gcount() > 0) ++stats.corrupt_skipped;  // torn header
+      break;
+    }
+    std::uint32_t len = 0, crc = 0;
+    for (int i = 0; i < 4; ++i) len |= std::uint32_t(header[i]) << (8 * i);
+    for (int i = 0; i < 4; ++i) crc |= std::uint32_t(header[4 + i]) << (8 * i);
+    std::uint8_t op = header[8];
+    if (len > (64u << 20)) {  // implausible frame: corrupt length
+      ++stats.corrupt_skipped;
+      break;
+    }
+    net::Bytes payload(len);
+    in.read(reinterpret_cast<char*>(payload.data()), len);
+    if (in.gcount() < static_cast<std::streamsize>(len)) {
+      ++stats.corrupt_skipped;  // torn payload
+      break;
+    }
+    net::Bytes crc_input;
+    crc_input.push_back(op);
+    crc_input.insert(crc_input.end(), payload.begin(), payload.end());
+    if (crc32(crc_input.data(), crc_input.size()) != crc) {
+      ++stats.corrupt_skipped;
+      // A corrupt frame invalidates everything after it — the write was
+      // not acknowledged, so recovery stops here.
+      break;
+    }
+    net::Reader r(payload);
+    try {
+      apply(op, r);
+    } catch (const net::CodecError&) {
+      ++stats.corrupt_skipped;
+      break;
+    }
+    ++stats.replayed;
+  }
+  return stats;
+}
+
+bool sync_file(const std::string& path) {
 #if defined(__unix__) || defined(__APPLE__)
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd >= 0) {
-    if (::fsync(fd) == 0) ++sync_calls_;
+    bool ok = ::fsync(fd) == 0;
     ::close(fd);
+    return ok;
   }
+  return false;
 #else
   (void)path;  // best-effort: no fsync equivalent wired up
+  return false;
 #endif
 }
 
-void WalFragmentStore::sync_parent_dir(const std::string& path) {
+bool sync_parent_dir(const std::string& path) {
 #if defined(__unix__) || defined(__APPLE__)
   namespace fs = std::filesystem;
   fs::path parent = fs::path(path).parent_path();
   if (parent.empty()) parent = ".";
   int fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd >= 0) {
-    if (::fsync(fd) == 0) ++dir_sync_calls_;
+    bool ok = ::fsync(fd) == 0;
     ::close(fd);
+    return ok;
   }
+  return false;
 #else
   (void)path;
+  return false;
 #endif
+}
+
+}  // namespace walio
+
+WalFragmentStore::WalFragmentStore(std::string path)
+    : path_(std::move(path)) {
+  replay();
+}
+
+void WalFragmentStore::replay() {
+  walio::ReplayStats stats =
+      walio::replay_frames(path_, [&](std::uint8_t op, net::Reader& r) {
+        if (op == walio::kOpPut) {
+          store_.put(Fragment::decode(r));
+        } else if (op == walio::kOpErase) {
+          store_.erase(r.u64());
+        } else {
+          throw net::CodecError("WalFragmentStore: unknown frame op");
+        }
+      });
+  replayed_ = stats.replayed;
+  corrupt_skipped_ = stats.corrupt_skipped;
+}
+
+void WalFragmentStore::append_frame(std::uint8_t op,
+                                    const net::Bytes& payload) {
+  walio::append_frame(path_, op, payload);
+  // flush() only hands the frame to the page cache; the frame is
+  // acknowledged to callers, so it must reach stable storage.
+  sync_file(path_);
+}
+
+void WalFragmentStore::sync_file(const std::string& path) {
+  if (walio::sync_file(path)) ++sync_calls_;
+}
+
+void WalFragmentStore::sync_parent_dir(const std::string& path) {
+  if (walio::sync_parent_dir(path)) ++dir_sync_calls_;
 }
 
 void WalFragmentStore::put(Fragment fragment) {
   net::Writer w;
   fragment.encode(w);
-  append_frame(kOpPut, w.bytes());
+  append_frame(walio::kOpPut, w.bytes());
   store_.put(std::move(fragment));
 }
 
@@ -159,7 +190,7 @@ bool WalFragmentStore::erase(Glsn glsn) {
   if (store_.get(glsn) == nullptr) return false;
   net::Writer w;
   w.u64(glsn);
-  append_frame(kOpErase, w.bytes());
+  append_frame(walio::kOpErase, w.bytes());
   return store_.erase(glsn);
 }
 

@@ -1,0 +1,274 @@
+// Crash-point and hostile-input tests for the segment engine
+// (docs/STORAGE.md "Crash matrix"). Every seal and compaction boundary is
+// killed via the engine's crash hooks (a hook that throws simulates the
+// process dying exactly there), and the reopened engine must recover to the
+// last manifest-committed state plus the WAL tail — bit-identical visible
+// contents, orphan files swept. Hostile segment files (truncated, torn
+// footer, bit-flipped) must be rejected with SegmentError, never UB; these
+// run under ASan/UBSan in CI.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logm/segment.hpp"
+#include "logm/storage_engine.hpp"
+
+namespace dla::logm {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Crash {};  // the simulated kill signal
+
+struct CrashFixture : ::testing::Test {
+  CrashFixture() {
+    dir = fs::temp_directory_path() /
+          ("dla_crash_test_" + std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir);
+  }
+  ~CrashFixture() override {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+
+  SegmentEngine::Options manual_options() const {
+    SegmentEngine::Options opts;
+    opts.memtable_max_records = 0;  // explicit seal()/compact() only
+    opts.auto_compact = false;
+    return opts;
+  }
+
+  Fragment frag(Glsn glsn, std::int64_t time) {
+    Fragment f;
+    f.glsn = glsn;
+    f.attrs = {{"Time", Value(time)}, {"id", Value("U1")}};
+    return f;
+  }
+
+  // Snapshot of the engine's full visible contents, for exact recovery
+  // comparison across a crash.
+  std::map<Glsn, std::string> contents(const StorageEngine& eng) {
+    std::map<Glsn, std::string> out;
+    eng.for_each(
+        [&](const Fragment& f) { out.emplace(f.glsn, f.canonical()); });
+    return out;
+  }
+
+  std::vector<fs::path> segment_files() {
+    std::vector<fs::path> out;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.path().extension() == ".dseg") out.push_back(entry.path());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  fs::path dir;
+};
+
+const SegmentEngine::CrashPoint kAllPoints[] = {
+    SegmentEngine::CrashPoint::AfterSegmentSync,
+    SegmentEngine::CrashPoint::BeforeManifestRename,
+    SegmentEngine::CrashPoint::AfterManifestRename,
+    SegmentEngine::CrashPoint::BeforeInputUnlink,
+};
+
+// ---- seal boundaries -------------------------------------------------------
+
+// Killing a seal at any boundary loses nothing: either the manifest still
+// names the old segment list (WAL replay restores the memtable) or the
+// manifest committed the new segment (WAL replay is idempotent on top).
+TEST_F(CrashFixture, SealCrashAtEveryBoundaryRecoversAllRows) {
+  for (SegmentEngine::CrashPoint point : kAllPoints) {
+    if (point == SegmentEngine::CrashPoint::BeforeInputUnlink) continue;
+    const fs::path sub = dir / ("seal" + std::to_string(static_cast<int>(point)));
+    std::map<Glsn, std::string> expected;
+    {
+      SegmentEngine eng(sub.string(), manual_options());
+      for (Glsn g = 1; g <= 12; ++g) eng.put(frag(g, 100 + g));
+      EXPECT_TRUE(eng.erase(4));
+      expected = contents(eng);
+      eng.set_crash_hook(point, [] { throw Crash{}; });
+      EXPECT_THROW(eng.seal(), Crash);
+    }
+    reset_storage_stats();
+    SegmentEngine reopened(sub.string(), manual_options());
+    EXPECT_EQ(contents(reopened), expected)
+        << "seal crash point " << static_cast<int>(point);
+    if (point != SegmentEngine::CrashPoint::AfterManifestRename) {
+      // Pre-commit crashes leave the durable segment (and possibly a
+      // manifest tmp) orphaned; recovery must sweep them.
+      EXPECT_GE(storage_stats().orphan_segments_removed, 1u)
+          << "seal crash point " << static_cast<int>(point);
+      EXPECT_GT(storage_stats().wal_frames_replayed, 0u);
+    }
+    // The recovered engine is fully operational: seal completes cleanly.
+    EXPECT_GT(reopened.seal(), 0u);
+    EXPECT_EQ(contents(reopened), expected);
+  }
+}
+
+// A crash *between* WAL append and the visibility bookkeeping cannot happen
+// (single-threaded), but a WAL-durable put followed by an immediate kill
+// must replay. Simulated by killing the seal before anything durable
+// changed: the WAL alone carries the state.
+TEST_F(CrashFixture, WalTailAloneCarriesUnsealedMutations) {
+  std::map<Glsn, std::string> expected;
+  {
+    SegmentEngine eng(dir.string(), manual_options());
+    for (Glsn g = 1; g <= 5; ++g) eng.put(frag(g, g));
+    eng.put(frag(3, 999));  // overwrite
+    EXPECT_TRUE(eng.erase(1));
+    expected = contents(eng);
+    // no seal: destructor leaves only MANIFEST + wal.log
+  }
+  reset_storage_stats();
+  SegmentEngine reopened(dir.string(), manual_options());
+  EXPECT_EQ(contents(reopened), expected);
+  EXPECT_EQ(storage_stats().wal_frames_replayed, 7u);
+}
+
+// ---- compaction boundaries -------------------------------------------------
+
+// Killing a compaction at any boundary recovers to a state whose visible
+// contents equal the pre-compaction snapshot: before the manifest rename
+// the inputs are still live (merged output swept as an orphan); after it,
+// the merged output is live (inputs swept as orphans).
+TEST_F(CrashFixture, CompactionCrashAtEveryBoundaryPreservesSnapshot) {
+  for (SegmentEngine::CrashPoint point : kAllPoints) {
+    const fs::path sub =
+        dir / ("compact" + std::to_string(static_cast<int>(point)));
+    std::map<Glsn, std::string> expected;
+    std::size_t pre_segments = 0;
+    SegmentEngine::Options opts = manual_options();
+    opts.compaction_fanout = 3;  // the three sealed segments form one run
+    {
+      SegmentEngine eng(sub.string(), opts);
+      for (int round = 0; round < 3; ++round) {
+        for (Glsn g = 1; g <= 8; ++g) {
+          eng.put(frag(g + static_cast<Glsn>(round) * 8, round));
+        }
+        // Overwrite one row of the previous round so the merge must pick
+        // the newest version.
+        if (round > 0) eng.put(frag(static_cast<Glsn>(round) * 8 - 1, 7777));
+        ASSERT_GT(eng.seal(), 0u);
+      }
+      pre_segments = eng.segments().size();
+      expected = contents(eng);
+      eng.set_crash_hook(point, [] { throw Crash{}; });
+      EXPECT_THROW(eng.compact(), Crash);
+    }
+    reset_storage_stats();
+    SegmentEngine reopened(sub.string(), opts);
+    EXPECT_EQ(contents(reopened), expected)
+        << "compaction crash point " << static_cast<int>(point);
+    const bool committed =
+        point == SegmentEngine::CrashPoint::AfterManifestRename ||
+        point == SegmentEngine::CrashPoint::BeforeInputUnlink;
+    if (committed) {
+      EXPECT_LT(reopened.segments().size(), pre_segments);
+    } else {
+      EXPECT_EQ(reopened.segments().size(), pre_segments);
+    }
+    EXPECT_GE(storage_stats().orphan_segments_removed, 1u)
+        << "compaction crash point " << static_cast<int>(point);
+    // Recovery leaves a working engine: the interrupted merge completes
+    // cleanly now (and is already done when the manifest had committed).
+    EXPECT_EQ(reopened.compact() > 0, !committed);
+    EXPECT_EQ(contents(reopened), expected);
+  }
+}
+
+// ---- hostile segment files -------------------------------------------------
+
+struct HostileFixture : CrashFixture {
+  // Builds one sealed segment and returns its path.
+  fs::path make_segment() {
+    SegmentEngine eng(dir.string(), manual_options());
+    for (Glsn g = 1; g <= 32; ++g) eng.put(frag(g, 1000 + g));
+    EXPECT_GT(eng.seal(), 0u);
+    auto files = segment_files();
+    EXPECT_EQ(files.size(), 1u);
+    return files.front();
+  }
+
+  void corrupt(const fs::path& path, std::uint64_t offset,
+               unsigned char xor_mask) {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ xor_mask);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&byte, 1);
+  }
+
+  void truncate_to(const fs::path& path, std::uint64_t size) {
+    fs::resize_file(path, size);
+  }
+};
+
+TEST_F(HostileFixture, TruncatedSegmentRejected) {
+  const fs::path path = make_segment();
+  const std::uint64_t full = fs::file_size(path);
+  // Every truncation point: mid-header, mid-body, torn footer.
+  for (std::uint64_t keep : {std::uint64_t{0}, std::uint64_t{7},
+                             std::uint64_t{48}, full / 2, full - 1}) {
+    const fs::path copy = dir / "truncated.dseg.tmp";
+    fs::copy_file(path, copy, fs::copy_options::overwrite_existing);
+    truncate_to(copy, keep);
+    EXPECT_THROW(Segment::open(copy.string()), SegmentError) << keep;
+  }
+}
+
+TEST_F(HostileFixture, BitFlipsAnywhereRejectedOrHarmless) {
+  const fs::path path = make_segment();
+  const std::uint64_t full = fs::file_size(path);
+  // Flip a byte at a spread of offsets: header fields, glsn array, attr
+  // directory, cell blob, footer CRC, end magic. The CRC covers the body,
+  // so every body flip must throw; header/footer flips fail their own
+  // checks. Nothing may crash or read out of bounds.
+  for (std::uint64_t off = 0; off < full; off += 13) {
+    const fs::path copy = dir / "flipped.dseg.tmp";
+    fs::copy_file(path, copy, fs::copy_options::overwrite_existing);
+    corrupt(copy, off, 0x40);
+    EXPECT_THROW(Segment::open(copy.string()), SegmentError) << off;
+  }
+}
+
+TEST_F(HostileFixture, TornFooterRejected) {
+  const fs::path path = make_segment();
+  const std::uint64_t full = fs::file_size(path);
+  // Chop the 12-byte trailer (crc + end magic) partially and fully.
+  for (std::uint64_t cut = 1; cut <= 12; ++cut) {
+    const fs::path copy = dir / "torn.dseg.tmp";
+    fs::copy_file(path, copy, fs::copy_options::overwrite_existing);
+    truncate_to(copy, full - cut);
+    EXPECT_THROW(Segment::open(copy.string()), SegmentError) << cut;
+  }
+}
+
+TEST_F(HostileFixture, EngineOpenRejectsCorruptManifestedSegment) {
+  const fs::path path = make_segment();
+  corrupt(path, fs::file_size(path) / 2, 0x01);
+  // The engine refuses to open over a corrupt manifested segment rather
+  // than silently dropping data.
+  EXPECT_THROW(SegmentEngine(dir.string(), manual_options()), SegmentError);
+}
+
+TEST_F(HostileFixture, GarbageFileRejected) {
+  const fs::path path = dir / "garbage.dseg.tmp";
+  std::ofstream(path, std::ios::binary) << "DLASEG1\0 but not really a segment";
+  EXPECT_THROW(Segment::open(path.string()), SegmentError);
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      << std::string(4096, '\xff');
+  EXPECT_THROW(Segment::open(path.string()), SegmentError);
+}
+
+}  // namespace
+}  // namespace dla::logm

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <utility>
@@ -107,9 +108,13 @@ inline std::vector<ScalingCriterion> scaling_suite(std::int64_t t_lo,
 inline audit::Cluster make_paper_cluster(std::uint64_t seed,
                                          bool indexed = true,
                                          std::size_t set_chunk_size = 2) {
-  audit::Cluster::Options opts{logm::paper_schema(), 4, 1,
-                               logm::paper_partition(), seed,
-                               /*auditor_users=*/true};
+  audit::Cluster::Options opts;
+  opts.schema = logm::paper_schema();
+  opts.dla_count = 4;
+  opts.user_count = 1;
+  opts.partition = logm::paper_partition();
+  opts.seed = seed;
+  opts.auditor_users = true;
   opts.set_chunk_size = set_chunk_size;
   audit::Cluster cluster(std::move(opts));
   if (!indexed) {
@@ -133,6 +138,34 @@ struct PaperWorkloadRun {
   std::vector<std::optional<audit::QueryOutcome>> queries;
   std::optional<bool> integrity_ok;
 };
+
+// ---- process memory probes (storage benchmarks) ---------------------------
+// Current and peak resident set in KiB from /proc/self/status; 0 on
+// platforms without procfs (the storage benches then report rss_kb: 0 and
+// the RSS comparison is informational-only).
+inline std::size_t read_proc_status_kb(const char* key) {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  const std::string prefix = std::string(key) + ":";
+  while (std::getline(status, line)) {
+    if (line.rfind(prefix, 0) != 0) continue;
+    std::size_t kb = 0;
+    for (char c : line) {
+      if (c >= '0' && c <= '9') {
+        kb = kb * 10 + static_cast<std::size_t>(c - '0');
+      }
+    }
+    return kb;
+  }
+#else
+  (void)key;
+#endif
+  return 0;
+}
+
+inline std::size_t read_rss_kb() { return read_proc_status_kb("VmRSS"); }
+inline std::size_t read_hwm_kb() { return read_proc_status_kb("VmHWM"); }
 
 inline PaperWorkloadRun run_paper_workload(audit::Cluster& cluster) {
   PaperWorkloadRun out;

@@ -30,6 +30,12 @@
 //   metrics-registry     every counter field declared in audit/metrics.hpp
 //                        counter structs must be written somewhere in src/
 //                        and documented in docs/*.md.
+//   mmap-egress          raw mapped segment memory (mmap/munmap/mapped_base)
+//                        is confined to src/logm/: every other layer must
+//                        consume fragments through logm::StorageEngine so
+//                        hostile segment bytes can never reach a protocol
+//                        handler — or the wire — without the segment
+//                        validator having run (docs/STORAGE.md).
 //
 // Waiver syntax (same line or the line directly above the violation):
 //   // DLA-LINT-ALLOW(<rule>): <reason>
@@ -84,7 +90,7 @@ const std::set<std::string>& known_rules() {
   static const std::set<std::string> rules = {
       "crypto-boundary", "plaintext-egress",  "nondeterminism",
       "unordered-container", "msgtype-switch", "msgtype-coverage",
-      "metrics-registry"};
+      "metrics-registry", "mmap-egress"};
   return rules;
 }
 
@@ -344,6 +350,10 @@ bool in_crypto_layer(const std::string& rel) {
 bool in_protocol_layer(const std::string& rel) {
   return has_prefix(rel, "src/audit/") || has_prefix(rel, "src/net/");
 }
+// mmap-egress scope: everything under src/ except the storage layer itself.
+bool outside_storage_layer(const std::string& rel) {
+  return !has_prefix(rel, "src/logm/");
+}
 
 // Fragment-upload / application-side path where plaintext legitimately
 // crosses into a message: the user's own node serializing its own record.
@@ -470,6 +480,21 @@ void Linter::rule_banned_tokens(const SourceFile& f) {
        "iteration order is unspecified; use std::multimap"},
       {"unordered_multiset", "unordered-container", nullptr,
        "iteration order is unspecified; use std::multiset"},
+      // Raw mapped segment memory is confined to the storage layer; every
+      // other layer consumes fragments through logm::StorageEngine, whose
+      // open path validates the whole file first (docs/STORAGE.md).
+      {"mmap", "mmap-egress", outside_storage_layer,
+       "raw segment mappings are confined to src/logm; go through "
+       "logm::StorageEngine"},
+      {"munmap", "mmap-egress", outside_storage_layer,
+       "raw segment mappings are confined to src/logm"},
+      {"mapped_base", "mmap-egress", outside_storage_layer,
+       "raw mapped-segment bytes must not leave src/logm; use the Segment "
+       "row/cell accessors via logm::StorageEngine"},
+      {"mapped_base_", "mmap-egress", outside_storage_layer,
+       "raw mapped-segment bytes must not leave src/logm"},
+      {"MAP_FAILED", "mmap-egress", outside_storage_layer,
+       "raw segment mappings are confined to src/logm"},
   };
 
   const bool crypto_ok = in_crypto_layer(f.rel_path);
@@ -490,9 +515,15 @@ void Linter::rule_banned_tokens(const SourceFile& f) {
     if (tok.kind != TokKind::Identifier) continue;
     for (const Ban& ban : bans) {
       if (tok.text != ban.token) continue;
-      const bool is_crypto_rule = std::strcmp(ban.rule, "crypto-boundary") == 0;
-      if (is_crypto_rule && crypto_ok) continue;
-      if (!is_crypto_rule && !protocol) continue;
+      if (ban.applies != nullptr) {
+        // Rule carries its own layer predicate (mmap-egress).
+        if (!ban.applies(f.rel_path)) continue;
+      } else {
+        const bool is_crypto_rule =
+            std::strcmp(ban.rule, "crypto-boundary") == 0;
+        if (is_crypto_rule && crypto_ok) continue;
+        if (!is_crypto_rule && !protocol) continue;
+      }
       // `rand` only as a call: require '(' next so e.g. member fields named
       // rand_… (none today) or comments don't trip; all other tokens are
       // specific enough to flag on sight.

@@ -1,0 +1,17 @@
+// Fixture: raw mapped-segment access from protocol code — every token form
+// of the breach, plus a correctly-waived diagnostic probe.
+#include <sys/mman.h>
+
+struct FakeSegment {
+  const unsigned char* mapped_base_ = nullptr;  // EXPECT(mmap-egress)
+};
+
+const void* peek_segment(const FakeSegment& seg, unsigned long len) {
+  void* m = mmap(nullptr, len, 0, 0, -1, 0);  // EXPECT(mmap-egress)
+  if (m == MAP_FAILED) return nullptr;        // EXPECT(mmap-egress)
+  munmap(m, len);                             // EXPECT(mmap-egress)
+  return seg.mapped_base_;                    // EXPECT(mmap-egress)
+}
+
+// DLA-LINT-ALLOW(mmap-egress): diagnostic probe, bytes never dereferenced
+const void* waived_peek(const FakeSegment& seg) { return seg.mapped_base_; }

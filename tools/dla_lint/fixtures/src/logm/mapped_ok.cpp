@@ -1,0 +1,21 @@
+// Fixture: the storage layer itself owns the raw mappings — mmap-egress
+// scopes everything *outside* src/logm, so none of these tokens flag here.
+#include <sys/mman.h>
+
+struct Mapping {
+  const unsigned char* mapped_base_ = nullptr;
+  unsigned long len = 0;
+};
+
+bool map_segment(Mapping* out, unsigned long len) {
+  void* m = mmap(nullptr, len, 0, 0, -1, 0);
+  if (m == MAP_FAILED) return false;
+  out->mapped_base_ = static_cast<const unsigned char*>(m);
+  out->len = len;
+  return true;
+}
+
+void unmap_segment(Mapping* m) {
+  munmap(const_cast<unsigned char*>(m->mapped_base_), m->len);
+  m->mapped_base_ = nullptr;
+}

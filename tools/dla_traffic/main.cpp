@@ -13,6 +13,7 @@
 //               [--write-baseline] [--transport=sim,tcp] [--scenario=NAME]
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -44,6 +45,16 @@ dla::net::ChaosConfig benign_chaos() {
   c.jitter_max = 40;
   c.reorder_prob = 0.2;
   return c;
+}
+
+// Root directory for durable-storage scenarios; one tree per driver process,
+// removed on exit. run_scenario wipes the per-leg subdir itself.
+const std::string& storage_root() {
+  static const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("dla_traffic_storage_" + std::to_string(::getpid())))
+          .string();
+  return root;
 }
 
 std::vector<ScenarioSpec> scenario_matrix(bool smoke) {
@@ -137,6 +148,24 @@ std::vector<ScenarioSpec> scenario_matrix(bool smoke) {
     s.chaos_horizon_us = 400'000;
     s.chaos_window_us = 25'000;
     s.lossy = true;
+    out.push_back(std::move(s));
+  }
+  {  // durable storage churn: every node on the mmap'd segment engine with
+     // a tiny memtable, write/delete-heavy — seals and tiered compactions
+     // fire mid-traffic while queries and integrity audits race them
+    ScenarioSpec s;
+    s.name = "durable_churn";
+    s.seed = 606;
+    s.preload_records = 24;
+    s.ops = 140;
+    s.mean_gap_us = 4000;
+    s.mix = {5, 2, 0.5, 2, 0.5};
+    s.criteria = criteria;
+    s.aggregates = aggregates;
+    s.chaos = benign_chaos();
+    s.storage_dir = storage_root();
+    s.storage_memtable_max = 16;
+    s.storage_compaction_fanout = 2;
     out.push_back(std::move(s));
   }
   return out;
@@ -496,6 +525,9 @@ int main(int argc, char** argv) {
   js.close();
   std::cerr << "[traffic] wrote " << json_path << " (" << runs.size()
             << " runs, " << pairs.size() << " pairs)\n";
+
+  std::error_code ec;
+  std::filesystem::remove_all(storage_root(), ec);
 
   if (!failures.empty()) {
     std::cerr << "\n[traffic] FAILURES (" << failures.size() << "):\n";
