@@ -17,6 +17,7 @@ void CaNode::on_message(net::Transport& sim, const net::Message& msg) {
   try {
     reqid = r.u64();
     blinded = r.big();
+    r.expect_end();
   } catch (const net::CodecError&) {
     // A hostile join request must not crash the certificate authority.
     ++detail::wire_reject_counters_mut().codec_rejects;
@@ -57,6 +58,7 @@ void MemberNode::handle_token_reply(net::Transport&, const net::Message& msg) {
   net::Reader r(msg.payload);
   r.u64();  // reqid
   bn::BigUInt blind_sig = r.big();
+  r.expect_end();
   bn::BigUInt sig = crypto::unblind(*ca_pub_, blind_sig, blind_factor_);
   bool ok = ca_pub_->verify(token_message(pseudonym()), sig);
   if (ok) token_ = std::move(sig);
@@ -95,6 +97,7 @@ void MemberNode::handle_policy_proposal(net::Transport& sim,
   net::Reader r(msg.payload);
   SessionId session = r.u64();
   std::string terms = r.str();
+  r.expect_end();
   if (!token_) return;  // cannot commit without a CA token
   // Phase 2: service commitment with token and pseudonym key.
   net::Writer w;
@@ -113,6 +116,7 @@ void MemberNode::handle_service_commitment(net::Transport& sim,
   std::string services = r.str();
   bn::BigUInt token = r.big();
   crypto::RsaPublicKey invitee_pub{r.big(), r.big()};
+  r.expect_end();
 
   auto it = pending_invites_.find(session);
   if (it == pending_invites_.end()) return;
@@ -157,6 +161,7 @@ void MemberNode::handle_evidence_grant(net::Transport&,
   r.u64();  // session
   auto pieces = r.vec<EvidencePiece>(
       [](net::Reader& in) { return EvidencePiece::decode(in); });
+  r.expect_end();
   EvidenceChain chain;
   for (auto& piece : pieces) chain.append(std::move(piece));
   // Accept the chain only if it verifies and its tail names us.

@@ -51,6 +51,7 @@ void TtpNode::on_message(net::Transport& sim, const net::Message& msg) {
 void TtpNode::handle_cmp_spec(net::Transport& sim, const net::Message& msg) {
   net::Reader r(msg.payload);
   CmpSpec spec = CmpSpec::decode(r, /*include_transform=*/false);
+  r.expect_end();
   if (cmp_served_guard_.contains(spec.session)) {
     ++replay_drops_;
     return;
@@ -66,6 +67,7 @@ void TtpNode::handle_cmp_value(net::Transport& sim, const net::Message& msg) {
   SessionId session = r.u64();
   std::uint32_t index = r.u32();
   bn::BigUInt w = r.big();
+  r.expect_end();
   if (cmp_served_guard_.contains(session)) {
     ++replay_drops_;
     return;
@@ -154,6 +156,7 @@ void TtpNode::handle_scalar_init(net::Transport& sim,
   net::NodeId bob = r.u32();
   std::uint32_t length = r.u32();
   std::vector<net::NodeId> observers = decode_node_ids(r);
+  r.expect_end();
 
   const bn::BigUInt& p = cfg_->shamir_prime;
   std::vector<bn::BigUInt> ra_vec(length), rb_vec(length);
@@ -204,6 +207,7 @@ void TtpNode::handle_cmp_batch(net::Transport& sim, const net::Message& msg) {
     e.w = in.big();
     return e;
   });
+  r.expect_end();
 
   BatchState& batch = batches_[rid];
   batch.qid = qid;

@@ -161,6 +161,7 @@ void UserNode::handle_audit_result(net::Transport&, const net::Message& msg) {
         crypto::verify_threshold(*cfg_->threshold_params,
                                  report_message(reqid, outcome.glsns), sig);
   }
+  r.expect_end();
   auto it = pending_queries_.find(reqid);
   if (it == pending_queries_.end()) return;
   QueryCallback done = std::move(it->second);
@@ -192,6 +193,7 @@ void UserNode::handle_aggregate_result(net::Transport&,
   outcome.error = r.str();
   outcome.value = r.f64();
   outcome.count = r.u64();
+  r.expect_end();
   auto it = pending_aggregates_.find(reqid);
   if (it == pending_aggregates_.end()) return;
   AggregateCallback done = std::move(it->second);
@@ -219,6 +221,7 @@ void UserNode::handle_fragment_reply(net::Transport&,
   bool ok = r.boolean();
   std::optional<logm::Fragment> fragment;
   if (ok) fragment = logm::Fragment::decode(r);
+  r.expect_end();
   auto it = pending_fetches_.find(reqid);
   if (it == pending_fetches_.end()) return;
   FetchCallback done = std::move(it->second);

@@ -99,6 +99,10 @@ ReplayStats replay_frames(
     net::Reader r(payload);
     try {
       apply(op, r);
+      // Trailing bytes after a CRC-valid frame mean the writer and this
+      // reader disagree on the record layout — treat it like corruption
+      // rather than silently ignoring the residue.
+      r.expect_end();
     } catch (const net::CodecError&) {
       ++stats.corrupt_skipped;
       break;

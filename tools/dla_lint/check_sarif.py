@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Structural SARIF 2.1.0 validator for dla_lint --sarif output.
+
+Checks the invariants GitHub code scanning and the SARIF 2.1.0 schema
+require, without needing a jsonschema dependency:
+
+  * top level: $schema, version == "2.1.0", runs is a non-empty list
+  * runs[0].tool.driver.name, driver.rules with unique string ids
+  * every result: ruleId present in driver.rules, ruleIndex consistent,
+    level in the SARIF enum, message.text non-empty, and one physical
+    location with an artifactLocation.uri + a positive region.startLine
+  * originalUriBaseIds.SRCROOT.uri is an absolute file:// URI
+
+Usage: check_sarif.py <file.sarif.json> [--min-results N] [--expect-clean]
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"SARIF INVALID: {msg}")
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) < 2:
+        fail("usage: check_sarif.py <file> [--min-results N] [--expect-clean]")
+    path = argv[1]
+    min_results = 0
+    expect_clean = False
+    args = argv[2:]
+    while args:
+        if args[0] == "--min-results" and len(args) >= 2:
+            min_results = int(args[1])
+            args = args[2:]
+        elif args[0] == "--expect-clean":
+            expect_clean = True
+            args = args[1:]
+        else:
+            fail(f"unknown argument {args[0]}")
+
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+
+    if not isinstance(doc.get("$schema"), str) or "sarif" not in doc["$schema"]:
+        fail("missing or malformed $schema")
+    if doc.get("version") != "2.1.0":
+        fail(f"version is {doc.get('version')!r}, expected '2.1.0'")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("runs must be a non-empty array")
+    run = runs[0]
+
+    driver = run.get("tool", {}).get("driver", {})
+    if driver.get("name") != "dla_lint":
+        fail(f"tool.driver.name is {driver.get('name')!r}")
+    rules = driver.get("rules")
+    if not isinstance(rules, list) or not rules:
+        fail("tool.driver.rules must be a non-empty array")
+    rule_ids = []
+    for rule in rules:
+        rid = rule.get("id")
+        if not isinstance(rid, str) or not rid:
+            fail(f"rule with missing id: {rule!r}")
+        rule_ids.append(rid)
+    if len(set(rule_ids)) != len(rule_ids):
+        fail("duplicate rule ids in tool.driver.rules")
+
+    base = run.get("originalUriBaseIds", {}).get("SRCROOT", {}).get("uri")
+    if not isinstance(base, str) or not base.startswith("file:///"):
+        fail(f"originalUriBaseIds.SRCROOT.uri is {base!r}")
+    if not base.endswith("/"):
+        fail("SRCROOT uri must end with '/' per the SARIF spec")
+
+    results = run.get("results")
+    if not isinstance(results, list):
+        fail("runs[0].results must be an array")
+    levels = {"none", "note", "warning", "error"}
+    for i, res in enumerate(results):
+        rid = res.get("ruleId")
+        if rid not in rule_ids:
+            fail(f"results[{i}].ruleId {rid!r} not declared in driver.rules")
+        ridx = res.get("ruleIndex")
+        if not isinstance(ridx, int) or not (0 <= ridx < len(rule_ids)):
+            fail(f"results[{i}].ruleIndex {ridx!r} out of range")
+        if rule_ids[ridx] != rid:
+            fail(f"results[{i}].ruleIndex points at {rule_ids[ridx]!r}, "
+                 f"ruleId says {rid!r}")
+        if res.get("level") not in levels:
+            fail(f"results[{i}].level {res.get('level')!r} not in {levels}")
+        text = res.get("message", {}).get("text")
+        if not isinstance(text, str) or not text:
+            fail(f"results[{i}].message.text missing or empty")
+        locs = res.get("locations")
+        if not isinstance(locs, list) or len(locs) != 1:
+            fail(f"results[{i}] must carry exactly one location")
+        phys = locs[0].get("physicalLocation", {})
+        art = phys.get("artifactLocation", {})
+        uri = art.get("uri")
+        if not isinstance(uri, str) or not uri or uri.startswith("/"):
+            fail(f"results[{i}] artifactLocation.uri must be relative, "
+                 f"got {uri!r}")
+        if art.get("uriBaseId") != "SRCROOT":
+            fail(f"results[{i}] artifactLocation.uriBaseId must be SRCROOT")
+        start = phys.get("region", {}).get("startLine")
+        if not isinstance(start, int) or start < 1:
+            fail(f"results[{i}].region.startLine {start!r} must be >= 1")
+
+    if expect_clean and results:
+        fail(f"expected a clean run but found {len(results)} result(s)")
+    if len(results) < min_results:
+        fail(f"expected at least {min_results} results, found {len(results)}")
+
+    print(f"SARIF OK: {len(results)} result(s), {len(rule_ids)} rules, "
+          f"base {base}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

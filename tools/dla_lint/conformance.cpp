@@ -1,0 +1,209 @@
+// dla_lint pass 2, whole-program conformance rules:
+//
+//   codec-symmetry   encode/decode primitive sequences must match, and every
+//                    paired payload struct / MsgType must be documented in
+//                    docs/PROTOCOLS.md.
+//   expect-end       every locally-constructed net::Reader must be drained
+//                    with expect_end() before its scope ends.
+//   include-layering explicit dependency DAG over src/{bignum,crypto,logm,
+//                    net,audit}, checked on the tokenized #include graph.
+
+#include "lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace dla_lint {
+
+namespace {
+
+std::string join_ops(const std::vector<std::string>& ops) {
+  std::string s;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i != 0) s += ",";
+    s += ops[i];
+  }
+  return s.empty() ? "<empty>" : s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- codec-symmetry --
+
+void rule_codec_symmetry(const SymbolIndex& index,
+                         const std::vector<SourceFile>& files,
+                         const std::string& protocols_doc, Report* out) {
+  (void)files;
+  // Group definitions by (owner, is_helper). Helpers pair encode_<s> with
+  // decode_<s>; structs pair T::encode with T::decode.
+  struct Group {
+    std::vector<const CodecDef*> encodes;
+    std::vector<const CodecDef*> decodes;
+  };
+  std::map<std::pair<std::string, bool>, Group> groups;
+  for (const CodecDef& def : index.codecs) {
+    Group& g = groups[{def.owner, def.is_helper}];
+    (def.is_encode ? g.encodes : g.decodes).push_back(&def);
+  }
+
+  for (const auto& entry : groups) {
+    const std::string& owner = entry.first.first;
+    const bool is_helper = entry.first.second;
+    const Group& g = entry.second;
+    if (g.encodes.empty() || g.decodes.empty()) continue;  // not a pair
+
+    for (const CodecDef* dec : g.decodes) {
+      // Prefer the encode in the same file; fall back to the first one.
+      const CodecDef* enc = g.encodes.front();
+      for (const CodecDef* cand : g.encodes) {
+        if (cand->file == dec->file) {
+          enc = cand;
+          break;
+        }
+      }
+      const std::string what =
+          is_helper ? "helper pair encode_" + owner + "/decode_" + owner
+                    : "codec " + owner;
+      if (enc->ops.size() != dec->ops.size()) {
+        std::ostringstream msg;
+        msg << what << ": field count mismatch — encode ("
+            << enc->file << ":" << enc->line << ") performs "
+            << enc->ops.size() << " wire ops [" << join_ops(enc->ops)
+            << "] but decode performs " << dec->ops.size() << " ["
+            << join_ops(dec->ops) << "]";
+        out->push_back({dec->file, dec->line, "codec-symmetry", msg.str()});
+        continue;
+      }
+      for (std::size_t i = 0; i < enc->ops.size(); ++i) {
+        if (enc->ops[i] == dec->ops[i]) continue;
+        std::ostringstream msg;
+        msg << what << ": field " << (i + 1) << " mismatch — encode ("
+            << enc->file << ":" << enc->line << ") writes `" << enc->ops[i]
+            << "` but decode reads `" << dec->ops[i] << "` (encode sequence ["
+            << join_ops(enc->ops) << "], decode sequence ["
+            << join_ops(dec->ops) << "])";
+        out->push_back({dec->file, dec->line, "codec-symmetry", msg.str()});
+        break;  // first divergence only; the rest is usually cascade
+      }
+    }
+
+    // Documentation cross-check: every paired payload struct must appear in
+    // docs/PROTOCOLS.md. Helpers are internal plumbing and exempt.
+    if (!is_helper && !protocols_doc.empty() &&
+        protocols_doc.find(owner) == std::string::npos) {
+      const CodecDef* enc = g.encodes.front();
+      out->push_back({enc->file, enc->line, "codec-symmetry",
+                      "payload struct " + owner +
+                          " has an encode/decode pair but is not documented "
+                          "in docs/PROTOCOLS.md"});
+    }
+  }
+
+  // Every MsgType enumerator must be documented with its payload layout.
+  if (!protocols_doc.empty()) {
+    for (const auto& decl : index.msgtype_decl) {
+      if (protocols_doc.find(decl.first) != std::string::npos) continue;
+      out->push_back({decl.second.first, decl.second.second, "codec-symmetry",
+                      "MsgType::" + decl.first +
+                          " has no payload documentation in "
+                          "docs/PROTOCOLS.md"});
+    }
+  }
+}
+
+// -------------------------------------------------------------- expect-end --
+
+void rule_expect_end(const SourceFile& f, Report* out) {
+  const std::vector<Token>& toks = f.tokens;
+  struct ActiveReader {
+    std::string name;
+    int depth;
+    int line;
+    bool drained;
+  };
+  std::vector<ActiveReader> readers;
+  int depth = 0;
+  for (std::size_t t = 0; t < toks.size(); ++t) {
+    const Token& tok = toks[t];
+    if (tok.text == "{") {
+      ++depth;
+      continue;
+    }
+    if (tok.text == "}") {
+      --depth;
+      while (!readers.empty() && readers.back().depth > depth) {
+        const ActiveReader& r = readers.back();
+        if (!r.drained) {
+          out->push_back(
+              {f.rel_path, r.line, "expect-end",
+               "net::Reader `" + r.name +
+                   "` leaves scope without expect_end(): trailing bytes in "
+                   "the payload would go undetected"});
+        }
+        readers.pop_back();
+      }
+      continue;
+    }
+    if (tok.kind != TokKind::Identifier) continue;
+    // Declaration: [net ::] Reader NAME ( ... )  or  Reader NAME { ... }.
+    // Reference parameters (`net::Reader& r`) do not match: the reader is
+    // owned (and drained) by the caller.
+    if (tok.text == "Reader" && depth > 0 && t + 2 < toks.size() &&
+        toks[t + 1].kind == TokKind::Identifier &&
+        (toks[t + 2].text == "(" || toks[t + 2].text == "{")) {
+      readers.push_back({toks[t + 1].text, depth, toks[t + 1].line, false});
+      ++t;  // skip the name so it is not misread as a drain reference
+      continue;
+    }
+    // Drain: NAME . expect_end ( )   (or -> for pointer-wrapped readers).
+    if (t + 2 < toks.size() &&
+        (toks[t + 1].text == "." || toks[t + 1].text == "->") &&
+        toks[t + 2].text == "expect_end") {
+      for (auto it = readers.rbegin(); it != readers.rend(); ++it) {
+        if (it->name == tok.text) {
+          it->drained = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- include-layering --
+
+void rule_include_layering(const SourceFile& f, const FileIndex& info,
+                           Report* out) {
+  if (info.layer.empty()) return;  // outside the layered core (baseline etc.)
+  // The dependency DAG. An edge layer -> target is legal iff target appears
+  // in the allowed set. bignum is the leaf; only crypto touches it directly —
+  // everything above goes through crypto:: key handles (PR 4) except net,
+  // whose wire codec serializes crypto::Big values (net/bytes owns
+  // big-integer framing).
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"bignum", {"bignum"}},
+      {"crypto", {"crypto", "bignum"}},
+      {"net", {"net", "crypto", "bignum"}},
+      {"logm", {"logm", "net", "crypto"}},
+      {"audit", {"audit", "logm", "net", "crypto", "bignum"}},
+  };
+  static const char* kLayers[] = {"audit", "bignum", "crypto", "logm", "net"};
+  const std::set<std::string>& allowed = kAllowed.at(info.layer);
+  for (const IncludeEdge& inc : info.includes) {
+    std::string target;
+    for (const char* layer : kLayers) {
+      if (has_prefix(inc.path, std::string(layer) + "/")) {
+        target = layer;
+        break;
+      }
+    }
+    if (target.empty() || allowed.count(target) != 0) continue;
+    out->push_back({f.rel_path, inc.line, "include-layering",
+                    "layer `" + info.layer + "` must not include `" + target +
+                        "` headers (#include \"" + inc.path +
+                        "\" breaks the dependency DAG; see "
+                        "docs/STATIC_ANALYSIS.md)"});
+  }
+}
+
+}  // namespace dla_lint

@@ -1,7 +1,13 @@
 // dla_lint — repo-specific static analysis for the DLA codebase.
 //
-// Enforces, at lint time, the structural invariants the paper's guarantees
-// rest on (see docs/STATIC_ANALYSIS.md for the full rationale):
+// A two-pass, whole-program analyzer. Pass 1 tokenizes every file under
+// <root>/src (in parallel, --jobs N) and builds a cross-file SymbolIndex:
+// the MsgType enum, every encode/decode codec definition with its extracted
+// wire-primitive sequence, and the tokenized #include graph. Pass 2 runs the
+// per-file rules in parallel over the shared token streams, then the
+// whole-program rules over the index.
+//
+// Rules (see docs/STATIC_ANALYSIS.md for the full rationale):
 //
 //   crypto-boundary      raw modpow/Montgomery kernels and their contexts may
 //                        only be touched under src/crypto/ and src/bignum/;
@@ -31,11 +37,19 @@
 //                        counter structs must be written somewhere in src/
 //                        and documented in docs/*.md.
 //   mmap-egress          raw mapped segment memory (mmap/munmap/mapped_base)
-//                        is confined to src/logm/: every other layer must
-//                        consume fragments through logm::StorageEngine so
-//                        hostile segment bytes can never reach a protocol
-//                        handler — or the wire — without the segment
-//                        validator having run (docs/STORAGE.md).
+//                        is confined to src/logm/ (docs/STORAGE.md).
+//   codec-symmetry       every encode(net::Writer&)/decode(net::Reader&) pair
+//                        must perform the same ordered wire-primitive
+//                        sequence in both directions, and every paired
+//                        payload struct / MsgType enumerator must be
+//                        documented in docs/PROTOCOLS.md. This is the check
+//                        that would have caught the PR-6 kGlsnReply
+//                        vestigial-u32 bug at lint time.
+//   expect-end           every locally-constructed net::Reader must be
+//                        drained with expect_end() before its scope ends, so
+//                        the trailing-bytes discipline cannot regress.
+//   include-layering     the explicit dependency DAG over src/{bignum,crypto,
+//                        logm,net,audit}, checked per tokenized #include.
 //
 // Waiver syntax (same line or the line directly above the violation):
 //   // DLA-LINT-ALLOW(<rule>): <reason>
@@ -49,297 +63,38 @@
 //
 // Deliberately standalone C++17 with no libclang dependency: a lightweight
 // lexer is enough for these token-shaped rules, keeps the tool buildable
-// everywhere the tree builds, and runs over the whole repo in milliseconds.
+// everywhere the tree builds, and runs over the whole repo in milliseconds
+// (--budget-ms asserts that in CI).
+
+#include "lint.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <map>
-#include <set>
-#include <sstream>
-#include <string>
-#include <vector>
+#include <functional>
+#include <thread>
 
 #if defined(_WIN32)
 #error "dla_lint supports POSIX hosts only"
 #endif
-#include <dirent.h>
-#include <sys/stat.h>
+#include <limits.h>
 
-namespace {
-
-// ----------------------------------------------------------- diagnostics --
-
-struct Diagnostic {
-  std::string file;  // root-relative, forward slashes
-  int line = 0;
-  std::string rule;
-  std::string message;
-
-  bool operator<(const Diagnostic& rhs) const {
-    if (file != rhs.file) return file < rhs.file;
-    if (line != rhs.line) return line < rhs.line;
-    if (rule != rhs.rule) return rule < rhs.rule;
-    return message < rhs.message;
-  }
-};
+namespace dla_lint {
 
 const std::set<std::string>& known_rules() {
   static const std::set<std::string> rules = {
-      "crypto-boundary", "plaintext-egress",  "nondeterminism",
+      "crypto-boundary",  "plaintext-egress", "nondeterminism",
       "unordered-container", "msgtype-switch", "msgtype-coverage",
-      "metrics-registry", "mmap-egress"};
+      "metrics-registry", "mmap-egress",      "codec-symmetry",
+      "expect-end",       "include-layering"};
   return rules;
 }
 
-// ------------------------------------------------------------- tokenizer --
-
-enum class TokKind { Identifier, Number, String, Punct };
-
-struct Token {
-  TokKind kind;
-  std::string text;
-  int line;
-};
-
-struct Waiver {
-  int line = 0;
-  std::string rule;
-  bool has_reason = false;
-  bool used = false;
-};
-
-struct SourceFile {
-  std::string rel_path;  // relative to root
-  std::vector<Token> tokens;
-  std::vector<Waiver> waivers;
-  // line -> rules expected by the self-test fixture annotations.
-  std::multimap<int, std::string> expects;
-};
-
-// Parses "DLA-LINT-ALLOW(rule): reason" and "EXPECT(rule)" out of a comment.
-void scan_comment(const std::string& text, int line, SourceFile* out) {
-  std::size_t pos = 0;
-  while ((pos = text.find("DLA-LINT-ALLOW(", pos)) != std::string::npos) {
-    std::size_t open = pos + std::strlen("DLA-LINT-ALLOW(");
-    std::size_t close = text.find(')', open);
-    if (close == std::string::npos) break;
-    Waiver w;
-    w.line = line;
-    w.rule = text.substr(open, close - open);
-    std::size_t after = close + 1;
-    // Reason is required: a colon followed by at least one non-space char.
-    if (after < text.size() && text[after] == ':') {
-      std::size_t r = after + 1;
-      while (r < text.size() && std::isspace(static_cast<unsigned char>(text[r])))
-        ++r;
-      w.has_reason = r < text.size();
-    }
-    out->waivers.push_back(std::move(w));
-    pos = close;
-  }
-  pos = 0;
-  while ((pos = text.find("EXPECT(", pos)) != std::string::npos) {
-    // Avoid matching identifiers like GTEST's EXPECT_(; require the char
-    // before to be non-alphanumeric.
-    if (pos > 0 && (std::isalnum(static_cast<unsigned char>(text[pos - 1])) ||
-                    text[pos - 1] == '_' || text[pos - 1] == '-')) {
-      pos += 1;
-      continue;
-    }
-    std::size_t open = pos + std::strlen("EXPECT(");
-    std::size_t close = text.find(')', open);
-    if (close == std::string::npos) break;
-    out->expects.emplace(line, text.substr(open, close - open));
-    pos = close;
-  }
-}
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-SourceFile tokenize(const std::string& rel_path, const std::string& src) {
-  SourceFile out;
-  out.rel_path = rel_path;
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  while (i < n) {
-    char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    // #include directives: emit the header name as a String token so that
-    // `#include <unordered_map>` does not read as an identifier use, while
-    // include-level boundary rules can still match on the path.
-    if (c == '#') {
-      std::size_t j = i + 1;
-      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
-      if (src.compare(j, 7, "include") == 0) {
-        std::size_t end = src.find('\n', i);
-        if (end == std::string::npos) end = n;
-        std::string rest = src.substr(j + 7, end - j - 7);
-        std::size_t open = rest.find_first_of("<\"");
-        if (open != std::string::npos) {
-          char closer = rest[open] == '<' ? '>' : '"';
-          std::size_t close = rest.find(closer, open + 1);
-          if (close != std::string::npos) {
-            out.tokens.push_back({TokKind::String,
-                                  rest.substr(open + 1, close - open - 1),
-                                  line});
-          }
-        }
-        // Don't lose a trailing // comment (waivers/EXPECTs on include lines).
-        std::size_t cpos = rest.find("//");
-        if (cpos != std::string::npos)
-          scan_comment(rest.substr(cpos + 2), line, &out);
-        i = end;
-        continue;
-      }
-    }
-    // Line comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      std::size_t end = src.find('\n', i);
-      if (end == std::string::npos) end = n;
-      scan_comment(src.substr(i + 2, end - i - 2), line, &out);
-      i = end;
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      std::size_t j = i + 2;
-      int start_line = line;
-      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
-        if (src[j] == '\n') ++line;
-        ++j;
-      }
-      scan_comment(src.substr(i + 2, j - i - 2), start_line, &out);
-      i = j + 2 > n ? n : j + 2;
-      continue;
-    }
-    // Raw string literal R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      std::size_t dstart = i + 2;
-      std::size_t paren = src.find('(', dstart);
-      if (paren != std::string::npos) {
-        std::string closer = ")" + src.substr(dstart, paren - dstart) + "\"";
-        std::size_t end = src.find(closer, paren + 1);
-        if (end == std::string::npos) end = n;
-        for (std::size_t k = i; k < std::min(end + closer.size(), n); ++k)
-          if (src[k] == '\n') ++line;
-        out.tokens.push_back({TokKind::String, "", line});
-        i = std::min(end + closer.size(), n);
-        continue;
-      }
-    }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      char quote = c;
-      std::size_t j = i + 1;
-      std::string value;
-      while (j < n && src[j] != quote) {
-        if (src[j] == '\\' && j + 1 < n) {
-          value += src[j + 1];
-          j += 2;
-          continue;
-        }
-        if (src[j] == '\n') ++line;  // unterminated; tolerate
-        value += src[j];
-        ++j;
-      }
-      out.tokens.push_back({TokKind::String, value, line});
-      i = j + 1 > n ? n : j + 1;
-      continue;
-    }
-    if (ident_start(c)) {
-      std::size_t j = i;
-      while (j < n && ident_char(src[j])) ++j;
-      out.tokens.push_back({TokKind::Identifier, src.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t j = i;
-      while (j < n && (ident_char(src[j]) || src[j] == '.' || src[j] == '\''))
-        ++j;
-      out.tokens.push_back({TokKind::Number, src.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    // Multi-char operators we care about distinguishing from '='.
-    static const char* two[] = {"==", "!=", "<=", ">=", "+=", "-=", "*=", "/=",
-                                "|=", "&=", "^=", "->", "::", "++", "--", "&&",
-                                "||", "<<", ">>"};
-    bool matched = false;
-    for (const char* op : two) {
-      if (c == op[0] && i + 1 < n && src[i + 1] == op[1]) {
-        out.tokens.push_back({TokKind::Punct, op, line});
-        i += 2;
-        matched = true;
-        break;
-      }
-    }
-    if (matched) continue;
-    out.tokens.push_back({TokKind::Punct, std::string(1, c), line});
-    ++i;
-  }
-  return out;
-}
-
-// -------------------------------------------------------------- fs walk --
-
-bool read_file(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  *out = ss.str();
-  return true;
-}
-
-void walk(const std::string& dir, std::vector<std::string>* out) {
-  DIR* d = opendir(dir.c_str());
-  if (d == nullptr) return;
-  while (dirent* e = readdir(d)) {
-    std::string name = e->d_name;
-    if (name == "." || name == "..") continue;
-    std::string path = dir + "/" + name;
-    struct stat st{};
-    if (stat(path.c_str(), &st) != 0) continue;
-    if (S_ISDIR(st.st_mode)) {
-      walk(path, out);
-    } else if (S_ISREG(st.st_mode)) {
-      out->push_back(path);
-    }
-  }
-  closedir(d);
-}
-
-bool has_suffix(const std::string& s, const std::string& suf) {
-  return s.size() >= suf.size() &&
-         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
-}
-
-bool has_prefix(const std::string& s, const std::string& pre) {
-  return s.compare(0, pre.size(), pre) == 0;
-}
-
-bool is_source_file(const std::string& path) {
-  return has_suffix(path, ".cpp") || has_suffix(path, ".hpp") ||
-         has_suffix(path, ".cc") || has_suffix(path, ".h");
-}
+namespace {
 
 // ------------------------------------------------------------ rule scope --
 
@@ -362,69 +117,36 @@ bool egress_whitelisted(const std::string& rel) {
          has_suffix(rel, "audit/user_node.cpp");
 }
 
-// --------------------------------------------------------------- linter --
+// ---------------------------------------------------------- parallel_for --
 
-class Linter {
- public:
-  explicit Linter(std::string root) : root_(std::move(root)) {}
-
-  bool load();
-  void run();
-
-  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
-  const std::vector<SourceFile>& files() const { return files_; }
-
- private:
-  void report(const SourceFile& f, int line, const std::string& rule,
-              std::string message) {
-    pending_.push_back(Diagnostic{f.rel_path, line, rule, std::move(message)});
+void parallel_for(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  if (jobs <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
   }
-
-  void rule_banned_tokens(const SourceFile& f);
-  void rule_plaintext_egress(const SourceFile& f);
-  void rule_msgtype_switches(const SourceFile& f);
-  void rule_msgtype_coverage();
-  void rule_metrics_registry();
-  void collect_msgtype_enum(const SourceFile& f);
-  void apply_waivers();
-
-  std::string root_;
-  std::vector<SourceFile> files_;
-  std::vector<std::string> doc_texts_;  // contents of docs/*.md under root
-  std::vector<Diagnostic> pending_;
-  std::vector<Diagnostic> diagnostics_;
-
-  std::set<std::string> msgtype_enumerators_;
-  // enumerator -> (file, line) of its declaration, for coverage reporting.
-  std::map<std::string, std::pair<std::string, int>> msgtype_decl_;
-  std::set<std::string> msgtype_handled_;
-};
-
-bool Linter::load() {
-  std::vector<std::string> paths;
-  walk(root_ + "/src", &paths);
-  std::sort(paths.begin(), paths.end());
-  for (const std::string& path : paths) {
-    if (!is_source_file(path)) continue;
-    std::string text;
-    if (!read_file(path, &text)) {
-      std::fprintf(stderr, "dla_lint: cannot read %s\n", path.c_str());
-      return false;
-    }
-    files_.push_back(tokenize(path.substr(root_.size() + 1), text));
+  std::atomic<std::size_t> next{0};
+  const std::size_t nthreads =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs), count);
+  std::vector<std::thread> threads;
+  threads.reserve(nthreads);
+  for (std::size_t w = 0; w < nthreads; ++w) {
+    threads.emplace_back([&] {
+      while (true) {
+        std::size_t i = next.fetch_add(1);
+        if (i >= count) break;
+        fn(i);
+      }
+    });
   }
-  std::vector<std::string> docs;
-  walk(root_ + "/docs", &docs);
-  for (const std::string& path : docs) {
-    if (!has_suffix(path, ".md")) continue;
-    std::string text;
-    if (read_file(path, &text)) doc_texts_.push_back(std::move(text));
-  }
-  return !files_.empty();
+  for (std::thread& t : threads) t.join();
 }
 
-// Rules 1, 3, 4: straight banned-identifier scans with layer scoping.
-void Linter::rule_banned_tokens(const SourceFile& f) {
+// --------------------------------------------------------- per-file rules --
+
+// crypto-boundary, nondeterminism, unordered-container, mmap-egress:
+// straight banned-identifier scans with layer scoping.
+void rule_banned_tokens(const SourceFile& f, Report* out) {
   struct Ban {
     const char* token;
     const char* rule;
@@ -501,14 +223,16 @@ void Linter::rule_banned_tokens(const SourceFile& f) {
   const bool protocol = in_protocol_layer(f.rel_path);
   for (std::size_t t = 0; t < f.tokens.size(); ++t) {
     const Token& tok = f.tokens[t];
-    if (tok.kind == TokKind::String) {
+    if (tok.kind == TokKind::Include) {
       // #include "bignum/montgomery.hpp" outside the crypto layer is the
-      // include-level form of the same boundary breach.
+      // include-level form of the same boundary breach. Matching on Include
+      // tokens (not String) means a string literal containing the path can
+      // never spoof or trip this.
       if (!crypto_ok &&
           tok.text.find("bignum/montgomery") != std::string::npos) {
-        report(f, tok.line, "crypto-boundary",
-               "including the raw Montgomery kernel header; depend on "
-               "crypto/ key handles instead");
+        out->push_back({f.rel_path, tok.line, "crypto-boundary",
+                        "including the raw Montgomery kernel header; depend "
+                        "on crypto/ key handles instead"});
       }
       continue;
     }
@@ -531,15 +255,15 @@ void Linter::rule_banned_tokens(const SourceFile& f) {
           (t + 1 >= f.tokens.size() || f.tokens[t + 1].text != "(")) {
         continue;
       }
-      report(f, tok.line, ban.rule,
-             std::string(ban.token) + ": " + ban.why);
+      out->push_back({f.rel_path, tok.line, ban.rule,
+                      std::string(ban.token) + ": " + ban.why});
     }
   }
 }
 
-// Rule 2: Value/Fragment/LogRecord serialization toward the wire from
-// non-whitelisted audit code.
-void Linter::rule_plaintext_egress(const SourceFile& f) {
+// plaintext-egress: Value/Fragment/LogRecord serialization toward the wire
+// from non-whitelisted audit code.
+void rule_plaintext_egress(const SourceFile& f, Report* out) {
   if (egress_whitelisted(f.rel_path)) return;
   const std::vector<Token>& toks = f.tokens;
   auto base_matches = [](const std::string& name) {
@@ -555,9 +279,10 @@ void Linter::rule_plaintext_egress(const SourceFile& f) {
     // encode_attrs(...) is the shared attribute-map codec.
     if (toks[t].text == "encode_attrs" && t + 1 < toks.size() &&
         toks[t + 1].text == "(") {
-      report(f, toks[t].line, "plaintext-egress",
-             "encode_attrs serializes plaintext attribute values; only the "
-             "fragment-upload and authorized-result paths may do this");
+      out->push_back({f.rel_path, toks[t].line, "plaintext-egress",
+                      "encode_attrs serializes plaintext attribute values; "
+                      "only the fragment-upload and authorized-result paths "
+                      "may do this"});
       continue;
     }
     if (toks[t].text != "encode" || t + 1 >= toks.size() ||
@@ -583,62 +308,30 @@ void Linter::rule_plaintext_egress(const SourceFile& f) {
       base = toks[t - 2].text;  // Fragment::encode / Value::encode
     }
     if (!base.empty() && base_matches(base)) {
-      report(f, toks[t].line, "plaintext-egress",
-             base + "." + "encode() serializes plaintext toward the wire "
-             "outside the whitelisted upload path");
+      out->push_back({f.rel_path, toks[t].line, "plaintext-egress",
+                      base + "." + "encode() serializes plaintext toward the "
+                      "wire outside the whitelisted upload path"});
     }
   }
 }
 
-void Linter::collect_msgtype_enum(const SourceFile& f) {
-  const std::vector<Token>& toks = f.tokens;
-  for (std::size_t t = 0; t + 1 < toks.size(); ++t) {
-    if (toks[t].text != "enum") continue;
-    std::size_t name_at = t + 1;
-    if (name_at < toks.size() &&
-        (toks[name_at].text == "class" || toks[name_at].text == "struct"))
-      ++name_at;
-    if (name_at >= toks.size() || toks[name_at].text != "MsgType") continue;
-    // Skip an optional ": underlying_type" to the opening brace.
-    std::size_t b = name_at + 1;
-    while (b < toks.size() && toks[b].text != "{" && toks[b].text != ";") ++b;
-    if (b >= toks.size() || toks[b].text != "{") continue;
-    int depth = 1;
-    bool expect_name = true;
-    for (std::size_t j = b + 1; j < toks.size() && depth > 0; ++j) {
-      if (toks[j].text == "{") ++depth;
-      if (toks[j].text == "}") {
-        --depth;
-        continue;
-      }
-      if (depth != 1) continue;
-      if (toks[j].text == ",") {
-        expect_name = true;
-        continue;
-      }
-      if (expect_name && toks[j].kind == TokKind::Identifier) {
-        msgtype_enumerators_.insert(toks[j].text);
-        msgtype_decl_.emplace(toks[j].text,
-                              std::make_pair(f.rel_path, toks[j].line));
-        expect_name = false;
-      }
-    }
-  }
-}
-
-// Rules 5+6: switch analysis over MsgType and handled-enumerator coverage.
-void Linter::rule_msgtype_switches(const SourceFile& f) {
+// msgtype-switch + the per-file half of msgtype-coverage: switch analysis
+// over MsgType and handled-enumerator collection. `handled` is this file's
+// contribution, merged across files before the coverage verdict.
+void rule_msgtype_switches(const SourceFile& f,
+                           const std::set<std::string>& enumerators,
+                           Report* out, std::set<std::string>* handled) {
   const std::vector<Token>& toks = f.tokens;
 
   // Coverage source (b): explicit `== kFoo` / `kFoo ==` comparisons.
   for (std::size_t t = 0; t < toks.size(); ++t) {
     if (toks[t].kind != TokKind::Identifier ||
-        msgtype_enumerators_.count(toks[t].text) == 0)
+        enumerators.count(toks[t].text) == 0)
       continue;
     if ((t > 0 && (toks[t - 1].text == "==" || toks[t - 1].text == "!=")) ||
         (t + 1 < toks.size() &&
          (toks[t + 1].text == "==" || toks[t + 1].text == "!=")))
-      msgtype_handled_.insert(toks[t].text);
+      handled->insert(toks[t].text);
   }
 
   for (std::size_t t = 0; t < toks.size(); ++t) {
@@ -669,7 +362,7 @@ void Linter::rule_msgtype_switches(const SourceFile& f) {
     int switch_line = toks[t].line;
     auto close_group = [&]() {
       if (in_group && group_has_work)
-        for (const std::string& l : group) msgtype_handled_.insert(l);
+        for (const std::string& l : group) handled->insert(l);
       group.clear();
       group_has_work = false;
       in_group = false;
@@ -691,7 +384,7 @@ void Linter::rule_msgtype_switches(const SourceFile& f) {
           if (toks[l].kind == TokKind::Identifier) last_ident = toks[l].text;
           ++l;
         }
-        if (msgtype_enumerators_.count(last_ident) != 0) {
+        if (enumerators.count(last_ident) != 0) {
           labels.insert(last_ident);
           group.push_back(last_ident);
         }
@@ -716,45 +409,105 @@ void Linter::rule_msgtype_switches(const SourceFile& f) {
     if (labels.empty()) continue;  // not a MsgType switch
 
     if (default_line != 0) {
-      report(f, default_line, "msgtype-switch",
-             "defaulted switch over MsgType silently swallows unhandled "
-             "message types; enumerate every MsgType (ignored ones "
-             "explicitly) or waive with a reason");
+      out->push_back({f.rel_path, default_line, "msgtype-switch",
+                      "defaulted switch over MsgType silently swallows "
+                      "unhandled message types; enumerate every MsgType "
+                      "(ignored ones explicitly) or waive with a reason"});
     } else {
       std::vector<std::string> missing;
-      for (const std::string& e : msgtype_enumerators_)
+      for (const std::string& e : enumerators)
         if (labels.count(e) == 0) missing.push_back(e);
       if (!missing.empty()) {
         std::string list;
         for (std::size_t m = 0; m < missing.size() && m < 6; ++m)
           list += (m != 0 ? ", " : "") + missing[m];
         if (missing.size() > 6) list += ", ...";
-        report(f, switch_line, "msgtype-switch",
-               "non-exhaustive switch over MsgType (missing " +
-                   std::to_string(missing.size()) + ": " + list + ")");
+        out->push_back({f.rel_path, switch_line, "msgtype-switch",
+                        "non-exhaustive switch over MsgType (missing " +
+                            std::to_string(missing.size()) + ": " + list +
+                            ")"});
       }
     }
   }
 }
 
-void Linter::rule_msgtype_coverage() {
-  for (const std::string& e : msgtype_enumerators_) {
-    if (msgtype_handled_.count(e) != 0) continue;
-    const auto& decl = msgtype_decl_.at(e);
-    // Synthesize against the declaring file so waivers on the enumerator
-    // line work like every other rule.
-    for (const SourceFile& f : files_) {
-      if (f.rel_path != decl.first) continue;
-      report(f, decl.second, "msgtype-coverage",
-             e + " is declared but no dispatch switch or msg.type comparison "
-             "handles it");
-      break;
+// --------------------------------------------------------------- linter --
+
+class Linter {
+ public:
+  Linter(std::string root, int jobs)
+      : root_(std::move(root)), jobs_(jobs) {}
+
+  bool load();
+  void run();
+  void list_codecs() const;
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  const std::vector<SourceFile>& files() const { return files_; }
+
+ private:
+  void rule_msgtype_coverage();
+  void rule_metrics_registry();
+  void apply_waivers();
+
+  std::string root_;
+  int jobs_ = 1;
+  std::vector<SourceFile> files_;
+  std::vector<std::string> doc_texts_;  // contents of docs/*.md under root
+  std::string protocols_doc_;           // contents of docs/PROTOCOLS.md
+  SymbolIndex index_;
+  std::vector<Diagnostic> pending_;
+  std::vector<Diagnostic> diagnostics_;
+  std::set<std::string> msgtype_handled_;
+};
+
+bool Linter::load() {
+  std::vector<std::string> paths;
+  walk(root_ + "/src", &paths);
+  std::sort(paths.begin(), paths.end());
+  std::vector<std::string> srcs;
+  for (const std::string& path : paths)
+    if (is_source_file(path)) srcs.push_back(path);
+
+  files_.resize(srcs.size());
+  std::atomic<bool> ok{true};
+  parallel_for(srcs.size(), jobs_, [&](std::size_t i) {
+    std::string text;
+    if (!read_file(srcs[i], &text)) {
+      std::fprintf(stderr, "dla_lint: cannot read %s\n", srcs[i].c_str());
+      ok.store(false);
+      return;
     }
+    files_[i] = tokenize(srcs[i].substr(root_.size() + 1), text);
+  });
+  if (!ok.load()) return false;
+
+  std::vector<std::string> docs;
+  walk(root_ + "/docs", &docs);
+  std::sort(docs.begin(), docs.end());
+  for (const std::string& path : docs) {
+    if (!has_suffix(path, ".md")) continue;
+    std::string text;
+    if (!read_file(path, &text)) continue;
+    if (has_suffix(path, "PROTOCOLS.md")) protocols_doc_ = text;
+    doc_texts_.push_back(std::move(text));
+  }
+  return !files_.empty();
+}
+
+void Linter::rule_msgtype_coverage() {
+  for (const std::string& e : index_.msgtype_enumerators) {
+    if (msgtype_handled_.count(e) != 0) continue;
+    const auto& decl = index_.msgtype_decl.at(e);
+    pending_.push_back(
+        {decl.first, decl.second, "msgtype-coverage",
+         e + " is declared but no dispatch switch or msg.type comparison "
+         "handles it"});
   }
 }
 
-// Rule 7: counter structs in audit/metrics.hpp — every field written
-// somewhere in src/ and mentioned in docs/*.md.
+// metrics-registry: counter structs in audit/metrics.hpp — every field
+// written somewhere in src/ and mentioned in docs/*.md.
 void Linter::rule_metrics_registry() {
   const SourceFile* metrics = nullptr;
   for (const SourceFile& f : files_)
@@ -817,18 +570,19 @@ void Linter::rule_metrics_registry() {
       if (written) break;
     }
     if (!written) {
-      report(*metrics, field.line, "metrics-registry",
-             "counter '" + field.name +
-                 "' is declared but never written anywhere under src/");
+      pending_.push_back({metrics->rel_path, field.line, "metrics-registry",
+                          "counter '" + field.name +
+                              "' is declared but never written anywhere "
+                              "under src/"});
     }
     bool documented = false;
     for (const std::string& doc : doc_texts_)
       if (doc.find(field.name) != std::string::npos) documented = true;
     if (!documented) {
-      report(*metrics, field.line, "metrics-registry",
-             "counter '" + field.name +
-                 "' is not documented in any docs/*.md (see the metrics "
-                 "registry in docs/STATIC_ANALYSIS.md)");
+      pending_.push_back({metrics->rel_path, field.line, "metrics-registry",
+                          "counter '" + field.name +
+                              "' is not documented in any docs/*.md (see the "
+                              "metrics registry in docs/STATIC_ANALYSIS.md)"});
     }
   }
 }
@@ -884,15 +638,75 @@ void Linter::apply_waivers() {
 }
 
 void Linter::run() {
-  for (const SourceFile& f : files_) collect_msgtype_enum(f);
-  for (const SourceFile& f : files_) {
-    rule_banned_tokens(f);
-    rule_plaintext_egress(f);
-    rule_msgtype_switches(f);
+  // Pass 1: the whole-program symbol index (MsgType enum, codec defs with
+  // op sequences, include graph). Cheap relative to tokenization; serial.
+  index_.file_info.resize(files_.size());
+  for (std::size_t i = 0; i < files_.size(); ++i)
+    index_file(files_[i], i, &index_);
+
+  // Pass 2: per-file rules in parallel, each into its own buffer; merged in
+  // file order so output stays deterministic regardless of --jobs.
+  struct FileResult {
+    Report pending;
+    std::set<std::string> handled;
+  };
+  std::vector<FileResult> results(files_.size());
+  parallel_for(files_.size(), jobs_, [&](std::size_t i) {
+    const SourceFile& f = files_[i];
+    FileResult& r = results[i];
+    rule_banned_tokens(f, &r.pending);
+    rule_plaintext_egress(f, &r.pending);
+    rule_msgtype_switches(f, index_.msgtype_enumerators, &r.pending,
+                          &r.handled);
+    rule_expect_end(f, &r.pending);
+    rule_include_layering(f, index_.file_info[i], &r.pending);
+  });
+  for (FileResult& r : results) {
+    pending_.insert(pending_.end(), r.pending.begin(), r.pending.end());
+    msgtype_handled_.insert(r.handled.begin(), r.handled.end());
   }
+
+  // Whole-program rules over the index.
   rule_msgtype_coverage();
   rule_metrics_registry();
+  rule_codec_symmetry(index_, files_, protocols_doc_, &pending_);
   apply_waivers();
+}
+
+void Linter::list_codecs() const {
+  struct Group {
+    std::vector<const CodecDef*> encodes;
+    std::vector<const CodecDef*> decodes;
+  };
+  std::map<std::pair<std::string, bool>, Group> groups;
+  for (const CodecDef& def : index_.codecs) {
+    Group& g = groups[{def.owner, def.is_helper}];
+    (def.is_encode ? g.encodes : g.decodes).push_back(&def);
+  }
+  auto join = [](const std::vector<std::string>& ops) {
+    std::string s;
+    for (std::size_t i = 0; i < ops.size(); ++i)
+      s += (i ? "," : "") + ops[i];
+    return s;
+  };
+  for (const auto& entry : groups) {
+    const Group& g = entry.second;
+    const char* kind = entry.first.second ? "helper-pair" : "pair";
+    if (!g.encodes.empty() && !g.decodes.empty()) {
+      const CodecDef* e = g.encodes.front();
+      const CodecDef* d = g.decodes.front();
+      std::printf("%s %s encode=%s:%d decode=%s:%d ops=[%s]\n", kind,
+                  entry.first.first.c_str(), e->file.c_str(), e->line,
+                  d->file.c_str(), d->line, join(e->ops).c_str());
+    } else {
+      const CodecDef* only =
+          g.encodes.empty() ? g.decodes.front() : g.encodes.front();
+      std::printf("unpaired %s %s %s=%s:%d ops=[%s]\n", kind,
+                  entry.first.first.c_str(),
+                  only->is_encode ? "encode" : "decode", only->file.c_str(),
+                  only->line, join(only->ops).c_str());
+    }
+  }
 }
 
 // ------------------------------------------------------------ self test --
@@ -939,22 +753,41 @@ int run_self_test(const Linter& linter) {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: dla_lint --root <repo-root> [--self-test]\n"
+      "usage: dla_lint --root <repo-root> [--self-test] [--jobs N]\n"
+      "                [--sarif out.json] [--budget-ms N] [--list-codecs]\n"
       "  Scans <root>/src/**.{h,hpp,cc,cpp} (+ <root>/docs/*.md for the\n"
-      "  metrics registry). Exit 0 = clean, 1 = violations, 2 = usage/io.\n");
+      "  metrics registry and protocol tables) with a two-pass whole-program\n"
+      "  analysis. --jobs 0 = one thread per core. --sarif writes SARIF\n"
+      "  2.1.0. --budget-ms fails the run if the scan exceeds the budget.\n"
+      "  --list-codecs prints every discovered encode/decode pair.\n"
+      "  Exit 0 = clean, 1 = violations/over-budget, 2 = usage/io.\n");
 }
 
 }  // namespace
+}  // namespace dla_lint
 
 int main(int argc, char** argv) {
+  using namespace dla_lint;
   std::string root;
+  std::string sarif_path;
   bool self_test = false;
+  bool list_codecs = false;
+  int jobs = 0;
+  long budget_ms = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
     } else if (arg == "--self-test") {
       self_test = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--budget-ms" && i + 1 < argc) {
+      budget_ms = std::atol(argv[++i]);
+    } else if (arg == "--list-codecs") {
+      list_codecs = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -968,25 +801,57 @@ int main(int argc, char** argv) {
     return 2;
   }
   while (root.size() > 1 && root.back() == '/') root.pop_back();
+  if (jobs <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw == 0 ? 1 : static_cast<int>(hw > 32 ? 32 : hw);
+  }
 
-  Linter linter(root);
+  const auto t0 = std::chrono::steady_clock::now();
+  Linter linter(root, jobs);
   if (!linter.load()) {
     std::fprintf(stderr, "dla_lint: no sources found under %s/src\n",
                  root.c_str());
     return 2;
   }
   linter.run();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
 
+  if (!sarif_path.empty()) {
+    char resolved[PATH_MAX];
+    std::string abs_root =
+        realpath(root.c_str(), resolved) != nullptr ? resolved : root;
+    if (!write_sarif(sarif_path, abs_root, linter.diagnostics())) {
+      std::fprintf(stderr, "dla_lint: cannot write SARIF to %s\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+  }
+
+  if (list_codecs) {
+    linter.list_codecs();
+    return 0;
+  }
   if (self_test) return run_self_test(linter);
 
   for (const Diagnostic& d : linter.diagnostics()) {
     std::printf("%s:%d: error: [%s] %s\n", d.file.c_str(), d.line,
                 d.rule.c_str(), d.message.c_str());
   }
+  int exit_code = 0;
   if (linter.diagnostics().empty()) {
-    std::printf("dla_lint: clean (%zu files)\n", linter.files().size());
-    return 0;
+    std::printf("dla_lint: clean (%zu files, %.1f ms, jobs=%d)\n",
+                linter.files().size(), elapsed_ms, jobs);
+  } else {
+    std::printf("dla_lint: %zu violation(s)\n", linter.diagnostics().size());
+    exit_code = 1;
   }
-  std::printf("dla_lint: %zu violation(s)\n", linter.diagnostics().size());
-  return 1;
+  if (budget_ms > 0 && elapsed_ms > static_cast<double>(budget_ms)) {
+    std::printf("dla_lint: BUDGET EXCEEDED: %.1f ms > %ld ms (--budget-ms)\n",
+                elapsed_ms, budget_ms);
+    exit_code = exit_code == 0 ? 1 : exit_code;
+  }
+  return exit_code;
 }

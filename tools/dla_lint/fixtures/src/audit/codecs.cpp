@@ -1,0 +1,95 @@
+// Fixture: codec-symmetry. Encode/decode pairs whose wire-primitive
+// sequences agree pass; any divergence (order, width, count, helper
+// mismatch) must diagnose at the decode definition. Documented payload
+// structs live in ../../docs/PROTOCOLS.md — an undocumented pair
+// diagnoses at its encode definition.
+#include "net/bytes.hpp"
+
+// Symmetric pair, documented: clean.
+struct GoodMsg {
+  unsigned a = 0;
+  std::string b;
+  void encode(net::Writer& w) const {
+    w.u32(a);
+    w.str(b);
+  }
+  static GoodMsg decode(net::Reader& r) {
+    GoodMsg m;
+    m.a = r.u32();
+    m.b = r.str();
+    return m;
+  }
+};
+
+// Field order swapped between the two directions.
+struct SwappedMsg {
+  unsigned a = 0;
+  std::string b;
+  void encode(net::Writer& w) const {
+    w.u32(a);
+    w.str(b);
+  }
+  static SwappedMsg decode(net::Reader& r) {  // EXPECT(codec-symmetry)
+    SwappedMsg m;
+    m.b = r.str();
+    m.a = r.u32();
+    return m;
+  }
+};
+
+// The PR-6 kGlsnReply regression shape: decode consumes a vestigial u32
+// that encode never wrote (field-count mismatch).
+struct GlsnReplyFixture {
+  unsigned long reqid = 0;
+  unsigned long glsn = 0;
+  void encode(net::Writer& w) const {
+    w.u64(reqid);
+    w.u64(glsn);
+  }
+  static GlsnReplyFixture decode(net::Reader& r) {  // EXPECT(codec-symmetry)
+    GlsnReplyFixture m;
+    m.reqid = r.u64();
+    r.u32();  // vestigial gateway field from an earlier protocol draft
+    m.glsn = r.u64();
+    return m;
+  }
+};
+
+// Same field, different width on the two sides.
+struct WidthMsg {
+  unsigned long v = 0;
+  void encode(net::Writer& w) const { w.u32(v); }
+  static WidthMsg decode(net::Reader& r) {  // EXPECT(codec-symmetry)
+    WidthMsg m;
+    m.v = r.u64();
+    return m;
+  }
+};
+
+// Symmetric but absent from docs/PROTOCOLS.md: the documentation
+// cross-check fires at the encode definition.
+struct QuietMsg {
+  unsigned a = 0;
+  void encode(net::Writer& w) const { w.u32(a); }  // EXPECT(codec-symmetry)
+  static QuietMsg decode(net::Reader& r) {
+    QuietMsg m;
+    m.a = r.u32();
+    return m;
+  }
+};
+
+// Free helper pair, symmetric: vec framing + u64 elements on both sides.
+void encode_entries(net::Writer& w, const std::vector<unsigned long>& v) {
+  w.vec(v, [](net::Writer& out, unsigned long x) { out.u64(x); });
+}
+std::vector<unsigned long> decode_entries(net::Reader& r) {
+  return r.vec<unsigned long>([](net::Reader& in) { return in.u64(); });
+}
+
+// Free helper pair with mismatched element width.
+void encode_weights(net::Writer& w, const std::vector<unsigned long>& v) {
+  w.vec(v, [](net::Writer& out, unsigned long x) { out.u64(x); });
+}
+std::vector<unsigned> decode_weights(net::Reader& r) {  // EXPECT(codec-symmetry)
+  return r.vec<unsigned>([](net::Reader& in) { return in.u32(); });
+}

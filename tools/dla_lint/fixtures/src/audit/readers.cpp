@@ -1,0 +1,32 @@
+// Fixture: expect-end discipline. Every locally-constructed net::Reader
+// must be drained with expect_end() before its scope ends; reference
+// parameters are caller-owned and exempt.
+#include "net/bytes.hpp"
+
+void reader_cases(const net::Bytes& payload) {
+  {
+    net::Reader good(payload);
+    good.u32();
+    good.expect_end();
+  }
+  {
+    net::Reader bad(payload);  // EXPECT(expect-end)
+    bad.u32();
+  }
+  // Drained inside a nested scope: the drain counts wherever it happens.
+  {
+    net::Reader branchy(payload);
+    if (payload.size() > 4) {
+      branchy.u64();
+      branchy.expect_end();
+    } else {
+      branchy.expect_end();
+    }
+  }
+  // DLA-LINT-ALLOW(expect-end): prefix peek only, trailing bytes expected
+  net::Reader waived(payload);
+  waived.u8();
+}
+
+// Reference parameter: the caller owns (and drains) this reader.
+unsigned reads_prefix(net::Reader& r) { return r.u32(); }

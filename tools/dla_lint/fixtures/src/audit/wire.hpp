@@ -7,5 +7,5 @@ enum MsgType : unsigned {
   kGamma,      // handled via an explicit msg.type == comparison
   kSigma,      // handled only by classify()'s labelled return case
   kDelta,      // EXPECT(msgtype-coverage)
-  kOmega,      // EXPECT(msgtype-coverage)
+  kOmega,      // EXPECT(msgtype-coverage) EXPECT(codec-symmetry)
 };

@@ -1,0 +1,19 @@
+// Fixture: backslash line-continuations. A '\'-terminated // comment
+// swallows the next physical line (still comment text), a spliced string
+// literal keeps the line counter honest, and a spliced #include still
+// attributes its diagnostic to the directive's first line.
+
+// The next line is a continuation of this comment and must not tokenize: \
+   std::unordered_map<int, int> inside_comment;
+
+const char* kSpliced = "split \
+across \
+physical lines";
+
+#include \
+    "logm/record.hpp"  // EXPECT(include-layering)
+
+void continuation_anchor() {
+  std::unordered_set<int> bag;  // EXPECT(unordered-container)
+  bag.insert(1);
+}

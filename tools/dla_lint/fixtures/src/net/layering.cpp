@@ -1,0 +1,14 @@
+// Fixture: include-layering. This file sits in the net layer, which may
+// include net/, crypto/, and bignum/ headers only.
+#include "net/frame.hpp"
+#include "crypto/hash.hpp"
+#include "bignum/biguint.hpp"
+#include "audit/wire.hpp"   // EXPECT(include-layering)
+#include "logm/record.hpp"  // EXPECT(include-layering)
+// DLA-LINT-ALLOW(include-layering): transitional shim until the metrics split
+#include "audit/metrics.hpp"
+#include <vector>
+
+// DLA-LINT-ALLOW(include-layering): nothing to suppress here EXPECT(unused-waiver)
+
+int layering_fixture() { return 0; }

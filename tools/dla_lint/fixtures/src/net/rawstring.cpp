@@ -1,0 +1,26 @@
+// Fixture: raw string literals are opaque. Nothing inside them — banned
+// identifiers, waiver text, EXPECT annotations — may register, and their
+// embedded newlines must still advance the line counter so diagnostics
+// after the literal land on the right line.
+#include <chrono>
+#include <string>
+
+const char* kPlainRaw = R"(std::rand() and system_clock::now() live here,
+// DLA-LINT-ALLOW(nondeterminism): must never register as a waiver
+EXPECT(nondeterminism) must never register as an expectation,
+spread over four lines)";
+
+// Prefixed raw literals (the historical leak): same opacity rules.
+const char* kUtf8Raw = u8R"delim(unbalanced )" quote inside, still one
+literal: system_clock::now() again)delim";
+
+const wchar_t* kWideRaw = LR"(more system_clock text
+on two lines)";
+
+// An identifier merely ending in R is not a raw-string prefix.
+int FOOR = 0;
+
+long raw_line_anchor() {
+  auto t = std::chrono::system_clock::now();  // EXPECT(nondeterminism)
+  return t.time_since_epoch().count() + FOOR;
+}

@@ -1,0 +1,298 @@
+// dla_lint pass 1: the whole-program symbol index.
+//
+// Built once over every tokenized file, then shared (read-only) by all
+// rules: the MsgType enum with declaration sites, the tokenized #include
+// graph with layer attribution, and — for codec-symmetry — every
+// encode/decode codec definition with the ordered sequence of wire
+// primitives its body performs.
+
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+namespace dla_lint {
+
+// -------------------------------------------------------------- fs walk --
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+void walk(const std::string& dir, std::vector<std::string>* out) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (dirent* e = readdir(d)) {
+    std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    std::string path = dir + "/" + name;
+    struct stat st{};
+    if (stat(path.c_str(), &st) != 0) continue;
+    if (S_ISDIR(st.st_mode)) {
+      walk(path, out);
+    } else if (S_ISREG(st.st_mode)) {
+      out->push_back(path);
+    }
+  }
+  closedir(d);
+}
+
+bool has_suffix(const std::string& s, const std::string& suf) {
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+bool has_prefix(const std::string& s, const std::string& pre) {
+  return s.compare(0, pre.size(), pre) == 0;
+}
+
+bool is_source_file(const std::string& path) {
+  return has_suffix(path, ".cpp") || has_suffix(path, ".hpp") ||
+         has_suffix(path, ".cc") || has_suffix(path, ".h");
+}
+
+// --------------------------------------------------------- MsgType enum --
+
+namespace {
+
+void collect_msgtype_enum(const SourceFile& f, SymbolIndex* out) {
+  const std::vector<Token>& toks = f.tokens;
+  for (std::size_t t = 0; t + 1 < toks.size(); ++t) {
+    if (toks[t].text != "enum") continue;
+    std::size_t name_at = t + 1;
+    if (name_at < toks.size() &&
+        (toks[name_at].text == "class" || toks[name_at].text == "struct"))
+      ++name_at;
+    if (name_at >= toks.size() || toks[name_at].text != "MsgType") continue;
+    // Skip an optional ": underlying_type" to the opening brace.
+    std::size_t b = name_at + 1;
+    while (b < toks.size() && toks[b].text != "{" && toks[b].text != ";") ++b;
+    if (b >= toks.size() || toks[b].text != "{") continue;
+    int depth = 1;
+    bool expect_name = true;
+    for (std::size_t j = b + 1; j < toks.size() && depth > 0; ++j) {
+      if (toks[j].text == "{") ++depth;
+      if (toks[j].text == "}") {
+        --depth;
+        continue;
+      }
+      if (depth != 1) continue;
+      if (toks[j].text == ",") {
+        expect_name = true;
+        continue;
+      }
+      if (expect_name && toks[j].kind == TokKind::Identifier) {
+        out->msgtype_enumerators.insert(toks[j].text);
+        out->msgtype_decl.emplace(toks[j].text,
+                                  std::make_pair(f.rel_path, toks[j].line));
+        expect_name = false;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ codec extraction --
+
+const std::set<std::string>& primitive_ops() {
+  static const std::set<std::string> ops = {
+      "u8",  "u32", "u64",     "i64", "f64",
+      "str", "blob", "boolean", "big", "vec"};
+  return ops;
+}
+
+// Finds the token index of the matching close for the open bracket at
+// `open` (which must be "(" or "{").
+std::size_t matching_close(const std::vector<Token>& toks, std::size_t open) {
+  const std::string& open_text = toks[open].text;
+  const std::string close_text = open_text == "(" ? ")" : "}";
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == open_text) ++depth;
+    if (toks[i].text == close_text) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+// Does the parameter list [open+1, close) mention the given type name?
+bool params_mention(const std::vector<Token>& toks, std::size_t open,
+                    std::size_t close, const char* type_name) {
+  for (std::size_t i = open + 1; i < close && i < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::Identifier && toks[i].text == type_name)
+      return true;
+  }
+  return false;
+}
+
+// Extracts the ordered wire-primitive sequence from a codec body
+// [body_open, body_close]. Every `x.<prim>(` / `x-><prim>(` call (including
+// `x.vec<...>(`) emits its primitive; `x.encode(` and `T::decode(` emit
+// "nested"; calls to free helper pairs `encode_<s>(` / `decode_<s>(` emit
+// "call:<s>". Conditionals and loops are linearized in token order, so a
+// symmetric `if`/`switch` shape compares equal and an asymmetric one fails.
+std::vector<std::string> extract_ops(const std::vector<Token>& toks,
+                                     std::size_t body_open,
+                                     std::size_t body_close) {
+  std::vector<std::string> ops;
+  for (std::size_t i = body_open + 1; i < body_close; ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != TokKind::Identifier) continue;
+    const bool member_call =
+        i > body_open + 1 &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->");
+    const std::string* next = i + 1 < body_close ? &toks[i + 1].text : nullptr;
+    if (member_call && primitive_ops().count(tok.text) != 0 && next != nullptr &&
+        (*next == "(" || *next == "<")) {
+      ops.push_back(tok.text);
+      continue;
+    }
+    if (member_call && tok.text == "encode" && next != nullptr &&
+        *next == "(") {
+      ops.push_back("nested");
+      continue;
+    }
+    // Type::decode(reader) / Type::encode(writer) — a nested struct codec.
+    if (next != nullptr && *next == "::" && i + 2 < body_close &&
+        (toks[i + 2].text == "decode" || toks[i + 2].text == "encode") &&
+        i + 3 < body_close && toks[i + 3].text == "(") {
+      ops.push_back("nested");
+      continue;
+    }
+    if (!member_call && next != nullptr && *next == "(" &&
+        (has_prefix(tok.text, "encode_") || has_prefix(tok.text, "decode_"))) {
+      ops.push_back("call:" + tok.text.substr(7));
+      continue;
+    }
+  }
+  return ops;
+}
+
+void note_codec(const SourceFile& f, const std::vector<Token>& toks,
+                std::size_t name_at, const std::string& owner, bool is_helper,
+                bool is_encode, std::vector<CodecDef>* out) {
+  // name_at points at "encode"/"decode"/"encode_x"/"decode_x"; the next
+  // token is "(". Qualify as a *definition* only if the parameter list
+  // mentions Writer (encode) / Reader (decode) and a body follows.
+  std::size_t open = name_at + 1;
+  std::size_t close = matching_close(toks, open);
+  if (close >= toks.size()) return;
+  if (!params_mention(toks, open, close, is_encode ? "Writer" : "Reader"))
+    return;
+  std::size_t after = close + 1;
+  while (after < toks.size() &&
+         (toks[after].text == "const" || toks[after].text == "noexcept"))
+    ++after;
+  if (after >= toks.size() || toks[after].text != "{") return;
+  std::size_t body_close = matching_close(toks, after);
+  if (body_close >= toks.size()) return;
+
+  CodecDef def;
+  def.owner = owner;
+  def.is_helper = is_helper;
+  def.is_encode = is_encode;
+  def.file = f.rel_path;
+  def.line = toks[name_at].line;
+  def.ops = extract_ops(toks, after, body_close);
+  out->push_back(std::move(def));
+}
+
+}  // namespace
+
+void extract_codecs(const SourceFile& f, std::vector<CodecDef>* out) {
+  const std::vector<Token>& toks = f.tokens;
+  // Struct-context stack for inline member definitions: (name, brace depth
+  // of the struct body).
+  std::vector<std::pair<std::string, int>> struct_stack;
+  int depth = 0;
+  for (std::size_t t = 0; t < toks.size(); ++t) {
+    const Token& tok = toks[t];
+    if (tok.text == "{") {
+      ++depth;
+      continue;
+    }
+    if (tok.text == "}") {
+      --depth;
+      while (!struct_stack.empty() && struct_stack.back().second > depth)
+        struct_stack.pop_back();
+      continue;
+    }
+    if (tok.kind != TokKind::Identifier) continue;
+    if ((tok.text == "struct" || tok.text == "class") &&
+        (t == 0 || toks[t - 1].text != "enum")) {
+      // struct NAME ... { — find the body brace (stop on ';' = fwd decl).
+      if (t + 1 < toks.size() && toks[t + 1].kind == TokKind::Identifier) {
+        std::string name = toks[t + 1].text;
+        std::size_t b = t + 2;
+        int guard = 0;
+        while (b < toks.size() && toks[b].text != "{" && toks[b].text != ";" &&
+               guard < 16) {
+          ++b;
+          ++guard;
+        }
+        if (b < toks.size() && toks[b].text == "{")
+          struct_stack.emplace_back(std::move(name), depth + 1);
+      }
+      continue;
+    }
+    const bool paren_next = t + 1 < toks.size() && toks[t + 1].text == "(";
+    if (!paren_next) continue;
+    const bool is_encode_name = tok.text == "encode";
+    const bool is_decode_name = tok.text == "decode";
+    if (is_encode_name || is_decode_name) {
+      // Member-call sites (x.encode(w)) are ops, not definitions.
+      if (t > 0 && (toks[t - 1].text == "." || toks[t - 1].text == "->"))
+        continue;
+      std::string owner;
+      if (t >= 2 && toks[t - 1].text == "::" &&
+          toks[t - 2].kind == TokKind::Identifier) {
+        owner = toks[t - 2].text;  // out-of-line T::encode / T::decode
+      } else if (!struct_stack.empty()) {
+        owner = struct_stack.back().first;  // inline member
+      }
+      if (!owner.empty())
+        note_codec(f, toks, t, owner, /*is_helper=*/false, is_encode_name,
+                   out);
+      continue;
+    }
+    // Free helper pairs encode_<suffix> / decode_<suffix>.
+    if (has_prefix(tok.text, "encode_") || has_prefix(tok.text, "decode_")) {
+      if (t > 0 && (toks[t - 1].text == "." || toks[t - 1].text == "->" ||
+                    toks[t - 1].text == "::"))
+        continue;
+      note_codec(f, toks, t, tok.text.substr(7), /*is_helper=*/true,
+                 has_prefix(tok.text, "encode_"), out);
+    }
+  }
+}
+
+void index_file(const SourceFile& f, std::size_t file_slot, SymbolIndex* out) {
+  collect_msgtype_enum(f, out);
+  extract_codecs(f, &out->codecs);
+
+  FileIndex& info = out->file_info[file_slot];
+  static const char* layers[] = {"audit", "bignum", "crypto", "logm", "net"};
+  for (const char* layer : layers) {
+    if (has_prefix(f.rel_path, std::string("src/") + layer + "/")) {
+      info.layer = layer;
+      break;
+    }
+  }
+  for (const Token& tok : f.tokens) {
+    if (tok.kind != TokKind::Include) continue;
+    info.includes.push_back({tok.text, tok.line});
+  }
+}
+
+}  // namespace dla_lint

@@ -1,0 +1,289 @@
+// dla_lint lexer: a lightweight C++ tokenizer, enough for the token-shaped
+// rules. Comments and string literals are excluded from rule matching;
+// #include header names come out as TokKind::Include tokens; waivers and
+// self-test EXPECT annotations are parsed out of comments.
+//
+// Correctness notes (each has a fixture regression):
+//  - Raw string literals, including prefixed forms (R"", LR"", uR"", UR"",
+//    u8R""), are consumed as a single contentless String token: their bytes
+//    must never leak into identifier matching, and the newlines inside them
+//    must still advance the line counter or every diagnostic after the
+//    literal points at the wrong line.
+//  - Backslash line-continuations are spliced the way the preprocessor does
+//    it: a // comment ending in '\' swallows the next line (it is still
+//    comment text, not code), and a backslash-newline inside a string
+//    literal is removed while still counting the line.
+
+#include "lint.hpp"
+
+#include <cctype>
+#include <cstring>
+
+namespace dla_lint {
+
+namespace {
+
+// Parses "DLA-LINT-ALLOW(rule): reason" and "EXPECT(rule)" out of a comment.
+void scan_comment(const std::string& text, int line, SourceFile* out) {
+  std::size_t pos = 0;
+  while ((pos = text.find("DLA-LINT-ALLOW(", pos)) != std::string::npos) {
+    std::size_t open = pos + std::strlen("DLA-LINT-ALLOW(");
+    std::size_t close = text.find(')', open);
+    if (close == std::string::npos) break;
+    Waiver w;
+    w.line = line;
+    w.rule = text.substr(open, close - open);
+    std::size_t after = close + 1;
+    // Reason is required: a colon followed by at least one non-space char.
+    if (after < text.size() && text[after] == ':') {
+      std::size_t r = after + 1;
+      while (r < text.size() && std::isspace(static_cast<unsigned char>(text[r])))
+        ++r;
+      w.has_reason = r < text.size();
+    }
+    out->waivers.push_back(std::move(w));
+    pos = close;
+  }
+  pos = 0;
+  while ((pos = text.find("EXPECT(", pos)) != std::string::npos) {
+    // Avoid matching identifiers like GTEST's EXPECT_(; require the char
+    // before to be non-alphanumeric.
+    if (pos > 0 && (std::isalnum(static_cast<unsigned char>(text[pos - 1])) ||
+                    text[pos - 1] == '_' || text[pos - 1] == '-')) {
+      pos += 1;
+      continue;
+    }
+    std::size_t open = pos + std::strlen("EXPECT(");
+    std::size_t close = text.find(')', open);
+    if (close == std::string::npos) break;
+    out->expects.emplace(line, text.substr(open, close - open));
+    pos = close;
+  }
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Logical end of a physical line honoring backslash-newline splices: skips
+// over '\'-terminated lines, bumping *line per swallowed newline. Returns
+// the index of the terminating '\n' (or src.size()).
+std::size_t spliced_line_end(const std::string& src, std::size_t i,
+                             int* line) {
+  const std::size_t n = src.size();
+  while (i < n) {
+    if (src[i] == '\n') {
+      // Continuation if the last non-CR char before the newline is '\'.
+      std::size_t back = i;
+      if (back > 0 && src[back - 1] == '\r') --back;
+      if (back > 0 && src[back - 1] == '\\') {
+        ++*line;
+        ++i;
+        continue;
+      }
+      return i;
+    }
+    ++i;
+  }
+  return n;
+}
+
+// If src[i..] begins a raw string literal (an optional L/u/U/u8 prefix, 'R',
+// a '"', and a valid d-char sequence up to '('), returns true and sets
+// *prefix_len to the length of the encoding prefix + 'R' (e.g. 1 for R",
+// 3 for u8R").
+bool at_raw_string(const std::string& src, std::size_t i,
+                   std::size_t* prefix_len) {
+  static const char* prefixes[] = {"u8R", "uR", "UR", "LR", "R"};
+  for (const char* p : prefixes) {
+    std::size_t len = std::strlen(p);
+    if (src.compare(i, len, p) != 0) continue;
+    if (i + len >= src.size() || src[i + len] != '"') continue;
+    // A raw literal must not be the tail of a longer identifier (FOOR"...").
+    if (i > 0 && ident_char(src[i - 1])) return false;
+    // Validate the delimiter: at most 16 chars, none of space, '(' , ')',
+    // '\\' or newline before the opening '('.
+    std::size_t d = i + len + 1;
+    std::size_t count = 0;
+    while (d < src.size() && src[d] != '(') {
+      char c = src[d];
+      if (count >= 16 || c == ' ' || c == ')' || c == '\\' || c == '\n')
+        return false;
+      ++d;
+      ++count;
+    }
+    if (d >= src.size()) return false;
+    *prefix_len = len;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SourceFile tokenize(const std::string& rel_path, const std::string& src) {
+  SourceFile out;
+  out.rel_path = rel_path;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Backslash-newline splice between tokens: swallow it.
+    if (c == '\\' && i + 1 < n &&
+        (src[i + 1] == '\n' ||
+         (src[i + 1] == '\r' && i + 2 < n && src[i + 2] == '\n'))) {
+      ++line;
+      i += src[i + 1] == '\n' ? 2 : 3;
+      continue;
+    }
+    // #include directives: emit the header name as an Include token so that
+    // `#include <unordered_map>` does not read as an identifier use, while
+    // include-level rules (layering, crypto-boundary) match on the path.
+    if (c == '#') {
+      std::size_t j = i + 1;
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      if (src.compare(j, 7, "include") == 0) {
+        int start_line = line;
+        std::size_t end = spliced_line_end(src, i, &line);
+        std::string rest = src.substr(j + 7, end - j - 7);
+        std::size_t open = rest.find_first_of("<\"");
+        if (open != std::string::npos) {
+          char closer = rest[open] == '<' ? '>' : '"';
+          std::size_t close = rest.find(closer, open + 1);
+          if (close != std::string::npos) {
+            out.tokens.push_back({TokKind::Include,
+                                  rest.substr(open + 1, close - open - 1),
+                                  start_line});
+          }
+        }
+        // Don't lose a trailing // comment (waivers/EXPECTs on include lines).
+        std::size_t cpos = rest.find("//");
+        if (cpos != std::string::npos)
+          scan_comment(rest.substr(cpos + 2), start_line, &out);
+        i = end;
+        continue;
+      }
+    }
+    // Line comment. A '\' at end of line splices the next physical line
+    // into the comment — the continuation is still comment text and must
+    // not leak into token matching.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      int start_line = line;
+      std::size_t end = spliced_line_end(src, i, &line);
+      scan_comment(src.substr(i + 2, end - i - 2), start_line, &out);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t j = i + 2;
+      int start_line = line;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      scan_comment(src.substr(i + 2, j - i - 2), start_line, &out);
+      i = j + 2 > n ? n : j + 2;
+      continue;
+    }
+    // Raw string literal [prefix]R"delim( ... )delim" — consumed wholesale
+    // as one contentless String token; nothing inside it may match a rule,
+    // a waiver, or an EXPECT annotation.
+    {
+      std::size_t prefix_len = 0;
+      if ((c == 'R' || c == 'L' || c == 'u' || c == 'U') &&
+          at_raw_string(src, i, &prefix_len)) {
+        int start_line = line;
+        std::size_t dstart = i + prefix_len + 1;
+        std::size_t paren = src.find('(', dstart);
+        std::string closer = ")" + src.substr(dstart, paren - dstart) + "\"";
+        std::size_t end = src.find(closer, paren + 1);
+        std::size_t stop = end == std::string::npos ? n : end + closer.size();
+        for (std::size_t k = i; k < stop; ++k)
+          if (src[k] == '\n') ++line;
+        out.tokens.push_back({TokKind::String, "", start_line});
+        i = stop;
+        continue;
+      }
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      int start_line = line;
+      std::size_t j = i + 1;
+      std::string value;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          // Backslash-newline inside a literal is a splice: drop it but
+          // keep the line counter honest.
+          if (src[j + 1] == '\n') {
+            ++line;
+            j += 2;
+            continue;
+          }
+          if (src[j + 1] == '\r' && j + 2 < n && src[j + 2] == '\n') {
+            ++line;
+            j += 3;
+            continue;
+          }
+          value += src[j + 1];
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;  // unterminated; tolerate
+        value += src[j];
+        ++j;
+      }
+      out.tokens.push_back({TokKind::String, value, start_line});
+      i = j + 1 > n ? n : j + 1;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      out.tokens.push_back({TokKind::Identifier, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' || src[j] == '\''))
+        ++j;
+      out.tokens.push_back({TokKind::Number, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Multi-char operators we care about distinguishing from '='.
+    static const char* two[] = {"==", "!=", "<=", ">=", "+=", "-=", "*=", "/=",
+                                "|=", "&=", "^=", "->", "::", "++", "--", "&&",
+                                "||", "<<", ">>"};
+    bool matched = false;
+    for (const char* op : two) {
+      if (c == op[0] && i + 1 < n && src[i + 1] == op[1]) {
+        out.tokens.push_back({TokKind::Punct, op, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.tokens.push_back({TokKind::Punct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace dla_lint

@@ -1,0 +1,143 @@
+// Shared types for dla_lint — the two-pass, whole-program analyzer.
+//
+// Pass 1 (index): every file under <root>/src is tokenized (in parallel,
+// --jobs N) and a cross-file SymbolIndex is built: the MsgType enum, every
+// encode/decode codec definition with its extracted primitive-op sequence,
+// and the tokenized #include graph. Pass 2 (rules): per-file rules run in
+// parallel over the token streams; whole-program rules (codec-symmetry,
+// msgtype-coverage, metrics-registry, include-layering verdicts) consume
+// the index. See docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dla_lint {
+
+// ----------------------------------------------------------- diagnostics --
+
+struct Diagnostic {
+  std::string file;  // root-relative, forward slashes
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& rhs) const {
+    if (file != rhs.file) return file < rhs.file;
+    if (line != rhs.line) return line < rhs.line;
+    if (rule != rhs.rule) return rule < rhs.rule;
+    return message < rhs.message;
+  }
+};
+
+const std::set<std::string>& known_rules();
+
+// ------------------------------------------------------------- tokenizer --
+
+// Include is distinct from String so that rules over #include paths
+// (include-layering, the montgomery header ban) can never be spoofed by a
+// string literal that happens to contain a header-shaped path.
+enum class TokKind { Identifier, Number, String, Include, Punct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Waiver {
+  int line = 0;
+  std::string rule;
+  bool has_reason = false;
+  bool used = false;
+};
+
+struct SourceFile {
+  std::string rel_path;  // relative to root
+  std::vector<Token> tokens;
+  std::vector<Waiver> waivers;
+  // line -> rules expected by the self-test fixture annotations.
+  std::multimap<int, std::string> expects;
+};
+
+SourceFile tokenize(const std::string& rel_path, const std::string& src);
+
+// ------------------------------------------------------------- utilities --
+
+bool has_suffix(const std::string& s, const std::string& suf);
+bool has_prefix(const std::string& s, const std::string& pre);
+bool read_file(const std::string& path, std::string* out);
+void walk(const std::string& dir, std::vector<std::string>* out);
+bool is_source_file(const std::string& path);
+
+// ----------------------------------------------------------- symbol index --
+
+// One encode() or decode() definition found anywhere under src/, with the
+// ordered sequence of wire primitives its body performs. Ops are the Writer/
+// Reader primitive names (u8, u32, u64, i64, f64, boolean, str, blob, big,
+// vec), "nested" for a nested struct codec call, or "call:<suffix>" for a
+// shared helper pair (encode_<suffix>/decode_<suffix>).
+struct CodecDef {
+  std::string owner;   // struct name, or helper suffix for free helpers
+  bool is_helper = false;
+  bool is_encode = false;
+  std::string file;    // rel path of the definition
+  int line = 0;        // line of the definition
+  std::vector<std::string> ops;
+};
+
+struct IncludeEdge {
+  std::string path;  // include path as written ("audit/wire.hpp")
+  int line = 0;
+};
+
+struct FileIndex {
+  // layer name ("audit", "net", ...) if the file lives in src/<layer>/.
+  std::string layer;
+  std::vector<IncludeEdge> includes;
+};
+
+struct SymbolIndex {
+  std::set<std::string> msgtype_enumerators;
+  // enumerator -> (file, line) of its declaration.
+  std::map<std::string, std::pair<std::string, int>> msgtype_decl;
+  std::vector<CodecDef> codecs;
+  // rel_path -> per-file include/layer info, in file order.
+  std::vector<FileIndex> file_info;  // parallel to the files vector
+};
+
+// Pass-1 index construction (index.cpp).
+void index_file(const SourceFile& f, std::size_t file_slot, SymbolIndex* out);
+void extract_codecs(const SourceFile& f, std::vector<CodecDef>* out);
+
+// --------------------------------------------------- conformance rules --
+
+using Report = std::vector<Diagnostic>;
+
+// codec-symmetry: pairs up encode/decode definitions from the index and
+// fails on any field-order, width, or count mismatch; also requires every
+// paired payload struct and every MsgType enumerator to be documented in
+// docs/PROTOCOLS.md.
+void rule_codec_symmetry(const SymbolIndex& index,
+                         const std::vector<SourceFile>& files,
+                         const std::string& protocols_doc, Report* out);
+
+// expect-end: every net::Reader declared in protocol/storage code must be
+// exactly drained (reader.expect_end()) before its block ends.
+void rule_expect_end(const SourceFile& f, Report* out);
+
+// include-layering: the explicit dependency DAG over src/{bignum, crypto,
+// logm, net, audit}, checked per tokenized #include edge.
+void rule_include_layering(const SourceFile& f, const FileIndex& info,
+                           Report* out);
+
+// ------------------------------------------------------------------ sarif --
+
+// Writes the diagnostics as SARIF 2.1.0 (code-scanning consumable).
+bool write_sarif(const std::string& path, const std::string& root,
+                 const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace dla_lint

@@ -1,0 +1,117 @@
+// SARIF 2.1.0 emitter for dla_lint. The output is consumed by GitHub code
+// scanning (github/codeql-action/upload-sarif in the lint CI job) and
+// schema-checked by the dla_lint_sarif_* ctests via check_sarif.py.
+
+#include "lint.hpp"
+
+#include <fstream>
+#include <map>
+
+namespace dla_lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          static const char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[c >> 4];
+          out += hex[c & 0xf];
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool write_sarif(const std::string& path, const std::string& root,
+                 const std::vector<Diagnostic>& diagnostics) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+
+  // Stable rule index: every known rule gets a reportingDescriptor so a
+  // clean run still advertises what was checked.
+  std::map<std::string, std::size_t> rule_index;
+  for (const std::string& rule : known_rules())
+    rule_index.emplace(rule, rule_index.size());
+  for (const Diagnostic& d : diagnostics)  // safety: never drop a result
+    rule_index.emplace(d.rule, rule_index.size());
+
+  std::string base_uri = "file://" + root;
+  if (base_uri.empty() || base_uri.back() != '/') base_uri += '/';
+
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"dla_lint\",\n"
+      << "          \"informationUri\": "
+         "\"https://example.invalid/docs/STATIC_ANALYSIS.md\",\n"
+      << "          \"rules\": [\n";
+  {
+    // rule_index is name -> index; emit in index order.
+    std::vector<const std::string*> by_index(rule_index.size());
+    for (const auto& kv : rule_index) by_index[kv.second] = &kv.first;
+    for (std::size_t i = 0; i < by_index.size(); ++i) {
+      out << "            {\"id\": \"" << json_escape(*by_index[i])
+          << "\", \"shortDescription\": {\"text\": \""
+          << json_escape(*by_index[i]) << "\"}}"
+          << (i + 1 < by_index.size() ? ",\n" : "\n");
+    }
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"originalUriBaseIds\": {\n"
+      << "        \"SRCROOT\": {\"uri\": \"" << json_escape(base_uri)
+      << "\"}\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"" << json_escape(d.rule) << "\",\n"
+        << "          \"ruleIndex\": " << rule_index.at(d.rule) << ",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(d.message)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \""
+        << json_escape(d.file) << "\", \"uriBaseId\": \"SRCROOT\"},\n"
+        << "                \"region\": {\"startLine\": "
+        << (d.line > 0 ? d.line : 1) << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }" << (i + 1 < diagnostics.size() ? ",\n" : "\n");
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace dla_lint
