@@ -1,0 +1,192 @@
+// Ledger certification throughput gate (docs/LEDGER.md).
+//
+// Compares two ways of certifying a batch of ledger records:
+//  * baseline  — one RSA signature verification per record;
+//  * frontier  — audit::certify_records(): RSA-verify only the frontier
+//    (records nothing points at), certify interior records transitively
+//    through the hash links, and fall back to a signature check for records
+//    the descent never reaches (tampered or dangling).
+//
+// The gate asserts bit-identical accept/reject verdicts between the two
+// paths over a mixed clean+tampered batch, and that the frontier path's
+// throughput meets or beats the baseline. Writes BENCH_ledger.json.
+//
+// Expected shape: the DAG interlock makes almost every record interior, so
+// frontier certification replaces O(records) RSA verifications with
+// O(frontier) of them plus one hash per interior record — speedups of one
+// to two orders of magnitude at realistic batch sizes.
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit/ledger.hpp"
+
+using namespace dla;
+
+namespace {
+
+// Builds a well-formed record DAG: `producers` round-robin minters, each
+// record pointing at the two most recent *foreign* records (the interlock
+// rule), rooted in the shared genesis.
+std::vector<audit::LedgerRecord> build_batch(std::size_t records,
+                                             std::size_t producers) {
+  std::vector<crypto::RsaKeyPair> keys;
+  for (std::size_t i = 0; i < producers; ++i) {
+    crypto::ChaCha20Rng rng(9000 + i);
+    keys.push_back(crypto::RsaKeyPair::generate(rng, 256));
+  }
+  std::vector<audit::LedgerRecord> batch;
+  batch.push_back(audit::make_genesis_record("bench-ledger"));
+  // last_by[p] = hashes of producer p's most recent records (newest last).
+  std::vector<std::vector<std::string>> last_by(producers);
+  std::vector<std::uint64_t> seq(producers, 0);
+  std::string genesis_hash = batch.front().hash();
+  for (std::size_t i = 0; i < records; ++i) {
+    const std::size_t p = i % producers;
+    std::vector<std::string> prevs;
+    for (std::size_t back = 1; back <= producers && prevs.size() < 2; ++back) {
+      const std::size_t q = (p + back) % producers;
+      if (q != p && !last_by[q].empty()) prevs.push_back(last_by[q].back());
+    }
+    if (prevs.empty()) prevs.push_back(genesis_hash);
+    audit::CheckpointPayload cp;
+    cp.epoch = i;
+    cp.high_glsn = i * 3 + 1;
+    cp.accumulator = bn::BigUInt(100000 + i);
+    cp.manifest_hash = "manifest-" + std::to_string(i);
+    net::Writer w;
+    cp.encode(w);
+    audit::LedgerRecord rec =
+        audit::make_ledger_record(audit::RecordKind::Checkpoint, keys[p],
+                                  ++seq[p], std::move(prevs),
+                                  std::move(w).take());
+    last_by[p].push_back(rec.hash());
+    batch.push_back(std::move(rec));
+  }
+  return batch;
+}
+
+// Flip one payload byte on every 16th record without re-signing: both
+// certification paths must reject exactly these.
+std::size_t tamper_some(std::vector<audit::LedgerRecord>& batch) {
+  std::size_t tampered = 0;
+  for (std::size_t i = 1; i < batch.size(); i += 16) {
+    if (batch[i].payload.empty()) continue;
+    batch[i].payload[0] ^= 0xff;
+    ++tampered;
+  }
+  return tampered;
+}
+
+bool signature_ok(const audit::LedgerRecord& rec) {
+  return audit::pseudonym_hash(rec.producer_key()) == rec.producer &&
+         rec.producer_key().verify(rec.canonical(), rec.signature);
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int run_gate(bool smoke, const std::string& json_path) {
+  struct Config {
+    std::size_t records, producers;
+  };
+  std::vector<Config> configs = {{300, 4}};
+  if (!smoke) configs.insert(configs.end(), {{1500, 4}, {1500, 8}, {4000, 8}});
+  int failures = 0;
+  double best_speedup = 0.0;
+  std::ostringstream json;
+  json << "[\n";
+  bool first_row = true;
+  for (const Config& c : configs) {
+    std::vector<audit::LedgerRecord> batch = build_batch(c.records,
+                                                         c.producers);
+    const std::size_t tampered = tamper_some(batch);
+
+    const std::uint64_t base_start = now_us();
+    std::vector<bool> baseline(batch.size(), false);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      baseline[i] = signature_ok(batch[i]);
+    }
+    const std::uint64_t base_us = now_us() - base_start;
+
+    const std::uint64_t cert_start = now_us();
+    std::vector<bool> certified = audit::certify_records(batch);
+    const std::uint64_t cert_us = now_us() - cert_start;
+
+    std::size_t mismatches = 0, rejected = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      mismatches += baseline[i] != certified[i];
+      rejected += !certified[i];
+    }
+    if (mismatches != 0) {
+      std::cerr << "FATAL: records=" << c.records << " producers="
+                << c.producers << ": " << mismatches
+                << " verdicts differ from the per-record baseline\n";
+      ++failures;
+    }
+    if (rejected != tampered) {
+      std::cerr << "FATAL: records=" << c.records << " producers="
+                << c.producers << ": rejected " << rejected << " records, "
+                << tampered << " were tampered\n";
+      ++failures;
+    }
+    const double speedup =
+        cert_us > 0 ? static_cast<double>(base_us) / cert_us : 0.0;
+    best_speedup = std::max(best_speedup, speedup);
+    // Throughput floor: frontier certification must not regress below the
+    // per-record baseline (>10% slack for timer noise on tiny batches).
+    if (speedup < 0.9) {
+      std::cerr << "FAIL: records=" << c.records << " producers="
+                << c.producers << ": frontier certification slower than the "
+                << "baseline (speedup " << speedup << ")\n";
+      ++failures;
+    }
+    const double base_rps =
+        base_us > 0 ? batch.size() * 1e6 / base_us : 0.0;
+    const double cert_rps =
+        cert_us > 0 ? batch.size() * 1e6 / cert_us : 0.0;
+    if (!first_row) json << ",\n";
+    first_row = false;
+    json << "  {\"experiment\": \"ledger_certification\", \"records\": "
+         << batch.size() << ", \"producers\": " << c.producers
+         << ", \"tampered\": " << tampered << ", \"baseline_us\": " << base_us
+         << ", \"certified_us\": " << cert_us
+         << ", \"baseline_records_per_s\": " << base_rps
+         << ", \"certified_records_per_s\": " << cert_rps
+         << ", \"speedup\": " << speedup
+         << ", \"verdict_mismatches\": " << mismatches << "}";
+    std::cout << "ledger records=" << batch.size() << " producers="
+              << c.producers << ": baseline=" << base_us
+              << "us frontier=" << cert_us << "us speedup=" << speedup
+              << " (tampered " << tampered << ", all verdicts "
+              << (mismatches == 0 ? "identical" : "DIFFER") << ")\n";
+  }
+  json << "\n]\n";
+  std::ofstream out(json_path);
+  out << json.str();
+  std::cout << "wrote " << json_path << " (peak speedup " << best_speedup
+            << ")\n";
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_ledger.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  return run_gate(smoke, json_path);
+}

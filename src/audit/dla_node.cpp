@@ -166,6 +166,9 @@ void DlaNode::dispatch(net::Transport& sim, const net::Message& msg) {
     case kPolicyProposal:
     case kServiceCommitment:
     case kEvidenceGrant:
+    case kLedgerAppend:
+    case kLedgerTailsRequest:
+    case kLedgerTailsReply:
       break;
   }
 }
@@ -551,6 +554,14 @@ void DlaNode::handle_accum_deposit(net::Transport&, const net::Message& msg) {
   logm::Glsn glsn = r.u64();
   bn::BigUInt value = r.big();
   r.expect_end();
+  // At-least-once guard: glsns are never reused, so a deposit for a glsn
+  // this node already deleted is a late duplicate from before the delete —
+  // accepting it would resurrect the accumulator entry for a record that no
+  // longer exists and fail the next integrity circulation.
+  if (deleted_glsns_.contains(glsn)) {
+    ++replay_drops_;
+    return;
+  }
   deposits_[glsn] = std::move(value);
 }
 
@@ -604,6 +615,9 @@ void DlaNode::handle_fragment_delete(net::Transport& sim,
       replica_engine_->erase(glsn);
       acl_.revoke(ticket.id, glsn);
       deposits_.erase(glsn);
+      // Tombstone: a late duplicate of the original kAccumDeposit must not
+      // resurrect the erased accumulator entry (see handle_accum_deposit).
+      deleted_glsns_.insert(glsn);
       // A delete changes query results just like a write does: cached final
       // sets naming this owner must not be served afterwards.
       if (ok) advance_store_epoch(sim);
@@ -1545,6 +1559,47 @@ std::uint64_t DlaNode::plan_expr(const Expr& expr, std::vector<Task>& tasks,
   return tasks.back().rid;
 }
 
+void DlaNode::reply_user(net::Transport& sim, net::NodeId user,
+                         std::uint64_t user_reqid, MsgType type,
+                         net::Writer w) {
+  net::Bytes payload = std::move(w).take();
+  const std::pair<net::NodeId, std::uint64_t> key{user, user_reqid};
+  user_queries_in_flight_.erase(key);
+  if (!user_reply_journal_.contains(key)) {
+    user_reply_journal_[key] = UserReply{type, payload};
+    user_reply_order_.push_back(key);
+    if (user_reply_order_.size() > 4096) {
+      user_reply_journal_.erase(user_reply_order_.front());
+      user_reply_order_.pop_front();
+    }
+  }
+  sim.send(id(), user, type, std::move(payload));
+}
+
+// Shared at-least-once front door for the two query entrypoints: replays
+// the journaled reply for an already-served (user, reqid), drops duplicates
+// of a request still in flight, and claims the slot otherwise. Returns true
+// when the caller should stop (duplicate handled).
+bool DlaNode::query_is_duplicate(net::Transport& sim, net::NodeId user,
+                                 std::uint64_t user_reqid) {
+  const std::pair<net::NodeId, std::uint64_t> key{user, user_reqid};
+  if (auto it = user_reply_journal_.find(key);
+      it != user_reply_journal_.end()) {
+    // Re-running the pipeline now could observe a later store state and
+    // overtake the genuine reply at the session — replay the remembered
+    // bytes instead.
+    ++replay_drops_;
+    sim.send(id(), user, it->second.type, it->second.payload);
+    return true;
+  }
+  if (!user_queries_in_flight_.insert(key).second) {
+    // The original is still running; it will journal + send its reply.
+    ++replay_drops_;
+    return true;
+  }
+  return false;
+}
+
 void DlaNode::handle_audit_query(net::Transport& sim,
                                  const net::Message& msg) {
   net::Reader r(msg.payload);
@@ -1553,6 +1608,7 @@ void DlaNode::handle_audit_query(net::Transport& sim,
   std::string criterion = r.str();
   merge_observed_epochs(r);
   r.expect_end();
+  if (query_is_duplicate(sim, msg.src, user_reqid)) return;
 
   auto reply_error = [&](const std::string& error) {
     net::Writer w;
@@ -1562,7 +1618,7 @@ void DlaNode::handle_audit_query(net::Transport& sim,
     w.vec(std::vector<logm::Glsn>{},
           [](net::Writer& out, logm::Glsn g) { out.u64(g); });
     w.boolean(false);  // no certificate
-    send_payload(sim, id(), msg.src, kAuditResult, std::move(w));
+    reply_user(sim, msg.src, user_reqid, kAuditResult, std::move(w));
   };
 
   if (!tickets_->authorizes(ticket, logm::Op::Read, sim.now())) {
@@ -1687,6 +1743,7 @@ void DlaNode::handle_aggregate_query(net::Transport& sim,
   std::string attr = r.str();
   merge_observed_epochs(r);
   r.expect_end();
+  if (query_is_duplicate(sim, msg.src, user_reqid)) return;
 
   auto reply_error = [&](const std::string& error) {
     net::Writer w;
@@ -1695,7 +1752,7 @@ void DlaNode::handle_aggregate_query(net::Transport& sim,
     w.str(error);
     w.f64(0.0);
     w.u64(0);
-    send_payload(sim, id(), msg.src, kAggregateResult, std::move(w));
+    reply_user(sim, msg.src, user_reqid, kAggregateResult, std::move(w));
   };
   if (!tickets_->authorizes(ticket, logm::Op::Read, sim.now())) {
     reply_error("ticket rejected");
@@ -1791,7 +1848,7 @@ void DlaNode::handle_aggregate_value(net::Transport& sim,
   w.str(ok ? "" : "no matching values for aggregate");
   w.f64(value);
   w.u64(count);
-  send_payload(sim, id(), qs.user, kAggregateResult, std::move(w));
+  reply_user(sim, qs.user, qs.user_reqid, kAggregateResult, std::move(w));
   queries_.erase(it);
 }
 
@@ -2126,7 +2183,7 @@ void DlaNode::handle_subquery_done(net::Transport& sim,
     w.str("");
     w.f64(static_cast<double>(size));
     w.u64(size);
-    send_payload(sim, id(), qs.user, kAggregateResult, std::move(w));
+    reply_user(sim, qs.user, qs.user_reqid, kAggregateResult, std::move(w));
     queries_.erase(it);
     return;
   }
@@ -2212,7 +2269,7 @@ void DlaNode::finish_query(net::Transport& sim, QueryState& qs,
       w.str("");
       w.f64(static_cast<double>(glsns.size()));
       w.u64(glsns.size());
-      send_payload(sim, id(), qs.user, kAggregateResult, std::move(w));
+      reply_user(sim, qs.user, qs.user_reqid, kAggregateResult, std::move(w));
       queries_.erase(qs.qid);
       return;
     }
@@ -2272,7 +2329,7 @@ void DlaNode::reply_with_result(
     w.big(cert->r);
     w.big(cert->s);
   }
-  send_payload(sim, id(), qs.user, kAuditResult, std::move(w));
+  reply_user(sim, qs.user, qs.user_reqid, kAuditResult, std::move(w));
 }
 
 // --------------------------------------- distributed key generation -------
@@ -2517,12 +2574,12 @@ void DlaNode::fail_query(net::Transport& sim, QueryState& qs,
   if (qs.is_aggregate) {
     w.f64(0.0);
     w.u64(0);
-    send_payload(sim, id(), qs.user, kAggregateResult, std::move(w));
+    reply_user(sim, qs.user, qs.user_reqid, kAggregateResult, std::move(w));
   } else {
     w.vec(std::vector<logm::Glsn>{},
           [](net::Writer& out, logm::Glsn g) { out.u64(g); });
     w.boolean(false);  // no certificate
-    send_payload(sim, id(), qs.user, kAuditResult, std::move(w));
+    reply_user(sim, qs.user, qs.user_reqid, kAuditResult, std::move(w));
   }
   queries_.erase(qs.qid);
 }

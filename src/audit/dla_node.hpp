@@ -18,6 +18,7 @@
 // query gateway sees the final glsn set it returns to the querier.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -146,6 +147,7 @@ class DlaNode : public net::Node {
             {"integrity_initiated", integrity_initiated_.size()},
             {"acl_sessions", acl_sessions_.size()},
             {"queries", queries_.size()},
+            {"user_queries_in_flight", user_queries_in_flight_.size()},
             {"result_sets", result_sets_.size()},
             {"pending_combines", pending_combines_.size()},
             {"dkg_state", dkg_state_.size()},
@@ -467,6 +469,23 @@ class DlaNode : public net::Node {
   // outcome, never re-run the erase (see handle_fragment_delete).
   std::map<std::pair<net::NodeId, std::uint64_t>, bool> delete_journal_;
   std::deque<std::pair<net::NodeId, std::uint64_t>> delete_order_;
+  // Gateway: final kAuditResult/kAggregateResult payload by (user, reqid).
+  // Query pipelines are not idempotent — a duplicated kAuditQuery re-run
+  // later can observe a different store state, and its (different) reply
+  // could overtake the genuine one at the session. Duplicates replay the
+  // remembered reply; while the original is still running they are dropped
+  // (the in-flight set below).
+  struct UserReply {
+    MsgType type = kAuditResult;
+    net::Bytes payload;
+  };
+  std::map<std::pair<net::NodeId, std::uint64_t>, UserReply>
+      user_reply_journal_;
+  std::deque<std::pair<net::NodeId, std::uint64_t>> user_reply_order_;
+  std::set<std::pair<net::NodeId, std::uint64_t>> user_queries_in_flight_;
+  // Owner: glsns whose fragment was deleted; late kAccumDeposit duplicates
+  // for them must not resurrect the accumulator entry.
+  ReplayGuard deleted_glsns_;
 
   // periodic self-audit state.
   net::SimTime periodic_interval_ = 0;
@@ -594,6 +613,12 @@ class DlaNode : public net::Node {
   void reply_with_result(net::Transport& sim, const QueryState& qs,
                          const std::vector<logm::Glsn>& glsns,
                          const std::optional<crypto::ThresholdSignature>& cert);
+  // Every final query reply to a user funnels through here: journals the
+  // payload under (user, reqid) for at-least-once replay, then sends.
+  void reply_user(net::Transport& sim, net::NodeId user,
+                  std::uint64_t user_reqid, MsgType type, net::Writer w);
+  bool query_is_duplicate(net::Transport& sim, net::NodeId user,
+                          std::uint64_t user_reqid);
 
   SessionId fresh_session();
 };

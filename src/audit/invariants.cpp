@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <sstream>
 
 namespace dla::audit {
@@ -137,6 +138,67 @@ void check_glsn_sets_equal(const std::string& label,
     out << "}";
   }
   report.add(out.str());
+}
+
+void check_ledger_certification(
+    const std::string& label, const Ledger& ledger,
+    const std::vector<SettledRecordId>& expected_settled,
+    InvariantReport& report) {
+  auto describe = [](const SettledRecordId& id) {
+    std::ostringstream os;
+    os << "producer=" << id.producer.substr(0, 12) << " seq=" << id.seq
+       << " kind=" << to_string(static_cast<RecordKind>(id.kind));
+    return os.str();
+  };
+  // Structural + cryptographic whole-DAG verification.
+  const Ledger::VerifyResult vr = ledger.verify();
+  for (const auto& v : vr.violations) {
+    report.add(label + ": I6 ledger verify: " + v);
+  }
+  // Ancestor closure of the current tails: in an unmutilated DAG every
+  // record is reachable backwards from some tail.
+  std::set<std::string> reachable;
+  std::vector<std::string> stack = ledger.tails();
+  while (!stack.empty()) {
+    std::string h = std::move(stack.back());
+    stack.pop_back();
+    if (!reachable.insert(h).second) continue;
+    if (const LedgerRecord* rec = ledger.find(h)) {
+      for (const auto& p : rec->prev_hashes) stack.push_back(p);
+    }
+  }
+  // No settled record may sit outside the tail closure, and the ledger's
+  // current settled application records index the oracle comparison.
+  std::map<SettledRecordId, bool> present;  // id -> tail-reachable
+  for (const auto& h : ledger.order()) {
+    const LedgerRecord* rec = ledger.find(h);
+    if (rec == nullptr) continue;
+    const bool is_settled = ledger.settled(h);
+    if (is_settled && !reachable.contains(h)) {
+      report.add(label + ": I6 settled record unreachable from tails (" +
+                 std::string(to_string(rec->kind)) + " by " +
+                 rec->producer.substr(0, 12) + ")");
+    }
+    if (rec->kind == RecordKind::Genesis ||
+        rec->kind == RecordKind::Endorsement || !is_settled) {
+      continue;
+    }
+    present.emplace(
+        SettledRecordId{rec->producer, rec->seq,
+                        static_cast<std::uint8_t>(rec->kind),
+                        rec->payload_hash()},
+        reachable.contains(h));
+  }
+  for (const auto& expected : expected_settled) {
+    auto it = present.find(expected);
+    if (it == present.end()) {
+      report.add(label + ": I6 settled record missing or unsettled (" +
+                 describe(expected) + ")");
+    } else if (!it->second) {
+      report.add(label + ": I6 settled record unreachable from tails (" +
+                 describe(expected) + ")");
+    }
+  }
 }
 
 }  // namespace dla::audit

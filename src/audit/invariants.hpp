@@ -18,12 +18,18 @@
 //                              assemble a full record locally.
 //   I5  result equivalence   — a completed query's glsn set equals the
 //                              fault-free oracle's.
+//   I6  ledger certification — every peer's record DAG verifies end to end
+//                              (hashes, signatures, interlock), and every
+//                              record the fault-free oracle saw settled is
+//                              still present, settled, and reachable from
+//                              the current tails.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "audit/cluster.hpp"
+#include "audit/ledger.hpp"
 #include "logm/record.hpp"
 
 namespace dla::audit {
@@ -63,5 +69,14 @@ void check_glsn_sets_equal(const std::string& label,
                            std::vector<logm::Glsn> expected,
                            std::vector<logm::Glsn> actual,
                            InvariantReport& report);
+
+// I6: the ledger's structural/cryptographic verify() passes, no settled
+// record is unreachable from the current tails, and every record in
+// `expected_settled` (the fault-free oracle's settled application records,
+// see settled_app_records()) is present, settled, and tail-reachable.
+void check_ledger_certification(
+    const std::string& label, const Ledger& ledger,
+    const std::vector<SettledRecordId>& expected_settled,
+    InvariantReport& report);
 
 }  // namespace dla::audit

@@ -1,0 +1,691 @@
+#include "audit/ledger.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "crypto/sha256.hpp"
+
+namespace dla::audit {
+
+namespace {
+
+// Hostile-input bound: a record naming more predecessors than any honest
+// minter produces (Options::max_prev is 4) is rejected outright.
+constexpr std::size_t kMaxPrevHashes = 16;
+// Out-of-order arrivals parked per peer; benign chaos reorders within a
+// small window, so this is orders of magnitude above any genuine backlog.
+constexpr std::size_t kMaxParked = 1024;
+
+std::string short_hash(const std::string& h) {
+  return h.size() > 12 ? h.substr(0, 12) : h;
+}
+
+}  // namespace
+
+std::string_view to_string(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::Genesis: return "genesis";
+    case RecordKind::Evidence: return "evidence";
+    case RecordKind::CertIssue: return "cert-issue";
+    case RecordKind::CertRenew: return "cert-renew";
+    case RecordKind::CertRevoke: return "cert-revoke";
+    case RecordKind::Checkpoint: return "checkpoint";
+    case RecordKind::AuditReport: return "audit-report";
+    case RecordKind::Endorsement: return "endorsement";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------- codecs -----
+
+void CheckpointPayload::encode(net::Writer& w) const {
+  w.u64(epoch);
+  w.u64(high_glsn);
+  w.big(accumulator);
+  w.str(manifest_hash);
+}
+
+CheckpointPayload CheckpointPayload::decode(net::Reader& r) {
+  CheckpointPayload p;
+  p.epoch = r.u64();
+  p.high_glsn = r.u64();
+  p.accumulator = r.big();
+  p.manifest_hash = r.str();
+  return p;
+}
+
+void CertPayload::encode(net::Writer& w) const {
+  w.str(subject);
+  w.big(subject_n);
+  w.big(subject_e);
+  w.big(ca_token);
+  w.u64(valid_until);
+}
+
+CertPayload CertPayload::decode(net::Reader& r) {
+  CertPayload p;
+  p.subject = r.str();
+  p.subject_n = r.big();
+  p.subject_e = r.big();
+  p.ca_token = r.big();
+  p.valid_until = r.u64();
+  return p;
+}
+
+// DLA-LINT-ALLOW(plaintext-egress): ledger records carry audit metadata (evidence digests, certificates, checkpoints), never logm plaintext values.
+void LedgerRecord::encode(net::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.str(producer);
+  w.big(producer_n);
+  w.big(producer_e);
+  w.u64(seq);
+  w.vec(prev_hashes,
+        [](net::Writer& out, const std::string& h) { out.str(h); });
+  w.blob(payload);
+  w.big(signature);
+}
+
+LedgerRecord LedgerRecord::decode(net::Reader& r) {
+  LedgerRecord rec;
+  rec.kind = static_cast<RecordKind>(r.u8());
+  rec.producer = r.str();
+  rec.producer_n = r.big();
+  rec.producer_e = r.big();
+  rec.seq = r.u64();
+  rec.prev_hashes =
+      r.vec<std::string>([](net::Reader& in) { return in.str(); });
+  rec.payload = r.blob();
+  rec.signature = r.big();
+  return rec;
+}
+
+std::string LedgerRecord::payload_hash() const {
+  return crypto::to_hex(crypto::Sha256::hash(payload));
+}
+
+std::string LedgerRecord::canonical() const {
+  std::ostringstream os;
+  os << "ledger-record:" << static_cast<unsigned>(kind) << '\n'
+     << "producer:" << producer << '\n'
+     << "producer_pub:" << producer_n.to_hex() << ':' << producer_e.to_hex()
+     << '\n'
+     << "seq:" << seq << '\n'
+     << "prevs:" << prev_hashes.size() << '\n';
+  for (const auto& h : prev_hashes) os << "prev:" << h << '\n';
+  os << "payload:" << payload_hash();
+  return os.str();
+}
+
+std::string LedgerRecord::hash() const {
+  return crypto::to_hex(
+      crypto::Sha256::hash(canonical() + "\nsig:" + signature.to_hex()));
+}
+
+LedgerRecord make_ledger_record(RecordKind kind,
+                                const crypto::RsaKeyPair& producer,
+                                std::uint64_t seq,
+                                std::vector<std::string> prev_hashes,
+                                net::Bytes payload) {
+  LedgerRecord rec;
+  rec.kind = kind;
+  rec.producer = pseudonym_hash(producer.public_key());
+  rec.producer_n = producer.public_key().n;
+  rec.producer_e = producer.public_key().e;
+  rec.seq = seq;
+  rec.prev_hashes = std::move(prev_hashes);
+  rec.payload = std::move(payload);
+  rec.signature = producer.sign(rec.canonical());
+  return rec;
+}
+
+LedgerRecord make_genesis_record(const std::string& domain) {
+  // The founder identity is the fixed test keypair: owned by no member, so
+  // the genesis is a *foreign* record to every peer and the interlock rule
+  // always has at least one eligible predecessor.
+  const crypto::RsaKeyPair founder = crypto::RsaKeyPair::fixed512();
+  const std::string body = "ledger-genesis:" + domain;
+  return make_ledger_record(RecordKind::Genesis, founder, 0, {},
+                            net::Bytes(body.begin(), body.end()));
+}
+
+// ------------------------------------------------------------- ledger -----
+
+namespace {
+
+// Structural payload validation: a record whose body does not decode as its
+// kind demands never enters the DAG, so later readers can decode payloads
+// unconditionally.
+bool payload_well_formed(const LedgerRecord& rec, std::string& why) {
+  try {
+    net::Reader r(rec.payload);
+    switch (rec.kind) {
+      case RecordKind::Genesis:
+        break;  // opaque domain bytes
+      case RecordKind::Evidence:
+        EvidencePiece::decode(r);
+        r.expect_end();
+        break;
+      case RecordKind::CertIssue:
+      case RecordKind::CertRenew:
+      case RecordKind::CertRevoke:
+        CertPayload::decode(r);
+        r.expect_end();
+        break;
+      case RecordKind::Checkpoint:
+        CheckpointPayload::decode(r);
+        r.expect_end();
+        break;
+      case RecordKind::AuditReport:
+        TransactionAuditReport::decode(r);
+        r.expect_end();
+        break;
+      case RecordKind::Endorsement:
+        if (!rec.payload.empty()) {
+          why = "endorsement carries a payload";
+          return false;
+        }
+        break;
+      default:
+        why = "unknown record kind";
+        return false;
+    }
+  } catch (const net::CodecError& e) {
+    why = std::string("malformed payload: ") + e.what();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Ledger::Ledger(Options opts) : opts_(opts) {}
+
+const LedgerRecord* Ledger::find(const std::string& hash) const {
+  auto it = records_.find(hash);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void Ledger::install_genesis(LedgerRecord genesis) {
+  if (!order_.empty())
+    throw std::logic_error("install_genesis: ledger is not empty");
+  if (genesis.kind != RecordKind::Genesis || !genesis.prev_hashes.empty())
+    throw std::logic_error("install_genesis: not a genesis record");
+  if (pseudonym_hash(genesis.producer_key()) != genesis.producer ||
+      !genesis.producer_key().verify(genesis.canonical(), genesis.signature))
+    throw std::logic_error("install_genesis: bad founder signature");
+  const std::string h = genesis.hash();
+  insert_unchecked(std::move(genesis), h);
+}
+
+AppendResult Ledger::append(LedgerRecord rec) {
+  auto bad = [](std::string detail) {
+    return AppendResult{AppendError::BadRecord, std::move(detail)};
+  };
+  const std::string h = rec.hash();
+  if (records_.contains(h))
+    return AppendResult{AppendError::Duplicate, "duplicate record"};
+  if (rec.kind == RecordKind::Genesis)
+    return bad("genesis records are installed locally, never appended");
+  if (rec.prev_hashes.empty()) return bad("record lists no predecessors");
+  if (rec.prev_hashes.size() > kMaxPrevHashes)
+    return bad("predecessor list too long");
+  {
+    std::set<std::string> uniq(rec.prev_hashes.begin(), rec.prev_hashes.end());
+    if (uniq.size() != rec.prev_hashes.size())
+      return bad("duplicate predecessor pointer");
+  }
+  if (pseudonym_hash(rec.producer_key()) != rec.producer)
+    return bad("producer pseudonym does not match its key");
+  if (!rec.producer_key().verify(rec.canonical(), rec.signature))
+    return bad("bad producer signature");
+  std::string why;
+  if (!payload_well_formed(rec, why)) return bad(std::move(why));
+  for (const auto& p : rec.prev_hashes) {
+    if (!records_.contains(p))
+      return AppendResult{AppendError::MissingPrev,
+                          "unknown predecessor " + short_hash(p)};
+  }
+  // Interlock: a record never extends its own producer's records, so every
+  // append certifies someone else's history (DLedger's anti-self-approval
+  // rule; see docs/LEDGER.md).
+  for (const auto& p : rec.prev_hashes) {
+    if (records_.at(p).producer == rec.producer)
+      return bad("interlock: record points at its own producer");
+  }
+  // Equivocation: one (producer, kind class, seq) slot, one record. Two
+  // distinct records in the same slot are this ledger's double-invite.
+  const auto slot = std::make_tuple(
+      rec.producer, rec.kind == RecordKind::Endorsement, rec.seq);
+  if (auto it = by_seq_.find(slot); it != by_seq_.end() && it->second != h) {
+    misconduct_.push_back(rec.producer);
+    return bad("equivocation: producer reused seq " + std::to_string(rec.seq));
+  }
+  insert_unchecked(std::move(rec), h);
+  return AppendResult{};
+}
+
+void Ledger::insert_unchecked(LedgerRecord rec, const std::string& hash) {
+  for (const auto& p : rec.prev_hashes) children_[p].push_back(hash);
+  by_seq_[std::make_tuple(rec.producer,
+                          rec.kind == RecordKind::Endorsement, rec.seq)] =
+      hash;
+  order_.push_back(hash);
+  records_.emplace(hash, std::move(rec));
+}
+
+std::vector<std::string> Ledger::tails() const {
+  std::vector<std::string> out;
+  for (const auto& h : order_) {
+    auto it = children_.find(h);
+    if (it == children_.end() || it->second.empty()) out.push_back(h);
+  }
+  return out;
+}
+
+std::vector<std::string> Ledger::foreign_tails(
+    const std::string& producer) const {
+  std::vector<std::string> out;
+  for (auto& h : tails()) {
+    if (records_.at(h).producer != producer) out.push_back(std::move(h));
+  }
+  return out;
+}
+
+std::vector<std::string> Ledger::recent_foreign(const std::string& producer,
+                                                std::size_t limit) const {
+  std::vector<std::string> out;
+  for (auto it = order_.rbegin(); it != order_.rend() && out.size() < limit;
+       ++it) {
+    if (records_.at(*it).producer != producer) out.push_back(*it);
+  }
+  return out;
+}
+
+bool Ledger::settled(const std::string& hash) const {
+  auto rit = records_.find(hash);
+  if (rit == records_.end()) return false;
+  const std::string& own = rit->second.producer;
+  std::set<std::string> approvers;
+  std::set<std::string> seen{hash};
+  std::vector<std::string> stack{hash};
+  while (!stack.empty()) {
+    std::string h = std::move(stack.back());
+    stack.pop_back();
+    auto cit = children_.find(h);
+    if (cit == children_.end()) continue;
+    for (const auto& child : cit->second) {
+      if (!seen.insert(child).second) continue;
+      const std::string& p = records_.at(child).producer;
+      if (p != own) {
+        approvers.insert(p);
+        if (approvers.size() >= opts_.settle_approvals) return true;
+      }
+      stack.push_back(child);
+    }
+  }
+  return approvers.size() >= opts_.settle_approvals;
+}
+
+std::size_t Ledger::settled_count() const {
+  std::size_t n = 0;
+  for (const auto& h : order_) {
+    if (settled(h)) ++n;
+  }
+  return n;
+}
+
+Ledger::VerifyResult Ledger::verify() const {
+  VerifyResult out;
+  auto flag = [&](const std::string& h, const std::string& what) {
+    out.violations.push_back("record " + short_hash(h) + " (" +
+                             std::string(to_string(records_.at(h).kind)) +
+                             "): " + what);
+  };
+  std::size_t genesis_count = 0;
+  std::map<std::tuple<std::string, bool, std::uint64_t>, std::string> slots;
+  for (const auto& h : order_) {
+    const LedgerRecord& rec = records_.at(h);
+    ++out.records_checked;
+    if (rec.hash() != h)
+      flag(h, "stored hash does not match contents (rewritten history)");
+    if (pseudonym_hash(rec.producer_key()) != rec.producer)
+      flag(h, "producer pseudonym does not match its key");
+    if (!rec.producer_key().verify(rec.canonical(), rec.signature))
+      flag(h, "bad producer signature");
+    std::string why;
+    if (!payload_well_formed(rec, why)) flag(h, why);
+    if (rec.kind == RecordKind::Genesis) {
+      ++genesis_count;
+      if (!rec.prev_hashes.empty()) flag(h, "genesis lists predecessors");
+      continue;
+    }
+    if (rec.prev_hashes.empty()) flag(h, "record lists no predecessors");
+    for (const auto& p : rec.prev_hashes) {
+      auto pit = records_.find(p);
+      if (pit == records_.end()) {
+        flag(h, "dangling predecessor " + short_hash(p));
+      } else if (pit->second.producer == rec.producer) {
+        flag(h, "interlock violation: self-approval of " + short_hash(p));
+      }
+    }
+    const auto slot = std::make_tuple(
+        rec.producer, rec.kind == RecordKind::Endorsement, rec.seq);
+    auto [it, inserted] = slots.emplace(slot, h);
+    if (!inserted)
+      flag(h, "equivocation with record " + short_hash(it->second));
+  }
+  if (genesis_count != 1) {
+    out.violations.push_back("ledger holds " + std::to_string(genesis_count) +
+                             " genesis records, expected exactly 1");
+  }
+  out.ok = out.violations.empty();
+  return out;
+}
+
+bool Ledger::debug_tamper_payload(const std::string& hash,
+                                  net::Bytes payload) {
+  auto it = records_.find(hash);
+  if (it == records_.end()) return false;
+  it->second.payload = std::move(payload);
+  return true;
+}
+
+void Ledger::debug_truncate(std::size_t n) {
+  while (n-- > 0 && !order_.empty()) {
+    const std::string h = order_.back();
+    order_.pop_back();
+    auto it = records_.find(h);
+    if (it != records_.end()) {
+      for (const auto& p : it->second.prev_hashes) {
+        auto cit = children_.find(p);
+        if (cit != children_.end()) std::erase(cit->second, h);
+      }
+      const auto slot =
+          std::make_tuple(it->second.producer,
+                          it->second.kind == RecordKind::Endorsement,
+                          it->second.seq);
+      auto sit = by_seq_.find(slot);
+      if (sit != by_seq_.end() && sit->second == h) by_seq_.erase(sit);
+      records_.erase(it);
+    }
+    children_.erase(h);
+  }
+}
+
+void Ledger::debug_force_append(LedgerRecord rec) {
+  const std::string h = rec.hash();
+  insert_unchecked(std::move(rec), h);
+}
+
+// -------------------------------------------------------- ledger peer -----
+
+LedgerPeer::LedgerPeer(crypto::RsaKeyPair identity, Ledger::Options opts)
+    : identity_(std::move(identity)),
+      producer_(pseudonym_hash(identity_.public_key())),
+      ledger_(opts) {}
+
+void LedgerPeer::bootstrap(const std::string& domain,
+                           std::vector<net::NodeId> peers) {
+  peers_ = std::move(peers);
+  ledger_.install_genesis(make_genesis_record(domain));
+}
+
+std::vector<std::string> LedgerPeer::pick_prevs() const {
+  const Ledger::Options& opts = ledger_.options();
+  std::vector<std::string> prevs = ledger_.foreign_tails(producer_);
+  if (prevs.size() > opts.max_prev) prevs.resize(opts.max_prev);
+  if (prevs.size() < opts.min_prev) {
+    // Tail set too thin (e.g. only the genesis, or every tail is our own):
+    // pad with the most recent foreign records so the DAG keeps its fanout.
+    for (auto& h : ledger_.recent_foreign(producer_, opts.max_prev * 2)) {
+      if (prevs.size() >= opts.min_prev) break;
+      if (std::find(prevs.begin(), prevs.end(), h) == prevs.end())
+        prevs.push_back(std::move(h));
+    }
+  }
+  return prevs;
+}
+
+void LedgerPeer::broadcast(net::Transport& sim, net::NodeId self,
+                           const LedgerRecord& rec) {
+  net::Writer w;
+  rec.encode(w);
+  const net::Bytes wire = std::move(w).take();
+  for (net::NodeId p : peers_) {
+    if (p == self) continue;
+    sim.send(self, p, kLedgerAppend, wire);
+  }
+}
+
+std::optional<std::string> LedgerPeer::mint(net::Transport& sim,
+                                            net::NodeId self, RecordKind kind,
+                                            net::Bytes payload,
+                                            std::vector<std::string> prevs) {
+  if (prevs.empty()) return std::nullopt;  // interlock unsatisfiable
+  std::uint64_t& seq =
+      kind == RecordKind::Endorsement ? next_endorse_seq_ : next_seq_;
+  LedgerRecord rec = make_ledger_record(kind, identity_, seq, std::move(prevs),
+                                        std::move(payload));
+  AppendResult res = ledger_.append(rec);
+  if (!res.ok()) {
+    ++records_rejected_;
+    return std::nullopt;
+  }
+  ++seq;
+  ++records_published_;
+  const std::string h = rec.hash();
+  broadcast(sim, self, rec);
+  return h;
+}
+
+std::optional<std::string> LedgerPeer::publish(net::Transport& sim,
+                                               net::NodeId self,
+                                               RecordKind kind,
+                                               net::Bytes payload) {
+  return mint(sim, self, kind, std::move(payload), pick_prevs());
+}
+
+void LedgerPeer::handle_append(net::Transport& sim, net::NodeId self,
+                               const net::Message& msg) {
+  net::Reader r(msg.payload);
+  LedgerRecord rec = LedgerRecord::decode(r);
+  r.expect_end();
+  const std::string h = rec.hash();
+  // At-least-once dedup by content hash: a chaos-duplicated append must not
+  // re-endorse (double-certify) the record or disturb the parked set.
+  if (ledger_.contains(h) || parked_.contains(h)) {
+    ++replay_drops_;
+    return;
+  }
+  ingest(sim, self, std::move(rec));
+}
+
+void LedgerPeer::ingest(net::Transport& sim, net::NodeId self,
+                        LedgerRecord rec) {
+  {
+    AppendResult res = ledger_.append(rec);
+    if (res.error == AppendError::MissingPrev) {
+      // Reordered arrival: park until the predecessors land. Benign chaos
+      // never drops frames, so the parked set drains to zero at quiescence.
+      if (parked_.size() >= kMaxParked) {
+        ++records_rejected_;
+        return;
+      }
+      std::string h = rec.hash();
+      parked_.emplace(std::move(h), std::move(rec));
+      return;
+    }
+    if (!res.ok()) {
+      ++records_rejected_;
+      return;
+    }
+    ++records_accepted_;
+    endorse(sim, self, rec);
+  }
+  // The new record may unblock parked ones (and those, in turn, others).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = parked_.begin(); it != parked_.end();) {
+      AppendResult res = ledger_.append(it->second);
+      if (res.error == AppendError::MissingPrev) {
+        ++it;
+        continue;
+      }
+      LedgerRecord adopted = std::move(it->second);
+      it = parked_.erase(it);
+      if (res.ok()) {
+        ++records_accepted_;
+        endorse(sim, self, adopted);
+        progress = true;
+      } else {
+        ++records_rejected_;
+      }
+    }
+  }
+}
+
+void LedgerPeer::endorse(net::Transport& sim, net::NodeId self,
+                         const LedgerRecord& rec) {
+  // Cross-certification: every first-sight foreign application record gets
+  // an Endorsement pointing straight at it. Endorsements themselves are not
+  // endorsed (they settle when later records adopt them as tails), so the
+  // cascade terminates after one hop.
+  if (rec.kind == RecordKind::Endorsement) return;
+  if (rec.producer == producer_) return;
+  std::vector<std::string> prevs{rec.hash()};
+  for (auto& h : ledger_.foreign_tails(producer_)) {
+    if (prevs.size() >= ledger_.options().max_prev) break;
+    if (h != prevs.front()) prevs.push_back(std::move(h));
+  }
+  if (mint(sim, self, RecordKind::Endorsement, {}, std::move(prevs)))
+    ++endorsements_sent_;
+}
+
+void LedgerPeer::handle_tails_request(net::Transport& sim, net::NodeId self,
+                                      const net::Message& msg) {
+  net::Reader r(msg.payload);
+  const std::uint64_t reqid = r.u64();
+  r.expect_end();
+  // Idempotent read-only probe: duplicated requests re-derive the same
+  // answer from the same DAG, so no reply journal is needed here.
+  net::Writer w;
+  w.u64(reqid);
+  w.vec(ledger_.tails(),
+        [](net::Writer& out, const std::string& h) { out.str(h); });
+  w.u64(ledger_.size());
+  w.u64(ledger_.settled_count());
+  sim.send(self, msg.src, kLedgerTailsReply, std::move(w).take());
+}
+
+// --------------------------------------------- emission helpers -----------
+
+std::optional<std::string> publish_evidence(LedgerPeer& peer,
+                                            net::Transport& sim,
+                                            net::NodeId self,
+                                            const EvidencePiece& piece) {
+  net::Writer w;
+  piece.encode(w);
+  return peer.publish(sim, self, RecordKind::Evidence, std::move(w).take());
+}
+
+std::optional<std::string> publish_certificate(LedgerPeer& peer,
+                                               net::Transport& sim,
+                                               net::NodeId self,
+                                               RecordKind kind,
+                                               const CertPayload& cert) {
+  net::Writer w;
+  cert.encode(w);
+  return peer.publish(sim, self, kind, std::move(w).take());
+}
+
+std::optional<std::string> publish_checkpoint(LedgerPeer& peer,
+                                              net::Transport& sim,
+                                              net::NodeId self,
+                                              const CheckpointPayload& cp) {
+  net::Writer w;
+  cp.encode(w);
+  return peer.publish(sim, self, RecordKind::Checkpoint, std::move(w).take());
+}
+
+std::optional<std::string> publish_audit_report(
+    LedgerPeer& peer, net::Transport& sim, net::NodeId self,
+    const TransactionAuditReport& report) {
+  net::Writer w;
+  report.encode(w);
+  return peer.publish(sim, self, RecordKind::AuditReport,
+                      std::move(w).take());
+}
+
+std::vector<SettledRecordId> settled_app_records(const Ledger& ledger) {
+  std::vector<SettledRecordId> out;
+  for (const auto& h : ledger.order()) {
+    const LedgerRecord* rec = ledger.find(h);
+    if (rec == nullptr) continue;
+    if (rec->kind == RecordKind::Genesis ||
+        rec->kind == RecordKind::Endorsement) {
+      continue;
+    }
+    if (!ledger.settled(h)) continue;
+    out.push_back(SettledRecordId{rec->producer, rec->seq,
+                                  static_cast<std::uint8_t>(rec->kind),
+                                  rec->payload_hash()});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<bool> certify_records(const std::vector<LedgerRecord>& records) {
+  const std::size_t n = records.size();
+  std::vector<std::string> rehash(n);
+  std::map<std::string, std::size_t> by_hash;
+  for (std::size_t i = 0; i < n; ++i) {
+    rehash[i] = records[i].hash();
+    by_hash.emplace(rehash[i], i);  // first occurrence wins
+  }
+  std::set<std::string> referenced;
+  for (const auto& rec : records) {
+    referenced.insert(rec.prev_hashes.begin(), rec.prev_hashes.end());
+  }
+  auto signature_ok = [&](const LedgerRecord& rec) {
+    return pseudonym_hash(rec.producer_key()) == rec.producer &&
+           rec.producer_key().verify(rec.canonical(), rec.signature);
+  };
+  std::vector<bool> verdict(n, false);
+  std::vector<bool> visited(n, false);
+  std::vector<std::size_t> stack;
+  // Frontier: records nothing points at. Only these pay for an RSA verify;
+  // their (transitive) predecessors are certified through the hash links —
+  // a record whose bytes changed no longer matches the hash its verified
+  // successor signed over, so it drops out of the descent.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (referenced.contains(rehash[i])) continue;
+    visited[i] = true;
+    if (signature_ok(records[i])) {
+      verdict[i] = true;
+      stack.push_back(i);
+    }
+  }
+  while (!stack.empty()) {
+    const std::size_t i = stack.back();
+    stack.pop_back();
+    for (const auto& p : records[i].prev_hashes) {
+      auto it = by_hash.find(p);
+      if (it == by_hash.end()) continue;
+      const std::size_t j = it->second;
+      if (visited[j]) continue;
+      visited[j] = true;
+      verdict[j] = true;
+      stack.push_back(j);
+    }
+  }
+  // Anything the descent never reached (tampered, or only referenced by
+  // unverified records) falls back to an individual signature check, so the
+  // accept/reject outcome is bit-identical to the per-record baseline.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!visited[i]) verdict[i] = signature_ok(records[i]);
+  }
+  return verdict;
+}
+
+}  // namespace dla::audit

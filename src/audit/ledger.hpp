@@ -1,0 +1,333 @@
+// Tamper-evident record ledger for the audit plane (ROADMAP item 4).
+//
+// Generalises two linear structures from the paper into one DAG-structured,
+// signed ledger per the DLedger/BlockAudit line of work (PAPERS.md):
+//
+//  * Section 4.1's one-way accumulator detects fragment tampering but leaves
+//    no public, order-preserving history — here periodic *checkpoint*
+//    records bind {epoch, high glsn, A(x,y), segment manifest hash} into the
+//    ledger, so one settled digest certifies both fragment integrity and
+//    log completeness up to that point;
+//  * Section 4.2's evidence chain is a linear tail held by a single party —
+//    a compromised holder can truncate or rewrite it silently. Ledger
+//    records instead carry pointers to n >= 2 predecessor hashes and are
+//    *interlocked*: a record may never point at records signed by its own
+//    producer, so extending the ledger always certifies other members'
+//    records, and a record is "settled" only once enough distinct foreign
+//    producers have built on top of it.
+//
+// Record kinds cover the audit-plane artefacts: evidence pieces, certificate
+// issuance/renewal/revocation, transaction-audit reports, accumulator
+// checkpoints, and the cross-certification endorsements minted by peers.
+// See docs/LEDGER.md for the record format, the interlock rule, the
+// settlement predicate and the threat table.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "audit/evidence.hpp"
+#include "audit/transaction_audit.hpp"
+#include "audit/wire.hpp"
+#include "net/transport.hpp"
+
+namespace dla::audit {
+
+// ------------------------------------------------------------ records -----
+
+enum class RecordKind : std::uint8_t {
+  Genesis = 0,      // shared ledger root (installed locally, never on wire)
+  Evidence = 1,     // a Section 4.2 evidence piece (payload: EvidencePiece)
+  CertIssue = 2,    // membership certificate issuance (payload: CertPayload)
+  CertRenew = 3,    // certificate renewal (payload: CertPayload)
+  CertRevoke = 4,   // certificate revocation (payload: CertPayload)
+  Checkpoint = 5,   // accumulator checkpoint (payload: CheckpointPayload)
+  AuditReport = 6,  // transaction-audit outcome (payload: audit report)
+  Endorsement = 7,  // cross-certification of foreign records (empty payload)
+};
+
+std::string_view to_string(RecordKind kind);
+
+// Periodic binding of the Section 4.1 integrity state into the ledger: one
+// settled checkpoint certifies every fragment accumulated into A(x,y) and
+// the storage manifest as of (epoch, high_glsn).
+struct CheckpointPayload {
+  std::uint64_t epoch = 0;
+  logm::Glsn high_glsn = 0;
+  bn::BigUInt accumulator;    // A(x, y) over the deposits up to high_glsn
+  std::string manifest_hash;  // segment/store manifest digest
+
+  void encode(net::Writer& w) const;
+  static CheckpointPayload decode(net::Reader& r);
+};
+
+// Certificate lifecycle payload (issue / renew / revoke). The subject is a
+// pseudonym commitment, so the ledger records membership churn without ever
+// naming a true identity.
+struct CertPayload {
+  std::string subject;       // pseudonym hash of the certified member
+  bn::BigUInt subject_n;     // subject pseudonym key
+  bn::BigUInt subject_e;
+  bn::BigUInt ca_token;      // CA blind signature over the subject (0 = revoke)
+  std::uint64_t valid_until = 0;  // sim-time expiry hint (0 = unbounded)
+
+  void encode(net::Writer& w) const;
+  static CertPayload decode(net::Reader& r);
+};
+
+struct LedgerRecord {
+  RecordKind kind = RecordKind::Genesis;
+  std::string producer;     // pseudonym hash of the signing member
+  bn::BigUInt producer_n;   // producer pseudonym key (verifies signature)
+  bn::BigUInt producer_e;
+  std::uint64_t seq = 0;    // producer-local sequence within the kind class
+  std::vector<std::string> prev_hashes;  // predecessor record hashes
+  net::Bytes payload;       // kind-specific body (see payload structs)
+  bn::BigUInt signature;    // producer signature over canonical()
+
+  crypto::RsaPublicKey producer_key() const { return {producer_n, producer_e}; }
+  // Stable rendering covered by the signature (excludes the signature).
+  std::string canonical() const;
+  // Digest of the payload bytes alone; the settled-set oracle compares
+  // records by (producer, seq, kind, payload_hash) because predecessor
+  // choice — and therefore the record hash — is arrival-order dependent.
+  std::string payload_hash() const;
+  // Hash referenced by successor records (covers the signature).
+  std::string hash() const;
+
+  void encode(net::Writer& w) const;
+  static LedgerRecord decode(net::Reader& r);
+};
+
+// Builds and signs one record the way publish() does.
+LedgerRecord make_ledger_record(RecordKind kind,
+                                const crypto::RsaKeyPair& producer,
+                                std::uint64_t seq,
+                                std::vector<std::string> prev_hashes,
+                                net::Bytes payload);
+
+// The shared ledger root: a synthetic founder identity owned by no peer
+// signs it, so the genesis is "foreign" to every member and the interlock
+// rule never wedges an empty ledger.
+LedgerRecord make_genesis_record(const std::string& domain);
+
+// ------------------------------------------------------------- ledger -----
+
+enum class AppendError : std::uint8_t {
+  None = 0,
+  Duplicate = 1,    // record (by hash) already present
+  MissingPrev = 2,  // a predecessor is not in the ledger yet (parkable)
+  BadRecord = 3,    // structurally or cryptographically invalid
+};
+
+struct AppendResult {
+  AppendError error = AppendError::None;
+  std::string detail;  // empty on success
+
+  bool ok() const { return error == AppendError::None; }
+};
+
+class Ledger {
+ public:
+  struct Options {
+    // Predecessors a minted record points at (when enough foreign records
+    // exist): at least min_prev, at most max_prev.
+    std::size_t min_prev = 2;
+    std::size_t max_prev = 4;
+    // Distinct foreign producers that must build on top of a record before
+    // it counts as settled.
+    std::size_t settle_approvals = 2;
+  };
+
+  // Split default/explicit pair: `= Options{}` as a default argument would
+  // require the nested class complete before the enclosing one is.
+  Ledger() : Ledger(Options()) {}
+  explicit Ledger(Options opts);
+
+  const Options& options() const { return opts_; }
+
+  // Install the shared genesis (local trust root; network genesis records
+  // are rejected by append()). Throws std::logic_error on a malformed
+  // genesis or if one is already installed.
+  void install_genesis(LedgerRecord genesis);
+
+  // Full validation + insert. MissingPrev is retryable (the caller parks
+  // the record); every other error is terminal for this record.
+  AppendResult append(LedgerRecord rec);
+
+  bool contains(const std::string& hash) const { return records_.contains(hash); }
+  const LedgerRecord* find(const std::string& hash) const;
+  std::size_t size() const { return order_.size(); }
+  // Record hashes in local insertion order.
+  const std::vector<std::string>& order() const { return order_; }
+
+  // Records no successor points at yet, in insertion order.
+  std::vector<std::string> tails() const;
+  // Tails not produced by `producer` (interlock-eligible predecessors).
+  std::vector<std::string> foreign_tails(const std::string& producer) const;
+  // Most recent records not produced by `producer` (tail fallback when
+  // every tail is own-signed).
+  std::vector<std::string> recent_foreign(const std::string& producer,
+                                          std::size_t limit) const;
+
+  // Settlement: >= settle_approvals distinct producers other than the
+  // record's own have published records from which `hash` is reachable.
+  bool settled(const std::string& hash) const;
+  std::size_t settled_count() const;
+
+  // Producers caught equivocating (two distinct records with the same
+  // (kind class, seq)) — the ledger analogue of detect_double_invite().
+  const std::vector<std::string>& misconduct() const { return misconduct_; }
+
+  // Full re-verification of every stored record: hash consistency,
+  // signatures, payload well-formedness, predecessor existence, the
+  // interlock rule, and per-producer sequence uniqueness. Used by
+  // invariant I6 and by the bench baseline.
+  struct VerifyResult {
+    bool ok = false;
+    std::vector<std::string> violations;
+    std::size_t records_checked = 0;
+  };
+  VerifyResult verify() const;
+
+  // --- test-only fault hooks (invariant I6 must catch each) -------------
+  // Rewritten history: swap a stored record's payload without re-signing.
+  bool debug_tamper_payload(const std::string& hash, net::Bytes payload);
+  // Truncated tail: drop the last `n` records in insertion order.
+  void debug_truncate(std::size_t n);
+  // Self-approval: force a record in without validation (e.g. one whose
+  // predecessors are all own-signed).
+  void debug_force_append(LedgerRecord rec);
+
+ private:
+  void insert_unchecked(LedgerRecord rec, const std::string& hash);
+
+  Options opts_;
+  std::vector<std::string> order_;                // insertion order
+  std::map<std::string, LedgerRecord> records_;   // by record hash
+  std::map<std::string, std::vector<std::string>> children_;  // prev -> succs
+  // (producer, endorsement?, seq) -> record hash, for equivocation checks.
+  std::map<std::tuple<std::string, bool, std::uint64_t>, std::string> by_seq_;
+  std::vector<std::string> misconduct_;
+};
+
+// -------------------------------------------------------- ledger peer -----
+
+// Networked ledger replica embedded in a membership-plane actor
+// (MemberNode) or the TTP. Owns the member's copy of the DAG, mints and
+// broadcasts records, parks out-of-order arrivals until their predecessors
+// land, and cross-certifies foreign records with Endorsement records — the
+// interlock rule in action.
+class LedgerPeer {
+ public:
+  explicit LedgerPeer(crypto::RsaKeyPair identity,
+                      Ledger::Options opts = Ledger::Options());
+
+  // Install the shared genesis for `domain` (every peer must use the same
+  // domain string) and remember the broadcast peer set.
+  void bootstrap(const std::string& domain, std::vector<net::NodeId> peers);
+
+  const Ledger& ledger() const { return ledger_; }
+  Ledger& ledger() { return ledger_; }
+  const std::string& producer() const { return producer_; }
+
+  // Mint, locally insert and broadcast one record. Returns the record hash,
+  // or nullopt when the ledger cannot currently satisfy the interlock rule
+  // (no foreign record to certify) or the record fails validation.
+  std::optional<std::string> publish(net::Transport& sim, net::NodeId self,
+                                     RecordKind kind, net::Bytes payload);
+
+  // Wire handlers (kLedgerAppend / kLedgerTailsRequest). The caller has
+  // already matched on msg.type; CodecErrors propagate to the actor's
+  // dispatch guard.
+  void handle_append(net::Transport& sim, net::NodeId self,
+                     const net::Message& msg);
+  void handle_tails_request(net::Transport& sim, net::NodeId self,
+                            const net::Message& msg);
+
+  // Records parked on missing predecessors; zero once the cluster drains
+  // (benign chaos never drops frames), so it feeds session-residue checks.
+  std::size_t pending_residue() const { return parked_.size(); }
+
+  std::uint64_t records_published() const { return records_published_; }
+  std::uint64_t records_accepted() const { return records_accepted_; }
+  std::uint64_t records_rejected() const { return records_rejected_; }
+  std::uint64_t replay_drops() const { return replay_drops_; }
+  std::uint64_t endorsements_sent() const { return endorsements_sent_; }
+
+ private:
+  // Predecessor choice for a minted record: foreign tails first, padded
+  // with recent foreign records up to min_prev when the tail set is thin.
+  std::vector<std::string> pick_prevs() const;
+  // Sign, locally append, broadcast. Fails (nullopt) on an empty prev list
+  // or when the local append rejects the record.
+  std::optional<std::string> mint(net::Transport& sim, net::NodeId self,
+                                  RecordKind kind, net::Bytes payload,
+                                  std::vector<std::string> prevs);
+  void broadcast(net::Transport& sim, net::NodeId self,
+                 const LedgerRecord& rec);
+  // Insert + endorse + drain parked records that became insertable.
+  void ingest(net::Transport& sim, net::NodeId self, LedgerRecord rec);
+  // Cross-certify a freshly inserted foreign application record.
+  void endorse(net::Transport& sim, net::NodeId self, const LedgerRecord& rec);
+
+  crypto::RsaKeyPair identity_;
+  std::string producer_;
+  Ledger ledger_;
+  std::vector<net::NodeId> peers_;
+  std::uint64_t next_seq_ = 1;          // app records
+  std::uint64_t next_endorse_seq_ = 1;  // endorsement records
+  std::map<std::string, LedgerRecord> parked_;  // by record hash
+  std::uint64_t records_published_ = 0;
+  std::uint64_t records_accepted_ = 0;
+  std::uint64_t records_rejected_ = 0;
+  std::uint64_t replay_drops_ = 0;
+  std::uint64_t endorsements_sent_ = 0;
+};
+
+// --------------------------------------------- emission helpers -----------
+// The audit-plane artefacts route into the ledger through these: each
+// serialises the artefact as the record payload and publishes it.
+std::optional<std::string> publish_evidence(LedgerPeer& peer,
+                                            net::Transport& sim,
+                                            net::NodeId self,
+                                            const EvidencePiece& piece);
+std::optional<std::string> publish_certificate(LedgerPeer& peer,
+                                               net::Transport& sim,
+                                               net::NodeId self,
+                                               RecordKind kind,
+                                               const CertPayload& cert);
+std::optional<std::string> publish_checkpoint(LedgerPeer& peer,
+                                              net::Transport& sim,
+                                              net::NodeId self,
+                                              const CheckpointPayload& cp);
+std::optional<std::string> publish_audit_report(
+    LedgerPeer& peer, net::Transport& sim, net::NodeId self,
+    const TransactionAuditReport& report);
+
+// Settled non-Endorsement records as (producer, seq, kind, payload_hash)
+// descriptors — the arrival-order-independent identity used by the chaos
+// sweep to compare a run against the fault-free oracle.
+struct SettledRecordId {
+  std::string producer;
+  std::uint64_t seq = 0;
+  std::uint8_t kind = 0;
+  std::string payload_hash;
+
+  auto operator<=>(const SettledRecordId&) const = default;
+};
+std::vector<SettledRecordId> settled_app_records(const Ledger& ledger);
+
+// Frontier certification for the bench and external verifiers: signature-
+// check only the records nothing points at yet, then certify interior
+// records transitively through the hash links (records whose recomputed
+// hash no verified successor references fall back to a signature check).
+// Bit-identical accept/reject outcomes to verifying every signature, at a
+// hash per interior record instead of an RSA verification.
+std::vector<bool> certify_records(const std::vector<LedgerRecord>& records);
+
+}  // namespace dla::audit

@@ -23,9 +23,25 @@ void CaNode::on_message(net::Transport& sim, const net::Message& msg) {
     ++detail::wire_reject_counters_mut().codec_rejects;
     return;
   }
-  // Blind signing: the CA sees only m * r^e mod n, never the pseudonym.
-  bn::BigUInt blind_sig = key_.apply_private(blinded % key_.public_key().n);
-  ++tokens_issued_;
+  // At-least-once dedup: a chaos-duplicated request must not inflate
+  // tokens_issued_ — the CA's issuance trail is audit evidence, and a
+  // double count would look like a second credential. Replay the journal.
+  const std::pair<net::NodeId, std::uint64_t> journal_key{msg.src, reqid};
+  bn::BigUInt blind_sig;
+  if (auto it = token_journal_.find(journal_key); it != token_journal_.end()) {
+    ++replay_drops_;
+    blind_sig = it->second;
+  } else {
+    // Blind signing: the CA sees only m * r^e mod n, never the pseudonym.
+    blind_sig = key_.apply_private(blinded % key_.public_key().n);
+    ++tokens_issued_;
+    token_journal_[journal_key] = blind_sig;
+    token_order_.push_back(journal_key);
+    if (token_order_.size() > 4096) {
+      token_journal_.erase(token_order_.front());
+      token_order_.pop_front();
+    }
+  }
   net::Writer w;
   w.u64(reqid);
   w.big(blind_sig);
@@ -76,6 +92,49 @@ void MemberNode::found_chain(const std::string& terms) {
   chain_.append(std::move(genesis));
   chain_at_authority_ = chain_;
   has_authority_ = true;
+}
+
+void MemberNode::found_chain(net::Transport& sim, const std::string& terms) {
+  found_chain(terms);
+  if (!ledger_peer_) return;
+  // The founder's self-issued piece and certificate open the ledger's
+  // evidence history, interlocked against the shared genesis record.
+  publish_evidence(*ledger_peer_, sim, id(), chain_.pieces().back());
+  CertPayload cert;
+  cert.subject = pseudonym();
+  cert.subject_n = key_.public_key().n;
+  cert.subject_e = key_.public_key().e;
+  cert.ca_token = *token_;
+  publish_certificate(*ledger_peer_, sim, id(), RecordKind::CertIssue, cert);
+}
+
+void MemberNode::enable_ledger(const std::string& domain,
+                               std::vector<net::NodeId> peers,
+                               Ledger::Options opts) {
+  ledger_peer_.emplace(key_, opts);
+  ledger_peer_->bootstrap(domain, std::move(peers));
+}
+
+std::optional<std::string> MemberNode::renew_certificate(
+    net::Transport& sim, std::uint64_t valid_until) {
+  if (!ledger_peer_ || !token_) return std::nullopt;
+  CertPayload cert;
+  cert.subject = pseudonym();
+  cert.subject_n = key_.public_key().n;
+  cert.subject_e = key_.public_key().e;
+  cert.ca_token = *token_;
+  cert.valid_until = valid_until;
+  return publish_certificate(*ledger_peer_, sim, id(), RecordKind::CertRenew,
+                             cert);
+}
+
+std::optional<std::string> MemberNode::revoke_certificate(
+    net::Transport& sim, const std::string& subject) {
+  if (!ledger_peer_) return std::nullopt;
+  CertPayload cert;
+  cert.subject = subject;  // revocations carry no token or key material
+  return publish_certificate(*ledger_peer_, sim, id(), RecordKind::CertRevoke,
+                             cert);
 }
 
 void MemberNode::invite(net::Transport& sim, net::NodeId candidate,
@@ -153,15 +212,34 @@ void MemberNode::handle_service_commitment(net::Transport& sim,
   });
   sim.send(id(), msg.src, kEvidenceGrant, std::move(w).take());
   if (invite.done) invite.done(true);
+  if (ledger_peer_) {
+    // The minted piece and the invitee's fresh certificate become ledger
+    // records, so the join survives even if the (linear) chain's future
+    // holders misbehave — settlement needs foreign endorsements.
+    publish_evidence(*ledger_peer_, sim, id(), piece);
+    CertPayload cert;
+    cert.subject = invitee;
+    cert.subject_n = invitee_pub.n;
+    cert.subject_e = invitee_pub.e;
+    cert.ca_token = token;
+    publish_certificate(*ledger_peer_, sim, id(), RecordKind::CertIssue, cert);
+  }
 }
 
 void MemberNode::handle_evidence_grant(net::Transport&,
                                        const net::Message& msg) {
   net::Reader r(msg.payload);
-  r.u64();  // session
+  SessionId session = r.u64();
   auto pieces = r.vec<EvidencePiece>(
       [](net::Reader& in) { return EvidencePiece::decode(in); });
   r.expect_end();
+  // At-least-once dedup: the grant hands over the invite authority and
+  // fires on_joined — a chaos-duplicated copy must not re-run either (the
+  // authority may already have been passed on to our own invitee).
+  if (grant_sessions_.check_and_mark(session)) {
+    ++replay_drops_;
+    return;
+  }
   EvidenceChain chain;
   for (auto& piece : pieces) chain.append(std::move(piece));
   // Accept the chain only if it verifies and its tail names us.
@@ -181,6 +259,7 @@ void MemberNode::handle_evidence_grant(net::Transport&,
   chain_ = std::move(chain);
   chain_at_authority_ = chain_;
   has_authority_ = true;
+  ++joins_completed_;
   if (on_joined) on_joined(chain_);
 }
 
@@ -191,9 +270,15 @@ void MemberNode::on_message(net::Transport& sim, const net::Message& msg) {
       case kPolicyProposal: return handle_policy_proposal(sim, msg);
       case kServiceCommitment: return handle_service_commitment(sim, msg);
       case kEvidenceGrant: return handle_evidence_grant(sim, msg);
-      // Membership-protocol edge actor: it only ever receives the four
-      // handshake replies above; cluster-internal traffic is never addressed
-      // to it.
+      case kLedgerAppend:
+        if (ledger_peer_) ledger_peer_->handle_append(sim, id(), msg);
+        return;
+      case kLedgerTailsRequest:
+        if (ledger_peer_) ledger_peer_->handle_tails_request(sim, id(), msg);
+        return;
+      // Membership-protocol edge actor: it only ever receives the handshake
+      // replies and ledger frames above; cluster-internal traffic is never
+      // addressed to it.
       // DLA-LINT-ALLOW(msgtype-switch): edge actor, handshake-reply subset
       default:
         break;

@@ -15,12 +15,15 @@
 // that detect_double_invite() exposes.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
 #include <string>
 
 #include "audit/evidence.hpp"
+#include "audit/ledger.hpp"
+#include "audit/replay_guard.hpp"
 #include "audit/wire.hpp"
 #include "net/transport.hpp"
 
@@ -32,6 +35,8 @@ class CaNode : public net::Node {
 
   const crypto::RsaPublicKey& public_key() const { return key_.public_key(); }
   std::uint64_t tokens_issued() const { return tokens_issued_; }
+  // Duplicated token requests answered from the journal instead of re-signed.
+  std::uint64_t replay_drops() const { return replay_drops_; }
 
   void on_message(net::Transport& sim, const net::Message& msg) override;
 
@@ -39,6 +44,12 @@ class CaNode : public net::Node {
   std::string name_;
   crypto::RsaKeyPair key_;
   std::uint64_t tokens_issued_ = 0;
+  std::uint64_t replay_drops_ = 0;
+  // At-least-once journal: blind-signing is deterministic, but a duplicated
+  // kTokenRequest must not inflate tokens_issued_ (the CA's issuance audit
+  // trail) — the remembered signature is replayed instead.
+  std::map<std::pair<net::NodeId, std::uint64_t>, bn::BigUInt> token_journal_;
+  std::deque<std::pair<net::NodeId, std::uint64_t>> token_order_;
 };
 
 class MemberNode : public net::Node {
@@ -62,6 +73,9 @@ class MemberNode : public net::Node {
   // Founder bootstrap: self-issue the genesis evidence piece (requires a
   // token) and take the invite authority.
   void found_chain(const std::string& terms);
+  // Same, but also publishes the founding Evidence + CertIssue records when
+  // the ledger is enabled.
+  void found_chain(net::Transport& sim, const std::string& terms);
 
   // Phase 1: as chain tail, propose membership to `candidate`.
   using JoinCallback = std::function<void(bool ok)>;
@@ -74,6 +88,30 @@ class MemberNode : public net::Node {
 
   // Fires on the invitee when the evidence grant lands.
   std::function<void(const EvidenceChain&)> on_joined;
+
+  // --- tamper-evident ledger (docs/LEDGER.md) ---------------------------
+  // Join the shared record ledger: installs the `domain` genesis and starts
+  // publishing/cross-certifying records with `peers` (the other ledger
+  // peers; this node's own id is skipped automatically). Once enabled, the
+  // membership handshake emits Evidence and CertIssue records, and
+  // renew/revoke below emit the certificate lifecycle records.
+  void enable_ledger(const std::string& domain, std::vector<net::NodeId> peers,
+                     Ledger::Options opts = Ledger::Options());
+  bool ledger_enabled() const { return ledger_peer_.has_value(); }
+  LedgerPeer& ledger_peer() { return *ledger_peer_; }
+  const LedgerPeer& ledger_peer() const { return *ledger_peer_; }
+
+  // Certificate lifecycle records (require the ledger and a CA token).
+  std::optional<std::string> renew_certificate(net::Transport& sim,
+                                               std::uint64_t valid_until);
+  std::optional<std::string> revoke_certificate(net::Transport& sim,
+                                                const std::string& subject);
+
+  // Handshake frames dropped as at-least-once duplicates.
+  std::uint64_t replay_drops() const { return replay_drops_; }
+  // How many times a (verified) evidence grant promoted this node to chain
+  // tail — must stay 1 per join even when the grant frame is duplicated.
+  std::uint64_t joins_completed() const { return joins_completed_; }
 
   // Evidence pieces from grants that failed verification — retained as
   // proof of the issuer's misconduct (feeds detect_double_invite()).
@@ -113,6 +151,14 @@ class MemberNode : public net::Node {
   };
   std::map<SessionId, PendingInvite> pending_invites_;
   std::uint64_t next_session_ = 1;
+
+  std::optional<LedgerPeer> ledger_peer_;
+  // Sessions whose evidence grant was already accepted (or rejected as
+  // suspicious): a chaos-duplicated kEvidenceGrant must not re-fire
+  // on_joined or re-take the invite authority after it was passed on.
+  ReplayGuard grant_sessions_;
+  std::uint64_t replay_drops_ = 0;
+  std::uint64_t joins_completed_ = 0;
 };
 
 }  // namespace dla::audit

@@ -101,6 +101,10 @@ std::string_view classify_message(MsgType type) {
     case kServiceCommitment:
     case kEvidenceGrant:
       return "membership";
+    case kLedgerAppend:
+    case kLedgerTailsRequest:
+    case kLedgerTailsReply:
+      return "ledger";
   }
   return "other";
 }

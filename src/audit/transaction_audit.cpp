@@ -4,6 +4,36 @@
 
 namespace dla::audit {
 
+void RuleVerdict::encode(net::Writer& w) const {
+  w.u64(rule_index);
+  w.boolean(satisfied);
+  w.str(detail);
+}
+
+RuleVerdict RuleVerdict::decode(net::Reader& r) {
+  RuleVerdict v;
+  v.rule_index = r.u64();
+  v.satisfied = r.boolean();
+  v.detail = r.str();
+  return v;
+}
+
+void TransactionAuditReport::encode(net::Writer& w) const {
+  w.u64(tsn);
+  w.boolean(conforms);
+  w.vec(verdicts,
+        [](net::Writer& out, const RuleVerdict& v) { v.encode(out); });
+}
+
+TransactionAuditReport TransactionAuditReport::decode(net::Reader& r) {
+  TransactionAuditReport report;
+  report.tsn = r.u64();
+  report.conforms = r.boolean();
+  report.verdicts =
+      r.vec<RuleVerdict>([](net::Reader& in) { return RuleVerdict::decode(in); });
+  return report;
+}
+
 TransactionAuditor::TransactionAuditor(logm::Schema schema,
                                        std::vector<Rule> rules)
     : schema_(std::move(schema)), rules_(std::move(rules)) {}

@@ -29,6 +29,7 @@
 
 #include "audit/query.hpp"
 #include "logm/record.hpp"
+#include "net/bytes.hpp"
 
 namespace dla::audit {
 
@@ -58,12 +59,21 @@ struct RuleVerdict {
   std::size_t rule_index = 0;
   bool satisfied = false;
   std::string detail;  // human-readable reason on failure
+
+  void encode(net::Writer& w) const;
+  static RuleVerdict decode(net::Reader& r);
 };
 
+// Serialisable so a report can ride inside a ledger AuditReport record
+// (audit/ledger.hpp): the verdicts become part of the settled, cross-
+// certified history instead of a transient auditor-side value.
 struct TransactionAuditReport {
   std::uint64_t tsn = 0;
   bool conforms = false;  // all rules satisfied
   std::vector<RuleVerdict> verdicts;
+
+  void encode(net::Writer& w) const;
+  static TransactionAuditReport decode(net::Reader& r);
 };
 
 class TransactionAuditor {

@@ -28,6 +28,15 @@ TtpNode::TtpNode(std::string name)
 
 void TtpNode::configure(ConfigPtr cfg) { cfg_ = std::move(cfg); }
 
+void TtpNode::enable_ledger(const std::string& domain,
+                            std::vector<net::NodeId> peers,
+                            Ledger::Options opts) {
+  // The TTP certifies under a pseudonym of its own; the identity key is
+  // derived from the node's seeded rng so runs stay reproducible.
+  ledger_peer_.emplace(crypto::RsaKeyPair::generate(rng_, 256), opts);
+  ledger_peer_->bootstrap(domain, std::move(peers));
+}
+
 void TtpNode::on_message(net::Transport& sim, const net::Message& msg) {
   try {
     switch (msg.type) {
@@ -35,9 +44,16 @@ void TtpNode::on_message(net::Transport& sim, const net::Message& msg) {
       case kCmpValue: return handle_cmp_value(sim, msg);
       case kCmpBatch: return handle_cmp_batch(sim, msg);
       case kScalarInit: return handle_scalar_init(sim, msg);
+      case kLedgerAppend:
+        if (ledger_peer_) ledger_peer_->handle_append(sim, id(), msg);
+        return;
+      case kLedgerTailsRequest:
+        if (ledger_peer_) ledger_peer_->handle_tails_request(sim, id(), msg);
+        return;
       // The blind TTP must stay blind: it participates in exactly the four
-      // comparison/commodity messages above and must ignore (never decode)
-      // everything else by construction.
+      // comparison/commodity messages above (plus the content-public ledger
+      // frames) and must ignore (never decode) everything else by
+      // construction.
       // DLA-LINT-ALLOW(msgtype-switch): blind TTP ignores all non-TTP traffic
       default:
         break;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "audit/config.hpp"
+#include "audit/ledger.hpp"
 #include "audit/query.hpp"
 #include "audit/replay_guard.hpp"
 #include "audit/wire.hpp"
@@ -33,8 +34,21 @@ class TtpNode : public net::Node {
   std::uint64_t sessions_served() const { return sessions_served_; }
   // Messages dropped as at-least-once duplicates of served sessions.
   std::uint64_t replay_drops() const { return replay_drops_; }
-  // In-flight comparison/batch entries; zero once the cluster quiesces.
-  std::size_t session_residue() const { return cmp_.size() + batches_.size(); }
+  // In-flight comparison/batch entries (plus ledger records parked on
+  // missing predecessors); zero once the cluster quiesces.
+  std::size_t session_residue() const {
+    return cmp_.size() + batches_.size() +
+           (ledger_peer_ ? ledger_peer_->pending_residue() : 0);
+  }
+
+  // Join the tamper-evident record ledger as a certifying peer: the TTP
+  // never originates application records, but its endorsements count toward
+  // settlement like any member's (docs/LEDGER.md).
+  void enable_ledger(const std::string& domain, std::vector<net::NodeId> peers,
+                     Ledger::Options opts = Ledger::Options());
+  bool ledger_enabled() const { return ledger_peer_.has_value(); }
+  LedgerPeer& ledger_peer() { return *ledger_peer_; }
+  const LedgerPeer& ledger_peer() const { return *ledger_peer_; }
 
   void on_message(net::Transport& sim, const net::Message& msg) override;
 
@@ -77,6 +91,7 @@ class TtpNode : public net::Node {
   ReplayGuard cmp_served_guard_;
   ReplayGuard batch_served_guard_;
   ReplayGuard scalar_init_guard_;
+  std::optional<LedgerPeer> ledger_peer_;
 };
 
 }  // namespace dla::audit

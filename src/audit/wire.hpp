@@ -114,6 +114,11 @@ enum MsgType : std::uint32_t {
   kPolicyProposal = 0x92,   // P_y -> P_x {session, terms}
   kServiceCommitment = 0x93,// P_x -> P_y {session, services, token, pub}
   kEvidenceGrant = 0x94,    // P_y -> P_x {session, piece, chain}
+
+  // tamper-evident record ledger (docs/LEDGER.md)
+  kLedgerAppend = 0x95,       // peer -> peers {record}
+  kLedgerTailsRequest = 0x96, // auditor -> peer {reqid}
+  kLedgerTailsReply = 0x97,   // peer -> auditor {reqid, tails, records, settled}
 };
 
 // --------------------------------------------------- set protocol payload --

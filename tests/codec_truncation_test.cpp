@@ -16,7 +16,10 @@
 #include <vector>
 
 #include "audit/cluster.hpp"
+#include "audit/evidence.hpp"
+#include "audit/ledger.hpp"
 #include "audit/metrics.hpp"
+#include "audit/transaction_audit.hpp"
 #include "audit/wire.hpp"
 #include "logm/workload.hpp"
 #include "net/bytes.hpp"
@@ -130,6 +133,110 @@ TEST(CodecTruncation, RecordAndFragmentRejectEveryStrictPrefix) {
       return logm::Fragment::decode(r);
     }, "Fragment");
   }
+}
+
+// Decode the full payload plus one garbage byte; expect_end must throw.
+// (Decoding itself may also throw when the extra byte turns a trailing
+// variable-width field inconsistent — either rejection is legal.)
+template <typename DecodeFn>
+void expect_trailing_garbage_throws(const net::Bytes& wire, DecodeFn decode,
+                                    const char* what) {
+  net::Bytes noisy = wire;
+  noisy.push_back(0x5a);
+  net::Reader r(noisy);
+  EXPECT_THROW(
+      {
+        (void)decode(r);
+        r.expect_end();
+      },
+      net::CodecError)
+      << what << ": payload with trailing garbage decoded without error";
+}
+
+// Exhaustive hostile-variant sweep for one struct codec: every strict byte
+// prefix plus the trailing-garbage variant.
+template <typename DecodeFn>
+void expect_hostile_variants_throw(net::Bytes wire, DecodeFn decode,
+                                   const char* what) {
+  expect_all_prefixes_throw(wire, decode, what);
+  expect_trailing_garbage_throws(wire, decode, what);
+}
+
+TEST(CodecTruncation, EvidencePieceRejectsEveryHostileVariant) {
+  crypto::ChaCha20Rng rng(2026);
+  const auto key = crypto::RsaKeyPair::generate(rng, 256);
+  EvidencePiece piece;
+  piece.index = 3;
+  piece.prev_hash = "3c0ffee5";
+  piece.issuer_pseudonym = pseudonym_hash(key.public_key());
+  piece.issuer_pub = key.public_key();
+  piece.invitee_pseudonym = "deadbeefcafe";
+  piece.invitee_token = bn::BigUInt(0x123456789abcull);
+  piece.terms = "audit logm traffic for domain X";
+  piece.issuer_sig = key.sign(piece.canonical());
+  net::Writer w;
+  piece.encode(w);
+  expect_hostile_variants_throw(std::move(w).take(), [](net::Reader& r) {
+    return EvidencePiece::decode(r);
+  }, "EvidencePiece");
+}
+
+TEST(CodecTruncation, LedgerRecordRejectsEveryHostileVariant) {
+  crypto::ChaCha20Rng rng(2027);
+  const auto key = crypto::RsaKeyPair::generate(rng, 256);
+  CheckpointPayload cp;
+  cp.epoch = 4;
+  cp.high_glsn = 43;
+  cp.accumulator = bn::BigUInt(987654321u);
+  cp.manifest_hash = "manifest-4";
+  net::Writer pw;
+  cp.encode(pw);
+  LedgerRecord rec =
+      make_ledger_record(RecordKind::Checkpoint, key, 7,
+                         {"aaaa1111", "bbbb2222"}, std::move(pw).take());
+  net::Writer w;
+  rec.encode(w);
+  expect_hostile_variants_throw(std::move(w).take(), [](net::Reader& r) {
+    return LedgerRecord::decode(r);
+  }, "LedgerRecord");
+}
+
+TEST(CodecTruncation, LedgerPayloadsRejectEveryHostileVariant) {
+  CheckpointPayload cp;
+  cp.epoch = 9;
+  cp.high_glsn = 93;
+  cp.accumulator = bn::BigUInt(0xfeedfaceull);
+  cp.manifest_hash = "manifest-9";
+  net::Writer cw;
+  cp.encode(cw);
+  expect_hostile_variants_throw(std::move(cw).take(), [](net::Reader& r) {
+    return CheckpointPayload::decode(r);
+  }, "CheckpointPayload");
+
+  crypto::ChaCha20Rng rng(2028);
+  const auto key = crypto::RsaKeyPair::generate(rng, 256);
+  CertPayload cert;
+  cert.subject = pseudonym_hash(key.public_key());
+  cert.subject_n = key.public_key().n;
+  cert.subject_e = key.public_key().e;
+  cert.ca_token = bn::BigUInt(424242u);
+  cert.valid_until = 99999;
+  net::Writer kw;
+  cert.encode(kw);
+  expect_hostile_variants_throw(std::move(kw).take(), [](net::Reader& r) {
+    return CertPayload::decode(r);
+  }, "CertPayload");
+
+  TransactionAuditReport rep;
+  rep.tsn = 17;
+  rep.conforms = false;
+  rep.verdicts.push_back(RuleVerdict{0, true, ""});
+  rep.verdicts.push_back(RuleVerdict{1, false, "limit exceeded"});
+  net::Writer rw;
+  rep.encode(rw);
+  expect_hostile_variants_throw(std::move(rw).take(), [](net::Reader& r) {
+    return TransactionAuditReport::decode(r);
+  }, "TransactionAuditReport");
 }
 
 // ---- live-capture differential -------------------------------------------

@@ -123,6 +123,23 @@ TEST(EvidenceChain, UnauthorizedIssuerDetected) {
   EXPECT_NE(v.failure.find("invite authority"), std::string::npos);
 }
 
+TEST(EvidenceChain, ReorderedPiecesDetected) {
+  // Every piece here is individually well-signed; only their order was
+  // swapped. Verification must still fail, because order is bound twice:
+  // each piece's signed index must equal its position, and each piece's
+  // prev_hash must equal the hash of the piece actually before it.
+  auto ca = ca_key();
+  auto chain = build_chain(ca, 4);
+  EXPECT_TRUE(chain.verify(ca.public_key()).ok);
+  std::vector<EvidencePiece> pieces = chain.pieces();
+  std::swap(pieces[1], pieces[2]);
+  EvidenceChain reordered;
+  for (auto& piece : pieces) reordered.append(std::move(piece));
+  auto v = reordered.verify(ca.public_key());
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.checked, 1u);  // genesis fine, first swapped piece rejected
+}
+
 TEST(EvidenceChain, WrongIndexDetected) {
   auto ca = ca_key();
   auto chain = build_chain(ca, 2);

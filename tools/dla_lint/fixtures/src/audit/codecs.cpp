@@ -78,6 +78,48 @@ struct QuietMsg {
   }
 };
 
+// Ledger-record shape (PR 10): vec-of-hashes framing, blob payload, big
+// signature. Symmetric and documented: clean.
+struct LedgerEntryFixture {
+  unsigned char kind = 0;
+  std::string producer;
+  std::vector<std::string> prevs;
+  net::Bytes payload;
+  void encode(net::Writer& w) const {
+    w.u8(kind);
+    w.str(producer);
+    w.vec(prevs, [](net::Writer& out, const std::string& h) { out.str(h); });
+    w.blob(payload);
+  }
+  static LedgerEntryFixture decode(net::Reader& r) {
+    LedgerEntryFixture m;
+    m.kind = r.u8();
+    m.producer = r.str();
+    m.prevs = r.vec<std::string>([](net::Reader& in) { return in.str(); });
+    m.payload = r.blob();
+    return m;
+  }
+};
+
+// Tails-reply shape whose decode grew a trailing settled-count the encode
+// never wrote (the field-count drift class the ledger codecs must not
+// regress into).
+struct LedgerTailsFixture {
+  unsigned long reqid = 0;
+  std::vector<std::string> tails;
+  void encode(net::Writer& w) const {
+    w.u64(reqid);
+    w.vec(tails, [](net::Writer& out, const std::string& h) { out.str(h); });
+  }
+  static LedgerTailsFixture decode(net::Reader& r) {  // EXPECT(codec-symmetry)
+    LedgerTailsFixture m;
+    m.reqid = r.u64();
+    m.tails = r.vec<std::string>([](net::Reader& in) { return in.str(); });
+    r.u64();  // settled count added to decode only
+    return m;
+  }
+};
+
 // Free helper pair, symmetric: vec framing + u64 elements on both sides.
 void encode_entries(net::Writer& w, const std::vector<unsigned long>& v) {
   w.vec(v, [](net::Writer& out, unsigned long x) { out.u64(x); });
